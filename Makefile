@@ -1,0 +1,30 @@
+# Convenience targets for the DCDB reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples loc all
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure with the result tables printed.
+experiments:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/facility_monitoring.py
+	$(PYTHON) examples/application_characterization.py
+	$(PYTHON) examples/scalable_cluster.py
+	$(PYTHON) examples/online_analytics.py
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+all: test bench

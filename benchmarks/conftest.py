@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Every ``test_fig*`` / ``test_table*`` module regenerates one table or
+figure of the paper: it computes the series through the calibrated
+simulation substrate (or, where feasible, by running the real
+pipeline), prints the same rows the paper reports, and asserts the
+*shape* claims listed in EXPERIMENTS.md.  ``test_microbench_*`` and
+``test_ablation_*`` modules quantify this Python reproduction itself.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a labelled experiment block (shown with pytest -s and in
+    benchmark output capture)."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    for line in lines:
+        out.write(line + "\n")
+    out.flush()
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> list[str]:
+    """Plain-text table formatting for experiment output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return lines

@@ -1,0 +1,87 @@
+"""Figure 5: overhead heatmaps, 25 tester configurations x 3 systems.
+
+Paper: overhead vs single-node HPL for sampling intervals
+{100, 250, 500, 1000, 10000} ms x sensor counts {10, 100, 1000, 5000,
+10000}, per architecture.  Findings: below 1 % for every configuration
+with <= 1000 sensors; acceptable even at 100 000 readings/s (Skylake
+~0.65 %, Haswell ~1.8 %, KNL ~3.5 % in the hottest cell); Skylake
+essentially flat, Haswell and KNL show clear gradients; many cells
+read 0 because the median-with-Pusher beat the reference median.
+
+Shape assertions: exactly those findings.
+"""
+
+import pytest
+
+from conftest import emit, format_table
+from repro.simulation.architectures import ARCHITECTURES
+from repro.simulation.overhead import MeasurementProtocol, OverheadModel, PusherSetup
+
+INTERVALS_MS = (100, 250, 500, 1000, 10_000)
+SENSORS = (10, 100, 1000, 5000, 10_000)
+
+
+def run_heatmaps():
+    protocol = MeasurementProtocol(seed=5)
+    heatmaps: dict[str, dict[tuple[int, int], float]] = {}
+    for name, arch in ARCHITECTURES.items():
+        model = OverheadModel(arch)
+        cells = {}
+        for interval in INTERVALS_MS:
+            for sensors in SENSORS:
+                true_overhead = model.compute_overhead_pct(
+                    PusherSetup(sensors, interval)
+                )
+                cells[(interval, sensors)] = protocol.measure(
+                    true_overhead, f"fig5/{name}/{interval}/{sensors}"
+                )
+        heatmaps[name] = cells
+    return heatmaps
+
+
+def test_fig5_shape(benchmark):
+    heatmaps = benchmark(run_heatmaps)
+    for name in ("skylake", "haswell", "knl"):
+        cells = heatmaps[name]
+        rows = [
+            [f"{interval} ms"] + [f"{cells[(interval, s)]:.2f}" for s in SENSORS]
+            for interval in INTERVALS_MS
+        ]
+        emit(
+            f"Figure 5 ({name}): overhead [%] by interval x sensors vs HPL",
+            format_table(["Interval"] + [str(s) for s in SENSORS], rows),
+        )
+    for name, arch in ARCHITECTURES.items():
+        cells = heatmaps[name]
+        # <=1000 sensors: below 1 % everywhere (paper's production claim).
+        for interval in INTERVALS_MS:
+            for sensors in (10, 100, 1000):
+                assert cells[(interval, sensors)] < 1.0, (name, interval, sensors)
+        # Hottest cell (100 ms x 10k sensors) within band of the paper.
+        hottest = cells[(100, 10_000)]
+        expected = {"skylake": 0.65, "haswell": 1.8, "knl": 3.5}[name]
+        assert hottest == pytest.approx(expected, abs=0.8)
+    # Architecture ordering in the hottest cell.
+    assert (
+        heatmaps["skylake"][(100, 10_000)]
+        < heatmaps["haswell"][(100, 10_000)]
+        < heatmaps["knl"][(100, 10_000)]
+    )
+    # Measurement noise yields some exact zeros, as in the paper's plots.
+    zero_cells = sum(
+        1 for cells in heatmaps.values() for v in cells.values() if v == 0.0
+    )
+    assert zero_cells >= 5
+
+
+def test_fig5_gradient_structure(benchmark):
+    heatmaps = benchmark(run_heatmaps)
+    # KNL and Haswell show a clear gradient along the sensor axis at
+    # 100 ms; Skylake stays within a narrow band (paper: "unaffected
+    # ... consistent overhead values").
+    for name, min_spread in (("knl", 2.0), ("haswell", 1.0)):
+        cells = heatmaps[name]
+        row = [cells[(100, s)] for s in SENSORS]
+        assert row[-1] - row[0] > min_spread
+    skylake_row = [heatmaps["skylake"][(100, s)] for s in SENSORS]
+    assert max(skylake_row) - min(skylake_row) < 1.0

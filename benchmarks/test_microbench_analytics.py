@@ -1,0 +1,63 @@
+"""Microbenchmarks: streaming-analytics overhead on the ingest path.
+
+The analytics layer runs inline in the Collect Agent (paper section 9
+design), so its per-reading cost adds directly to ingest.  These
+benches measure that cost for representative operator sets and for the
+pattern-matching fan-out.
+"""
+
+from repro.analytics import (
+    Aggregator,
+    AnalyticsManager,
+    EmaSmoother,
+    MovingAverage,
+    ThresholdAlarm,
+    ZScoreDetector,
+)
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sensor import SensorReading
+
+
+def _feeder(manager, topics):
+    state = {"t": 0}
+
+    def feed_round():
+        state["t"] += NS_PER_SEC
+        for i, topic in enumerate(topics):
+            manager.feed(topic, SensorReading(state["t"], 100 + i))
+        return len(topics)
+
+    return feed_round
+
+
+class TestAnalyticsOverhead:
+    def test_passthrough_no_matching_operator(self, benchmark):
+        manager = AnalyticsManager()
+        manager.add_operator(MovingAverage("ma", ["/elsewhere/#"], window=5))
+        feed = _feeder(manager, [f"/node/g/s{i}" for i in range(100)])
+        assert benchmark(feed) == 100
+
+    def test_smoothing_100_sensors(self, benchmark):
+        manager = AnalyticsManager()
+        manager.add_operator(EmaSmoother("ema", ["/node/#"], alpha=0.2))
+        feed = _feeder(manager, [f"/node/g/s{i}" for i in range(100)])
+        assert benchmark(feed) == 100
+
+    def test_full_stack_of_operators(self, benchmark):
+        manager = AnalyticsManager()
+        manager.add_operator(MovingAverage("ma", ["/node/#"], window=10))
+        manager.add_operator(Aggregator("agg", ["/node/#"], func="sum"))
+        manager.add_operator(ZScoreDetector("z", ["/node/#"], window=20))
+        manager.add_operator(ThresholdAlarm("cap", ["/node/#"], high=10**9))
+        feed = _feeder(manager, [f"/node/g/s{i}" for i in range(100)])
+        assert benchmark(feed) == 100
+
+    def test_zscore_detector_single_sensor(self, benchmark):
+        detector = ZScoreDetector("z", ["#"], window=30)
+        state = {"t": 0}
+
+        def one():
+            state["t"] += NS_PER_SEC
+            return detector.process("/s", SensorReading(state["t"], 100))
+
+        benchmark(one)

@@ -1,0 +1,59 @@
+"""Microbenchmarks: storage backend comparison.
+
+Measures the three StorageBackend implementations on the ingest and
+query patterns the Collect Agent generates, quantifying what the
+wide-column design buys over the SQLite alternative (the paper's
+argument for Cassandra-style storage: "high ingest and retrieval
+performance for this kind of streaming data", section 3.1).
+"""
+
+import pytest
+
+from repro.core.sid import SensorId
+from repro.storage.cluster import StorageCluster
+from repro.storage.memory import MemoryBackend
+from repro.storage.node import StorageNode
+from repro.storage.sqlite import SqliteBackend
+
+SIDS = [SensorId.from_codes([1, i]) for i in range(1, 51)]
+BATCH = [
+    (SIDS[i % 50], 1_000_000 * (i // 50), i, 0) for i in range(5_000)
+]  # 100 readings per sensor, interleaved like agent traffic
+
+
+def make_backend(kind: str):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend(":memory:")
+    return StorageCluster([StorageNode("a"), StorageNode("b")])
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "cluster"])
+class TestIngest:
+    def test_insert_batch_5k(self, benchmark, kind):
+        def run():
+            backend = make_backend(kind)
+            count = backend.insert_batch(BATCH)
+            backend.close()
+            return count
+
+        assert benchmark(run) == 5_000
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "cluster"])
+class TestQuery:
+    def test_range_query_after_bulk_load(self, benchmark, kind):
+        backend = make_backend(kind)
+        backend.insert_batch(BATCH)
+        backend.flush()
+
+        def run():
+            total = 0
+            for sid in SIDS[:10]:
+                ts, _vals = backend.query(sid, 0, 200_000_000)
+                total += ts.size
+            return total
+
+        assert benchmark(run) == 10 * 100
+        backend.close()

@@ -1,0 +1,208 @@
+"""Microbenchmarks of this reproduction's own components.
+
+These quantify the Python implementation itself with pytest-benchmark
+(real measured time, not the calibrated model): MQTT codec, topic
+routing, SID translation, payload framing, storage ingest and query,
+one full Pusher collection cycle, and virtual-sensor evaluation.
+"""
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core import payload as payload_mod
+from repro.core.sensor import SensorReading
+from repro.core.sid import SensorId, SidMapper
+from repro.mqtt import packets as pkt
+from repro.mqtt.topics import SubscriptionTree
+from repro.storage.node import StorageNode
+
+
+class TestMqttCodec:
+    def test_publish_encode(self, benchmark):
+        packet = pkt.Publish(
+            topic="/hpc/rack03/chassis1/node17/cpu12/instructions",
+            payload=b"\x00" * 16,
+            qos=1,
+            packet_id=77,
+        )
+        benchmark(packet.encode)
+
+    def test_publish_decode(self, benchmark):
+        data = pkt.Publish(
+            topic="/hpc/rack03/chassis1/node17/cpu12/instructions",
+            payload=b"\x00" * 16,
+            qos=1,
+            packet_id=77,
+        ).encode()
+        benchmark(pkt.decode_packet, data)
+
+    def test_stream_decoder_bulk(self, benchmark):
+        # 1000 readings' worth of publishes in one TCP chunk.
+        chunk = b"".join(
+            pkt.Publish(topic=f"/s/{i % 50}", payload=b"\x00" * 16).encode()
+            for i in range(1000)
+        )
+
+        def run():
+            decoder = pkt.StreamDecoder()
+            return len(decoder.feed(chunk))
+
+        assert benchmark(run) == 1000
+
+
+class TestTopicRouting:
+    def test_subscription_match_large_tree(self, benchmark):
+        tree = SubscriptionTree()
+        for rack in range(20):
+            for node in range(20):
+                tree.subscribe(f"/hpc/rack{rack}/node{node}/#", f"s{rack}-{node}")
+        tree.subscribe("/hpc/#", "storage")
+        result = benchmark(tree.match, "/hpc/rack7/node13/cpu5/instructions")
+        assert set(result.values()) == {0}
+        assert len(result) == 2
+
+
+class TestSidTranslation:
+    def test_topic_to_sid_cached(self, benchmark):
+        mapper = SidMapper()
+        for i in range(5000):
+            mapper.sid_for_topic(f"/hpc/rack{i % 20}/node{i % 100}/s{i}")
+        topic = "/hpc/rack7/node42/s1234"
+        mapper.sid_for_topic(topic)
+        benchmark(mapper.sid_for_topic, topic)
+
+    def test_topic_to_sid_first_sight(self, benchmark):
+        counter = [0]
+
+        def register():
+            mapper = SidMapper()
+            counter[0] += 1
+            return mapper.sid_for_topic(f"/a/b/c/new{counter[0]}")
+
+        benchmark(register)
+
+
+class TestPayloadFraming:
+    def test_encode_single(self, benchmark):
+        benchmark(payload_mod.encode_reading, 1_700_000_000_000_000_000, 42)
+
+    def test_decode_batch_of_60(self, benchmark):
+        readings = [SensorReading(i * NS_PER_SEC, i) for i in range(60)]
+        payload = payload_mod.encode_readings(readings)
+        assert len(benchmark(payload_mod.decode_readings, payload)) == 60
+
+
+class TestStorage:
+    def test_insert_batch_10k(self, benchmark):
+        sid = SensorId.from_codes([1, 2, 3])
+        items = [(sid, t, t, 0) for t in range(10_000)]
+
+        def run():
+            node = StorageNode(flush_threshold=1_000_000)
+            return node.insert_batch(items)
+
+        assert benchmark(run) == 10_000
+
+    def test_query_100k_rows(self, benchmark):
+        sid = SensorId.from_codes([1, 2, 3])
+        node = StorageNode()
+        node.insert_batch([(sid, t, t, 0) for t in range(100_000)])
+        node.flush()
+
+        def run():
+            ts, vals = node.query(sid, 25_000, 75_000)
+            return ts.size
+
+        assert benchmark(run) == 50_001
+
+    def test_compaction_of_8_segments(self, benchmark):
+        sid = SensorId.from_codes([1, 1])
+
+        def run():
+            node = StorageNode()
+            for segment in range(8):
+                node.insert_batch(
+                    [(sid, segment * 10_000 + t, t, 0) for t in range(10_000)]
+                )
+                node.flush()
+            node.compact()
+            return node.segment_count
+
+        assert benchmark(run) == 1
+
+
+class TestPipeline:
+    def test_full_pusher_cycle_1000_sensors(self, benchmark):
+        """One synchronized collection+publish cycle at Figure-5 scale."""
+        from repro.core.pusher import Pusher, PusherConfig
+        from repro.mqtt.inproc import InProcClient, InProcHub
+
+        hub = InProcHub(allow_subscribe=False)
+        clock = SimClock(0)
+        pusher = Pusher(
+            PusherConfig(mqtt_prefix="/bench/h0"),
+            client=InProcClient("p", hub),
+            clock=clock,
+        )
+        pusher.load_plugin("tester", "group g { interval 1000\n numSensors 1000 }")
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        state = {"t": 0}
+
+        def cycle():
+            state["t"] += NS_PER_SEC
+            return pusher.advance_to(state["t"])
+
+        assert benchmark(cycle) == 1
+
+    def test_agent_ingest_throughput(self, benchmark):
+        """Readings/second the Python Collect Agent sustains in-proc."""
+        from repro.core.collectagent import CollectAgent
+        from repro.mqtt.inproc import InProcClient, InProcHub
+        from repro.storage import MemoryBackend
+
+        hub = InProcHub(allow_subscribe=False)
+        agent = CollectAgent(MemoryBackend(), broker=hub)
+        client = InProcClient("p", hub)
+        client.connect()
+        payloads = [
+            (f"/t/h0/g/s{i}", payload_mod.encode_reading(i * 1000, i))
+            for i in range(1000)
+        ]
+
+        def blast():
+            for topic, payload in payloads:
+                client.publish(topic, payload)
+            return 1000
+
+        benchmark(blast)
+        assert agent.decode_errors == 0
+
+
+class TestVirtualSensors:
+    def test_evaluate_sum_over_32_sensors(self, benchmark):
+        from repro.core.sid import SidMapper
+        from repro.libdcdb.api import DCDBClient
+        from repro.libdcdb.virtualsensors import VirtualSensorDef
+        from repro.storage.memory import MemoryBackend
+
+        backend = MemoryBackend()
+        mapper = SidMapper()
+        for i in range(32):
+            topic = f"/vb/node{i}/power"
+            sid = mapper.sid_for_topic(topic)
+            backend.put_metadata(f"sidmap{topic}", sid.hex())
+            backend.insert_batch(
+                [(sid, t * NS_PER_SEC, 200 + i, 0) for t in range(1, 601)]
+            )
+        client = DCDBClient(backend)
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="total", expression="sum(</vb>)", unit="W")
+        )
+
+        def run():
+            ts, vals = client.evaluate_virtual("total", NS_PER_SEC, 600 * NS_PER_SEC)
+            return vals
+
+        vals = benchmark(run)
+        assert vals[0] == sum(200 + i for i in range(32))

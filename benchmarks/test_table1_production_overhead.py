@@ -1,0 +1,113 @@
+"""Table 1: production-configuration overhead on three LRZ systems.
+
+Paper: per-node Pusher configurations (plugins + sensor counts) on
+SuperMUC-NG (Skylake), CooLMUC-2 (Haswell) and CooLMUC-3 (KNL), with
+average overhead vs single-node HPL of 1.77 %, 0.69 % and 4.14 %.
+
+Regeneration: build the production Pusher configuration for each
+architecture (the real plugin pipeline, synthetic counter sources),
+count its sensors, and evaluate the overhead model under the paper's
+measurement protocol (median of 10 noisy runs).
+
+Shape assertions: per-architecture overhead within ±0.5 pp of the
+paper's number, and the ordering Haswell < Skylake < KNL.
+"""
+
+import pytest
+
+from conftest import emit, format_table
+from repro.simulation.architectures import ARCHITECTURES
+from repro.simulation.overhead import MeasurementProtocol, OverheadModel, PusherSetup
+
+
+def run_table1():
+    protocol = MeasurementProtocol(seed=2019)
+    rows = []
+    measured = {}
+    for name, arch in ARCHITECTURES.items():
+        model = OverheadModel(arch)
+        setup = PusherSetup(
+            sensors=arch.production_sensors, interval_ms=1000, mode="production"
+        )
+        true_overhead = model.compute_overhead_pct(setup)
+        observed = protocol.measure(true_overhead, f"table1/{name}")
+        measured[name] = observed
+        rows.append(
+            [
+                arch.system,
+                f"{arch.nodes}/{name}",
+                arch.cpu_model,
+                ", ".join(arch.production_plugins),
+                arch.production_sensors,
+                f"{observed:.2f}%",
+                f"{arch.reported_overhead_pct:.2f}%",
+            ]
+        )
+    return rows, measured
+
+
+def test_table1_shape(benchmark):
+    rows, measured = benchmark(run_table1)
+    emit(
+        "Table 1: per-system production Pusher configuration and HPL overhead",
+        format_table(
+            ["System", "Nodes/Arch", "CPU", "Plugins", "Sensors", "Overhead", "Paper"],
+            rows,
+        ),
+    )
+    for name, arch in ARCHITECTURES.items():
+        assert measured[name] == pytest.approx(arch.reported_overhead_pct, abs=0.5)
+    assert measured["haswell"] < measured["skylake"] < measured["knl"]
+
+
+def test_table1_production_pipeline_sensor_scale(benchmark):
+    """The real plugin stack supports sensors at Table-1 scale.
+
+    Builds a perfevents+tester configuration with the Skylake sensor
+    count through the actual Pusher and verifies one full collection
+    cycle at 1 s completes and publishes every sensor.
+    """
+    from repro.common.timeutil import NS_PER_SEC, SimClock
+    from repro.core.pusher import Pusher, PusherConfig
+    from repro.mqtt.inproc import InProcClient, InProcHub
+
+    arch = ARCHITECTURES["skylake"]
+
+    def run():
+        hub = InProcHub(allow_subscribe=False)
+        pusher = Pusher(
+            PusherConfig(mqtt_prefix="/smng/node0"),
+            client=InProcClient("p", hub),
+            clock=SimClock(0),
+        )
+        cpus = arch.logical_cpus  # 96 logical CPUs
+        # Perfevents: 5 events x 96 cpus = 480 per-core sensors.
+        events = [
+            "instructions",
+            "cycles",
+            "cache-misses",
+            "branch-misses",
+            "page-faults",
+        ]
+        perf_cfg = "\n".join(
+            f"group {e} {{ interval 1000\n counter {e}\n cpus 0-{cpus - 1} }}"
+            for e in events
+        )
+        pusher.load_plugin("perfevents", perf_cfg)
+        # Remaining production sensors (procfs/sysfs/opa) stand in via
+        # the tester plugin, as in the paper's core configuration.
+        remaining = arch.production_sensors - pusher.sensor_count
+        pusher.load_plugin(
+            "tester", f"group sysmetrics {{ interval 1000\n numSensors {remaining} }}"
+        )
+        assert pusher.sensor_count == arch.production_sensors
+        pusher.client.connect()
+        for alias in list(pusher.plugins):
+            pusher.start_plugin(alias)
+        pusher.advance_to(2 * NS_PER_SEC)
+        # Delta (perf) sensors skip the first cycle; everything else
+        # publishes both cycles.
+        return pusher.readings_collected, remaining, len(events) * cpus
+
+    collected, remaining, perf_sensors = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert collected == 2 * remaining + perf_sensors

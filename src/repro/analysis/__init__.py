@@ -1,0 +1,12 @@
+"""Statistical helpers used by the experiment harnesses.
+
+* :mod:`repro.analysis.density` — Gaussian kernel density estimation
+  for the Figure 10 probability-density plots.
+* :mod:`repro.analysis.regression` — linear fits with goodness-of-fit
+  for the Figure 7 scaling model.
+"""
+
+from repro.analysis.density import kde_pdf, distribution_modes
+from repro.analysis.regression import linear_fit, LinearFit
+
+__all__ = ["kde_pdf", "distribution_modes", "linear_fit", "LinearFit"]

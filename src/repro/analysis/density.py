@@ -1,0 +1,61 @@
+"""Kernel density estimation for application characterization.
+
+Figure 10 of the paper shows "the fitted probability density function"
+of each application's instructions-per-Watt time series.  These
+helpers compute the same curves (Gaussian KDE via scipy) and extract
+modality — the property distinguishing LAMMPS/AMG ("multiple trends")
+from Kripke/Quicksilver (single dominant mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.common.errors import QueryError
+
+
+def kde_pdf(
+    samples: np.ndarray, grid: np.ndarray | None = None, points: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian KDE of ``samples``; returns (grid, density).
+
+    When ``grid`` is omitted, one spanning the sample range with 10 %
+    margins is built.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size < 3:
+        raise QueryError("KDE needs at least three samples")
+    if samples.std() == 0:
+        raise QueryError("KDE of a constant series is degenerate")
+    kde = stats.gaussian_kde(samples)
+    if grid is None:
+        lo, hi = samples.min(), samples.max()
+        margin = 0.1 * (hi - lo)
+        grid = np.linspace(lo - margin, hi + margin, points)
+    return grid, kde(grid)
+
+
+def distribution_modes(
+    samples: np.ndarray, points: int = 512, min_prominence: float = 0.08
+) -> list[float]:
+    """Locations of the KDE's local maxima (distribution modes).
+
+    A mode must rise ``min_prominence`` of the global peak above its
+    surrounding minima to count, filtering noise wiggles.  Used to
+    assert Figure 10's modality: multimodal LAMMPS/AMG vs unimodal
+    Kripke/Quicksilver.
+    """
+    grid, density = kde_pdf(samples, points=points)
+    peak = density.max()
+    modes: list[float] = []
+    for i in range(1, len(density) - 1):
+        if density[i] >= density[i - 1] and density[i] > density[i + 1]:
+            # Prominence: height above the higher of the two flanking
+            # minima reachable without climbing over a higher peak.
+            left_min = density[:i].min() if i > 0 else density[i]
+            right_min = density[i + 1 :].min() if i + 1 < len(density) else density[i]
+            prominence = density[i] - max(left_min, right_min)
+            if prominence >= min_prominence * peak:
+                modes.append(float(grid[i]))
+    return modes

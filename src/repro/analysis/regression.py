@@ -1,0 +1,39 @@
+"""Linear regression with goodness-of-fit.
+
+Backs Figure 7's performance-scaling analysis: the paper fits CPU load
+against sensor rate per architecture and concludes "Pushers follow a
+distinctly linear scaling curve on all architectures", which licenses
+Equation 1's interpolation.  The benchmark asserts the same via r².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """Result of a least-squares line fit."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Ordinary least squares y = slope*x + intercept, with r²."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two equal-length samples of at least 2 points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(float(slope), float(intercept), r2)

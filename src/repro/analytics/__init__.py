@@ -1,0 +1,59 @@
+"""Streaming data-analytics layer (the paper's future work, section 9).
+
+Paper: *"we plan to implement a streaming data analytics layer
+highly-integrated in our framework, which will offer novel
+abstractions to aid in the implementation of algorithms for many data
+analytics applications in HPC, such as energy efficiency optimization
+or anomaly detection.  This framework will be able to fetch live
+sensor data and perform online data analytics at the Collect Agent or
+Pusher level."*  (In the DCDB lineage this became the Wintermute
+framework; we implement the architecture the paper sketches.)
+
+Abstractions:
+
+* :class:`~repro.analytics.operator.StreamOperator` — consumes live
+  ``(topic, reading)`` events matched by MQTT-style input patterns and
+  emits derived readings under its own output topics.
+* :class:`~repro.analytics.manager.AnalyticsManager` — hosts a set of
+  operators, attaches to a Pusher (via its collect hook) or a Collect
+  Agent (via the broker's publish hook), routes events, stores and/or
+  re-publishes operator outputs, and keeps the alarm log.
+
+Built-in operators (:mod:`repro.analytics.operators`):
+
+==================  =================================================
+``MovingAverage``   sliding-window mean per input sensor
+``EmaSmoother``     exponential smoothing per input sensor
+``RateOfChange``    per-reading finite-difference rate (units/s)
+``Aggregator``      sum/avg/min/max across sensors per time bucket
+``ZScoreDetector``  online anomaly detection (rolling mean ± k·sigma)
+``ThresholdAlarm``  hysteresis alarm raising/clearing alarm events
+==================  =================================================
+"""
+
+from repro.analytics.operator import StreamOperator, OutputReading
+from repro.analytics.manager import AnalyticsManager, AlarmEvent
+from repro.analytics.config import manager_from_config, build_operator
+from repro.analytics.operators import (
+    MovingAverage,
+    EmaSmoother,
+    RateOfChange,
+    Aggregator,
+    ZScoreDetector,
+    ThresholdAlarm,
+)
+
+__all__ = [
+    "StreamOperator",
+    "OutputReading",
+    "manager_from_config",
+    "build_operator",
+    "AnalyticsManager",
+    "AlarmEvent",
+    "MovingAverage",
+    "EmaSmoother",
+    "RateOfChange",
+    "Aggregator",
+    "ZScoreDetector",
+    "ThresholdAlarm",
+]

@@ -1,0 +1,119 @@
+"""Configuration-file-driven analytics.
+
+Operators configure like Pusher plugins, in the same property-tree
+INFO format (keeping the "intuitive property tree format" promise of
+paper section 4.1 for the analytics layer too)::
+
+    operator rack_power {
+        type    aggregator
+        input   /hpc/rack0/+/power
+        input   /hpc/rack1/+/power
+        output  total
+        func    sum
+        bucket  1000            ; ms
+    }
+    operator smooth_temps {
+        type    ema
+        input   /hpc/+/+/temp
+        alpha   0.1
+    }
+    operator overheat {
+        type    threshold
+        input   /hpc/+/+/temp
+        high    90000
+        low     85000
+    }
+    operator weird_power {
+        type    zscore
+        input   /hpc/#
+        window  60
+        threshold 5.0
+    }
+    operator power_rate {
+        type    rate
+        input   /hpc/+/+/energy
+        scale   1000
+    }
+    operator avg_power {
+        type    movingavg
+        input   /hpc/+/+/power
+        window  10
+    }
+
+:func:`manager_from_config` builds a fully-populated
+:class:`~repro.analytics.manager.AnalyticsManager` from such text.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.proptree import PropertyTree, parse_info
+from repro.common.timeutil import NS_PER_MS
+from repro.analytics.manager import AnalyticsManager
+from repro.analytics.operator import StreamOperator
+from repro.analytics.operators import (
+    Aggregator,
+    EmaSmoother,
+    MovingAverage,
+    RateOfChange,
+    ThresholdAlarm,
+    ZScoreDetector,
+)
+
+
+def _inputs_of(node: PropertyTree, name: str) -> list[str]:
+    inputs = [child.value for key, child in node.children("input")]
+    if not inputs:
+        raise ConfigError(f"operator {name!r} declares no inputs")
+    return inputs
+
+
+def build_operator(name: str, node: PropertyTree) -> StreamOperator:
+    """Construct one operator from its config block."""
+    op_type = node.get("type")
+    if op_type is None:
+        raise ConfigError(f"operator {name!r} has no type")
+    inputs = _inputs_of(node, name)
+    if op_type == "movingavg":
+        return MovingAverage(name, inputs, window=node.get_int("window", 10))
+    if op_type == "ema":
+        return EmaSmoother(name, inputs, alpha=node.get_float("alpha", 0.2))
+    if op_type == "rate":
+        return RateOfChange(name, inputs, scale=node.get_float("scale", 1.0))
+    if op_type == "aggregator":
+        return Aggregator(
+            name,
+            inputs,
+            output=node.get("output", "aggregate"),
+            func=node.get("func", "sum"),
+            bucket_ns=node.get_int("bucket", 1000) * NS_PER_MS,
+        )
+    if op_type == "zscore":
+        return ZScoreDetector(
+            name,
+            inputs,
+            window=node.get_int("window", 30),
+            threshold=node.get_float("threshold", 4.0),
+        )
+    if op_type == "threshold":
+        high = node.get_float("high")
+        if high is None:
+            raise ConfigError(f"threshold operator {name!r} needs a high value")
+        return ThresholdAlarm(name, inputs, high=high, low=node.get_float("low"))
+    raise ConfigError(f"operator {name!r}: unknown type {op_type!r}")
+
+
+def manager_from_config(source: str | PropertyTree) -> AnalyticsManager:
+    """Build an :class:`AnalyticsManager` from INFO text or a tree."""
+    tree = parse_info(source) if isinstance(source, str) else source
+    global_cfg = tree.child("global")
+    max_alarms = (
+        global_cfg.get_int("maxAlarms", 1000) if global_cfg is not None else 1000
+    )
+    manager = AnalyticsManager(max_alarms=max_alarms)
+    for _key, node in tree.children("operator"):
+        name = node.value
+        if not name:
+            raise ConfigError("operator block without a name")
+        manager.add_operator(build_operator(name, node))
+    return manager

@@ -1,0 +1,84 @@
+"""The streaming-operator abstraction.
+
+A :class:`StreamOperator` is the unit of online analytics: it declares
+MQTT-style input patterns, receives every live reading whose topic
+matches, and returns derived readings.  Operators are deliberately
+synchronous and per-event — the Collect Agent's ingest path calls them
+inline, mirroring how DCDB's analytics framework runs operators inside
+the monitoring daemons rather than as external consumers.
+
+Derived readings carry relative output topics (joined under the
+operator's namespace by the manager), so the same operator class can
+be instantiated several times without topic collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sensor import SensorReading
+from repro.mqtt.topics import topic_matches, validate_filter
+
+
+@dataclass(frozen=True, slots=True)
+class OutputReading:
+    """One derived data point emitted by an operator.
+
+    ``suffix`` is the output topic relative to the operator's
+    namespace (``/analytics/<operator-name>``); ``alarm`` marks
+    readings that should additionally be recorded as alarm events.
+    """
+
+    suffix: str
+    reading: SensorReading
+    alarm: bool = False
+    message: str = ""
+
+
+class StreamOperator:
+    """Base class of online analytics operators.
+
+    Subclasses implement :meth:`process`; the framework guarantees it
+    is called once per matching input reading, in arrival order per
+    sensor.  State is per-operator-instance; operators needing
+    per-sensor state key it by topic.
+    """
+
+    def __init__(self, name: str, inputs: list[str]) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"operator name {name!r} must be a single level")
+        for pattern in inputs:
+            validate_filter(pattern)
+        self.name = name
+        self.inputs = list(inputs)
+        self.events_in = 0
+        self.events_out = 0
+
+    def matches(self, topic: str) -> bool:
+        """True if this operator consumes ``topic``."""
+        return any(topic_matches(pattern, topic) for pattern in self.inputs)
+
+    # -- to be provided by concrete operators ----------------------------
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        """Consume one live reading; return derived readings."""
+        raise NotImplementedError
+
+    # -- optional lifecycle ------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop accumulated state (manager restart)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs})"
+
+
+def sanitize_suffix(topic: str) -> str:
+    """Derive a safe output suffix from an input topic.
+
+    ``/hpc/rack0/node1/power`` becomes ``hpc_rack0_node1_power`` — one
+    hierarchy level, so operator outputs stay flat under their
+    namespace regardless of input depth (the 8-level SID budget is
+    tight and operator outputs live two levels deep already).
+    """
+    return topic.strip("/").replace("/", "_")

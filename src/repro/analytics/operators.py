@@ -1,0 +1,300 @@
+"""Built-in streaming operators.
+
+Each implements one of the online-analytics building blocks the paper
+names (aggregation, smoothing, anomaly detection, alarms) as a
+:class:`~repro.analytics.operator.StreamOperator`.  All state is
+bounded (fixed windows / scalars per sensor), as required of code
+running inline in the monitoring daemons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sensor import SensorReading
+from repro.analytics.operator import OutputReading, StreamOperator, sanitize_suffix
+
+
+class MovingAverage(StreamOperator):
+    """Sliding-window mean per input sensor.
+
+    Emits ``<input>_avg`` with the mean of the last ``window`` values,
+    once the window is full — a plug-in smoother for noisy sensors.
+    """
+
+    def __init__(self, name: str, inputs: list[str], window: int = 10) -> None:
+        super().__init__(name, inputs)
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        self.window = window
+        self._values: dict[str, deque[int]] = {}
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        values = self._values.setdefault(topic, deque(maxlen=self.window))
+        values.append(reading.value)
+        if len(values) < self.window:
+            return []
+        self.events_out += 1
+        mean = int(round(sum(values) / len(values)))
+        return [
+            OutputReading(
+                f"{sanitize_suffix(topic)}_avg", SensorReading(reading.timestamp, mean)
+            )
+        ]
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class EmaSmoother(StreamOperator):
+    """Exponential moving average per input sensor.
+
+    ``alpha`` is the new-sample weight; smaller = smoother.  Emits
+    from the second sample on.
+    """
+
+    def __init__(self, name: str, inputs: list[str], alpha: float = 0.2) -> None:
+        super().__init__(name, inputs)
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._state: dict[str, float] = {}
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        previous = self._state.get(topic)
+        if previous is None:
+            self._state[topic] = float(reading.value)
+            return []
+        smoothed = self.alpha * reading.value + (1.0 - self.alpha) * previous
+        self._state[topic] = smoothed
+        self.events_out += 1
+        return [
+            OutputReading(
+                f"{sanitize_suffix(topic)}_ema",
+                SensorReading(reading.timestamp, int(round(smoothed))),
+            )
+        ]
+
+    def reset(self) -> None:
+        self._state.clear()
+
+
+class RateOfChange(StreamOperator):
+    """Finite-difference rate per input sensor, in value-units/second.
+
+    Turns monotonic meters into rates online (energy -> power) without
+    waiting for a query-time derivative.  ``scale`` multiplies the
+    rate before integer rounding (e.g. 1000 for milli-resolution).
+    """
+
+    def __init__(self, name: str, inputs: list[str], scale: float = 1.0) -> None:
+        super().__init__(name, inputs)
+        self.scale = scale
+        self._last: dict[str, SensorReading] = {}
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        last = self._last.get(topic)
+        self._last[topic] = reading
+        if last is None or reading.timestamp <= last.timestamp:
+            return []
+        rate = (
+            (reading.value - last.value)
+            / ((reading.timestamp - last.timestamp) / NS_PER_SEC)
+        )
+        self.events_out += 1
+        return [
+            OutputReading(
+                f"{sanitize_suffix(topic)}_rate",
+                SensorReading(reading.timestamp, int(round(rate * self.scale))),
+            )
+        ]
+
+    def reset(self) -> None:
+        self._last.clear()
+
+
+class Aggregator(StreamOperator):
+    """Cross-sensor aggregation per time bucket.
+
+    Collects one value per matching sensor within each
+    ``bucket_ns``-aligned window and emits the aggregate under
+    ``output`` when the *next* bucket opens (sensors are synchronized
+    in DCDB, so a bucket is complete once a later timestamp arrives).
+    This is the online form of the virtual-sensor sum — e.g. live
+    total power of a rack for a power-capping control loop.
+    """
+
+    FUNCS = ("sum", "avg", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[str],
+        output: str = "aggregate",
+        func: str = "sum",
+        bucket_ns: int = NS_PER_SEC,
+    ) -> None:
+        super().__init__(name, inputs)
+        if func not in self.FUNCS:
+            raise ConfigError(f"unknown aggregation {func!r}")
+        if bucket_ns <= 0:
+            raise ConfigError("bucket must be positive")
+        self.output = output
+        self.func = func
+        self.bucket_ns = bucket_ns
+        self._bucket: int | None = None
+        self._values: dict[str, int] = {}
+
+    def _emit(self) -> list[OutputReading]:
+        if self._bucket is None or not self._values:
+            return []
+        values = list(self._values.values())
+        if self.func == "sum":
+            out = sum(values)
+        elif self.func == "avg":
+            out = sum(values) / len(values)
+        elif self.func == "min":
+            out = min(values)
+        else:
+            out = max(values)
+        timestamp = (self._bucket + 1) * self.bucket_ns
+        self.events_out += 1
+        self._values.clear()
+        return [OutputReading(self.output, SensorReading(timestamp, int(round(out))))]
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        bucket = reading.timestamp // self.bucket_ns
+        emitted: list[OutputReading] = []
+        if self._bucket is not None and bucket > self._bucket:
+            emitted = self._emit()
+        if self._bucket is None or bucket > self._bucket:
+            self._bucket = bucket
+        if bucket == self._bucket:
+            self._values[topic] = reading.value  # last value per sensor wins
+        return emitted
+
+    def flush(self) -> list[OutputReading]:
+        """Emit the current (possibly partial) bucket."""
+        out = self._emit()
+        self._bucket = None
+        return out
+
+    def reset(self) -> None:
+        self._bucket = None
+        self._values.clear()
+
+
+class ZScoreDetector(StreamOperator):
+    """Online anomaly detection via rolling mean and deviation.
+
+    Keeps a per-sensor window; a reading further than ``threshold``
+    standard deviations from the window mean emits an anomaly flag
+    reading (value 1) marked as an alarm.  Anomalous samples are not
+    folded into the statistics, so a fault does not normalize itself.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[str],
+        window: int = 30,
+        threshold: float = 4.0,
+        min_sigma: float = 1e-9,
+    ) -> None:
+        super().__init__(name, inputs)
+        if window < 3:
+            raise ConfigError("window must be >= 3")
+        self.window = window
+        self.threshold = threshold
+        self.min_sigma = min_sigma
+        self._values: dict[str, deque[float]] = {}
+        self.anomalies = 0
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        values = self._values.setdefault(topic, deque(maxlen=self.window))
+        if len(values) >= max(3, self.window // 2):
+            n = len(values)
+            mean = sum(values) / n
+            variance = sum((v - mean) ** 2 for v in values) / n
+            sigma = max(variance**0.5, self.min_sigma, abs(mean) * 1e-6)
+            z = abs(reading.value - mean) / sigma
+            if z > self.threshold:
+                self.anomalies += 1
+                self.events_out += 1
+                return [
+                    OutputReading(
+                        f"{sanitize_suffix(topic)}_anomaly",
+                        SensorReading(reading.timestamp, 1),
+                        alarm=True,
+                        message=(
+                            f"{topic}: value {reading.value} deviates "
+                            f"{z:.1f} sigma from rolling mean {mean:.1f}"
+                        ),
+                    )
+                ]
+        values.append(float(reading.value))
+        return []
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class ThresholdAlarm(StreamOperator):
+    """Hysteresis alarm on a sensor's value.
+
+    Raises when the value crosses ``high`` and clears only when it
+    falls below ``low`` (hysteresis prevents flapping on a noisy
+    signal).  Emits state *transitions* as alarm readings (1 = raised,
+    0 = cleared) — the paper's power-band use case: "as soon as power
+    exceeds a given bound, corrective actions must be taken".
+    """
+
+    def __init__(
+        self, name: str, inputs: list[str], high: float, low: float | None = None
+    ) -> None:
+        super().__init__(name, inputs)
+        self.high = high
+        self.low = low if low is not None else high * 0.95
+        if self.low > self.high:
+            raise ConfigError("low threshold must not exceed high threshold")
+        self._raised: dict[str, bool] = {}
+        self.transitions = 0
+
+    def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
+        self.events_in += 1
+        raised = self._raised.get(topic, False)
+        if not raised and reading.value > self.high:
+            self._raised[topic] = True
+            self.transitions += 1
+            self.events_out += 1
+            return [
+                OutputReading(
+                    f"{sanitize_suffix(topic)}_alarm",
+                    SensorReading(reading.timestamp, 1),
+                    alarm=True,
+                    message=f"{topic}: {reading.value} exceeded {self.high}",
+                )
+            ]
+        if raised and reading.value < self.low:
+            self._raised[topic] = False
+            self.transitions += 1
+            self.events_out += 1
+            return [
+                OutputReading(
+                    f"{sanitize_suffix(topic)}_alarm",
+                    SensorReading(reading.timestamp, 0),
+                    alarm=True,
+                    message=f"{topic}: recovered below {self.low}",
+                )
+            ]
+        return []
+
+    def reset(self) -> None:
+        self._raised.clear()

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the DCDB reproduction.
+
+This package hosts the building blocks every other subsystem relies on:
+
+* :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.timeutil` -- nanosecond timestamps and interval
+  alignment helpers (DCDB synchronizes sensor reads across Pushers via
+  NTP; we reproduce the alignment arithmetic).
+* :mod:`repro.common.units` -- the unit/scaling system used by sensors
+  and virtual sensors for automatic conversion.
+* :mod:`repro.common.proptree` -- a parser for the boost-property-tree
+  style ``INFO`` configuration format that DCDB's Pushers use.
+* :mod:`repro.common.rng` -- deterministic random-stream management for
+  the simulation substrate.
+"""
+
+from repro.common.errors import (
+    DCDBError,
+    ConfigError,
+    TransportError,
+    StorageError,
+    QueryError,
+    PluginError,
+    UnitError,
+)
+from repro.common.timeutil import (
+    NS_PER_SEC,
+    NS_PER_MS,
+    NS_PER_US,
+    Timestamp,
+    align_interval,
+    from_seconds,
+    to_seconds,
+)
+from repro.common.units import Unit, UnitConverter, get_converter
+from repro.common.proptree import PropertyTree, parse_info, dump_info
+
+__all__ = [
+    "DCDBError",
+    "ConfigError",
+    "TransportError",
+    "StorageError",
+    "QueryError",
+    "PluginError",
+    "UnitError",
+    "NS_PER_SEC",
+    "NS_PER_MS",
+    "NS_PER_US",
+    "Timestamp",
+    "align_interval",
+    "from_seconds",
+    "to_seconds",
+    "Unit",
+    "UnitConverter",
+    "get_converter",
+    "PropertyTree",
+    "parse_info",
+    "dump_info",
+]

@@ -1,0 +1,148 @@
+"""Minimal JSON-over-HTTP server and client helpers.
+
+DCDB's Pushers and Collect Agents expose RESTful APIs (paper
+section 5.3) for configuration tasks and sensor-cache access.  This
+module is the shared plumbing: a threaded HTTP server with a simple
+route table returning JSON, and a blocking client for tools and tests.
+Kept deliberately tiny — routing and (de)serialization only, no
+framework semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+#: A route handler: (path_params, query_params, body) -> (status, payload).
+RouteHandler = Callable[[dict, dict, bytes], tuple[int, object]]
+
+
+class JsonHttpServer:
+    """A route-table HTTP server speaking JSON.
+
+    Routes are registered as ``(method, pattern)`` where pattern
+    segments beginning with ``:`` capture path parameters::
+
+        server.route("GET", "/plugins", list_plugins)
+        server.route("POST", "/plugins/:name/start", start_plugin)
+
+    Handlers return ``(status_code, json_serializable)``.  Exceptions
+    become 500s with the error message in the body; this API is for
+    trusted management networks, matching DCDB's deployment model.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._routes: list[tuple[str, list[str], RouteHandler]] = []
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def route(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        segments = [s for s in pattern.split("/") if s]
+        self._routes.append((method.upper(), segments, handler))
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, object]:
+        parsed = urllib.parse.urlparse(path)
+        segments = [s for s in parsed.path.split("/") if s]
+        query = {k: v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()}
+        for route_method, pattern, handler in self._routes:
+            if route_method != method or len(pattern) != len(segments):
+                continue
+            params: dict[str, str] = {}
+            matched = True
+            for pat, seg in zip(pattern, segments):
+                if pat.startswith(":"):
+                    params[pat[1:]] = urllib.parse.unquote(seg)
+                elif pat != seg:
+                    matched = False
+                    break
+            if matched:
+                try:
+                    return handler(params, query, body)
+                except Exception as exc:  # noqa: BLE001 - surfaced as HTTP 500
+                    return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return 404, {"error": f"no route for {method} {parsed.path}"}
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            return
+        dispatch = self._dispatch
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _respond(self, method: str) -> None:
+                length = int(self.headers.get("Content-Length", "0") or "0")
+                body = self.rfile.read(length) if length else b""
+                status, payload = dispatch(method, self.path, body)
+                data = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                self._respond("GET")
+
+            def do_POST(self) -> None:  # noqa: N802
+                self._respond("POST")
+
+            def do_PUT(self) -> None:  # noqa: N802
+                self._respond("PUT")
+
+            def do_DELETE(self) -> None:  # noqa: N802
+                self._respond("DELETE")
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # management API; request logging handled upstream
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="rest-api", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "JsonHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def http_json(
+    method: str, url: str, body: object | None = None, timeout: float = 5.0
+) -> tuple[int, object]:
+    """Perform one JSON HTTP request; returns (status, decoded body)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method.upper())
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read() or b"null")
+        except json.JSONDecodeError:
+            payload = None
+        return exc.code, payload

@@ -1,0 +1,289 @@
+"""Property-tree configuration format.
+
+DCDB configures Pushers through boost::property_tree ``INFO`` files
+(paper section 4.1): an intuitive nested key/value format::
+
+    global {
+        mqttBroker   localhost:1883
+        mqttprefix   /system/rack0/node7
+        threads      2
+    }
+
+    template_group perf_defaults {
+        interval     1000
+        minValues    3
+    }
+
+    group cache_events {
+        default      perf_defaults
+        sensor l1_misses {
+            mqttsuffix   /l1m
+            unit         count
+        }
+    }
+
+This module is a from-scratch parser/emitter for that format.  A
+:class:`PropertyTree` is an ordered multimap: a key may appear several
+times (e.g. many ``group`` nodes) and order is preserved.  Values are
+strings; typed accessors perform conversion at the call site, which is
+where the meaningful error message lives.
+
+Grammar notes (matching boost's INFO reader closely enough for DCDB
+configs):
+
+* a line is ``key [value]`` optionally followed by ``{`` to open a
+  child scope; ``}`` closes the scope;
+* keys and values may be double-quoted to embed whitespace;
+* ``;`` starts a comment running to end of line;
+* blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+
+
+class PropertyTree:
+    """An ordered key/value multimap with nested children.
+
+    Mirrors the subset of ``boost::property_tree::ptree`` DCDB uses.
+    """
+
+    __slots__ = ("value", "_children")
+
+    def __init__(self, value: str = "") -> None:
+        self.value = value
+        self._children: list[tuple[str, "PropertyTree"]] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, key: str, value: "PropertyTree | str" = "") -> "PropertyTree":
+        """Append a child under ``key`` and return it.
+
+        ``value`` may be a ready-made subtree or a plain string value.
+        """
+        node = value if isinstance(value, PropertyTree) else PropertyTree(str(value))
+        self._children.append((key, node))
+        return node
+
+    def put(self, path: str, value: str) -> "PropertyTree":
+        """Set ``path`` (dot-separated) to ``value``, creating nodes.
+
+        If the final key already exists, its value is replaced (first
+        occurrence); otherwise it is appended.
+        """
+        node = self
+        parts = path.split(".")
+        for part in parts[:-1]:
+            child = node.child(part)
+            if child is None:
+                child = node.add(part)
+            node = child
+        leaf = node.child(parts[-1])
+        if leaf is None:
+            leaf = node.add(parts[-1])
+        leaf.value = str(value)
+        return leaf
+
+    # -- access ---------------------------------------------------------
+
+    def child(self, key: str) -> "PropertyTree | None":
+        """First child named ``key``, or None."""
+        for k, node in self._children:
+            if k == key:
+                return node
+        return None
+
+    def children(self, key: str | None = None) -> Iterator[tuple[str, "PropertyTree"]]:
+        """Iterate ``(key, node)`` pairs; filtered to ``key`` if given."""
+        for k, node in self._children:
+            if key is None or k == key:
+                yield k, node
+
+    def get(self, path: str, default: str | None = None) -> str | None:
+        """Value at dot-separated ``path``, or ``default`` if absent."""
+        node = self
+        for part in path.split("."):
+            child = node.child(part)
+            if child is None:
+                return default
+            node = child
+        return node.value
+
+    def require(self, path: str) -> str:
+        """Like :meth:`get` but raises :class:`ConfigError` if absent."""
+        value = self.get(path)
+        if value is None:
+            raise ConfigError(f"missing required configuration key {path!r}")
+        return value
+
+    def get_int(self, path: str, default: int | None = None) -> int | None:
+        raw = self.get(path)
+        if raw is None or raw == "":
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigError(f"expected integer at {path!r}, got {raw!r}") from None
+
+    def get_float(self, path: str, default: float | None = None) -> float | None:
+        raw = self.get(path)
+        if raw is None or raw == "":
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError(f"expected number at {path!r}, got {raw!r}") from None
+
+    def get_bool(self, path: str, default: bool | None = None) -> bool | None:
+        raw = self.get(path)
+        if raw is None or raw == "":
+            return default
+        lowered = raw.strip().lower()
+        if lowered in ("true", "on", "1", "yes"):
+            return True
+        if lowered in ("false", "off", "0", "no"):
+            return False
+        raise ConfigError(f"expected boolean at {path!r}, got {raw!r}")
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __bool__(self) -> bool:
+        # A node is truthy if it carries a value or any children; this
+        # lets callers write ``if tree.child("group"):`` naturally.
+        return bool(self.value) or bool(self._children)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyTree):
+            return NotImplemented
+        return self.value == other.value and self._children == other._children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PropertyTree(value={self.value!r}, children={len(self._children)})"
+
+
+# -- tokenizer ----------------------------------------------------------
+
+
+def _tokenize_line(line: str, lineno: int) -> list[str]:
+    """Split one line into tokens, honouring quotes and ; comments."""
+    tokens: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch in " \t":
+            i += 1
+            continue
+        if ch == ";":
+            break
+        if ch == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if line[j] == "\\" and j + 1 < n:
+                    # Only quote and backslash are escapes; any other
+                    # backslash stays literal so regex values like
+                    # "\d+" survive quoting.
+                    if line[j + 1] in ('"', "\\"):
+                        buf.append(line[j + 1])
+                    else:
+                        buf.append(line[j])
+                        buf.append(line[j + 1])
+                    j += 2
+                    continue
+                if line[j] == '"':
+                    break
+                buf.append(line[j])
+                j += 1
+            else:
+                raise ConfigError(f"line {lineno}: unterminated quoted string")
+            tokens.append("".join(buf))
+            i = j + 1
+            continue
+        if ch in "{}":
+            tokens.append(ch)
+            i += 1
+            continue
+        j = i
+        while j < n and line[j] not in ' \t;{}"':
+            j += 1
+        tokens.append(line[i:j])
+        i = j
+    return tokens
+
+
+def parse_info(text: str) -> PropertyTree:
+    """Parse INFO-format ``text`` into a :class:`PropertyTree`.
+
+    Raises :class:`ConfigError` with a line number on malformed input.
+    """
+    root = PropertyTree()
+    stack: list[PropertyTree] = [root]
+    # When a line ends in a key (no '{' yet), a following line holding
+    # only '{' opens that node's scope — boost allows this style.
+    pending: PropertyTree | None = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize_line(line, lineno)
+        idx = 0
+        while idx < len(tokens):
+            tok = tokens[idx]
+            if tok == "{":
+                if pending is None:
+                    raise ConfigError(f"line {lineno}: '{{' without a preceding key")
+                stack.append(pending)
+                pending = None
+                idx += 1
+                continue
+            if tok == "}":
+                if pending is not None:
+                    pending = None
+                if len(stack) == 1:
+                    raise ConfigError(f"line {lineno}: unmatched '}}'")
+                stack.pop()
+                idx += 1
+                continue
+            # A key, optionally followed by one value token, optionally
+            # '{'.  Several key/value pairs may share a line; values
+            # containing whitespace must be quoted (as in boost INFO).
+            key = tok
+            value = ""
+            idx += 1
+            if idx < len(tokens) and tokens[idx] not in ("{", "}"):
+                value = tokens[idx]
+                idx += 1
+            pending = stack[-1].add(key, value)
+    if len(stack) != 1:
+        raise ConfigError("unexpected end of input: unclosed '{'")
+    return root
+
+
+def _needs_quoting(s: str) -> bool:
+    return s == "" or any(c in s for c in ' \t;{}"')
+
+
+def _quote(s: str) -> str:
+    if _needs_quoting(s):
+        escaped = s.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return s
+
+
+def dump_info(tree: PropertyTree, indent: int = 0) -> str:
+    """Serialize ``tree`` back to INFO format (inverse of parse_info)."""
+    lines: list[str] = []
+    pad = "    " * indent
+    for key, node in tree.children():
+        head = f"{pad}{_quote(key)}"
+        if node.value:
+            head += f" {_quote(node.value)}"
+        if len(node):
+            lines.append(head + " {")
+            lines.append(dump_info(node, indent + 1))
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(head)
+    return "\n".join(line for line in lines if line != "")

@@ -1,0 +1,131 @@
+"""Timestamp handling and read-interval alignment.
+
+DCDB stores every reading with a nanosecond UNIX timestamp and
+synchronizes sensor reads *across plugins and Pushers* so that parallel
+applications on different nodes are interrupted at the same instant
+(paper section 4.1).  The synchronization primitive is simple: every
+group's next read time is the next multiple of its sampling interval on
+the global (NTP-disciplined) clock.  Two groups with the same interval
+therefore always fire together, regardless of when they were started.
+
+We reproduce that arithmetic here.  Timestamps are plain ``int``
+nanoseconds — cheap to produce, exact to compare, and trivially
+serializable — wrapped in a tiny value class only where a distinct
+type helps readability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+NS_PER_SEC = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+def now_ns() -> int:
+    """Current wall-clock time as integer nanoseconds since the epoch."""
+    return time.time_ns()
+
+
+def from_seconds(seconds: float) -> int:
+    """Convert floating-point seconds to integer nanoseconds."""
+    return int(round(seconds * NS_PER_SEC))
+
+
+def to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point seconds."""
+    return ns / NS_PER_SEC
+
+
+def from_millis(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(ms * NS_PER_MS))
+
+
+def align_interval(t_ns: int, interval_ns: int) -> int:
+    """Return the first multiple of ``interval_ns`` at or after ``t_ns``.
+
+    This is the synchronized-read rule: a group with a 1 s interval
+    started at 12:00:00.3 first fires at 12:00:01.0 and then at every
+    whole second, so it is phase-aligned with every other 1 s group in
+    the facility.
+
+    Raises :class:`ValueError` for non-positive intervals.
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval must be positive, got {interval_ns}")
+    remainder = t_ns % interval_ns
+    if remainder == 0:
+        return t_ns
+    return t_ns + (interval_ns - remainder)
+
+
+def next_read_time(t_ns: int, interval_ns: int) -> int:
+    """Return the first multiple of ``interval_ns`` strictly after ``t_ns``."""
+    aligned = align_interval(t_ns, interval_ns)
+    if aligned == t_ns:
+        return t_ns + interval_ns
+    return aligned
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Timestamp:
+    """A nanosecond timestamp with convenience constructors.
+
+    Most hot paths pass bare ``int`` nanoseconds; :class:`Timestamp` is
+    the user-facing representation in query results and CLI output.
+    """
+
+    ns: int
+
+    @classmethod
+    def now(cls) -> "Timestamp":
+        return cls(now_ns())
+
+    @classmethod
+    def from_seconds(cls, seconds: float) -> "Timestamp":
+        return cls(from_seconds(seconds))
+
+    def to_seconds(self) -> float:
+        return to_seconds(self.ns)
+
+    def isoformat(self) -> str:
+        """Render as an ISO-8601 UTC string with nanosecond suffix."""
+        secs, frac = divmod(self.ns, NS_PER_SEC)
+        base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(secs))
+        return f"{base}.{frac:09d}Z"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.isoformat()
+
+
+class SimClock:
+    """A manually-advanced clock for deterministic simulation and tests.
+
+    Components take a ``clock`` callable returning nanoseconds; in
+    production that is :func:`now_ns`, in simulation it is an instance
+    of this class, letting tests drive sampling loops without sleeping.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now = start_ns
+
+    def __call__(self) -> int:
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Move the clock forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError("cannot move a SimClock backwards")
+        self._now += delta_ns
+        return self._now
+
+    def set(self, t_ns: int) -> None:
+        """Jump directly to ``t_ns`` (must not move backwards)."""
+        if t_ns < self._now:
+            raise ValueError("cannot move a SimClock backwards")
+        self._now = t_ns

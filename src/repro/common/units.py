@@ -1,0 +1,189 @@
+"""Sensor units and automatic conversion.
+
+DCDB's virtual sensors convert the units of underlying physical
+sensors automatically (paper section 3.2): a virtual sensor summing a
+``mW`` PDU channel and a ``kW`` rack meter must bring both to a common
+base before adding.  The conversion machinery here mirrors DCDB's
+``dcdb/unitconv``: a unit is a (dimension, scale) pair and conversion
+within a dimension is multiplication by a scale ratio.
+
+The catalogue covers the units that the paper's plugins emit: power,
+energy, temperature, flow, bandwidth, event counts and utilization
+fractions.  Temperature is affine (Celsius/Fahrenheit/Kelvin) and is
+handled with explicit offset terms rather than bare ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class Unit:
+    """A measurement unit.
+
+    ``dimension`` names the physical quantity ("power", "energy", ...);
+    two units are convertible iff their dimensions match.  ``scale``
+    and ``offset`` map a value in this unit to the dimension's base
+    unit via ``base = value * scale + offset``.
+    """
+
+    symbol: str
+    dimension: str
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def to_base(self, value: float) -> float:
+        """Convert ``value`` from this unit into the dimension base unit."""
+        return value * self.scale + self.offset
+
+    def from_base(self, value: float) -> float:
+        """Convert ``value`` from the dimension base unit into this unit."""
+        return (value - self.offset) / self.scale
+
+
+_CATALOGUE: dict[str, Unit] = {}
+
+
+def _register(unit: Unit) -> Unit:
+    _CATALOGUE[unit.symbol] = unit
+    return unit
+
+
+# Power (base: watt)
+_register(Unit("W", "power"))
+_register(Unit("mW", "power", 1e-3))
+_register(Unit("uW", "power", 1e-6))
+_register(Unit("kW", "power", 1e3))
+_register(Unit("MW", "power", 1e6))
+
+# Energy (base: joule)
+_register(Unit("J", "energy"))
+_register(Unit("mJ", "energy", 1e-3))
+_register(Unit("uJ", "energy", 1e-6))
+_register(Unit("kJ", "energy", 1e3))
+_register(Unit("Wh", "energy", 3600.0))
+_register(Unit("kWh", "energy", 3.6e6))
+
+# Temperature (base: kelvin)
+_register(Unit("K", "temperature"))
+_register(Unit("C", "temperature", 1.0, 273.15))
+_register(Unit("mC", "temperature", 1e-3, 273.15))
+_register(Unit("F", "temperature", 5.0 / 9.0, 255.3722222222222))
+
+# Volumetric flow (base: cubic metre per second)
+_register(Unit("m3/s", "flow"))
+_register(Unit("m3/h", "flow", 1.0 / 3600.0))
+_register(Unit("l/min", "flow", 1.0 / 60000.0))
+_register(Unit("l/s", "flow", 1e-3))
+
+# Data rate (base: byte per second)
+_register(Unit("B/s", "bandwidth"))
+_register(Unit("KB/s", "bandwidth", 1e3))
+_register(Unit("MB/s", "bandwidth", 1e6))
+_register(Unit("GB/s", "bandwidth", 1e9))
+
+# Data volume (base: byte)
+_register(Unit("B", "data"))
+_register(Unit("KB", "data", 1e3))
+_register(Unit("MB", "data", 1e6))
+_register(Unit("GB", "data", 1e9))
+_register(Unit("KiB", "data", 1024.0))
+_register(Unit("MiB", "data", 1048576.0))
+
+# Frequency (base: hertz)
+_register(Unit("Hz", "frequency"))
+_register(Unit("kHz", "frequency", 1e3))
+_register(Unit("MHz", "frequency", 1e6))
+_register(Unit("GHz", "frequency", 1e9))
+
+# Dimensionless quantities: event counts, ratios, percentages.
+_register(Unit("count", "dimensionless"))
+_register(Unit("ratio", "dimensionless"))
+_register(Unit("percent", "dimensionless", 1e-2))
+
+# Time (base: second) — sensors occasionally report durations.
+_register(Unit("s", "time"))
+_register(Unit("ms", "time", 1e-3))
+_register(Unit("us", "time", 1e-6))
+_register(Unit("ns", "time", 1e-9))
+
+# Electrical
+_register(Unit("V", "voltage"))
+_register(Unit("mV", "voltage", 1e-3))
+_register(Unit("A", "current"))
+_register(Unit("mA", "current", 1e-3))
+
+
+def lookup(symbol: str) -> Unit:
+    """Return the catalogue :class:`Unit` for ``symbol``.
+
+    Raises :class:`UnitError` for unknown symbols; plugins registering
+    device-specific units should call :func:`register_unit` first.
+    """
+    try:
+        return _CATALOGUE[symbol]
+    except KeyError:
+        raise UnitError(f"unknown unit {symbol!r}") from None
+
+
+def register_unit(unit: Unit) -> None:
+    """Add a custom unit to the global catalogue.
+
+    Re-registering an existing symbol with different parameters is an
+    error: silently changing conversion factors mid-run would corrupt
+    stored data interpretations.
+    """
+    existing = _CATALOGUE.get(unit.symbol)
+    if existing is not None and existing != unit:
+        raise UnitError(f"unit {unit.symbol!r} already registered with different parameters")
+    _CATALOGUE[unit.symbol] = unit
+
+
+class UnitConverter:
+    """Converts values between two convertible units.
+
+    Instances are cheap and cache the combined affine transform so the
+    per-reading cost on query paths is one multiply-add.
+    """
+
+    __slots__ = ("src", "dst", "_scale", "_offset")
+
+    def __init__(self, src: Unit, dst: Unit) -> None:
+        if src.dimension != dst.dimension:
+            raise UnitError(
+                f"cannot convert {src.symbol!r} ({src.dimension}) "
+                f"to {dst.symbol!r} ({dst.dimension})"
+            )
+        self.src = src
+        self.dst = dst
+        # base = v*s1 + o1 ; out = (base - o2)/s2  =>  out = v*(s1/s2) + (o1-o2)/s2
+        self._scale = src.scale / dst.scale
+        self._offset = (src.offset - dst.offset) / dst.scale
+
+    def convert(self, value: float) -> float:
+        """Convert a single value from ``src`` to ``dst`` units."""
+        return value * self._scale + self._offset
+
+    def __call__(self, value: float) -> float:
+        return self.convert(value)
+
+
+_CONVERTER_CACHE: dict[tuple[str, str], UnitConverter] = {}
+
+
+def get_converter(src: str, dst: str) -> UnitConverter:
+    """Return a (cached) converter between two unit symbols."""
+    key = (src, dst)
+    conv = _CONVERTER_CACHE.get(key)
+    if conv is None:
+        conv = UnitConverter(lookup(src), lookup(dst))
+        _CONVERTER_CACHE[key] = conv
+    return conv
+
+
+def convert(value: float, src: str, dst: str) -> float:
+    """Convert ``value`` from unit ``src`` to unit ``dst``."""
+    return get_converter(src, dst).convert(value)

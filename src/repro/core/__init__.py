@@ -1,0 +1,25 @@
+"""DCDB core: sensors, sensor IDs, Pushers and Collect Agents.
+
+This package implements the paper's primary contribution — the
+modular, hierarchical monitoring pipeline:
+
+* :mod:`repro.core.sensor` — the sensor data model: readings, metadata
+  and the time-bounded sensor cache exposed over the REST APIs.
+* :mod:`repro.core.sid` — 128-bit hierarchical Sensor IDs with the 1:1
+  MQTT-topic mapping used as storage partition keys.
+* :mod:`repro.core.pusher` — the plugin-based data collector.
+* :mod:`repro.core.collectagent` — the MQTT-broker/storage-writer.
+"""
+
+from repro.core.sensor import SensorReading, SensorMetadata, SensorCache
+from repro.core.sid import SensorId, SidMapper, SID_LEVELS, SID_BITS_PER_LEVEL
+
+__all__ = [
+    "SensorReading",
+    "SensorMetadata",
+    "SensorCache",
+    "SensorId",
+    "SidMapper",
+    "SID_LEVELS",
+    "SID_BITS_PER_LEVEL",
+]

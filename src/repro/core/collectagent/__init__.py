@@ -1,0 +1,14 @@
+"""The Collect Agent: MQTT data broker and storage writer.
+
+Paper section 4.2: Collect Agents are "built on top of a custom MQTT
+implementation that only provides a subset of features necessary for
+their tasks" — the publish interface only.  On each message the agent
+parses the topic, translates it to a 128-bit SID and stores the
+reading(s) in the Storage Backend; it also maintains a sensor cache of
+the latest readings of all connected Pushers, queryable over REST
+(section 5.3).
+"""
+
+from repro.core.collectagent.agent import CollectAgent
+
+__all__ = ["CollectAgent"]

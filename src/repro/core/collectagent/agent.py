@@ -1,0 +1,200 @@
+"""Collect Agent implementation.
+
+Wires together three pieces:
+
+* a transport endpoint — either a TCP
+  :class:`~repro.mqtt.broker.PublishOnlyBroker` (production layout) or
+  an in-process :class:`~repro.mqtt.inproc.InProcHub` (simulation) —
+  from which every accepted PUBLISH is delivered via hook;
+* the :class:`~repro.core.sid.SidMapper` translating topics into
+  storage keys (1:1, hierarchical, paper section 4.2);
+* a :class:`~repro.storage.backend.StorageBackend` receiving the
+  readings, batched per MQTT message.
+
+The agent also keeps a per-topic :class:`~repro.core.sensor.SensorCache`
+("gives access to the most recent readings of all Pushers connected",
+paper section 5.3) and counters for the load experiments.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.common.errors import TransportError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core import payload as payload_mod
+from repro.core.sensor import SensorCache
+from repro.core.sid import PersistentSidMapper, SensorId
+from repro.mqtt.broker import PublishOnlyBroker
+from repro.mqtt.packets import Publish
+from repro.storage.backend import StorageBackend
+
+logger = logging.getLogger(__name__)
+
+
+class CollectAgent:
+    """Receives Pusher publishes and persists them.
+
+    Parameters
+    ----------
+    backend:
+        Destination storage.
+    broker:
+        Transport endpoint exposing ``add_publish_hook``; when None a
+        TCP :class:`PublishOnlyBroker` is created on ``host:port``.
+    cache_maxage_ns:
+        Window of the agent-side sensor cache.
+    default_ttl_s:
+        TTL applied to stored readings (0 = keep forever).
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        broker=None,
+        host: str = "127.0.0.1",
+        port: int = 1883,
+        cache_maxage_ns: int = 120 * NS_PER_SEC,
+        default_ttl_s: int = 0,
+    ) -> None:
+        self.backend = backend
+        self.broker = broker if broker is not None else PublishOnlyBroker(host, port)
+        # Component codes are coordinated through backend metadata so
+        # several Collect Agents sharing one Storage Backend (and
+        # restarts of this agent) agree on the topic->SID mapping.
+        self.sid_mapper = PersistentSidMapper(backend)
+        self.cache_maxage_ns = cache_maxage_ns
+        self.default_ttl_s = default_ttl_s
+        self._caches: dict[str, SensorCache] = {}
+        self._caches_lock = threading.Lock()
+        self.readings_stored = 0
+        self.decode_errors = 0
+        self.metadata_announcements = 0
+        self.broker.add_publish_hook(self._on_publish)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        start = getattr(self.broker, "start", None)
+        if start is not None:
+            start()
+
+    def stop(self) -> None:
+        self.backend.flush()
+        stop = getattr(self.broker, "stop", None)
+        if stop is not None:
+            stop()
+
+    def __enter__(self) -> "CollectAgent":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int | None:
+        return getattr(self.broker, "port", None)
+
+    # -- ingest path ------------------------------------------------------------
+
+    #: Must match Pusher.METADATA_PREFIX.
+    METADATA_PREFIX = "$DCDB/metadata"
+
+    def _on_publish(self, client_id: str, packet: Publish) -> None:
+        if packet.topic.startswith(self.METADATA_PREFIX):
+            self._on_metadata(client_id, packet)
+            return
+        try:
+            readings = payload_mod.decode_readings(packet.payload)
+        except TransportError as exc:
+            self.decode_errors += 1
+            logger.warning("bad payload on %s from %s: %s", packet.topic, client_id, exc)
+            return
+        if not readings:
+            return
+        known = self.sid_mapper.lookup_topic(packet.topic)
+        try:
+            sid = known if known is not None else self.sid_mapper.sid_for_topic(packet.topic)
+        except TransportError as exc:
+            self.decode_errors += 1
+            logger.warning("bad topic %r from %s: %s", packet.topic, client_id, exc)
+            return
+        if known is None:
+            # Persist the topic->SID mapping so query tools in other
+            # processes can resolve topics (libDCDB reads these keys).
+            self.backend.put_metadata(f"sidmap{packet.topic}", sid.hex())
+        self.backend.insert_batch(
+            (sid, r.timestamp, r.value, self.default_ttl_s) for r in readings
+        )
+        cache = self._cache_for(packet.topic)
+        for reading in readings:
+            cache.store(reading)
+        self.readings_stored += len(readings)
+
+    def _on_metadata(self, client_id: str, packet: Publish) -> None:
+        """Persist a Pusher's sensor-metadata announcement.
+
+        Stored under the same ``sensorconfig<topic>`` keys the config
+        tool writes, so libDCDB decodes announced sensors without any
+        manual configuration (DCDB's auto-publish behaviour).
+        """
+        import json
+
+        try:
+            document = json.loads(packet.payload)
+            topic = document["topic"]
+            if topic != packet.topic[len(self.METADATA_PREFIX) :]:
+                raise ValueError("metadata topic mismatch")
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            self.decode_errors += 1
+            logger.warning("bad metadata announcement from %s: %s", client_id, exc)
+            return
+        record = {
+            "topic": topic,
+            "unit": document.get("unit", "count"),
+            "scale": float(document.get("scale", 1.0)),
+            "integrable": bool(document.get("integrable", False)),
+            "ttl_s": int(document.get("ttl_s", 0)),
+            "attributes": {"interval_ns": str(document.get("interval_ns", 0))},
+        }
+        self.backend.put_metadata(f"sensorconfig{topic}", json.dumps(record))
+        self.metadata_announcements += 1
+
+    def _cache_for(self, topic: str) -> SensorCache:
+        cache = self._caches.get(topic)
+        if cache is None:
+            with self._caches_lock:
+                cache = self._caches.get(topic)
+                if cache is None:
+                    cache = SensorCache(maxage_ns=self.cache_maxage_ns)
+                    self._caches[topic] = cache
+        return cache
+
+    # -- cache / introspection API (backs REST) --------------------------------------
+
+    def cached_topics(self) -> list[str]:
+        with self._caches_lock:
+            return sorted(self._caches)
+
+    def cache_of(self, topic: str) -> SensorCache | None:
+        return self._caches.get(topic)
+
+    def latest(self, topic: str):
+        """Most recent cached reading of ``topic``, or None."""
+        cache = self._caches.get(topic)
+        return cache.latest() if cache is not None else None
+
+    def sid_of(self, topic: str) -> SensorId | None:
+        return self.sid_mapper.lookup_topic(topic)
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot for the REST API."""
+        return {
+            "readingsStored": self.readings_stored,
+            "decodeErrors": self.decode_errors,
+            "knownSensors": len(self.sid_mapper),
+            "connectedClients": getattr(self.broker, "connected_clients", 0),
+            "messagesReceived": getattr(self.broker, "messages_received", 0),
+        }

@@ -1,0 +1,125 @@
+"""The Collect Agent's RESTful API.
+
+Paper section 5.3: "Analogous to Pushers, Collect Agents provide a
+sensor cache that can be queried via the same RESTful API and that
+gives access to the most recent readings of all Pushers connected to
+them.  This can be used, for example, to feed all readings into
+another (legacy) monitoring framework without having to deal with the
+protocols of various sensors."
+
+Endpoints
+---------
+``GET /status``                    Ingest counters.
+``GET /topics``                    All sensor topics seen.
+``GET /cache?topic=...``           Cached readings of one sensor.
+``GET /latest?topic=...``          Most recent cached reading.
+``GET /query?topic=...&start=...&end=...``  Readings from storage.
+"""
+
+from __future__ import annotations
+
+from repro.common.httpjson import JsonHttpServer
+from repro.core.collectagent.agent import CollectAgent
+
+
+class CollectAgentRestApi:
+    """Binds a :class:`CollectAgent` to a :class:`JsonHttpServer`."""
+
+    def __init__(self, agent: CollectAgent, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.agent = agent
+        self.server = JsonHttpServer(host, port)
+        s = self.server
+        s.route("GET", "/status", self._status)
+        s.route("GET", "/topics", self._topics)
+        s.route("GET", "/cache", self._cache)
+        s.route("GET", "/latest", self._latest)
+        s.route("GET", "/query", self._query)
+        s.route("GET", "/analytics", self._analytics)
+        s.route("GET", "/alarms", self._alarms)
+
+    def start(self) -> None:
+        self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def __enter__(self) -> "CollectAgentRestApi":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- handlers ----------------------------------------------------------
+
+    def _status(self, params: dict, query: dict, body: bytes):
+        return 200, self.agent.status()
+
+    def _topics(self, params: dict, query: dict, body: bytes):
+        return 200, self.agent.cached_topics()
+
+    def _cache(self, params: dict, query: dict, body: bytes):
+        topic = query.get("topic")
+        if not topic:
+            return 400, {"error": "missing topic parameter"}
+        cache = self.agent.cache_of(topic)
+        if cache is None:
+            return 404, {"error": f"unknown topic {topic!r}"}
+        return 200, [
+            {"timestamp": r.timestamp, "value": r.value} for r in cache.snapshot()
+        ]
+
+    def _latest(self, params: dict, query: dict, body: bytes):
+        topic = query.get("topic")
+        if not topic:
+            return 400, {"error": "missing topic parameter"}
+        reading = self.agent.latest(topic)
+        if reading is None:
+            return 404, {"error": f"no cached readings for {topic!r}"}
+        return 200, {"timestamp": reading.timestamp, "value": reading.value}
+
+    def _query(self, params: dict, query: dict, body: bytes):
+        topic = query.get("topic")
+        if not topic:
+            return 400, {"error": "missing topic parameter"}
+        sid = self.agent.sid_of(topic)
+        if sid is None:
+            return 404, {"error": f"unknown topic {topic!r}"}
+        start = int(query.get("start", "0"))
+        end = int(query.get("end", str((1 << 63) - 1)))
+        timestamps, values = self.agent.backend.query(sid, start, end)
+        return 200, {
+            "topic": topic,
+            "timestamps": timestamps.tolist(),
+            "values": values.tolist(),
+        }
+
+    def _manager(self):
+        return getattr(self.agent, "analytics", None)
+
+    def _analytics(self, params: dict, query: dict, body: bytes):
+        manager = self._manager()
+        if manager is None:
+            return 404, {"error": "no analytics manager attached"}
+        return 200, manager.status()
+
+    def _alarms(self, params: dict, query: dict, body: bytes):
+        manager = self._manager()
+        if manager is None:
+            return 404, {"error": "no analytics manager attached"}
+        limit = int(query.get("limit", "100"))
+        events = list(manager.alarms)[-limit:]
+        return 200, [
+            {
+                "timestamp": e.timestamp,
+                "operator": e.operator,
+                "topic": e.topic,
+                "value": e.value,
+                "message": e.message,
+            }
+            for e in events
+        ]

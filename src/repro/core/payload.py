@@ -1,0 +1,46 @@
+"""Wire framing of sensor readings inside MQTT payloads.
+
+DCDB publishes each sensor's readings under its own topic; a payload
+carries one or more (timestamp, value) pairs so that a Pusher batching
+several sampling cycles into one MQTT message (burst mode, paper
+section 6.2.1) needs no extra protocol.  The frame is a flat sequence
+of big-endian ``(int64 timestamp_ns, int64 value)`` records — 16 bytes
+per reading, no header, count implied by length.  This matches DCDB's
+compact fixed-width framing and keeps the Collect Agent's parse cost
+to a ``struct.iter_unpack``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.common.errors import TransportError
+from repro.core.sensor import SensorReading
+
+_RECORD = struct.Struct("!qq")
+RECORD_SIZE = _RECORD.size  # 16 bytes
+
+
+def encode_readings(readings: Iterable[SensorReading]) -> bytes:
+    """Pack readings into the 16-byte-per-record wire frame."""
+    return b"".join(_RECORD.pack(r.timestamp, r.value) for r in readings)
+
+
+def encode_reading(timestamp: int, value: int) -> bytes:
+    """Pack a single reading (the common continuous-mode case)."""
+    return _RECORD.pack(timestamp, value)
+
+
+def decode_readings(payload: bytes) -> list[SensorReading]:
+    """Unpack a wire frame back into readings.
+
+    Raises :class:`TransportError` if the payload length is not a
+    multiple of the record size — a framing error worth surfacing
+    rather than silently truncating.
+    """
+    if len(payload) % RECORD_SIZE != 0:
+        raise TransportError(
+            f"payload length {len(payload)} is not a multiple of {RECORD_SIZE}"
+        )
+    return [SensorReading(ts, value) for ts, value in _RECORD.iter_unpack(payload)]

@@ -1,0 +1,44 @@
+"""The Pusher: DCDB's plugin-based data collector.
+
+Paper section 4.1 describes the Pusher as "a set of Plugins, an MQTT
+Client, an HTTPs Server, and a Configuration component", with plugins
+built from up to four logical pieces: *Sensors* (single data sources),
+*Groups* (sensors sharing one synchronized sampling interval),
+*Entities* (optional shared resources such as a remote host
+connection) and a *Configurator* (parses the plugin's configuration
+and instantiates everything).
+
+* :mod:`repro.core.pusher.plugin` — the base classes of that model.
+* :mod:`repro.core.pusher.registry` — plugin discovery and dynamic
+  loading.
+* :mod:`repro.core.pusher.pusher` — the Pusher daemon: synchronized
+  sampling threads, the MQTT push component with continuous and burst
+  send modes, and lifecycle control.
+* :mod:`repro.core.pusher.restapi` — the RESTful API for runtime
+  (re)configuration and sensor-cache access (paper section 5.3).
+* :mod:`repro.core.pusher.generator` — the plugin-skeleton generator
+  DCDB ships to lower the cost of writing new plugins.
+"""
+
+from repro.core.pusher.plugin import (
+    PluginSensor,
+    SensorGroup,
+    Entity,
+    ConfiguratorBase,
+    Plugin,
+)
+from repro.core.pusher.registry import PluginRegistry, register_plugin, create_configurator
+from repro.core.pusher.pusher import Pusher, PusherConfig
+
+__all__ = [
+    "PluginSensor",
+    "SensorGroup",
+    "Entity",
+    "ConfiguratorBase",
+    "Plugin",
+    "PluginRegistry",
+    "register_plugin",
+    "create_configurator",
+    "Pusher",
+    "PusherConfig",
+]

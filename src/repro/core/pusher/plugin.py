@@ -1,0 +1,377 @@
+"""Plugin base classes: Sensors, Groups, Entities, Configurators.
+
+Paper section 4.1, verbatim roles:
+
+* **Sensors** — "The most basic unit for data collection ... sampled
+  and collected as a numerical time series.  A sensor always has to be
+  part of a group."
+* **Groups** — "All sensors that belong to one group share the same
+  sampling interval and are always read collectively at the same point
+  in time."
+* **Entities** — "An optional hierarchy level to aggregate groups or
+  to provide additional functionality to them", e.g. the shared host
+  connection of several IPMI groups.
+* **Configurator** — "reading the configuration file of a plugin and
+  instantiating all components for data collection".
+
+A concrete plugin subclasses :class:`SensorGroup` (implementing
+:meth:`SensorGroup.read_raw`) and :class:`ConfiguratorBase`
+(implementing :meth:`ConfiguratorBase.build_group` and optionally
+:meth:`ConfiguratorBase.build_entity`), then registers itself with
+:func:`repro.core.pusher.registry.register_plugin`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree, parse_info
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC, next_read_time
+from repro.core.sensor import SensorCache, SensorMetadata, SensorReading
+
+logger = logging.getLogger(__name__)
+
+
+class PluginSensor:
+    """One data source inside a group.
+
+    Handles the generic bookkeeping every DCDB sensor shares: the
+    MQTT suffix, delta conversion for monotonic counters, the sensor
+    cache, and publish gating.  Subclasses may carry plugin-specific
+    state (a file offset, an OID, a register address).
+    """
+
+    __slots__ = ("name", "mqtt_suffix", "metadata", "cache", "_last_raw", "readings_taken")
+
+    def __init__(
+        self,
+        name: str,
+        mqtt_suffix: str,
+        metadata: SensorMetadata | None = None,
+        cache_maxage_ns: int = 120 * NS_PER_SEC,
+    ) -> None:
+        self.name = name
+        self.mqtt_suffix = mqtt_suffix
+        self.metadata = metadata if metadata is not None else SensorMetadata(name=name)
+        self.metadata.name = name
+        self.cache = SensorCache(maxage_ns=cache_maxage_ns)
+        self._last_raw: int | None = None
+        self.readings_taken = 0
+
+    def process_raw(self, timestamp: int, raw: int) -> SensorReading | None:
+        """Convert a raw sample into a stored reading.
+
+        Applies delta conversion when the sensor is marked ``delta``
+        (the first sample only seeds the baseline and produces no
+        reading).  The reading is cached and returned for publishing,
+        or None when nothing should be emitted this cycle.
+        """
+        if self.metadata.delta:
+            last = self._last_raw
+            self._last_raw = raw
+            if last is None:
+                return None
+            value = raw - last
+            if value < 0:
+                # Counter wrapped or reset; emit nothing rather than a
+                # huge negative spike, matching DCDB's perfevents
+                # handling.
+                return None
+        else:
+            value = raw
+        reading = SensorReading(timestamp, value)
+        self.cache.store(reading)
+        self.readings_taken += 1
+        return reading
+
+    def reset_delta(self) -> None:
+        """Forget the delta baseline (used on group restart)."""
+        self._last_raw = None
+
+
+class Entity:
+    """Optional shared resource for a set of groups.
+
+    The base class only names the entity; protocol plugins subclass it
+    to hold the shared connection (see e.g.
+    :class:`repro.plugins.ipmi.IpmiHostEntity`).  ``connect`` and
+    ``disconnect`` bracket the owning plugin's start/stop.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def connect(self) -> None:  # pragma: no cover - trivial default
+        """Acquire the shared resource; default no-op."""
+
+    def disconnect(self) -> None:  # pragma: no cover - trivial default
+        """Release the shared resource; default no-op."""
+
+
+class SensorGroup:
+    """A set of sensors read collectively at one synchronized interval.
+
+    Subclasses implement :meth:`read_raw` returning the raw integer
+    sample of every sensor.  The framework calls :meth:`read` at
+    interval-aligned timestamps (see
+    :func:`repro.common.timeutil.align_interval`), applies per-sensor
+    processing, and hands the resulting readings to the push queue.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interval_ns: int = NS_PER_SEC,
+        entity: Entity | None = None,
+        min_values: int = 1,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ConfigError(f"group {name!r}: interval must be positive")
+        self.name = name
+        self.interval_ns = interval_ns
+        self.entity = entity
+        #: Number of readings to accumulate per sensor before the MQTT
+        #: component sends them in one message (DCDB's minValues).
+        self.min_values = max(1, min_values)
+        self.sensors: list[PluginSensor] = []
+        self.next_due_ns: int | None = None
+        self.enabled = True
+        # Error accounting: one flaky cycle must not kill monitoring.
+        self.read_errors = 0
+
+    def add_sensor(self, sensor: PluginSensor) -> None:
+        sensor.metadata.interval_ns = self.interval_ns
+        self.sensors.append(sensor)
+
+    # -- to be provided by concrete plugins ------------------------------
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        """Sample every sensor; returns raw values aligned with
+        ``self.sensors``.  May raise :class:`PluginError`."""
+        raise NotImplementedError
+
+    # -- framework-driven -------------------------------------------------
+
+    def read(self, timestamp: int) -> list[tuple[PluginSensor, SensorReading]]:
+        """One collective sampling cycle.
+
+        Returns the publishable (sensor, reading) pairs.  A raising
+        :meth:`read_raw` is logged and counted, not propagated.
+        """
+        try:
+            raws = self.read_raw(timestamp)
+        except PluginError as exc:
+            self.read_errors += 1
+            logger.warning("group %s: read failed: %s", self.name, exc)
+            return []
+        if len(raws) != len(self.sensors):
+            self.read_errors += 1
+            logger.warning(
+                "group %s: read_raw returned %d values for %d sensors",
+                self.name,
+                len(raws),
+                len(self.sensors),
+            )
+            return []
+        out: list[tuple[PluginSensor, SensorReading]] = []
+        for sensor, raw in zip(self.sensors, raws):
+            reading = sensor.process_raw(timestamp, raw)
+            if reading is not None and sensor.metadata.publish:
+                out.append((sensor, reading))
+        return out
+
+    def schedule_after(self, now_ns: int) -> int:
+        """Compute and store the next aligned due time after ``now_ns``."""
+        self.next_due_ns = next_read_time(now_ns, self.interval_ns)
+        return self.next_due_ns
+
+    def start(self) -> None:
+        """Hook invoked when the plugin starts; default resets deltas."""
+        for sensor in self.sensors:
+            sensor.reset_delta()
+
+    def stop(self) -> None:  # pragma: no cover - trivial default
+        """Hook invoked when the plugin stops."""
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+
+@dataclass
+class Plugin:
+    """A loaded plugin: its configurator plus instantiated components."""
+
+    name: str
+    configurator: "ConfiguratorBase"
+    groups: list[SensorGroup] = field(default_factory=list)
+    entities: list[Entity] = field(default_factory=list)
+    running: bool = False
+
+    @property
+    def sensor_count(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    def all_sensors(self) -> list[PluginSensor]:
+        return [sensor for group in self.groups for sensor in group.sensors]
+
+
+class ConfiguratorBase:
+    """Parses a plugin configuration and instantiates its components.
+
+    The configuration syntax is the property-tree format shared by all
+    DCDB plugins::
+
+        global {
+            cacheInterval 120000      ; sensor cache window, ms
+        }
+        template_group tdefault {
+            interval 1000             ; ms
+            minValues 1
+        }
+        group g0 {
+            default tdefault
+            <plugin-specific keys>
+            sensor s0 {
+                mqttsuffix /s0
+                unit W
+                scale 1000
+                delta false
+                publish true
+            }
+        }
+
+    Subclasses implement :meth:`build_group` to construct their
+    concrete :class:`SensorGroup` and attach sensors, and may override
+    :meth:`build_entity` for connection-sharing plugins.  The generic
+    template/default resolution, sensor-attribute parsing and entity
+    wiring live here so that plugin authors write only acquisition
+    code — the property the paper's generator scripts rely on.
+    """
+
+    #: Name under which the plugin registers (e.g. "procfs").
+    plugin_name = "base"
+    #: Key naming entity blocks in the config (e.g. "host" for IPMI).
+    entity_key: str | None = None
+
+    def __init__(self) -> None:
+        self.cache_maxage_ns = 120 * NS_PER_SEC
+        self._templates: dict[str, PropertyTree] = {}
+        self._template_sensors: dict[str, PropertyTree] = {}
+        self._template_entities: dict[str, PropertyTree] = {}
+
+    # -- to be provided by concrete plugins --------------------------------
+
+    def build_group(
+        self,
+        name: str,
+        config: PropertyTree,
+        entity: Entity | None,
+    ) -> SensorGroup:
+        """Create the plugin's concrete group from merged config."""
+        raise NotImplementedError
+
+    def build_entity(self, name: str, config: PropertyTree) -> Entity:
+        """Create a shared entity; default is the bare base class."""
+        return Entity(name)
+
+    # -- generic machinery --------------------------------------------------
+
+    def read_config(self, source: str | PropertyTree) -> Plugin:
+        """Parse ``source`` (INFO text or a pre-parsed tree) and build
+        the full plugin instance."""
+        tree = parse_info(source) if isinstance(source, str) else source
+        global_cfg = tree.child("global")
+        if global_cfg is not None:
+            cache_ms = global_cfg.get_int("cacheInterval", 120_000)
+            self.cache_maxage_ns = cache_ms * NS_PER_MS
+        # First pass: collect templates (they are not instantiated).
+        for key, node in tree.children():
+            if key == "template_group":
+                self._templates[node.value] = node
+            elif key == "template_sensor":
+                self._template_sensors[node.value] = node
+            elif key == "template_entity":
+                self._template_entities[node.value] = node
+        plugin = Plugin(name=self.plugin_name, configurator=self)
+        entities: dict[str, Entity] = {}
+        if self.entity_key is not None:
+            for key, node in tree.children(self.entity_key):
+                merged = self._merge_template(node, self._template_entities)
+                entity = self.build_entity(node.value or key, merged)
+                entities[entity.name] = entity
+                plugin.entities.append(entity)
+        for key, node in tree.children("group"):
+            merged = self._merge_template(node, self._templates)
+            entity = None
+            entity_name = merged.get("entity")
+            if entity_name is not None:
+                entity = entities.get(entity_name)
+                if entity is None:
+                    raise ConfigError(
+                        f"group {node.value!r} references unknown entity {entity_name!r}"
+                    )
+            group = self.build_group(node.value or key, merged, entity)
+            plugin.groups.append(group)
+        return plugin
+
+    def _merge_template(
+        self, node: PropertyTree, templates: dict[str, PropertyTree]
+    ) -> PropertyTree:
+        """Overlay ``node`` onto its ``default`` template, if any."""
+        template_name = node.get("default")
+        if template_name is None:
+            return node
+        template = templates.get(template_name)
+        if template is None:
+            raise ConfigError(f"unknown template {template_name!r}")
+        merged = PropertyTree(node.value)
+        overridden = {key for key, _ in node.children()}
+        for key, child in template.children():
+            if key not in overridden:
+                merged.add(key, child)
+        for key, child in node.children():
+            if key != "default":
+                merged.add(key, child)
+        return merged
+
+    # -- shared parsing helpers ---------------------------------------------
+
+    def group_common(self, name: str, config: PropertyTree) -> dict:
+        """Extract the group attributes every plugin shares."""
+        interval_ms = config.get_int("interval", 1000)
+        if interval_ms <= 0:
+            raise ConfigError(f"group {name!r}: interval must be positive")
+        return {
+            "name": name,
+            "interval_ns": interval_ms * NS_PER_MS,
+            "min_values": config.get_int("minValues", 1),
+        }
+
+    def make_sensor(self, name: str, config: PropertyTree) -> PluginSensor:
+        """Build a :class:`PluginSensor` from a ``sensor`` block."""
+        merged = self._merge_template(config, self._template_sensors)
+        metadata = SensorMetadata(
+            name=name,
+            unit=merged.get("unit", "count"),
+            scale=merged.get_float("scale", 1.0),
+            delta=merged.get_bool("delta", False),
+            integrable=merged.get_bool("integrable", False),
+            ttl_s=merged.get_int("ttl", 0),
+            publish=merged.get_bool("publish", True),
+        )
+        suffix = merged.get("mqttsuffix", f"/{name}")
+        return PluginSensor(
+            name=name,
+            mqtt_suffix=suffix,
+            metadata=metadata,
+            cache_maxage_ns=self.cache_maxage_ns,
+        )
+
+    def sensors_from(self, config: PropertyTree) -> list[PluginSensor]:
+        """Build every ``sensor`` block under ``config``."""
+        return [
+            self.make_sensor(node.value or key, node)
+            for key, node in config.children("sensor")
+        ]

@@ -1,0 +1,103 @@
+"""Plugin discovery and dynamic loading.
+
+DCDB loads acquisition plugins as dynamic libraries "at initialization
+time as well as at runtime" (paper section 3.1).  The Python analogue:
+a registry mapping plugin names to configurator factories, populated
+three ways:
+
+1. built-in plugins under :mod:`repro.plugins` register themselves on
+   import (lazily triggered by :func:`create_configurator`);
+2. applications call :func:`register_plugin` directly;
+3. external plugins load by dotted path ``"package.module:ClassName"``,
+   the runtime-loading equivalent of ``dlopen``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Type
+
+from repro.common.errors import ConfigError
+from repro.core.pusher.plugin import ConfiguratorBase
+
+ConfiguratorFactory = Callable[[], ConfiguratorBase]
+
+#: Built-in plugins: name -> module that registers it on import.
+_BUILTIN_MODULES = {
+    "tester": "repro.plugins.tester",
+    "procfs": "repro.plugins.procfs",
+    "sysfs": "repro.plugins.sysfs",
+    "perfevents": "repro.plugins.perfevents",
+    "ipmi": "repro.plugins.ipmi",
+    "snmp": "repro.plugins.snmp",
+    "rest": "repro.plugins.rest",
+    "bacnet": "repro.plugins.bacnet",
+    "gpfs": "repro.plugins.gpfs",
+    "opa": "repro.plugins.opa",
+    # Beyond the paper's ten: the GPU plugin its future-work section
+    # announces (and later DCDB shipped), and the application
+    # instrumentation source it plans for profiling data.
+    "nvml": "repro.plugins.nvml",
+    "appinstr": "repro.plugins.appinstr",
+}
+
+
+class PluginRegistry:
+    """Maps plugin names to configurator factories."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, ConfiguratorFactory] = {}
+
+    def register(self, name: str, factory: ConfiguratorFactory) -> None:
+        self._factories[name] = factory
+
+    def create(self, name: str) -> ConfiguratorBase:
+        """Instantiate the configurator for plugin ``name``.
+
+        Resolution order: already-registered factories, then built-in
+        module import, then dotted-path dynamic load.
+        """
+        factory = self._factories.get(name)
+        if factory is None and name in _BUILTIN_MODULES:
+            importlib.import_module(_BUILTIN_MODULES[name])
+            factory = self._factories.get(name)
+        if factory is None and ":" in name:
+            factory = self._load_dotted(name)
+        if factory is None:
+            raise ConfigError(f"unknown plugin {name!r}")
+        return factory()
+
+    def _load_dotted(self, path: str) -> ConfiguratorFactory:
+        module_name, _, class_name = path.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigError(f"cannot import plugin module {module_name!r}: {exc}") from exc
+        cls: Type[ConfiguratorBase] | None = getattr(module, class_name, None)
+        if cls is None or not issubclass(cls, ConfiguratorBase):
+            raise ConfigError(
+                f"{path!r} does not name a ConfiguratorBase subclass"
+            )
+        self._factories[path] = cls
+        return cls
+
+    def known_plugins(self) -> list[str]:
+        return sorted(set(self._factories) | set(_BUILTIN_MODULES))
+
+
+#: The process-wide default registry.
+_GLOBAL = PluginRegistry()
+
+
+def register_plugin(name: str, factory: ConfiguratorFactory) -> None:
+    """Register ``factory`` under ``name`` in the global registry."""
+    _GLOBAL.register(name, factory)
+
+
+def create_configurator(name: str) -> ConfiguratorBase:
+    """Instantiate a configurator from the global registry."""
+    return _GLOBAL.create(name)
+
+
+def global_registry() -> PluginRegistry:
+    return _GLOBAL

@@ -1,0 +1,145 @@
+"""The Pusher's RESTful API.
+
+Paper section 5.3: the API "provides an interface to retrieve the
+current configuration (e.g., of plugins or sensors) and allows for
+starting and stopping individual plugins ... one can modify a plugin's
+configuration file at runtime and trigger a reload ... Further, the
+RESTful API also provides access to a sensor cache that stores the
+latest readings of all sensors."
+
+Endpoints
+---------
+``GET  /status``                     Pusher-level counters and plugin list.
+``GET  /plugins``                    Loaded plugins with group/sensor counts.
+``GET  /plugins/{alias}/sensors``    Sensor inventory of one plugin.
+``POST /plugins/{alias}/start``      Begin sampling.
+``POST /plugins/{alias}/stop``       Stop sampling.
+``POST /plugins/{alias}/reload``     Body = new INFO config; seamless reload.
+``GET  /cache?topic=...``            Cached readings of a sensor.
+``GET  /average?topic=...&window_ms=...``  Smoothed recent value.
+"""
+
+from __future__ import annotations
+
+from repro.common.httpjson import JsonHttpServer
+from repro.core.pusher.pusher import Pusher
+
+
+class PusherRestApi:
+    """Binds a :class:`Pusher` to a :class:`JsonHttpServer`."""
+
+    def __init__(self, pusher: Pusher, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.pusher = pusher
+        self.server = JsonHttpServer(host, port)
+        s = self.server
+        s.route("GET", "/status", self._status)
+        s.route("GET", "/plugins", self._plugins)
+        s.route("GET", "/plugins/:alias/sensors", self._sensors)
+        s.route("POST", "/plugins/:alias/start", self._start)
+        s.route("POST", "/plugins/:alias/stop", self._stop)
+        s.route("POST", "/plugins/:alias/reload", self._reload)
+        s.route("GET", "/cache", self._cache)
+        s.route("GET", "/average", self._average)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def __enter__(self) -> "PusherRestApi":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- handlers -----------------------------------------------------------
+
+    def _status(self, params: dict, query: dict, body: bytes):
+        return 200, self.pusher.status()
+
+    def _plugins(self, params: dict, query: dict, body: bytes):
+        return 200, {
+            alias: {
+                "running": plugin.running,
+                "groups": [
+                    {
+                        "name": group.name,
+                        "intervalMs": group.interval_ns // 1_000_000,
+                        "sensors": len(group),
+                        "readErrors": group.read_errors,
+                    }
+                    for group in plugin.groups
+                ],
+            }
+            for alias, plugin in self.pusher.plugins.items()
+        }
+
+    def _sensors(self, params: dict, query: dict, body: bytes):
+        plugin = self.pusher.plugins.get(params["alias"])
+        if plugin is None:
+            return 404, {"error": f"plugin {params['alias']!r} not loaded"}
+        sensors = []
+        for group in plugin.groups:
+            for sensor in group.sensors:
+                latest = sensor.cache.latest()
+                sensors.append(
+                    {
+                        "name": sensor.name,
+                        "topic": self.pusher.topic_of(sensor),
+                        "unit": sensor.metadata.unit,
+                        "group": group.name,
+                        "latest": None
+                        if latest is None
+                        else {"timestamp": latest.timestamp, "value": latest.value},
+                    }
+                )
+        return 200, sensors
+
+    def _start(self, params: dict, query: dict, body: bytes):
+        self.pusher.start_plugin(params["alias"])
+        return 200, {"ok": True}
+
+    def _stop(self, params: dict, query: dict, body: bytes):
+        self.pusher.stop_plugin(params["alias"])
+        return 200, {"ok": True}
+
+    def _reload(self, params: dict, query: dict, body: bytes):
+        config_text = body.decode("utf-8")
+        plugin = self.pusher.reload_plugin(params["alias"], config_text)
+        return 200, {"ok": True, "sensors": plugin.sensor_count}
+
+    def _find_cache(self, query: dict):
+        topic = query.get("topic")
+        if not topic:
+            return None, (400, {"error": "missing topic parameter"})
+        sensor = self.pusher.sensor_by_topic(topic)
+        if sensor is None:
+            return None, (404, {"error": f"unknown sensor topic {topic!r}"})
+        return sensor, None
+
+    def _cache(self, params: dict, query: dict, body: bytes):
+        sensor, error = self._find_cache(query)
+        if error is not None:
+            return error
+        return 200, [
+            {"timestamp": r.timestamp, "value": r.value} for r in sensor.cache.snapshot()
+        ]
+
+    def _average(self, params: dict, query: dict, body: bytes):
+        sensor, error = self._find_cache(query)
+        if error is not None:
+            return error
+        window_ms = query.get("window_ms")
+        window_ns = int(window_ms) * 1_000_000 if window_ms else None
+        avg = sensor.cache.average(window_ns)
+        if avg is None:
+            return 404, {"error": "no cached readings"}
+        return 200, {"average": avg}

@@ -1,0 +1,44 @@
+"""Simulated out-of-band devices.
+
+The paper's out-of-band plugins (IPMI, SNMP, BACnet, REST — section
+3.1) monitor physical equipment over a management network: baseboard
+management controllers, PDUs, cooling-loop controllers.  None of that
+hardware is available here, so this package provides simulated devices
+speaking simplified-but-real wire protocols over TCP, as per the
+substitution policy in DESIGN.md: the plugins exercise genuine socket
+I/O, request/response framing, connection sharing via entities and
+failure handling — the code paths the plugin architecture exists for —
+against deterministic device models.
+
+* :mod:`repro.devices.model` — device state: named channels whose
+  values are functions of time.
+* :mod:`repro.devices.lineserver` — shared threaded line-protocol TCP
+  server.
+* :mod:`repro.devices.bmc` — an IPMI-style BMC exposing Sensor Data
+  Records.
+* :mod:`repro.devices.snmp_agent` — an SNMP-style agent with OID
+  GET/GETNEXT.
+* :mod:`repro.devices.bacnet_device` — a BACnet-style controller with
+  analog-input objects.
+* :mod:`repro.devices.rest_device` — an HTTP/JSON telemetry endpoint.
+"""
+
+from repro.devices.model import DeviceModel, constant, ramp, sinusoid, noisy
+from repro.devices.lineserver import LineServer
+from repro.devices.bmc import BmcServer
+from repro.devices.snmp_agent import SnmpAgentServer
+from repro.devices.bacnet_device import BacnetDeviceServer
+from repro.devices.rest_device import RestDeviceServer
+
+__all__ = [
+    "DeviceModel",
+    "constant",
+    "ramp",
+    "sinusoid",
+    "noisy",
+    "LineServer",
+    "BmcServer",
+    "SnmpAgentServer",
+    "BacnetDeviceServer",
+    "RestDeviceServer",
+]

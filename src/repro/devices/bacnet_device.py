@@ -1,0 +1,78 @@
+"""A simulated BACnet building-automation controller.
+
+Models the subset of BACnet (ASHRAE 135, paper ref. [5]) that the DCDB
+BACnet plugin consumes: analog-input objects addressed by instance
+number, each with Present_Value and a few descriptive properties —
+the shape of the air-handler/chiller/flow-meter points a building
+management system exposes.  Protocol (newline-delimited over TCP)::
+
+    READPROP AI <instance> PRESENT_VALUE -> "AI <instance> PRESENT_VALUE <value>"
+    READPROP AI <instance> UNITS         -> "AI <instance> UNITS <unit>"
+    READPROP AI <instance> OBJECT_NAME   -> "AI <instance> OBJECT_NAME <name>"
+    LIST AI                              -> "AI <instance> <name>" per object
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.lineserver import LineServer
+from repro.devices.model import DeviceModel
+
+
+@dataclass(frozen=True, slots=True)
+class AnalogInput:
+    """One BACnet analog-input object."""
+
+    instance: int
+    name: str
+    unit: str
+
+
+class BacnetDeviceServer(LineServer):
+    """The controller endpoint; one per simulated plant subsystem."""
+
+    def __init__(
+        self,
+        model: DeviceModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        device_id: int = 1,
+    ) -> None:
+        super().__init__(host, port)
+        self.model = model
+        self.device_id = device_id
+        self._objects: dict[int, AnalogInput] = {}
+
+    def add_object(self, obj: AnalogInput) -> None:
+        """Register an analog input; its name must match a channel."""
+        if obj.name not in self.model:
+            raise ValueError(f"model has no channel {obj.name!r}")
+        self._objects[obj.instance] = obj
+
+    def handle_line(self, line: str) -> str:
+        parts = line.split()
+        if parts[:2] == ["LIST", "AI"]:
+            if not self._objects:
+                return "EMPTY"
+            return "\n".join(
+                f"AI {o.instance} {o.name}"
+                for o in sorted(self._objects.values(), key=lambda o: o.instance)
+            )
+        if parts[:2] == ["READPROP", "AI"] and len(parts) == 4:
+            try:
+                instance = int(parts[2])
+            except ValueError:
+                raise ValueError(f"bad instance {parts[2]!r}") from None
+            obj = self._objects.get(instance)
+            if obj is None:
+                raise ValueError(f"unknown object AI:{instance}")
+            prop = parts[3]
+            if prop == "PRESENT_VALUE":
+                return f"AI {instance} PRESENT_VALUE {self.model.read(obj.name)}"
+            if prop == "UNITS":
+                return f"AI {instance} UNITS {obj.unit}"
+            if prop == "OBJECT_NAME":
+                return f"AI {instance} OBJECT_NAME {obj.name}"
+            raise ValueError(f"unknown property {prop!r}")
+        raise ValueError(f"unknown command {line!r}")

@@ -1,0 +1,79 @@
+"""A simulated baseboard management controller (IPMI-style).
+
+Models the subset of IPMI (paper ref. [1]) the DCDB IPMI plugin needs:
+a Sensor Data Record (SDR) repository addressed by record ID, each
+record naming a sensor with a type and unit, and a "get sensor
+reading" command.  Protocol (newline-delimited over TCP)::
+
+    LIST SDR                  -> "SDR <id> <name> <type> <unit>" per record
+    GET SENSOR <id>           -> "READING <id> <raw-value>"
+    GET SEL INFO              -> "SEL <entry-count>"
+
+Raw values come from a :class:`~repro.devices.model.DeviceModel`
+channel per record, like a real BMC polling its ADCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.lineserver import LineServer
+from repro.devices.model import DeviceModel
+
+
+@dataclass(frozen=True, slots=True)
+class SdrRecord:
+    """One Sensor Data Record in the BMC's repository."""
+
+    record_id: int
+    name: str
+    sensor_type: str  # e.g. "temperature", "power", "fan"
+    unit: str
+
+
+class BmcServer(LineServer):
+    """The BMC endpoint; one per simulated node or chassis."""
+
+    def __init__(
+        self,
+        model: DeviceModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(host, port)
+        self.model = model
+        self._records: dict[int, SdrRecord] = {}
+        self._sel_entries = 0
+
+    def add_record(self, record: SdrRecord) -> None:
+        """Register an SDR; its name must match a model channel."""
+        if record.name not in self.model:
+            raise ValueError(f"model has no channel {record.name!r}")
+        self._records[record.record_id] = record
+
+    def log_event(self) -> None:
+        """Append one System Event Log entry (used in failure tests)."""
+        self._sel_entries += 1
+
+    def handle_line(self, line: str) -> str:
+        parts = line.split()
+        if parts[:2] == ["LIST", "SDR"]:
+            if not self._records:
+                return "EMPTY"
+            return "\n".join(
+                f"SDR {r.record_id} {r.name} {r.sensor_type} {r.unit}"
+                for r in sorted(self._records.values(), key=lambda r: r.record_id)
+            )
+        if parts[:2] == ["GET", "SENSOR"] and len(parts) == 3:
+            try:
+                record_id = int(parts[2])
+            except ValueError:
+                raise ValueError(f"bad record id {parts[2]!r}") from None
+            record = self._records.get(record_id)
+            if record is None:
+                raise ValueError(f"no SDR with id {record_id}")
+            value = self.model.read(record.name)
+            return f"READING {record_id} {value}"
+        if parts[:3] == ["GET", "SEL", "INFO"]:
+            return f"SEL {self._sel_entries}"
+        raise ValueError(f"unknown command {line!r}")

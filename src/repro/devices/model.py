@@ -1,0 +1,109 @@
+"""Device state models.
+
+A :class:`DeviceModel` is a set of named channels, each a function of
+time returning an integer raw value — the state every simulated device
+server serves.  Channel generators below cover the signal shapes the
+case studies need (steady sensors, daily temperature ramps, noisy
+power draw).  Models are deterministic given their RNG seed, so
+experiment traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC, now_ns
+
+#: A channel: nanosecond time -> integer raw value.
+Channel = Callable[[int], int]
+
+
+def constant(value: int) -> Channel:
+    """A channel that always reads ``value``."""
+    return lambda t_ns: value
+
+
+def ramp(start: float, rate_per_s: float, scale: float = 1.0) -> Channel:
+    """Linear growth: ``start + rate * t``, scaled into integers."""
+
+    def channel(t_ns: int) -> int:
+        return int(round((start + rate_per_s * (t_ns / NS_PER_SEC)) * scale))
+
+    return channel
+
+
+def sinusoid(
+    mean: float, amplitude: float, period_s: float, scale: float = 1.0, phase: float = 0.0
+) -> Channel:
+    """A sine oscillation — daily temperature cycles, fan ripple."""
+
+    def channel(t_ns: int) -> int:
+        angle = 2.0 * math.pi * ((t_ns / NS_PER_SEC) / period_s) + phase
+        return int(round((mean + amplitude * math.sin(angle)) * scale))
+
+    return channel
+
+
+def noisy(base: Channel, sigma: float, seed: int = 0) -> Channel:
+    """Wrap a channel with Gaussian measurement noise.
+
+    Noise is keyed on the query timestamp so repeated reads at one
+    instant agree (a device reports one value per sample time) while
+    the trace across time is stochastic yet reproducible.
+    """
+
+    def channel(t_ns: int) -> int:
+        rng = np.random.default_rng((seed * 0x9E3779B1 + (t_ns // 1_000_000)) & 0xFFFFFFFF)
+        return int(round(base(t_ns) + rng.normal(0.0, sigma)))
+
+    return channel
+
+
+class DeviceModel:
+    """Named channels plus the clock they are sampled against.
+
+    ``clock`` defaults to the wall clock; simulations pass a
+    :class:`~repro.common.timeutil.SimClock` so device state follows
+    simulated time.
+    """
+
+    def __init__(self, clock: Callable[[], int] | None = None) -> None:
+        self._channels: dict[str, Channel] = {}
+        self._clock = clock if clock is not None else now_ns
+        self._lock = threading.Lock()
+        self.reads = 0
+
+    def add_channel(self, name: str, channel: Channel) -> None:
+        with self._lock:
+            self._channels[name] = channel
+
+    def read(self, name: str) -> int | None:
+        """Sample channel ``name`` at the current model time."""
+        with self._lock:
+            channel = self._channels.get(name)
+        if channel is None:
+            return None
+        self.reads += 1
+        return channel(self._clock())
+
+    def read_at(self, name: str, t_ns: int) -> int | None:
+        """Sample channel ``name`` at an explicit time (trace export)."""
+        with self._lock:
+            channel = self._channels.get(name)
+        return None if channel is None else channel(t_ns)
+
+    def channels(self) -> list[str]:
+        with self._lock:
+            return sorted(self._channels)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._channels
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._channels)

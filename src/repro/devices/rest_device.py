@@ -1,0 +1,57 @@
+"""A simulated RESTful telemetry endpoint.
+
+The paper's REST plugin polls HTTP APIs (e.g. rack-level cooling-unit
+controllers at LRZ expose their meters this way, as used in case
+study 1).  This device serves a real HTTP/JSON API:
+
+``GET /sensors``            -> ``{"name": value, ...}`` for all channels
+``GET /sensors/{name}``     -> ``{"name": ..., "value": ...}``
+
+backed by a :class:`~repro.devices.model.DeviceModel`.
+"""
+
+from __future__ import annotations
+
+from repro.common.httpjson import JsonHttpServer
+from repro.devices.model import DeviceModel
+
+
+class RestDeviceServer:
+    """HTTP telemetry endpoint over a device model."""
+
+    def __init__(
+        self, model: DeviceModel, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.model = model
+        self.server = JsonHttpServer(host, port)
+        self.server.route("GET", "/sensors", self._all)
+        self.server.route("GET", "/sensors/:name", self._one)
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def start(self) -> None:
+        self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    def __enter__(self) -> "RestDeviceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- handlers ---------------------------------------------------------
+
+    def _all(self, params: dict, query: dict, body: bytes):
+        return 200, {name: self.model.read(name) for name in self.model.channels()}
+
+    def _one(self, params: dict, query: dict, body: bytes):
+        name = params["name"]
+        value = self.model.read(name)
+        if value is None:
+            return 404, {"error": f"unknown sensor {name!r}"}
+        return 200, {"name": name, "value": value}

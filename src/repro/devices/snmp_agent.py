@@ -1,0 +1,76 @@
+"""A simulated SNMP agent.
+
+Models the subset of SNMP (RFC 1157, paper ref. [12]) the DCDB SNMP
+plugin needs: integer-valued OIDs in a MIB tree, point GETs and
+subtree WALKs.  Protocol (newline-delimited over TCP)::
+
+    GET <oid>          -> "<oid> = INTEGER: <value>"
+    WALK <oid-prefix>  -> one "<oid> = INTEGER: <value>" line per match
+
+OIDs are dotted-decimal strings (e.g. ``1.3.6.1.4.1.42.2.1``); each is
+bound to a :class:`~repro.devices.model.DeviceModel` channel.  PDUs
+and cooling-loop controllers in the facility simulation expose their
+meters this way, matching the paper's case study 1 where infrastructure
+data is gathered via the SNMP plugin.
+"""
+
+from __future__ import annotations
+
+from repro.devices.lineserver import LineServer
+from repro.devices.model import DeviceModel
+
+
+def _oid_key(oid: str) -> tuple[int, ...]:
+    """Numeric sort key for lexicographic-by-arc OID ordering."""
+    try:
+        return tuple(int(part) for part in oid.split("."))
+    except ValueError:
+        raise ValueError(f"malformed OID {oid!r}") from None
+
+
+class SnmpAgentServer(LineServer):
+    """The agent endpoint; one per simulated PDU/controller."""
+
+    def __init__(
+        self,
+        model: DeviceModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        community: str = "public",
+    ) -> None:
+        super().__init__(host, port)
+        self.model = model
+        self.community = community
+        self._mib: dict[str, str] = {}  # oid -> channel name
+
+    def bind_oid(self, oid: str, channel: str) -> None:
+        """Expose ``channel`` of the model at ``oid``."""
+        _oid_key(oid)  # validate
+        if channel not in self.model:
+            raise ValueError(f"model has no channel {channel!r}")
+        self._mib[oid] = channel
+
+    def handle_line(self, line: str) -> str:
+        parts = line.split()
+        if len(parts) == 2 and parts[0] == "GET":
+            channel = self._mib.get(parts[1])
+            if channel is None:
+                raise ValueError(f"noSuchObject {parts[1]}")
+            return f"{parts[1]} = INTEGER: {self.model.read(channel)}"
+        if len(parts) == 2 and parts[0] == "WALK":
+            prefix = parts[1]
+            prefix_key = _oid_key(prefix)
+            matches = sorted(
+                (
+                    oid
+                    for oid in self._mib
+                    if _oid_key(oid)[: len(prefix_key)] == prefix_key
+                ),
+                key=_oid_key,
+            )
+            if not matches:
+                raise ValueError(f"noSuchObject {prefix}")
+            return "\n".join(
+                f"{oid} = INTEGER: {self.model.read(self._mib[oid])}" for oid in matches
+            )
+        raise ValueError(f"unknown command {line!r}")

@@ -1,0 +1,13 @@
+"""Grafana integration.
+
+Paper section 5.4: DCDB ships its own Grafana data-source plugin built
+on libDCDB, whose distinguishing feature is *hierarchical browsing* —
+drill-down menus over the sensor tree, missing from stock Grafana
+plugins.  :mod:`repro.grafana.datasource` serves the simple-JSON
+datasource protocol (health check, ``/search``, ``/query``) extended
+with the ``/hierarchy`` endpoint backing those drop-down menus.
+"""
+
+from repro.grafana.datasource import GrafanaDataSource
+
+__all__ = ["GrafanaDataSource"]

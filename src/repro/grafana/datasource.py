@@ -1,0 +1,135 @@
+"""A Grafana simple-JSON data source over libDCDB.
+
+Serves the de-facto Grafana JSON datasource protocol:
+
+``GET  /``            health check (datasource "Save & Test").
+``POST /search``      body ``{"target": "<prefix>"}`` — metric name
+                      completion; returns topics below the prefix.
+``POST /query``       body ``{"range": {"from_ns": .., "to_ns": ..},
+                      "targets": [{"target": "<topic>"}, ...],
+                      "maxDataPoints": N}`` — returns Grafana series
+                      ``[{"target": .., "datapoints": [[value, ms]..]}]``.
+``GET  /hierarchy``   query param ``prefix`` — next-level names for
+                      the drill-down drop-downs (paper Figure 3).
+``POST /annotations`` alarm events from an attached analytics manager,
+                      rendered by Grafana as chart annotations (the
+                      paper lists alert notifications among Grafana's
+                      benefits, section 5.4).
+
+Long ranges are downsampled server-side to ``maxDataPoints`` buckets
+(mean), which is what keeps million-sensor deployments plottable.
+Virtual sensors work transparently: the client resolves and evaluates
+them like any topic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.errors import DCDBError
+from repro.common.httpjson import JsonHttpServer
+from repro.libdcdb.api import DCDBClient
+from repro.libdcdb.interpolation import downsample_mean
+
+
+class GrafanaDataSource:
+    """Binds a :class:`DCDBClient` to the Grafana JSON protocol.
+
+    ``analytics`` (optional) is an
+    :class:`~repro.analytics.manager.AnalyticsManager` whose alarm log
+    backs the ``/annotations`` endpoint.
+    """
+
+    def __init__(
+        self,
+        client: DCDBClient,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        analytics=None,
+    ) -> None:
+        self.client = client
+        self.analytics = analytics
+        self.server = JsonHttpServer(host, port)
+        s = self.server
+        s.route("GET", "/", self._health)
+        s.route("POST", "/search", self._search)
+        s.route("POST", "/query", self._query)
+        s.route("GET", "/hierarchy", self._hierarchy)
+        s.route("POST", "/annotations", self._annotations)
+
+    def start(self) -> None:
+        self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def __enter__(self) -> "GrafanaDataSource":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- handlers ---------------------------------------------------------
+
+    def _health(self, params: dict, query: dict, body: bytes):
+        return 200, {"status": "ok", "datasource": "dcdb"}
+
+    def _search(self, params: dict, query: dict, body: bytes):
+        payload = json.loads(body or b"{}")
+        prefix = payload.get("target", "")
+        topics = self.client.topics(prefix)
+        virtuals = [v.topic for v in self.client.virtual_sensors()]
+        return 200, sorted(set(topics) | {v for v in virtuals if v.startswith(prefix)})
+
+    def _query(self, params: dict, query: dict, body: bytes):
+        payload = json.loads(body or b"{}")
+        time_range = payload.get("range", {})
+        start = int(time_range.get("from_ns", 0))
+        end = int(time_range.get("to_ns", (1 << 62)))
+        max_points = int(payload.get("maxDataPoints", 1000) or 1000)
+        series = []
+        for target in payload.get("targets", []):
+            topic = target.get("target", "")
+            if not topic:
+                continue
+            try:
+                timestamps, values = self.client.query(topic, start, end)
+            except DCDBError as exc:
+                series.append({"target": topic, "error": str(exc), "datapoints": []})
+                continue
+            if timestamps.size > max_points:
+                bucket_ns = max(1, (end - start) // max_points)
+                timestamps, values = downsample_mean(timestamps, values, bucket_ns)
+            datapoints = [
+                [float(v), int(t // 1_000_000)]  # Grafana wants ms epochs
+                for t, v in zip(timestamps.tolist(), values.tolist())
+            ]
+            series.append({"target": topic, "datapoints": datapoints})
+        return 200, series
+
+    def _hierarchy(self, params: dict, query: dict, body: bytes):
+        prefix = query.get("prefix", "")
+        return 200, self.client.hierarchy_children(prefix)
+
+    def _annotations(self, params: dict, query: dict, body: bytes):
+        if self.analytics is None:
+            return 200, []
+        payload = json.loads(body or b"{}")
+        time_range = payload.get("range", {})
+        start = int(time_range.get("from_ns", 0))
+        end = int(time_range.get("to_ns", (1 << 62)))
+        return 200, [
+            {
+                "time": event.timestamp // 1_000_000,  # ms epochs
+                "title": event.operator,
+                "text": event.message,
+                "tags": [event.topic],
+            }
+            for event in self.analytics.alarms
+            if start <= event.timestamp <= end
+        ]

@@ -1,0 +1,37 @@
+"""libDCDB: the backend-independent data-access library.
+
+Paper section 5.1: "All accesses to Storage Backends are performed via
+a well-defined API that is independent from the underlying database
+implementation."  This package is the Python rendition of that
+library — everything the command-line tools, the Grafana data source
+and user scripts need:
+
+* :mod:`repro.libdcdb.api` — :class:`~repro.libdcdb.api.DCDBClient`,
+  the entry point: topic resolution, sensor configuration, time-range
+  queries with unit/scale decoding.
+* :mod:`repro.libdcdb.interpolation` — linear resampling used to
+  reconcile sensors with different sampling frequencies (paper
+  section 3.2).
+* :mod:`repro.libdcdb.virtualsensors` — the virtual-sensor expression
+  language: parser, lazy evaluator with automatic unit conversion and
+  write-back result caching.
+* :mod:`repro.libdcdb.analysis` — the query tool's "basic analysis
+  tasks ... such as integrals or derivatives" (paper section 5.2).
+"""
+
+from repro.libdcdb.api import DCDBClient, SensorConfig
+from repro.libdcdb.virtualsensors import VirtualSensorDef, parse_expression
+from repro.libdcdb.analysis import integral, derivative, summary
+from repro.libdcdb.interpolation import resample_linear, union_grid
+
+__all__ = [
+    "DCDBClient",
+    "SensorConfig",
+    "VirtualSensorDef",
+    "parse_expression",
+    "integral",
+    "derivative",
+    "summary",
+    "resample_linear",
+    "union_grid",
+]

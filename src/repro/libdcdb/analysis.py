@@ -1,0 +1,80 @@
+"""Time-series analysis primitives of the query tool.
+
+Paper section 5.2: the query tool can "perform basic analysis tasks on
+the data such as integrals or derivatives".  Integrals turn power into
+energy (the dominant use at LRZ); derivatives turn monotonic energy
+meters back into power.  Both operate on physical-valued series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+
+
+def integral(timestamps: np.ndarray, values: np.ndarray) -> float:
+    """Trapezoidal integral of the series over time, in value·seconds.
+
+    A power series in W integrates to energy in J.  Requires at least
+    two points; a single reading spans no time.
+    """
+    if timestamps.size < 2:
+        raise QueryError("integral needs at least two readings")
+    t_seconds = timestamps.astype(np.float64) / NS_PER_SEC
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy <2 fallback
+    return float(trapezoid(values.astype(np.float64), t_seconds))
+
+
+def derivative(
+    timestamps: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Finite-difference rate of change, in value-units per second.
+
+    Returned timestamps are the midpoints of consecutive reading
+    pairs.  An energy-meter series in J differentiates to power in W.
+    """
+    if timestamps.size < 2:
+        raise QueryError("derivative needs at least two readings")
+    dt = np.diff(timestamps).astype(np.float64) / NS_PER_SEC
+    if (dt <= 0).any():
+        raise QueryError("derivative requires strictly increasing timestamps")
+    rates = np.diff(values.astype(np.float64)) / dt
+    midpoints = timestamps[:-1] + np.diff(timestamps) // 2
+    return midpoints.astype(np.int64), rates
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """Descriptive statistics of one queried series."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    first_ts: int
+    last_ts: int
+
+    @property
+    def span_seconds(self) -> float:
+        return (self.last_ts - self.first_ts) / NS_PER_SEC
+
+
+def summary(timestamps: np.ndarray, values: np.ndarray) -> SeriesSummary:
+    """Summarize a series (the query tool's quick-look output)."""
+    if timestamps.size == 0:
+        raise QueryError("cannot summarize an empty series")
+    vals = values.astype(np.float64)
+    return SeriesSummary(
+        count=int(timestamps.size),
+        minimum=float(vals.min()),
+        maximum=float(vals.max()),
+        mean=float(vals.mean()),
+        std=float(vals.std()),
+        first_ts=int(timestamps[0]),
+        last_ts=int(timestamps[-1]),
+    )

@@ -1,0 +1,361 @@
+"""DCDBClient: the user-facing data-access API.
+
+The entry point for everything downstream of storage — command-line
+tools, the Grafana data source, analysis scripts.  Responsibilities:
+
+* resolving sensor topics to storage SIDs through the persisted
+  mapping the Collect Agent writes (``sidmap<topic>`` metadata keys);
+* sensor configuration (unit, scaling factor, integrability — the
+  properties the ``config`` tool manages, paper section 5.2);
+* raw and physical-valued time-range queries;
+* hierarchy navigation (the drill-down the Grafana plugin exposes,
+  paper section 5.4);
+* virtual sensors: definitions are persisted in storage metadata,
+  evaluated lazily on query, and their results written back for reuse
+  (paper section 3.2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.units import get_converter
+from repro.core.sid import SensorId
+from repro.libdcdb.interpolation import regular_grid, resample_linear
+from repro.libdcdb.virtualsensors import (
+    Evaluator,
+    VirtualSensorDef,
+    parse_expression,
+    referenced_sensors,
+)
+from repro.storage.backend import StorageBackend
+
+_SIDMAP_PREFIX = "sidmap"
+_SENSORCFG_PREFIX = "sensorconfig"
+_VSENSOR_PREFIX = "virtualsensor/"
+_VCACHE_PREFIX = "vcache/"
+
+
+@dataclass(slots=True)
+class SensorConfig:
+    """Interpretive properties of a stored sensor.
+
+    ``scale`` maps stored integers to physical values
+    (physical = stored / scale); ``unit`` names the physical unit.
+    """
+
+    topic: str
+    unit: str = "count"
+    scale: float = 1.0
+    integrable: bool = False
+    ttl_s: int = 0
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "topic": self.topic,
+                "unit": self.unit,
+                "scale": self.scale,
+                "integrable": self.integrable,
+                "ttl_s": self.ttl_s,
+                "attributes": self.attributes,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SensorConfig":
+        raw = json.loads(text)
+        return cls(
+            topic=raw["topic"],
+            unit=raw.get("unit", "count"),
+            scale=float(raw.get("scale", 1.0)),
+            integrable=bool(raw.get("integrable", False)),
+            ttl_s=int(raw.get("ttl_s", 0)),
+            attributes=raw.get("attributes", {}),
+        )
+
+
+class DCDBClient:
+    """High-level query interface over a :class:`StorageBackend`."""
+
+    def __init__(self, backend: StorageBackend) -> None:
+        self.backend = backend
+        self._sid_cache: dict[str, SensorId] = {}
+        self._evaluator = Evaluator(_Resolver(self))
+
+    # -- topic resolution ---------------------------------------------------
+
+    def sid_of(self, topic: str) -> SensorId:
+        """Resolve ``topic`` to its SID via the persisted mapping."""
+        sid = self._sid_cache.get(topic)
+        if sid is None:
+            text = self.backend.get_metadata(f"{_SIDMAP_PREFIX}{topic}")
+            if text is None:
+                raise QueryError(f"unknown sensor topic {topic!r}")
+            sid = SensorId.from_hex(text)
+            self._sid_cache[topic] = sid
+        return sid
+
+    def register_topic(self, topic: str, sid: SensorId) -> None:
+        """Persist a topic->SID mapping (importers, virtual sensors)."""
+        self.backend.put_metadata(f"{_SIDMAP_PREFIX}{topic}", sid.hex())
+        self._sid_cache[topic] = sid
+
+    def topics(self, prefix: str = "") -> list[str]:
+        """All known sensor topics, optionally below a prefix."""
+        keys = self.backend.metadata_keys(f"{_SIDMAP_PREFIX}{prefix}")
+        return [k[len(_SIDMAP_PREFIX) :] for k in keys]
+
+    def hierarchy_children(self, prefix: str = "") -> list[str]:
+        """Distinct next-level names under ``prefix`` (Grafana drill-down).
+
+        ``prefix`` of ``"/hpc/rack0"`` returns e.g. ``["chassis0",
+        "chassis1"]``; leaf sensors appear as their final component.
+        """
+        base = prefix.rstrip("/")
+        depth = len([p for p in base.split("/") if p])
+        children: set[str] = set()
+        for topic in self.topics(base + "/" if base else "/"):
+            parts = [p for p in topic.split("/") if p]
+            if len(parts) > depth:
+                children.add(parts[depth])
+        return sorted(children)
+
+    # -- sensor configuration --------------------------------------------------
+
+    def set_sensor_config(self, config: SensorConfig) -> None:
+        self.backend.put_metadata(f"{_SENSORCFG_PREFIX}{config.topic}", config.to_json())
+
+    def sensor_config(self, topic: str) -> SensorConfig:
+        """Stored configuration of ``topic`` (defaults when absent)."""
+        text = self.backend.get_metadata(f"{_SENSORCFG_PREFIX}{topic}")
+        if text is None:
+            return SensorConfig(topic=topic)
+        return SensorConfig.from_json(text)
+
+    # -- queries ---------------------------------------------------------------
+
+    def query_raw(self, topic: str, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stored integer readings of a concrete sensor."""
+        return self.backend.query(self.sid_of(topic), start, end)
+
+    def query(
+        self, topic: str, start: int, end: int, unit: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Physical-valued series of a sensor or virtual sensor.
+
+        Decodes stored integers via the sensor's scaling factor and
+        optionally converts into ``unit``.  Virtual sensors (topics
+        under ``/virtual/`` or names with a stored definition) are
+        evaluated lazily with result write-back.
+        """
+        vdef = self._virtual_def_for(topic)
+        if vdef is not None:
+            return self._query_virtual(vdef, start, end, unit)
+        config = self.sensor_config(topic)
+        timestamps, raw = self.query_raw(topic, start, end)
+        values = raw.astype(np.float64)
+        if config.scale != 1.0:
+            values = values / config.scale
+        if unit is not None and unit != config.unit:
+            converter = get_converter(config.unit, unit)
+            values = converter._scale * values + converter._offset
+        return timestamps, values
+
+    # -- virtual sensors -----------------------------------------------------------
+
+    def define_virtual_sensor(self, vdef: VirtualSensorDef) -> None:
+        """Validate and persist a virtual-sensor definition."""
+        node = parse_expression(vdef.expression)  # syntax check
+        if vdef.name in {
+            ref.split("/")[-1] for ref in referenced_sensors(node)
+        } or f"/virtual/{vdef.name}" in referenced_sensors(node):
+            raise QueryError(f"virtual sensor {vdef.name!r} references itself")
+        self._check_cycles(vdef.name, vdef.expression)
+        self.backend.put_metadata(f"{_VSENSOR_PREFIX}{vdef.name}", vdef.to_json())
+
+    def _check_cycles(self, name: str, expression: str) -> None:
+        """Reject definitions whose reference chain loops back."""
+        seen = {name}
+        frontier = [expression]
+        while frontier:
+            expr = frontier.pop()
+            for ref in referenced_sensors(parse_expression(expr)):
+                child = self._virtual_def_for(ref)
+                if child is None:
+                    continue
+                if child.name in seen:
+                    raise QueryError(
+                        f"virtual sensor cycle involving {child.name!r}"
+                    )
+                seen.add(child.name)
+                frontier.append(child.expression)
+
+    def virtual_sensor(self, name: str) -> VirtualSensorDef | None:
+        text = self.backend.get_metadata(f"{_VSENSOR_PREFIX}{name}")
+        return VirtualSensorDef.from_json(text) if text else None
+
+    def virtual_sensors(self) -> list[VirtualSensorDef]:
+        defs = []
+        for key in self.backend.metadata_keys(_VSENSOR_PREFIX):
+            text = self.backend.get_metadata(key)
+            if text:
+                defs.append(VirtualSensorDef.from_json(text))
+        return defs
+
+    def delete_virtual_sensor(self, name: str) -> None:
+        self.backend.delete_metadata(f"{_VSENSOR_PREFIX}{name}")
+        self.backend.delete_metadata(f"{_VCACHE_PREFIX}{name}")
+
+    def _virtual_def_for(self, topic: str) -> VirtualSensorDef | None:
+        if topic.startswith("/virtual/"):
+            return self.virtual_sensor(topic[len("/virtual/") :])
+        return self.virtual_sensor(topic)
+
+    def _query_virtual(
+        self, vdef: VirtualSensorDef, start: int, end: int, unit: str | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._cached_intervals(vdef.name)
+        if not _covers(cached, start, end):
+            self._evaluate_and_store(vdef, start, end)
+        sid = self._virtual_sid(vdef)
+        timestamps, raw = self.backend.query(sid, start, end)
+        values = raw.astype(np.float64)
+        if vdef.scale != 1.0:
+            values = values / vdef.scale
+        if unit is not None and unit != vdef.unit:
+            converter = get_converter(vdef.unit, unit)
+            values = converter._scale * values + converter._offset
+        return timestamps, values
+
+    def evaluate_virtual(
+        self, name: str, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Force evaluation of a virtual sensor (bypassing the cache)."""
+        vdef = self.virtual_sensor(name)
+        if vdef is None:
+            raise QueryError(f"unknown virtual sensor {name!r}")
+        return self._evaluate(vdef, start, end)
+
+    def _evaluate(
+        self, vdef: VirtualSensorDef, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        node = parse_expression(vdef.expression)
+        timestamps, values, _unit = self._evaluator.evaluate(node, start, end)
+        # Resample onto the definition's regular grid, clipped to the
+        # span where real data exists (no extrapolated tails).
+        grid = regular_grid(start, end, vdef.interval_ns)
+        grid = grid[(grid >= timestamps[0]) & (grid <= timestamps[-1])]
+        if grid.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return grid, resample_linear(timestamps, values, grid)
+
+    def _evaluate_and_store(self, vdef: VirtualSensorDef, start: int, end: int) -> None:
+        grid, values = self._evaluate(vdef, start, end)
+        sid = self._virtual_sid(vdef)
+        if grid.size:
+            scaled = np.rint(values * vdef.scale).astype(np.int64)
+            self.backend.insert_batch(
+                (sid, int(t), int(v), 0) for t, v in zip(grid, scaled)
+            )
+        intervals = self._cached_intervals(vdef.name)
+        intervals = _merge_intervals(intervals + [(start, end)])
+        self.backend.put_metadata(
+            f"{_VCACHE_PREFIX}{vdef.name}", json.dumps(intervals)
+        )
+
+    def _virtual_sid(self, vdef: VirtualSensorDef) -> SensorId:
+        topic = vdef.topic
+        sid = self._sid_cache.get(topic)
+        if sid is not None:
+            return sid
+        text = self.backend.get_metadata(f"{_SIDMAP_PREFIX}{topic}")
+        if text is not None:
+            sid = SensorId.from_hex(text)
+        else:
+            # Allocate a SID in the reserved /virtual subtree: level 0
+            # is the fixed virtual-space marker, deeper levels hash the
+            # name (collision-checked against existing mappings).
+            base = 0xFFFF
+            digest = abs(hash(vdef.name))
+            codes = [base, (digest & 0x7FFF) + 1, ((digest >> 15) & 0x7FFF) + 1]
+            sid = SensorId.from_codes(codes)
+            taken = {
+                v
+                for k in self.backend.metadata_keys(f"{_SIDMAP_PREFIX}/virtual/")
+                if (v := self.backend.get_metadata(k)) is not None
+            }
+            while sid.hex() in taken:
+                codes[2] = codes[2] % 0x7FFF + 1
+                sid = SensorId.from_codes(codes)
+            self.backend.put_metadata(f"{_SIDMAP_PREFIX}{topic}", sid.hex())
+        self._sid_cache[topic] = sid
+        return sid
+
+    def _cached_intervals(self, name: str) -> list[tuple[int, int]]:
+        text = self.backend.get_metadata(f"{_VCACHE_PREFIX}{name}")
+        if not text:
+            return []
+        return [(int(a), int(b)) for a, b in json.loads(text)]
+
+    # -- convenience -------------------------------------------------------------
+
+    def latest(self, topic: str) -> tuple[int, float] | None:
+        """Most recent (timestamp, physical value) of a sensor."""
+        config = self.sensor_config(topic)
+        result = self.backend.latest(self.sid_of(topic))
+        if result is None:
+            return None
+        timestamp, raw = result
+        return timestamp, raw / config.scale
+
+
+class _Resolver:
+    """Adapter giving the expression evaluator access to the client."""
+
+    def __init__(self, client: DCDBClient) -> None:
+        self.client = client
+        self._stack: set[str] = set()
+
+    def series(self, topic: str, start: int, end: int):
+        vdef = self.client._virtual_def_for(topic)
+        if vdef is not None:
+            if vdef.name in self._stack:
+                raise QueryError(f"virtual sensor cycle at {vdef.name!r}")
+            self._stack.add(vdef.name)
+            try:
+                timestamps, values = self.client._evaluate(vdef, start, end)
+            finally:
+                self._stack.discard(vdef.name)
+            return timestamps, values, vdef.unit
+        config = self.client.sensor_config(topic)
+        timestamps, values = self.client.query(topic, start, end)
+        return timestamps, values, config.unit
+
+    def subtree_topics(self, prefix: str) -> list[str]:
+        normalized = prefix if prefix.startswith("/") else "/" + prefix
+        return self.client.topics(normalized)
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Coalesce overlapping/adjacent [start, end] intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [list(ordered[0])]
+    for start, end in ordered[1:]:
+        if start <= merged[-1][1] + 1:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(a, b) for a, b in merged]
+
+
+def _covers(intervals: list[tuple[int, int]], start: int, end: int) -> bool:
+    """True if one cached interval fully contains [start, end]."""
+    return any(a <= start and end <= b for a, b in intervals)

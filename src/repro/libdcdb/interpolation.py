@@ -1,0 +1,86 @@
+"""Resampling sensor series onto common time grids.
+
+Paper section 3.2, on virtual sensors: "we account for different
+sampling frequencies by linear interpolation."  A virtual sensor
+combining a 1 Hz power meter with a 10 Hz performance counter needs
+both series on one grid before the arithmetic applies; these helpers
+provide that grid and the interpolation.
+
+All functions take/return int64 nanosecond timestamp arrays and
+float64 value arrays (queries decode raw integers to physical values
+before any arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import QueryError
+
+
+def union_grid(*timestamp_arrays: np.ndarray) -> np.ndarray:
+    """The sorted union of several timestamp arrays.
+
+    The natural evaluation grid for an expression: every instant where
+    at least one operand has a true reading.
+    """
+    non_empty = [ts for ts in timestamp_arrays if ts.size]
+    if not non_empty:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(non_empty))
+
+
+def regular_grid(start: int, end: int, interval_ns: int) -> np.ndarray:
+    """Evenly spaced timestamps covering [start, end]."""
+    if interval_ns <= 0:
+        raise QueryError("grid interval must be positive")
+    if end < start:
+        raise QueryError("grid end before start")
+    return np.arange(start, end + 1, interval_ns, dtype=np.int64)
+
+
+def resample_linear(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Linearly interpolate (timestamps, values) onto ``grid``.
+
+    Grid points outside the series' span are clamped to the first/last
+    value (a sensor is assumed to hold its reading until the next one
+    arrives; extrapolating trends would fabricate data).  An empty
+    series raises :class:`QueryError` — the caller decides whether a
+    missing operand voids the whole expression.
+    """
+    if timestamps.size == 0:
+        raise QueryError("cannot resample an empty series")
+    if timestamps.size != values.size:
+        raise QueryError("timestamps and values length mismatch")
+    return np.interp(
+        grid.astype(np.float64),
+        timestamps.astype(np.float64),
+        values.astype(np.float64),
+    )
+
+
+def downsample_mean(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    bucket_ns: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average readings into fixed buckets (for plotting long ranges).
+
+    Returns bucket-start timestamps and per-bucket means.  Empty
+    buckets are omitted rather than filled, so gaps stay visible.
+    """
+    if bucket_ns <= 0:
+        raise QueryError("bucket size must be positive")
+    if timestamps.size == 0:
+        return timestamps, values.astype(np.float64)
+    buckets = timestamps // bucket_ns
+    unique_buckets, inverse = np.unique(buckets, return_inverse=True)
+    sums = np.zeros(unique_buckets.size, dtype=np.float64)
+    counts = np.zeros(unique_buckets.size, dtype=np.int64)
+    np.add.at(sums, inverse, values.astype(np.float64))
+    np.add.at(counts, inverse, 1)
+    return (unique_buckets * bucket_ns).astype(np.int64), sums / counts

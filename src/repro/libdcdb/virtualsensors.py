@@ -1,0 +1,422 @@
+"""Virtual sensors: derived metrics over stored sensor data.
+
+Paper section 3.2: virtual sensors "are generated according to
+user-specified arithmetic expressions of arbitrary length, whose
+operands may either be sensors or virtual sensors themselves ...
+Virtual sensors can be used like normal sensors and are evaluated
+lazily ... results of previous queries are written back to a Storage
+Backend so they can be re-used later.  The units of the underlying
+physical sensors are converted automatically and we account for
+different sampling frequencies by linear interpolation."
+
+Expression language
+-------------------
+::
+
+    expr  := term (('+'|'-') term)*
+    term  := unary (('*'|'/') unary)*
+    unary := '-' unary | atom
+    atom  := NUMBER | '<' topic '>' | FUNC '(' '<' prefix '>' ')' | '(' expr ')'
+    FUNC  := sum | avg | min | max
+
+Sensor operands are written in angle brackets (``<...>``) holding
+either a concrete topic or, inside an aggregation function, a
+hierarchy prefix expanded to every sensor below it.  Examples::
+
+    (<s1/power> + <s2/power>) / 1000           ; node power sum, kW
+    sum(<hpc/rack0>)                           ; whole-rack aggregate
+    <heat/out> / sum(<pdu>)                    ; efficiency ratio
+
+Unit discipline: ``+``/``-`` convert the right operand into the left
+operand's unit automatically (raising on incompatible dimensions);
+``*``/``/`` produce dimensionless-by-default results whose unit is
+taken from the :class:`VirtualSensorDef`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.common.errors import QueryError, UnitError
+from repro.common.timeutil import NS_PER_SEC
+from repro.common.units import get_converter
+from repro.libdcdb.interpolation import resample_linear, union_grid
+
+_AGG_FUNCS = ("sum", "avg", "min", "max")
+
+
+# -- AST -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class SensorRef:
+    topic: str
+
+
+@dataclass(frozen=True, slots=True)
+class Agg:
+    func: str
+    prefix: str
+
+
+@dataclass(frozen=True, slots=True)
+class Neg:
+    operand: "Node"
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp:
+    op: str
+    left: "Node"
+    right: "Node"
+
+
+Node = Num | SensorRef | Agg | Neg | BinOp
+
+
+# -- parser ------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Node:
+        node = self._expr()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise QueryError(
+                f"unexpected input at position {self.pos}: {self.text[self.pos:]!r}"
+            )
+        return node
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expr(self) -> Node:
+        node = self._term()
+        while self._peek() and self._peek() in "+-":
+            op = self.text[self.pos]
+            self.pos += 1
+            node = BinOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Node:
+        node = self._unary()
+        while self._peek() and self._peek() in "*/":
+            op = self.text[self.pos]
+            self.pos += 1
+            node = BinOp(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        if self._peek() == "-":
+            self.pos += 1
+            return Neg(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            node = self._expr()
+            if self._peek() != ")":
+                raise QueryError("missing closing ')'")
+            self.pos += 1
+            return node
+        if ch == "<":
+            return SensorRef(self._sensor_token())
+        if ch.isdigit() or ch == ".":
+            return self._number()
+        if ch.isalpha():
+            return self._func()
+        raise QueryError(f"unexpected character {ch!r} at position {self.pos}")
+
+    def _sensor_token(self) -> str:
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise QueryError("unterminated sensor reference '<'")
+        topic = self.text[self.pos + 1 : end].strip()
+        if not topic:
+            raise QueryError("empty sensor reference '<>'")
+        self.pos = end + 1
+        return topic
+
+    def _number(self) -> Num:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isdigit() or self.text[self.pos] in ".eE+-"
+        ):
+            # Stop a sign from consuming a following operator: only
+            # accept +/- directly after an exponent marker.
+            if self.text[self.pos] in "+-" and self.text[self.pos - 1] not in "eE":
+                break
+            self.pos += 1
+        try:
+            return Num(float(self.text[start : self.pos]))
+        except ValueError:
+            raise QueryError(f"bad number {self.text[start:self.pos]!r}") from None
+
+    def _func(self) -> Agg:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalpha():
+            self.pos += 1
+        name = self.text[start : self.pos]
+        if name not in _AGG_FUNCS:
+            raise QueryError(f"unknown function {name!r}")
+        if self._peek() != "(":
+            raise QueryError(f"expected '(' after {name}")
+        self.pos += 1
+        if self._peek() != "<":
+            raise QueryError(f"{name}() takes a <prefix> argument")
+        prefix = self._sensor_token()
+        if self._peek() != ")":
+            raise QueryError(f"missing ')' after {name}(<{prefix}>")
+        self.pos += 1
+        return Agg(name, prefix)
+
+
+def parse_expression(text: str) -> Node:
+    """Parse a virtual-sensor expression into its AST."""
+    return _Parser(text).parse()
+
+
+def referenced_sensors(node: Node) -> set[str]:
+    """All topics/prefixes an expression refers to (cycle detection)."""
+    if isinstance(node, SensorRef):
+        return {node.topic}
+    if isinstance(node, Agg):
+        return {node.prefix}
+    if isinstance(node, Neg):
+        return referenced_sensors(node.operand)
+    if isinstance(node, BinOp):
+        return referenced_sensors(node.left) | referenced_sensors(node.right)
+    return set()
+
+
+# -- definitions ----------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VirtualSensorDef:
+    """A persisted virtual-sensor definition.
+
+    ``interval_ns`` sets the evaluation grid (the virtual sensor's
+    nominal sampling rate); ``unit`` declares the result unit; values
+    are written back scaled by ``scale`` into the integer storage
+    domain.  The default of 1000 keeps milli-resolution for derived
+    ratios (e.g. a 0.9 efficiency stores as 900) — raise it for
+    metrics needing finer precision.
+    """
+
+    name: str
+    expression: str
+    unit: str = "count"
+    interval_ns: int = NS_PER_SEC
+    scale: float = 1000.0
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def topic(self) -> str:
+        """The topic under which evaluations are cached."""
+        return f"/virtual/{self.name}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "expression": self.expression,
+                "unit": self.unit,
+                "interval_ns": self.interval_ns,
+                "scale": self.scale,
+                "attributes": self.attributes,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "VirtualSensorDef":
+        raw = json.loads(text)
+        return cls(
+            name=raw["name"],
+            expression=raw["expression"],
+            unit=raw.get("unit", "count"),
+            interval_ns=int(raw.get("interval_ns", NS_PER_SEC)),
+            scale=float(raw.get("scale", 1.0)),
+            attributes=raw.get("attributes", {}),
+        )
+
+
+# -- evaluation -------------------------------------------------------------------
+
+
+class SeriesResolver(Protocol):
+    """What the evaluator needs from libDCDB."""
+
+    def series(self, topic: str, start: int, end: int) -> tuple[np.ndarray, np.ndarray, str]:
+        """Physical-valued series of ``topic``: (ts, values, unit)."""
+        ...
+
+    def subtree_topics(self, prefix: str) -> list[str]:
+        """Concrete sensor topics below a hierarchy prefix."""
+        ...
+
+
+@dataclass(slots=True)
+class _Operand:
+    """An evaluated sub-expression: series on its own grid + unit."""
+
+    timestamps: np.ndarray
+    values: np.ndarray
+    unit: str | None  # None for pure numbers (unit-polymorphic)
+    scalar: float | None = None  # set when the node was a constant
+
+
+class Evaluator:
+    """Evaluates an expression AST over a time range."""
+
+    def __init__(self, resolver: SeriesResolver) -> None:
+        self.resolver = resolver
+
+    def evaluate(
+        self, node: Node, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray, str | None]:
+        """Returns (timestamps, values, unit) of the expression."""
+        operand = self._eval(node, start, end)
+        if operand.scalar is not None:
+            raise QueryError("expression is a constant; it references no sensors")
+        return operand.timestamps, operand.values, operand.unit
+
+    def _eval(self, node: Node, start: int, end: int) -> _Operand:
+        if isinstance(node, Num):
+            empty = np.empty(0, dtype=np.int64)
+            return _Operand(empty, np.empty(0), None, scalar=node.value)
+        if isinstance(node, SensorRef):
+            ts, values, unit = self.resolver.series(node.topic, start, end)
+            if ts.size == 0:
+                raise QueryError(f"no data for sensor {node.topic!r} in range")
+            return _Operand(ts, values, unit)
+        if isinstance(node, Agg):
+            return self._eval_agg(node, start, end)
+        if isinstance(node, Neg):
+            operand = self._eval(node.operand, start, end)
+            if operand.scalar is not None:
+                return _Operand(
+                    operand.timestamps, operand.values, None, scalar=-operand.scalar
+                )
+            return _Operand(operand.timestamps, -operand.values, operand.unit)
+        if isinstance(node, BinOp):
+            return self._eval_binop(node, start, end)
+        raise QueryError(f"unknown AST node {node!r}")
+
+    def _eval_agg(self, node: Agg, start: int, end: int) -> _Operand:
+        topics = self.resolver.subtree_topics(node.prefix)
+        if not topics:
+            raise QueryError(f"no sensors under prefix {node.prefix!r}")
+        series = []
+        unit: str | None = None
+        for topic in topics:
+            ts, values, sensor_unit = self.resolver.series(topic, start, end)
+            if ts.size == 0:
+                continue
+            if unit is None:
+                unit = sensor_unit
+            elif sensor_unit != unit:
+                try:
+                    converter = get_converter(sensor_unit, unit)
+                except UnitError as exc:
+                    raise QueryError(
+                        f"incompatible units under prefix {node.prefix!r}: {exc}"
+                    ) from exc
+                values = converter._scale * values + converter._offset
+            series.append((ts, values))
+        if not series:
+            raise QueryError(f"no data under prefix {node.prefix!r} in range")
+        grid = union_grid(*(ts for ts, _ in series))
+        stacked = np.vstack([resample_linear(ts, values, grid) for ts, values in series])
+        if node.func == "sum":
+            out = stacked.sum(axis=0)
+        elif node.func == "avg":
+            out = stacked.mean(axis=0)
+        elif node.func == "min":
+            out = stacked.min(axis=0)
+        else:
+            out = stacked.max(axis=0)
+        return _Operand(grid, out, unit)
+
+    def _eval_binop(self, node: BinOp, start: int, end: int) -> _Operand:
+        left = self._eval(node.left, start, end)
+        right = self._eval(node.right, start, end)
+        # Scalar arithmetic folds immediately.
+        if left.scalar is not None and right.scalar is not None:
+            return _Operand(
+                left.timestamps,
+                left.values,
+                None,
+                scalar=_apply_scalar(node.op, left.scalar, right.scalar),
+            )
+        if left.scalar is not None:
+            values = _apply(node.op, np.full_like(right.values, left.scalar), right.values)
+            unit = right.unit if node.op in "+-" else None
+            return _Operand(right.timestamps, values, unit)
+        if right.scalar is not None:
+            values = _apply(node.op, left.values, np.full_like(left.values, right.scalar))
+            unit = left.unit if node.op in "+-" else None
+            return _Operand(left.timestamps, values, unit)
+        # Two series: align on the union grid with linear interpolation.
+        grid = union_grid(left.timestamps, right.timestamps)
+        lvals = resample_linear(left.timestamps, left.values, grid)
+        rvals = resample_linear(right.timestamps, right.values, grid)
+        unit: str | None
+        if node.op in "+-":
+            # Automatic unit conversion: bring right into left's unit.
+            if left.unit and right.unit and left.unit != right.unit:
+                try:
+                    converter = get_converter(right.unit, left.unit)
+                except UnitError as exc:
+                    raise QueryError(f"incompatible units in expression: {exc}") from exc
+                rvals = converter._scale * rvals + converter._offset
+            unit = left.unit or right.unit
+        else:
+            unit = None  # products/ratios take the definition's unit
+        return _Operand(grid, _apply(node.op, lvals, rvals), unit)
+
+
+def _apply(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = left / right
+    if not np.isfinite(out).all():
+        raise QueryError("division by zero while evaluating expression")
+    return out
+
+
+def _apply_scalar(op: str, left: float, right: float) -> float:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if right == 0:
+        raise QueryError("division by zero in constant expression")
+    return left / right

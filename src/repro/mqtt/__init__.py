@@ -1,0 +1,72 @@
+"""From-scratch MQTT 3.1.1 implementation.
+
+DCDB transports every sensor reading over MQTT (paper section 3.1):
+Pushers act as MQTT clients publishing one topic per sensor, and each
+Collect Agent embeds a purpose-built broker that only implements the
+publish path.  This package reproduces that stack in pure Python:
+
+* :mod:`repro.mqtt.packets` -- wire-format codec for the MQTT 3.1.1
+  control packets (CONNECT .. DISCONNECT), including the streaming
+  decoder used on socket reads.
+* :mod:`repro.mqtt.topics` -- topic-name validation and the
+  subscription trie with ``+``/``#`` wildcard matching.
+* :mod:`repro.mqtt.broker` -- a threaded TCP broker.  The general
+  broker supports subscriptions; :class:`~repro.mqtt.broker.PublishOnlyBroker`
+  mirrors the Collect Agent's stripped-down variant (paper section 4.2).
+* :mod:`repro.mqtt.client` -- a blocking client with a background
+  receive loop, QoS 0/1 publishing, subscriptions and keepalive.
+* :mod:`repro.mqtt.inproc` -- an in-process hub with the same client
+  API for simulations that must not pay socket overhead.
+"""
+
+from repro.mqtt.packets import (
+    Connect,
+    ConnAck,
+    Publish,
+    PubAck,
+    Subscribe,
+    SubAck,
+    Unsubscribe,
+    UnsubAck,
+    PingReq,
+    PingResp,
+    Disconnect,
+    encode_packet,
+    decode_packet,
+    StreamDecoder,
+)
+from repro.mqtt.topics import (
+    validate_topic,
+    validate_filter,
+    topic_matches,
+    SubscriptionTree,
+)
+from repro.mqtt.broker import MQTTBroker, PublishOnlyBroker
+from repro.mqtt.client import MQTTClient
+from repro.mqtt.inproc import InProcHub, InProcClient
+
+__all__ = [
+    "Connect",
+    "ConnAck",
+    "Publish",
+    "PubAck",
+    "Subscribe",
+    "SubAck",
+    "Unsubscribe",
+    "UnsubAck",
+    "PingReq",
+    "PingResp",
+    "Disconnect",
+    "encode_packet",
+    "decode_packet",
+    "StreamDecoder",
+    "validate_topic",
+    "validate_filter",
+    "topic_matches",
+    "SubscriptionTree",
+    "MQTTBroker",
+    "PublishOnlyBroker",
+    "MQTTClient",
+    "InProcHub",
+    "InProcClient",
+]

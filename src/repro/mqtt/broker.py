@@ -1,0 +1,359 @@
+"""Threaded TCP MQTT brokers.
+
+Two variants are provided:
+
+* :class:`MQTTBroker` — a general-purpose 3.1.1 broker with
+  subscriptions, wildcard routing, retained messages and last-will
+  delivery.  Useful for integration tests and as a drop-in hub when a
+  deployment wants third-party MQTT consumers next to DCDB.
+
+* :class:`PublishOnlyBroker` — the Collect Agent's stripped-down
+  variant (paper section 4.2): it accepts CONNECT/PUBLISH/PINGREQ and
+  rejects SUBSCRIBE, since the Storage Backend is the only consumer
+  and is wired in-process through ``on_publish`` callbacks.  Skipping
+  the topic-filtering machinery keeps the per-reading cost to a parse
+  and a function call.
+
+Threading model: one accept thread plus one reader thread per client
+connection, mirroring the one-connection-per-Pusher layout of a real
+Collect Agent.  Delivery to subscribers happens on the publisher's
+reader thread; per-session send locks serialize socket writes.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from typing import Callable
+
+from repro.common.errors import TransportError
+from repro.mqtt import packets as pkt
+from repro.mqtt.topics import SubscriptionTree, validate_topic
+
+logger = logging.getLogger(__name__)
+
+# Callback invoked for every accepted PUBLISH: (client_id, publish packet).
+PublishHook = Callable[[str, pkt.Publish], None]
+
+
+class _Session:
+    """Per-connection state inside the broker."""
+
+    __slots__ = ("sock", "addr", "client_id", "will", "send_lock", "alive")
+
+    def __init__(self, sock: socket.socket, addr: tuple[str, int]) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.client_id: str | None = None
+        self.will: pkt.Publish | None = None
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+    def send(self, data: bytes) -> None:
+        with self.send_lock:
+            self.sock.sendall(data)
+
+
+class MQTTBroker:
+    """A small threaded MQTT 3.1.1 broker.
+
+    Usage::
+
+        broker = MQTTBroker("127.0.0.1", 0)
+        broker.start()
+        ... clients connect to broker.port ...
+        broker.stop()
+
+    ``authenticator`` (if given) is called with (client_id, username,
+    password) and must return True to accept the connection.
+    """
+
+    #: Whether SUBSCRIBE packets are honoured.
+    allow_subscribe = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 1883,
+        authenticator: Callable[[str, str | None, bytes | None], bool] | None = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._authenticator = authenticator
+        self._server_sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._sessions: dict[int, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._subs = SubscriptionTree()
+        self._subs_lock = threading.Lock()
+        self._retained: dict[str, pkt.Publish] = {}
+        self._hooks: list[PublishHook] = []
+        self._running = False
+        # Counters exposed for tests and the Collect Agent's stats API.
+        self.messages_received = 0
+        self.messages_delivered = 0
+        self.bytes_received = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, listen and start the accept loop."""
+        if self._running:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self._requested_port))
+        sock.listen(128)
+        self._server_sock = sock
+        self.port = sock.getsockname()[1]
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="mqtt-broker-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Close the listener and all client connections."""
+        if not self._running:
+            return
+        self._running = False
+        if self._server_sock is not None:
+            try:
+                self._server_sock.close()
+            except OSError:
+                pass
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            try:
+                session.sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MQTTBroker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- hooks --------------------------------------------------------
+
+    def add_publish_hook(self, hook: PublishHook) -> None:
+        """Register a callback invoked for every accepted PUBLISH.
+
+        This is how the Collect Agent attaches its storage writer.
+        """
+        self._hooks.append(hook)
+
+    @property
+    def connected_clients(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- internals ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server_sock is not None
+        while self._running:
+            try:
+                conn, addr = self._server_sock.accept()
+            except OSError:
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            session = _Session(conn, addr)
+            with self._sessions_lock:
+                self._sessions[id(session)] = session
+            threading.Thread(
+                target=self._client_loop,
+                args=(session,),
+                name=f"mqtt-broker-client-{addr[1]}",
+                daemon=True,
+            ).start()
+
+    def _client_loop(self, session: _Session) -> None:
+        decoder = pkt.StreamDecoder()
+        connected = False
+        try:
+            while self._running:
+                try:
+                    data = session.sock.recv(65536)
+                except TimeoutError:
+                    # Keepalive expired without traffic: the client is
+                    # gone; drop it (its will fires in _drop_session).
+                    logger.info(
+                        "client %s exceeded keepalive, disconnecting",
+                        session.client_id,
+                    )
+                    break
+                except OSError:
+                    break
+                if not data:
+                    break
+                self.bytes_received += len(data)
+                for packet in decoder.feed(data):
+                    if not connected:
+                        if not isinstance(packet, pkt.Connect):
+                            raise TransportError("first packet must be CONNECT")
+                        connected = self._handle_connect(session, packet)
+                        if not connected:
+                            return
+                        continue
+                    if isinstance(packet, pkt.Publish):
+                        self._handle_publish(session, packet)
+                    elif isinstance(packet, pkt.Subscribe):
+                        self._handle_subscribe(session, packet)
+                    elif isinstance(packet, pkt.Unsubscribe):
+                        self._handle_unsubscribe(session, packet)
+                    elif isinstance(packet, pkt.PingReq):
+                        session.send(pkt.PingResp().encode())
+                    elif isinstance(packet, pkt.Disconnect):
+                        session.will = None  # clean close: will discarded
+                        return
+                    else:
+                        raise TransportError(
+                            f"unexpected packet {type(packet).__name__} from client"
+                        )
+        except TransportError as exc:
+            logger.warning("protocol error from %s: %s", session.addr, exc)
+        except OSError:
+            pass
+        finally:
+            self._drop_session(session)
+
+    def _handle_connect(self, session: _Session, packet: pkt.Connect) -> bool:
+        if self._authenticator is not None and not self._authenticator(
+            packet.client_id, packet.username, packet.password
+        ):
+            session.send(
+                pkt.ConnAck(return_code=pkt.CONNACK_REFUSED_BAD_CREDENTIALS).encode()
+            )
+            return False
+        session.client_id = packet.client_id
+        # MQTT 3.1.1 [3.1.2.10]: the server may disconnect a client
+        # silent for 1.5x its keepalive.  Enforced via a socket read
+        # timeout; PINGREQs reset it naturally.
+        if packet.keepalive > 0:
+            session.sock.settimeout(packet.keepalive * 1.5)
+        if packet.will_topic is not None:
+            session.will = pkt.Publish(
+                topic=packet.will_topic,
+                payload=packet.will_payload,
+                qos=min(packet.will_qos, 1),
+                retain=packet.will_retain,
+                packet_id=1 if packet.will_qos else None,
+            )
+        session.send(pkt.ConnAck(session_present=False).encode())
+        return True
+
+    def _handle_publish(self, session: _Session, packet: pkt.Publish) -> None:
+        validate_topic(packet.topic)
+        self.messages_received += 1
+        if packet.retain:
+            if packet.payload:
+                self._retained[packet.topic] = packet
+            else:
+                self._retained.pop(packet.topic, None)
+        for hook in self._hooks:
+            hook(session.client_id or "", packet)
+        # Ack after the hooks: a QoS 1 PUBACK means the reading was
+        # handed to storage, not merely parsed.
+        if packet.qos == 1:
+            session.send(pkt.PubAck(packet_id=packet.packet_id).encode())
+        self._route(packet)
+
+    def _route(self, packet: pkt.Publish) -> None:
+        with self._subs_lock:
+            targets = self._subs.match(packet.topic)
+        if not targets:
+            return
+        for sub_key, granted_qos in targets.items():
+            with self._sessions_lock:
+                target = self._sessions.get(sub_key)
+            if target is None or not target.alive:
+                continue
+            out_qos = min(packet.qos, granted_qos)
+            out = pkt.Publish(
+                topic=packet.topic,
+                payload=packet.payload,
+                qos=out_qos,
+                retain=False,
+                packet_id=packet.packet_id if out_qos else None,
+            )
+            try:
+                target.send(out.encode())
+                self.messages_delivered += 1
+            except OSError:
+                target.alive = False
+
+    def _handle_subscribe(self, session: _Session, packet: pkt.Subscribe) -> None:
+        codes: list[int] = []
+        for topic, qos in packet.topics:
+            if not self.allow_subscribe:
+                codes.append(pkt.SUBACK_FAILURE)
+                continue
+            try:
+                with self._subs_lock:
+                    self._subs.subscribe(topic, id(session), min(qos, 1))
+                codes.append(min(qos, 1))
+            except TransportError:
+                codes.append(pkt.SUBACK_FAILURE)
+        session.send(pkt.SubAck(packet_id=packet.packet_id, return_codes=tuple(codes)).encode())
+        if not self.allow_subscribe:
+            return
+        # Deliver retained messages matching the new filters.
+        for topic, qos in packet.topics:
+            for rtopic, retained in list(self._retained.items()):
+                from repro.mqtt.topics import topic_matches
+
+                if topic_matches(topic, rtopic):
+                    out = pkt.Publish(
+                        topic=retained.topic,
+                        payload=retained.payload,
+                        qos=0,
+                        retain=True,
+                    )
+                    try:
+                        session.send(out.encode())
+                    except OSError:
+                        pass
+
+    def _handle_unsubscribe(self, session: _Session, packet: pkt.Unsubscribe) -> None:
+        with self._subs_lock:
+            for topic in packet.topics:
+                self._subs.unsubscribe(topic, id(session))
+        session.send(pkt.UnsubAck(packet_id=packet.packet_id).encode())
+
+    def _drop_session(self, session: _Session) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(id(session), None)
+        with self._subs_lock:
+            self._subs.remove_subscriber(id(session))
+        try:
+            session.sock.close()
+        except OSError:
+            pass
+        # Abnormal disconnect with a registered will: publish it.
+        if session.will is not None:
+            will = session.will
+            session.will = None
+            for hook in self._hooks:
+                hook(session.client_id or "", will)
+            self._route(will)
+
+
+class PublishOnlyBroker(MQTTBroker):
+    """The Collect Agent's minimal broker.
+
+    Only the publish interface of the MQTT standard is supported
+    (paper section 4.2): SUBSCRIBE requests are answered with a failure
+    return code for every filter, so well-behaved clients learn that
+    this endpoint is ingest-only.  All readings reach consumers through
+    :meth:`MQTTBroker.add_publish_hook`.
+    """
+
+    allow_subscribe = False

@@ -1,0 +1,310 @@
+"""Blocking MQTT client with a background receive loop.
+
+This is the Pusher side of the transport (paper section 4.1: the MQTT
+Client component "periodically extracts the data from the sensors in
+each plugin and pushes it to the associated Collect Agent").  It
+supports:
+
+* QoS 0 fire-and-forget publishing (DCDB's default for readings);
+* QoS 1 publishing with a bounded in-flight window and PUBACK
+  tracking, for configurations that need at-least-once delivery;
+* subscriptions with per-message callbacks (used by tests and by
+  third-party consumers against the full broker);
+* automatic PINGREQ keepalives.
+
+The client is thread-safe: multiple plugin threads may publish
+concurrently; socket writes are serialized with a lock.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from typing import Callable
+
+from repro.common.errors import TransportError
+from repro.mqtt import packets as pkt
+from repro.mqtt.topics import validate_filter, validate_topic
+
+logger = logging.getLogger(__name__)
+
+MessageCallback = Callable[[str, bytes], None]
+
+
+class MQTTClient:
+    """A synchronous MQTT 3.1.1 client.
+
+    Parameters mirror the subset of Mosquitto options DCDB uses.  The
+    object may be used as a context manager; ``connect`` must be called
+    before any publish/subscribe operation.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        host: str = "127.0.0.1",
+        port: int = 1883,
+        keepalive: int = 60,
+        username: str | None = None,
+        password: bytes | None = None,
+        max_inflight: int = 64,
+    ) -> None:
+        self.client_id = client_id
+        self.host = host
+        self.port = port
+        self.keepalive = keepalive
+        self.username = username
+        self.password = password
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._reader: threading.Thread | None = None
+        self._pinger: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._connack = threading.Event()
+        self._connack_code: int | None = None
+        self._next_packet_id = 1
+        self._id_lock = threading.Lock()
+        self._inflight: dict[int, threading.Event] = {}
+        self._inflight_sem = threading.Semaphore(max_inflight)
+        self._suback_events: dict[int, threading.Event] = {}
+        self._suback_codes: dict[int, tuple[int, ...]] = {}
+        self._callbacks: list[tuple[str, MessageCallback]] = []
+        self.on_message: MessageCallback | None = None
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def connect(self, timeout: float = 5.0) -> None:
+        """Open the TCP connection and perform the MQTT handshake."""
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        self._sock = sock
+        self._stop.clear()
+        self._connack.clear()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"mqtt-client-{self.client_id}", daemon=True
+        )
+        self._reader.start()
+        self._send(
+            pkt.Connect(
+                client_id=self.client_id,
+                keepalive=self.keepalive,
+                username=self.username,
+                password=self.password,
+            ).encode()
+        )
+        if not self._connack.wait(timeout):
+            self.close()
+            raise TransportError("timed out waiting for CONNACK")
+        if self._connack_code != pkt.CONNACK_ACCEPTED:
+            code = self._connack_code
+            self.close()
+            raise TransportError(f"connection refused (return code {code})")
+        if self.keepalive > 0:
+            self._pinger = threading.Thread(
+                target=self._ping_loop, name=f"mqtt-ping-{self.client_id}", daemon=True
+            )
+            self._pinger.start()
+
+    def disconnect(self) -> None:
+        """Send DISCONNECT and close the socket."""
+        if self._sock is not None:
+            try:
+                self._send(pkt.Disconnect().encode())
+            except OSError:
+                pass
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the connection without the DISCONNECT handshake."""
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        # Unblock any publishers waiting on PUBACKs.
+        for event in list(self._inflight.values()):
+            event.set()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None and self._connack.is_set() and not self._stop.is_set()
+
+    def __enter__(self) -> "MQTTClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.disconnect()
+
+    # -- publishing -----------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        payload: bytes,
+        qos: int = 0,
+        retain: bool = False,
+        wait_ack: bool = False,
+        timeout: float = 5.0,
+    ) -> None:
+        """Publish ``payload`` on ``topic``.
+
+        With ``qos=1`` the message enters the bounded in-flight window;
+        ``wait_ack=True`` additionally blocks until the broker's PUBACK
+        arrives (or raises on timeout).
+        """
+        validate_topic(topic)
+        if qos == 0:
+            self._send(pkt.Publish(topic=topic, payload=payload, retain=retain).encode())
+            self.messages_sent += 1
+            return
+        self._inflight_sem.acquire()
+        packet_id = self._allocate_packet_id()
+        acked = threading.Event()
+        self._inflight[packet_id] = acked
+        try:
+            self._send(
+                pkt.Publish(
+                    topic=topic, payload=payload, qos=1, retain=retain, packet_id=packet_id
+                ).encode()
+            )
+            self.messages_sent += 1
+            if wait_ack and not acked.wait(timeout):
+                raise TransportError(f"PUBACK timeout for packet {packet_id}")
+        finally:
+            if wait_ack or acked.is_set():
+                self._inflight.pop(packet_id, None)
+                self._inflight_sem.release()
+            # Otherwise the ack handler releases when PUBACK arrives.
+
+    # -- subscriptions ----------------------------------------------------
+
+    def subscribe(
+        self,
+        pattern: str,
+        callback: MessageCallback | None = None,
+        qos: int = 0,
+        timeout: float = 5.0,
+    ) -> int:
+        """Subscribe to ``pattern``; returns the granted QoS.
+
+        Raises :class:`TransportError` if the broker rejects the filter
+        (as the Collect Agent's publish-only broker always does).
+        """
+        validate_filter(pattern)
+        packet_id = self._allocate_packet_id()
+        event = threading.Event()
+        self._suback_events[packet_id] = event
+        # Register the callback before the broker can deliver anything:
+        # retained messages may arrive immediately after the SUBACK,
+        # racing a post-wait registration.
+        if callback is not None:
+            self._callbacks.append((pattern, callback))
+        try:
+            self._send(pkt.Subscribe(packet_id=packet_id, topics=((pattern, qos),)).encode())
+            if not event.wait(timeout):
+                raise TransportError("SUBACK timeout")
+            codes = self._suback_codes.pop(packet_id, ())
+            if not codes or codes[0] == pkt.SUBACK_FAILURE:
+                raise TransportError(f"subscription to {pattern!r} rejected by broker")
+        except TransportError:
+            if callback is not None:
+                self._callbacks.remove((pattern, callback))
+            raise
+        finally:
+            self._suback_events.pop(packet_id, None)
+        return codes[0]
+
+    def unsubscribe(self, pattern: str) -> None:
+        packet_id = self._allocate_packet_id()
+        self._send(pkt.Unsubscribe(packet_id=packet_id, topics=(pattern,)).encode())
+        self._callbacks = [(p, cb) for p, cb in self._callbacks if p != pattern]
+
+    # -- internals --------------------------------------------------------
+
+    def _allocate_packet_id(self) -> int:
+        with self._id_lock:
+            pid = self._next_packet_id
+            self._next_packet_id = pid % 0xFFFF + 1
+            return pid
+
+    def _send(self, data: bytes) -> None:
+        sock = self._sock
+        if sock is None:
+            raise TransportError("client is not connected")
+        with self._send_lock:
+            sock.sendall(data)
+        self.bytes_sent += len(data)
+
+    def _read_loop(self) -> None:
+        decoder = pkt.StreamDecoder()
+        while not self._stop.is_set():
+            sock = self._sock
+            if sock is None:
+                break
+            try:
+                data = sock.recv(65536)
+            except OSError:
+                break
+            if not data:
+                break
+            try:
+                received = decoder.feed(data)
+            except TransportError as exc:
+                logger.warning("client %s: protocol error: %s", self.client_id, exc)
+                break
+            for packet in received:
+                self._dispatch(packet)
+        self._stop.set()
+        self._connack.set()  # unblock a connect() waiting on a dead socket
+
+    def _dispatch(self, packet: pkt.Packet) -> None:
+        if isinstance(packet, pkt.ConnAck):
+            self._connack_code = packet.return_code
+            self._connack.set()
+        elif isinstance(packet, pkt.PubAck):
+            event = self._inflight.pop(packet.packet_id, None)
+            if event is not None:
+                event.set()
+                self._inflight_sem.release()
+        elif isinstance(packet, pkt.SubAck):
+            self._suback_codes[packet.packet_id] = packet.return_codes
+            event = self._suback_events.get(packet.packet_id)
+            if event is not None:
+                event.set()
+        elif isinstance(packet, pkt.Publish):
+            if packet.qos == 1 and packet.packet_id is not None:
+                try:
+                    self._send(pkt.PubAck(packet_id=packet.packet_id).encode())
+                except (TransportError, OSError):
+                    pass
+            self._deliver(packet.topic, packet.payload)
+        elif isinstance(packet, pkt.PingResp):
+            pass
+        else:
+            logger.debug("client %s: ignoring %s", self.client_id, type(packet).__name__)
+
+    def _deliver(self, topic: str, payload: bytes) -> None:
+        from repro.mqtt.topics import topic_matches
+
+        delivered = False
+        for pattern, callback in self._callbacks:
+            if topic_matches(pattern, topic):
+                callback(topic, payload)
+                delivered = True
+        if not delivered and self.on_message is not None:
+            self.on_message(topic, payload)
+
+    def _ping_loop(self) -> None:
+        interval = max(self.keepalive * 0.5, 1.0)
+        while not self._stop.wait(interval):
+            try:
+                self._send(pkt.PingReq().encode())
+            except (TransportError, OSError):
+                break

@@ -1,0 +1,199 @@
+"""In-process MQTT-compatible transport.
+
+Large simulated deployments (a thousand Pushers feeding one Collect
+Agent, as in the paper's Figure 8 experiment) would drown in socket
+and thread overhead if every simulated node opened a real TCP
+connection from a single test process.  :class:`InProcHub` implements
+the same publish/subscribe semantics as :class:`~repro.mqtt.broker.MQTTBroker`
+as plain function calls — identical topic matching, identical hook
+interface — so the Collect Agent and Pusher code paths above the
+transport are byte-for-byte the same in both modes.
+
+:class:`InProcClient` intentionally mirrors the public surface of
+:class:`~repro.mqtt.client.MQTTClient` (connect/publish/subscribe/
+disconnect), so higher layers accept either interchangeably.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable
+
+from repro.common.errors import TransportError
+from repro.mqtt import packets as pkt
+from repro.mqtt.broker import PublishHook
+from repro.mqtt.topics import SubscriptionTree, validate_filter, validate_topic
+
+MessageCallback = Callable[[str, bytes], None]
+
+
+class InProcHub:
+    """A broker-equivalent hub living inside the process.
+
+    Exposes the same counters and ``add_publish_hook`` API as the TCP
+    broker, allowing the Collect Agent to attach to either.
+    """
+
+    def __init__(self, allow_subscribe: bool = True) -> None:
+        self.allow_subscribe = allow_subscribe
+        self._subs = SubscriptionTree()
+        self._lock = threading.Lock()
+        self._hooks: list[PublishHook] = []
+        self._clients: dict[int, "InProcClient"] = {}
+        self._ids = itertools.count(1)
+        self.messages_received = 0
+        self.messages_delivered = 0
+        self.bytes_received = 0
+
+    def add_publish_hook(self, hook: PublishHook) -> None:
+        self._hooks.append(hook)
+
+    @property
+    def connected_clients(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    # -- client-facing operations (called by InProcClient) ------------
+
+    def _attach(self, client: "InProcClient") -> int:
+        with self._lock:
+            key = next(self._ids)
+            self._clients[key] = client
+            return key
+
+    def _detach(self, key: int) -> None:
+        with self._lock:
+            self._clients.pop(key, None)
+            self._subs.remove_subscriber(key)
+
+    def _publish(self, client_id: str, packet: pkt.Publish) -> None:
+        with self._lock:
+            # Counter updates inside the lock: += on attributes is a
+            # read-modify-write and loses updates under concurrency.
+            self.messages_received += 1
+            self.bytes_received += len(packet.payload) + len(packet.topic)
+            targets = list(self._subs.match(packet.topic).items())
+            clients = {k: self._clients.get(k) for k, _ in targets}
+        for hook in self._hooks:
+            hook(client_id, packet)
+        delivered = 0
+        for key, _qos in targets:
+            target = clients.get(key)
+            if target is not None:
+                target._deliver(packet.topic, packet.payload)
+                delivered += 1
+        if delivered:
+            with self._lock:
+                self.messages_delivered += delivered
+
+    def _subscribe(self, key: int, pattern: str, qos: int) -> int:
+        if not self.allow_subscribe:
+            raise TransportError("this hub is publish-only")
+        with self._lock:
+            self._subs.subscribe(pattern, key, qos)
+        return qos
+
+    def _unsubscribe(self, key: int, pattern: str) -> None:
+        with self._lock:
+            self._subs.unsubscribe(pattern, key)
+
+
+class InProcClient:
+    """Client endpoint for an :class:`InProcHub`.
+
+    API-compatible with :class:`~repro.mqtt.client.MQTTClient` for the
+    operations DCDB components use.
+    """
+
+    def __init__(self, client_id: str, hub: InProcHub) -> None:
+        self.client_id = client_id
+        self.hub = hub
+        self._key: int | None = None
+        self._callbacks: list[tuple[str, MessageCallback]] = []
+        self.on_message: MessageCallback | None = None
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def connect(self, timeout: float = 5.0) -> None:
+        if self._key is None:
+            self._key = self.hub._attach(self)
+
+    def disconnect(self) -> None:
+        if self._key is not None:
+            self.hub._detach(self._key)
+            self._key = None
+
+    close = disconnect
+
+    @property
+    def connected(self) -> bool:
+        return self._key is not None
+
+    def __enter__(self) -> "InProcClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.disconnect()
+
+    # -- operations -------------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        payload: bytes,
+        qos: int = 0,
+        retain: bool = False,
+        wait_ack: bool = False,
+        timeout: float = 5.0,
+    ) -> None:
+        if self._key is None:
+            raise TransportError("client is not connected")
+        validate_topic(topic)
+        packet = pkt.Publish(
+            topic=topic,
+            payload=payload,
+            qos=qos,
+            retain=retain,
+            packet_id=1 if qos else None,
+        )
+        self.hub._publish(self.client_id, packet)
+        self.messages_sent += 1
+        self.bytes_sent += len(payload) + len(topic)
+
+    def subscribe(
+        self,
+        pattern: str,
+        callback: MessageCallback | None = None,
+        qos: int = 0,
+        timeout: float = 5.0,
+    ) -> int:
+        if self._key is None:
+            raise TransportError("client is not connected")
+        validate_filter(pattern)
+        granted = self.hub._subscribe(self._key, pattern, min(qos, 1))
+        if callback is not None:
+            self._callbacks.append((pattern, callback))
+        return granted
+
+    def unsubscribe(self, pattern: str) -> None:
+        if self._key is None:
+            raise TransportError("client is not connected")
+        self.hub._unsubscribe(self._key, pattern)
+        self._callbacks = [(p, cb) for p, cb in self._callbacks if p != pattern]
+
+    # -- delivery ---------------------------------------------------------
+
+    def _deliver(self, topic: str, payload: bytes) -> None:
+        from repro.mqtt.topics import topic_matches
+
+        delivered = False
+        for pattern, callback in self._callbacks:
+            if topic_matches(pattern, topic):
+                callback(topic, payload)
+                delivered = True
+        if not delivered and self.on_message is not None:
+            self.on_message(topic, payload)

@@ -1,0 +1,21 @@
+"""Pusher plugins.
+
+The paper ships ten plugins covering "in-band application performance
+metrics (Perfevents), server-side sensors and metrics (ProcFS and
+SysFS), I/O metrics (GPFS and Omnipath), out-of-band sensors of IT
+components (IPMI and SNMP), RESTful APIs, and building management
+systems (BACnet)" (section 3.1), plus the ``tester`` plugin used
+throughout the evaluation to generate arbitrary sensor counts with
+negligible acquisition overhead (section 6.2.1).
+
+All ten (plus tester) are reproduced here.  Each module registers its
+configurator with the plugin registry on import; the registry imports
+lazily by name, so ``pusher.load_plugin("procfs", cfg)`` just works.
+
+In-band plugins (procfs, sysfs, perfevents, gpfs, opa) read from file
+trees; their roots are configurable so tests point them at synthetic
+snapshots while production-like runs read the live ``/proc``.
+Out-of-band plugins (ipmi, snmp, rest, bacnet) speak simplified wire
+protocols over TCP against the simulated devices in
+:mod:`repro.devices`.
+"""

@@ -1,0 +1,236 @@
+"""Application-instrumentation plugin.
+
+The paper's goal is monitoring "from facility to application sensor
+data", and its future work plans "plugins to collect profiling data
+as well, so as to extend the application analysis capabilities of
+DCDB" (section 9; compare Caliper, which the related-work section says
+"could potentially be included in DCDB as additional data sources").
+
+This plugin is that data source: applications instrument themselves
+through a process-wide registry of counters and gauges, and the
+Pusher samples the registry like any other sensor source — no
+application-side MQTT, storage or timing code.
+
+Application side::
+
+    from repro.plugins.appinstr import instruments
+
+    iterations = instruments.counter("solver_iterations")
+    residual = instruments.gauge("residual", scale=1e6)
+
+    while not converged:
+        iterations.inc()
+        residual.set(current_residual)
+
+Pusher side::
+
+    group app {
+        interval 100
+        registry default       ; the process-wide registry
+        ; with no sensor blocks, every instrument is exported;
+        ; counters publish as deltas.
+    }
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    def read(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value; floats encode via ``scale``."""
+
+    __slots__ = ("name", "scale", "_value", "_lock")
+
+    def __init__(self, name: str, scale: float = 1.0) -> None:
+        self.name = name
+        self.scale = scale
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = int(round(value * self.scale))
+
+    def read(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class InstrumentRegistry:
+    """A named collection of application instruments.
+
+    ``instruments`` below is the default process-wide registry; tests
+    and multi-tenant processes can create isolated ones and register
+    them under their own names.
+    """
+
+    _registries: dict[str, "InstrumentRegistry"] = {}
+    _registries_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter (idempotent by name)."""
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Counter):
+                    raise ConfigError(f"instrument {name!r} exists as a gauge")
+                return existing
+            instrument = Counter(name)
+            self._instruments[name] = instrument
+            return instrument
+
+    def gauge(self, name: str, scale: float = 1.0) -> Gauge:
+        """Get or create a gauge (idempotent by name)."""
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Gauge):
+                    raise ConfigError(f"instrument {name!r} exists as a counter")
+                return existing
+            instrument = Gauge(name, scale=scale)
+            self._instruments[name] = instrument
+            return instrument
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    # -- named registries ----------------------------------------------------
+
+    @classmethod
+    def named(cls, name: str) -> "InstrumentRegistry":
+        """Get or create the registry registered under ``name``."""
+        with cls._registries_lock:
+            registry = cls._registries.get(name)
+            if registry is None:
+                registry = cls()
+                cls._registries[name] = registry
+            return registry
+
+
+#: The default process-wide registry applications import.
+instruments = InstrumentRegistry.named("default")
+
+
+class AppInstrSensor(PluginSensor):
+    """A sensor bound to one instrument."""
+
+    __slots__ = ("instrument_name",)
+
+    def __init__(self, instrument_name: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.instrument_name = instrument_name
+
+
+class AppInstrGroup(SensorGroup):
+    """Samples instruments from a registry.
+
+    Instruments registered *after* the plugin started are picked up on
+    the fly when the group was configured in export-all mode.
+    """
+
+    def __init__(self, *args, registry: InstrumentRegistry, export_all: bool, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.registry = registry
+        self.export_all = export_all
+        self._cache_maxage_ns = None
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        if self.export_all:
+            self._sync_sensors()
+        values: list[int] = []
+        for sensor in self.sensors:
+            instrument = self.registry.get(sensor.instrument_name)
+            if instrument is None:
+                raise PluginError(
+                    f"instrument {sensor.instrument_name!r} disappeared"
+                )
+            values.append(instrument.read())
+        return values
+
+    def _sync_sensors(self) -> None:
+        known = {s.instrument_name for s in self.sensors}
+        for name in self.registry.names():
+            if name in known:
+                continue
+            instrument = self.registry.get(name)
+            sensor = AppInstrSensor(
+                instrument_name=name,
+                name=name,
+                mqtt_suffix=f"/{self.name}/{name}",
+            )
+            sensor.metadata.delta = isinstance(instrument, Counter)
+            if isinstance(instrument, Gauge):
+                sensor.metadata.scale = instrument.scale
+            self.add_sensor(sensor)
+
+
+class AppInstrConfigurator(ConfiguratorBase):
+    """Builds instrumentation groups over a named registry."""
+
+    plugin_name = "appinstr"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        registry = InstrumentRegistry.named(config.get("registry", "default"))
+        sensor_nodes = list(config.children("sensor"))
+        group = AppInstrGroup(
+            registry=registry,
+            export_all=not sensor_nodes,
+            **self.group_common(name, config),
+        )
+        for key, node in sensor_nodes:
+            base = self.make_sensor(node.value or key, node)
+            instrument_name = node.get("instrument", base.name)
+            sensor = AppInstrSensor(
+                instrument_name=instrument_name,
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        return group
+
+
+register_plugin("appinstr", AppInstrConfigurator)

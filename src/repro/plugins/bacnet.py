@@ -1,0 +1,120 @@
+"""BACnet plugin: building-management-system points.
+
+Reads analog-input Present_Values from (simulated) BACnet controllers
+— see :mod:`repro.devices.bacnet_device`.  This is the facility end of
+the paper's "from facility to application" span: chiller temperatures,
+pump speeds and flow meters live behind the building management
+system.
+
+Configuration::
+
+    device ahu1 {
+        addr     127.0.0.1:47808
+        deviceId 120
+    }
+    group coolingloop {
+        entity   ahu1
+        interval 10000
+        sensor inlet_temp {
+            objectInstance 1
+            mqttsuffix     /inlet_temp
+            unit           C
+            scale          100     ; controller reports centi-degrees
+        }
+    }
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+from repro.devices.lineserver import LineClient
+from repro.plugins.ipmi import parse_addr
+
+
+class BacnetDeviceEntity(Entity):
+    """Shared controller connection for all groups of one device."""
+
+    def __init__(self, name: str, host: str, port: int, device_id: int = 0) -> None:
+        super().__init__(name)
+        self.device_id = device_id
+        self.client = LineClient(host, port)
+
+    def connect(self) -> None:
+        self.client.connect()
+
+    def disconnect(self) -> None:
+        self.client.close()
+
+    def read_present_value(self, instance: int) -> int:
+        try:
+            lines = self.client.request(f"READPROP AI {instance} PRESENT_VALUE")
+        except (ConnectionError, ValueError, OSError) as exc:
+            raise PluginError(f"BACnet {self.name}: {exc}") from exc
+        # "AI <instance> PRESENT_VALUE <value>"
+        parts = lines[0].split()
+        if len(parts) != 4 or parts[2] != "PRESENT_VALUE":
+            raise PluginError(f"BACnet {self.name}: malformed response {lines[0]!r}")
+        return int(parts[3])
+
+
+class BacnetSensor(PluginSensor):
+    """A sensor bound to one analog-input instance."""
+
+    __slots__ = ("object_instance",)
+
+    def __init__(self, object_instance: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.object_instance = object_instance
+
+
+class BacnetGroup(SensorGroup):
+    """Reads Present_Value of each object through the entity."""
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        entity = self.entity
+        if not isinstance(entity, BacnetDeviceEntity):
+            raise PluginError(f"group {self.name!r} has no BACnet device entity")
+        return [entity.read_present_value(s.object_instance) for s in self.sensors]
+
+
+class BacnetConfigurator(ConfiguratorBase):
+    """Builds BACnet device entities and their groups."""
+
+    plugin_name = "bacnet"
+    entity_key = "device"
+    DEFAULT_PORT = 47808
+
+    def build_entity(self, name: str, config: PropertyTree) -> Entity:
+        host, port = parse_addr(config.require("addr"), self.DEFAULT_PORT)
+        return BacnetDeviceEntity(
+            name, host, port, device_id=config.get_int("deviceId", 0)
+        )
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        if entity is None:
+            raise ConfigError(f"BACnet group {name!r} requires an entity")
+        group = BacnetGroup(entity=entity, **self.group_common(name, config))
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            instance = node.get_int("objectInstance")
+            if instance is None:
+                raise ConfigError(f"BACnet sensor {base.name!r} needs an objectInstance")
+            sensor = BacnetSensor(
+                object_instance=instance,
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"BACnet group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("bacnet", BacnetConfigurator)

@@ -1,0 +1,138 @@
+"""GPFS plugin: parallel-filesystem I/O metrics.
+
+The paper lists GPFS among the I/O plugins (section 3.1).  Real
+deployments read GPFS's ``mmpmon`` interface; its ``fs_io_s`` output
+is a line of ``_tag_ value`` fields per filesystem.  This plugin
+parses that format from a stats file (the mmpmon named-pipe output is
+commonly captured this way), with the path configurable so simulations
+can regenerate it.
+
+Recognized fields, matching mmpmon's ``io_s`` naming:
+
+========  =========================
+``_br_``  bytes read
+``_bw_``  bytes written
+``_oc_``  open() calls
+``_cc_``  close() calls
+``_rdc_`` application read requests
+``_wc_``  application write requests
+========  =========================
+
+All are monotonic counters published as deltas.
+
+Configuration::
+
+    group gpfs_io {
+        interval 1000
+        path     /var/run/mmpmon_stats
+        ; sensors auto-generate for all fields, or select:
+        sensor bytes_read  { field _br_  mqttsuffix /gpfs/bytes_read }
+    }
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+FIELDS = {
+    "_br_": "bytes_read",
+    "_bw_": "bytes_written",
+    "_oc_": "opens",
+    "_cc_": "closes",
+    "_rdc_": "reads",
+    "_wc_": "writes",
+}
+
+
+def parse_mmpmon(text: str) -> dict[str, int]:
+    """Parse an mmpmon ``fs_io_s``-style line into tagged counters."""
+    values: dict[str, int] = {}
+    tokens = text.split()
+    for i, token in enumerate(tokens):
+        if token in FIELDS and i + 1 < len(tokens):
+            try:
+                values[token] = int(tokens[i + 1])
+            except ValueError:
+                continue
+    return values
+
+
+class GpfsSensor(PluginSensor):
+    """A sensor bound to one mmpmon field tag."""
+
+    __slots__ = ("field",)
+
+    def __init__(self, field: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.field = field
+
+
+class GpfsGroup(SensorGroup):
+    """Reads and parses the stats file once per cycle."""
+
+    def __init__(self, *args, path: str, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.path = path
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                values = parse_mmpmon(handle.read())
+        except OSError as exc:
+            raise PluginError(f"cannot read {self.path}: {exc}") from exc
+        out: list[int] = []
+        for sensor in self.sensors:
+            value = values.get(sensor.field)
+            if value is None:
+                raise PluginError(f"field {sensor.field!r} missing from {self.path}")
+            out.append(value)
+        return out
+
+
+class GpfsConfigurator(ConfiguratorBase):
+    """Builds GPFS groups; auto-generates sensors for all fields."""
+
+    plugin_name = "gpfs"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        path = config.get("path")
+        if path is None:
+            raise ConfigError(f"gpfs group {name!r} needs a path")
+        group = GpfsGroup(path=path, **self.group_common(name, config))
+        sensor_nodes = list(config.children("sensor"))
+        if sensor_nodes:
+            for key, node in sensor_nodes:
+                base = self.make_sensor(node.value or key, node)
+                field = node.get("field")
+                if field not in FIELDS:
+                    raise ConfigError(
+                        f"gpfs sensor {base.name!r}: unknown field {field!r}"
+                    )
+                sensor = GpfsSensor(
+                    field=field,
+                    name=base.name,
+                    mqtt_suffix=base.mqtt_suffix,
+                    metadata=base.metadata,
+                    cache_maxage_ns=self.cache_maxage_ns,
+                )
+                sensor.metadata.delta = True
+                group.add_sensor(sensor)
+        else:
+            for tag, metric in FIELDS.items():
+                sensor = GpfsSensor(
+                    field=tag,
+                    name=metric,
+                    mqtt_suffix=f"/{name}/{metric}",
+                    cache_maxage_ns=self.cache_maxage_ns,
+                )
+                sensor.metadata.delta = True
+                group.add_sensor(sensor)
+        return group
+
+
+register_plugin("gpfs", GpfsConfigurator)

@@ -1,0 +1,144 @@
+"""IPMI plugin: out-of-band node sensors via BMCs.
+
+Reads Sensor Data Records from (simulated) baseboard management
+controllers — see :mod:`repro.devices.bmc`.  Demonstrates the paper's
+*entity* concept (section 4.1): "for a plugin reading data from a
+remote server (e.g., via IPMI or SNMP), a host entity may be used by
+all groups reading from the same host for communication with it" —
+all groups of one BMC share a single TCP connection held by the
+:class:`IpmiHostEntity`.
+
+Configuration::
+
+    host bmc0 {
+        addr 127.0.0.1:6230
+    }
+    group power {
+        entity   bmc0
+        interval 1000
+        sensor node_power {
+            record     12       ; SDR record id
+            mqttsuffix /power
+            unit       W
+        }
+    }
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+from repro.devices.lineserver import LineClient
+
+
+def parse_addr(addr: str, default_port: int) -> tuple[str, int]:
+    """Split ``host[:port]`` into its parts."""
+    host, _, port_text = addr.partition(":")
+    if not host:
+        raise ConfigError(f"bad address {addr!r}")
+    try:
+        port = int(port_text) if port_text else default_port
+    except ValueError:
+        raise ConfigError(f"bad port in address {addr!r}") from None
+    return host, port
+
+
+class IpmiHostEntity(Entity):
+    """Shared BMC connection for all groups of one host."""
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        super().__init__(name)
+        self.client = LineClient(host, port)
+
+    def connect(self) -> None:
+        self.client.connect()
+
+    def disconnect(self) -> None:
+        self.client.close()
+
+    def get_sensor(self, record_id: int) -> int:
+        """Issue one 'get sensor reading' command."""
+        try:
+            lines = self.client.request(f"GET SENSOR {record_id}")
+        except (ConnectionError, ValueError, OSError) as exc:
+            raise PluginError(f"BMC {self.name}: {exc}") from exc
+        # "READING <id> <value>"
+        parts = lines[0].split()
+        if len(parts) != 3 or parts[0] != "READING":
+            raise PluginError(f"BMC {self.name}: malformed response {lines[0]!r}")
+        return int(parts[2])
+
+    def list_sdr(self) -> list[tuple[int, str, str, str]]:
+        """Enumerate the SDR repository: (id, name, type, unit)."""
+        try:
+            lines = self.client.request("LIST SDR")
+        except (ConnectionError, ValueError, OSError) as exc:
+            raise PluginError(f"BMC {self.name}: {exc}") from exc
+        records = []
+        for line in lines:
+            if line == "EMPTY":
+                break
+            _tag, rid, name, stype, unit = line.split()
+            records.append((int(rid), name, stype, unit))
+        return records
+
+
+class IpmiSensor(PluginSensor):
+    """A sensor bound to one SDR record."""
+
+    __slots__ = ("record_id",)
+
+    def __init__(self, record_id: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.record_id = record_id
+
+
+class IpmiGroup(SensorGroup):
+    """Reads each sensor's SDR record through the host entity."""
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        entity = self.entity
+        if not isinstance(entity, IpmiHostEntity):
+            raise PluginError(f"group {self.name!r} has no IPMI host entity")
+        return [entity.get_sensor(s.record_id) for s in self.sensors]
+
+
+class IpmiConfigurator(ConfiguratorBase):
+    """Builds IPMI host entities and their groups."""
+
+    plugin_name = "ipmi"
+    entity_key = "host"
+    DEFAULT_PORT = 6230
+
+    def build_entity(self, name: str, config: PropertyTree) -> Entity:
+        addr = config.require("addr")
+        host, port = parse_addr(addr, self.DEFAULT_PORT)
+        return IpmiHostEntity(name, host, port)
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        if entity is None:
+            raise ConfigError(f"IPMI group {name!r} requires an entity")
+        group = IpmiGroup(entity=entity, **self.group_common(name, config))
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            record_id = node.get_int("record")
+            if record_id is None:
+                raise ConfigError(f"IPMI sensor {base.name!r} needs a record id")
+            sensor = IpmiSensor(
+                record_id=record_id,
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"IPMI group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("ipmi", IpmiConfigurator)

@@ -1,0 +1,192 @@
+"""NVML plugin: GPU sensors (the paper's future work, section 9).
+
+Paper: "we plan to further extend DCDB and develop further plugins in
+order to support a broader range of sensors and performance events,
+such as those deriving from GPU usage."  (DCDB later gained exactly
+this plugin against NVIDIA's NVML.)  This reproduction implements the
+plugin on an abstracted :class:`NvmlSource`; the default synthetic
+source models GPUs alternating between busy and idle kernels, since no
+GPU is available in this environment (see DESIGN.md's substitution
+policy).
+
+Metrics per GPU (NVML field analogues):
+
+=================  ======================================  =====
+``power``          board power draw                        mW
+``utilization``    SM utilization                          percent
+``temperature``    core temperature                        C
+``memory_used``    device memory in use                    MiB
+``sm_clock``       current SM clock                        MHz
+=================  ======================================  =====
+
+Configuration::
+
+    group gpus {
+        interval 1000
+        gpus     0-3
+        metrics  power,utilization,temperature
+        ; sensors auto-generate as /gpu<N>/<metric>
+    }
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+from repro.plugins.perfevents import parse_cpu_list
+
+METRICS: dict[str, str] = {
+    "power": "mW",
+    "utilization": "percent",
+    "temperature": "C",
+    "memory_used": "MiB",
+    "sm_clock": "MHz",
+}
+
+
+class NvmlSource(Protocol):
+    """Where GPU readings come from."""
+
+    def device_count(self) -> int: ...
+
+    def read(self, gpu: int, metric: str, t_ns: int) -> int: ...
+
+
+class SyntheticNvmlSource:
+    """GPUs alternating between compute-bound and idle phases.
+
+    Each GPU follows a square-ish duty cycle (period ``period_s``,
+    phase-shifted per GPU) between idle and busy operating points;
+    temperature follows utilization with first-order lag.  Entirely
+    deterministic in time, so stepped tests are exact.
+    """
+
+    IDLE = {
+        "power": 55_000,  # mW
+        "utilization": 2,
+        "temperature": 34,
+        "memory_used": 450,
+        "sm_clock": 585,
+    }
+    BUSY = {
+        "power": 285_000,
+        "utilization": 97,
+        "temperature": 71,
+        "memory_used": 14_200,
+        "sm_clock": 1410,
+    }
+
+    def __init__(self, gpus: int = 4, period_s: float = 120.0, duty: float = 0.7) -> None:
+        if not 0.0 < duty < 1.0:
+            raise ConfigError("duty cycle must be in (0, 1)")
+        self._gpus = gpus
+        self.period_s = period_s
+        self.duty = duty
+
+    def device_count(self) -> int:
+        return self._gpus
+
+    def _busy_fraction(self, gpu: int, t_ns: int) -> float:
+        """Smoothed duty-cycle position in [0, 1]."""
+        t_s = t_ns / NS_PER_SEC + gpu * self.period_s / max(self._gpus, 1)
+        phase = (t_s % self.period_s) / self.period_s
+        # Smooth the square edges with a short sine ramp.
+        edge = 0.05
+        if phase < self.duty - edge:
+            return 1.0
+        if phase < self.duty + edge:
+            return 0.5 - 0.5 * math.sin((phase - self.duty) / edge * math.pi / 2)
+        if phase < 1.0 - edge:
+            return 0.0
+        return 0.5 + 0.5 * math.sin((phase - 1.0) / edge * math.pi / 2)
+
+    def read(self, gpu: int, metric: str, t_ns: int) -> int:
+        if not 0 <= gpu < self._gpus:
+            raise PluginError(f"no GPU {gpu} (device count {self._gpus})")
+        idle = self.IDLE.get(metric)
+        busy = self.BUSY.get(metric)
+        if idle is None or busy is None:
+            raise PluginError(f"unknown NVML metric {metric!r}")
+        frac = self._busy_fraction(gpu, t_ns)
+        return int(round(idle + (busy - idle) * frac))
+
+
+class NvmlSensor(PluginSensor):
+    """A sensor bound to one (gpu, metric) pair."""
+
+    __slots__ = ("gpu", "metric")
+
+    def __init__(self, gpu: int, metric: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.gpu = gpu
+        self.metric = metric
+
+
+class NvmlGroup(SensorGroup):
+    """Samples every (gpu, metric) sensor from the NVML source."""
+
+    def __init__(self, *args, source: NvmlSource, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.source = source
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        return [self.source.read(s.gpu, s.metric, timestamp) for s in self.sensors]
+
+
+class NvmlConfigurator(ConfiguratorBase):
+    """Builds NVML groups with per-GPU sensor fan-out.
+
+    ``source_factory`` is swappable like the perfevents one, so tests
+    and workload simulations inject their own device behaviour.
+    """
+
+    plugin_name = "nvml"
+    source_factory = SyntheticNvmlSource
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        source = self.source_factory()
+        gpu_spec = config.get("gpus")
+        gpus = (
+            parse_cpu_list(gpu_spec)
+            if gpu_spec
+            else list(range(source.device_count()))
+        )
+        for gpu in gpus:
+            if gpu >= source.device_count():
+                raise ConfigError(
+                    f"nvml group {name!r}: GPU {gpu} beyond device count "
+                    f"{source.device_count()}"
+                )
+        selected = config.get("metrics")
+        metrics = (
+            [m.strip() for m in selected.split(",") if m.strip()]
+            if selected
+            else list(METRICS)
+        )
+        for metric in metrics:
+            if metric not in METRICS:
+                raise ConfigError(f"nvml group {name!r}: unknown metric {metric!r}")
+        group = NvmlGroup(source=source, **self.group_common(name, config))
+        for gpu in gpus:
+            for metric in metrics:
+                sensor = NvmlSensor(
+                    gpu=gpu,
+                    metric=metric,
+                    name=f"gpu{gpu}_{metric}",
+                    mqtt_suffix=f"/gpu{gpu}/{metric}",
+                    cache_maxage_ns=self.cache_maxage_ns,
+                )
+                sensor.metadata.unit = METRICS[metric]
+                group.add_sensor(sensor)
+        return group
+
+
+register_plugin("nvml", NvmlConfigurator)

@@ -1,0 +1,91 @@
+"""Omni-Path (OPA) plugin: network fabric port counters.
+
+Paper section 6.2.1: "we use ... OPA to measure network-related
+metrics" on the Omni-Path systems (SuperMUC-NG, CooLMUC-3 in Table 1).
+Omni-Path host fabric interfaces expose port counters as sysfs-style
+attribute files; this plugin samples the standard four:
+
+* ``port_xmit_data`` / ``port_rcv_data`` — data moved (in flits/words)
+* ``port_xmit_pkts`` / ``port_rcv_pkts`` — packets moved
+
+The counter directory root is configurable (default mirrors the
+kernel's ``/sys/class/infiniband`` layout) so simulations generate a
+synthetic tree.
+
+Configuration::
+
+    group fabric {
+        interval 1000
+        root /sys/class/infiniband
+        hfi  hfi1_0
+        port 1
+        ; sensors auto-generate for the four standard counters
+    }
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+COUNTERS = ("port_xmit_data", "port_rcv_data", "port_xmit_pkts", "port_rcv_pkts")
+
+
+class OpaGroup(SensorGroup):
+    """Samples the counter files of one HFI port."""
+
+    def __init__(self, *args, counter_dir: str, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.counter_dir = counter_dir
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        out: list[int] = []
+        for sensor in self.sensors:
+            path = os.path.join(self.counter_dir, sensor.name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    out.append(int(handle.read().strip()))
+            except OSError as exc:
+                raise PluginError(f"cannot read {path}: {exc}") from exc
+            except ValueError:
+                raise PluginError(f"non-numeric counter in {path}") from None
+        return out
+
+
+class OpaConfigurator(ConfiguratorBase):
+    """Builds OPA groups over one HFI port's counter directory."""
+
+    plugin_name = "opa"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        root = config.get("root", "/sys/class/infiniband")
+        hfi = config.get("hfi", "hfi1_0")
+        port = config.get_int("port", 1)
+        counter_dir = os.path.join(root, hfi, "ports", str(port), "counters")
+        group = OpaGroup(counter_dir=counter_dir, **self.group_common(name, config))
+        selected = config.get("counters")
+        counters = (
+            [c.strip() for c in selected.split(",") if c.strip()]
+            if selected
+            else list(COUNTERS)
+        )
+        for counter in counters:
+            if counter not in COUNTERS:
+                raise ConfigError(f"opa group {name!r}: unknown counter {counter!r}")
+            sensor = PluginSensor(
+                name=counter,
+                mqtt_suffix=f"/{hfi}/port{port}/{counter}",
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            sensor.metadata.delta = True
+            group.add_sensor(sensor)
+        return group
+
+
+register_plugin("opa", OpaConfigurator)

@@ -1,0 +1,182 @@
+"""Perfevents plugin: per-core CPU performance counters.
+
+Paper section 6.2.1: "we use Perfevents to sample performance counters
+on CPU cores" — the plugin behind the per-core, high-frequency metrics
+that motivate DCDB's scalability design (thousands of sensors per
+node, section 2).
+
+**Substitution note** (see DESIGN.md): ``perf_event_open`` is a Linux
+syscall unavailable to a portable pure-Python build, so the counter
+*source* is abstracted behind :class:`PerfSource`.  The default
+:class:`SyntheticPerfSource` models monotonically increasing per-CPU
+counters driven by per-event rates (optionally a workload model from
+:mod:`repro.simulation.workloads` — the Figure 10 pipeline injects its
+phase-dependent rates this way).  Everything above the source — group
+semantics, per-CPU sensor fan-out, delta conversion of monotonic
+counters, topic layout — is the real plugin code path.
+
+Configuration::
+
+    group instr {
+        interval 1000
+        counter  instructions
+        cpus     0-3,8
+        ; sensors auto-generated as /cpu<N>/instructions, delta
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+#: Default synthetic event rates (events per second per CPU), loosely
+#: calibrated to a 2 GHz core running typical HPC code.
+DEFAULT_RATES: dict[str, float] = {
+    "instructions": 2.0e9,
+    "cycles": 2.2e9,
+    "cache-misses": 4.0e6,
+    "cache-references": 8.0e7,
+    "branch-misses": 6.0e6,
+    "branch-instructions": 4.0e8,
+    "page-faults": 1.0e3,
+}
+
+
+class PerfSource(Protocol):
+    """Where counter values come from.
+
+    ``read(cpu, event, t_ns)`` returns the monotonic event count of
+    ``event`` on ``cpu`` at time ``t_ns``.
+    """
+
+    def read(self, cpu: int, event: str, t_ns: int) -> int: ...
+
+
+class SyntheticPerfSource:
+    """Rate-driven monotonic counters.
+
+    ``rates`` maps event name to events/second; ``cpu_skew`` spreads
+    per-CPU rates slightly (cpu ``i`` runs at ``1 + cpu_skew*i`` of the
+    base rate) so per-core series are distinguishable in tests.
+    ``rate_fn`` (when given) overrides rates dynamically:
+    ``rate_fn(cpu, event, t_ns) -> rate`` — the hook the workload
+    models use to produce phase-dependent behaviour.
+    """
+
+    def __init__(
+        self,
+        rates: dict[str, float] | None = None,
+        cpu_skew: float = 0.0,
+        rate_fn=None,
+    ) -> None:
+        self.rates = dict(DEFAULT_RATES if rates is None else rates)
+        self.cpu_skew = cpu_skew
+        self.rate_fn = rate_fn
+        # Integrated counts per (cpu, event): (last_t_ns, count).
+        self._state: dict[tuple[int, str], tuple[int, float]] = {}
+
+    def read(self, cpu: int, event: str, t_ns: int) -> int:
+        if self.rate_fn is not None:
+            last_t, count = self._state.get((cpu, event), (0, 0.0))
+            if t_ns > last_t:
+                # Integrate the (piecewise-constant) rate over the gap.
+                rate = self.rate_fn(cpu, event, last_t)
+                count += rate * (t_ns - last_t) / NS_PER_SEC
+                self._state[(cpu, event)] = (t_ns, count)
+            return int(count)
+        base = self.rates.get(event)
+        if base is None:
+            raise PluginError(f"unknown perf event {event!r}")
+        rate = base * (1.0 + self.cpu_skew * cpu)
+        return int(rate * t_ns / NS_PER_SEC)
+
+
+class PerfSensor(PluginSensor):
+    """A sensor bound to one (cpu, event) pair."""
+
+    __slots__ = ("cpu", "event")
+
+    def __init__(self, cpu: int, event: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.cpu = cpu
+        self.event = event
+
+
+class PerfGroup(SensorGroup):
+    """Samples every (cpu, event) sensor from the counter source."""
+
+    def __init__(self, *args, source: PerfSource, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.source = source
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        return [self.source.read(s.cpu, s.event, timestamp) for s in self.sensors]
+
+
+def parse_cpu_list(spec: str) -> list[int]:
+    """Parse a cpu list like ``0-3,8,12-13`` into sorted CPU ids."""
+    cpus: set[int] = set()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "-" in chunk:
+            lo_text, _, hi_text = chunk.partition("-")
+            try:
+                lo, hi = int(lo_text), int(hi_text)
+            except ValueError:
+                raise ConfigError(f"bad cpu range {chunk!r}") from None
+            if hi < lo:
+                raise ConfigError(f"bad cpu range {chunk!r}")
+            cpus.update(range(lo, hi + 1))
+        else:
+            try:
+                cpus.add(int(chunk))
+            except ValueError:
+                raise ConfigError(f"bad cpu id {chunk!r}") from None
+    if not cpus:
+        raise ConfigError(f"empty cpu list {spec!r}")
+    return sorted(cpus)
+
+
+class PerfeventsConfigurator(ConfiguratorBase):
+    """Builds perf groups with auto-generated per-CPU sensors.
+
+    ``source`` is a class attribute so tests and the simulation layer
+    swap in a workload-driven source before loading the plugin::
+
+        PerfeventsConfigurator.source_factory = lambda: my_source
+    """
+
+    plugin_name = "perfevents"
+    source_factory = SyntheticPerfSource
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        event = config.get("counter")
+        if event is None:
+            raise ConfigError(f"perfevents group {name!r} needs a counter")
+        cpus = parse_cpu_list(config.get("cpus", "0"))
+        group = PerfGroup(source=self.source_factory(), **self.group_common(name, config))
+        for cpu in cpus:
+            sensor = PerfSensor(
+                cpu=cpu,
+                event=event,
+                name=f"cpu{cpu}_{event}",
+                mqtt_suffix=f"/cpu{cpu}/{event}",
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            # Hardware counters are monotonic; publish deltas.
+            sensor.metadata.delta = True
+            group.add_sensor(sensor)
+        return group
+
+
+register_plugin("perfevents", PerfeventsConfigurator)

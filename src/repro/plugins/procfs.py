@@ -1,0 +1,179 @@
+"""ProcFS plugin: kernel metrics from ``/proc``.
+
+Paper section 6.2.1: "the ProcFS plugin collects data from the
+meminfo, vmstat and procstat files".  This plugin parses those three
+formats.  The file path is configurable, so tests and simulations
+point groups at synthetic snapshots with identical syntax, while a
+production-like deployment reads the live ``/proc`` files.
+
+Configuration::
+
+    group mem {
+        interval 1000
+        type     meminfo
+        path     /proc/meminfo
+        ; with no sensor blocks, one sensor per key is auto-generated
+        sensor MemFree { mqttsuffix /memfree  unit KiB }
+    }
+
+Supported ``type`` values and their sensor namespaces:
+
+* ``meminfo`` — keys as in the file (``MemTotal``, ``MemFree``, ...);
+  values in KiB are reported as-is.
+* ``vmstat`` — keys as in the file (``pgfault``, ``pswpin``, ...);
+  most are monotonic counters, mark them ``delta true``.
+* ``procstat`` — flattened ``/proc/stat``: per-CPU jiffy fields as
+  ``cpu0_user`` ... ``cpu0_softirq`` plus aggregate ``cpu_*`` and the
+  scalar ``ctxt``, ``processes``, ``procs_running``, ``procs_blocked``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+_CPU_FIELDS = ("user", "nice", "system", "idle", "iowait", "irq", "softirq")
+
+
+def parse_meminfo(text: str) -> dict[str, int]:
+    """Parse /proc/meminfo syntax: ``Key:   12345 kB``."""
+    values: dict[str, int] = {}
+    for line in text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, rest = line.partition(":")
+        parts = rest.split()
+        if parts:
+            try:
+                values[key.strip()] = int(parts[0])
+            except ValueError:
+                continue
+    return values
+
+
+def parse_vmstat(text: str) -> dict[str, int]:
+    """Parse /proc/vmstat syntax: ``key 12345``."""
+    values: dict[str, int] = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == 2:
+            try:
+                values[parts[0]] = int(parts[1])
+            except ValueError:
+                continue
+    return values
+
+
+def parse_procstat(text: str) -> dict[str, int]:
+    """Parse /proc/stat into a flat metric dictionary."""
+    values: dict[str, int] = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        key = parts[0]
+        if key.startswith("cpu"):
+            for field_name, field_value in zip(_CPU_FIELDS, parts[1:]):
+                try:
+                    values[f"{key}_{field_name}"] = int(field_value)
+                except ValueError:
+                    continue
+        elif key in ("ctxt", "processes", "procs_running", "procs_blocked"):
+            try:
+                values[key] = int(parts[1])
+            except ValueError:
+                continue
+        elif key == "intr" and len(parts) > 1:
+            try:
+                values["intr"] = int(parts[1])
+            except ValueError:
+                continue
+    return values
+
+
+_PARSERS = {
+    "meminfo": parse_meminfo,
+    "vmstat": parse_vmstat,
+    "procstat": parse_procstat,
+}
+
+#: Metrics that are monotonic counters and default to delta publishing.
+_DELTA_DEFAULT = {"vmstat", "procstat"}
+
+
+class ProcfsGroup(SensorGroup):
+    """Reads and parses one /proc file per cycle."""
+
+    def __init__(self, *args, file_type: str, path: str, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if file_type not in _PARSERS:
+            raise ConfigError(f"procfs group {self.name!r}: unknown type {file_type!r}")
+        self.file_type = file_type
+        self.path = path
+        self._parser = _PARSERS[file_type]
+
+    def read_file(self) -> dict[str, int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return self._parser(handle.read())
+        except OSError as exc:
+            raise PluginError(f"cannot read {self.path}: {exc}") from exc
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        values = self.read_file()
+        out: list[int] = []
+        for sensor in self.sensors:
+            value = values.get(sensor.name)
+            if value is None:
+                raise PluginError(
+                    f"metric {sensor.name!r} missing from {self.path} ({self.file_type})"
+                )
+            out.append(value)
+        return out
+
+
+class ProcfsConfigurator(ConfiguratorBase):
+    """Builds procfs groups; auto-discovers sensors when none given."""
+
+    plugin_name = "procfs"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        file_type = config.get("type", "meminfo")
+        path = config.get("path", f"/proc/{'stat' if file_type == 'procstat' else file_type}")
+        group = ProcfsGroup(
+            file_type=file_type, path=path, **self.group_common(name, config)
+        )
+        delta_default = file_type in _DELTA_DEFAULT
+        explicit = self.sensors_from(config)
+        if explicit:
+            for sensor in explicit:
+                if config.child("sensor") is not None and not _had_delta_key(config, sensor.name):
+                    sensor.metadata.delta = sensor.metadata.delta or delta_default
+                group.add_sensor(sensor)
+        else:
+            # Auto-generate one sensor per metric discovered now.
+            for metric in sorted(group.read_file()):
+                sensor = PluginSensor(
+                    name=metric,
+                    mqtt_suffix=f"/{name}/{metric}",
+                    cache_maxage_ns=self.cache_maxage_ns,
+                )
+                sensor.metadata.delta = delta_default
+                group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"procfs group {name!r} has no sensors")
+        return group
+
+
+def _had_delta_key(config: PropertyTree, sensor_name: str) -> bool:
+    for _key, node in config.children("sensor"):
+        if (node.value or _key) == sensor_name:
+            return node.get("delta") is not None
+    return False
+
+
+register_plugin("procfs", ProcfsConfigurator)

@@ -1,0 +1,119 @@
+"""REST plugin: HTTP/JSON telemetry endpoints.
+
+Polls JSON sensor documents from HTTP APIs — the paper's REST plugin,
+used in case study 1 for the cooling-circuit controllers.  One
+:class:`RestEndpointEntity` per base URL; each sensor selects a field
+of the fetched document.
+
+Configuration::
+
+    endpoint cu0 {
+        baseurl http://127.0.0.1:8088
+        path    /sensors
+    }
+    group circuit {
+        entity   cu0
+        interval 10000
+        sensor heat_removed {
+            field      heat_out
+            mqttsuffix /heat_removed
+            unit       W
+        }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+
+class RestEndpointEntity(Entity):
+    """One HTTP endpoint fetched once per group cycle.
+
+    A group cycle issues a single GET and every sensor extracts its
+    field from the same document — one request however many sensors,
+    the entity-level resource sharing of paper section 4.1.
+    """
+
+    def __init__(self, name: str, base_url: str, path: str = "/sensors", timeout: float = 5.0):
+        super().__init__(name)
+        self.url = base_url.rstrip("/") + path
+        self.timeout = timeout
+
+    def fetch(self) -> dict:
+        try:
+            with urllib.request.urlopen(self.url, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except (urllib.error.URLError, json.JSONDecodeError, OSError) as exc:
+            raise PluginError(f"REST {self.name}: {exc}") from exc
+
+
+class RestSensor(PluginSensor):
+    """A sensor bound to one field of the endpoint document."""
+
+    __slots__ = ("field",)
+
+    def __init__(self, field: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.field = field
+
+
+class RestGroup(SensorGroup):
+    """One GET per cycle; sensors pick their fields."""
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        entity = self.entity
+        if not isinstance(entity, RestEndpointEntity):
+            raise PluginError(f"group {self.name!r} has no REST endpoint entity")
+        document = entity.fetch()
+        values: list[int] = []
+        for sensor in self.sensors:
+            value = document.get(sensor.field)
+            if value is None:
+                raise PluginError(
+                    f"REST {entity.name}: field {sensor.field!r} missing from document"
+                )
+            values.append(int(round(float(value))))
+        return values
+
+
+class RestConfigurator(ConfiguratorBase):
+    """Builds REST endpoint entities and their groups."""
+
+    plugin_name = "rest"
+    entity_key = "endpoint"
+
+    def build_entity(self, name: str, config: PropertyTree) -> Entity:
+        base_url = config.require("baseurl")
+        return RestEndpointEntity(name, base_url, path=config.get("path", "/sensors"))
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        if entity is None:
+            raise ConfigError(f"REST group {name!r} requires an entity")
+        group = RestGroup(entity=entity, **self.group_common(name, config))
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            field = node.get("field", base.name)
+            sensor = RestSensor(
+                field=field,
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"REST group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("rest", RestConfigurator)

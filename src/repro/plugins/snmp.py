@@ -1,0 +1,132 @@
+"""SNMP plugin: PDU/controller meters via SNMP agents.
+
+Polls integer OIDs from (simulated) SNMP agents — see
+:mod:`repro.devices.snmp_agent`.  Connection sharing follows the same
+host-entity pattern as IPMI.  Used out-of-band in the paper's case
+study 1 to gather infrastructure data ("by leveraging the Pusher's
+REST and SNMP plugins", section 7.1).
+
+Configuration::
+
+    connection pdu0 {
+        addr      127.0.0.1:1610
+        community public
+    }
+    group outlets {
+        entity   pdu0
+        interval 10000
+        sensor outlet3_power {
+            oid        1.3.6.1.4.1.42.3.3
+            mqttsuffix /outlet3/power
+            unit       W
+        }
+    }
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+from repro.devices.lineserver import LineClient
+from repro.plugins.ipmi import parse_addr
+
+
+class SnmpConnectionEntity(Entity):
+    """Shared agent connection for all groups of one device."""
+
+    def __init__(self, name: str, host: str, port: int, community: str = "public") -> None:
+        super().__init__(name)
+        self.community = community
+        self.client = LineClient(host, port)
+
+    def connect(self) -> None:
+        self.client.connect()
+
+    def disconnect(self) -> None:
+        self.client.close()
+
+    def get(self, oid: str) -> int:
+        """Issue one SNMP GET."""
+        try:
+            lines = self.client.request(f"GET {oid}")
+        except (ConnectionError, ValueError, OSError) as exc:
+            raise PluginError(f"SNMP {self.name}: {exc}") from exc
+        # "<oid> = INTEGER: <value>"
+        try:
+            return int(lines[0].rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            raise PluginError(f"SNMP {self.name}: malformed response {lines[0]!r}") from None
+
+    def walk(self, prefix: str) -> list[tuple[str, int]]:
+        """Issue one SNMP WALK over a subtree."""
+        try:
+            lines = self.client.request(f"WALK {prefix}")
+        except (ConnectionError, ValueError, OSError) as exc:
+            raise PluginError(f"SNMP {self.name}: {exc}") from exc
+        out = []
+        for line in lines:
+            oid, _, rest = line.partition(" = ")
+            out.append((oid.strip(), int(rest.rsplit(":", 1)[1])))
+        return out
+
+
+class SnmpSensor(PluginSensor):
+    """A sensor bound to one OID."""
+
+    __slots__ = ("oid",)
+
+    def __init__(self, oid: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.oid = oid
+
+
+class SnmpGroup(SensorGroup):
+    """GETs each sensor's OID through the connection entity."""
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        entity = self.entity
+        if not isinstance(entity, SnmpConnectionEntity):
+            raise PluginError(f"group {self.name!r} has no SNMP connection entity")
+        return [entity.get(s.oid) for s in self.sensors]
+
+
+class SnmpConfigurator(ConfiguratorBase):
+    """Builds SNMP connection entities and their groups."""
+
+    plugin_name = "snmp"
+    entity_key = "connection"
+    DEFAULT_PORT = 1610
+
+    def build_entity(self, name: str, config: PropertyTree) -> Entity:
+        host, port = parse_addr(config.require("addr"), self.DEFAULT_PORT)
+        return SnmpConnectionEntity(
+            name, host, port, community=config.get("community", "public")
+        )
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        if entity is None:
+            raise ConfigError(f"SNMP group {name!r} requires an entity")
+        group = SnmpGroup(entity=entity, **self.group_common(name, config))
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            oid = node.get("oid")
+            if oid is None:
+                raise ConfigError(f"SNMP sensor {base.name!r} needs an oid")
+            sensor = SnmpSensor(
+                oid=oid,
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"SNMP group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("snmp", SnmpConfigurator)

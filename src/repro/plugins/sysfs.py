@@ -1,0 +1,101 @@
+"""SysFS plugin: single-value kernel attribute files.
+
+Paper section 6.2.1: "we use SysFS to sample various temperature and
+energy sensors" — on LRZ systems these are hwmon/coretemp and RAPL
+``energy_uj`` files.  Each sensor names one file containing a number;
+an optional ``filter`` regular expression extracts the value from
+files with decoration around it.
+
+Configuration::
+
+    group coretemp {
+        interval 1000
+        sensor pkg0_temp {
+            path       /sys/class/hwmon/hwmon1/temp1_input
+            mqttsuffix /temp/pkg0
+            unit       mC
+        }
+        sensor pkg0_energy {
+            path       /sys/class/powercap/intel-rapl:0/energy_uj
+            mqttsuffix /energy/pkg0
+            unit       uJ
+            delta      true
+        }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+
+class SysfsSensor(PluginSensor):
+    """A sensor bound to one sysfs attribute file."""
+
+    __slots__ = ("path", "filter_re")
+
+    def __init__(self, path: str, filter_pattern: str | None = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.path = path
+        self.filter_re = re.compile(filter_pattern) if filter_pattern else None
+
+    def read_value(self) -> int:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+        except OSError as exc:
+            raise PluginError(f"cannot read {self.path}: {exc}") from exc
+        if self.filter_re is not None:
+            match = self.filter_re.search(text)
+            if match is None:
+                raise PluginError(
+                    f"filter {self.filter_re.pattern!r} matched nothing in {self.path}"
+                )
+            text = match.group(1) if match.groups() else match.group(0)
+        try:
+            return int(float(text))
+        except ValueError:
+            raise PluginError(f"non-numeric content in {self.path}: {text!r}") from None
+
+
+class SysfsGroup(SensorGroup):
+    """Reads each sensor's file per cycle."""
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        return [sensor.read_value() for sensor in self.sensors]
+
+
+class SysfsConfigurator(ConfiguratorBase):
+    """Builds sysfs groups from per-sensor file paths."""
+
+    plugin_name = "sysfs"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        group = SysfsGroup(**self.group_common(name, config))
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            path = node.get("path")
+            if path is None:
+                raise ConfigError(f"sysfs sensor {base.name!r} needs a path")
+            sensor = SysfsSensor(
+                path=path,
+                filter_pattern=node.get("filter"),
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"sysfs group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("sysfs", SysfsConfigurator)

@@ -1,0 +1,86 @@
+"""The tester plugin: synthetic sensors with negligible read cost.
+
+Paper section 6.2.1: *"we only deploy the tester plugin, which can
+generate an arbitrary number of sensors with negligible overhead.
+This allows us to isolate the overhead of the various monitoring
+backends (e.g., IPMI or perfevents) from that of the Pusher, which is
+mostly communication-related."*
+
+Configuration::
+
+    group g0 {
+        interval   1000    ; ms
+        numSensors 100     ; sensors generated as <group>/s0 .. s99
+        generator  counter ; counter | constant | sawtooth
+        startValue 0
+    }
+
+``counter`` emits a per-sensor monotonically increasing value (cycle
+number + sensor index), ``constant`` always ``startValue``, and
+``sawtooth`` ramps 0..999 repeatedly — enough variety to exercise
+delta handling and payload encoding in tests.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+
+
+class TesterGroup(SensorGroup):
+    """Generates values arithmetically — no I/O, near-zero cost."""
+
+    def __init__(self, *args, generator: str = "counter", start_value: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if generator not in ("counter", "constant", "sawtooth"):
+            raise ConfigError(f"tester group {self.name!r}: unknown generator {generator!r}")
+        self.generator = generator
+        self.start_value = start_value
+        self.cycles = 0
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        cycle = self.cycles
+        self.cycles += 1
+        if self.generator == "constant":
+            return [self.start_value] * len(self.sensors)
+        if self.generator == "sawtooth":
+            return [(self.start_value + cycle) % 1000] * len(self.sensors)
+        base = self.start_value + cycle
+        return [base + i for i in range(len(self.sensors))]
+
+
+class TesterConfigurator(ConfiguratorBase):
+    """Builds tester groups; auto-generates sensors from ``numSensors``."""
+
+    plugin_name = "tester"
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        common = self.group_common(name, config)
+        group = TesterGroup(
+            generator=config.get("generator", "counter"),
+            start_value=config.get_int("startValue", 0),
+            **common,
+        )
+        num = config.get_int("numSensors", 0)
+        if num < 0:
+            raise ConfigError(f"tester group {name!r}: numSensors must be >= 0")
+        for i in range(num):
+            sensor = PluginSensor(
+                name=f"{name}_s{i}",
+                mqtt_suffix=f"/{name}/s{i}",
+                cache_maxage_ns=self.cache_maxage_ns,
+            )
+            group.add_sensor(sensor)
+        # Explicit sensor blocks may coexist with generated ones.
+        for sensor in self.sensors_from(config):
+            group.add_sensor(sensor)
+        if not group.sensors:
+            raise ConfigError(f"tester group {name!r} defines no sensors")
+        return group
+
+
+register_plugin("tester", TesterConfigurator)

@@ -1,0 +1,72 @@
+"""Evaluation substrate: simulated systems, workloads and cost models.
+
+The paper's evaluation (section 6) ran on three production LRZ systems
+against CORAL-2 and HPL benchmarks.  None of that hardware exists
+here, so this package provides the calibrated substitute described in
+DESIGN.md section 2:
+
+* :mod:`repro.simulation.architectures` — Table 1's node profiles
+  (SuperMUC-NG/Skylake, CooLMUC-2/Haswell, CooLMUC-3/Knights Landing)
+  with the performance factors the cost models depend on.
+* :mod:`repro.simulation.overhead` — the Pusher interference model
+  behind Table 1, Figure 4 and Figure 5: per-reading acquisition cost,
+  communication cost, network interference on MPI applications, and
+  the median-of-10-runs measurement protocol.
+* :mod:`repro.simulation.resources` — CPU-load and memory-footprint
+  models behind Figures 6 and 7 (with Eq. 1's interpolation).
+* :mod:`repro.simulation.agentload` — the Collect Agent load model
+  behind Figure 8.
+* :mod:`repro.simulation.workloads` — phase models of HPL and the four
+  CORAL-2 applications (LAMMPS, AMG, Kripke, Quicksilver), providing
+  the instruction/power traces behind Figure 10.
+* :mod:`repro.simulation.facility` — the CooLMUC-3 warm-water cooling
+  circuit behind case study 1 (Figure 9).
+* :mod:`repro.simulation.simcluster` — helper wiring N simulated
+  Pushers to a Collect Agent in-process for scalability runs.
+
+Calibration anchors come from the paper's reported numbers; the
+regenerating benchmarks assert the *shapes* (linearity, ordering,
+saturation points), not the absolute values — see EXPERIMENTS.md.
+"""
+
+from repro.simulation.architectures import (
+    ArchitectureProfile,
+    SKYLAKE,
+    HASWELL,
+    KNL,
+    ARCHITECTURES,
+)
+from repro.simulation.overhead import OverheadModel, MeasurementProtocol
+from repro.simulation.resources import ResourceModel, eq1_interpolate
+from repro.simulation.agentload import AgentLoadModel
+from repro.simulation.workloads import (
+    ApplicationModel,
+    HPL,
+    LAMMPS,
+    AMG,
+    KRIPKE,
+    QUICKSILVER,
+    CORAL2_APPS,
+)
+from repro.simulation.facility import CoolingCircuitModel
+
+__all__ = [
+    "ArchitectureProfile",
+    "SKYLAKE",
+    "HASWELL",
+    "KNL",
+    "ARCHITECTURES",
+    "OverheadModel",
+    "MeasurementProtocol",
+    "ResourceModel",
+    "eq1_interpolate",
+    "AgentLoadModel",
+    "ApplicationModel",
+    "HPL",
+    "LAMMPS",
+    "AMG",
+    "KRIPKE",
+    "QUICKSILVER",
+    "CORAL2_APPS",
+    "CoolingCircuitModel",
+]

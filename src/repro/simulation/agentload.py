@@ -1,0 +1,53 @@
+"""The Collect Agent load model (Figure 8).
+
+Figure 8 reports the Collect Agent's average per-core CPU load under
+1–50 concurrent tester Pushers each sampling 10–10 000 sensors at 1 s.
+Two facts calibrate the model:
+
+* "in the configurations that use 1,000 sensors or less, we reach
+  saturation of a single CPU core only with 50 concurrent hosts" —
+  load ≈ 100 % at 50 000 inserts/s;
+* "in the worst-case scenario we observe an average CPU load of 900 %
+  ... a Cassandra insert rate of 500,000 sensor readings per second"
+  (50 hosts × 10 000 sensors).
+
+A linear per-reading cost plus a small per-connection cost satisfies
+both anchors: ``load % ≈ 1.75e-3 × inserts/s + 0.6 × hosts``
+(50 k → ~117 % ≈ saturated core; 500 k → ~905 %).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import RngFactory
+
+
+class AgentLoadModel:
+    """CPU load of one Collect Agent under concurrent Pushers."""
+
+    #: Percent CPU per (reading/s): message parse, SID translation,
+    #: storage insert.
+    PER_READING_COEFF = 1.75e-3
+    #: Percent CPU per connected Pusher: socket polling, keepalives.
+    PER_HOST_COEFF = 0.6
+
+    def __init__(self, seed: int = 2019) -> None:
+        self._rngs = RngFactory(seed)
+
+    def insert_rate(self, hosts: int, sensors: int, interval_ms: int = 1000) -> float:
+        """Aggregate readings per second reaching the agent."""
+        return hosts * sensors * 1000.0 / interval_ms
+
+    def cpu_load_pct(self, hosts: int, sensors: int, interval_ms: int = 1000) -> float:
+        """Expected CPU load (percent of one core; >100 = multi-core)."""
+        rate = self.insert_rate(hosts, sensors, interval_ms)
+        return self.PER_READING_COEFF * rate + self.PER_HOST_COEFF * hosts
+
+    def cpu_load_measured(self, hosts: int, sensors: int, interval_ms: int = 1000) -> float:
+        """Load with sampling noise, for plot reproduction."""
+        expected = self.cpu_load_pct(hosts, sensors, interval_ms)
+        rng = self._rngs.stream(f"agent/{hosts}/{sensors}/{interval_ms}")
+        return max(0.0, expected * (1.0 + rng.normal(0.0, 0.04)))
+
+    def saturated_cores(self, hosts: int, sensors: int, interval_ms: int = 1000) -> float:
+        """Fully-loaded core equivalents (the paper's '9 cores')."""
+        return self.cpu_load_pct(hosts, sensors, interval_ms) / 100.0

@@ -1,0 +1,155 @@
+"""Node architecture profiles (paper Table 1).
+
+Each profile carries the identity data of Table 1 plus the calibrated
+cost coefficients the models in this package consume.  Calibration
+anchors (all from the paper):
+
+* Figure 5 heatmaps: tester-only overhead at 100 000 readings/s —
+  Skylake ≈ 0.65 %, Haswell ≈ 1.8 %, Knights Landing ≈ 3.5 %.
+* Table 1 production overheads: 1.77 % (Skylake, 2 477 sensors),
+  0.69 % (Haswell, 750), 4.14 % (KNL, 3 176) at 1 s sampling.
+* Figure 7 CPU-load slopes: ≈ 3 % (Skylake) to ≈ 8 % (KNL) per-core
+  load at 100 000 sensors/s, linear in rate.
+* Section 6.2.1 memory/CPU ranges: 25 MB (Haswell) – 72 MB (KNL)
+  average memory, 1 % – 9 % average per-core CPU load in production.
+
+The per-reading coefficients below solve those anchor equations; the
+derivations are spelled out next to each constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ArchitectureProfile:
+    """One node architecture and its calibrated cost coefficients."""
+
+    name: str
+    system: str
+    nodes: int
+    cpu_model: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    memory_gb: int
+    interconnect: str
+    #: Plugins of the production Pusher configuration (Table 1).
+    production_plugins: tuple[str, ...]
+    #: Sensors of the production configuration (Table 1).
+    production_sensors: int
+    #: Paper-reported production overhead vs HPL (Table 1), percent.
+    reported_overhead_pct: float
+    #: Single-thread performance relative to Skylake (drives ordering).
+    single_thread_perf: float
+    #: Communication (Pusher core) overhead, percent per reading/s.
+    comm_overhead_coeff: float
+    #: Acquisition overhead of production plugins, percent per reading/s.
+    acq_overhead_coeff: float
+    #: Per-core CPU load of the Pusher, percent per reading/s (Fig. 7).
+    cpu_load_coeff: float
+    #: Resident base memory of an idle Pusher on this node, MB.
+    base_memory_mb: float
+    #: Derived conveniences.
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def logical_cpus(self) -> int:
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+# Skylake / SuperMUC-NG.
+# comm coefficient: 0.65 % at 1e5 readings/s -> 6.5e-6 %/(r/s).
+# acquisition: 1.77 % = (6.5e-6 + a) * 2477 -> a ~ 7.08e-4.
+# cpu-load slope: 3 % at 1e5 r/s -> 3.0e-5 %/(r/s).
+SKYLAKE = ArchitectureProfile(
+    name="skylake",
+    system="SuperMUC-NG",
+    nodes=6480,
+    cpu_model="Intel Xeon Platinum 8174",
+    sockets=2,
+    cores_per_socket=24,
+    threads_per_core=2,
+    memory_gb=96,
+    interconnect="Intel OmniPath",
+    production_plugins=("perfevents", "procfs", "sysfs", "opa"),
+    production_sensors=2477,
+    reported_overhead_pct=1.77,
+    single_thread_perf=1.00,
+    comm_overhead_coeff=6.5e-6,
+    acq_overhead_coeff=7.08e-4,
+    cpu_load_coeff=3.0e-5,
+    base_memory_mb=20.0,
+)
+
+# Haswell / CooLMUC-2.
+# comm coefficient: 1.8 % at 1e5 r/s -> 1.8e-5.
+# acquisition: 0.69 % = (1.8e-5 + a) * 750 -> a ~ 9.02e-4.
+# cpu-load slope: between Skylake and KNL -> 5.0e-5.
+HASWELL = ArchitectureProfile(
+    name="haswell",
+    system="CooLMUC-2",
+    nodes=384,
+    cpu_model="Intel Xeon E5-2697 v3",
+    sockets=2,
+    cores_per_socket=14,
+    threads_per_core=1,
+    memory_gb=64,
+    interconnect="Mellanox Infiniband",
+    production_plugins=("perfevents", "procfs", "sysfs"),
+    production_sensors=750,
+    reported_overhead_pct=0.69,
+    single_thread_perf=0.85,
+    comm_overhead_coeff=1.8e-5,
+    acq_overhead_coeff=9.02e-4,
+    cpu_load_coeff=5.0e-5,
+    base_memory_mb=22.0,
+)
+
+# Knights Landing / CooLMUC-3.
+# comm coefficient: 3.5 % at 1e5 r/s -> 3.5e-5.
+# acquisition: 4.14 % = (3.5e-5 + a) * 3176 -> a ~ 1.268e-3.
+# cpu-load slope: 8 % at 1e5 r/s -> 8.0e-5.
+# base memory: paper reports 72 MB average with 3 176 sensors at 1 s;
+# the cache of that configuration holds ~11 MB, so the KNL Pusher
+# baseline (many SMT threads, wide vector state) is ~61 MB.
+KNL = ArchitectureProfile(
+    name="knl",
+    system="CooLMUC-3",
+    nodes=148,
+    cpu_model="Intel Xeon Phi 7210-F",
+    sockets=1,
+    cores_per_socket=64,
+    threads_per_core=4,
+    memory_gb=96,
+    interconnect="Intel OmniPath",
+    production_plugins=("perfevents", "procfs", "sysfs", "opa"),
+    production_sensors=3176,
+    reported_overhead_pct=4.14,
+    single_thread_perf=0.35,
+    comm_overhead_coeff=3.5e-5,
+    acq_overhead_coeff=1.268e-3,
+    cpu_load_coeff=8.0e-5,
+    base_memory_mb=61.0,
+)
+
+ARCHITECTURES: dict[str, ArchitectureProfile] = {
+    "skylake": SKYLAKE,
+    "haswell": HASWELL,
+    "knl": KNL,
+}
+
+
+def by_name(name: str) -> ArchitectureProfile:
+    """Look up a profile by name, with a helpful error."""
+    profile = ARCHITECTURES.get(name.lower())
+    if profile is None:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        )
+    return profile

@@ -1,0 +1,139 @@
+"""The Pusher interference model (Table 1, Figures 4 and 5).
+
+The paper measures *overhead* as ``O = (Tp - Tr) / Tr`` — the runtime
+inflation of a reference application when a Pusher runs alongside it
+(section 6.1), reporting medians of 10 repetitions.  This module
+models the three contributors the paper's experiments isolate and
+reproduces the measurement protocol:
+
+1. **Communication cost** (the Pusher "core", tester-plugin configs):
+   CPU and network time spent packaging and sending readings; linear
+   in the reading rate with an architecture-specific coefficient
+   (Figure 5's gradients).
+
+2. **Acquisition cost** (production configs): syscalls and file parses
+   of the real plugins, again per reading (the difference between
+   Figure 4's *total* and *core* bars, and why Table 1's production
+   overheads exceed the tester-only heatmap values).
+
+3. **Network interference** on communication-sensitive MPI
+   applications: Pusher traffic shares the interconnect with MPI, and
+   applications with fine-grained synchronization amplify every delay.
+   The paper's AMG result — overhead growing linearly with node count
+   to ~9 % at 1024 nodes, already present with the tester plugin —
+   fixes the model: interference ∝ nodes × app sensitivity, and burst
+   sending halves it for sensitive apps by concentrating traffic.
+
+The measurement protocol wraps the deterministic model with run-to-run
+performance fluctuation and the median-of-10 estimator, which is what
+produces the paper's scattered zeros (a median with the Pusher can
+come out *below* the reference median; the paper clamps to 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import RngFactory
+from repro.simulation.architectures import ArchitectureProfile
+from repro.simulation.workloads import ApplicationModel
+
+
+@dataclass(frozen=True, slots=True)
+class PusherSetup:
+    """One monitored configuration of the overhead experiments."""
+
+    sensors: int
+    interval_ms: int
+    #: "production" includes plugin acquisition cost; "tester" is the
+    #: communication-only core configuration.
+    mode: str = "tester"
+    #: "continuous" or "burst" sending (section 6.2.1's AMG finding).
+    send_mode: str = "continuous"
+
+    @property
+    def rate(self) -> float:
+        """Sensor readings per second."""
+        return self.sensors * 1000.0 / self.interval_ms
+
+
+class OverheadModel:
+    """Deterministic expected overhead, percent."""
+
+    #: Network-interference slope: percent overhead per node for a
+    #: fully-sensitive application (sensitivity 1.0).  Fixed by AMG's
+    #: ~9 % at 1024 nodes under continuous sending.
+    NET_INTERFERENCE_PER_NODE = 9.0 / 1024.0
+
+    #: Burst sending concentrates Pusher traffic into short windows,
+    #: reducing the collision cross-section with fine-grained MPI
+    #: traffic (paper: AMG performed best with bursts twice a minute).
+    BURST_RELIEF = 0.5
+
+    def __init__(self, arch: ArchitectureProfile) -> None:
+        self.arch = arch
+
+    def compute_overhead_pct(self, setup: PusherSetup) -> float:
+        """Compute-side overhead against a single-node application.
+
+        This is the Figure 5 / Table 1 quantity: no MPI network term,
+        because HPL (shared-memory, single node) only feels the CPU
+        the Pusher steals.
+        """
+        coeff = self.arch.comm_overhead_coeff
+        if setup.mode == "production":
+            coeff += self.arch.acq_overhead_coeff
+        return coeff * setup.rate
+
+    def mpi_overhead_pct(
+        self, setup: PusherSetup, app: ApplicationModel, nodes: int
+    ) -> float:
+        """Overhead against an MPI application on ``nodes`` nodes.
+
+        The Figure 4 quantity: per-node compute overhead plus the
+        network-interference term scaled by the application's
+        communication sensitivity.
+        """
+        compute = self.compute_overhead_pct(setup)
+        interference = self.NET_INTERFERENCE_PER_NODE * nodes * app.comm_sensitivity
+        if setup.send_mode == "burst":
+            interference *= self.BURST_RELIEF
+        return compute * app.compute_fraction + interference
+
+
+class MeasurementProtocol:
+    """The paper's estimator: median of repeated noisy runs, clamped.
+
+    ``noise_pct`` is the run-to-run runtime fluctuation (std-dev,
+    percent of runtime) of the underlying system; HPC nodes show a few
+    tenths of a percent, which is exactly why Figure 5 contains zeros
+    at low sensor rates.
+    """
+
+    def __init__(
+        self,
+        repetitions: int = 10,
+        noise_pct: float = 0.35,
+        seed: int = 2019,
+    ) -> None:
+        self.repetitions = repetitions
+        self.noise_pct = noise_pct
+        self.rngs = RngFactory(seed)
+
+    def measure(self, true_overhead_pct: float, label: str) -> float:
+        """Simulate the measured (median, clamped) overhead.
+
+        ``label`` keys the random substream so every experiment cell
+        is independent yet reproducible.
+        """
+        rng = self.rngs.stream(label)
+        reference = 100.0 + rng.normal(0.0, self.noise_pct, size=self.repetitions)
+        with_pusher = (
+            100.0 * (1.0 + true_overhead_pct / 100.0)
+            + rng.normal(0.0, self.noise_pct, size=self.repetitions)
+        )
+        t_ref = float(np.median(reference))
+        t_pusher = float(np.median(with_pusher))
+        return max(0.0, (t_pusher - t_ref) / t_ref * 100.0)

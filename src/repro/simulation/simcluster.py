@@ -1,0 +1,92 @@
+"""Helper wiring a simulated monitoring deployment in one process.
+
+Builds the paper's Figure 8 topology — N tester Pushers feeding one
+Collect Agent backed by a storage cluster — entirely in-process over
+the :class:`~repro.mqtt.inproc.InProcHub` transport, with a shared
+:class:`~repro.common.timeutil.SimClock`.  Used by integration tests
+and by the throughput microbenchmarks that quantify this Python
+reproduction itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.collectagent import CollectAgent
+from repro.core.pusher import Pusher, PusherConfig
+from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.storage import MemoryBackend, StorageCluster, StorageNode
+from repro.storage.backend import StorageBackend
+
+
+@dataclass
+class SimClusterConfig:
+    """Topology of a simulated deployment."""
+
+    hosts: int = 4
+    sensors_per_host: int = 100
+    interval_ms: int = 1000
+    storage_nodes: int = 1
+    replication: int = 1
+    topic_prefix: str = "/sim/cluster"
+    use_memory_backend: bool = field(default=False)
+
+
+class SimulatedCluster:
+    """N Pushers -> one Collect Agent -> storage, stepped in sim time."""
+
+    def __init__(self, config: SimClusterConfig | None = None) -> None:
+        self.config = config if config is not None else SimClusterConfig()
+        self.clock = SimClock(0)
+        self.hub = InProcHub(allow_subscribe=False)
+        self.backend: StorageBackend
+        if self.config.use_memory_backend or self.config.storage_nodes <= 1:
+            self.backend = (
+                MemoryBackend(clock=self.clock)
+                if self.config.use_memory_backend
+                else StorageCluster(
+                    [StorageNode("node0", clock=self.clock)], replication=1
+                )
+            )
+        else:
+            nodes = [
+                StorageNode(f"node{i}", clock=self.clock)
+                for i in range(self.config.storage_nodes)
+            ]
+            self.backend = StorageCluster(nodes, replication=self.config.replication)
+        self.agent = CollectAgent(self.backend, broker=self.hub)
+        self.pushers: list[Pusher] = []
+        for host in range(self.config.hosts):
+            pusher = Pusher(
+                PusherConfig(
+                    mqtt_prefix=f"{self.config.topic_prefix}/host{host}",
+                ),
+                client=InProcClient(f"pusher-host{host}", self.hub),
+                clock=self.clock,
+            )
+            pusher.load_plugin(
+                "tester",
+                f"group g0 {{ interval {self.config.interval_ms}\n"
+                f" numSensors {self.config.sensors_per_host} }}",
+            )
+            pusher.client.connect()
+            pusher.start_plugin("tester")
+            self.pushers.append(pusher)
+
+    @property
+    def total_sensors(self) -> int:
+        return self.config.hosts * self.config.sensors_per_host
+
+    def run(self, seconds: float) -> int:
+        """Advance simulated time; returns readings stored in the step."""
+        before = self.agent.readings_stored
+        target = self.clock() + int(seconds * NS_PER_SEC)
+        for pusher in self.pushers:
+            pusher.advance_to(target)
+        self.clock.set(target)
+        return self.agent.readings_stored - before
+
+    def expected_readings(self, seconds: float) -> int:
+        cycles = int(seconds * 1000 / self.config.interval_ms)
+        return cycles * self.total_sensors

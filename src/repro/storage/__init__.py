@@ -1,0 +1,54 @@
+"""Distributed wide-column storage substrate.
+
+The paper stores readings in Apache Cassandra (section 4.3), chosen
+for its high ingest rate on streaming time-series data and for its
+data-distribution mechanism: hierarchical SIDs are used as partition
+keys so a sensor subtree lands on the nearest database server.
+
+This package is a from-scratch reproduction of the storage semantics
+DCDB relies on:
+
+* :mod:`repro.storage.node` — one storage server: an append-optimized
+  memtable flushed into immutable sorted segments (SSTable analogue),
+  background-free compaction, TTL expiry and range scans.
+* :mod:`repro.storage.partitioner` — partition-key policies: the
+  paper's hierarchical SID-prefix partitioner and a hash partitioner
+  used as the ablation baseline.
+* :mod:`repro.storage.cluster` — a multi-node cluster with replication
+  and routing; tracks cross-node traffic so experiments can quantify
+  the locality benefit of hierarchical partitioning.
+* :mod:`repro.storage.backend` — the backend-independent API
+  (libDCDB's storage abstraction, paper section 5.1) plus simple
+  alternative implementations (:class:`~repro.storage.memory.MemoryBackend`,
+  :class:`~repro.storage.sqlite.SqliteBackend`) proving the swap works.
+* :mod:`repro.storage.csv_io` — CSV import/export used by the
+  ``dcdb-csvimport`` and ``dcdb-query`` tools.
+"""
+
+from repro.storage.backend import StorageBackend
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import (
+    Partitioner,
+    HierarchicalPartitioner,
+    HashPartitioner,
+)
+from repro.storage.cluster import StorageCluster
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+from repro.storage.csv_io import export_csv, import_csv
+from repro.storage.persistence import save_node, load_node
+
+__all__ = [
+    "save_node",
+    "load_node",
+    "StorageBackend",
+    "StorageNode",
+    "Partitioner",
+    "HierarchicalPartitioner",
+    "HashPartitioner",
+    "StorageCluster",
+    "MemoryBackend",
+    "SqliteBackend",
+    "export_csv",
+    "import_csv",
+]

@@ -1,0 +1,134 @@
+"""The backend-independent storage API.
+
+Paper section 5.1: *"All accesses to Storage Backends are performed
+via a well-defined API that is independent from the underlying
+database implementation ... this abstraction allows for easily
+swapping it against a different database solution without any changes
+in the upstream components."*
+
+:class:`StorageBackend` is that API.  Three implementations ship with
+this reproduction:
+
+* :class:`~repro.storage.cluster.StorageCluster` — the distributed
+  wide-column store modelling Cassandra (the paper's choice);
+* :class:`~repro.storage.memory.MemoryBackend` — a minimal in-process
+  store for unit tests and short-lived analyses;
+* :class:`~repro.storage.sqlite.SqliteBackend` — a file-backed store
+  demonstrating that the swap really requires no upstream changes.
+
+All timestamps are integer nanoseconds; values are integers (see
+:mod:`repro.core.sensor` for the scaling convention).  Query results
+are returned as two parallel ``numpy`` arrays — the natural shape for
+the analysis layer, and the cheap shape for bulk retrieval ("data is
+typically acquired and consumed in bulk", paper section 3.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.sid import SensorId
+
+#: A bulk-insert item: (sid, timestamp_ns, value, ttl_s).
+InsertItem = tuple[SensorId, int, int, int]
+
+
+class StorageBackend(abc.ABC):
+    """Abstract persistent store for sensor time series and metadata."""
+
+    # -- data plane -----------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        """Store one reading.  Last write wins on duplicate timestamps."""
+
+    def insert_batch(self, items: Iterable[InsertItem]) -> int:
+        """Store many readings; returns the number inserted.
+
+        Backends override this when they have a faster bulk path; the
+        default loops over :meth:`insert`.
+        """
+        count = 0
+        for sid, timestamp, value, ttl in items:
+            self.insert(sid, timestamp, value, ttl)
+            count += 1
+        return count
+
+    @abc.abstractmethod
+    def query(
+        self, sid: SensorId, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Readings of ``sid`` with start <= t <= end, time-ordered.
+
+        Returns ``(timestamps, values)`` as int64 arrays (possibly
+        empty).  Expired (TTL) entries are excluded.
+        """
+
+    @abc.abstractmethod
+    def query_prefix(
+        self, prefix: int, levels: int, start: int, end: int
+    ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:
+        """Scan every sensor under a SID prefix (hierarchy subtree).
+
+        Yields ``(sid, timestamps, values)`` per sensor.  This is the
+        operation behind Grafana's hierarchy drill-down and virtual
+        sensors aggregating a subtree.
+        """
+
+    @abc.abstractmethod
+    def sids(self) -> list[SensorId]:
+        """All sensor IDs with stored data."""
+
+    @abc.abstractmethod
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        """Drop readings older than ``cutoff``; returns count removed.
+
+        This backs the config tool's "deleting old data" admin task.
+        """
+
+    # -- metadata plane ---------------------------------------------------
+
+    @abc.abstractmethod
+    def put_metadata(self, key: str, value: str) -> None:
+        """Store one metadata entry (sensor properties, virtual-sensor
+        definitions, publication lists)."""
+
+    @abc.abstractmethod
+    def get_metadata(self, key: str) -> str | None:
+        """Fetch one metadata entry, or None."""
+
+    @abc.abstractmethod
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        """All metadata keys starting with ``prefix``."""
+
+    def delete_metadata(self, key: str) -> None:
+        """Remove one metadata entry (default: overwrite with empty)."""
+        self.put_metadata(key, "")
+
+    # -- maintenance ------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge internal structures; a no-op where meaningless."""
+
+    def flush(self) -> None:
+        """Make all accepted writes durable/visible; default no-op."""
+
+    def close(self) -> None:
+        """Release resources; default no-op."""
+
+    # -- conveniences -----------------------------------------------------
+
+    def count(self, sid: SensorId, start: int, end: int) -> int:
+        """Number of stored readings in the range."""
+        timestamps, _ = self.query(sid, start, end)
+        return int(timestamps.size)
+
+    def latest(self, sid: SensorId) -> tuple[int, int] | None:
+        """Most recent (timestamp, value) of ``sid``, or None."""
+        timestamps, values = self.query(sid, 0, (1 << 63) - 1)
+        if timestamps.size == 0:
+            return None
+        return int(timestamps[-1]), int(values[-1])

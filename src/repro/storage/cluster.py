@@ -1,0 +1,187 @@
+"""The distributed storage cluster.
+
+Composes :class:`~repro.storage.node.StorageNode` servers behind the
+:class:`~repro.storage.backend.StorageBackend` API with a pluggable
+:class:`~repro.storage.partitioner.Partitioner` and synchronous
+replication.  Any node "may be used to insert or query data" (paper
+section 4.3); in our reproduction the cluster object is that
+coordinator role, and it records how many operations had to leave the
+contact node — the locality metric that motivates hierarchical
+partitioning.
+
+Metadata (sensor properties, virtual sensor definitions) is replicated
+to every node, mirroring Cassandra system tables: it is tiny, read
+everywhere and must survive any single node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import StorageError
+from repro.core.sid import SID_LEVELS, SID_BITS_PER_LEVEL, SensorId
+from repro.storage.backend import InsertItem, StorageBackend
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
+
+
+class StorageCluster(StorageBackend):
+    """A replicated, partitioned cluster of storage nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The member servers; at least one.
+    partitioner:
+        Placement policy; defaults to the paper's hierarchical
+        SID-prefix partitioner over two levels.
+    replication:
+        Number of copies of each reading (capped at the node count).
+    contact_node:
+        Index of the node this coordinator is "nearest" to; used only
+        for the locality statistics.
+    """
+
+    def __init__(
+        self,
+        nodes: list[StorageNode] | None = None,
+        partitioner: Partitioner | None = None,
+        replication: int = 1,
+        contact_node: int = 0,
+    ) -> None:
+        if nodes is None:
+            nodes = [StorageNode("node0")]
+        if not nodes:
+            raise StorageError("a cluster needs at least one node")
+        self.nodes = nodes
+        self.partitioner = (
+            partitioner
+            if partitioner is not None
+            else HierarchicalPartitioner(len(nodes))
+        )
+        if self.partitioner.num_nodes != len(nodes):
+            raise StorageError(
+                f"partitioner sized for {self.partitioner.num_nodes} nodes, "
+                f"cluster has {len(nodes)}"
+            )
+        if replication < 1:
+            raise StorageError("replication factor must be >= 1")
+        self.replication = min(replication, len(nodes))
+        self.contact_node = contact_node
+        # Locality statistics for the partitioning ablation.
+        self.local_ops = 0
+        self.remote_ops = 0
+
+    # -- data plane ---------------------------------------------------------
+
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        for node_idx in self.partitioner.replicas_for(sid, self.replication):
+            self.nodes[node_idx].insert(sid, timestamp, value, ttl_s)
+            self._account(node_idx)
+
+    def insert_batch(self, items: Iterable[InsertItem]) -> int:
+        """Route a batch grouping by owner to amortize lock traffic."""
+        per_node: dict[int, list[InsertItem]] = {}
+        count = 0
+        for item in items:
+            sid = item[0]
+            for node_idx in self.partitioner.replicas_for(sid, self.replication):
+                per_node.setdefault(node_idx, []).append(item)
+            count += 1
+        for node_idx, node_items in per_node.items():
+            self.nodes[node_idx].insert_batch(node_items)
+            self._account(node_idx)
+        return count
+
+    def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        # Read from the first live replica; with synchronous
+        # replication any replica holds the full series.
+        node_idx = self.partitioner.replicas_for(sid, self.replication)[0]
+        self._account(node_idx)
+        return self.nodes[node_idx].query(sid, start, end)
+
+    def query_prefix(
+        self, prefix: int, levels: int, start: int, end: int
+    ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:
+        """Scan a hierarchy subtree.
+
+        With the hierarchical partitioner and a query at or below the
+        partition depth, only the owning node is touched ("directing
+        them directly to the respective server", paper section 4.3);
+        otherwise the scan fans out to every node.
+        """
+        keep_bits = SID_BITS_PER_LEVEL * levels
+        mask = (
+            ((1 << keep_bits) - 1) << (SID_LEVELS * SID_BITS_PER_LEVEL - keep_bits)
+            if keep_bits
+            else 0
+        )
+        single = None
+        node_for_prefix = getattr(self.partitioner, "node_for_prefix", None)
+        if node_for_prefix is not None:
+            single = node_for_prefix(prefix, levels)
+        node_indices = [single] if single is not None else list(range(len(self.nodes)))
+        seen: set[SensorId] = set()
+        for node_idx in node_indices:
+            self._account(node_idx)
+            node = self.nodes[node_idx]
+            for sid in node.sids():
+                if (sid.value & mask) != prefix or sid in seen:
+                    continue
+                seen.add(sid)
+                ts, vals = node.query(sid, start, end)
+                if ts.size:
+                    yield sid, ts, vals
+
+    def sids(self) -> list[SensorId]:
+        merged: set[SensorId] = set()
+        for node in self.nodes:
+            merged.update(node.sids())
+        return sorted(merged)
+
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        removed = 0
+        for node_idx in self.partitioner.replicas_for(sid, self.replication):
+            removed = max(removed, self.nodes[node_idx].delete_before(sid, cutoff))
+        return removed
+
+    # -- metadata (replicated everywhere) -----------------------------------
+
+    def put_metadata(self, key: str, value: str) -> None:
+        for node in self.nodes:
+            node.put_metadata(key, value)
+
+    def get_metadata(self, key: str) -> str | None:
+        return self.nodes[self.contact_node].get_metadata(key)
+
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        return self.nodes[self.contact_node].metadata_keys(prefix)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> None:
+        for node in self.nodes:
+            node.compact()
+
+    def flush(self) -> None:
+        for node in self.nodes:
+            node.flush()
+
+    # -- stats ------------------------------------------------------------------
+
+    def _account(self, node_idx: int) -> None:
+        if node_idx == self.contact_node:
+            self.local_ops += 1
+        else:
+            self.remote_ops += 1
+
+    def reset_stats(self) -> None:
+        self.local_ops = 0
+        self.remote_ops = 0
+
+    @property
+    def row_count(self) -> int:
+        """Total rows across all nodes (replicas counted)."""
+        return sum(node.row_count for node in self.nodes)

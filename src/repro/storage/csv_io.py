@@ -1,0 +1,97 @@
+"""CSV import/export for storage backends.
+
+Backs two of the paper's command-line tools (section 5.2): the
+``query`` tool "allows users to obtain sensor data for a specified
+time period in CSV format", and ``csvimport`` loads CSV data into
+Storage Backends.
+
+The CSV dialect matches DCDB's: one row per reading with columns
+``sensor,time,value``, where ``sensor`` is the sensor's topic (or SID
+hex) and ``time`` is integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Callable
+
+from repro.common.errors import QueryError
+from repro.core.sid import SensorId
+from repro.storage.backend import StorageBackend
+
+HEADER = ("sensor", "time", "value")
+
+
+def export_csv(
+    backend: StorageBackend,
+    out: IO[str],
+    sensors: list[tuple[str, SensorId]],
+    start: int,
+    end: int,
+    scale_of: Callable[[str], float] | None = None,
+) -> int:
+    """Write readings of the named sensors in [start, end] to ``out``.
+
+    ``sensors`` pairs each display name (usually the topic) with its
+    SID.  ``scale_of`` maps a sensor name to its scaling factor so
+    physical values are emitted; omitted, raw integers are written.
+    Returns the number of rows written.
+    """
+    writer = csv.writer(out)
+    writer.writerow(HEADER)
+    rows = 0
+    for name, sid in sensors:
+        timestamps, values = backend.query(sid, start, end)
+        scale = scale_of(name) if scale_of is not None else 1.0
+        for ts, value in zip(timestamps.tolist(), values.tolist()):
+            writer.writerow((name, ts, value / scale if scale != 1.0 else value))
+            rows += 1
+    return rows
+
+
+def import_csv(
+    backend: StorageBackend,
+    source: IO[str],
+    sid_of: Callable[[str], SensorId],
+    ttl_s: int = 0,
+    batch_size: int = 10_000,
+) -> int:
+    """Load CSV rows from ``source`` into ``backend``.
+
+    ``sid_of`` resolves the sensor-name column to a SID (typically
+    ``SidMapper.sid_for_topic``).  Values may be floats in the file;
+    they are rounded into the integer storage domain (callers wanting
+    scaled storage pre-multiply via their own ``sid_of`` wrapper).
+    Returns the number of readings imported.
+
+    Raises :class:`QueryError` on a malformed header or row so partial
+    garbage is flagged loudly rather than silently half-loaded.
+    """
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        return 0
+    normalized = tuple(col.strip().lower() for col in header)
+    if normalized != HEADER:
+        raise QueryError(f"unexpected CSV header {header!r}, want {list(HEADER)}")
+    batch: list[tuple[SensorId, int, int, int]] = []
+    imported = 0
+    for lineno, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 3:
+            raise QueryError(f"line {lineno}: expected 3 columns, got {len(row)}")
+        name, ts_text, value_text = row
+        try:
+            timestamp = int(ts_text)
+            value = int(round(float(value_text)))
+        except ValueError as exc:
+            raise QueryError(f"line {lineno}: {exc}") from None
+        batch.append((sid_of(name.strip()), timestamp, value, ttl_s))
+        if len(batch) >= batch_size:
+            imported += backend.insert_batch(batch)
+            batch.clear()
+    if batch:
+        imported += backend.insert_batch(batch)
+    return imported

@@ -1,0 +1,298 @@
+"""A single storage server: memtable, sorted segments, compaction.
+
+Models the write path that makes wide-column stores "a perfect fit"
+for monitoring data (paper section 3.1): inserts land in an in-memory
+*memtable* (append, no sorting on the hot path); when it fills up it
+is frozen into an immutable, time-sorted *segment* (the SSTable
+analogue, held as numpy arrays); reads merge the memtable and every
+overlapping segment; *compaction* merges segments to bound read
+amplification.  TTL expiry happens lazily on read and permanently on
+compaction — the same life cycle as Cassandra's tombstone-free TTL
+columns.
+
+A node is thread-safe and single-process; distribution is layered on
+top by :mod:`repro.storage.cluster`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sid import SensorId
+
+_INT64_MAX = (1 << 63) - 1
+
+
+@dataclass(slots=True)
+class _Segment:
+    """An immutable, time-sorted run of readings for one sensor."""
+
+    timestamps: np.ndarray  # int64, ascending
+    values: np.ndarray  # int64
+    expiries: np.ndarray  # int64 expiry ns; _INT64_MAX = never
+
+    @property
+    def size(self) -> int:
+        return int(self.timestamps.size)
+
+    def slice(self, start: int, end: int, now: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows with start <= t <= end that have not expired at ``now``."""
+        lo = int(np.searchsorted(self.timestamps, start, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end, side="right"))
+        ts = self.timestamps[lo:hi]
+        vals = self.values[lo:hi]
+        exp = self.expiries[lo:hi]
+        live = exp > now
+        if live.all():
+            return ts, vals
+        return ts[live], vals[live]
+
+
+@dataclass(slots=True)
+class _SensorData:
+    """Per-sensor storage state: live memtable rows plus segments."""
+
+    mem_ts: list[int] = field(default_factory=list)
+    mem_val: list[int] = field(default_factory=list)
+    mem_exp: list[int] = field(default_factory=list)
+    segments: list[_Segment] = field(default_factory=list)
+
+
+class StorageNode:
+    """One storage server of the distributed store.
+
+    ``flush_threshold`` is the per-node memtable row budget before an
+    automatic flush; ``max_segments_per_sensor`` triggers compaction.
+    ``clock`` supplies "now" for TTL decisions and defaults to the
+    wall clock; simulations inject a :class:`~repro.common.timeutil.SimClock`.
+    """
+
+    def __init__(
+        self,
+        name: str = "node0",
+        flush_threshold: int = 100_000,
+        max_segments_per_sensor: int = 8,
+        clock=None,
+    ) -> None:
+        from repro.common.timeutil import now_ns
+
+        self.name = name
+        self.flush_threshold = flush_threshold
+        self.max_segments_per_sensor = max_segments_per_sensor
+        self._clock = clock if clock is not None else now_ns
+        self._data: dict[SensorId, _SensorData] = {}
+        self._metadata: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._memtable_rows = 0
+        # Operational counters surfaced by the admin tooling.
+        self.inserts = 0
+        self.flushes = 0
+        self.compactions = 0
+
+    # -- write path -------------------------------------------------------
+
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        """Append one reading to the memtable."""
+        expiry = _INT64_MAX if ttl_s <= 0 else timestamp + ttl_s * 1_000_000_000
+        with self._lock:
+            data = self._data.get(sid)
+            if data is None:
+                data = _SensorData()
+                self._data[sid] = data
+            data.mem_ts.append(timestamp)
+            data.mem_val.append(value)
+            data.mem_exp.append(expiry)
+            self._memtable_rows += 1
+            self.inserts += 1
+            if self._memtable_rows >= self.flush_threshold:
+                self._flush_locked()
+
+    def insert_batch(self, items) -> int:
+        """Bulk append; one lock acquisition for the whole batch."""
+        count = 0
+        with self._lock:
+            for sid, timestamp, value, ttl_s in items:
+                expiry = _INT64_MAX if ttl_s <= 0 else timestamp + ttl_s * 1_000_000_000
+                data = self._data.get(sid)
+                if data is None:
+                    data = _SensorData()
+                    self._data[sid] = data
+                data.mem_ts.append(timestamp)
+                data.mem_val.append(value)
+                data.mem_exp.append(expiry)
+                count += 1
+            self._memtable_rows += count
+            self.inserts += count
+            if self._memtable_rows >= self.flush_threshold:
+                self._flush_locked()
+        return count
+
+    def flush(self) -> None:
+        """Freeze the memtable of every sensor into segments."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        for sid, data in self._data.items():
+            if not data.mem_ts:
+                continue
+            ts = np.asarray(data.mem_ts, dtype=np.int64)
+            vals = np.asarray(data.mem_val, dtype=np.int64)
+            exp = np.asarray(data.mem_exp, dtype=np.int64)
+            order = np.argsort(ts, kind="stable")
+            segment = _Segment(ts[order], vals[order], exp[order])
+            data.mem_ts.clear()
+            data.mem_val.clear()
+            data.mem_exp.clear()
+            data.segments.append(segment)
+            if len(data.segments) > self.max_segments_per_sensor:
+                self._compact_sensor(data)
+        self._memtable_rows = 0
+        self.flushes += 1
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge all segments per sensor, dropping expired rows."""
+        with self._lock:
+            self._flush_locked()
+            for data in self._data.values():
+                if len(data.segments) > 1 or any(
+                    (seg.expiries <= self._clock()).any() for seg in data.segments
+                ):
+                    self._compact_sensor(data)
+
+    def _compact_sensor(self, data: _SensorData) -> None:
+        now = self._clock()
+        all_ts = np.concatenate([seg.timestamps for seg in data.segments])
+        all_vals = np.concatenate([seg.values for seg in data.segments])
+        all_exp = np.concatenate([seg.expiries for seg in data.segments])
+        live = all_exp > now
+        all_ts, all_vals, all_exp = all_ts[live], all_vals[live], all_exp[live]
+        order = np.argsort(all_ts, kind="stable")
+        all_ts, all_vals, all_exp = all_ts[order], all_vals[order], all_exp[order]
+        # Last-write-wins on duplicate timestamps: keep the final
+        # occurrence of each timestamp (stable sort preserved insertion
+        # order within equal keys).
+        if all_ts.size > 1:
+            keep = np.empty(all_ts.size, dtype=bool)
+            keep[:-1] = all_ts[1:] != all_ts[:-1]
+            keep[-1] = True
+            all_ts, all_vals, all_exp = all_ts[keep], all_vals[keep], all_exp[keep]
+        data.segments = [_Segment(all_ts, all_vals, all_exp)]
+        self.compactions += 1
+
+    # -- read path ----------------------------------------------------------
+
+    def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Time-ordered readings of ``sid`` in [start, end]."""
+        now = self._clock()
+        with self._lock:
+            data = self._data.get(sid)
+            if data is None:
+                return _EMPTY, _EMPTY
+            parts_ts: list[np.ndarray] = []
+            parts_val: list[np.ndarray] = []
+            for seg in data.segments:
+                ts, vals = seg.slice(start, end, now)
+                if ts.size:
+                    parts_ts.append(ts)
+                    parts_val.append(vals)
+            if data.mem_ts:
+                mts = np.asarray(data.mem_ts, dtype=np.int64)
+                mvals = np.asarray(data.mem_val, dtype=np.int64)
+                mexp = np.asarray(data.mem_exp, dtype=np.int64)
+                mask = (mts >= start) & (mts <= end) & (mexp > now)
+                if mask.any():
+                    parts_ts.append(mts[mask])
+                    parts_val.append(mvals[mask])
+        if not parts_ts:
+            return _EMPTY, _EMPTY
+        ts = np.concatenate(parts_ts)
+        vals = np.concatenate(parts_val)
+        order = np.argsort(ts, kind="stable")
+        ts, vals = ts[order], vals[order]
+        if ts.size > 1:
+            keep = np.empty(ts.size, dtype=bool)
+            keep[:-1] = ts[1:] != ts[:-1]
+            keep[-1] = True
+            ts, vals = ts[keep], vals[keep]
+        return ts, vals
+
+    def sids(self) -> list[SensorId]:
+        with self._lock:
+            return sorted(self._data)
+
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        """Remove readings strictly older than ``cutoff``."""
+        removed = 0
+        with self._lock:
+            data = self._data.get(sid)
+            if data is None:
+                return 0
+            kept_ts, kept_val, kept_exp = [], [], []
+            for t, v, e in zip(data.mem_ts, data.mem_val, data.mem_exp):
+                if t >= cutoff:
+                    kept_ts.append(t)
+                    kept_val.append(v)
+                    kept_exp.append(e)
+                else:
+                    removed += 1
+            data.mem_ts, data.mem_val, data.mem_exp = kept_ts, kept_val, kept_exp
+            new_segments = []
+            for seg in data.segments:
+                mask = seg.timestamps >= cutoff
+                dropped = int((~mask).sum())
+                if dropped:
+                    removed += dropped
+                    if mask.any():
+                        new_segments.append(
+                            _Segment(
+                                seg.timestamps[mask], seg.values[mask], seg.expiries[mask]
+                            )
+                        )
+                else:
+                    new_segments.append(seg)
+            data.segments = new_segments
+            self._memtable_rows = sum(len(d.mem_ts) for d in self._data.values())
+        return removed
+
+    # -- metadata -------------------------------------------------------------
+
+    def put_metadata(self, key: str, value: str) -> None:
+        with self._lock:
+            if value == "":
+                self._metadata.pop(key, None)
+            else:
+                self._metadata[key] = value
+
+    def get_metadata(self, key: str) -> str | None:
+        with self._lock:
+            return self._metadata.get(key)
+
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(k for k in self._metadata if k.startswith(prefix))
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Total stored rows (memtable + segments), pre-TTL."""
+        with self._lock:
+            total = 0
+            for data in self._data.values():
+                total += len(data.mem_ts)
+                total += sum(seg.size for seg in data.segments)
+            return total
+
+    @property
+    def segment_count(self) -> int:
+        with self._lock:
+            return sum(len(d.segments) for d in self._data.values())
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,113 @@
+"""Partition-key policies for the distributed store.
+
+Paper section 4.3: *"We exploit this feature by leveraging the
+hierarchical SIDs as partition keys for Cassandra: using a
+partitioning algorithm that maps a sub-tree in the sensor hierarchy to
+a particular database server allows for storing a sensor's reading on
+the nearest server and thus to avoid network traffic."*
+
+:class:`HierarchicalPartitioner` reproduces that policy — the top
+``levels`` fields of the SID choose the node, so an entire subtree
+(e.g. one cluster's racks) is co-located and hierarchy-scoped queries
+touch a single server.
+
+:class:`HashPartitioner` is the conventional alternative (Cassandra's
+default Murmur3-style token ring, here FNV-1a): uniform balance, but a
+subtree's sensors scatter across all nodes.  It exists as the ablation
+baseline for ``benchmarks/test_ablation_partitioning.py``, which
+quantifies exactly the cross-node traffic the paper's design avoids.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.sid import SensorId
+
+
+class Partitioner(abc.ABC):
+    """Maps a SID to the index of its owning storage node."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one storage node")
+        self.num_nodes = num_nodes
+
+    @abc.abstractmethod
+    def node_for(self, sid: SensorId) -> int:
+        """Primary owner node index in [0, num_nodes)."""
+
+    def replicas_for(self, sid: SensorId, replication: int) -> list[int]:
+        """Owner plus the next ``replication - 1`` nodes (ring walk)."""
+        first = self.node_for(sid)
+        n = min(replication, self.num_nodes)
+        return [(first + i) % self.num_nodes for i in range(n)]
+
+
+class HierarchicalPartitioner(Partitioner):
+    """Subtree-to-node placement on SID prefixes (the paper's policy).
+
+    The top ``levels`` SID fields form the partition key.  Distinct
+    prefixes are assigned to nodes round-robin in first-seen order,
+    which matches how an administrator statically pins subtrees (one
+    cluster's Collect Agent writes to its nearest Storage Backend) and
+    keeps the mapping stable as new subtrees appear.
+    """
+
+    def __init__(self, num_nodes: int, levels: int = 2) -> None:
+        super().__init__(num_nodes)
+        if levels < 1:
+            raise ValueError("prefix must keep at least one level")
+        self.levels = levels
+        self._assignment: dict[int, int] = {}
+
+    def node_for(self, sid: SensorId) -> int:
+        prefix = sid.prefix(self.levels)
+        node = self._assignment.get(prefix)
+        if node is None:
+            node = len(self._assignment) % self.num_nodes
+            self._assignment[prefix] = node
+        return node
+
+    def node_for_prefix(self, prefix_value: int, prefix_levels: int) -> int | None:
+        """Owner of a query prefix, if it resolves to a single node.
+
+        Returns None when ``prefix_levels`` is shallower than the
+        partition depth (the query may span several nodes) or the
+        prefix is unknown.  This is the query-routing optimization of
+        paper section 4.3 ("the same logic is applied for queries").
+        """
+        if prefix_levels < self.levels:
+            return None
+        # Reduce the query prefix to the partition depth.
+        sid = SensorId(prefix_value)
+        return self._assignment.get(sid.prefix(self.levels))
+
+    @property
+    def known_partitions(self) -> int:
+        return len(self._assignment)
+
+
+def _fnv1a_64(value: int) -> int:
+    """FNV-1a over the 16 big-endian bytes of a 128-bit value."""
+    h = 0xCBF29CE484222325
+    for byte in value.to_bytes(16, "big"):
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class HashPartitioner(Partitioner):
+    """Uniform hash placement (the ablation baseline).
+
+    Every sensor hashes independently, so reads of a subtree fan out
+    to all nodes — balanced, but with none of the locality the
+    hierarchical policy provides.
+    """
+
+    def node_for(self, sid: SensorId) -> int:
+        return _fnv1a_64(sid.value) % self.num_nodes
+
+    def node_for_prefix(self, prefix_value: int, prefix_levels: int) -> int | None:
+        """Hash placement never co-locates a subtree."""
+        return None

@@ -1,0 +1,115 @@
+"""Snapshot persistence for storage nodes.
+
+Cassandra's durability comes from flushing memtables to on-disk
+SSTables; our :class:`~repro.storage.node.StorageNode` keeps segments
+in memory for speed.  This module provides the bridge: a node's entire
+state (segments, memtable contents, metadata) serializes to one
+``.npz``-based snapshot directory and reloads into a fresh node —
+enough for restart durability and for shipping experiment datasets,
+without complicating the hot path.
+
+Layout of a snapshot directory::
+
+    snapshot/
+      manifest.json         # sid list, row counts, format version
+      metadata.json         # the metadata key/value table
+      <sid-hex>.npz         # timestamps/values/expiries arrays per sensor
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.common.errors import StorageError
+from repro.core.sid import SensorId
+from repro.storage.node import StorageNode
+
+FORMAT_VERSION = 1
+
+
+def save_node(node: StorageNode, directory: str) -> int:
+    """Write ``node``'s full state into ``directory``.
+
+    Flushes and compacts first so every sensor is one sorted segment.
+    Returns the number of sensors written.  The directory is created;
+    existing snapshot files in it are overwritten.
+    """
+    os.makedirs(directory, exist_ok=True)
+    node.compact()
+    sids = node.sids()
+    manifest = {
+        "version": FORMAT_VERSION,
+        "name": node.name,
+        "sensors": [],
+    }
+    with node._lock:
+        for sid in sids:
+            data = node._data[sid]
+            if not data.segments:
+                continue
+            segment = data.segments[0]
+            path = os.path.join(directory, f"{sid.hex()}.npz")
+            np.savez_compressed(
+                path,
+                timestamps=segment.timestamps,
+                values=segment.values,
+                expiries=segment.expiries,
+            )
+            manifest["sensors"].append(
+                {"sid": sid.hex(), "rows": int(segment.timestamps.size)}
+            )
+        metadata = dict(node._metadata)
+    with open(os.path.join(directory, "metadata.json"), "w", encoding="utf-8") as out:
+        json.dump(metadata, out)
+    with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as out:
+        json.dump(manifest, out)
+    return len(manifest["sensors"])
+
+
+def load_node(directory: str, **node_kwargs) -> StorageNode:
+    """Reconstruct a :class:`StorageNode` from a snapshot directory."""
+    manifest_path = os.path.join(directory, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read snapshot manifest {manifest_path}: {exc}") from exc
+    if manifest.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"snapshot format {manifest.get('version')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    node_kwargs.setdefault("name", manifest.get("name", "restored"))
+    node = StorageNode(**node_kwargs)
+    from repro.storage.node import _Segment, _SensorData
+
+    with node._lock:
+        for entry in manifest["sensors"]:
+            sid = SensorId.from_hex(entry["sid"])
+            path = os.path.join(directory, f"{entry['sid']}.npz")
+            try:
+                arrays = np.load(path)
+            except OSError as exc:
+                raise StorageError(f"snapshot segment missing: {path}: {exc}") from exc
+            segment = _Segment(
+                arrays["timestamps"].astype(np.int64),
+                arrays["values"].astype(np.int64),
+                arrays["expiries"].astype(np.int64),
+            )
+            if segment.timestamps.size != entry["rows"]:
+                raise StorageError(
+                    f"snapshot {path} row count mismatch: "
+                    f"{segment.timestamps.size} != {entry['rows']}"
+                )
+            data = _SensorData()
+            data.segments.append(segment)
+            node._data[sid] = data
+    metadata_path = os.path.join(directory, "metadata.json")
+    if os.path.exists(metadata_path):
+        with open(metadata_path, "r", encoding="utf-8") as handle:
+            for key, value in json.load(handle).items():
+                node.put_metadata(key, value)
+    return node

@@ -1,0 +1,15 @@
+"""Command-line tools (paper section 5.2).
+
+* ``dcdb-query`` — time-range sensor queries in CSV, plus integrals,
+  derivatives and summaries (:mod:`repro.tools.query`).
+* ``dcdb-config`` — sensor properties, virtual-sensor definitions and
+  database maintenance (:mod:`repro.tools.config`).
+* ``dcdb-csvimport`` — bulk CSV import (:mod:`repro.tools.csvimport`).
+* ``dcdb-pusher`` / ``dcdb-collectagent`` — the daemons
+  (:mod:`repro.tools.pusherd`, :mod:`repro.tools.agentd`).
+* ``dcdb-genplugin`` — plugin skeleton generator
+  (:mod:`repro.core.pusher.generator`).
+
+All tools address storage through a URI: ``sqlite:<path>`` for a
+file-backed store, ``memory:`` for an in-process scratch store.
+"""

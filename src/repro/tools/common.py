@@ -1,0 +1,44 @@
+"""Shared plumbing of the command-line tools."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.storage.backend import StorageBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+
+
+def open_backend(uri: str) -> StorageBackend:
+    """Open a storage backend from a tool ``--db`` URI.
+
+    ``sqlite:<path>`` opens (creating if needed) a file-backed store;
+    ``memory:`` an empty in-process store (useful for piping csvimport
+    straight into a query in tests).
+    """
+    scheme, _, rest = uri.partition(":")
+    if scheme == "sqlite":
+        if not rest:
+            raise ConfigError("sqlite URI needs a path: sqlite:/path/to.db")
+        return SqliteBackend(rest)
+    if scheme == "memory":
+        return MemoryBackend()
+    raise ConfigError(f"unknown storage URI scheme {scheme!r} (use sqlite: or memory:)")
+
+
+def parse_time(text: str) -> int:
+    """Parse a tool time argument into nanoseconds.
+
+    Accepts raw integer nanoseconds, or a number suffixed with
+    ``s``/``ms``/``us``/``ns``.
+    """
+    text = text.strip()
+    for suffix, factor in (("ns", 1), ("us", 1_000), ("ms", 1_000_000), ("s", 1_000_000_000)):
+        if text.endswith(suffix):
+            try:
+                return int(float(text[: -len(suffix)]) * factor)
+            except ValueError:
+                raise ConfigError(f"bad time value {text!r}") from None
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigError(f"bad time value {text!r}") from None

@@ -1,0 +1,137 @@
+"""``dcdb-config``: database and sensor administration.
+
+Paper section 5.2: "the config tool allows administrators to perform
+basic database management tasks (e.g., deleting old data or
+compacting) as well as configuring the properties of sensors such as
+units and scaling factors or defining virtual sensors."
+
+Subcommands::
+
+    dcdb-config --db URI sensor list [PREFIX]
+    dcdb-config --db URI sensor show TOPIC
+    dcdb-config --db URI sensor set TOPIC --unit W --scale 1000 [--integrable]
+    dcdb-config --db URI vsensor list
+    dcdb-config --db URI vsensor add NAME EXPR --unit W --interval-ms 1000
+    dcdb-config --db URI vsensor delete NAME
+    dcdb-config --db URI db compact
+    dcdb-config --db URI db deleteolder TOPIC CUTOFF
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import DCDBError
+from repro.common.timeutil import NS_PER_MS
+from repro.libdcdb.api import DCDBClient
+from repro.libdcdb.virtualsensors import VirtualSensorDef
+from repro.tools.common import open_backend, parse_time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcdb-config", description="Administer a DCDB storage backend."
+    )
+    parser.add_argument("--db", required=True, help="storage URI (sqlite:<path> | memory:)")
+    sub = parser.add_subparsers(dest="domain", required=True)
+
+    sensor = sub.add_parser("sensor", help="sensor properties")
+    sensor_sub = sensor.add_subparsers(dest="action", required=True)
+    sensor_list = sensor_sub.add_parser("list")
+    sensor_list.add_argument("prefix", nargs="?", default="")
+    sensor_show = sensor_sub.add_parser("show")
+    sensor_show.add_argument("topic")
+    sensor_set = sensor_sub.add_parser("set")
+    sensor_set.add_argument("topic")
+    sensor_set.add_argument("--unit", default=None)
+    sensor_set.add_argument("--scale", type=float, default=None)
+    sensor_set.add_argument("--integrable", action="store_true")
+    sensor_set.add_argument("--ttl", type=int, default=None, help="seconds")
+
+    vsensor = sub.add_parser("vsensor", help="virtual sensors")
+    vsensor_sub = vsensor.add_subparsers(dest="action", required=True)
+    vsensor_sub.add_parser("list")
+    vsensor_add = vsensor_sub.add_parser("add")
+    vsensor_add.add_argument("name")
+    vsensor_add.add_argument("expression")
+    vsensor_add.add_argument("--unit", default="count")
+    vsensor_add.add_argument("--interval-ms", type=int, default=1000)
+    vsensor_add.add_argument("--scale", type=float, default=1000.0)
+    vsensor_delete = vsensor_sub.add_parser("delete")
+    vsensor_delete.add_argument("name")
+
+    db = sub.add_parser("db", help="database maintenance")
+    db_sub = db.add_subparsers(dest="action", required=True)
+    db_sub.add_parser("compact")
+    db_delete = db_sub.add_parser("deleteolder")
+    db_delete.add_argument("topic")
+    db_delete.add_argument("cutoff", help="delete readings older than this time")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        backend = open_backend(args.db)
+        client = DCDBClient(backend)
+        if args.domain == "sensor":
+            if args.action == "list":
+                for topic in client.topics(args.prefix):
+                    print(topic)
+            elif args.action == "show":
+                config = client.sensor_config(args.topic)
+                print(f"topic      {config.topic}")
+                print(f"unit       {config.unit}")
+                print(f"scale      {config.scale}")
+                print(f"integrable {config.integrable}")
+                print(f"ttl_s      {config.ttl_s}")
+            elif args.action == "set":
+                config = client.sensor_config(args.topic)
+                if args.unit is not None:
+                    config.unit = args.unit
+                if args.scale is not None:
+                    config.scale = args.scale
+                if args.integrable:
+                    config.integrable = True
+                if args.ttl is not None:
+                    config.ttl_s = args.ttl
+                client.set_sensor_config(config)
+                print(f"updated {args.topic}")
+        elif args.domain == "vsensor":
+            if args.action == "list":
+                for vdef in client.virtual_sensors():
+                    print(f"{vdef.name}\t{vdef.unit}\t{vdef.expression}")
+            elif args.action == "add":
+                client.define_virtual_sensor(
+                    VirtualSensorDef(
+                        name=args.name,
+                        expression=args.expression,
+                        unit=args.unit,
+                        interval_ns=args.interval_ms * NS_PER_MS,
+                        scale=args.scale,
+                    )
+                )
+                print(f"defined virtual sensor {args.name}")
+            elif args.action == "delete":
+                client.delete_virtual_sensor(args.name)
+                print(f"deleted virtual sensor {args.name}")
+        elif args.domain == "db":
+            if args.action == "compact":
+                backend.compact()
+                print("compaction complete")
+            elif args.action == "deleteolder":
+                removed = backend.delete_before(
+                    client.sid_of(args.topic), parse_time(args.cutoff)
+                )
+                print(f"removed {removed} readings")
+        backend.flush()
+        backend.close()
+        return 0
+    except DCDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Tests for the JSON HTTP server/client plumbing."""
+
+import pytest
+
+from repro.common.httpjson import JsonHttpServer, http_json
+
+
+@pytest.fixture
+def server():
+    srv = JsonHttpServer("127.0.0.1", 0)
+    srv.route("GET", "/status", lambda p, q, b: (200, {"ok": True}))
+    srv.route("GET", "/items/:name", lambda p, q, b: (200, {"name": p["name"]}))
+    srv.route("GET", "/echo", lambda p, q, b: (200, {"q": q}))
+    srv.route("POST", "/items/:name/start", lambda p, q, b: (200, {"started": p["name"]}))
+    srv.route("POST", "/body", lambda p, q, b: (200, {"len": len(b)}))
+    srv.route("GET", "/boom", lambda p, q, b: 1 / 0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _url(server, path):
+    return f"http://127.0.0.1:{server.port}{path}"
+
+
+class TestRouting:
+    def test_simple_get(self, server):
+        status, body = http_json("GET", _url(server, "/status"))
+        assert status == 200 and body == {"ok": True}
+
+    def test_path_parameters(self, server):
+        status, body = http_json("GET", _url(server, "/items/tester"))
+        assert status == 200 and body == {"name": "tester"}
+
+    def test_path_parameters_urldecoded(self, server):
+        status, body = http_json("GET", _url(server, "/items/a%2Fb"))
+        assert body == {"name": "a/b"}
+
+    def test_query_parameters(self, server):
+        status, body = http_json("GET", _url(server, "/echo?a=1&b=two"))
+        assert body == {"q": {"a": "1", "b": "two"}}
+
+    def test_post_with_params(self, server):
+        status, body = http_json("POST", _url(server, "/items/x/start"), body={})
+        assert body == {"started": "x"}
+
+    def test_post_body_delivered(self, server):
+        status, body = http_json("POST", _url(server, "/body"), body={"k": "v"})
+        assert status == 200 and body["len"] == len('{"k": "v"}')
+
+    def test_unknown_route_404(self, server):
+        status, body = http_json("GET", _url(server, "/nope"))
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_method_mismatch_404(self, server):
+        status, _ = http_json("POST", _url(server, "/status"), body={})
+        assert status == 404
+
+    def test_handler_exception_500(self, server):
+        status, body = http_json("GET", _url(server, "/boom"))
+        assert status == 500
+        assert "ZeroDivisionError" in body["error"]
+
+
+class TestLifecycle:
+    def test_port_zero_allocates(self, server):
+        assert server.port is not None and server.port > 0
+
+    def test_stop_idempotent(self):
+        srv = JsonHttpServer("127.0.0.1", 0)
+        srv.start()
+        srv.stop()
+        srv.stop()
+
+    def test_context_manager(self):
+        with JsonHttpServer("127.0.0.1", 0) as srv:
+            assert srv.port is not None

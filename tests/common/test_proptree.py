@@ -1,0 +1,175 @@
+"""Tests for the INFO property-tree parser and emitter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.proptree import PropertyTree, dump_info, parse_info
+
+SAMPLE = """
+; A realistic pusher plugin configuration.
+global {
+    cacheInterval 120000
+}
+template_group tdefault {
+    interval 1000
+    minValues 3
+}
+group g0 {
+    default tdefault
+    interval 500
+    sensor s0 {
+        mqttsuffix /g0/s0
+        unit W
+    }
+    sensor s1 {
+        mqttsuffix /g0/s1
+    }
+}
+group g1 {
+    interval 2000
+}
+"""
+
+
+class TestParsing:
+    def test_nested_values(self):
+        tree = parse_info(SAMPLE)
+        assert tree.get("global.cacheInterval") == "120000"
+        assert tree.get("group.sensor.mqttsuffix") == "/g0/s0"
+
+    def test_node_values_carry_names(self):
+        tree = parse_info(SAMPLE)
+        groups = [node.value for key, node in tree.children("group")]
+        assert groups == ["g0", "g1"]
+
+    def test_repeated_keys_preserved_in_order(self):
+        tree = parse_info(SAMPLE)
+        g0 = tree.child("group")
+        sensors = [node.value for _k, node in g0.children("sensor")]
+        assert sensors == ["s0", "s1"]
+
+    def test_comments_ignored(self):
+        tree = parse_info("a 1 ; trailing comment\n; full line\nb 2")
+        assert tree.get("a") == "1"
+        assert tree.get("b") == "2"
+
+    def test_quoted_values_with_spaces(self):
+        tree = parse_info('name "hello world"')
+        assert tree.get("name") == "hello world"
+
+    def test_quoted_escapes(self):
+        tree = parse_info(r'name "say \"hi\""')
+        assert tree.get("name") == 'say "hi"'
+
+    def test_brace_on_next_line(self):
+        tree = parse_info("group g0\n{\n interval 5\n}")
+        assert tree.child("group").get("interval") == "5"
+
+    def test_multiple_pairs_per_line(self):
+        tree = parse_info("group g { interval 1000 minValues 2 }")
+        g = tree.child("group")
+        assert g.get("interval") == "1000"
+        assert g.get("minValues") == "2"
+
+    def test_unbalanced_open_raises(self):
+        with pytest.raises(ConfigError, match="unclosed"):
+            parse_info("a {\n b 1\n")
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(ConfigError, match="unmatched"):
+            parse_info("a 1\n}\n")
+
+    def test_brace_without_key_raises(self):
+        with pytest.raises(ConfigError, match="without a preceding key"):
+            parse_info("{\n}")
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ConfigError, match="unterminated"):
+            parse_info('a "oops')
+
+    def test_empty_input(self):
+        assert len(parse_info("")) == 0
+
+
+class TestTypedAccessors:
+    def test_get_int(self):
+        assert parse_info("n 42").get_int("n") == 42
+
+    def test_get_int_default(self):
+        assert parse_info("").get_int("missing", 7) == 7
+
+    def test_get_int_malformed_raises(self):
+        with pytest.raises(ConfigError, match="expected integer"):
+            parse_info("n abc").get_int("n")
+
+    def test_get_float(self):
+        assert parse_info("x 2.5").get_float("x") == 2.5
+
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True), ("on", True), ("1", True), ("yes", True),
+        ("false", False), ("off", False), ("0", False), ("no", False),
+    ])
+    def test_get_bool(self, text, expected):
+        assert parse_info(f"b {text}").get_bool("b") is expected
+
+    def test_get_bool_malformed_raises(self):
+        with pytest.raises(ConfigError, match="expected boolean"):
+            parse_info("b maybe").get_bool("b")
+
+    def test_require_missing_raises(self):
+        with pytest.raises(ConfigError, match="missing required"):
+            parse_info("").require("addr")
+
+    def test_put_creates_path(self):
+        tree = PropertyTree()
+        tree.put("a.b.c", "1")
+        assert tree.get("a.b.c") == "1"
+
+    def test_put_overwrites(self):
+        tree = PropertyTree()
+        tree.put("a", "1")
+        tree.put("a", "2")
+        assert tree.get("a") == "2"
+        assert len(tree) == 1
+
+
+class TestDump:
+    def test_round_trip(self):
+        tree = parse_info(SAMPLE)
+        again = parse_info(dump_info(tree))
+        assert again == tree
+
+    def test_quoting_in_dump(self):
+        tree = PropertyTree()
+        tree.add("name", "hello world")
+        assert parse_info(dump_info(tree)).get("name") == "hello world"
+
+
+_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=8,
+)
+_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="./:-"),
+    min_size=0,
+    max_size=12,
+)
+
+
+@st.composite
+def _trees(draw, depth=0):
+    tree = PropertyTree(draw(_values) if depth else "")
+    n = draw(st.integers(min_value=0, max_value=3 if depth < 2 else 0))
+    for _ in range(n):
+        key = draw(_keys)
+        child = draw(_trees(depth=depth + 1))
+        tree._children.append((key, child))
+    return tree
+
+
+class TestPropertyBased:
+    @given(_trees())
+    def test_dump_parse_round_trip(self, tree):
+        assert parse_info(dump_info(tree)) == tree

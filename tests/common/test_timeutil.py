@@ -1,0 +1,119 @@
+"""Tests for timestamp handling and interval alignment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.timeutil import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    SimClock,
+    Timestamp,
+    align_interval,
+    from_millis,
+    from_seconds,
+    next_read_time,
+    now_ns,
+    to_seconds,
+)
+
+
+class TestConversions:
+    def test_from_seconds(self):
+        assert from_seconds(1.5) == 1_500_000_000
+
+    def test_to_seconds(self):
+        assert to_seconds(2_500_000_000) == 2.5
+
+    def test_round_trip(self):
+        assert to_seconds(from_seconds(123.456)) == pytest.approx(123.456)
+
+    def test_from_millis(self):
+        assert from_millis(250) == 250 * NS_PER_MS
+
+    def test_now_is_plausible(self):
+        # Sometime after 2020 and before 2100.
+        assert 1_577_836_800 * NS_PER_SEC < now_ns() < 4_102_444_800 * NS_PER_SEC
+
+
+class TestAlignInterval:
+    def test_already_aligned(self):
+        assert align_interval(2 * NS_PER_SEC, NS_PER_SEC) == 2 * NS_PER_SEC
+
+    def test_rounds_up(self):
+        assert align_interval(NS_PER_SEC + 1, NS_PER_SEC) == 2 * NS_PER_SEC
+
+    def test_zero(self):
+        assert align_interval(0, NS_PER_SEC) == 0
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            align_interval(5, 0)
+        with pytest.raises(ValueError):
+            align_interval(5, -1)
+
+    def test_two_groups_same_interval_fire_together(self):
+        # The synchronized-read rule: start times don't matter.
+        a = align_interval(1_300_000_000, NS_PER_SEC)
+        b = align_interval(1_800_000_000, NS_PER_SEC)
+        assert a == b == 2 * NS_PER_SEC
+
+    @given(
+        t=st.integers(min_value=0, max_value=10**18),
+        interval=st.integers(min_value=1, max_value=10**12),
+    )
+    def test_alignment_properties(self, t, interval):
+        aligned = align_interval(t, interval)
+        assert aligned >= t
+        assert aligned % interval == 0
+        assert aligned - t < interval
+
+
+class TestNextReadTime:
+    def test_strictly_after(self):
+        assert next_read_time(NS_PER_SEC, NS_PER_SEC) == 2 * NS_PER_SEC
+
+    def test_unaligned(self):
+        assert next_read_time(NS_PER_SEC + 5, NS_PER_SEC) == 2 * NS_PER_SEC
+
+    @given(
+        t=st.integers(min_value=0, max_value=10**18),
+        interval=st.integers(min_value=1, max_value=10**12),
+    )
+    def test_strictly_greater_property(self, t, interval):
+        nxt = next_read_time(t, interval)
+        assert nxt > t
+        assert nxt % interval == 0
+        assert nxt - t <= interval
+
+
+class TestTimestamp:
+    def test_ordering(self):
+        assert Timestamp(1) < Timestamp(2)
+
+    def test_isoformat_includes_nanoseconds(self):
+        ts = Timestamp(NS_PER_SEC + 123)
+        assert ts.isoformat() == "1970-01-01T00:00:01.000000123Z"
+
+    def test_round_trip_seconds(self):
+        assert Timestamp.from_seconds(5.5).to_seconds() == 5.5
+
+
+class TestSimClock:
+    def test_starts_at_origin(self):
+        assert SimClock()() == 0
+
+    def test_advance(self):
+        clock = SimClock(10)
+        assert clock.advance(5) == 15
+        assert clock() == 15
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_set_forward_only(self):
+        clock = SimClock(100)
+        clock.set(200)
+        assert clock() == 200
+        with pytest.raises(ValueError):
+            clock.set(50)

@@ -1,0 +1,113 @@
+"""Tests for the unit catalogue and automatic conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import UnitError
+from repro.common.units import (
+    Unit,
+    UnitConverter,
+    convert,
+    get_converter,
+    lookup,
+    register_unit,
+)
+
+
+class TestCatalogue:
+    def test_lookup_known(self):
+        assert lookup("W").dimension == "power"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnitError, match="unknown unit"):
+            lookup("furlongs")
+
+    @pytest.mark.parametrize(
+        "symbol,dimension",
+        [
+            ("mW", "power"),
+            ("kWh", "energy"),
+            ("C", "temperature"),
+            ("l/min", "flow"),
+            ("GB/s", "bandwidth"),
+            ("MiB", "data"),
+            ("GHz", "frequency"),
+            ("percent", "dimensionless"),
+            ("us", "time"),
+            ("mV", "voltage"),
+            ("mA", "current"),
+        ],
+    )
+    def test_catalogue_coverage(self, symbol, dimension):
+        assert lookup(symbol).dimension == dimension
+
+    def test_register_custom_unit(self):
+        register_unit(Unit("widget", "dimensionless", 42.0))
+        assert lookup("widget").scale == 42.0
+
+    def test_reregister_identical_is_ok(self):
+        register_unit(Unit("widget2", "dimensionless", 7.0))
+        register_unit(Unit("widget2", "dimensionless", 7.0))
+
+    def test_reregister_conflicting_raises(self):
+        register_unit(Unit("widget3", "dimensionless", 1.0))
+        with pytest.raises(UnitError, match="already registered"):
+            register_unit(Unit("widget3", "dimensionless", 2.0))
+
+
+class TestScaleConversions:
+    @pytest.mark.parametrize(
+        "value,src,dst,expected",
+        [
+            (1.0, "kW", "W", 1000.0),
+            (1500.0, "mW", "W", 1.5),
+            (2.0, "kWh", "J", 7.2e6),
+            (3600.0, "J", "Wh", 1.0),
+            (1.0, "m3/h", "l/min", 1000.0 / 60.0),
+            (1.0, "GB/s", "MB/s", 1000.0),
+            (1.0, "MiB", "KiB", 1024.0),
+            (2.5, "GHz", "MHz", 2500.0),
+            (50.0, "percent", "ratio", 0.5),
+            (1.0, "s", "ms", 1000.0),
+        ],
+    )
+    def test_conversion_values(self, value, src, dst, expected):
+        assert convert(value, src, dst) == pytest.approx(expected)
+
+    def test_identity(self):
+        assert convert(3.14, "W", "W") == pytest.approx(3.14)
+
+    @given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+    def test_round_trip_property(self, value):
+        there = convert(value, "kW", "mW")
+        back = convert(there, "mW", "kW")
+        assert back == pytest.approx(value, rel=1e-12, abs=1e-9)
+
+
+class TestAffineTemperature:
+    def test_celsius_to_kelvin(self):
+        assert convert(0.0, "C", "K") == pytest.approx(273.15)
+
+    def test_kelvin_to_celsius(self):
+        assert convert(300.0, "K", "C") == pytest.approx(26.85)
+
+    def test_fahrenheit_to_celsius(self):
+        assert convert(212.0, "F", "C") == pytest.approx(100.0)
+        assert convert(32.0, "F", "C") == pytest.approx(0.0, abs=1e-9)
+
+    def test_millicelsius(self):
+        # hwmon-style millidegrees.
+        assert convert(45000.0, "mC", "C") == pytest.approx(45.0)
+
+
+class TestConverter:
+    def test_incompatible_dimensions_raise(self):
+        with pytest.raises(UnitError, match="cannot convert"):
+            get_converter("W", "J")
+
+    def test_converter_is_cached(self):
+        assert get_converter("W", "kW") is get_converter("W", "kW")
+
+    def test_callable(self):
+        conv = UnitConverter(lookup("kW"), lookup("W"))
+        assert conv(2.0) == pytest.approx(2000.0)

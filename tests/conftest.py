@@ -1,0 +1,47 @@
+"""Shared fixtures for the DCDB reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.timeutil import SimClock
+from repro.core.collectagent import CollectAgent
+from repro.core.pusher import Pusher, PusherConfig
+from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.storage import MemoryBackend
+
+
+class SimPipeline:
+    """One Pusher -> InProc hub -> Collect Agent -> memory backend."""
+
+    def __init__(self, prefix: str = "/test/host0") -> None:
+        self.clock = SimClock(0)
+        self.hub = InProcHub(allow_subscribe=False)
+        self.backend = MemoryBackend()
+        self.agent = CollectAgent(self.backend, broker=self.hub)
+        self.pusher = Pusher(
+            PusherConfig(mqtt_prefix=prefix),
+            client=InProcClient("pusher0", self.hub),
+            clock=self.clock,
+        )
+
+    def load_and_start(self, plugin: str, config: str, alias: str | None = None) -> None:
+        self.pusher.load_plugin(plugin, config, plugin_alias=alias)
+        if not self.pusher.client.connected:
+            self.pusher.client.connect()
+        self.pusher.start_plugin(alias or plugin)
+
+    def run(self, seconds: float) -> None:
+        target = self.clock() + int(seconds * 1_000_000_000)
+        self.pusher.advance_to(target)
+        self.clock.set(target)
+
+
+@pytest.fixture
+def pipeline() -> SimPipeline:
+    return SimPipeline()
+
+
+@pytest.fixture
+def sim_clock() -> SimClock:
+    return SimClock(0)

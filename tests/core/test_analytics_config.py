@@ -1,0 +1,112 @@
+"""Tests for configuration-file-driven analytics."""
+
+import pytest
+
+from repro.analytics import manager_from_config
+from repro.analytics.operators import (
+    Aggregator,
+    EmaSmoother,
+    MovingAverage,
+    RateOfChange,
+    ThresholdAlarm,
+    ZScoreDetector,
+)
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sensor import SensorReading
+
+FULL_CONFIG = """
+global { maxAlarms 50 }
+operator rack_power {
+    type    aggregator
+    input   /hpc/rack0/+/power
+    input   /hpc/rack1/+/power
+    output  total
+    func    sum
+    bucket  1000
+}
+operator smooth {
+    type   ema
+    input  /hpc/#
+    alpha  0.5
+}
+operator avg {
+    type   movingavg
+    input  /hpc/#
+    window 4
+}
+operator overheat {
+    type  threshold
+    input /hpc/+/temp
+    high  90
+    low   80
+}
+operator weird {
+    type      zscore
+    input     /hpc/#
+    window    30
+    threshold 5.0
+}
+operator erate {
+    type  rate
+    input /hpc/+/energy
+    scale 10
+}
+"""
+
+
+class TestManagerFromConfig:
+    def test_all_operator_types(self):
+        manager = manager_from_config(FULL_CONFIG)
+        by_name = {op.name: op for op in manager.operators()}
+        assert isinstance(by_name["rack_power"], Aggregator)
+        assert isinstance(by_name["smooth"], EmaSmoother)
+        assert isinstance(by_name["avg"], MovingAverage)
+        assert isinstance(by_name["overheat"], ThresholdAlarm)
+        assert isinstance(by_name["weird"], ZScoreDetector)
+        assert isinstance(by_name["erate"], RateOfChange)
+
+    def test_parameters_applied(self):
+        manager = manager_from_config(FULL_CONFIG)
+        by_name = {op.name: op for op in manager.operators()}
+        assert by_name["rack_power"].func == "sum"
+        assert by_name["rack_power"].bucket_ns == NS_PER_SEC
+        assert by_name["rack_power"].inputs == [
+            "/hpc/rack0/+/power",
+            "/hpc/rack1/+/power",
+        ]
+        assert by_name["smooth"].alpha == 0.5
+        assert by_name["avg"].window == 4
+        assert by_name["overheat"].high == 90 and by_name["overheat"].low == 80
+        assert by_name["weird"].threshold == 5.0
+        assert by_name["erate"].scale == 10.0
+        assert manager.alarms.maxlen == 50
+
+    def test_configured_manager_processes_events(self):
+        manager = manager_from_config(FULL_CONFIG)
+        out = manager.feed("/hpc/node9/temp", SensorReading(NS_PER_SEC, 95))
+        # Threshold alarm fires immediately on the first hot reading.
+        alarm_topics = [t for t, _ in out]
+        assert "/analytics/overheat/hpc_node9_temp_alarm" in alarm_topics
+
+    @pytest.mark.parametrize(
+        "snippet,match",
+        [
+            ("operator x { input /a }", "no type"),
+            ("operator x { type ema }", "no inputs"),
+            ("operator x { type warp\n input /a }", "unknown type"),
+            ("operator x { type threshold\n input /a }", "needs a high"),
+            ("operator { type ema\n input /a }", "without a name"),
+        ],
+    )
+    def test_malformed_configs(self, snippet, match):
+        with pytest.raises(ConfigError, match=match):
+            manager_from_config(snippet)
+
+    def test_duplicate_names_rejected(self):
+        text = (
+            "operator x { type ema\n input /a }\n"
+            "operator x { type ema\n input /b }"
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            manager_from_config(text)

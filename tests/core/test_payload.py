@@ -1,0 +1,47 @@
+"""Tests for MQTT payload framing of sensor readings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import TransportError
+from repro.core.payload import RECORD_SIZE, decode_readings, encode_reading, encode_readings
+from repro.core.sensor import SensorReading
+
+
+class TestFraming:
+    def test_single_reading_round_trip(self):
+        payload = encode_reading(123456789, -42)
+        assert decode_readings(payload) == [SensorReading(123456789, -42)]
+
+    def test_multi_reading_round_trip(self):
+        readings = [SensorReading(i * 1000, i * 7) for i in range(10)]
+        assert decode_readings(encode_readings(readings)) == readings
+
+    def test_record_size(self):
+        assert RECORD_SIZE == 16
+        assert len(encode_reading(0, 0)) == 16
+
+    def test_empty_payload(self):
+        assert decode_readings(b"") == []
+        assert encode_readings([]) == b""
+
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(TransportError, match="multiple"):
+            decode_readings(b"\x00" * 17)
+
+    def test_negative_values_preserved(self):
+        readings = [SensorReading(1, -(2**62))]
+        assert decode_readings(encode_readings(readings)) == readings
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**63 - 1),
+                st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            ),
+            max_size=100,
+        )
+    )
+    def test_round_trip_property(self, pairs):
+        readings = [SensorReading(t, v) for t, v in pairs]
+        assert decode_readings(encode_readings(readings)) == readings

@@ -1,0 +1,113 @@
+"""Tests for backend-coordinated SID mapping across Collect Agents."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.collectagent import CollectAgent
+from repro.core.payload import encode_reading
+from repro.core.pusher import Pusher, PusherConfig
+from repro.core.sid import PersistentSidMapper, SensorId, SidMapper
+from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.storage.memory import MemoryBackend
+
+
+class TestPersistentSidMapper:
+    def test_round_trip(self):
+        backend = MemoryBackend()
+        mapper = PersistentSidMapper(backend)
+        sid = mapper.sid_for_topic("/a/b/c")
+        assert mapper.topic_for_sid(sid) == "/a/b/c"
+
+    def test_two_mappers_agree(self):
+        backend = MemoryBackend()
+        first = PersistentSidMapper(backend)
+        second = PersistentSidMapper(backend)
+        # Different topics, interleaved registration from two mappers.
+        sid_a = first.sid_for_topic("/cluster0/node0/power")
+        sid_b = second.sid_for_topic("/cluster1/node0/power")
+        # No collision: distinct topics get distinct SIDs.
+        assert sid_a != sid_b
+        # And the same topic resolves identically from either.
+        assert second.sid_for_topic("/cluster0/node0/power") == sid_a
+        assert first.sid_for_topic("/cluster1/node0/power") == sid_b
+
+    def test_survives_restart(self):
+        backend = MemoryBackend()
+        sid = PersistentSidMapper(backend).sid_for_topic("/x/y/z")
+        fresh = PersistentSidMapper(backend)
+        assert fresh.sid_for_topic("/x/y/z") == sid
+
+    def test_component_codes_shared_across_levels_independently(self):
+        backend = MemoryBackend()
+        mapper = PersistentSidMapper(backend)
+        a = mapper.sid_for_topic("/p/q")
+        b = mapper.sid_for_topic("/q/p")
+        # "q" appears at level 0 and level 1 with independent codes.
+        assert a != b
+
+
+class TestSidRestore:
+    def test_restore_then_consistent_lookup(self):
+        mapper = SidMapper()
+        sid = SensorId.from_codes([5, 9])
+        mapper.restore("/room/rack", sid)
+        assert mapper.lookup_topic("/room/rack") == sid
+        assert mapper.topic_for_sid(sid) == "/room/rack"
+
+    def test_restore_conflicting_code_rejected(self):
+        mapper = SidMapper()
+        mapper.restore("/a/b", SensorId.from_codes([1, 1]))
+        with pytest.raises(StorageError):
+            mapper.restore("/a/c", SensorId.from_codes([2, 2]))  # 'a' already code 1
+
+    def test_restore_code_held_by_other_component_rejected(self):
+        mapper = SidMapper()
+        mapper.restore("/a/b", SensorId.from_codes([1, 1]))
+        with pytest.raises(StorageError):
+            mapper.restore("/z/b", SensorId.from_codes([1, 1]))  # code 1 is 'a'
+
+
+class TestMultiAgentDeployment:
+    def test_two_agents_one_backend_no_collisions(self):
+        """The paper's Figure 1 layout: several Collect Agents, one
+        distributed Storage Backend."""
+        backend = MemoryBackend()
+        clock = SimClock(0)
+        hubs = [InProcHub(allow_subscribe=False) for _ in range(2)]
+        agents = [CollectAgent(backend, broker=hub) for hub in hubs]
+        for idx, hub in enumerate(hubs):
+            pusher = Pusher(
+                PusherConfig(mqtt_prefix=f"/cluster{idx}/n0"),
+                client=InProcClient(f"p{idx}", hub),
+                clock=clock,
+            )
+            pusher.load_plugin("tester", "group g { interval 1000\n numSensors 5 }")
+            pusher.client.connect()
+            pusher.start_plugin("tester")
+            pusher.advance_to(10 * NS_PER_SEC)
+        # 2 clusters x 5 sensors x 10 cycles, all distinct SIDs.
+        assert sum(a.readings_stored for a in agents) == 100
+        assert len(backend.sids()) == 10
+        # Cross-agent resolution: agent 0 resolves agent 1's topics.
+        sid_via_0 = agents[0].sid_mapper.sid_for_topic("/cluster1/n0/g/s0")
+        sid_via_1 = agents[1].sid_mapper.sid_for_topic("/cluster1/n0/g/s0")
+        assert sid_via_0 == sid_via_1
+
+    def test_agent_restart_preserves_mapping(self):
+        backend = MemoryBackend()
+        hub = InProcHub(allow_subscribe=False)
+        agent = CollectAgent(backend, broker=hub)
+        client = InProcClient("p", hub)
+        client.connect()
+        client.publish("/r/n0/s", encode_reading(1, 42))
+        sid_before = agent.sid_mapper.sid_for_topic("/r/n0/s")
+        # "Restart": a new agent over the same backend.
+        hub2 = InProcHub(allow_subscribe=False)
+        agent2 = CollectAgent(backend, broker=hub2)
+        client2 = InProcClient("p", hub2)
+        client2.connect()
+        client2.publish("/r/n0/s", encode_reading(2, 43))
+        assert agent2.sid_mapper.sid_for_topic("/r/n0/s") == sid_before
+        ts, vals = backend.query(sid_before, 0, 10)
+        assert vals.tolist() == [42, 43]

@@ -1,0 +1,241 @@
+"""Tests for the Pusher daemon: sampling, publishing, lifecycle."""
+
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.pusher import Pusher, PusherConfig
+from repro.mqtt.inproc import InProcClient, InProcHub
+
+TESTER_5 = "group g0 { interval 1000\n numSensors 5 }"
+
+
+def make_pusher(hub=None, clock=None, **config_kwargs):
+    hub = hub if hub is not None else InProcHub(allow_subscribe=False)
+    clock = clock if clock is not None else SimClock(0)
+    pusher = Pusher(
+        PusherConfig(mqtt_prefix="/t/h0", **config_kwargs),
+        client=InProcClient("p0", hub),
+        clock=clock,
+    )
+    return pusher, hub, clock
+
+
+class TestPluginLifecycle:
+    def test_load_and_start(self):
+        pusher, hub, _ = make_pusher()
+        plugin = pusher.load_plugin("tester", TESTER_5)
+        assert plugin.sensor_count == 5
+        assert not plugin.running
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        assert plugin.running
+
+    def test_duplicate_load_rejected(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        with pytest.raises(ConfigError, match="already loaded"):
+            pusher.load_plugin("tester", TESTER_5)
+
+    def test_alias_allows_two_instances(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5, plugin_alias="t1")
+        pusher.load_plugin("tester", TESTER_5, plugin_alias="t2")
+        assert pusher.sensor_count == 10
+
+    def test_unload(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.unload_plugin("tester")
+        assert pusher.sensor_count == 0
+        with pytest.raises(ConfigError, match="not loaded"):
+            pusher.stop_plugin("tester")
+
+    def test_stop_plugin_halts_collection(self):
+        pusher, _, clock = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(3 * NS_PER_SEC)
+        collected = pusher.readings_collected
+        pusher.stop_plugin("tester")
+        pusher.advance_to(6 * NS_PER_SEC)
+        assert pusher.readings_collected == collected
+
+    def test_reload_swaps_configuration(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        plugin = pusher.reload_plugin("tester", "group g0 { interval 1000\n numSensors 9 }")
+        assert plugin.sensor_count == 9
+        assert plugin.running  # was running, stays running
+        pusher.advance_to(NS_PER_SEC)
+        assert pusher.readings_collected == 9
+
+    def test_unknown_plugin_name(self):
+        pusher, _, _ = make_pusher()
+        with pytest.raises(ConfigError, match="unknown plugin"):
+            pusher.load_plugin("does_not_exist", "")
+
+
+class TestSteppedSampling:
+    def test_aligned_cycles(self):
+        pusher, hub, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        cycles = pusher.advance_to(10 * NS_PER_SEC)
+        assert cycles == 10
+        assert pusher.readings_collected == 50
+        assert hub.messages_received == 50
+
+    def test_topics_carry_prefix(self):
+        pusher, hub, _ = make_pusher()
+        topics = []
+        hub.add_publish_hook(lambda cid, p: topics.append(p.topic))
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(NS_PER_SEC)
+        assert sorted(topics) == [f"/t/h0/g0/s{i}" for i in range(5)]
+
+    def test_reading_timestamps_are_interval_aligned(self):
+        pusher, hub, _ = make_pusher()
+        payloads = []
+        hub.add_publish_hook(lambda cid, p: payloads.append(p.payload))
+        pusher.load_plugin("tester", "group g0 { interval 250\n numSensors 1 }")
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(NS_PER_SEC)
+        from repro.core.payload import decode_readings
+
+        timestamps = [decode_readings(p)[0].timestamp for p in payloads]
+        assert timestamps == [250_000_000, 500_000_000, 750_000_000, 1_000_000_000]
+
+    def test_mixed_intervals_ordered(self):
+        pusher, hub, _ = make_pusher()
+        pusher.load_plugin("tester", "group fast { interval 500\n numSensors 1 }\ngroup slow { interval 1000\n numSensors 1 }")
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        cycles = pusher.advance_to(2 * NS_PER_SEC)
+        assert cycles == 4 + 2
+
+    def test_min_values_batching(self):
+        pusher, hub, _ = make_pusher()
+        pusher.load_plugin(
+            "tester", "group g0 { interval 1000\n minValues 3\n numSensors 1 }"
+        )
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(2 * NS_PER_SEC)
+        assert hub.messages_received == 0  # below threshold
+        pusher.advance_to(3 * NS_PER_SEC)
+        assert hub.messages_received == 1  # three readings in one message
+        from repro.core.payload import decode_readings
+
+    def test_sensor_cache_fills(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(5 * NS_PER_SEC)
+        sensor = pusher.sensor_by_topic("/t/h0/g0/s0")
+        assert len(sensor.cache) == 5
+
+
+class TestSendModes:
+    def test_burst_mode_defers_until_flush(self):
+        pusher, hub, _ = make_pusher(send_mode="burst")
+        pusher.load_plugin("tester", TESTER_5)
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(10 * NS_PER_SEC)
+        assert hub.messages_received == 0
+        sent = pusher.flush()
+        assert sent == 5  # one message per sensor, 10 readings each
+        assert hub.messages_received == 5
+
+    def test_burst_payload_batches_readings(self):
+        pusher, hub, _ = make_pusher(send_mode="burst")
+        payloads = []
+        hub.add_publish_hook(lambda cid, p: payloads.append(p.payload))
+        pusher.load_plugin("tester", "group g0 { interval 1000\n numSensors 1 }")
+        pusher.client.connect()
+        pusher.start_plugin("tester")
+        pusher.advance_to(10 * NS_PER_SEC)
+        pusher.flush()
+        from repro.core.payload import decode_readings
+
+        assert len(decode_readings(payloads[0])) == 10
+
+    def test_invalid_send_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            PusherConfig(send_mode="sideways")
+
+
+class TestThreadedMode:
+    def test_real_time_collection(self):
+        # Real wall-clock mode: a fast group on real threads.
+        hub = InProcHub(allow_subscribe=False)
+        pusher = Pusher(
+            PusherConfig(mqtt_prefix="/rt/h0", threads=2),
+            client=InProcClient("rt", hub),
+        )
+        pusher.load_plugin("tester", "group g0 { interval 50\n numSensors 3 }")
+        pusher.start_plugin("tester")
+        pusher.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while hub.messages_received < 9 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert hub.messages_received >= 9
+        finally:
+            pusher.stop()
+
+    def test_stop_flushes_pending(self):
+        hub = InProcHub(allow_subscribe=False)
+        pusher = Pusher(
+            PusherConfig(mqtt_prefix="/rt/h1", send_mode="burst"),
+            client=InProcClient("rt1", hub),
+        )
+        pusher.load_plugin("tester", "group g0 { interval 50\n numSensors 1 }")
+        pusher.start_plugin("tester")
+        pusher.start()
+        time.sleep(0.3)
+        pusher.stop()
+        assert hub.messages_received >= 1
+
+    def test_status_snapshot(self):
+        pusher, _, _ = make_pusher()
+        pusher.load_plugin("tester", TESTER_5)
+        status = pusher.status()
+        assert status["plugins"]["tester"]["sensors"] == 5
+        assert status["running"] is False
+
+
+class TestFailureCounters:
+    def test_publish_failures_and_reconnects_in_status(self):
+        class DeadClient:
+            connected = False
+
+            def connect(self):
+                raise OSError("no broker")
+
+            def close(self):
+                pass
+
+            def publish(self, *a, **k):
+                raise OSError("no broker")
+
+        pusher = Pusher(PusherConfig(mqtt_prefix="/dead"), client=DeadClient(), clock=SimClock(0))
+        pusher.load_plugin("tester", "group g { interval 1000\n numSensors 1 }")
+        from repro.core.sensor import SensorReading
+
+        sensor = pusher.plugins["tester"].groups[0].sensors[0]
+        pusher._publish(sensor, [SensorReading(1, 1)])
+        status = pusher.status()
+        assert status["publishFailures"] == 1
+        assert status["reconnects"] == 0

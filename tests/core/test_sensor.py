@@ -1,0 +1,106 @@
+"""Tests for the sensor data model and cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sensor import SensorCache, SensorMetadata, SensorReading
+
+
+class TestSensorReading:
+    def test_ordering_by_timestamp(self):
+        assert SensorReading(1, 100) < SensorReading(2, 0)
+
+    def test_scaled(self):
+        assert SensorReading(0, 45000).scaled(1000.0) == 45.0
+
+    def test_scaled_identity(self):
+        assert SensorReading(0, 7).scaled(1.0) == 7.0
+
+
+class TestSensorMetadata:
+    def test_physical_round_trip(self):
+        meta = SensorMetadata(name="t", scale=100.0)
+        raw = meta.from_physical(45.67)
+        assert meta.to_physical(SensorReading(0, raw)) == pytest.approx(45.67)
+
+    def test_defaults(self):
+        meta = SensorMetadata(name="s")
+        assert meta.unit == "count"
+        assert meta.publish is True
+        assert meta.delta is False
+
+
+class TestSensorCache:
+    def test_store_and_latest(self):
+        cache = SensorCache()
+        cache.store(SensorReading(1, 10))
+        cache.store(SensorReading(2, 20))
+        assert cache.latest() == SensorReading(2, 20)
+
+    def test_empty_latest(self):
+        assert SensorCache().latest() is None
+
+    def test_eviction_by_age(self):
+        cache = SensorCache(maxage_ns=10 * NS_PER_SEC)
+        for i in range(30):
+            cache.store(SensorReading(i * NS_PER_SEC, i))
+        readings = cache.snapshot()
+        # Window is [latest - 10s, latest]: timestamps 19..29.
+        assert readings[0].timestamp == 19 * NS_PER_SEC
+        assert len(readings) == 11
+
+    def test_two_minute_default_window(self):
+        cache = SensorCache()
+        assert cache.maxage_ns == 120 * NS_PER_SEC
+
+    def test_view_range(self):
+        cache = SensorCache()
+        for i in range(10):
+            cache.store(SensorReading(i, i * 10))
+        view = cache.view(3, 6)
+        assert [r.timestamp for r in view] == [3, 4, 5, 6]
+
+    def test_average_all(self):
+        cache = SensorCache()
+        for v in (10, 20, 30):
+            cache.store(SensorReading(v, v))
+        assert cache.average() == 20.0
+
+    def test_average_window(self):
+        cache = SensorCache()
+        for i in range(10):
+            cache.store(SensorReading(i * NS_PER_SEC, i))
+        # Last 2 seconds: values 7, 8, 9.
+        assert cache.average(2 * NS_PER_SEC) == 8.0
+
+    def test_average_empty(self):
+        assert SensorCache().average() is None
+
+    def test_len_and_clear(self):
+        cache = SensorCache()
+        cache.store(SensorReading(1, 1))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_memory_estimate_grows(self):
+        cache = SensorCache()
+        assert cache.memory_bytes == 0
+        cache.store(SensorReading(1, 1))
+        assert cache.memory_bytes > 0
+
+    def test_invalid_maxage_rejected(self):
+        with pytest.raises(ValueError):
+            SensorCache(maxage_ns=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**12), min_size=1, max_size=60))
+    def test_window_invariant_property(self, timestamps):
+        cache = SensorCache(maxage_ns=1000)
+        for t in sorted(timestamps):
+            cache.store(SensorReading(t, 0))
+        readings = cache.snapshot()
+        newest = readings[-1].timestamp
+        assert all(newest - r.timestamp <= 1000 for r in readings)
+        # The newest reading always survives.
+        assert readings[-1].timestamp == max(timestamps)

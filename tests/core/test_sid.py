@@ -1,0 +1,169 @@
+"""Tests for 128-bit hierarchical sensor IDs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import StorageError, TransportError
+from repro.core.sid import (
+    SID_LEVEL_MASK,
+    SID_LEVELS,
+    SensorId,
+    SidMapper,
+)
+
+
+class TestSensorId:
+    def test_from_codes_level_layout(self):
+        sid = SensorId.from_codes([1, 2, 3])
+        assert sid.level_code(0) == 1
+        assert sid.level_code(1) == 2
+        assert sid.level_code(2) == 3
+        assert sid.level_code(3) == 0
+
+    def test_depth(self):
+        assert SensorId.from_codes([1, 2, 3]).depth() == 3
+        assert SensorId.from_codes([]).depth() == 0
+        assert SensorId.from_codes([1] * SID_LEVELS).depth() == SID_LEVELS
+
+    def test_prefix_zeroes_lower_levels(self):
+        sid = SensorId.from_codes([1, 2, 3, 4])
+        assert SensorId(sid.prefix(2)) == SensorId.from_codes([1, 2])
+        assert sid.prefix(0) == 0
+
+    def test_subtree_shares_prefix(self):
+        a = SensorId.from_codes([1, 2, 3])
+        b = SensorId.from_codes([1, 2, 9])
+        assert a.prefix(2) == b.prefix(2)
+        assert a.prefix(3) != b.prefix(3)
+
+    def test_ordering_groups_by_subtree(self):
+        # Integer ordering clusters sensors under the same parent.
+        parent1 = [SensorId.from_codes([1, 1, i]) for i in range(1, 4)]
+        parent2 = [SensorId.from_codes([1, 2, i]) for i in range(1, 4)]
+        assert max(parent1) < min(parent2)
+
+    def test_hex_round_trip(self):
+        sid = SensorId.from_codes([7, 77, 777])
+        assert SensorId.from_hex(sid.hex()) == sid
+        assert len(sid.hex()) == 32
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SensorId(1 << 128)
+        with pytest.raises(ValueError):
+            SensorId(-1)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ValueError):
+            SensorId.from_codes([1] * (SID_LEVELS + 1))
+
+    def test_code_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SensorId.from_codes([SID_LEVEL_MASK + 1])
+
+    def test_level_index_bounds(self):
+        sid = SensorId.from_codes([1])
+        with pytest.raises(IndexError):
+            sid.level_code(SID_LEVELS)
+
+    @given(st.lists(st.integers(min_value=0, max_value=SID_LEVEL_MASK), max_size=SID_LEVELS))
+    def test_codes_round_trip_property(self, codes):
+        sid = SensorId.from_codes(codes)
+        for i, code in enumerate(codes):
+            assert sid.level_code(i) == code
+
+
+class TestSidMapper:
+    def test_topic_round_trip(self):
+        mapper = SidMapper()
+        sid = mapper.sid_for_topic("/hpc/rack0/node1/power")
+        assert mapper.topic_for_sid(sid) == "/hpc/rack0/node1/power"
+
+    def test_mapping_is_stable(self):
+        mapper = SidMapper()
+        assert mapper.sid_for_topic("/a/b") == mapper.sid_for_topic("/a/b")
+
+    def test_distinct_topics_distinct_sids(self):
+        mapper = SidMapper()
+        sids = {
+            mapper.sid_for_topic(f"/sys/rack{r}/node{n}/s{s}")
+            for r in range(3)
+            for n in range(3)
+            for s in range(3)
+        }
+        assert len(sids) == 27
+
+    def test_leading_slash_canonicalized(self):
+        mapper = SidMapper()
+        assert mapper.sid_for_topic("/a/b") == mapper.sid_for_topic("a/b")
+
+    def test_shared_components_share_codes(self):
+        mapper = SidMapper()
+        a = mapper.sid_for_topic("/hpc/rack0/n0")
+        b = mapper.sid_for_topic("/hpc/rack0/n1")
+        assert a.prefix(2) == b.prefix(2)
+
+    def test_lookup_does_not_register(self):
+        mapper = SidMapper()
+        assert mapper.lookup_topic("/never/seen") is None
+        assert len(mapper) == 0
+
+    def test_lookup_after_register(self):
+        mapper = SidMapper()
+        sid = mapper.sid_for_topic("/x/y")
+        assert mapper.lookup_topic("/x/y") == sid
+
+    def test_unknown_sid_raises(self):
+        mapper = SidMapper()
+        with pytest.raises(StorageError, match="unknown code"):
+            mapper.topic_for_sid(SensorId.from_codes([9, 9]))
+
+    def test_too_deep_topic_rejected(self):
+        mapper = SidMapper()
+        deep = "/" + "/".join(f"l{i}" for i in range(SID_LEVELS + 1))
+        with pytest.raises(TransportError, match="levels"):
+            mapper.sid_for_topic(deep)
+
+    def test_wildcard_topic_rejected(self):
+        mapper = SidMapper()
+        with pytest.raises(TransportError):
+            mapper.sid_for_topic("/a/+/b")
+
+    def test_prefix_for_topic_prefix(self):
+        mapper = SidMapper()
+        sid = mapper.sid_for_topic("/hpc/rack0/node1/power")
+        prefix, levels = mapper.prefix_for_topic_prefix("/hpc/rack0")
+        assert levels == 2
+        assert sid.prefix(2) == prefix
+
+    def test_prefix_for_unknown_prefix(self):
+        mapper = SidMapper()
+        assert mapper.prefix_for_topic_prefix("/nope") is None
+
+    def test_components_at_level(self):
+        mapper = SidMapper()
+        mapper.sid_for_topic("/hpc/r0/n0")
+        mapper.sid_for_topic("/hpc/r1/n0")
+        assert sorted(mapper.components_at_level(1)) == ["r0", "r1"]
+
+    def test_known_topics(self):
+        mapper = SidMapper()
+        mapper.sid_for_topic("/a/b")
+        mapper.sid_for_topic("/c/d")
+        assert mapper.known_topics() == ["/a/b", "/c/d"]
+
+    _components = st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=6
+    )
+
+    @given(st.lists(st.lists(_components, min_size=1, max_size=SID_LEVELS), min_size=1, max_size=30))
+    def test_bijection_property(self, topic_levels):
+        mapper = SidMapper()
+        topics = ["/" + "/".join(levels) for levels in topic_levels]
+        sids = {}
+        for topic in topics:
+            sids[topic] = mapper.sid_for_topic(topic)
+        # 1:1 both ways.
+        assert len(set(sids.values())) == len(set(topics))
+        for topic, sid in sids.items():
+            assert mapper.topic_for_sid(sid) == topic

@@ -1,0 +1,243 @@
+"""Tests for the simulated device servers and their wire protocols."""
+
+import pytest
+
+from repro.common.httpjson import http_json
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.devices import (
+    BacnetDeviceServer,
+    BmcServer,
+    DeviceModel,
+    RestDeviceServer,
+    SnmpAgentServer,
+    constant,
+    noisy,
+    ramp,
+    sinusoid,
+)
+from repro.devices.bacnet_device import AnalogInput
+from repro.devices.bmc import SdrRecord
+from repro.devices.lineserver import LineClient
+
+
+@pytest.fixture
+def model():
+    clock = SimClock(0)
+    m = DeviceModel(clock=clock)
+    m.add_channel("power", constant(250))
+    m.add_channel("temp", constant(4500))
+    m.clock = clock
+    return m
+
+
+def connect(server):
+    client = LineClient("127.0.0.1", server.port)
+    client.connect()
+    return client
+
+
+class TestDeviceModel:
+    def test_read_channel(self, model):
+        assert model.read("power") == 250
+
+    def test_unknown_channel(self, model):
+        assert model.read("nope") is None
+
+    def test_channels_listing(self, model):
+        assert model.channels() == ["power", "temp"]
+
+    def test_read_counts(self, model):
+        model.read("power")
+        model.read("power")
+        assert model.reads == 2
+
+    def test_read_at_explicit_time(self):
+        m = DeviceModel()
+        m.add_channel("r", ramp(0.0, 10.0))
+        assert m.read_at("r", 5 * NS_PER_SEC) == 50
+
+
+class TestChannelGenerators:
+    def test_constant(self):
+        assert constant(7)(123456) == 7
+
+    def test_ramp(self):
+        ch = ramp(100.0, 2.0, scale=10.0)
+        assert ch(0) == 1000
+        assert ch(5 * NS_PER_SEC) == 1100
+
+    def test_sinusoid_bounds(self):
+        ch = sinusoid(50.0, 10.0, period_s=60.0)
+        values = [ch(t * NS_PER_SEC) for t in range(120)]
+        assert min(values) >= 40 and max(values) <= 60
+
+    def test_noisy_reproducible_per_timestamp(self):
+        ch = noisy(constant(100), sigma=5.0, seed=1)
+        assert ch(10**9) == ch(10**9)
+
+    def test_noisy_varies_over_time(self):
+        ch = noisy(constant(100), sigma=5.0, seed=1)
+        values = {ch(t * NS_PER_SEC) for t in range(20)}
+        assert len(values) > 1
+
+
+class TestBmcServer:
+    def test_get_sensor(self, model):
+        with BmcServer(model) as bmc:
+            bmc.add_record(SdrRecord(1, "power", "power", "W"))
+            client = connect(bmc)
+            assert client.request("GET SENSOR 1") == ["READING 1 250"]
+            client.close()
+
+    def test_list_sdr(self, model):
+        with BmcServer(model) as bmc:
+            bmc.add_record(SdrRecord(2, "temp", "temperature", "mC"))
+            bmc.add_record(SdrRecord(1, "power", "power", "W"))
+            client = connect(bmc)
+            lines = client.request("LIST SDR")
+            assert lines == ["SDR 1 power power W", "SDR 2 temp temperature mC"]
+            client.close()
+
+    def test_unknown_record_error(self, model):
+        with BmcServer(model) as bmc:
+            client = connect(bmc)
+            with pytest.raises(ValueError, match="no SDR"):
+                client.request("GET SENSOR 99")
+            client.close()
+
+    def test_unknown_command_error(self, model):
+        with BmcServer(model) as bmc:
+            client = connect(bmc)
+            with pytest.raises(ValueError):
+                client.request("FROB 1")
+            client.close()
+
+    def test_record_requires_channel(self, model):
+        bmc = BmcServer(model)
+        with pytest.raises(ValueError, match="no channel"):
+            bmc.add_record(SdrRecord(1, "missing", "power", "W"))
+
+    def test_sel_info(self, model):
+        with BmcServer(model) as bmc:
+            bmc.log_event()
+            bmc.log_event()
+            client = connect(bmc)
+            assert client.request("GET SEL INFO") == ["SEL 2"]
+            client.close()
+
+
+class TestSnmpAgent:
+    def test_get(self, model):
+        with SnmpAgentServer(model) as agent:
+            agent.bind_oid("1.3.6.1.4.1.42.1.1", "power")
+            client = connect(agent)
+            assert client.request("GET 1.3.6.1.4.1.42.1.1") == [
+                "1.3.6.1.4.1.42.1.1 = INTEGER: 250"
+            ]
+            client.close()
+
+    def test_walk_subtree(self, model):
+        with SnmpAgentServer(model) as agent:
+            agent.bind_oid("1.3.6.1.4.1.42.1.2", "temp")
+            agent.bind_oid("1.3.6.1.4.1.42.1.10", "power")
+            agent.bind_oid("1.3.6.1.4.1.99.1", "power")
+            client = connect(agent)
+            lines = client.request("WALK 1.3.6.1.4.1.42")
+            # Numeric OID ordering: .2 before .10.
+            assert [line.split(" ")[0] for line in lines] == [
+                "1.3.6.1.4.1.42.1.2",
+                "1.3.6.1.4.1.42.1.10",
+            ]
+            client.close()
+
+    def test_missing_oid_error(self, model):
+        with SnmpAgentServer(model) as agent:
+            client = connect(agent)
+            with pytest.raises(ValueError, match="noSuchObject"):
+                client.request("GET 1.2.3")
+            client.close()
+
+    def test_malformed_oid_rejected_at_bind(self, model):
+        agent = SnmpAgentServer(model)
+        with pytest.raises(ValueError):
+            agent.bind_oid("1.x.3", "power")
+
+
+class TestBacnetDevice:
+    def test_present_value(self, model):
+        with BacnetDeviceServer(model) as device:
+            device.add_object(AnalogInput(1, "temp", "C"))
+            client = connect(device)
+            assert client.request("READPROP AI 1 PRESENT_VALUE") == [
+                "AI 1 PRESENT_VALUE 4500"
+            ]
+            client.close()
+
+    def test_other_properties(self, model):
+        with BacnetDeviceServer(model) as device:
+            device.add_object(AnalogInput(1, "temp", "C"))
+            client = connect(device)
+            assert client.request("READPROP AI 1 UNITS") == ["AI 1 UNITS C"]
+            assert client.request("READPROP AI 1 OBJECT_NAME") == [
+                "AI 1 OBJECT_NAME temp"
+            ]
+            client.close()
+
+    def test_list_objects(self, model):
+        with BacnetDeviceServer(model) as device:
+            device.add_object(AnalogInput(2, "power", "W"))
+            device.add_object(AnalogInput(1, "temp", "C"))
+            client = connect(device)
+            assert client.request("LIST AI") == ["AI 1 temp", "AI 2 power"]
+            client.close()
+
+    def test_unknown_object(self, model):
+        with BacnetDeviceServer(model) as device:
+            client = connect(device)
+            with pytest.raises(ValueError, match="unknown object"):
+                client.request("READPROP AI 9 PRESENT_VALUE")
+            client.close()
+
+
+class TestRestDevice:
+    def test_all_sensors(self, model):
+        with RestDeviceServer(model) as device:
+            status, body = http_json(
+                "GET", f"http://127.0.0.1:{device.port}/sensors"
+            )
+            assert status == 200
+            assert body == {"power": 250, "temp": 4500}
+
+    def test_single_sensor(self, model):
+        with RestDeviceServer(model) as device:
+            status, body = http_json(
+                "GET", f"http://127.0.0.1:{device.port}/sensors/power"
+            )
+            assert body == {"name": "power", "value": 250}
+
+    def test_unknown_sensor_404(self, model):
+        with RestDeviceServer(model) as device:
+            status, _ = http_json(
+                "GET", f"http://127.0.0.1:{device.port}/sensors/ghost"
+            )
+            assert status == 404
+
+
+class TestLineServerRobustness:
+    def test_concurrent_clients(self, model):
+        with BmcServer(model) as bmc:
+            bmc.add_record(SdrRecord(1, "power", "power", "W"))
+            clients = [connect(bmc) for _ in range(5)]
+            for client in clients:
+                assert client.request("GET SENSOR 1") == ["READING 1 250"]
+            for client in clients:
+                client.close()
+
+    def test_requests_served_counter(self, model):
+        with BmcServer(model) as bmc:
+            bmc.add_record(SdrRecord(1, "power", "power", "W"))
+            client = connect(bmc)
+            client.request("GET SENSOR 1")
+            client.request("GET SENSOR 1")
+            assert bmc.requests_served == 2
+            client.close()

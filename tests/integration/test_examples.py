@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs and prints its findings."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "readings stored:" in out
+        assert "/virtual/node_power" in out
+        assert "1960 W" in out
+
+    def test_facility_monitoring(self):
+        out = run_example("facility_monitoring.py")
+        assert "heat-removal efficiency" in out
+        assert "90" in out.split("heat-removal efficiency")[1]
+
+    def test_application_characterization(self):
+        out = run_example("application_characterization.py", timeout=300.0)
+        assert "kripke" in out and "amg" in out
+        # The paper's modality finding appears in the output.
+        assert "single trend" in out
+        assert "trends" in out
+
+    def test_scalable_cluster(self):
+        out = run_example("scalable_cluster.py")
+        assert "subtree /cluster0 owned by sb-west" in out
+        assert "subtree /cluster1 owned by sb-east" in out
+
+    def test_online_analytics(self):
+        out = run_example("online_analytics.py")
+        assert "thermal anomalies flagged:" in out
+        assert "power-band transitions" in out

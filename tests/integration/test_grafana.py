@@ -1,0 +1,156 @@
+"""Tests for the Grafana JSON data source."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.common.httpjson import http_json
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.collectagent import CollectAgent
+from repro.core.pusher import Pusher, PusherConfig
+from repro.grafana import GrafanaDataSource
+from repro.libdcdb.api import DCDBClient, SensorConfig
+from repro.libdcdb.virtualsensors import VirtualSensorDef
+from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.storage import MemoryBackend
+
+
+@pytest.fixture
+def datasource():
+    hub = InProcHub(allow_subscribe=False)
+    backend = MemoryBackend()
+    agent = CollectAgent(backend, broker=hub)
+    pusher = Pusher(
+        PusherConfig(mqtt_prefix="/g/rack0/node0"),
+        client=InProcClient("p", hub),
+        clock=SimClock(0),
+    )
+    pusher.load_plugin(
+        "tester",
+        "group power { interval 1000\n numSensors 2\n generator constant\n startValue 300 }",
+    )
+    pusher.client.connect()
+    pusher.start_plugin("tester")
+    pusher.advance_to(120 * NS_PER_SEC)
+    client = DCDBClient(backend)
+    for i in range(2):
+        client.set_sensor_config(
+            SensorConfig(topic=f"/g/rack0/node0/power/s{i}", unit="W")
+        )
+    client.define_virtual_sensor(
+        VirtualSensorDef(
+            name="rack_power", expression="sum(</g/rack0>)", unit="W"
+        )
+    )
+    with GrafanaDataSource(client) as ds:
+        yield ds
+
+
+def post(ds, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{ds.port}{path}",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestDataSource:
+    def test_health(self, datasource):
+        status, body = http_json("GET", f"http://127.0.0.1:{datasource.port}/")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_search_lists_metrics(self, datasource):
+        status, body = post(datasource, "/search", {"target": "/g"})
+        assert status == 200
+        assert "/g/rack0/node0/power/s0" in body
+
+    def test_search_includes_virtual_sensors(self, datasource):
+        _, body = post(datasource, "/search", {"target": "/virtual"})
+        assert "/virtual/rack_power" in body
+
+    def test_query_series(self, datasource):
+        status, body = post(
+            datasource,
+            "/query",
+            {
+                "range": {"from_ns": 0, "to_ns": 200 * NS_PER_SEC},
+                "targets": [{"target": "/g/rack0/node0/power/s0"}],
+            },
+        )
+        assert status == 200
+        series = body[0]
+        assert series["target"] == "/g/rack0/node0/power/s0"
+        assert len(series["datapoints"]) == 120
+        value, ts_ms = series["datapoints"][0]
+        assert value == 300.0
+        assert ts_ms == 1000  # epoch ms
+
+    def test_query_downsamples_to_max_points(self, datasource):
+        _, body = post(
+            datasource,
+            "/query",
+            {
+                "range": {"from_ns": 0, "to_ns": 200 * NS_PER_SEC},
+                "targets": [{"target": "/g/rack0/node0/power/s0"}],
+                "maxDataPoints": 10,
+            },
+        )
+        assert len(body[0]["datapoints"]) <= 12
+
+    def test_query_virtual_sensor(self, datasource):
+        _, body = post(
+            datasource,
+            "/query",
+            {
+                "range": {"from_ns": NS_PER_SEC, "to_ns": 100 * NS_PER_SEC},
+                "targets": [{"target": "/virtual/rack_power"}],
+            },
+        )
+        points = body[0]["datapoints"]
+        assert points and points[0][0] == pytest.approx(600.0, abs=0.01)
+
+    def test_query_unknown_topic_reports_error(self, datasource):
+        _, body = post(
+            datasource,
+            "/query",
+            {
+                "range": {"from_ns": 0, "to_ns": 10},
+                "targets": [{"target": "/ghost"}],
+            },
+        )
+        assert body[0]["datapoints"] == []
+        assert "error" in body[0]
+
+    def test_multiple_targets(self, datasource):
+        _, body = post(
+            datasource,
+            "/query",
+            {
+                "range": {"from_ns": 0, "to_ns": 200 * NS_PER_SEC},
+                "targets": [
+                    {"target": "/g/rack0/node0/power/s0"},
+                    {"target": "/g/rack0/node0/power/s1"},
+                ],
+            },
+        )
+        assert len(body) == 2
+
+    def test_hierarchy_drilldown(self, datasource):
+        # The paper's Figure 3 drop-down navigation.
+        status, body = http_json(
+            "GET", f"http://127.0.0.1:{datasource.port}/hierarchy?prefix="
+        )
+        assert body == ["g"]
+        _, body = http_json(
+            "GET", f"http://127.0.0.1:{datasource.port}/hierarchy?prefix=/g/rack0"
+        )
+        assert body == ["node0"]
+        _, body = http_json(
+            "GET",
+            f"http://127.0.0.1:{datasource.port}/hierarchy?prefix=/g/rack0/node0/power",
+        )
+        assert body == ["s0", "s1"]

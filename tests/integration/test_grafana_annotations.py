@@ -1,0 +1,63 @@
+"""Tests for the Grafana annotations endpoint backed by analytics alarms."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.analytics import AnalyticsManager, ThresholdAlarm
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sensor import SensorReading
+from repro.grafana import GrafanaDataSource
+from repro.libdcdb.api import DCDBClient
+from repro.storage import MemoryBackend
+
+
+def post(ds, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{ds.port}{path}",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture
+def stack():
+    manager = AnalyticsManager()
+    manager.add_operator(ThresholdAlarm("cap", ["/p/#"], high=100, low=90))
+    # Raise at t=5s, clear at t=9s.
+    manager.feed("/p/node0", SensorReading(5 * NS_PER_SEC, 150))
+    manager.feed("/p/node0", SensorReading(9 * NS_PER_SEC, 50))
+    client = DCDBClient(MemoryBackend())
+    with GrafanaDataSource(client, analytics=manager) as ds:
+        yield ds, manager
+
+
+class TestAnnotations:
+    def test_alarms_rendered(self, stack):
+        ds, _ = stack
+        status, body = post(ds, "/annotations", {})
+        assert status == 200
+        assert len(body) == 2
+        assert body[0]["title"] == "cap"
+        assert body[0]["time"] == 5000  # ms
+        assert "/p/node0" in body[0]["tags"]
+
+    def test_range_filtering(self, stack):
+        ds, _ = stack
+        _, body = post(
+            ds,
+            "/annotations",
+            {"range": {"from_ns": 8 * NS_PER_SEC, "to_ns": 20 * NS_PER_SEC}},
+        )
+        assert len(body) == 1
+        assert "recovered" in body[0]["text"]
+
+    def test_no_analytics_manager_empty(self):
+        client = DCDBClient(MemoryBackend())
+        with GrafanaDataSource(client) as ds:
+            _, body = post(ds, "/annotations", {})
+            assert body == []

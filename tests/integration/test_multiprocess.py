@@ -1,0 +1,171 @@
+"""Multi-process deployment: the installed daemons as real processes.
+
+Launches ``dcdb-collectagent`` and ``dcdb-pusher`` (the console entry
+points a production deployment runs) as subprocesses, verifies data
+flows over real TCP between real processes, drives the Pusher's REST
+API from outside, and finally queries the persisted SQLite store with
+``dcdb-query`` — the full operational story with no in-process
+shortcuts anywhere.
+"""
+
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.common.httpjson import http_json
+
+AGENT_BIN = shutil.which("dcdb-collectagent")
+PUSHER_BIN = shutil.which("dcdb-pusher")
+QUERY_BIN = shutil.which("dcdb-query")
+
+pytestmark = pytest.mark.skipif(
+    not (AGENT_BIN and PUSHER_BIN and QUERY_BIN),
+    reason="console entry points not installed",
+)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for(predicate, timeout=15.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def rest_status(port: int):
+    try:
+        return http_json("GET", f"http://127.0.0.1:{port}/status", timeout=2.0)
+    except OSError:
+        return None, None
+
+
+class TestFullDeployment:
+    def test_daemons_end_to_end(self, tmp_path):
+        mqtt_port = free_port()
+        agent_rest = free_port()
+        pusher_rest = free_port()
+        db_path = tmp_path / "monitor.db"
+        agent_conf = tmp_path / "agent.conf"
+        agent_conf.write_text(
+            f"""
+            global {{
+                mqttHost 127.0.0.1
+                mqttPort {mqtt_port}
+                restPort {agent_rest}
+                db sqlite:{db_path}
+            }}
+            """
+        )
+        pusher_conf = tmp_path / "pusher.conf"
+        pusher_conf.write_text(
+            f"""
+            global {{
+                mqttPrefix /mp/node0
+                brokerHost 127.0.0.1
+                brokerPort {mqtt_port}
+                restPort {pusher_rest}
+            }}
+            plugin tester {{
+                config {{
+                    group g {{ interval 200
+                               numSensors 4 }}
+                }}
+            }}
+            """
+        )
+        env = dict(os.environ)
+        agent = subprocess.Popen(
+            [AGENT_BIN, str(agent_conf)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        pusher = None
+        try:
+            assert wait_for(lambda: rest_status(agent_rest)[0] == 200), (
+                agent.stderr.read() if agent.poll() is not None else "agent REST never up"
+            )
+            pusher = subprocess.Popen(
+                [PUSHER_BIN, str(pusher_conf)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+            )
+            assert wait_for(lambda: rest_status(pusher_rest)[0] == 200)
+
+            # Data flows process-to-process over TCP.
+            def stored():
+                status, body = rest_status(agent_rest)
+                return status == 200 and body["readingsStored"] >= 20
+
+            assert wait_for(stored, timeout=30.0)
+
+            # Drive the pusher's REST API from outside: stop and
+            # restart the plugin.
+            status, _ = http_json(
+                "POST",
+                f"http://127.0.0.1:{pusher_rest}/plugins/tester/stop",
+                body={},
+            )
+            assert status == 200
+            _, before = rest_status(agent_rest)
+            time.sleep(0.6)
+            _, after = rest_status(agent_rest)
+            assert after["readingsStored"] - before["readingsStored"] <= 4
+            http_json(
+                "POST",
+                f"http://127.0.0.1:{pusher_rest}/plugins/tester/start",
+                body={},
+            )
+
+            # Cache endpoint serves latest readings of a live sensor.
+            def cache_warm():
+                status, body = http_json(
+                    "GET",
+                    f"http://127.0.0.1:{pusher_rest}/cache?topic=/mp/node0/g/s0",
+                    timeout=2.0,
+                )
+                return status == 200 and len(body) > 0
+
+            assert wait_for(cache_warm)
+        finally:
+            if pusher is not None:
+                pusher.send_signal(signal.SIGTERM)
+                pusher.wait(timeout=10)
+            agent.send_signal(signal.SIGTERM)
+            agent.wait(timeout=10)
+
+        # Post-mortem: the SQLite store is queryable with dcdb-query.
+        result = subprocess.run(
+            [QUERY_BIN, "--db", f"sqlite:{db_path}", "--list", "/mp"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0, result.stderr
+        topics = result.stdout.split()
+        assert len(topics) == 4
+        result = subprocess.run(
+            [QUERY_BIN, "--db", f"sqlite:{db_path}", topics[0], "--summary"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0
+        # >= 20 readings flowed in total across 4 sensors, so each
+        # sensor persisted at least 5.
+        count = int(result.stdout.strip().splitlines()[1].split(",")[1])
+        assert count >= 5

@@ -1,0 +1,68 @@
+"""Tests for integrals, derivatives, and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.libdcdb.analysis import derivative, integral, summary
+
+
+class TestIntegral:
+    def test_constant_power_to_energy(self):
+        # 100 W over 10 s = 1000 J.
+        ts = np.arange(0, 11, dtype=np.int64) * NS_PER_SEC
+        vals = np.full(11, 100.0)
+        assert integral(ts, vals) == pytest.approx(1000.0)
+
+    def test_linear_ramp(self):
+        # 0..10 over 10 s: trapezoid = 50.
+        ts = np.arange(0, 11, dtype=np.int64) * NS_PER_SEC
+        vals = np.arange(0, 11, dtype=np.float64)
+        assert integral(ts, vals) == pytest.approx(50.0)
+
+    def test_single_point_raises(self):
+        with pytest.raises(QueryError):
+            integral(np.array([1], dtype=np.int64), np.array([1.0]))
+
+
+class TestDerivative:
+    def test_energy_to_power(self):
+        # Energy meter gaining 100 J/s -> 100 W everywhere.
+        ts = np.arange(0, 5, dtype=np.int64) * NS_PER_SEC
+        vals = np.arange(0, 5, dtype=np.float64) * 100.0
+        mid_ts, rates = derivative(ts, vals)
+        assert rates.tolist() == pytest.approx([100.0] * 4)
+        assert mid_ts.tolist() == [NS_PER_SEC // 2 + i * NS_PER_SEC for i in range(4)]
+
+    def test_integral_of_derivative_round_trip(self):
+        rng = np.random.default_rng(1)
+        ts = np.arange(0, 100, dtype=np.int64) * NS_PER_SEC
+        vals = np.cumsum(rng.uniform(0, 10, 100))
+        mid_ts, rates = derivative(ts, vals)
+        recovered = integral(mid_ts, rates)
+        # integral(d/dt) over the midpoint series approximates the total change
+        assert recovered == pytest.approx(vals[-1] - vals[0], rel=0.05)
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(QueryError):
+            derivative(np.array([1, 1], dtype=np.int64), np.array([1.0, 2.0]))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(QueryError):
+            derivative(np.array([1], dtype=np.int64), np.array([1.0]))
+
+
+class TestSummary:
+    def test_statistics(self):
+        ts = np.arange(0, 5, dtype=np.int64) * NS_PER_SEC
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        s = summary(ts, vals)
+        assert s.count == 5
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.mean == 3.0
+        assert s.span_seconds == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            summary(np.empty(0, dtype=np.int64), np.empty(0))

@@ -1,0 +1,152 @@
+"""Tests for the DCDBClient data-access API."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sid import SidMapper
+from repro.libdcdb.api import DCDBClient, SensorConfig, _covers, _merge_intervals
+from repro.storage.memory import MemoryBackend
+
+
+@pytest.fixture
+def env():
+    backend = MemoryBackend()
+    mapper = SidMapper()
+    client = DCDBClient(backend)
+    topics = [
+        "/hpc/rack0/node0/power",
+        "/hpc/rack0/node1/power",
+        "/hpc/rack1/node0/power",
+        "/fac/cooling/flow",
+    ]
+    for topic in topics:
+        sid = mapper.sid_for_topic(topic)
+        backend.put_metadata(f"sidmap{topic}", sid.hex())
+        for t in range(1, 11):
+            backend.insert(sid, t * NS_PER_SEC, t * 100)
+    return client, backend, mapper
+
+
+class TestTopicResolution:
+    def test_sid_of_resolves(self, env):
+        client, _, mapper = env
+        assert client.sid_of("/hpc/rack0/node0/power") == mapper.lookup_topic(
+            "/hpc/rack0/node0/power"
+        )
+
+    def test_unknown_topic_raises(self, env):
+        client, _, _ = env
+        with pytest.raises(QueryError, match="unknown sensor topic"):
+            client.sid_of("/nope")
+
+    def test_topics_listing(self, env):
+        client, _, _ = env
+        assert len(client.topics()) == 4
+        assert len(client.topics("/hpc/rack0")) == 2
+
+    def test_register_topic(self, env):
+        client, _, mapper = env
+        sid = mapper.sid_for_topic("/new/sensor")
+        client.register_topic("/new/sensor", sid)
+        assert client.sid_of("/new/sensor") == sid
+
+
+class TestHierarchy:
+    def test_root_children(self, env):
+        client, _, _ = env
+        assert client.hierarchy_children("") == ["fac", "hpc"]
+
+    def test_mid_level_children(self, env):
+        client, _, _ = env
+        assert client.hierarchy_children("/hpc") == ["rack0", "rack1"]
+        assert client.hierarchy_children("/hpc/rack0") == ["node0", "node1"]
+
+    def test_leaf_level(self, env):
+        client, _, _ = env
+        assert client.hierarchy_children("/hpc/rack0/node0") == ["power"]
+
+    def test_unknown_prefix_empty(self, env):
+        client, _, _ = env
+        assert client.hierarchy_children("/mars") == []
+
+
+class TestQueries:
+    def test_raw_query(self, env):
+        client, _, _ = env
+        ts, vals = client.query_raw("/hpc/rack0/node0/power", 0, 20 * NS_PER_SEC)
+        assert vals.tolist() == [t * 100 for t in range(1, 11)]
+
+    def test_scaled_physical_query(self, env):
+        client, _, _ = env
+        client.set_sensor_config(
+            SensorConfig(topic="/hpc/rack0/node0/power", unit="W", scale=100.0)
+        )
+        _, vals = client.query("/hpc/rack0/node0/power", 0, 20 * NS_PER_SEC)
+        assert vals.tolist() == pytest.approx(list(range(1, 11)))
+
+    def test_unit_conversion_on_query(self, env):
+        client, _, _ = env
+        client.set_sensor_config(
+            SensorConfig(topic="/hpc/rack0/node0/power", unit="W", scale=1.0)
+        )
+        _, w = client.query("/hpc/rack0/node0/power", 0, 20 * NS_PER_SEC)
+        _, kw = client.query("/hpc/rack0/node0/power", 0, 20 * NS_PER_SEC, unit="kW")
+        assert kw.tolist() == pytest.approx((w / 1000.0).tolist())
+
+    def test_latest(self, env):
+        client, _, _ = env
+        client.set_sensor_config(
+            SensorConfig(topic="/fac/cooling/flow", unit="m3/h", scale=100.0)
+        )
+        ts, value = client.latest("/fac/cooling/flow")
+        assert ts == 10 * NS_PER_SEC
+        assert value == pytest.approx(10.0)
+
+    def test_latest_empty(self, env):
+        client, backend, mapper = env
+        sid = mapper.sid_for_topic("/empty/sensor")
+        backend.put_metadata("sidmap/empty/sensor", sid.hex())
+        assert client.latest("/empty/sensor") is None
+
+
+class TestSensorConfig:
+    def test_defaults_for_unknown(self, env):
+        client, _, _ = env
+        config = client.sensor_config("/hpc/rack0/node0/power")
+        assert config.unit == "count" and config.scale == 1.0
+
+    def test_persists(self, env):
+        client, backend, _ = env
+        client.set_sensor_config(
+            SensorConfig(
+                topic="/hpc/rack0/node0/power",
+                unit="W",
+                scale=2.0,
+                integrable=True,
+                ttl_s=3600,
+                attributes={"rack": "0"},
+            )
+        )
+        again = DCDBClient(backend).sensor_config("/hpc/rack0/node0/power")
+        assert again.unit == "W"
+        assert again.scale == 2.0
+        assert again.integrable is True
+        assert again.ttl_s == 3600
+        assert again.attributes == {"rack": "0"}
+
+
+class TestIntervalHelpers:
+    def test_merge_overlapping(self):
+        assert _merge_intervals([(0, 10), (5, 20), (30, 40)]) == [(0, 20), (30, 40)]
+
+    def test_merge_adjacent(self):
+        assert _merge_intervals([(0, 10), (11, 20)]) == [(0, 20)]
+
+    def test_merge_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_covers(self):
+        assert _covers([(0, 100)], 10, 50)
+        assert not _covers([(0, 100)], 50, 150)
+        assert not _covers([(0, 40), (60, 100)], 10, 90)

@@ -1,0 +1,136 @@
+"""Tests for the virtual-sensor expression parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import QueryError
+from repro.libdcdb.virtualsensors import (
+    Agg,
+    BinOp,
+    Neg,
+    Num,
+    SensorRef,
+    parse_expression,
+    referenced_sensors,
+)
+
+
+class TestParser:
+    def test_number(self):
+        assert parse_expression("42") == Num(42.0)
+
+    def test_float_and_exponent(self):
+        assert parse_expression("2.5e3") == Num(2500.0)
+
+    def test_sensor_ref(self):
+        assert parse_expression("</a/b/c>") == SensorRef("/a/b/c")
+
+    def test_addition(self):
+        node = parse_expression("<a> + <b>")
+        assert node == BinOp("+", SensorRef("a"), SensorRef("b"))
+
+    def test_precedence_mul_over_add(self):
+        node = parse_expression("<a> + <b> * 2")
+        assert node == BinOp("+", SensorRef("a"), BinOp("*", SensorRef("b"), Num(2.0)))
+
+    def test_left_associativity(self):
+        node = parse_expression("<a> - <b> - <c>")
+        assert node == BinOp(
+            "-", BinOp("-", SensorRef("a"), SensorRef("b")), SensorRef("c")
+        )
+
+    def test_parentheses_override(self):
+        node = parse_expression("(<a> + <b>) * 2")
+        assert node == BinOp("*", BinOp("+", SensorRef("a"), SensorRef("b")), Num(2.0))
+
+    def test_unary_minus(self):
+        assert parse_expression("-<a>") == Neg(SensorRef("a"))
+
+    def test_double_negation(self):
+        assert parse_expression("--3") == Neg(Neg(Num(3.0)))
+
+    @pytest.mark.parametrize("func", ["sum", "avg", "min", "max"])
+    def test_aggregation_functions(self, func):
+        assert parse_expression(f"{func}(</rack0>)") == Agg(func, "/rack0")
+
+    def test_nested_expression(self):
+        text = "(sum(</r0/power>) - <losses>) / (1000 * 1.5)"
+        node = parse_expression(text)
+        assert isinstance(node, BinOp) and node.op == "/"
+
+    def test_whitespace_tolerant(self):
+        assert parse_expression("  < a >  +  1 ") == BinOp(
+            "+", SensorRef("a"), Num(1.0)
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<>",
+            "<unterminated",
+            "1 +",
+            "(1",
+            "1)",
+            "frobnicate(<a>)",
+            "sum(1)",
+            "sum(<a>",
+            "<a> $ <b>",
+            "* 3",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_expression(bad)
+
+
+class TestReferencedSensors:
+    def test_collects_all(self):
+        node = parse_expression("<a> + sum(<b>) * -<c>")
+        assert referenced_sensors(node) == {"a", "b", "c"}
+
+    def test_constants_have_none(self):
+        assert referenced_sensors(parse_expression("1 + 2")) == set()
+
+
+class TestArithmeticSemantics:
+    """Evaluate constant-only expressions against Python's arithmetic."""
+
+    def _eval_const(self, node):
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, Neg):
+            return -self._eval_const(node.operand)
+        if isinstance(node, BinOp):
+            left = self._eval_const(node.left)
+            right = self._eval_const(node.right)
+            return {"+": lambda: left + right, "-": lambda: left - right,
+                    "*": lambda: left * right, "/": lambda: left / right}[node.op]()
+        raise AssertionError
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7.0),
+            ("(1 + 2) * 3", 9.0),
+            ("10 / 4", 2.5),
+            ("2 - 3 - 4", -5.0),
+            ("-2 * -3", 6.0),
+            ("100 / 10 / 2", 5.0),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert self._eval_const(parse_expression(text)) == pytest.approx(expected)
+
+    @given(
+        st.integers(min_value=1, max_value=99),
+        st.integers(min_value=1, max_value=99),
+        st.integers(min_value=1, max_value=99),
+        st.sampled_from(["+", "-", "*", "/"]),
+        st.sampled_from(["+", "-", "*", "/"]),
+    )
+    def test_matches_python_eval(self, a, b, c, op1, op2):
+        text = f"{a} {op1} {b} {op2} {c}"
+        assert self._eval_const(parse_expression(text)) == pytest.approx(
+            eval(text)  # noqa: S307 - generated from safe tokens
+        )

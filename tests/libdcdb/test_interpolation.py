@@ -1,0 +1,117 @@
+"""Tests for series resampling and grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import QueryError
+from repro.libdcdb.interpolation import (
+    downsample_mean,
+    regular_grid,
+    resample_linear,
+    union_grid,
+)
+
+
+class TestUnionGrid:
+    def test_merges_and_sorts(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([2, 3, 4], dtype=np.int64)
+        assert union_grid(a, b).tolist() == [1, 2, 3, 4, 5]
+
+    def test_empty_inputs(self):
+        assert union_grid().size == 0
+        assert union_grid(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_single_array(self):
+        a = np.array([5, 1], dtype=np.int64)
+        assert union_grid(a).tolist() == [1, 5]
+
+
+class TestRegularGrid:
+    def test_inclusive_end(self):
+        assert regular_grid(0, 10, 5).tolist() == [0, 5, 10]
+
+    def test_non_divisible_end(self):
+        assert regular_grid(0, 11, 5).tolist() == [0, 5, 10]
+
+    def test_invalid_interval(self):
+        with pytest.raises(QueryError):
+            regular_grid(0, 10, 0)
+
+    def test_end_before_start(self):
+        with pytest.raises(QueryError):
+            regular_grid(10, 0, 1)
+
+
+class TestResampleLinear:
+    def test_exact_points_preserved(self):
+        ts = np.array([0, 10, 20], dtype=np.int64)
+        vals = np.array([0.0, 100.0, 50.0])
+        out = resample_linear(ts, vals, ts)
+        assert out.tolist() == [0.0, 100.0, 50.0]
+
+    def test_midpoint_interpolation(self):
+        ts = np.array([0, 10], dtype=np.int64)
+        vals = np.array([0.0, 100.0])
+        grid = np.array([5], dtype=np.int64)
+        assert resample_linear(ts, vals, grid)[0] == pytest.approx(50.0)
+
+    def test_clamping_outside_span(self):
+        ts = np.array([10, 20], dtype=np.int64)
+        vals = np.array([1.0, 2.0])
+        grid = np.array([0, 30], dtype=np.int64)
+        out = resample_linear(ts, vals, grid)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_empty_series_raises(self):
+        with pytest.raises(QueryError):
+            resample_linear(np.empty(0, dtype=np.int64), np.empty(0), np.array([1]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(QueryError):
+            resample_linear(np.array([1, 2]), np.array([1.0]), np.array([1]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=30,
+            unique_by=lambda p: p[0],
+        )
+    )
+    def test_interpolation_bounded_property(self, points):
+        points.sort()
+        ts = np.array([p[0] for p in points], dtype=np.int64)
+        vals = np.array([p[1] for p in points])
+        grid = np.linspace(ts[0], ts[-1], 17).astype(np.int64)
+        out = resample_linear(ts, vals, grid)
+        assert out.min() >= vals.min() - 1e-9
+        assert out.max() <= vals.max() + 1e-9
+
+
+class TestDownsampleMean:
+    def test_bucket_means(self):
+        ts = np.array([0, 1, 2, 10, 11], dtype=np.int64)
+        vals = np.array([1, 2, 3, 10, 20], dtype=np.float64)
+        bucket_ts, means = downsample_mean(ts, vals, 10)
+        assert bucket_ts.tolist() == [0, 10]
+        assert means.tolist() == [2.0, 15.0]
+
+    def test_gaps_not_filled(self):
+        ts = np.array([0, 100], dtype=np.int64)
+        vals = np.array([1.0, 2.0])
+        bucket_ts, _ = downsample_mean(ts, vals, 10)
+        assert bucket_ts.tolist() == [0, 100]
+
+    def test_empty(self):
+        ts = np.empty(0, dtype=np.int64)
+        bucket_ts, means = downsample_mean(ts, np.empty(0), 10)
+        assert bucket_ts.size == 0
+
+    def test_invalid_bucket(self):
+        with pytest.raises(QueryError):
+            downsample_mean(np.array([1]), np.array([1.0]), 0)

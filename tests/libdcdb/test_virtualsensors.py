@@ -1,0 +1,234 @@
+"""Tests for virtual-sensor evaluation: units, interpolation, caching."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sid import SidMapper
+from repro.libdcdb.api import DCDBClient, SensorConfig
+from repro.libdcdb.virtualsensors import VirtualSensorDef
+from repro.storage.memory import MemoryBackend
+
+
+@pytest.fixture
+def env():
+    """Backend pre-loaded with two power sensors and one temp sensor."""
+    backend = MemoryBackend()
+    mapper = SidMapper()
+    client = DCDBClient(backend)
+
+    def load(topic, unit, scale, points):
+        sid = mapper.sid_for_topic(topic)
+        backend.put_metadata(f"sidmap{topic}", sid.hex())
+        client.set_sensor_config(SensorConfig(topic=topic, unit=unit, scale=scale))
+        for t, v in points:
+            backend.insert(sid, t, v)
+
+    # 1 Hz power sensor in W.
+    load(
+        "/hpc/n0/power",
+        "W",
+        1.0,
+        [(t * NS_PER_SEC, 200) for t in range(1, 61)],
+    )
+    # 1 Hz power sensor reported in mW (tests unit conversion).
+    load(
+        "/hpc/n1/power",
+        "mW",
+        1.0,
+        [(t * NS_PER_SEC, 300_000) for t in range(1, 61)],
+    )
+    # 2 Hz temperature (tests interpolation of differing rates).
+    load(
+        "/hpc/n0/temp",
+        "C",
+        1.0,
+        [(t * NS_PER_SEC // 2, 40 + (t % 2)) for t in range(2, 122)],
+    )
+    return client, backend
+
+
+class TestEvaluation:
+    def test_sum_with_automatic_unit_conversion(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="total",
+                expression="</hpc/n0/power> + </hpc/n1/power>",
+                unit="W",
+            )
+        )
+        ts, vals = client.query("/virtual/total", NS_PER_SEC, 60 * NS_PER_SEC)
+        # 200 W + 300,000 mW = 500 W.
+        assert vals[0] == pytest.approx(500.0, abs=0.01)
+
+    def test_incompatible_units_rejected_at_query(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="nonsense", expression="</hpc/n0/power> + </hpc/n0/temp>"
+            )
+        )
+        with pytest.raises(QueryError, match="incompatible units"):
+            client.query("/virtual/nonsense", NS_PER_SEC, 10 * NS_PER_SEC)
+
+    def test_aggregation_over_prefix(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="agg", expression="sum(</hpc/n0/power>)", unit="W")
+        )
+        ts, vals = client.query("/virtual/agg", NS_PER_SEC, 30 * NS_PER_SEC)
+        assert vals[0] == pytest.approx(200.0, abs=0.01)
+
+    def test_scalar_arithmetic(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="kw", expression="</hpc/n0/power> / 1000", unit="kW"
+            )
+        )
+        _, vals = client.query("/virtual/kw", NS_PER_SEC, 30 * NS_PER_SEC)
+        assert vals[0] == pytest.approx(0.2, abs=1e-3)
+
+    def test_ratio_of_sensors(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="ratio",
+                expression="</hpc/n0/power> / </hpc/n1/power>",
+                unit="ratio",
+                scale=1e7,
+            )
+        )
+        _, vals = client.query("/virtual/ratio", NS_PER_SEC, 30 * NS_PER_SEC)
+        # Ratio uses raw (physical in own units): 200 W / 300000 mW.
+        assert vals[0] == pytest.approx(200.0 / 300000.0, rel=1e-3)
+
+    def test_differing_sampling_rates_interpolated(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="mix",
+                expression="</hpc/n0/temp> * 0 + </hpc/n0/temp>",
+                unit="C",
+                interval_ns=NS_PER_SEC // 2,
+            )
+        )
+        ts, vals = client.query("/virtual/mix", NS_PER_SEC, 10 * NS_PER_SEC)
+        assert ts.size >= 18  # 2 Hz grid over 9+ seconds
+
+    def test_constant_expression_rejected(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="const", expression="1 + 2")
+        )
+        with pytest.raises(QueryError, match="constant"):
+            client.query("/virtual/const", 0, NS_PER_SEC)
+
+    def test_empty_range_rejected(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="e", expression="</hpc/n0/power>", unit="W")
+        )
+        with pytest.raises(QueryError, match="no data"):
+            client.evaluate_virtual("e", 10**18, 2 * 10**18)
+
+    def test_division_by_zero_detected(self, env):
+        client, backend = env
+        mapper = SidMapper()
+        sid = mapper.sid_for_topic("/z/zero")
+        # Colliding numbering with the fixture topics is fine: we
+        # register our own mapping key.
+        sid = type(sid)(sid.value + 999)
+        backend.put_metadata("sidmap/z/zero", sid.hex())
+        backend.insert(sid, NS_PER_SEC, 0)
+        backend.insert(sid, 2 * NS_PER_SEC, 0)
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="divzero", expression="</hpc/n0/power> / </z/zero>")
+        )
+        with pytest.raises(QueryError, match="division by zero"):
+            client.query("/virtual/divzero", NS_PER_SEC, 2 * NS_PER_SEC)
+
+
+class TestNestingAndCycles:
+    def test_virtual_sensor_referencing_virtual(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="total",
+                expression="</hpc/n0/power> + </hpc/n1/power>",
+                unit="W",
+            )
+        )
+        client.define_virtual_sensor(
+            VirtualSensorDef(
+                name="total_kw", expression="<total> / 1000", unit="kW"
+            )
+        )
+        _, vals = client.query("/virtual/total_kw", NS_PER_SEC, 30 * NS_PER_SEC)
+        assert vals.size > 0
+
+    def test_self_reference_rejected(self, env):
+        client, _ = env
+        with pytest.raises(QueryError, match="cycle|itself"):
+            client.define_virtual_sensor(
+                VirtualSensorDef(name="loop", expression="</virtual/loop> + 1")
+            )
+
+    def test_mutual_cycle_rejected(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="a", expression="</hpc/n0/power> + 0", unit="W")
+        )
+        # Redefine a to depend on b after b exists -> cycle check at define.
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="b", expression="<a> + 1", unit="W")
+        )
+        with pytest.raises(QueryError, match="cycle"):
+            client.define_virtual_sensor(
+                VirtualSensorDef(name="a", expression="<b> + 1", unit="W")
+            )
+
+
+class TestCaching:
+    def test_write_back_reused(self, env):
+        client, backend = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="cached", expression="sum(</hpc/n0/power>)", unit="W")
+        )
+        ts1, vals1 = client.query("/virtual/cached", NS_PER_SEC, 30 * NS_PER_SEC)
+        # Poison the underlying data: a cached re-query must not see it.
+        sid = client.sid_of("/hpc/n0/power")
+        backend.insert(sid, 5 * NS_PER_SEC, 999_999)
+        ts2, vals2 = client.query("/virtual/cached", NS_PER_SEC, 30 * NS_PER_SEC)
+        assert np.allclose(vals1, vals2)
+
+    def test_uncovered_range_recomputed(self, env):
+        client, _ = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="grow", expression="sum(</hpc/n0/power>)", unit="W")
+        )
+        ts1, _ = client.query("/virtual/grow", NS_PER_SEC, 10 * NS_PER_SEC)
+        ts2, _ = client.query("/virtual/grow", NS_PER_SEC, 50 * NS_PER_SEC)
+        assert ts2.size > ts1.size
+
+    def test_definitions_persisted(self, env):
+        client, backend = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="persist", expression="sum(</hpc/n1/power>)", unit="W")
+        )
+        # A fresh client over the same backend sees the definition.
+        again = DCDBClient(backend)
+        assert again.virtual_sensor("persist") is not None
+        assert len(again.virtual_sensors()) >= 1
+
+    def test_delete_removes_definition_and_cache(self, env):
+        client, backend = env
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="gone", expression="sum(</hpc/n0/power>)", unit="W")
+        )
+        client.query("/virtual/gone", NS_PER_SEC, 10 * NS_PER_SEC)
+        client.delete_virtual_sensor("gone")
+        assert client.virtual_sensor("gone") is None
+        assert backend.get_metadata("vcache/gone") is None

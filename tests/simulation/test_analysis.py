@@ -1,0 +1,80 @@
+"""Tests for the analysis helpers (KDE, regression)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import distribution_modes, kde_pdf, linear_fit
+from repro.common.errors import QueryError
+
+
+class TestKde:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 2000)
+        grid, density = kde_pdf(samples)
+        area = np.trapezoid(density, grid) if hasattr(np, "trapezoid") else np.trapz(density, grid)
+        assert area == pytest.approx(1.0, abs=0.02)
+
+    def test_peak_near_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(5.0, 1.0, 2000)
+        grid, density = kde_pdf(samples)
+        assert grid[np.argmax(density)] == pytest.approx(5.0, abs=0.3)
+
+    def test_custom_grid(self):
+        rng = np.random.default_rng(2)
+        grid = np.linspace(0, 10, 50)
+        out_grid, density = kde_pdf(rng.normal(5, 1, 500), grid=grid)
+        assert out_grid is grid and density.size == 50
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(QueryError):
+            kde_pdf(np.array([1.0, 2.0]))
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(QueryError):
+            kde_pdf(np.full(100, 3.0))
+
+
+class TestModes:
+    def test_unimodal(self):
+        rng = np.random.default_rng(3)
+        modes = distribution_modes(rng.normal(10, 1, 3000))
+        assert len(modes) == 1
+        assert modes[0] == pytest.approx(10.0, abs=0.5)
+
+    def test_bimodal(self):
+        rng = np.random.default_rng(4)
+        samples = np.concatenate([rng.normal(0, 1, 1500), rng.normal(8, 1, 1500)])
+        modes = distribution_modes(samples)
+        assert len(modes) == 2
+
+    def test_minor_wiggles_filtered(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(0, 1, 300)  # noisy KDE but one real mode
+        modes = distribution_modes(samples, min_prominence=0.2)
+        assert len(modes) == 1
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        x = np.arange(10, dtype=np.float64)
+        fit = linear_fit(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert fit.predict(3.0) == pytest.approx(6.0)
+
+    def test_noisy_r2_below_one(self):
+        rng = np.random.default_rng(6)
+        x = np.linspace(0, 10, 100)
+        y = x + rng.normal(0, 2.0, 100)
+        fit = linear_fit(x, y)
+        assert 0.5 < fit.r2 < 1.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit(np.array([1.0]), np.array([1.0]))

@@ -1,0 +1,137 @@
+"""Tests for the Pusher interference model and measurement protocol."""
+
+import pytest
+
+from repro.simulation.architectures import ARCHITECTURES, HASWELL, KNL, SKYLAKE
+from repro.simulation.overhead import MeasurementProtocol, OverheadModel, PusherSetup
+from repro.simulation.workloads import AMG, CORAL2_APPS, KRIPKE, LAMMPS, QUICKSILVER
+
+
+class TestPusherSetup:
+    def test_rate(self):
+        assert PusherSetup(sensors=1000, interval_ms=1000).rate == 1000.0
+        assert PusherSetup(sensors=10_000, interval_ms=100).rate == 100_000.0
+
+
+class TestComputeOverhead:
+    @pytest.mark.parametrize("arch", list(ARCHITECTURES.values()), ids=lambda a: a.name)
+    def test_table1_anchor_reproduced(self, arch):
+        model = OverheadModel(arch)
+        setup = PusherSetup(
+            sensors=arch.production_sensors, interval_ms=1000, mode="production"
+        )
+        assert model.compute_overhead_pct(setup) == pytest.approx(
+            arch.reported_overhead_pct, abs=0.05
+        )
+
+    def test_fig5_corner_anchors(self):
+        # Tester-only overhead at 100k readings/s (Fig. 5 top-right cells).
+        corner = PusherSetup(sensors=10_000, interval_ms=100)
+        assert OverheadModel(SKYLAKE).compute_overhead_pct(corner) == pytest.approx(0.65, abs=0.05)
+        assert OverheadModel(HASWELL).compute_overhead_pct(corner) == pytest.approx(1.8, abs=0.1)
+        assert OverheadModel(KNL).compute_overhead_pct(corner) == pytest.approx(3.5, abs=0.2)
+
+    def test_linear_in_rate(self):
+        model = OverheadModel(SKYLAKE)
+        o1 = model.compute_overhead_pct(PusherSetup(1000, 1000))
+        o2 = model.compute_overhead_pct(PusherSetup(2000, 1000))
+        assert o2 == pytest.approx(2 * o1)
+
+    def test_production_exceeds_tester(self):
+        model = OverheadModel(SKYLAKE)
+        tester = model.compute_overhead_pct(PusherSetup(2477, 1000, mode="tester"))
+        production = model.compute_overhead_pct(PusherSetup(2477, 1000, mode="production"))
+        assert production > tester
+
+    def test_architecture_ordering(self):
+        # KNL (weak single-thread) worst, Skylake best (paper section 6.2.2).
+        setup = PusherSetup(5000, 100)
+        o = {
+            name: OverheadModel(arch).compute_overhead_pct(setup)
+            for name, arch in ARCHITECTURES.items()
+        }
+        assert o["skylake"] < o["haswell"] < o["knl"]
+
+    def test_sub_one_percent_for_typical_configs(self):
+        # Paper: "in all configurations with 1,000 sensors or less ...
+        # it is below 1%".
+        for arch in ARCHITECTURES.values():
+            model = OverheadModel(arch)
+            assert model.compute_overhead_pct(PusherSetup(1000, 1000)) < 1.0
+
+
+class TestMpiOverhead:
+    def test_amg_linear_in_nodes(self):
+        model = OverheadModel(SKYLAKE)
+        setup = PusherSetup(2477, 1000, mode="production")
+        o = [model.mpi_overhead_pct(setup, AMG, n) for n in (128, 256, 512, 1024)]
+        assert o[-1] > 8.0  # ~9% at 1024 in the paper
+        diffs = [o[i + 1] - o[i] for i in range(3)]
+        assert diffs[2] > diffs[1] > diffs[0] > 0  # doubling nodes -> growing steps
+
+    def test_insensitive_apps_stay_low_and_flat(self):
+        model = OverheadModel(SKYLAKE)
+        setup = PusherSetup(2477, 1000, mode="production")
+        for app in (LAMMPS, KRIPKE, QUICKSILVER):
+            o128 = model.mpi_overhead_pct(setup, app, 128)
+            o1024 = model.mpi_overhead_pct(setup, app, 1024)
+            assert o1024 < 3.0
+            assert o1024 - o128 < 1.0
+
+    def test_core_config_dominates_amg_overhead(self):
+        # Paper: "in AMG [network interference] causes most of the
+        # total overhead" — tester-only ~ production for AMG.
+        model = OverheadModel(SKYLAKE)
+        total = model.mpi_overhead_pct(
+            PusherSetup(2477, 1000, mode="production"), AMG, 1024
+        )
+        core = model.mpi_overhead_pct(PusherSetup(2477, 1000, mode="tester"), AMG, 1024)
+        assert core / total > 0.75
+
+    def test_burst_mode_helps_amg(self):
+        model = OverheadModel(SKYLAKE)
+        continuous = model.mpi_overhead_pct(
+            PusherSetup(2477, 1000, send_mode="continuous"), AMG, 1024
+        )
+        burst = model.mpi_overhead_pct(
+            PusherSetup(2477, 1000, send_mode="burst"), AMG, 1024
+        )
+        assert burst < continuous
+
+    def test_burst_mode_negligible_for_insensitive_apps(self):
+        model = OverheadModel(SKYLAKE)
+        continuous = model.mpi_overhead_pct(
+            PusherSetup(2477, 1000, send_mode="continuous"), KRIPKE, 1024
+        )
+        burst = model.mpi_overhead_pct(
+            PusherSetup(2477, 1000, send_mode="burst"), KRIPKE, 1024
+        )
+        assert continuous - burst < 0.3
+
+
+class TestMeasurementProtocol:
+    def test_deterministic_per_label(self):
+        a = MeasurementProtocol(seed=1).measure(1.0, "cell/1")
+        b = MeasurementProtocol(seed=1).measure(1.0, "cell/1")
+        assert a == b
+
+    def test_clamped_at_zero(self):
+        protocol = MeasurementProtocol(noise_pct=1.0, seed=3)
+        measured = [protocol.measure(0.0, f"zero/{i}") for i in range(100)]
+        assert min(measured) == 0.0
+
+    def test_low_true_overhead_often_reads_zero(self):
+        # The paper's Figure 5 zeros: tiny true overheads disappear
+        # under run-to-run noise.
+        protocol = MeasurementProtocol(seed=5)
+        measured = [protocol.measure(0.02, f"tiny/{i}") for i in range(50)]
+        assert sum(1 for m in measured if m == 0.0) > 5
+
+    def test_large_overhead_recovered(self):
+        protocol = MeasurementProtocol(seed=7)
+        measured = [protocol.measure(5.0, f"big/{i}") for i in range(20)]
+        mean = sum(measured) / len(measured)
+        assert mean == pytest.approx(5.0, abs=0.5)
+
+    def test_all_coral2_apps_modeled(self):
+        assert set(CORAL2_APPS) == {"kripke", "quicksilver", "lammps", "amg"}

@@ -1,0 +1,134 @@
+"""Tests for the CPU-load/memory models (Figs 6-7) and agent load (Fig 8)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.agentload import AgentLoadModel
+from repro.simulation.architectures import ARCHITECTURES, HASWELL, KNL, SKYLAKE
+from repro.simulation.resources import (
+    BYTES_PER_READING,
+    ResourceModel,
+    eq1_interpolate,
+    fit_load_curve,
+)
+
+
+class TestCpuLoadModel:
+    def test_fig7_anchors(self):
+        # Peak loads at 100k readings/s: Skylake ~3%, KNL ~8%.
+        assert ResourceModel(SKYLAKE).cpu_load_pct(10_000, 100) == pytest.approx(3.0, abs=0.2)
+        assert ResourceModel(KNL).cpu_load_pct(10_000, 100) == pytest.approx(8.0, abs=0.4)
+
+    def test_below_one_percent_at_1000_rate(self):
+        # Paper: "CPU load is below 1% for configurations with a
+        # sensor rate of 1,000 or less" on all architectures.
+        for arch in ARCHITECTURES.values():
+            assert ResourceModel(arch).cpu_load_pct(1000, 1000) < 1.0
+
+    def test_linearity(self):
+        model = ResourceModel(HASWELL)
+        assert model.cpu_load_pct(2000, 1000) == pytest.approx(
+            2 * model.cpu_load_pct(1000, 1000)
+        )
+
+    def test_measured_noise_is_deterministic(self):
+        a = ResourceModel(SKYLAKE, seed=1).cpu_load_measured(500, 1000)
+        b = ResourceModel(SKYLAKE, seed=1).cpu_load_measured(500, 1000)
+        assert a == b
+
+    def test_measured_close_to_expected(self):
+        model = ResourceModel(SKYLAKE)
+        expected = model.cpu_load_pct(10_000, 100)
+        measured = model.cpu_load_measured(10_000, 100)
+        assert measured == pytest.approx(expected, rel=0.25)
+
+
+class TestMemoryModel:
+    def test_fig6b_peak_anchor(self):
+        # ~350 MB at 10,000 sensors / 100 ms on Skylake.
+        assert ResourceModel(SKYLAKE).memory_mb(10_000, 100) == pytest.approx(350, abs=25)
+
+    def test_production_configs_below_50mb(self):
+        # Paper: "well below 50MB for typical production configurations".
+        assert ResourceModel(SKYLAKE).memory_mb(1000, 1000) < 50
+
+    def test_haswell_production_anchor(self):
+        # Table 1 production: 750 sensors at 1 s -> ~25 MB average.
+        assert ResourceModel(HASWELL).memory_mb(750, 1000) == pytest.approx(25, abs=4)
+
+    def test_knl_production_anchor(self):
+        # 3176 sensors at 1 s -> ~72 MB average.
+        assert ResourceModel(KNL).memory_mb(3176, 1000) == pytest.approx(72, abs=6)
+
+    def test_memory_scales_with_cache_window(self):
+        model = ResourceModel(SKYLAKE)
+        small = model.memory_mb(1000, 1000, cache_ms=60_000)
+        large = model.memory_mb(1000, 1000, cache_ms=240_000)
+        assert large > small
+        delta = large - small
+        assert delta == pytest.approx(1000 * 180 * BYTES_PER_READING / 1e6, rel=0.01)
+
+
+class TestEq1:
+    def test_exact_on_linear_data(self):
+        # Equation 1 is exact when the true curve is linear — the
+        # paper's justification for recommending it.
+        model = ResourceModel(SKYLAKE)
+        rate_a, rate_b, target = 1000.0, 100_000.0, 42_000.0
+        predicted = eq1_interpolate(
+            rate_a,
+            model.cpu_load_pct(1000, 1000),
+            rate_b,
+            model.cpu_load_pct(10_000, 100),
+            target,
+        )
+        assert predicted == pytest.approx(model.cpu_load_pct(42_000, 1000), rel=1e-9)
+
+    def test_extrapolation(self):
+        assert eq1_interpolate(0, 0.0, 10, 1.0, 20) == pytest.approx(2.0)
+
+    def test_degenerate_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            eq1_interpolate(5, 1.0, 5, 2.0, 7)
+
+
+class TestFitLoadCurve:
+    def test_r2_near_one_on_model_output(self):
+        # The Figure 7 claim: "distinctly linear scaling curve".
+        model = ResourceModel(KNL)
+        configs = [(10, 1000), (100, 1000), (1000, 1000), (5000, 1000), (10_000, 100)]
+        rates = np.array([s * 1000 / i for s, i in configs])
+        loads = np.array([model.cpu_load_measured(s, i) for s, i in configs])
+        slope, intercept, r2 = fit_load_curve(rates, loads)
+        assert r2 > 0.99
+        assert slope == pytest.approx(KNL.cpu_load_coeff, rel=0.15)
+
+
+class TestAgentLoadModel:
+    def test_fig8_worst_case_anchor(self):
+        # 50 hosts x 10,000 sensors at 1 s -> ~900% (9 cores).
+        model = AgentLoadModel()
+        assert model.cpu_load_pct(50, 10_000) == pytest.approx(900, abs=40)
+        assert model.saturated_cores(50, 10_000) == pytest.approx(9.0, abs=0.5)
+
+    def test_single_core_saturation_at_50_hosts_1000_sensors(self):
+        model = AgentLoadModel()
+        load = model.cpu_load_pct(50, 1000)
+        assert 90 <= load <= 130  # about one full core
+
+    def test_small_configs_light(self):
+        model = AgentLoadModel()
+        assert model.cpu_load_pct(1, 10) < 2.0
+
+    def test_monotone_in_hosts_and_sensors(self):
+        model = AgentLoadModel()
+        assert model.cpu_load_pct(2, 100) > model.cpu_load_pct(1, 100)
+        assert model.cpu_load_pct(2, 200) > model.cpu_load_pct(2, 100)
+
+    def test_insert_rate(self):
+        assert AgentLoadModel().insert_rate(50, 10_000) == 500_000
+
+    def test_measured_deterministic(self):
+        assert AgentLoadModel(seed=1).cpu_load_measured(10, 100) == AgentLoadModel(
+            seed=1
+        ).cpu_load_measured(10, 100)

@@ -1,0 +1,52 @@
+"""Tests for the simulated-deployment helper."""
+
+import pytest
+
+from repro.simulation.simcluster import SimClusterConfig, SimulatedCluster
+from repro.storage import MemoryBackend, StorageCluster
+
+
+class TestSimulatedCluster:
+    def test_default_topology(self):
+        sim = SimulatedCluster(SimClusterConfig(hosts=2, sensors_per_host=5))
+        assert sim.total_sensors == 10
+        assert sim.run(3) == sim.expected_readings(3) == 30
+
+    def test_subsecond_interval(self):
+        sim = SimulatedCluster(
+            SimClusterConfig(hosts=1, sensors_per_host=4, interval_ms=250)
+        )
+        assert sim.run(2) == 2 * 4 * 4  # four cycles per second
+
+    def test_repeated_runs_accumulate(self):
+        sim = SimulatedCluster(SimClusterConfig(hosts=1, sensors_per_host=3))
+        sim.run(5)
+        sim.run(5)
+        assert sim.agent.readings_stored == 30
+
+    def test_multi_node_storage_with_replication(self):
+        sim = SimulatedCluster(
+            SimClusterConfig(
+                hosts=4, sensors_per_host=10, storage_nodes=2, replication=2
+            )
+        )
+        sim.run(5)
+        assert isinstance(sim.backend, StorageCluster)
+        assert len(sim.backend.nodes) == 2
+        # Replication 2 over 2 nodes: every reading twice.
+        assert sim.backend.row_count == 2 * sim.agent.readings_stored
+
+    def test_memory_backend_flag(self):
+        sim = SimulatedCluster(
+            SimClusterConfig(hosts=1, sensors_per_host=2, use_memory_backend=True)
+        )
+        assert isinstance(sim.backend, MemoryBackend)
+        sim.run(2)
+        assert len(sim.backend.sids()) == 2
+
+    def test_all_sensor_series_complete(self):
+        sim = SimulatedCluster(SimClusterConfig(hosts=3, sensors_per_host=4))
+        sim.run(10)
+        for sid in sim.backend.sids():
+            ts, _ = sim.backend.query(sid, 0, 1 << 62)
+            assert ts.size == 10

@@ -1,0 +1,146 @@
+"""Tests for the workload models (Fig 10) and cooling circuit (Fig 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import distribution_modes
+from repro.common.timeutil import NS_PER_SEC
+from repro.devices.model import DeviceModel
+from repro.simulation.facility import CoolingCircuitModel, WATER_CP, WATER_DENSITY
+from repro.simulation.workloads import AMG, CORAL2_APPS, HPL, KRIPKE, LAMMPS, QUICKSILVER
+
+
+class TestApplicationTraces:
+    def test_trace_deterministic(self):
+        a = KRIPKE.trace(60, 100, seed=3)
+        b = KRIPKE.trace(60, 100, seed=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_trace_seed_sensitive(self):
+        a = LAMMPS.trace(60, 100, seed=1)[1]
+        b = LAMMPS.trace(60, 100, seed=2)[1]
+        assert not np.array_equal(a, b)
+
+    def test_trace_shapes(self):
+        ts, instr, power = AMG.trace(30, 100, seed=0)
+        assert ts.size == instr.size == power.size == 300
+        assert (np.diff(ts) == 100_000_000).all()
+
+    def test_values_physical(self):
+        _, instr, power = QUICKSILVER.trace(60, 100, seed=0)
+        assert (instr >= 0).all()
+        assert (power > 0).all()
+        assert power.mean() < 400  # a node, not a rack
+
+    def test_hpl_steady(self):
+        _, instr, _ = HPL.trace(120, 100, seed=0)
+        assert instr.std() / instr.mean() < 0.1  # single steady phase
+
+
+class TestIpwDistributions:
+    """The Figure 10 discriminators."""
+
+    def test_ordering_kripke_quicksilver_high(self):
+        means = {
+            name: app.ipw_series(300, 100, seed=1).mean()
+            for name, app in CORAL2_APPS.items()
+        }
+        assert means["kripke"] > means["lammps"]
+        assert means["kripke"] > means["amg"]
+        assert means["quicksilver"] > means["lammps"]
+        assert means["quicksilver"] > means["amg"]
+
+    def test_range_matches_figure_axis(self):
+        # Figure 10's x-axis spans 0 .. 4.5e5 instructions/W.
+        for app in CORAL2_APPS.values():
+            ipw = app.ipw_series(300, 100, seed=1)
+            assert 0 <= ipw.min() and ipw.max() < 4.5e5
+
+    def test_kripke_quicksilver_unimodal(self):
+        for app in (KRIPKE, QUICKSILVER):
+            modes = distribution_modes(app.ipw_series(600, 100, seed=1))
+            assert len(modes) == 1, f"{app.name}: {modes}"
+
+    def test_lammps_amg_multimodal(self):
+        for app in (LAMMPS, AMG):
+            modes = distribution_modes(app.ipw_series(600, 100, seed=1))
+            assert len(modes) >= 2, f"{app.name}: {modes}"
+
+    def test_amg_most_communication_sensitive(self):
+        assert AMG.comm_sensitivity == max(
+            app.comm_sensitivity for app in CORAL2_APPS.values()
+        )
+        assert AMG.comm_sensitivity > 5 * LAMMPS.comm_sensitivity
+
+
+class TestPerfRateFn:
+    def test_rate_fn_feeds_perfevents_source(self):
+        from repro.plugins.perfevents import SyntheticPerfSource
+
+        source = SyntheticPerfSource(rate_fn=LAMMPS.perf_rate_fn(seed=1))
+        c1 = source.read(0, "instructions", NS_PER_SEC)
+        c2 = source.read(0, "instructions", 2 * NS_PER_SEC)
+        assert c2 > c1 > 0
+
+    def test_rate_fn_event_scaling(self):
+        rate = KRIPKE.perf_rate_fn(seed=0)
+        assert rate(0, "cycles", 0) > rate(0, "instructions", 0)
+        assert rate(0, "cache-misses", 0) < rate(0, "instructions", 0)
+
+
+class TestCoolingCircuit:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return CoolingCircuitModel(seed=11).trace(interval_s=300)
+
+    def test_efficiency_near_90_percent(self, trace):
+        ratio = trace["heat_w"] / trace["power_w"]
+        assert ratio.mean() == pytest.approx(0.90, abs=0.01)
+
+    def test_efficiency_independent_of_inlet_temperature(self, trace):
+        # The paper's headline: the ratio does not degrade as inlet
+        # temperature sweeps upward -> negligible correlation.
+        ratio = trace["heat_w"] / trace["power_w"]
+        corr = np.corrcoef(trace["inlet_c"], ratio)[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_power_in_paper_band(self, trace):
+        assert trace["power_w"].min() > 9_000
+        assert trace["power_w"].max() < 36_000
+
+    def test_inlet_sweep(self, trace):
+        assert trace["inlet_c"][0] < 32
+        assert trace["inlet_c"][-1] > 55
+        assert (np.diff(trace["inlet_c"]) >= 0).all()
+
+    def test_outlet_heat_balance_consistent(self):
+        # Computing heat from flow * rho * cp * dT recovers the model's
+        # heat output — the virtual-sensor computation of Figure 9.
+        model = CoolingCircuitModel(seed=2)
+        t = 7 * 3600 * NS_PER_SEC
+        flow_m3s = model.flow_m3h(t) / 3600.0
+        dt = model.outlet_temp_c(t) - model.inlet_temp_c(t)
+        heat = flow_m3s * WATER_DENSITY * WATER_CP * dt
+        assert heat == pytest.approx(model.heat_removed_w(t), rel=1e-9)
+
+    def test_install_channels_scaled(self):
+        model = CoolingCircuitModel(seed=3)
+        device = DeviceModel(clock=lambda: 3600 * NS_PER_SEC)
+        model.install(device)
+        assert set(device.channels()) == {
+            "rack0_power",
+            "rack1_power",
+            "rack2_power",
+            "flow",
+            "inlet_temp",
+            "outlet_temp",
+        }
+        t = 3600 * NS_PER_SEC
+        assert device.read("inlet_temp") == int(round(model.inlet_temp_c(t) * 100))
+        assert device.read("flow") == int(round(model.flow_m3h(t) * 1000))
+
+    def test_deterministic(self):
+        a = CoolingCircuitModel(seed=5).trace(interval_s=600)
+        b = CoolingCircuitModel(seed=5).trace(interval_s=600)
+        assert np.array_equal(a["power_w"], b["power_w"])

@@ -1,0 +1,168 @@
+"""Tests for the distributed storage cluster."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.core.sid import SensorId
+from repro.storage.cluster import StorageCluster
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import HashPartitioner, HierarchicalPartitioner
+
+
+def sid(*codes):
+    return SensorId.from_codes(list(codes))
+
+
+def make_cluster(n=3, replication=1, partitioner=None):
+    nodes = [StorageNode(f"node{i}") for i in range(n)]
+    part = partitioner if partitioner is not None else HierarchicalPartitioner(n, levels=2)
+    return StorageCluster(nodes, partitioner=part, replication=replication)
+
+
+class TestRouting:
+    def test_insert_lands_on_owner(self):
+        cluster = make_cluster(3)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 1, 10)
+        owner = cluster.partitioner.node_for(s)
+        assert cluster.nodes[owner].row_count == 1
+        for i, node in enumerate(cluster.nodes):
+            if i != owner:
+                assert node.row_count == 0
+
+    def test_query_roundtrips(self):
+        cluster = make_cluster(3)
+        s = sid(1, 2, 3)
+        cluster.insert(s, 5, 50)
+        ts, vals = cluster.query(s, 0, 10)
+        assert ts.tolist() == [5] and vals.tolist() == [50]
+
+    def test_batch_grouped_by_owner(self):
+        cluster = make_cluster(3)
+        items = [(sid(1, i, 1), t, t, 0) for i in range(1, 4) for t in range(10)]
+        assert cluster.insert_batch(items) == 30
+        assert cluster.row_count == 30
+
+    def test_sids_merged_across_nodes(self):
+        cluster = make_cluster(3)
+        sids = [sid(1, i, 1) for i in range(1, 5)]
+        for s in sids:
+            cluster.insert(s, 1, 1)
+        assert cluster.sids() == sorted(sids)
+
+
+class TestReplication:
+    def test_replicas_hold_copies(self):
+        cluster = make_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 1, 10)
+        holders = [n for n in cluster.nodes if n.row_count == 1]
+        assert len(holders) == 2
+
+    def test_replication_capped(self):
+        cluster = make_cluster(2, replication=5)
+        assert cluster.replication == 2
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(StorageError):
+            make_cluster(2, replication=0)
+
+    def test_delete_before_applies_to_replicas(self):
+        cluster = make_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        for t in range(10):
+            cluster.insert(s, t, t)
+        cluster.delete_before(s, 5)
+        for node in cluster.nodes:
+            ts, _ = node.query(s, 0, 100)
+            assert all(t >= 5 for t in ts.tolist())
+
+
+class TestPrefixScan:
+    def test_hierarchical_scan_touches_one_node(self):
+        cluster = make_cluster(4)
+        for leaf in range(1, 6):
+            cluster.insert(sid(1, 1, leaf), 1, leaf)
+        for leaf in range(1, 4):
+            cluster.insert(sid(1, 2, leaf), 1, leaf)
+        cluster.reset_stats()
+        prefix = sid(1, 1).value
+        results = list(cluster.query_prefix(prefix, 2, 0, 10))
+        assert len(results) == 5
+        # query_prefix accounts once per node touched; the hierarchical
+        # partitioner confines the scan to the single owning node.
+        assert cluster.local_ops + cluster.remote_ops == 1
+
+    def test_hierarchical_vs_hash_locality(self):
+        # The ablation claim: hierarchical partitioning confines a
+        # subtree scan to one node; hashing fans out to all.
+        for partitioner_cls, expect_single in (
+            (HierarchicalPartitioner, True),
+            (HashPartitioner, False),
+        ):
+            nodes = [StorageNode(f"n{i}") for i in range(4)]
+            part = (
+                partitioner_cls(4, levels=2)
+                if partitioner_cls is HierarchicalPartitioner
+                else partitioner_cls(4)
+            )
+            cluster = StorageCluster(nodes, partitioner=part)
+            for leaf in range(1, 40):
+                cluster.insert(sid(1, 1, leaf), 1, leaf)
+            touched = set()
+            original_account = cluster._account
+
+            def tracking_account(idx):
+                touched.add(idx)
+                original_account(idx)
+
+            cluster._account = tracking_account
+            results = list(cluster.query_prefix(sid(1, 1).value, 2, 0, 10))
+            assert len(results) == 39
+            if expect_single:
+                assert len(touched) == 1
+            else:
+                assert len(touched) == 4
+
+    def test_scan_deduplicates_replicas(self):
+        cluster = make_cluster(3, replication=3)
+        cluster.insert(sid(1, 1, 1), 1, 1)
+        results = list(cluster.query_prefix(sid(1, 1).value, 2, 0, 10))
+        assert len(results) == 1
+
+
+class TestMetadata:
+    def test_metadata_replicated_everywhere(self):
+        cluster = make_cluster(3)
+        cluster.put_metadata("key", "value")
+        for node in cluster.nodes:
+            assert node.get_metadata("key") == "value"
+
+    def test_metadata_readable_from_contact(self):
+        cluster = make_cluster(3)
+        cluster.put_metadata("a/b", "1")
+        assert cluster.get_metadata("a/b") == "1"
+        assert cluster.metadata_keys("a/") == ["a/b"]
+
+    def test_delete_metadata(self):
+        cluster = make_cluster(2)
+        cluster.put_metadata("gone", "1")
+        cluster.delete_metadata("gone")
+        assert cluster.get_metadata("gone") is None
+
+
+class TestStats:
+    def test_locality_counters(self):
+        cluster = make_cluster(2, partitioner=HierarchicalPartitioner(2, levels=2))
+        cluster.insert(sid(1, 1, 1), 1, 1)  # first prefix -> node 0 (contact)
+        cluster.insert(sid(1, 2, 1), 1, 1)  # second prefix -> node 1
+        assert cluster.local_ops == 1
+        assert cluster.remote_ops == 1
+        cluster.reset_stats()
+        assert cluster.local_ops == cluster.remote_ops == 0
+
+    def test_mismatched_partitioner_rejected(self):
+        with pytest.raises(StorageError, match="sized for"):
+            StorageCluster(
+                [StorageNode("a")], partitioner=HierarchicalPartitioner(3)
+            )

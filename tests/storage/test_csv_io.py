@@ -1,0 +1,101 @@
+"""Tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.core.sid import SidMapper
+from repro.storage.csv_io import export_csv, import_csv
+from repro.storage.memory import MemoryBackend
+
+
+@pytest.fixture
+def backend():
+    return MemoryBackend()
+
+
+@pytest.fixture
+def mapper():
+    return SidMapper()
+
+
+class TestImport:
+    def test_basic_import(self, backend, mapper):
+        csv_text = "sensor,time,value\n/s/a,100,1\n/s/a,200,2\n/s/b,100,9\n"
+        count = import_csv(backend, io.StringIO(csv_text), mapper.sid_for_topic)
+        assert count == 3
+        sid = mapper.sid_for_topic("/s/a")
+        ts, vals = backend.query(sid, 0, 1000)
+        assert ts.tolist() == [100, 200]
+
+    def test_float_values_rounded(self, backend, mapper):
+        csv_text = "sensor,time,value\n/s/a,1,2.7\n"
+        import_csv(backend, io.StringIO(csv_text), mapper.sid_for_topic)
+        _, vals = backend.query(mapper.sid_for_topic("/s/a"), 0, 10)
+        assert vals.tolist() == [3]
+
+    def test_blank_lines_skipped(self, backend, mapper):
+        csv_text = "sensor,time,value\n\n/s/a,1,1\n  , , \n"
+        # The whitespace-only row is skipped; fully empty too.
+        count = import_csv(backend, io.StringIO(csv_text), mapper.sid_for_topic)
+        assert count == 1
+
+    def test_bad_header_rejected(self, backend, mapper):
+        with pytest.raises(QueryError, match="header"):
+            import_csv(backend, io.StringIO("a,b,c\n1,2,3\n"), mapper.sid_for_topic)
+
+    def test_bad_row_rejected_with_line_number(self, backend, mapper):
+        csv_text = "sensor,time,value\n/s/a,notatime,1\n"
+        with pytest.raises(QueryError, match="line 2"):
+            import_csv(backend, io.StringIO(csv_text), mapper.sid_for_topic)
+
+    def test_wrong_column_count_rejected(self, backend, mapper):
+        csv_text = "sensor,time,value\n/s/a,1\n"
+        with pytest.raises(QueryError, match="3 columns"):
+            import_csv(backend, io.StringIO(csv_text), mapper.sid_for_topic)
+
+    def test_empty_file(self, backend, mapper):
+        assert import_csv(backend, io.StringIO(""), mapper.sid_for_topic) == 0
+
+    def test_batching(self, backend, mapper):
+        rows = "\n".join(f"/s/a,{t},{t}" for t in range(100))
+        csv_text = f"sensor,time,value\n{rows}\n"
+        count = import_csv(
+            backend, io.StringIO(csv_text), mapper.sid_for_topic, batch_size=7
+        )
+        assert count == 100
+        assert backend.count(mapper.sid_for_topic("/s/a"), 0, 1000) == 100
+
+
+class TestExport:
+    def test_basic_export(self, backend, mapper):
+        sid = mapper.sid_for_topic("/s/a")
+        backend.insert(sid, 100, 1)
+        backend.insert(sid, 200, 2)
+        out = io.StringIO()
+        rows = export_csv(backend, out, [("/s/a", sid)], 0, 1000)
+        assert rows == 2
+        lines = out.getvalue().strip().splitlines()
+        assert lines[0] == "sensor,time,value"
+        assert lines[1] == "/s/a,100,1"
+
+    def test_export_with_scaling(self, backend, mapper):
+        sid = mapper.sid_for_topic("/s/t")
+        backend.insert(sid, 1, 45000)
+        out = io.StringIO()
+        export_csv(backend, out, [("/s/t", sid)], 0, 10, scale_of=lambda name: 1000.0)
+        assert out.getvalue().strip().splitlines()[1] == "/s/t,1,45.0"
+
+    def test_round_trip(self, backend, mapper):
+        sid = mapper.sid_for_topic("/s/rt")
+        for t in range(10):
+            backend.insert(sid, t, t * 3)
+        out = io.StringIO()
+        export_csv(backend, out, [("/s/rt", sid)], 0, 100)
+        second = MemoryBackend()
+        second_mapper = SidMapper()
+        count = import_csv(second, io.StringIO(out.getvalue()), second_mapper.sid_for_topic)
+        assert count == 10
+        ts, vals = second.query(second_mapper.sid_for_topic("/s/rt"), 0, 100)
+        assert vals.tolist() == [t * 3 for t in range(10)]

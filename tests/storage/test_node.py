@@ -1,0 +1,220 @@
+"""Tests for the single storage node: memtable, segments, compaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.sid import SensorId
+from repro.storage.node import StorageNode
+
+SID_A = SensorId.from_codes([1, 1])
+SID_B = SensorId.from_codes([1, 2])
+
+
+class TestBasicOperations:
+    def test_insert_and_query(self):
+        node = StorageNode()
+        node.insert(SID_A, 100, 1)
+        node.insert(SID_A, 200, 2)
+        ts, vals = node.query(SID_A, 0, 1000)
+        assert ts.tolist() == [100, 200]
+        assert vals.tolist() == [1, 2]
+
+    def test_range_bounds_inclusive(self):
+        node = StorageNode()
+        for t in (1, 2, 3, 4, 5):
+            node.insert(SID_A, t, t)
+        ts, _ = node.query(SID_A, 2, 4)
+        assert ts.tolist() == [2, 3, 4]
+
+    def test_unknown_sid_empty(self):
+        node = StorageNode()
+        ts, vals = node.query(SID_A, 0, 100)
+        assert ts.size == 0 and vals.size == 0
+
+    def test_sensors_isolated(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 10)
+        node.insert(SID_B, 1, 20)
+        assert node.query(SID_A, 0, 10)[1].tolist() == [10]
+        assert node.query(SID_B, 0, 10)[1].tolist() == [20]
+
+    def test_out_of_order_inserts_sorted_on_read(self):
+        node = StorageNode()
+        for t in (5, 1, 3, 2, 4):
+            node.insert(SID_A, t, t * 10)
+        ts, vals = node.query(SID_A, 0, 10)
+        assert ts.tolist() == [1, 2, 3, 4, 5]
+        assert vals.tolist() == [10, 20, 30, 40, 50]
+
+    def test_last_write_wins_in_memtable(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 10)
+        node.insert(SID_A, 1, 99)
+        _, vals = node.query(SID_A, 0, 10)
+        assert vals.tolist() == [99]
+
+    def test_sids_listing(self):
+        node = StorageNode()
+        node.insert(SID_B, 1, 1)
+        node.insert(SID_A, 1, 1)
+        assert node.sids() == [SID_A, SID_B]
+
+    def test_insert_batch(self):
+        node = StorageNode()
+        count = node.insert_batch([(SID_A, t, t, 0) for t in range(100)])
+        assert count == 100
+        assert node.query(SID_A, 0, 1000)[0].size == 100
+
+
+class TestFlushAndSegments:
+    def test_automatic_flush_at_threshold(self):
+        node = StorageNode(flush_threshold=10)
+        for t in range(25):
+            node.insert(SID_A, t, t)
+        assert node.flushes >= 2
+        assert node.query(SID_A, 0, 100)[0].size == 25
+
+    def test_query_merges_memtable_and_segments(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 1)
+        node.flush()
+        node.insert(SID_A, 2, 2)
+        ts, _ = node.query(SID_A, 0, 10)
+        assert ts.tolist() == [1, 2]
+
+    def test_last_write_wins_across_flush(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 10)
+        node.flush()
+        node.insert(SID_A, 1, 99)
+        _, vals = node.query(SID_A, 0, 10)
+        assert vals.tolist() == [99]
+
+    def test_segment_count_tracked(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 1)
+        node.flush()
+        node.insert(SID_A, 2, 2)
+        node.flush()
+        assert node.segment_count == 2
+
+
+class TestCompaction:
+    def test_compaction_merges_segments(self):
+        node = StorageNode()
+        for i in range(5):
+            node.insert(SID_A, i, i)
+            node.flush()
+        node.compact()
+        assert node.segment_count == 1
+        assert node.query(SID_A, 0, 100)[0].size == 5
+
+    def test_auto_compaction_bounds_segments(self):
+        node = StorageNode(max_segments_per_sensor=3)
+        for i in range(10):
+            node.insert(SID_A, i, i)
+            node.flush()
+        assert node.segment_count <= 4
+        assert node.query(SID_A, 0, 100)[0].size == 10
+
+    def test_compaction_deduplicates(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 10)
+        node.flush()
+        node.insert(SID_A, 1, 99)
+        node.flush()
+        node.compact()
+        _, vals = node.query(SID_A, 0, 10)
+        assert vals.tolist() == [99]
+        assert node.row_count == 1
+
+    def test_compaction_drops_expired(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert(SID_A, 0, 1, ttl_s=1)
+        node.insert(SID_A, 1, 2, ttl_s=0)
+        node.flush()
+        clock.set(5 * NS_PER_SEC)
+        node.compact()
+        assert node.row_count == 1
+
+
+class TestTtl:
+    def test_expired_rows_invisible(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert(SID_A, 0, 1, ttl_s=10)
+        assert node.query(SID_A, 0, NS_PER_SEC)[0].size == 1
+        clock.set(11 * NS_PER_SEC)
+        assert node.query(SID_A, 0, NS_PER_SEC)[0].size == 0
+
+    def test_ttl_zero_is_forever(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert(SID_A, 0, 1, ttl_s=0)
+        clock.set(10**15)
+        assert node.query(SID_A, 0, NS_PER_SEC)[0].size == 1
+
+    def test_ttl_in_segments(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert(SID_A, 0, 1, ttl_s=5)
+        node.flush()
+        clock.set(6 * NS_PER_SEC)
+        assert node.query(SID_A, 0, NS_PER_SEC)[0].size == 0
+
+
+class TestDeleteBefore:
+    def test_deletes_from_memtable_and_segments(self):
+        node = StorageNode()
+        for t in range(10):
+            node.insert(SID_A, t, t)
+        node.flush()
+        for t in range(10, 20):
+            node.insert(SID_A, t, t)
+        removed = node.delete_before(SID_A, 15)
+        assert removed == 15
+        ts, _ = node.query(SID_A, 0, 100)
+        assert ts.tolist() == list(range(15, 20))
+
+    def test_delete_unknown_sid(self):
+        node = StorageNode()
+        assert node.delete_before(SID_A, 100) == 0
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=-(10**9), max_value=10**9),
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_node_matches_dict_oracle(self, inserts, flush_threshold):
+        node = StorageNode(flush_threshold=flush_threshold, max_segments_per_sensor=3)
+        oracle: dict[int, int] = {}
+        for t, v in inserts:
+            node.insert(SID_A, t, v)
+            oracle[t] = v  # last write wins
+        ts, vals = node.query(SID_A, 0, 2000)
+        expected = sorted(oracle.items())
+        assert ts.tolist() == [t for t, _ in expected]
+        assert vals.tolist() == [v for _, v in expected]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_range_query_property(self, timestamps, lo, hi):
+        node = StorageNode(flush_threshold=7)
+        for t in timestamps:
+            node.insert(SID_A, t, t)
+        ts, _ = node.query(SID_A, min(lo, hi), max(lo, hi))
+        expected = sorted({t for t in timestamps if min(lo, hi) <= t <= max(lo, hi)})
+        assert ts.tolist() == expected

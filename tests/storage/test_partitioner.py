@@ -1,0 +1,108 @@
+"""Tests for partition-key policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sid import SensorId
+from repro.storage.partitioner import HashPartitioner, HierarchicalPartitioner
+
+
+def sid(*codes):
+    return SensorId.from_codes(list(codes))
+
+
+class TestHierarchicalPartitioner:
+    def test_subtree_colocated(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        owner = part.node_for(sid(1, 1, 1))
+        assert part.node_for(sid(1, 1, 2)) == owner
+        assert part.node_for(sid(1, 1, 3, 7)) == owner
+
+    def test_different_subtrees_round_robin(self):
+        part = HierarchicalPartitioner(3, levels=2)
+        owners = [part.node_for(sid(1, i)) for i in range(1, 7)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_assignment_stable(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        first = part.node_for(sid(2, 3, 1))
+        for _ in range(10):
+            part.node_for(sid(5, 6, 7))  # churn other subtrees
+        assert part.node_for(sid(2, 3, 9)) == first
+
+    def test_node_for_prefix_at_partition_depth(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        owner = part.node_for(sid(1, 2, 3))
+        prefix = sid(1, 2).value
+        assert part.node_for_prefix(prefix, 2) == owner
+
+    def test_node_for_prefix_deeper_than_partition(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        owner = part.node_for(sid(1, 2, 3))
+        assert part.node_for_prefix(sid(1, 2, 3).value, 3) == owner
+
+    def test_node_for_prefix_shallower_returns_none(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        part.node_for(sid(1, 2, 3))
+        assert part.node_for_prefix(sid(1).value, 1) is None
+
+    def test_unknown_prefix_returns_none(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        assert part.node_for_prefix(sid(9, 9).value, 2) is None
+
+    def test_replicas_walk_ring(self):
+        part = HierarchicalPartitioner(4, levels=1)
+        replicas = part.replicas_for(sid(1, 1), 3)
+        assert len(set(replicas)) == 3
+        assert replicas[0] == part.node_for(sid(1, 1))
+
+    def test_replication_capped_at_cluster_size(self):
+        part = HierarchicalPartitioner(2, levels=1)
+        assert len(part.replicas_for(sid(1), 5)) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HierarchicalPartitioner(0)
+        with pytest.raises(ValueError):
+            HierarchicalPartitioner(2, levels=0)
+
+    def test_known_partitions(self):
+        part = HierarchicalPartitioner(4, levels=2)
+        part.node_for(sid(1, 1, 1))
+        part.node_for(sid(1, 1, 2))
+        part.node_for(sid(1, 2, 1))
+        assert part.known_partitions == 2
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        part = HashPartitioner(5)
+        s = sid(3, 4, 5)
+        assert part.node_for(s) == part.node_for(s)
+
+    def test_in_range(self):
+        part = HashPartitioner(7)
+        for i in range(1, 100):
+            assert 0 <= part.node_for(sid(1, i)) < 7
+
+    def test_subtree_scatters(self):
+        # The ablation's point: hashing does NOT co-locate subtrees.
+        part = HashPartitioner(8)
+        owners = {part.node_for(sid(1, 1, i)) for i in range(1, 200)}
+        assert len(owners) > 1
+
+    def test_reasonable_balance(self):
+        part = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(1, 2001):
+            counts[part.node_for(sid(i % 50 + 1, i))] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+    def test_prefix_never_single_node(self):
+        part = HashPartitioner(4)
+        assert part.node_for_prefix(sid(1, 1).value, 2) is None
+
+    @given(st.lists(st.integers(min_value=1, max_value=0xFFFF), min_size=1, max_size=8))
+    def test_owner_in_range_property(self, codes):
+        part = HashPartitioner(5)
+        assert 0 <= part.node_for(SensorId.from_codes(codes)) < 5

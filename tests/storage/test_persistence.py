@@ -1,0 +1,111 @@
+"""Tests for storage-node snapshot persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.sid import SensorId
+from repro.storage.node import StorageNode
+from repro.storage.persistence import load_node, save_node
+
+SIDS = [SensorId.from_codes([1, i]) for i in range(1, 4)]
+
+
+def populated_node(clock=None):
+    node = StorageNode("orig", flush_threshold=50, clock=clock)
+    for idx, sid in enumerate(SIDS):
+        node.insert_batch([(sid, t, t * (idx + 1), 0) for t in range(100)])
+    node.put_metadata("sidmap/a/b", SIDS[0].hex())
+    node.put_metadata("sensorconfig/a/b", '{"unit": "W"}')
+    return node
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        node = populated_node()
+        written = save_node(node, str(tmp_path / "snap"))
+        assert written == 3
+        restored = load_node(str(tmp_path / "snap"))
+        for idx, sid in enumerate(SIDS):
+            ts, vals = restored.query(sid, 0, 1000)
+            orig_ts, orig_vals = node.query(sid, 0, 1000)
+            assert ts.tolist() == orig_ts.tolist()
+            assert vals.tolist() == orig_vals.tolist()
+
+    def test_metadata_restored(self, tmp_path):
+        node = populated_node()
+        save_node(node, str(tmp_path / "snap"))
+        restored = load_node(str(tmp_path / "snap"))
+        assert restored.get_metadata("sidmap/a/b") == SIDS[0].hex()
+        assert restored.get_metadata("sensorconfig/a/b") == '{"unit": "W"}'
+
+    def test_memtable_contents_included(self, tmp_path):
+        node = StorageNode(flush_threshold=10**9)  # never auto-flush
+        node.insert(SIDS[0], 1, 42)
+        save_node(node, str(tmp_path / "snap"))
+        restored = load_node(str(tmp_path / "snap"))
+        assert restored.query(SIDS[0], 0, 10)[1].tolist() == [42]
+
+    def test_ttl_preserved(self, tmp_path):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert(SIDS[0], 0, 1, ttl_s=10)
+        node.insert(SIDS[0], 1, 2, ttl_s=0)
+        save_node(node, str(tmp_path / "snap"))
+        late_clock = SimClock(20 * NS_PER_SEC)
+        restored = load_node(str(tmp_path / "snap"), clock=late_clock)
+        ts, vals = restored.query(SIDS[0], 0, 10)
+        assert vals.tolist() == [2]  # expired row filtered after restore
+
+    def test_restored_node_accepts_new_writes(self, tmp_path):
+        node = populated_node()
+        save_node(node, str(tmp_path / "snap"))
+        restored = load_node(str(tmp_path / "snap"))
+        restored.insert(SIDS[0], 500, 999)
+        ts, vals = restored.query(SIDS[0], 0, 1000)
+        assert ts.size == 101
+        assert vals[-1] == 999
+
+    def test_node_name_round_trips(self, tmp_path):
+        node = populated_node()
+        save_node(node, str(tmp_path / "snap"))
+        assert load_node(str(tmp_path / "snap")).name == "orig"
+
+    def test_empty_node(self, tmp_path):
+        node = StorageNode()
+        assert save_node(node, str(tmp_path / "snap")) == 0
+        restored = load_node(str(tmp_path / "snap"))
+        assert restored.sids() == []
+
+
+class TestCorruptionHandling:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest"):
+            load_node(str(tmp_path / "nothing"))
+
+    def test_wrong_version(self, tmp_path):
+        snap = tmp_path / "snap"
+        snap.mkdir()
+        (snap / "manifest.json").write_text(json.dumps({"version": 99, "sensors": []}))
+        with pytest.raises(StorageError, match="unsupported"):
+            load_node(str(snap))
+
+    def test_missing_segment_file(self, tmp_path):
+        node = populated_node()
+        save_node(node, str(tmp_path / "snap"))
+        os.unlink(tmp_path / "snap" / f"{SIDS[0].hex()}.npz")
+        with pytest.raises(StorageError, match="missing"):
+            load_node(str(tmp_path / "snap"))
+
+    def test_row_count_mismatch_detected(self, tmp_path):
+        node = populated_node()
+        save_node(node, str(tmp_path / "snap"))
+        manifest_path = tmp_path / "snap" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["sensors"][0]["rows"] = 7
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="mismatch"):
+            load_node(str(tmp_path / "snap"))
