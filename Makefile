@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples loc all
+.PHONY: install test metrics-smoke bench experiments examples loc all
 
 install:
 	pip install -e .
 
-test:
+test: metrics-smoke
 	$(PYTHON) -m pytest tests/
+
+# Boot an in-process pusher->agent pipeline and validate the /metrics
+# exposition of both REST APIs; fails on malformed Prometheus output.
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.metrics_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,6 +28,7 @@ examples:
 	$(PYTHON) examples/application_characterization.py
 	$(PYTHON) examples/scalable_cluster.py
 	$(PYTHON) examples/online_analytics.py
+	$(PYTHON) examples/self_monitoring.py
 
 loc:
 	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -12,14 +12,35 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
+from repro.observability import MetricsRegistry
+
 #: A route handler: (path_params, query_params, body) -> (status, payload).
 RouteHandler = Callable[[dict, dict, bytes], tuple[int, object]]
+
+#: Request-duration buckets tuned for a local management API.
+_DURATION_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class RawResponse:
+    """A non-JSON handler payload: raw bytes with an explicit media type.
+
+    Handlers normally return JSON-serializable objects; returning a
+    ``RawResponse`` instead sends the body verbatim — used by the
+    ``/metrics`` routes to speak the Prometheus text format.
+    """
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes | str, content_type: str = "text/plain; charset=utf-8") -> None:
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+        self.content_type = content_type
 
 
 class JsonHttpServer:
@@ -36,23 +57,42 @@ class JsonHttpServer:
     trusted management networks, matching DCDB's deployment model.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.host = host
         self._requested_port = port
         self.port: int | None = None
-        self._routes: list[tuple[str, list[str], RouteHandler]] = []
+        self._routes: list[tuple[str, list[str], str, RouteHandler]] = []
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "dcdb_http_requests_total",
+            "REST API requests served",
+            ("method", "route", "status"),
+        )
+        self._durations = self.metrics.histogram(
+            "dcdb_http_request_duration_seconds",
+            "REST API request handling time",
+            ("route",),
+            buckets=_DURATION_BUCKETS,
+        )
 
     def route(self, method: str, pattern: str, handler: RouteHandler) -> None:
         segments = [s for s in pattern.split("/") if s]
-        self._routes.append((method.upper(), segments, handler))
+        normalized = "/" + "/".join(segments)
+        self._routes.append((method.upper(), segments, normalized, handler))
 
     def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, object]:
         parsed = urllib.parse.urlparse(path)
         segments = [s for s in parsed.path.split("/") if s]
         query = {k: v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()}
-        for route_method, pattern, handler in self._routes:
+        started = time.perf_counter()
+        for route_method, pattern, route_label, handler in self._routes:
             if route_method != method or len(pattern) != len(segments):
                 continue
             params: dict[str, str] = {}
@@ -65,9 +105,17 @@ class JsonHttpServer:
                     break
             if matched:
                 try:
-                    return handler(params, query, body)
+                    status, payload = handler(params, query, body)
                 except Exception as exc:  # noqa: BLE001 - surfaced as HTTP 500
-                    return 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                self._durations.labels(route=route_label).observe(
+                    time.perf_counter() - started
+                )
+                self._requests.labels(
+                    method=method, route=route_label, status=status
+                ).inc()
+                return status, payload
+        self._requests.labels(method=method, route="<unmatched>", status=404).inc()
         return 404, {"error": f"no route for {method} {parsed.path}"}
 
     def start(self) -> None:
@@ -82,9 +130,14 @@ class JsonHttpServer:
                 length = int(self.headers.get("Content-Length", "0") or "0")
                 body = self.rfile.read(length) if length else b""
                 status, payload = dispatch(method, self.path, body)
-                data = json.dumps(payload).encode("utf-8")
+                if isinstance(payload, RawResponse):
+                    data = payload.body
+                    content_type = payload.content_type
+                else:
+                    data = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
                 self.wfile.write(data)
@@ -127,6 +180,17 @@ class JsonHttpServer:
 
     def __exit__(self, *exc: object) -> None:
         self.stop()
+
+
+def http_text(method: str, url: str, timeout: float = 5.0) -> tuple[int, str, str]:
+    """Perform one HTTP request; returns (status, body text, content type)."""
+    request = urllib.request.Request(url, method=method.upper())
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            content_type = response.headers.get("Content-Type", "")
+            return response.status, response.read().decode("utf-8"), content_type
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", "replace"), ""
 
 
 def http_json(

@@ -28,6 +28,7 @@ from repro.core.sensor import SensorCache
 from repro.core.sid import PersistentSidMapper, SensorId
 from repro.mqtt.broker import PublishOnlyBroker
 from repro.mqtt.packets import Publish
+from repro.observability import MetricsRegistry, PipelineTracer
 from repro.storage.backend import StorageBackend
 
 logger = logging.getLogger(__name__)
@@ -57,9 +58,22 @@ class CollectAgent:
         port: int = 1883,
         cache_maxage_ns: int = 120 * NS_PER_SEC,
         default_ttl_s: int = 0,
+        metrics: MetricsRegistry | None = None,
+        clock=None,
+        trace_sample_every: int = 1,
     ) -> None:
         self.backend = backend
-        self.broker = broker if broker is not None else PublishOnlyBroker(host, port)
+        # The agent and its broker share ONE registry so status() and
+        # /metrics read broker stats from the snapshot rather than
+        # duck-typing broker attributes.
+        if metrics is None:
+            metrics = getattr(broker, "metrics", None) if broker is not None else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.broker = (
+            broker
+            if broker is not None
+            else PublishOnlyBroker(host, port, metrics=self.metrics)
+        )
         # Component codes are coordinated through backend metadata so
         # several Collect Agents sharing one Storage Backend (and
         # restarts of this agent) agree on the topic->SID mapping.
@@ -68,10 +82,39 @@ class CollectAgent:
         self.default_ttl_s = default_ttl_s
         self._caches: dict[str, SensorCache] = {}
         self._caches_lock = threading.Lock()
-        self.readings_stored = 0
-        self.decode_errors = 0
-        self.metadata_announcements = 0
+        self._readings_stored = self.metrics.counter(
+            "dcdb_agent_readings_stored_total", "Readings handed to the storage backend"
+        )
+        self._decode_errors = self.metrics.counter(
+            "dcdb_agent_decode_errors_total", "Payloads/topics/metadata that failed to parse"
+        )
+        self._metadata_announcements = self.metrics.counter(
+            "dcdb_agent_metadata_announcements_total", "Sensor metadata documents persisted"
+        )
+        self.metrics.gauge(
+            "dcdb_agent_cached_topics", "Distinct topics in the agent-side sensor cache"
+        ).set_function(lambda: len(self._caches))
+        self.metrics.gauge(
+            "dcdb_agent_known_sensors", "Topics with an assigned storage SID"
+        ).set_function(lambda: len(self.sid_mapper))
+        self.tracer = PipelineTracer(
+            self.metrics, clock=clock, sample_every=trace_sample_every
+        )
         self.broker.add_publish_hook(self._on_publish)
+
+    # Backward-compatible counter views over the registry.
+
+    @property
+    def readings_stored(self) -> int:
+        return int(self._readings_stored.value)
+
+    @property
+    def decode_errors(self) -> int:
+        return int(self._decode_errors.value)
+
+    @property
+    def metadata_announcements(self) -> int:
+        return int(self._metadata_announcements.value)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -109,7 +152,7 @@ class CollectAgent:
         try:
             readings = payload_mod.decode_readings(packet.payload)
         except TransportError as exc:
-            self.decode_errors += 1
+            self._decode_errors.inc()
             logger.warning("bad payload on %s from %s: %s", packet.topic, client_id, exc)
             return
         if not readings:
@@ -118,20 +161,28 @@ class CollectAgent:
         try:
             sid = known if known is not None else self.sid_mapper.sid_for_topic(packet.topic)
         except TransportError as exc:
-            self.decode_errors += 1
+            self._decode_errors.inc()
             logger.warning("bad topic %r from %s: %s", packet.topic, client_id, exc)
             return
         if known is None:
             # Persist the topic->SID mapping so query tools in other
             # processes can resolve topics (libDCDB reads these keys).
             self.backend.put_metadata(f"sidmap{packet.topic}", sid.hex())
+        traced = self.tracer.should_sample()
+        origin = readings[0].timestamp
+        if traced:
+            self.tracer.stamp("insert", origin)
         self.backend.insert_batch(
             (sid, r.timestamp, r.value, self.default_ttl_s) for r in readings
         )
+        if traced:
+            # The batch is durably in the backend's write path: this
+            # stamp is the end-to-end pipeline latency.
+            self.tracer.stamp("commit", origin)
         cache = self._cache_for(packet.topic)
         for reading in readings:
             cache.store(reading)
-        self.readings_stored += len(readings)
+        self._readings_stored.inc(len(readings))
 
     def _on_metadata(self, client_id: str, packet: Publish) -> None:
         """Persist a Pusher's sensor-metadata announcement.
@@ -148,7 +199,7 @@ class CollectAgent:
             if topic != packet.topic[len(self.METADATA_PREFIX) :]:
                 raise ValueError("metadata topic mismatch")
         except (ValueError, KeyError, UnicodeDecodeError) as exc:
-            self.decode_errors += 1
+            self._decode_errors.inc()
             logger.warning("bad metadata announcement from %s: %s", client_id, exc)
             return
         record = {
@@ -160,7 +211,7 @@ class CollectAgent:
             "attributes": {"interval_ns": str(document.get("interval_ns", 0))},
         }
         self.backend.put_metadata(f"sensorconfig{topic}", json.dumps(record))
-        self.metadata_announcements += 1
+        self._metadata_announcements.inc()
 
     def _cache_for(self, topic: str) -> SensorCache:
         cache = self._caches.get(topic)
@@ -189,12 +240,44 @@ class CollectAgent:
     def sid_of(self, topic: str) -> SensorId | None:
         return self.sid_mapper.lookup_topic(topic)
 
+    def metrics_registries(self) -> list[MetricsRegistry]:
+        """All registries behind this agent's ``/metrics`` exposition.
+
+        The agent/broker registry plus whatever the storage backend
+        exposes (a :class:`~repro.storage.cluster.StorageCluster`
+        contributes one per node).
+        """
+        registries = [self.metrics]
+        backend_regs = getattr(self.backend, "metrics_registries", None)
+        if backend_regs is not None:
+            registries.extend(backend_regs())
+        else:
+            backend_reg = getattr(self.backend, "metrics", None)
+            if backend_reg is not None:
+                registries.append(backend_reg)
+        seen: set[int] = set()
+        return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
+
     def status(self) -> dict:
-        """JSON-friendly snapshot for the REST API."""
+        """JSON-friendly snapshot for the REST API.
+
+        Broker statistics come from the shared registry snapshot (the
+        broker writes its counters there), not from duck-typed broker
+        attributes.  Existing keys are stable; ``latency`` adds the
+        per-hop pipeline percentiles.
+        """
         return {
             "readingsStored": self.readings_stored,
             "decodeErrors": self.decode_errors,
             "knownSensors": len(self.sid_mapper),
-            "connectedClients": getattr(self.broker, "connected_clients", 0),
-            "messagesReceived": getattr(self.broker, "messages_received", 0),
+            "connectedClients": int(
+                self.metrics.value("dcdb_broker_connected_clients")
+            ),
+            "messagesReceived": int(
+                self.metrics.value("dcdb_broker_messages_received_total")
+            ),
+            "latency": {
+                hop: self.tracer.percentiles(hop)
+                for hop in ("dispatch", "insert", "commit")
+            },
         }

@@ -14,12 +14,19 @@ Endpoints
 ``GET /cache?topic=...``           Cached readings of one sensor.
 ``GET /latest?topic=...``          Most recent cached reading.
 ``GET /query?topic=...&start=...&end=...``  Readings from storage.
+``GET /metrics``                   Prometheus exposition (``?format=json`` for JSON).
 """
 
 from __future__ import annotations
 
-from repro.common.httpjson import JsonHttpServer
+from repro.common.httpjson import JsonHttpServer, RawResponse
 from repro.core.collectagent.agent import CollectAgent
+from repro.observability import (
+    PROMETHEUS_CONTENT_TYPE,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+)
 
 
 class CollectAgentRestApi:
@@ -27,9 +34,12 @@ class CollectAgentRestApi:
 
     def __init__(self, agent: CollectAgent, host: str = "127.0.0.1", port: int = 0) -> None:
         self.agent = agent
-        self.server = JsonHttpServer(host, port)
+        # Share the agent/broker registry; storage-backend registries
+        # are merged in per scrape (they may live in other objects).
+        self.server = JsonHttpServer(host, port, metrics=agent.metrics)
         s = self.server
         s.route("GET", "/status", self._status)
+        s.route("GET", "/metrics", self._metrics)
         s.route("GET", "/topics", self._topics)
         s.route("GET", "/cache", self._cache)
         s.route("GET", "/latest", self._latest)
@@ -58,6 +68,13 @@ class CollectAgentRestApi:
 
     def _status(self, params: dict, query: dict, body: bytes):
         return 200, self.agent.status()
+
+    def _metrics(self, params: dict, query: dict, body: bytes):
+        registries = self.agent.metrics_registries()
+        families = merge_snapshots([r.collect() for r in registries])
+        if query.get("format") == "json":
+            return 200, render_json(families)
+        return 200, RawResponse(render_prometheus(families), PROMETHEUS_CONTENT_TYPE)
 
     def _topics(self, params: dict, query: dict, body: bytes):
         return 200, self.agent.cached_topics()

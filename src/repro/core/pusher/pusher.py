@@ -37,6 +37,7 @@ from repro.core import payload as payload_mod
 from repro.core.pusher.plugin import Plugin, PluginSensor, SensorGroup
 from repro.core.pusher.registry import create_configurator
 from repro.core.sensor import SensorReading
+from repro.observability import MetricsRegistry, PipelineTracer
 
 logger = logging.getLogger(__name__)
 
@@ -60,12 +61,17 @@ class PusherConfig:
     burst_interval_ns: int = 30 * NS_PER_SEC
     #: Sensor cache window (ms) applied to plugins loaded hereafter.
     cache_interval_ms: int = 120_000
+    #: Pipeline-trace sampling: stamp 1 of every N readings/messages
+    #: (1 = all, 0 = tracing off).  Bounds self-monitoring overhead.
+    trace_sample_every: int = 1
 
     def __post_init__(self) -> None:
         if self.send_mode not in ("continuous", "burst"):
             raise ConfigError(f"unknown send mode {self.send_mode!r}")
         if self.threads < 1:
             raise ConfigError("need at least one sampling thread")
+        if self.trace_sample_every < 0:
+            raise ConfigError("trace_sample_every must be >= 0")
 
 
 class Pusher:
@@ -83,8 +89,15 @@ class Pusher:
     #: Minimum gap between reconnect attempts after publish failures.
     RECONNECT_BACKOFF_NS = 5 * NS_PER_SEC
 
-    def __init__(self, config: PusherConfig | None = None, client=None, clock=None) -> None:
+    def __init__(
+        self,
+        config: PusherConfig | None = None,
+        client=None,
+        clock=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config if config is not None else PusherConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if client is None:
             from repro.mqtt.client import MQTTClient
 
@@ -92,6 +105,7 @@ class Pusher:
                 client_id=f"pusher{self.config.mqtt_prefix.replace('/', '-')}",
                 host=self.config.broker_host,
                 port=self.config.broker_port,
+                metrics=self.metrics,
             )
         self.client = client
         self._clock = clock if clock is not None else now_ns
@@ -109,12 +123,54 @@ class Pusher:
         self._burst_thread: threading.Thread | None = None
         self._stop_event = threading.Event()
         self.running = False
-        # Statistics surfaced by the REST API.
-        self.readings_collected = 0
-        self.messages_published = 0
-        self.publish_failures = 0
-        self.reconnects = 0
+        # Statistics surfaced by the REST API and /metrics — registry
+        # counters, because several sampling threads mutate them.
+        self._readings_collected = self.metrics.counter(
+            "dcdb_pusher_readings_collected_total", "Sensor readings collected"
+        )
+        self._messages_published = self.metrics.counter(
+            "dcdb_pusher_messages_published_total", "MQTT messages published"
+        )
+        self._publish_failures = self.metrics.counter(
+            "dcdb_pusher_publish_failures_total", "Publish attempts that raised"
+        )
+        self._reconnects = self.metrics.counter(
+            "dcdb_pusher_reconnects_total", "Successful broker reconnections"
+        )
+        self.metrics.gauge(
+            "dcdb_pusher_sensors", "Sensors across all loaded plugins"
+        ).set_function(lambda: self.sensor_count)
+        self.metrics.gauge(
+            "dcdb_pusher_pending_readings", "Readings queued awaiting publication"
+        ).set_function(self._pending_count)
+        self.tracer = PipelineTracer(
+            self.metrics,
+            clock=self._clock,
+            sample_every=self.config.trace_sample_every,
+        )
         self._last_reconnect_ns = -(10**18)
+
+    def _pending_count(self) -> int:
+        with self._pending_lock:
+            return sum(len(queue) for queue in self._pending.values())
+
+    # Backward-compatible counter views over the registry.
+
+    @property
+    def readings_collected(self) -> int:
+        return int(self._readings_collected.value)
+
+    @property
+    def messages_published(self) -> int:
+        return int(self._messages_published.value)
+
+    @property
+    def publish_failures(self) -> int:
+        return int(self._publish_failures.value)
+
+    @property
+    def reconnects(self) -> int:
+        return int(self._reconnects.value)
 
     # -- plugin lifecycle --------------------------------------------------
 
@@ -137,6 +193,11 @@ class Pusher:
             for group in plugin.groups:
                 for sensor in group.sensors:
                     self._topics[sensor] = self.config.mqtt_prefix + sensor.mqtt_suffix
+                # Self-monitoring groups (the dcdbmon plugin) read this
+                # Pusher's own registry; hand it over on load.
+                attach = getattr(group, "attach_registry", None)
+                if attach is not None:
+                    attach(self.metrics)
         return plugin
 
     def unload_plugin(self, alias: str) -> None:
@@ -188,6 +249,9 @@ class Pusher:
             plugin = self._plugin(alias)
             was_running = plugin.running
             type_name = plugin.configurator.plugin_name
+            # Validate the new configuration BEFORE tearing down the old
+            # plugin — a bad reload must leave the running one untouched.
+            create_configurator(type_name).read_config(config_source)
             self.unload_plugin(alias)
             new_plugin = self.load_plugin(type_name, config_source, plugin_alias=alias)
             if was_running:
@@ -259,12 +323,14 @@ class Pusher:
         results = group.read(timestamp)
         if not results:
             return
-        self.readings_collected += len(results)
+        self._readings_collected.inc(len(results))
         # Sensors may appear dynamically (e.g. the appinstr plugin
         # discovering instruments at runtime); give them topics.
-        for sensor, _reading in results:
+        for sensor, reading in results:
             if sensor not in self._topics:
                 self._topics[sensor] = self.config.mqtt_prefix + sensor.mqtt_suffix
+            if self.tracer.should_sample():
+                self.tracer.stamp("collect", reading.timestamp)
         burst = self.config.send_mode == "burst"
         with self._pending_lock:
             for sensor, reading in results:
@@ -306,10 +372,12 @@ class Pusher:
             self.client.publish(
                 topic, payload_mod.encode_readings(readings), qos=self.config.qos
             )
-            self.messages_published += 1
+            self._messages_published.inc()
+            if self.tracer.should_sample():
+                self.tracer.stamp("publish", readings[0].timestamp)
         except Exception as exc:  # noqa: BLE001 - transport errors must not kill sampling
             logger.warning("publish of %s failed: %s", topic, exc)
-            self.publish_failures += 1
+            self._publish_failures.inc()
             self._try_reconnect()
 
     def _try_reconnect(self) -> None:
@@ -327,7 +395,7 @@ class Pusher:
         try:
             self.client.close()
             self.client.connect()
-            self.reconnects += 1
+            self._reconnects.inc()
             logger.info("reconnected to broker after publish failure")
             self.announce_metadata()
         except Exception as exc:  # noqa: BLE001
@@ -470,7 +538,11 @@ class Pusher:
         return None
 
     def status(self) -> dict:
-        """JSON-friendly snapshot for the REST API."""
+        """JSON-friendly snapshot for the REST API.
+
+        Existing keys are stable; ``latency`` carries the registry's
+        per-hop pipeline percentiles (None before the first stamp).
+        """
         with self._lock:
             return {
                 "mqttPrefix": self.config.mqtt_prefix,
@@ -480,6 +552,9 @@ class Pusher:
                 "messagesPublished": self.messages_published,
                 "publishFailures": self.publish_failures,
                 "reconnects": self.reconnects,
+                "latency": {
+                    hop: self.tracer.percentiles(hop) for hop in ("collect", "publish")
+                },
                 "plugins": {
                     alias: {
                         "running": plugin.running,

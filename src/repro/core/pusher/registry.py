@@ -39,6 +39,9 @@ _BUILTIN_MODULES = {
     # instrumentation source it plans for profiling data.
     "nvml": "repro.plugins.nvml",
     "appinstr": "repro.plugins.appinstr",
+    # Self-monitoring: publishes the framework's own metrics registry
+    # back through the pipeline ("monitoring the monitor").
+    "dcdbmon": "repro.plugins.dcdbmon",
 }
 
 

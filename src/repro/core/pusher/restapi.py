@@ -17,12 +17,18 @@ Endpoints
 ``POST /plugins/{alias}/reload``     Body = new INFO config; seamless reload.
 ``GET  /cache?topic=...``            Cached readings of a sensor.
 ``GET  /average?topic=...&window_ms=...``  Smoothed recent value.
+``GET  /metrics``                    Prometheus exposition (``?format=json`` for JSON).
 """
 
 from __future__ import annotations
 
-from repro.common.httpjson import JsonHttpServer
+from repro.common.httpjson import JsonHttpServer, RawResponse
 from repro.core.pusher.pusher import Pusher
+from repro.observability import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
+)
 
 
 class PusherRestApi:
@@ -30,9 +36,12 @@ class PusherRestApi:
 
     def __init__(self, pusher: Pusher, host: str = "127.0.0.1", port: int = 0) -> None:
         self.pusher = pusher
-        self.server = JsonHttpServer(host, port)
+        # Share the pusher's registry so the HTTP request counters are
+        # part of the same /metrics exposition.
+        self.server = JsonHttpServer(host, port, metrics=pusher.metrics)
         s = self.server
         s.route("GET", "/status", self._status)
+        s.route("GET", "/metrics", self._metrics)
         s.route("GET", "/plugins", self._plugins)
         s.route("GET", "/plugins/:alias/sensors", self._sensors)
         s.route("POST", "/plugins/:alias/start", self._start)
@@ -64,6 +73,12 @@ class PusherRestApi:
 
     def _status(self, params: dict, query: dict, body: bytes):
         return 200, self.pusher.status()
+
+    def _metrics(self, params: dict, query: dict, body: bytes):
+        families = self.pusher.metrics.collect()
+        if query.get("format") == "json":
+            return 200, render_json(families)
+        return 200, RawResponse(render_prometheus(families), PROMETHEUS_CONTENT_TYPE)
 
     def _plugins(self, params: dict, query: dict, body: bytes):
         return 200, {

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.common.errors import TransportError
 from repro.mqtt import packets as pkt
 from repro.mqtt.topics import SubscriptionTree, validate_topic
+from repro.observability import MetricsRegistry, PipelineTracer
 
 logger = logging.getLogger(__name__)
 
@@ -77,6 +78,8 @@ class MQTTBroker:
         host: str = "127.0.0.1",
         port: int = 1883,
         authenticator: Callable[[str, str | None, bytes | None], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace_sample_every: int = 1,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -91,10 +94,22 @@ class MQTTBroker:
         self._retained: dict[str, pkt.Publish] = {}
         self._hooks: list[PublishHook] = []
         self._running = False
-        # Counters exposed for tests and the Collect Agent's stats API.
-        self.messages_received = 0
-        self.messages_delivered = 0
-        self.bytes_received = 0
+        # Registry-backed counters: session reader threads increment
+        # concurrently, so these must not be bare attributes.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._messages_received = self.metrics.counter(
+            "dcdb_broker_messages_received_total", "PUBLISH packets accepted"
+        )
+        self._messages_delivered = self.metrics.counter(
+            "dcdb_broker_messages_delivered_total", "PUBLISH packets routed to subscribers"
+        )
+        self._bytes_received = self.metrics.counter(
+            "dcdb_broker_bytes_received_total", "Raw bytes read from client sockets"
+        )
+        self.metrics.gauge(
+            "dcdb_broker_connected_clients", "Currently connected MQTT sessions"
+        ).set_function(lambda: self.connected_clients)
+        self.tracer = PipelineTracer(self.metrics, sample_every=trace_sample_every)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -155,6 +170,20 @@ class MQTTBroker:
         with self._sessions_lock:
             return len(self._sessions)
 
+    # Backward-compatible counter views over the registry.
+
+    @property
+    def messages_received(self) -> int:
+        return int(self._messages_received.value)
+
+    @property
+    def messages_delivered(self) -> int:
+        return int(self._messages_delivered.value)
+
+    @property
+    def bytes_received(self) -> int:
+        return int(self._bytes_received.value)
+
     # -- internals ------------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -194,7 +223,7 @@ class MQTTBroker:
                     break
                 if not data:
                     break
-                self.bytes_received += len(data)
+                self._bytes_received.inc(len(data))
                 for packet in decoder.feed(data):
                     if not connected:
                         if not isinstance(packet, pkt.Connect):
@@ -252,7 +281,9 @@ class MQTTBroker:
 
     def _handle_publish(self, session: _Session, packet: pkt.Publish) -> None:
         validate_topic(packet.topic)
-        self.messages_received += 1
+        self._messages_received.inc()
+        if not packet.topic.startswith("$") and self.tracer.should_sample():
+            self.tracer.stamp_payload("dispatch", packet.payload)
         if packet.retain:
             if packet.payload:
                 self._retained[packet.topic] = packet
@@ -286,7 +317,7 @@ class MQTTBroker:
             )
             try:
                 target.send(out.encode())
-                self.messages_delivered += 1
+                self._messages_delivered.inc()
             except OSError:
                 target.alive = False
 

@@ -26,6 +26,7 @@ from typing import Callable
 from repro.common.errors import TransportError
 from repro.mqtt import packets as pkt
 from repro.mqtt.topics import validate_filter, validate_topic
+from repro.observability import MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -49,6 +50,7 @@ class MQTTClient:
         username: str | None = None,
         password: bytes | None = None,
         max_inflight: int = 64,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.client_id = client_id
         self.host = host
@@ -71,8 +73,23 @@ class MQTTClient:
         self._suback_codes: dict[int, tuple[int, ...]] = {}
         self._callbacks: list[tuple[str, MessageCallback]] = []
         self.on_message: MessageCallback | None = None
-        self.messages_sent = 0
-        self.bytes_sent = 0
+        # Registry counters: several plugin threads publish through
+        # one client concurrently.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._messages_sent = self.metrics.counter(
+            "dcdb_client_messages_sent_total", "MQTT messages published by this client"
+        )
+        self._bytes_sent = self.metrics.counter(
+            "dcdb_client_bytes_sent_total", "Encoded bytes written to the broker socket"
+        )
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self._messages_sent.value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._bytes_sent.value)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -162,7 +179,7 @@ class MQTTClient:
         validate_topic(topic)
         if qos == 0:
             self._send(pkt.Publish(topic=topic, payload=payload, retain=retain).encode())
-            self.messages_sent += 1
+            self._messages_sent.inc()
             return
         self._inflight_sem.acquire()
         packet_id = self._allocate_packet_id()
@@ -174,7 +191,7 @@ class MQTTClient:
                     topic=topic, payload=payload, qos=1, retain=retain, packet_id=packet_id
                 ).encode()
             )
-            self.messages_sent += 1
+            self._messages_sent.inc()
             if wait_ack and not acked.wait(timeout):
                 raise TransportError(f"PUBACK timeout for packet {packet_id}")
         finally:
@@ -240,7 +257,7 @@ class MQTTClient:
             raise TransportError("client is not connected")
         with self._send_lock:
             sock.sendall(data)
-        self.bytes_sent += len(data)
+        self._bytes_sent.inc(len(data))
 
     def _read_loop(self) -> None:
         decoder = pkt.StreamDecoder()

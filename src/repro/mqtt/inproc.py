@@ -24,6 +24,7 @@ from repro.common.errors import TransportError
 from repro.mqtt import packets as pkt
 from repro.mqtt.broker import PublishHook
 from repro.mqtt.topics import SubscriptionTree, validate_filter, validate_topic
+from repro.observability import MetricsRegistry, PipelineTracer
 
 MessageCallback = Callable[[str, bytes], None]
 
@@ -35,16 +36,32 @@ class InProcHub:
     broker, allowing the Collect Agent to attach to either.
     """
 
-    def __init__(self, allow_subscribe: bool = True) -> None:
+    def __init__(
+        self,
+        allow_subscribe: bool = True,
+        metrics: MetricsRegistry | None = None,
+        trace_sample_every: int = 1,
+    ) -> None:
         self.allow_subscribe = allow_subscribe
         self._subs = SubscriptionTree()
         self._lock = threading.Lock()
         self._hooks: list[PublishHook] = []
         self._clients: dict[int, "InProcClient"] = {}
         self._ids = itertools.count(1)
-        self.messages_received = 0
-        self.messages_delivered = 0
-        self.bytes_received = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._messages_received = self.metrics.counter(
+            "dcdb_broker_messages_received_total", "PUBLISH packets accepted"
+        )
+        self._messages_delivered = self.metrics.counter(
+            "dcdb_broker_messages_delivered_total", "PUBLISH packets routed to subscribers"
+        )
+        self._bytes_received = self.metrics.counter(
+            "dcdb_broker_bytes_received_total", "Payload+topic bytes received"
+        )
+        self.metrics.gauge(
+            "dcdb_broker_connected_clients", "Currently attached in-proc clients"
+        ).set_function(lambda: self.connected_clients)
+        self.tracer = PipelineTracer(self.metrics, sample_every=trace_sample_every)
 
     def add_publish_hook(self, hook: PublishHook) -> None:
         self._hooks.append(hook)
@@ -53,6 +70,20 @@ class InProcHub:
     def connected_clients(self) -> int:
         with self._lock:
             return len(self._clients)
+
+    # Backward-compatible counter views over the registry.
+
+    @property
+    def messages_received(self) -> int:
+        return int(self._messages_received.value)
+
+    @property
+    def messages_delivered(self) -> int:
+        return int(self._messages_delivered.value)
+
+    @property
+    def bytes_received(self) -> int:
+        return int(self._bytes_received.value)
 
     # -- client-facing operations (called by InProcClient) ------------
 
@@ -68,11 +99,11 @@ class InProcHub:
             self._subs.remove_subscriber(key)
 
     def _publish(self, client_id: str, packet: pkt.Publish) -> None:
+        self._messages_received.inc()
+        self._bytes_received.inc(len(packet.payload) + len(packet.topic))
+        if not packet.topic.startswith("$") and self.tracer.should_sample():
+            self.tracer.stamp_payload("dispatch", packet.payload)
         with self._lock:
-            # Counter updates inside the lock: += on attributes is a
-            # read-modify-write and loses updates under concurrency.
-            self.messages_received += 1
-            self.bytes_received += len(packet.payload) + len(packet.topic)
             targets = list(self._subs.match(packet.topic).items())
             clients = {k: self._clients.get(k) for k, _ in targets}
         for hook in self._hooks:
@@ -84,8 +115,7 @@ class InProcHub:
                 target._deliver(packet.topic, packet.payload)
                 delivered += 1
         if delivered:
-            with self._lock:
-                self.messages_delivered += delivered
+            self._messages_delivered.inc(delivered)
 
     def _subscribe(self, key: int, pattern: str, qos: int) -> int:
         if not self.allow_subscribe:
@@ -106,14 +136,29 @@ class InProcClient:
     operations DCDB components use.
     """
 
-    def __init__(self, client_id: str, hub: InProcHub) -> None:
+    def __init__(
+        self, client_id: str, hub: InProcHub, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.client_id = client_id
         self.hub = hub
         self._key: int | None = None
         self._callbacks: list[tuple[str, MessageCallback]] = []
         self.on_message: MessageCallback | None = None
-        self.messages_sent = 0
-        self.bytes_sent = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._messages_sent = self.metrics.counter(
+            "dcdb_client_messages_sent_total", "Messages published by this client"
+        )
+        self._bytes_sent = self.metrics.counter(
+            "dcdb_client_bytes_sent_total", "Payload+topic bytes published"
+        )
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self._messages_sent.value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._bytes_sent.value)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -161,8 +206,8 @@ class InProcClient:
             packet_id=1 if qos else None,
         )
         self.hub._publish(self.client_id, packet)
-        self.messages_sent += 1
-        self.bytes_sent += len(payload) + len(topic)
+        self._messages_sent.inc()
+        self._bytes_sent.inc(len(payload) + len(topic))
 
     def subscribe(
         self,

@@ -1,0 +1,53 @@
+"""Self-monitoring for the monitoring framework.
+
+DCDB's paper evaluates DCDB's own footprint and latency; this package
+is the measurement surface that makes such claims reproducible here:
+a thread-safe :class:`MetricsRegistry` threaded through every pipeline
+stage, per-reading pipeline tracing (:class:`PipelineTracer`), and
+Prometheus/JSON exposition behind the shared ``/metrics`` REST route.
+See ``docs/observability.md`` for the instrument catalogue.
+"""
+
+from repro.observability.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.metrics import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    HistogramSample,
+    MetricsRegistry,
+    Sample,
+    merge_snapshots,
+)
+from repro.observability.tracing import (
+    HOPS,
+    LATENCY_BUCKETS,
+    PIPELINE_METRIC,
+    PipelineTracer,
+    payload_origin_ns,
+)
+
+__all__ = [
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "HOPS",
+    "Histogram",
+    "HistogramSample",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "PIPELINE_METRIC",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PipelineTracer",
+    "Sample",
+    "merge_snapshots",
+    "parse_prometheus_text",
+    "payload_origin_ns",
+    "render_json",
+    "render_prometheus",
+]

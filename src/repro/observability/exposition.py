@@ -1,0 +1,211 @@
+"""Rendering metric snapshots for machine consumption.
+
+Two formats back the shared ``/metrics`` route of the Pusher and
+Collect Agent REST APIs:
+
+* Prometheus text exposition (format 0.0.4) — the lingua franca of
+  scrape-based monitoring, so a DCDB deployment can be watched by the
+  same Prometheus/Grafana stack it feeds sensor data into;
+* plain JSON (``?format=json``) — for tools and tests that want the
+  snapshot without a Prometheus parser.
+
+:func:`parse_prometheus_text` is a deliberately strict validator used
+by the ``make metrics-smoke`` gate and the test suite: it rejects the
+malformed output a sloppy renderer would produce (bad names, missing
+``+Inf`` buckets, count/bucket disagreement).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable
+
+from repro.observability.metrics import FamilySnapshot, HistogramSample, Sample
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus_text",
+    "render_json",
+    "render_prometheus",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce an arbitrary string into a legal metric name."""
+    name = _INVALID_CHARS.sub("_", name)
+    if not name or not _NAME_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(pairs: Iterable[tuple[str, str]]) -> str:
+    rendered = [
+        f'{_INVALID_CHARS.sub("_", k)}="{_escape_label_value(str(v))}"'
+        for k, v in pairs
+    ]
+    return "{" + ",".join(rendered) + "}" if rendered else ""
+
+
+def render_prometheus(families: Iterable[FamilySnapshot]) -> str:
+    """Render snapshots as Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for family in families:
+        name = sanitize_name(family.name)
+        help_text = family.help.replace("\\", r"\\").replace("\n", r"\n")
+        lines.append(f"# HELP {name} {help_text}" if help_text else f"# HELP {name}")
+        lines.append(f"# TYPE {name} {family.type}")
+        for sample in family.samples:
+            if isinstance(sample, HistogramSample):
+                for bound, cum in sample.buckets:
+                    labels = _label_string(
+                        list(sample.labels) + [("le", _format_value(bound))]
+                    )
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                base = _label_string(sample.labels)
+                lines.append(f"{name}_sum{base} {_format_value(sample.sum)}")
+                lines.append(f"{name}_count{base} {sample.count}")
+            else:
+                labels = _label_string(sample.labels)
+                lines.append(f"{name}{labels} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(families: Iterable[FamilySnapshot]) -> dict:
+    """Render snapshots as a plain JSON-serializable document."""
+    out: dict[str, dict] = {}
+    for family in families:
+        samples: list[dict] = []
+        for sample in family.samples:
+            if isinstance(sample, HistogramSample):
+                samples.append(
+                    {
+                        "labels": dict(sample.labels),
+                        "buckets": [
+                            {"le": ("+Inf" if math.isinf(b) else b), "count": c}
+                            for b, c in sample.buckets
+                        ],
+                        "sum": sample.sum,
+                        "count": sample.count,
+                        "p50": sample.percentile(0.50),
+                        "p95": sample.percentile(0.95),
+                        "p99": sample.percentile(0.99),
+                    }
+                )
+            else:
+                samples.append({"labels": dict(sample.labels), "value": sample.value})
+        out[family.name] = {
+            "type": family.type,
+            "help": family.help,
+            "samples": samples,
+        }
+    return out
+
+
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+\d+)?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse + validate Prometheus text exposition.
+
+    Returns ``{metric_name: {"type": ..., "samples": int}}`` for the
+    declared families.  Raises :class:`ValueError` on malformed input:
+    unparseable lines, samples without a TYPE declaration, histograms
+    missing the ``+Inf`` bucket or whose ``_count`` disagrees with it.
+    """
+    types: dict[str, str] = {}
+    sample_counts: dict[str, int] = {}
+    inf_buckets: dict[str, dict[str, float]] = {}
+    counts: dict[str, dict[str, float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE line: {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample line: {raw!r}")
+        name = match.group("name")
+        label_text = match.group("labels") or ""
+        labels = dict(_LABEL_PAIR_RE.findall(label_text))
+        if label_text and not labels and label_text.strip():
+            raise ValueError(f"line {lineno}: unparseable labels: {raw!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad sample value {value_text!r}") from exc
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stripped and types.get(stripped) in ("histogram", "summary"):
+                base = stripped
+                break
+        if base not in types:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE declaration")
+        sample_counts[base] = sample_counts.get(base, 0) + 1
+        if types[base] == "histogram":
+            series = _label_string(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name.endswith("_bucket") and labels.get("le") == "+Inf":
+                inf_buckets.setdefault(base, {})[series] = value
+            elif name.endswith("_count"):
+                counts.setdefault(base, {})[series] = value
+    for base, kind in types.items():
+        if kind != "histogram" or base not in sample_counts:
+            continue
+        series_counts = counts.get(base, {})
+        series_infs = inf_buckets.get(base, {})
+        if not series_infs:
+            raise ValueError(f"histogram {base!r} has no +Inf bucket")
+        for series, total in series_counts.items():
+            inf = series_infs.get(series)
+            if inf is None:
+                raise ValueError(f"histogram {base!r}{series} is missing its +Inf bucket")
+            if inf != total:
+                raise ValueError(
+                    f"histogram {base!r}{series}: +Inf bucket {inf} != count {total}"
+                )
+    return {
+        name: {"type": kind, "samples": sample_counts.get(name, 0)}
+        for name, kind in types.items()
+    }

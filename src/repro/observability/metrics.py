@@ -1,0 +1,551 @@
+"""Thread-safe metrics instruments: Counter, Gauge, Histogram.
+
+DCDB's evaluation is largely a measurement of DCDB itself (paper
+Fig. 4-6 Pusher overhead, Fig. 8 Collect Agent load, Table 1
+production overhead).  This module gives every pipeline component a
+uniform, cheap way to record that self-measurement:
+
+* :class:`MetricsRegistry` — a named catalogue of instrument
+  *families*; each family may carry labels (e.g. ``hop="publish"``)
+  and each distinct label combination owns one *child* instrument.
+* :class:`Counter` — monotonically increasing totals.
+* :class:`Gauge` — point-in-time values; supports callback gauges
+  evaluated lazily at snapshot time so live state (queue depths,
+  connected clients) needs no write on the hot path.
+* :class:`Histogram` — fixed-bucket distributions with ``sum`` and
+  ``count``, plus percentile estimation by linear interpolation
+  within a bucket.
+
+Concurrency model: increments are *lock-striped* — children are
+assigned one of a small pool of registry-wide locks round-robin, so
+two hot counters on different threads almost never contend on the
+same lock while the memory cost stays bounded.  ``collect()`` returns
+immutable snapshot dataclasses; snapshots from several registries
+(e.g. one per storage node) combine with :func:`merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "HistogramSample",
+    "MetricsRegistry",
+    "Sample",
+    "merge_snapshots",
+]
+
+#: Default histogram buckets: generic latency-ish spread in seconds.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One counter/gauge child at snapshot time."""
+
+    labels: LabelPairs
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSample:
+    """One histogram child at snapshot time.
+
+    ``buckets`` are (upper_bound, cumulative_count) pairs ending with
+    the ``+Inf`` bucket, Prometheus-style.
+    """
+
+    labels: LabelPairs
+    buckets: tuple[tuple[float, int], ...]
+    sum: float
+    count: int
+
+    def percentile(self, q: float) -> float | None:
+        """Estimate the q-quantile (0 < q <= 1) from the buckets."""
+        return _bucket_percentile(self.buckets, self.count, q)
+
+
+@dataclass(frozen=True, slots=True)
+class FamilySnapshot:
+    """All children of one instrument family at snapshot time."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram"
+    help: str
+    samples: tuple[Sample | HistogramSample, ...]
+
+    def total(self) -> float:
+        """Sum of all scalar samples (count for histograms)."""
+        if self.type == "histogram":
+            return float(sum(s.count for s in self.samples))
+        return float(sum(s.value for s in self.samples))
+
+
+def _bucket_percentile(
+    buckets: tuple[tuple[float, int], ...], count: int, q: float
+) -> float | None:
+    if count <= 0:
+        return None
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    target = q * count
+    prev_cum = 0
+    prev_bound = 0.0
+    for bound, cum in buckets:
+        if cum >= target:
+            if math.isinf(bound):
+                # Observation beyond the last finite bucket: the best
+                # honest answer is that bucket's lower edge.
+                return prev_bound
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return bound
+            fraction = (target - prev_cum) / in_bucket
+            return prev_bound + (bound - prev_bound) * fraction
+        prev_cum = cum
+        prev_bound = bound if not math.isinf(bound) else prev_bound
+    return prev_bound
+
+
+# -- children ------------------------------------------------------------
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at snapshot time instead of storing a value."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def percentile(self, q: float) -> float | None:
+        return _bucket_percentile(self._cumulative(), self.count, q)
+
+    def _cumulative(self) -> tuple[tuple[float, int], ...]:
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return tuple(out)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+# -- families ------------------------------------------------------------
+
+
+class _Family:
+    """Shared machinery: label resolution and the children table."""
+
+    kind = "untyped"
+    _child_cls: type = _CounterChild
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], object] = {}
+        self._table_lock = threading.Lock()
+        if not labelnames:
+            self._default = self._make_child(())
+        else:
+            self._default = None
+
+    def _make_child(self, key: tuple[str, ...]):
+        child = self._new_child(self._registry._next_stripe())
+        self._children[key] = child
+        return child
+
+    def _new_child(self, lock: threading.Lock):
+        return self._child_cls(lock)
+
+    def labels(self, *values: object, **kwargs: object):
+        """The child instrument for one label-value combination."""
+        if kwargs:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc} for {self.name}") from exc
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._table_lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(key)
+        return child
+
+    def _only(self):
+        if self._default is None:
+            raise ValueError(f"{self.name} is labelled; call .labels(...) first")
+        return self._default
+
+    def _sample_children(self) -> list[tuple[LabelPairs, object]]:
+        with self._table_lock:
+            items = list(self._children.items())
+        return [(tuple(zip(self.labelnames, key)), child) for key, child in items]
+
+    def snapshot(self) -> FamilySnapshot:
+        samples = tuple(
+            Sample(labels, child.value) for labels, child in self._sample_children()
+        )
+        return FamilySnapshot(self.name, self.kind, self.help, samples)
+
+
+class Counter(_Family):
+    """A family of monotonically increasing counters."""
+
+    kind = "counter"
+    _child_cls = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for _, child in self._sample_children())
+
+
+class Gauge(_Family):
+    """A family of point-in-time values."""
+
+    kind = "gauge"
+    _child_cls = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self._only().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only().dec(amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._only().set_function(fn)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for _, child in self._sample_children())
+
+
+class Histogram(_Family):
+    """A family of fixed-bucket distributions."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames, buckets) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(math.isinf(b) for b in bounds):
+            raise ValueError("the +Inf bucket is implicit; omit it")
+        self.buckets = bounds
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self, lock: threading.Lock):
+        return _HistogramChild(lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._only().observe(value)
+
+    def percentile(self, q: float, labels: dict[str, str] | None = None) -> float | None:
+        """Aggregate quantile estimate over children matching ``labels``."""
+        merged: list[int] | None = None
+        total = 0
+        for pairs, child in self._sample_children():
+            if labels is not None and not _labels_match(pairs, labels):
+                continue
+            cumulative = child._cumulative()
+            counts = [cumulative[0][1]] + [
+                cumulative[i][1] - cumulative[i - 1][1] for i in range(1, len(cumulative))
+            ]
+            if merged is None:
+                merged = counts
+            else:
+                merged = [a + b for a, b in zip(merged, counts)]
+            total += cumulative[-1][1]
+        if merged is None or total == 0:
+            return None
+        bounds = tuple(self.buckets) + (math.inf,)
+        running = 0
+        cum: list[tuple[float, int]] = []
+        for bound, n in zip(bounds, merged):
+            running += n
+            cum.append((bound, running))
+        return _bucket_percentile(tuple(cum), total, q)
+
+    def snapshot(self) -> FamilySnapshot:
+        samples = []
+        for labels, child in self._sample_children():
+            cumulative = child._cumulative()
+            samples.append(
+                HistogramSample(labels, cumulative, child.sum, child.count)
+            )
+        return FamilySnapshot(self.name, self.kind, self.help, tuple(samples))
+
+
+def _labels_match(pairs: LabelPairs, wanted: dict[str, str]) -> bool:
+    have = dict(pairs)
+    return all(have.get(k) == str(v) for k, v in wanted.items())
+
+
+# -- registry ------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """A named catalogue of instrument families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for
+    an existing name returns the existing family (and raises if the
+    type or labels disagree), so independent components can share one
+    registry without coordination.
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError("need at least one lock stripe")
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(stripes)]
+        self._stripe_iter = itertools.count()
+
+    def _next_stripe(self) -> threading.Lock:
+        return self._stripes[next(self._stripe_iter) % len(self._stripes)]
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls):
+                    raise ValueError(
+                        f"{name!r} already registered as {family.kind}, not {cls.kind}"
+                    )
+                if family.labelnames != labelnames:
+                    raise ValueError(
+                        f"{name!r} registered with labels {family.labelnames}, "
+                        f"asked for {labelnames}"
+                    )
+                return family
+            family = cls(self, name, help, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=tuple(buckets)
+        )
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, labels: dict[str, str] | None = None) -> float:
+        """Summed value of a family's matching children (0 if absent).
+
+        Histograms report their observation count.  This is the
+        read-side helper status endpoints use instead of duck-typing
+        component attributes.
+        """
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        snap = family.snapshot()
+        total = 0.0
+        for sample in snap.samples:
+            if labels is not None and not _labels_match(sample.labels, labels):
+                continue
+            if isinstance(sample, HistogramSample):
+                total += sample.count
+            else:
+                total += sample.value
+        return total
+
+    def collect(self) -> list[FamilySnapshot]:
+        """Immutable snapshot of every family, sorted by name."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return [family.snapshot() for family in families]
+
+
+def merge_snapshots(
+    snapshot_lists: Iterable[Iterable[FamilySnapshot]],
+) -> list[FamilySnapshot]:
+    """Combine snapshots from several registries into one exposition.
+
+    Counters and histograms with the same (name, labels) are summed
+    (histograms must share bucket bounds); gauges are summed too,
+    which is the meaningful aggregation for the per-node gauges this
+    codebase registers (rows, segments, queue depths).
+    """
+    by_name: dict[str, dict] = {}
+    for snapshots in snapshot_lists:
+        for family in snapshots:
+            entry = by_name.setdefault(
+                family.name,
+                {"type": family.type, "help": family.help, "samples": {}},
+            )
+            if entry["type"] != family.type:
+                raise ValueError(
+                    f"{family.name!r} appears as both {entry['type']} and {family.type}"
+                )
+            if family.help and not entry["help"]:
+                entry["help"] = family.help
+            for sample in family.samples:
+                existing = entry["samples"].get(sample.labels)
+                if existing is None:
+                    entry["samples"][sample.labels] = sample
+                elif isinstance(sample, HistogramSample):
+                    bounds = tuple(b for b, _ in existing.buckets)
+                    if bounds != tuple(b for b, _ in sample.buckets):
+                        raise ValueError(
+                            f"{family.name!r}: histogram bucket bounds differ across registries"
+                        )
+                    entry["samples"][sample.labels] = HistogramSample(
+                        sample.labels,
+                        tuple(
+                            (b, c1 + c2)
+                            for (b, c1), (_, c2) in zip(existing.buckets, sample.buckets)
+                        ),
+                        existing.sum + sample.sum,
+                        existing.count + sample.count,
+                    )
+                else:
+                    entry["samples"][sample.labels] = Sample(
+                        sample.labels, existing.value + sample.value
+                    )
+    return [
+        FamilySnapshot(name, e["type"], e["help"], tuple(e["samples"].values()))
+        for name, e in sorted(by_name.items())
+    ]

@@ -1,0 +1,190 @@
+"""The dcdbmon plugin: the framework monitoring itself.
+
+DCDB treats its own health as just another data source — "monitoring
+the monitor".  This plugin reads the hosting Pusher's
+:class:`~repro.observability.MetricsRegistry` and publishes selected
+framework metrics back through the ordinary pipeline, so they land in
+the Storage Backend, are queryable via libDCDB, and appear in every
+sensor cache like any facility or node sensor.
+
+The Pusher attaches its registry when loading the plugin (via the
+``attach_registry`` hook), so no configuration is needed to find it.
+
+Configuration::
+
+    group self {
+        interval 1000         ; ms
+        sensor storeRate {
+            metric dcdb_pusher_readings_collected_total
+            stat   value      ; value | count | sum | p50 | p95 | p99
+            delta  true       ; counters usually published as rates
+        }
+        sensor pubLatency {
+            metric dcdb_pipeline_latency_seconds
+            labels hop=publish
+            stat   p95
+            scale  1000000    ; store microseconds (physical = stored/scale)
+            unit   s
+        }
+    }
+
+A group with no explicit sensor blocks gets the default catalogue of
+Pusher health sensors (see :data:`DEFAULT_SENSORS`).
+
+``stat`` selects what is read from the metric family: ``value`` is the
+counter/gauge value (for histograms, the observation count); ``count``
+and ``sum`` address histograms explicitly; ``p50``/``p95``/``p99``
+are histogram percentiles.  ``labels`` filters to matching label pairs
+(comma-separated ``key=value``).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.proptree import PropertyTree
+from repro.core.pusher.plugin import ConfiguratorBase, Entity, PluginSensor, SensorGroup
+from repro.core.pusher.registry import register_plugin
+from repro.observability import MetricsRegistry, PIPELINE_METRIC
+
+_STATS = ("value", "count", "sum", "p50", "p95", "p99")
+
+#: Default sensor catalogue: (name, metric, labels, stat, delta, unit, scale).
+DEFAULT_SENSORS = (
+    ("readingsCollected", "dcdb_pusher_readings_collected_total", None, "value", True, "count", 1.0),
+    ("messagesPublished", "dcdb_pusher_messages_published_total", None, "value", True, "count", 1.0),
+    ("publishFailures", "dcdb_pusher_publish_failures_total", None, "value", True, "count", 1.0),
+    ("reconnects", "dcdb_pusher_reconnects_total", None, "value", True, "count", 1.0),
+    ("pendingReadings", "dcdb_pusher_pending_readings", None, "value", False, "count", 1.0),
+    # p95 publish latency, stored as microseconds (physical = stored/scale).
+    ("publishLatencyP95", PIPELINE_METRIC, {"hop": "publish"}, "p95", False, "s", 1e6),
+)
+
+
+class DcdbmonSensor(PluginSensor):
+    """A sensor bound to one metric family (+ label filter + stat)."""
+
+    __slots__ = ("metric", "labels", "stat")
+
+    def __init__(self, *args, metric: str, labels: dict | None = None,
+                 stat: str = "value", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.metric = metric
+        self.labels = labels
+        self.stat = stat
+
+
+class DcdbmonGroup(SensorGroup):
+    """Reads the attached registry; no I/O beyond snapshotting."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.registry: MetricsRegistry | None = None
+
+    def attach_registry(self, registry: MetricsRegistry) -> None:
+        """Called by the Pusher at load time with its own registry."""
+        self.registry = registry
+
+    def _read_one(self, sensor: DcdbmonSensor) -> float:
+        registry = self.registry
+        assert registry is not None
+        stat = sensor.stat
+        if stat == "value":
+            return registry.value(sensor.metric, sensor.labels)
+        family = registry.get(sensor.metric)
+        if family is None:
+            return 0.0
+        if family.kind != "histogram":
+            raise PluginError(
+                f"dcdbmon sensor {sensor.name!r}: stat {stat!r} requires a "
+                f"histogram, but {sensor.metric!r} is a {family.kind}"
+            )
+        if stat in ("count", "sum"):
+            total = 0.0
+            for sample in family.snapshot().samples:
+                if sensor.labels is not None and not all(
+                    dict(sample.labels).get(k) == str(v)
+                    for k, v in sensor.labels.items()
+                ):
+                    continue
+                total += sample.count if stat == "count" else sample.sum
+            return total
+        q = float(stat[1:]) / 100.0
+        value = family.percentile(q, sensor.labels)
+        return 0.0 if value is None else value
+
+    def read_raw(self, timestamp: int) -> list[int]:
+        if self.registry is None:
+            raise PluginError(
+                f"dcdbmon group {self.name!r}: no metrics registry attached "
+                "(is the group loaded through a Pusher?)"
+            )
+        out: list[int] = []
+        for sensor in self.sensors:
+            value = self._read_one(sensor)
+            out.append(int(round(value * sensor.metadata.scale)))
+        return out
+
+
+class DcdbmonConfigurator(ConfiguratorBase):
+    """Builds self-monitoring groups from config or the default catalogue."""
+
+    plugin_name = "dcdbmon"
+
+    def _parse_labels(self, spec: str | None) -> dict | None:
+        if not spec:
+            return None
+        labels: dict[str, str] = {}
+        for pair in spec.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise ConfigError(f"dcdbmon: bad labels spec {spec!r}")
+            labels[key.strip()] = value.strip()
+        return labels
+
+    def build_group(
+        self, name: str, config: PropertyTree, entity: Entity | None
+    ) -> SensorGroup:
+        common = self.group_common(name, config)
+        group = DcdbmonGroup(**common)
+        for key, node in config.children("sensor"):
+            base = self.make_sensor(node.value or key, node)
+            merged = self._merge_template(node, self._template_sensors)
+            metric = merged.get("metric")
+            if not metric:
+                raise ConfigError(
+                    f"dcdbmon sensor {base.name!r}: missing 'metric' key"
+                )
+            stat = merged.get("stat", "value")
+            if stat not in _STATS:
+                raise ConfigError(
+                    f"dcdbmon sensor {base.name!r}: unknown stat {stat!r} "
+                    f"(expected one of {', '.join(_STATS)})"
+                )
+            sensor = DcdbmonSensor(
+                name=base.name,
+                mqtt_suffix=base.mqtt_suffix,
+                metadata=base.metadata,
+                cache_maxage_ns=self.cache_maxage_ns,
+                metric=metric,
+                labels=self._parse_labels(merged.get("labels")),
+                stat=stat,
+            )
+            group.add_sensor(sensor)
+        if not group.sensors:
+            for name_, metric, labels, stat, delta, unit, scale in DEFAULT_SENSORS:
+                sensor = DcdbmonSensor(
+                    name=name_,
+                    mqtt_suffix=f"/{name_}",
+                    cache_maxage_ns=self.cache_maxage_ns,
+                    metric=metric,
+                    labels=labels,
+                    stat=stat,
+                )
+                sensor.metadata.delta = delta
+                sensor.metadata.unit = unit
+                sensor.metadata.scale = scale
+                group.add_sensor(sensor)
+        return group
+
+
+register_plugin("dcdbmon", DcdbmonConfigurator)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.common.errors import StorageError
 from repro.core.sid import SID_LEVELS, SID_BITS_PER_LEVEL, SensorId
+from repro.observability import MetricsRegistry
 from repro.storage.backend import InsertItem, StorageBackend
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
@@ -50,6 +51,7 @@ class StorageCluster(StorageBackend):
         partitioner: Partitioner | None = None,
         replication: int = 1,
         contact_node: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if nodes is None:
             nodes = [StorageNode("node0")]
@@ -70,9 +72,32 @@ class StorageCluster(StorageBackend):
             raise StorageError("replication factor must be >= 1")
         self.replication = min(replication, len(nodes))
         self.contact_node = contact_node
-        # Locality statistics for the partitioning ablation.
-        self.local_ops = 0
-        self.remote_ops = 0
+        # Locality statistics for the partitioning ablation.  Registry
+        # counters stay monotonic; reset_stats() moves the baseline the
+        # local_ops/remote_ops views subtract.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._local_ops = self.metrics.counter(
+            "dcdb_cluster_local_ops_total", "Operations served by the contact node"
+        )
+        self._remote_ops = self.metrics.counter(
+            "dcdb_cluster_remote_ops_total", "Operations that left the contact node"
+        )
+        self._local_base = 0.0
+        self._remote_base = 0.0
+
+    @property
+    def local_ops(self) -> int:
+        return int(self._local_ops.value - self._local_base)
+
+    @property
+    def remote_ops(self) -> int:
+        return int(self._remote_ops.value - self._remote_base)
+
+    def metrics_registries(self) -> list[MetricsRegistry]:
+        """This cluster's registry plus every member node's."""
+        seen: set[int] = set()
+        registries = [self.metrics] + [node.metrics for node in self.nodes]
+        return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
 
     # -- data plane ---------------------------------------------------------
 
@@ -173,13 +198,13 @@ class StorageCluster(StorageBackend):
 
     def _account(self, node_idx: int) -> None:
         if node_idx == self.contact_node:
-            self.local_ops += 1
+            self._local_ops.inc()
         else:
-            self.remote_ops += 1
+            self._remote_ops.inc()
 
     def reset_stats(self) -> None:
-        self.local_ops = 0
-        self.remote_ops = 0
+        self._local_base = self._local_ops.value
+        self._remote_base = self._remote_ops.value
 
     @property
     def row_count(self) -> int:

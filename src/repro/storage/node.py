@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.sid import SensorId
+from repro.observability import MetricsRegistry
 
 _INT64_MAX = (1 << 63) - 1
 
@@ -76,6 +77,7 @@ class StorageNode:
         flush_threshold: int = 100_000,
         max_segments_per_sensor: int = 8,
         clock=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         from repro.common.timeutil import now_ns
 
@@ -87,10 +89,39 @@ class StorageNode:
         self._metadata: dict[str, str] = {}
         self._lock = threading.RLock()
         self._memtable_rows = 0
-        # Operational counters surfaced by the admin tooling.
-        self.inserts = 0
-        self.flushes = 0
-        self.compactions = 0
+        # Operational counters surfaced by the admin tooling and
+        # /metrics, labelled by node so cluster-wide merges keep the
+        # per-server breakdown.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._inserts = self.metrics.counter(
+            "dcdb_storage_inserts_total", "Readings appended to the memtable", ("node",)
+        ).labels(node=name)
+        self._flushes = self.metrics.counter(
+            "dcdb_storage_flushes_total", "Memtable freezes into segments", ("node",)
+        ).labels(node=name)
+        self._compactions = self.metrics.counter(
+            "dcdb_storage_compactions_total", "Per-sensor segment merges", ("node",)
+        ).labels(node=name)
+        self.metrics.gauge(
+            "dcdb_storage_memtable_rows", "Rows currently in the memtable", ("node",)
+        ).labels(node=name).set_function(lambda: self._memtable_rows)
+        self.metrics.gauge(
+            "dcdb_storage_segments", "Immutable segments held", ("node",)
+        ).labels(node=name).set_function(lambda: self.segment_count)
+
+    # Backward-compatible counter views over the registry.
+
+    @property
+    def inserts(self) -> int:
+        return int(self._inserts.value)
+
+    @property
+    def flushes(self) -> int:
+        return int(self._flushes.value)
+
+    @property
+    def compactions(self) -> int:
+        return int(self._compactions.value)
 
     # -- write path -------------------------------------------------------
 
@@ -106,7 +137,7 @@ class StorageNode:
             data.mem_val.append(value)
             data.mem_exp.append(expiry)
             self._memtable_rows += 1
-            self.inserts += 1
+            self._inserts.inc()
             if self._memtable_rows >= self.flush_threshold:
                 self._flush_locked()
 
@@ -125,7 +156,7 @@ class StorageNode:
                 data.mem_exp.append(expiry)
                 count += 1
             self._memtable_rows += count
-            self.inserts += count
+            self._inserts.inc(count)
             if self._memtable_rows >= self.flush_threshold:
                 self._flush_locked()
         return count
@@ -151,7 +182,7 @@ class StorageNode:
             if len(data.segments) > self.max_segments_per_sensor:
                 self._compact_sensor(data)
         self._memtable_rows = 0
-        self.flushes += 1
+        self._flushes.inc()
 
     # -- compaction ---------------------------------------------------------
 
@@ -183,7 +214,7 @@ class StorageNode:
             keep[-1] = True
             all_ts, all_vals, all_exp = all_ts[keep], all_vals[keep], all_exp[keep]
         data.segments = [_Segment(all_ts, all_vals, all_exp)]
-        self.compactions += 1
+        self._compactions.inc()
 
     # -- read path ----------------------------------------------------------
 

@@ -1,0 +1,110 @@
+"""``make metrics-smoke``: gate on the /metrics exposition being sane.
+
+Boots a complete in-process pipeline — a Pusher running the tester and
+dcdbmon plugins, an InProc hub, a Collect Agent on a memory backend,
+and both REST APIs — lets it collect for a few simulated seconds, then
+scrapes ``/metrics`` from each API over real HTTP and validates the
+Prometheus text with the strict parser.  Exits non-zero on any
+malformed exposition, missing instrument kind, or missing pipeline
+latency histogram, so CI catches renderer regressions before a real
+Prometheus does.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.httpjson import http_json, http_text
+from repro.common.timeutil import NS_PER_SEC, SimClock
+from repro.core.collectagent import CollectAgent
+from repro.core.collectagent.restapi import CollectAgentRestApi
+from repro.core.pusher import Pusher, PusherConfig
+from repro.core.pusher.restapi import PusherRestApi
+from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.observability import PIPELINE_METRIC, parse_prometheus_text
+from repro.storage import MemoryBackend
+
+TESTER_CONFIG = "group g0 { interval 1000\n numSensors 16 }"
+DCDBMON_CONFIG = "group self { interval 1000 }"
+SIM_SECONDS = 10
+
+
+def _check(condition: bool, message: str, failures: list[str]) -> None:
+    status = "ok " if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def _scrape(name: str, port: int, failures: list[str]) -> None:
+    url = f"http://127.0.0.1:{port}/metrics"
+    status, text, content_type = http_text("GET", url)
+    print(f"{name}: GET {url}")
+    _check(status == 200, f"{name}: HTTP 200 (got {status})", failures)
+    _check(
+        content_type.startswith("text/plain"),
+        f"{name}: text/plain content type (got {content_type!r})",
+        failures,
+    )
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as exc:
+        failures.append(f"{name}: malformed exposition: {exc}")
+        print(f"  [FAIL] exposition parses ({exc})")
+        return
+    kinds = {meta["type"] for meta in families.values()}
+    _check(
+        {"counter", "gauge", "histogram"} <= kinds,
+        f"{name}: has a counter, gauge and histogram (got {sorted(kinds)})",
+        failures,
+    )
+    pipeline = families.get(PIPELINE_METRIC)
+    _check(
+        pipeline is not None and pipeline["type"] == "histogram",
+        f"{name}: {PIPELINE_METRIC} histogram present",
+        failures,
+    )
+    json_status, doc = http_json("GET", f"{url}?format=json")
+    _check(
+        json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
+        f"{name}: ?format=json mirror works",
+        failures,
+    )
+
+
+def main() -> int:
+    clock = SimClock(0)
+    hub = InProcHub(allow_subscribe=False)
+    backend = MemoryBackend()
+    agent = CollectAgent(backend, broker=hub)
+    pusher = Pusher(
+        PusherConfig(mqtt_prefix="/smoke/host0"),
+        client=InProcClient("smoke-pusher", hub),
+        clock=clock,
+    )
+    pusher.load_plugin("tester", TESTER_CONFIG)
+    pusher.load_plugin("dcdbmon", DCDBMON_CONFIG)
+    pusher.client.connect()
+    pusher.start_plugin("tester")
+    pusher.start_plugin("dcdbmon")
+    pusher.advance_to(SIM_SECONDS * NS_PER_SEC)
+
+    failures: list[str] = []
+    _check(pusher.readings_collected > 0, "pusher collected readings", failures)
+    _check(agent.readings_stored > 0, "agent stored readings", failures)
+    with PusherRestApi(pusher) as pusher_api, CollectAgentRestApi(agent) as agent_api:
+        _scrape("pusher", pusher_api.port, failures)
+        _scrape("agent", agent_api.port, failures)
+    agent.stop()
+
+    if failures:
+        print(f"metrics smoke: {len(failures)} check(s) FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("metrics smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

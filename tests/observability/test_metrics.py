@@ -1,0 +1,266 @@
+"""Unit tests for the metrics registry, histograms and exposition."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    merge_snapshots,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.metrics import _bucket_percentile
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops", ("node",))
+        counter.labels(node="a").inc(2)
+        counter.labels(node="b").inc(3)
+        assert counter.value == 5.0
+        assert registry.value("ops_total", {"node": "a"}) == 2.0
+
+    def test_unlabeled_ops_on_labelled_family_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "", ("node",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "")
+        with pytest.raises(ValueError):
+            registry.gauge("thing", "")
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total", "") is registry.counter("a_total", "")
+
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hot_total", "", ("worker",))
+        threads_n, per_thread = 8, 5000
+
+        def hammer(idx: int) -> None:
+            child = counter.labels(worker=str(idx % 4))
+            for _ in range(per_thread):
+                child.inc()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == threads_n * per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+    def test_callback_gauge_is_lazy(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.gauge("live", "").set_function(lambda: state["n"])
+        assert registry.value("live") == 1.0
+        state["n"] = 42
+        assert registry.value("live") == 42.0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 3.0, 7.0, 100.0):
+            hist.observe(v)
+        (sample,) = registry.get("lat").snapshot().samples
+        assert sample.count == 4
+        assert sample.sum == pytest.approx(110.5)
+        assert dict(sample.buckets) == {1.0: 1, 5.0: 2, 10.0: 3, math.inf: 4}
+
+    def test_observation_on_bucket_boundary_counts_into_it(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("edge", "", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        (sample,) = registry.get("edge").snapshot().samples
+        assert dict(sample.buckets)[1.0] == 1
+
+    def test_percentile_interpolates_within_bucket(self):
+        # 100 observations uniform in the (0, 10] bucket: p50 ~ 5.
+        buckets = ((10.0, 100), (math.inf, 100))
+        assert _bucket_percentile(buckets, 100, 0.5) == pytest.approx(5.0, abs=0.2)
+
+    def test_percentile_empty_returns_none(self):
+        assert _bucket_percentile(((1.0, 0), (math.inf, 0)), 0, 0.5) is None
+
+    def test_percentile_in_inf_bucket_returns_last_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("big", "", buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.percentile(0.99) == pytest.approx(2.0)
+
+    def test_percentile_aggregates_across_labels(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("multi", "", ("hop",), buckets=(1.0, 10.0))
+        for _ in range(10):
+            hist.labels(hop="a").observe(0.5)
+            hist.labels(hop="b").observe(5.0)
+        p99_all = hist.percentile(0.99)
+        p99_a = hist.percentile(0.99, {"hop": "a"})
+        assert p99_a <= 1.0 < p99_all
+
+    def test_unsorted_bucket_spec_is_sorted(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("order", "", buckets=(5.0, 1.0))
+        assert hist.buckets == (1.0, 5.0)
+
+    def test_concurrent_observations_are_lossless(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("conc", "", buckets=(0.5,))
+        per_thread = 4000
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                hist.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (sample,) = registry.get("conc").snapshot().samples
+        assert sample.count == 6 * per_thread
+        assert dict(sample.buckets)[0.5] == 6 * per_thread
+
+
+class TestRendering:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("dcdb_reqs_total", "Requests", ("route",)).labels(
+            route="/status"
+        ).inc(3)
+        registry.gauge("dcdb_depth", "Queue depth").set(7)
+        hist = registry.histogram("dcdb_lat_seconds", "Latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        return registry
+
+    def test_prometheus_round_trip_through_validator(self):
+        text = render_prometheus(self._registry().collect())
+        parsed = parse_prometheus_text(text)
+        assert parsed["dcdb_reqs_total"]["type"] == "counter"
+        assert parsed["dcdb_depth"]["type"] == "gauge"
+        assert parsed["dcdb_lat_seconds"]["type"] == "histogram"
+        assert 'route="/status"' in text
+        assert 'le="+Inf"' in text
+
+    def test_json_includes_percentiles(self):
+        doc = render_json(self._registry().collect())
+        hist = doc["dcdb_lat_seconds"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["p50"] is not None
+
+    def test_validator_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_validator_rejects_histogram_without_inf_bucket(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus_text(bad)
+
+    def test_validator_rejects_count_bucket_disagreement(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 2\n"
+        )
+        with pytest.raises(ValueError, match="!= count"):
+            parse_prometheus_text(bad)
+
+    def test_validator_rejects_garbage_line(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_text("# TYPE ok counter\nok 1\n}{nonsense\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "", ("path",)).labels(path='a"b\\c').inc()
+        text = render_prometheus(registry.collect())
+        parse_prometheus_text(text)
+        assert r"a\"b\\c" in text
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("ops_total", "").inc(2)
+        r2.counter("ops_total", "").inc(3)
+        r1.gauge("rows", "").set(10)
+        r2.gauge("rows", "").set(5)
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        assert merged["ops_total"].total() == 5.0
+        assert merged["rows"].total() == 15.0
+
+    def test_histograms_merge_bucketwise(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        for r, v in ((r1, 0.05), (r2, 0.5)):
+            r.histogram("lat", "", buckets=(0.1, 1.0)).observe(v)
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        (sample,) = merged["lat"].samples
+        assert sample.count == 2
+        assert dict(sample.buckets)[0.1] == 1
+
+    def test_distinct_labels_stay_separate(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("ops_total", "", ("node",)).labels(node="a").inc()
+        r2.counter("ops_total", "", ("node",)).labels(node="b").inc()
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        assert len(merged["ops_total"].samples) == 2
+
+    def test_type_conflict_raises(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("x", "").inc()
+        r2.gauge("x", "").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([r1.collect(), r2.collect()])
+
+    def test_merged_output_renders_valid_exposition(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(0.1,)).observe(0.01)
+        r2.histogram("lat", "", buckets=(0.1,)).observe(0.2)
+        text = render_prometheus(merge_snapshots([r1.collect(), r2.collect()]))
+        assert parse_prometheus_text(text)["lat"]["samples"] >= 4

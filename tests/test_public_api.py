@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.core",
     "repro.core.pusher",
     "repro.core.collectagent",
+    "repro.observability",
     "repro.plugins",
     "repro.devices",
     "repro.libdcdb",
@@ -39,6 +40,7 @@ class TestPublicApi:
             "repro.mqtt",
             "repro.storage",
             "repro.libdcdb",
+            "repro.observability",
             "repro.simulation",
             "repro.analysis",
             "repro.analytics",
