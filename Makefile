@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test metrics-smoke bench experiments examples loc all
+.PHONY: install test metrics-smoke bench bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
@@ -17,6 +17,19 @@ metrics-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Record the ingest/storage microbenchmark baseline as pytest-benchmark
+# JSON.  BENCH_ingest.json is committed so regressions in the batched
+# ingest path show up as a diff against the recorded numbers; raw
+# per-round samples are stripped to keep the committed file small.
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_microbench_components.py \
+		benchmarks/test_microbench_backends.py \
+		--benchmark-only --benchmark-json=BENCH_ingest.json
+	$(PYTHON) -c "import json; d = json.load(open('BENCH_ingest.json')); \
+		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
+		json.dump(d, open('BENCH_ingest.json', 'w'), indent=1, sort_keys=True)"
 
 # Regenerate every paper table/figure with the result tables printed.
 experiments:

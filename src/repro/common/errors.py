@@ -29,6 +29,16 @@ class StorageError(DCDBError):
     """Raised by storage backends for ingest/query failures."""
 
 
+class BackpressureError(StorageError):
+    """Raised when a bounded ingest queue rejects new readings.
+
+    Emitted by the Collect Agent's batching writer under the ``error``
+    backpressure policy (and by ``put`` after the writer was stopped),
+    so producers can distinguish "the pipeline is full" from a storage
+    failure and apply their own shedding or retry policy.
+    """
+
+
 class QueryError(DCDBError):
     """Raised by libDCDB for invalid queries (unknown sensors, bad
     time ranges, malformed virtual-sensor expressions)."""

@@ -10,5 +10,6 @@ the latest readings of all connected Pushers, queryable over REST
 """
 
 from repro.core.collectagent.agent import CollectAgent
+from repro.core.collectagent.writer import BatchingWriter, WriterConfig
 
-__all__ = ["CollectAgent"]
+__all__ = ["BatchingWriter", "CollectAgent", "WriterConfig"]

@@ -18,12 +18,14 @@ paper section 5.3) and counters for the load experiments.
 
 from __future__ import annotations
 
+import json
 import logging
 import threading
 
-from repro.common.errors import TransportError
+from repro.common.errors import BackpressureError, TransportError
 from repro.common.timeutil import NS_PER_SEC
 from repro.core import payload as payload_mod
+from repro.core.collectagent.writer import BatchingWriter, WriterConfig
 from repro.core.sensor import SensorCache
 from repro.core.sid import PersistentSidMapper, SensorId
 from repro.mqtt.broker import PublishOnlyBroker
@@ -48,6 +50,13 @@ class CollectAgent:
         Window of the agent-side sensor cache.
     default_ttl_s:
         TTL applied to stored readings (0 = keep forever).
+    writer_config:
+        When given, readings are staged in an asynchronous
+        :class:`~repro.core.collectagent.writer.BatchingWriter` that
+        coalesces writes across MQTT messages instead of hitting the
+        backend synchronously on the dispatch thread (paper section
+        5.3: Cassandra inserts happen in large asynchronous batches).
+        ``None`` (the default) keeps the synchronous per-message path.
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class CollectAgent:
         metrics: MetricsRegistry | None = None,
         clock=None,
         trace_sample_every: int = 1,
+        writer_config: WriterConfig | None = None,
     ) -> None:
         self.backend = backend
         # The agent and its broker share ONE registry so status() and
@@ -80,6 +90,15 @@ class CollectAgent:
         self.sid_mapper = PersistentSidMapper(backend)
         self.cache_maxage_ns = cache_maxage_ns
         self.default_ttl_s = default_ttl_s
+        # Concurrency contract for _caches (the single place it is
+        # documented — every reader below relies on it): the dict is
+        # mutated only under _caches_lock and only ever grows.  Readers
+        # therefore need no lock as long as they touch the dict through
+        # ONE atomic operation — a single ``dict.get`` or a whole-dict
+        # key snapshot such as ``sorted(d)``/``list(d)``, which CPython
+        # executes as one C call without releasing the GIL.  Anything
+        # that iterates the dict incrementally (multiple bytecodes
+        # between reads) must take _caches_lock.
         self._caches: dict[str, SensorCache] = {}
         self._caches_lock = threading.Lock()
         self._readings_stored = self.metrics.counter(
@@ -100,6 +119,21 @@ class CollectAgent:
         self.tracer = PipelineTracer(
             self.metrics, clock=clock, sample_every=trace_sample_every
         )
+        self.writer = (
+            BatchingWriter(
+                backend,
+                writer_config,
+                metrics=self.metrics,
+                clock=clock,
+                tracer=self.tracer,
+            )
+            if writer_config is not None
+            else None
+        )
+        self._backpressure_drops = self.metrics.counter(
+            "dcdb_agent_backpressure_drops_total",
+            "Readings rejected because the staging queue was full (error policy)",
+        )
         self.broker.add_publish_hook(self._on_publish)
 
     # Backward-compatible counter views over the registry.
@@ -119,11 +153,18 @@ class CollectAgent:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
+        if self.writer is not None:
+            self.writer.start()
         start = getattr(self.broker, "start", None)
         if start is not None:
             start()
 
     def stop(self) -> None:
+        # Drain the staging queue BEFORE flushing the backend: every
+        # accepted reading must reach the backend's write path first,
+        # or flush() would freeze a memtable that is still missing them.
+        if self.writer is not None:
+            self.writer.stop()
         self.backend.flush()
         stop = getattr(self.broker, "stop", None)
         if stop is not None:
@@ -172,13 +213,24 @@ class CollectAgent:
         origin = readings[0].timestamp
         if traced:
             self.tracer.stamp("insert", origin)
-        self.backend.insert_batch(
-            (sid, r.timestamp, r.value, self.default_ttl_s) for r in readings
-        )
-        if traced:
-            # The batch is durably in the backend's write path: this
-            # stamp is the end-to-end pipeline latency.
-            self.tracer.stamp("commit", origin)
+        ttl = self.default_ttl_s
+        items = [(sid, r.timestamp, r.value, ttl) for r in readings]
+        if self.writer is not None:
+            # Asynchronous path: stage and return; the writer stamps
+            # "commit" when the coalesced batch is durable, so the hop
+            # measures real durability latency rather than enqueue time.
+            try:
+                self.writer.put(items, origin if traced else None)
+            except BackpressureError as exc:
+                self._backpressure_drops.inc(len(items))
+                logger.warning("backpressure on %s: %s", packet.topic, exc)
+                return
+        else:
+            self.backend.insert_batch(items)
+            if traced:
+                # The batch is durably in the backend's write path: this
+                # stamp is the end-to-end pipeline latency.
+                self.tracer.stamp("commit", origin)
         cache = self._cache_for(packet.topic)
         for reading in readings:
             cache.store(reading)
@@ -191,8 +243,6 @@ class CollectAgent:
         tool writes, so libDCDB decodes announced sensors without any
         manual configuration (DCDB's auto-publish behaviour).
         """
-        import json
-
         try:
             document = json.loads(packet.payload)
             topic = document["topic"]
@@ -214,6 +264,7 @@ class CollectAgent:
         self._metadata_announcements.inc()
 
     def _cache_for(self, topic: str) -> SensorCache:
+        # Lock-free fast path: one dict.get per the _caches contract.
         cache = self._caches.get(topic)
         if cache is None:
             with self._caches_lock:
@@ -226,10 +277,12 @@ class CollectAgent:
     # -- cache / introspection API (backs REST) --------------------------------------
 
     def cached_topics(self) -> list[str]:
-        with self._caches_lock:
-            return sorted(self._caches)
+        # sorted(dict) snapshots the keys in one C call (see the
+        # _caches contract), so this read needs no lock either.
+        return sorted(self._caches)
 
     def cache_of(self, topic: str) -> SensorCache | None:
+        # Single dict.get per the _caches contract.
         return self._caches.get(topic)
 
     def latest(self, topic: str):
@@ -280,4 +333,7 @@ class CollectAgent:
                 hop: self.tracer.percentiles(hop)
                 for hop in ("dispatch", "insert", "commit")
             },
+            # None on the synchronous path; queue/batch statistics of
+            # the asynchronous ingest path when batching is enabled.
+            "writer": self.writer.status() if self.writer is not None else None,
         }

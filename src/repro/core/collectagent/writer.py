@@ -1,0 +1,382 @@
+"""Asynchronous batched ingest: cross-message write coalescing.
+
+The paper's Collect Agent sustains millions of inserts per second
+because readings are staged and written to Cassandra in large
+asynchronous batches (section 5.3, Figure 8) instead of one storage
+round-trip per MQTT message.  :class:`BatchingWriter` reproduces that
+decoupling for any :class:`~repro.storage.backend.StorageBackend`:
+
+* ``put()`` stages the readings of one message in a bounded queue and
+  returns immediately — the broker's dispatch thread never waits on
+  storage;
+* dedicated writer threads coalesce staged messages *across* MQTT
+  publishes into batches of up to ``max_batch`` readings and hand them
+  to ``backend.insert_batch`` in one call;
+* a flush is triggered by batch **size** (``max_batch`` readings
+  staged), batch **age** (the oldest staged reading exceeds
+  ``max_delay_ns`` on the injected clock), or **shutdown** —
+  :meth:`stop` drains every accepted reading before returning, so
+  enabling batching never loses data on a clean shutdown.
+
+Backpressure when the queue is full is explicit policy, not an
+accident of buffer growth:
+
+``block``
+    ``put()`` waits until writer threads free capacity (lossless,
+    propagates storage slowness to producers).
+``drop-oldest``
+    evict the oldest staged readings to make room, counting them in
+    ``dcdb_writer_readings_dropped_total`` (freshest-data-wins, the
+    right default for monitoring feeds).
+``error``
+    raise :class:`~repro.common.errors.BackpressureError` and leave
+    the queue untouched (producer decides).
+
+Observability: queue depth gauge, batch-size and flush-latency
+histograms, dropped/flushed counters, and — when a
+:class:`~repro.observability.PipelineTracer` is attached — the
+``commit`` trace hop stamped at *flush completion*, i.e. when the
+batch is really durable in the backend, not when it was enqueued.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import BackpressureError, ConfigError
+from repro.observability import MetricsRegistry
+from repro.storage.backend import InsertItem, StorageBackend
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["BACKPRESSURE_POLICIES", "BATCH_SIZE_BUCKETS", "BatchingWriter", "WriterConfig"]
+
+#: Valid ``WriterConfig.policy`` values.
+BACKPRESSURE_POLICIES = ("block", "drop-oldest", "error")
+
+#: Readings-per-flush histogram buckets (1 .. 50k readings).
+BATCH_SIZE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WriterConfig:
+    """Tuning knobs of the batched ingest path.
+
+    ``max_batch``
+        flush once this many readings are staged (size trigger).
+    ``max_delay_ns``
+        flush once the oldest staged reading is this old on the
+        writer's clock (age trigger; bounds worst-case visibility lag).
+    ``queue_capacity``
+        bound on staged readings; beyond it the backpressure
+        ``policy`` applies.
+    ``policy``
+        one of :data:`BACKPRESSURE_POLICIES`.
+    ``writers``
+        number of dedicated flush threads.
+    ``poll_interval_s``
+        real-time granularity at which idle writer threads re-check
+        the age trigger; lets an injected
+        :class:`~repro.common.timeutil.SimClock` drive age-based
+        flushes deterministically.
+    """
+
+    max_batch: int = 4096
+    max_delay_ns: int = 50_000_000  # 50 ms
+    queue_capacity: int = 65_536
+    policy: str = "block"
+    writers: int = 1
+    poll_interval_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ns < 0:
+            raise ConfigError(f"max_delay_ns must be >= 0, got {self.max_delay_ns}")
+        if self.queue_capacity < self.max_batch:
+            raise ConfigError(
+                f"queue_capacity ({self.queue_capacity}) must be >= "
+                f"max_batch ({self.max_batch})"
+            )
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"unknown backpressure policy {self.policy!r}; "
+                f"choose one of {BACKPRESSURE_POLICIES}"
+            )
+        if self.writers < 1:
+            raise ConfigError(f"writers must be >= 1, got {self.writers}")
+        if self.poll_interval_s <= 0:
+            raise ConfigError("poll_interval_s must be positive")
+
+
+class BatchingWriter:
+    """Bounded staging queue + writer threads in front of a backend.
+
+    Queue entries are the per-message reading lists exactly as the
+    agent decoded them (no per-reading copies); coalescing concatenates
+    message lists only when a flush spans several messages, and a flush
+    covering a single staged message passes that list through untouched.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        config: WriterConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=None,
+        tracer=None,
+    ) -> None:
+        from repro.common.timeutil import now_ns
+
+        self.backend = backend
+        self.config = config if config is not None else WriterConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._clock = clock if clock is not None else now_ns
+        # Entries are (items, traced_origin_ns | None, enqueued_ns).
+        self._entries: deque[tuple[list[InsertItem], int | None, int]] = deque()
+        self._depth = 0  # readings staged (not yet taken by a writer)
+        self._inflight = 0  # readings taken but not yet durable
+        self._stopping = False
+        self._force_flush = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+
+        self.metrics.gauge(
+            "dcdb_writer_queue_depth", "Readings staged in the batching writer"
+        ).set_function(lambda: self._depth)
+        self.metrics.gauge(
+            "dcdb_writer_queue_capacity", "Staging queue bound (readings)"
+        ).set(self.config.queue_capacity)
+        self._enqueued = self.metrics.counter(
+            "dcdb_writer_readings_enqueued_total", "Readings accepted into the staging queue"
+        )
+        self._flushed = self.metrics.counter(
+            "dcdb_writer_readings_flushed_total", "Readings durably written by flushes"
+        )
+        self._dropped = self.metrics.counter(
+            "dcdb_writer_readings_dropped_total",
+            "Readings evicted by the drop-oldest backpressure policy",
+        )
+        self._flushes = self.metrics.counter(
+            "dcdb_writer_flushes_total", "Batches handed to the storage backend"
+        )
+        self._flush_errors = self.metrics.counter(
+            "dcdb_writer_flush_errors_total", "Batches the backend failed to accept"
+        )
+        self._batch_size = self.metrics.histogram(
+            "dcdb_writer_batch_size", "Readings per flushed batch", buckets=BATCH_SIZE_BUCKETS
+        )
+        self._flush_duration = self.metrics.histogram(
+            "dcdb_writer_flush_duration_seconds", "Wall time of one backend flush"
+        )
+        self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """(Re)start the writer threads; idempotent while running."""
+        with self._lock:
+            if any(t.is_alive() for t in self._threads):
+                return
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._run, name=f"dcdb-writer-{i}", daemon=True
+                )
+                for i in range(self.config.writers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        """Drain every accepted reading, then stop the writer threads.
+
+        Readings staged before ``stop()`` is called are flushed to the
+        backend before this method returns; producers blocked in
+        ``put()`` are woken with :class:`BackpressureError`.
+        """
+        with self._lock:
+            self._stopping = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    # -- producer side ------------------------------------------------------
+
+    def put(self, items: list[InsertItem], origin_ns: int | None = None) -> int:
+        """Stage one message's readings; returns the number accepted.
+
+        ``origin_ns`` marks the batch for a ``commit`` trace stamp at
+        flush completion (pass the traced reading's origin timestamp,
+        or None for unsampled messages).
+        """
+        count = len(items)
+        if count == 0:
+            return 0
+        capacity = self.config.queue_capacity
+        with self._lock:
+            if self._stopping:
+                raise BackpressureError("batching writer is stopped")
+            if self._depth + count > capacity:
+                policy = self.config.policy
+                if policy == "error":
+                    raise BackpressureError(
+                        f"staging queue full ({self._depth}/{capacity} readings)"
+                    )
+                if policy == "block":
+                    while self._depth + count > capacity and not self._stopping:
+                        self._not_full.wait()
+                    if self._stopping:
+                        raise BackpressureError("batching writer stopped while blocked")
+                else:  # drop-oldest
+                    while self._depth + count > capacity and self._entries:
+                        old_items, _, _ = self._entries.popleft()
+                        self._depth -= len(old_items)
+                        self._dropped.inc(len(old_items))
+                    if count > capacity:
+                        # A single message larger than the whole queue:
+                        # keep its freshest tail, consistent with the policy.
+                        self._dropped.inc(count - capacity)
+                        items = items[count - capacity :]
+                        count = capacity
+            self._entries.append((items, origin_ns, self._clock()))
+            self._depth += count
+            self._enqueued.inc(count)
+            self._not_empty.notify()
+        return count
+
+    # -- consumer side ------------------------------------------------------
+
+    def _run(self) -> None:
+        poll = self.config.poll_interval_s
+        while True:
+            with self._lock:
+                while not self._flush_due_locked():
+                    if self._stopping and not self._entries:
+                        return
+                    # Timed wait so the age trigger is re-evaluated on
+                    # the injected clock even when no new puts arrive.
+                    self._not_empty.wait(timeout=poll)
+                taken, count = self._take_locked()
+                self._inflight += count
+                self._not_full.notify_all()
+            self._write(taken, count)
+            with self._lock:
+                self._inflight -= count
+                if not self._entries and self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _flush_due_locked(self) -> bool:
+        if not self._entries:
+            return False
+        if self._stopping or self._force_flush:
+            return True
+        if self._depth >= self.config.max_batch:
+            return True
+        oldest_enqueued = self._entries[0][2]
+        return self._clock() - oldest_enqueued >= self.config.max_delay_ns
+
+    def _take_locked(self) -> tuple[list[tuple[list[InsertItem], int | None, int]], int]:
+        taken: list[tuple[list[InsertItem], int | None, int]] = []
+        count = 0
+        max_batch = self.config.max_batch
+        while self._entries and count < max_batch:
+            entry = self._entries.popleft()
+            taken.append(entry)
+            count += len(entry[0])
+        self._depth -= count
+        if not self._entries:
+            self._force_flush = False
+        return taken, count
+
+    def _write(self, taken, count: int) -> None:
+        if len(taken) == 1:
+            items = taken[0][0]  # single staged message: no copy
+        else:
+            items = []
+            for entry_items, _, _ in taken:
+                items.extend(entry_items)
+        started = time.perf_counter()
+        try:
+            self.backend.insert_batch(items)
+        except Exception:
+            self._flush_errors.inc()
+            logger.exception("batch flush of %d readings failed", count)
+            return
+        self._flush_duration.observe(time.perf_counter() - started)
+        self._batch_size.observe(count)
+        self._flushes.inc()
+        self._flushed.inc(count)
+        if self.tracer is not None:
+            for _, origin_ns, _ in taken:
+                if origin_ns is not None:
+                    self.tracer.stamp("commit", origin_ns)
+
+    # -- synchronization helpers -------------------------------------------
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Force-flush everything staged and wait until it is durable."""
+        with self._lock:
+            self._force_flush = True
+            self._not_empty.notify_all()
+        return self.wait_idle(timeout)
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the queue is empty and no flush is in flight."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._entries or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=min(remaining, self.config.poll_interval_s))
+            return True
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Readings currently staged (excludes in-flight flushes)."""
+        with self._lock:
+            return self._depth
+
+    @property
+    def dropped(self) -> int:
+        return int(self._dropped.value)
+
+    @property
+    def flushed(self) -> int:
+        return int(self._flushed.value)
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot for the REST ``/status`` document."""
+        with self._lock:
+            depth = self._depth
+            inflight = self._inflight
+        return {
+            "policy": self.config.policy,
+            "queueDepth": depth,
+            "inFlight": inflight,
+            "queueCapacity": self.config.queue_capacity,
+            "maxBatch": self.config.max_batch,
+            "maxDelayMs": self.config.max_delay_ns / 1e6,
+            "writers": self.config.writers,
+            "enqueued": int(self._enqueued.value),
+            "flushed": int(self._flushed.value),
+            "dropped": int(self._dropped.value),
+            "flushes": int(self._flushes.value),
+            "flushErrors": int(self._flush_errors.value),
+        }

@@ -552,6 +552,9 @@ class Pusher:
                 "messagesPublished": self.messages_published,
                 "publishFailures": self.publish_failures,
                 "reconnects": self.reconnects,
+                # Staging-queue depth of the publish path, mirroring the
+                # Collect Agent status' writer queue on the ingest side.
+                "pendingReadings": self._pending_count(),
                 "latency": {
                     hop: self.tracer.percentiles(hop) for hop in ("collect", "publish")
                 },

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.timeutil import NS_PER_SEC, SimClock
-from repro.core.collectagent import CollectAgent
+from repro.core.collectagent import CollectAgent, WriterConfig
 from repro.core.pusher import Pusher, PusherConfig
 from repro.mqtt.inproc import InProcClient, InProcHub
 from repro.storage import MemoryBackend, StorageCluster, StorageNode
@@ -31,6 +31,10 @@ class SimClusterConfig:
     replication: int = 1
     topic_prefix: str = "/sim/cluster"
     use_memory_backend: bool = field(default=False)
+    #: When set, the agent ingests through an asynchronous
+    #: :class:`~repro.core.collectagent.writer.BatchingWriter` instead
+    #: of writing synchronously per MQTT message.
+    writer_config: WriterConfig | None = None
 
 
 class SimulatedCluster:
@@ -55,7 +59,9 @@ class SimulatedCluster:
                 for i in range(self.config.storage_nodes)
             ]
             self.backend = StorageCluster(nodes, replication=self.config.replication)
-        self.agent = CollectAgent(self.backend, broker=self.hub)
+        self.agent = CollectAgent(
+            self.backend, broker=self.hub, writer_config=self.config.writer_config
+        )
         self.pushers: list[Pusher] = []
         for host in range(self.config.hosts):
             pusher = Pusher(
@@ -79,13 +85,25 @@ class SimulatedCluster:
         return self.config.hosts * self.config.sensors_per_host
 
     def run(self, seconds: float) -> int:
-        """Advance simulated time; returns readings stored in the step."""
+        """Advance simulated time; returns readings stored in the step.
+
+        With batching enabled the staging queue is drained before
+        returning, so backend queries after ``run()`` observe every
+        reading published during the step.
+        """
         before = self.agent.readings_stored
         target = self.clock() + int(seconds * NS_PER_SEC)
         for pusher in self.pushers:
             pusher.advance_to(target)
         self.clock.set(target)
+        self.drain()
         return self.agent.readings_stored - before
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Force-flush the agent's staging queue (no-op when synchronous)."""
+        if self.agent.writer is None:
+            return True
+        return self.agent.writer.drain(timeout)
 
     def expected_readings(self, seconds: float) -> int:
         cycles = int(seconds * 1000 / self.config.interval_ms)

@@ -16,6 +16,9 @@ everywhere and must survive any single node.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -26,6 +29,29 @@ from repro.observability import MetricsRegistry
 from repro.storage.backend import InsertItem, StorageBackend
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
+
+# One process-wide pool shared by every cluster: replica fan-out is
+# I/O-shaped work (per-node lock waits, numpy bulk ops), and a shared
+# pool keeps the thread count bounded no matter how many clusters a
+# test process builds.  Created lazily so importing this module never
+# spawns threads.
+_write_pool_lock = threading.Lock()
+_write_pool: ThreadPoolExecutor | None = None
+
+
+def _shared_write_pool() -> ThreadPoolExecutor:
+    global _write_pool
+    pool = _write_pool
+    if pool is None:
+        with _write_pool_lock:
+            pool = _write_pool
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=min(16, (os.cpu_count() or 2) * 2),
+                    thread_name_prefix="dcdb-cluster-write",
+                )
+                _write_pool = pool
+    return pool
 
 
 class StorageCluster(StorageBackend):
@@ -107,17 +133,51 @@ class StorageCluster(StorageBackend):
             self._account(node_idx)
 
     def insert_batch(self, items: Iterable[InsertItem]) -> int:
-        """Route a batch grouping by owner to amortize lock traffic."""
+        """Route a batch grouping by owner to amortize lock traffic.
+
+        Per-node sub-batches are written concurrently on the shared
+        module pool, so replicas and partitions overlap instead of
+        serializing behind one another; a single-node cluster skips
+        the grouping pass entirely and hands the iterable straight to
+        the node (no-copy fast path).
+        """
+        if len(self.nodes) == 1:
+            count = self.nodes[0].insert_batch(items)
+            if count:
+                self._account(0)
+            return count
         per_node: dict[int, list[InsertItem]] = {}
         count = 0
+        replicas_for = self.partitioner.replicas_for
+        replication = self.replication
         for item in items:
-            sid = item[0]
-            for node_idx in self.partitioner.replicas_for(sid, self.replication):
-                per_node.setdefault(node_idx, []).append(item)
+            for node_idx in replicas_for(item[0], replication):
+                target = per_node.get(node_idx)
+                if target is None:
+                    target = per_node.setdefault(node_idx, [])
+                target.append(item)
             count += 1
-        for node_idx, node_items in per_node.items():
+        if not per_node:
+            return 0
+        if len(per_node) == 1:
+            ((node_idx, node_items),) = per_node.items()
             self.nodes[node_idx].insert_batch(node_items)
             self._account(node_idx)
+            return count
+        pool = _shared_write_pool()
+        futures = [
+            (node_idx, pool.submit(self.nodes[node_idx].insert_batch, node_items))
+            for node_idx, node_items in per_node.items()
+        ]
+        error: BaseException | None = None
+        for node_idx, future in futures:
+            try:
+                future.result()
+                self._account(node_idx)
+            except BaseException as exc:  # propagate after all writes settle
+                error = error if error is not None else exc
+        if error is not None:
+            raise error
         return count
 
     def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:

@@ -10,9 +10,16 @@ Runs a Collect Agent from a configuration file, mirroring DCDB's
         db         sqlite:/var/lib/dcdb/monitor.db
         ttl        0             ; seconds, 0 = keep forever
         cacheInterval 120000     ; ms
+        batching      false      ; asynchronous batched ingest path
+        batchSize     4096       ; readings per coalesced flush
+        batchDelayMs  50         ; max staging age before a flush
+        queueCapacity 65536      ; staging queue bound (readings)
+        backpressure  block      ; block | drop-oldest | error
+        writerThreads 1          ; dedicated flush threads
     }
 
-Runs until interrupted; flushes storage on shutdown.
+Runs until interrupted; drains the staging queue (when batching) and
+flushes storage on shutdown.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.common.proptree import PropertyTree, parse_info
 from repro.common.timeutil import NS_PER_MS
 from repro.core.collectagent.agent import CollectAgent
 from repro.core.collectagent.restapi import CollectAgentRestApi
+from repro.core.collectagent.writer import WriterConfig
 from repro.tools.common import open_backend
 
 
@@ -41,12 +49,22 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
     if global_cfg is None:
         global_cfg = PropertyTree()
     backend = open_backend(global_cfg.get("db", "memory:"))
+    writer_config = None
+    if global_cfg.get_bool("batching", False):
+        writer_config = WriterConfig(
+            max_batch=global_cfg.get_int("batchSize", 4096),
+            max_delay_ns=global_cfg.get_int("batchDelayMs", 50) * NS_PER_MS,
+            queue_capacity=global_cfg.get_int("queueCapacity", 65_536),
+            policy=global_cfg.get("backpressure", "block"),
+            writers=global_cfg.get_int("writerThreads", 1),
+        )
     agent = CollectAgent(
         backend,
         host=global_cfg.get("mqttHost", "127.0.0.1"),
         port=global_cfg.get_int("mqttPort", 1883),
         cache_maxage_ns=global_cfg.get_int("cacheInterval", 120_000) * NS_PER_MS,
         default_ttl_s=global_cfg.get_int("ttl", 0),
+        writer_config=writer_config,
     )
     analytics_tree = tree.child("analytics")
     analytics_file = global_cfg.get("analyticsConfig")

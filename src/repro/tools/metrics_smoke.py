@@ -1,13 +1,14 @@
 """``make metrics-smoke``: gate on the /metrics exposition being sane.
 
 Boots a complete in-process pipeline — a Pusher running the tester and
-dcdbmon plugins, an InProc hub, a Collect Agent on a memory backend,
-and both REST APIs — lets it collect for a few simulated seconds, then
-scrapes ``/metrics`` from each API over real HTTP and validates the
-Prometheus text with the strict parser.  Exits non-zero on any
-malformed exposition, missing instrument kind, or missing pipeline
-latency histogram, so CI catches renderer regressions before a real
-Prometheus does.
+dcdbmon plugins, an InProc hub, a Collect Agent ingesting through the
+asynchronous batching writer into a memory backend, and both REST APIs
+sharing ONE metrics registry — lets it collect for a few simulated
+seconds, then scrapes ``/metrics`` from each API over real HTTP and
+validates the Prometheus text with the strict parser.  Exits non-zero
+on any malformed exposition, missing instrument kind, missing pipeline
+latency histogram, or missing batching-writer instrument, so CI
+catches renderer and wiring regressions before a real Prometheus does.
 """
 
 from __future__ import annotations
@@ -16,17 +17,29 @@ import sys
 
 from repro.common.httpjson import http_json, http_text
 from repro.common.timeutil import NS_PER_SEC, SimClock
-from repro.core.collectagent import CollectAgent
+from repro.core.collectagent import CollectAgent, WriterConfig
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.pusher import Pusher, PusherConfig
 from repro.core.pusher.restapi import PusherRestApi
 from repro.mqtt.inproc import InProcClient, InProcHub
-from repro.observability import PIPELINE_METRIC, parse_prometheus_text
+from repro.observability import (
+    MetricsRegistry,
+    PIPELINE_METRIC,
+    parse_prometheus_text,
+)
 from repro.storage import MemoryBackend
 
 TESTER_CONFIG = "group g0 { interval 1000\n numSensors 16 }"
 DCDBMON_CONFIG = "group self { interval 1000 }"
 SIM_SECONDS = 10
+
+#: Batching-writer instruments that must be visible on every scrape.
+WRITER_METRICS = (
+    "dcdb_writer_queue_depth",
+    "dcdb_writer_batch_size",
+    "dcdb_writer_flush_duration_seconds",
+    "dcdb_writer_readings_dropped_total",
+)
 
 
 def _check(condition: bool, message: str, failures: list[str]) -> None:
@@ -64,6 +77,11 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
         f"{name}: {PIPELINE_METRIC} histogram present",
         failures,
     )
+    _check(
+        all(metric in families for metric in WRITER_METRICS),
+        f"{name}: batching-writer instruments present",
+        failures,
+    )
     json_status, doc = http_json("GET", f"{url}?format=json")
     _check(
         json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
@@ -74,13 +92,17 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
 
 def main() -> int:
     clock = SimClock(0)
-    hub = InProcHub(allow_subscribe=False)
+    # One registry for hub, agent, writer and pusher: both REST APIs
+    # then expose the complete pipeline, including writer metrics.
+    registry = MetricsRegistry()
+    hub = InProcHub(allow_subscribe=False, metrics=registry)
     backend = MemoryBackend()
-    agent = CollectAgent(backend, broker=hub)
+    agent = CollectAgent(backend, broker=hub, writer_config=WriterConfig(max_batch=256))
     pusher = Pusher(
         PusherConfig(mqtt_prefix="/smoke/host0"),
         client=InProcClient("smoke-pusher", hub),
         clock=clock,
+        metrics=registry,
     )
     pusher.load_plugin("tester", TESTER_CONFIG)
     pusher.load_plugin("dcdbmon", DCDBMON_CONFIG)
@@ -91,7 +113,15 @@ def main() -> int:
 
     failures: list[str] = []
     _check(pusher.readings_collected > 0, "pusher collected readings", failures)
-    _check(agent.readings_stored > 0, "agent stored readings", failures)
+    _check(agent.readings_stored > 0, "agent accepted readings", failures)
+    _check(agent.writer.drain(), "staging queue drained", failures)
+    stored = sum(backend.count(sid, 0, (1 << 63) - 1) for sid in backend.sids())
+    _check(
+        stored == agent.readings_stored,
+        "every accepted reading is durable after drain "
+        f"({stored}/{agent.readings_stored})",
+        failures,
+    )
     with PusherRestApi(pusher) as pusher_api, CollectAgentRestApi(agent) as agent_api:
         _scrape("pusher", pusher_api.port, failures)
         _scrape("agent", agent_api.port, failures)

@@ -166,3 +166,48 @@ class TestStats:
             StorageCluster(
                 [StorageNode("a")], partitioner=HierarchicalPartitioner(3)
             )
+
+
+class TestParallelFanOut:
+    def test_replicated_batch_lands_on_all_replicas(self):
+        cluster = make_cluster(4, replication=2)
+        items = [(sid(1, i + 1, 1), j, j, 0) for i in range(8) for j in range(50)]
+        assert cluster.insert_batch(items) == 400
+        assert cluster.row_count == 800  # every reading written twice
+        for s in {it[0] for it in items}:
+            ts, _ = cluster.query(s, 0, 1000)
+            assert ts.size == 50
+
+    def test_parallel_writes_match_sequential_queries(self):
+        cluster = make_cluster(3, replication=3)
+        items = [(sid(1, i, 1), t, t * i, 0) for i in range(1, 4) for t in range(20)]
+        cluster.insert_batch(items)
+        for i in range(1, 4):
+            for node in cluster.nodes:  # replication=3: every node has all
+                ts, vals = node.query(sid(1, i, 1), 0, 100)
+                assert ts.size == 20
+                assert vals.tolist() == [t * i for t in range(20)]
+
+    def test_single_node_fast_path_accepts_generator(self):
+        cluster = StorageCluster([StorageNode("solo")])
+        count = cluster.insert_batch((sid(1, 1, t % 5), t, t, 0) for t in range(100))
+        assert count == 100
+        assert cluster.row_count == 100
+        assert cluster.local_ops == 1  # one accounting hop for the batch
+
+    def test_empty_batch_no_accounting(self):
+        cluster = make_cluster(2)
+        assert cluster.insert_batch([]) == 0
+        assert cluster.local_ops == 0 and cluster.remote_ops == 0
+
+    def test_fan_out_propagates_node_errors(self):
+        cluster = make_cluster(3)
+
+        def explode(items):
+            raise StorageError("disk full")
+
+        for node in cluster.nodes:
+            node.insert_batch = explode
+        items = [(sid(1, i, 1), 1, 1, 0) for i in range(1, 4)]
+        with pytest.raises(StorageError, match="disk full"):
+            cluster.insert_batch(items)

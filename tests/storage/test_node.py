@@ -218,3 +218,75 @@ class TestPropertyBased:
         ts, _ = node.query(SID_A, min(lo, hi), max(lo, hi))
         expected = sorted({t for t in timestamps if min(lo, hi) <= t <= max(lo, hi)})
         assert ts.tolist() == expected
+
+
+class TestFlushAccounting:
+    def test_empty_flush_not_counted(self):
+        node = StorageNode()
+        node.flush()
+        assert node.flushes == 0
+        node.insert(SID_A, 1, 1)
+        node.flush()
+        assert node.flushes == 1
+        node.flush()  # memtable empty again: no segment frozen
+        assert node.flushes == 1
+
+
+class TestVectorizedBatch:
+    def test_single_sensor_batch_with_uniform_ttl(self):
+        node = StorageNode()
+        node.insert_batch([(SID_A, t, t * 2, 0) for t in range(500)])
+        ts, vals = node.query(SID_A, 0, 1000)
+        assert ts.tolist() == list(range(500))
+        assert vals.tolist() == [t * 2 for t in range(500)]
+
+    def test_single_sensor_batch_with_mixed_ttl(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert_batch(
+            [(SID_A, 1 * NS_PER_SEC, 1, 5), (SID_A, 2 * NS_PER_SEC, 2, 0)]
+        )
+        clock.set(60 * NS_PER_SEC)
+        ts, _ = node.query(SID_A, 0, 100 * NS_PER_SEC)
+        assert ts.tolist() == [2 * NS_PER_SEC]  # 5 s TTL row expired
+
+    def test_mixed_sensor_batch_groups_per_sid(self):
+        node = StorageNode()
+        items = []
+        for t in range(100):
+            items.append((SID_A, t, t, 0))
+            items.append((SID_B, t, -t, 0))
+        assert node.insert_batch(items) == 200
+        assert node.query(SID_A, 0, 1000)[1].tolist() == list(range(100))
+        assert node.query(SID_B, 0, 1000)[1].tolist() == [-t for t in range(100)]
+
+    def test_mixed_sensor_batch_with_ttl(self):
+        clock = SimClock(0)
+        node = StorageNode(clock=clock)
+        node.insert_batch(
+            [
+                (SID_A, 1 * NS_PER_SEC, 1, 2),
+                (SID_B, 1 * NS_PER_SEC, 2, 0),
+                (SID_A, 2 * NS_PER_SEC, 3, 0),
+            ]
+        )
+        clock.set(30 * NS_PER_SEC)
+        assert node.query(SID_A, 0, 100 * NS_PER_SEC)[0].size == 1
+        assert node.query(SID_B, 0, 100 * NS_PER_SEC)[0].size == 1
+
+    def test_generator_input_accepted(self):
+        node = StorageNode()
+        count = node.insert_batch((SID_A, t, t, 0) for t in range(10))
+        assert count == 10
+        assert node.query(SID_A, 0, 100)[0].size == 10
+
+    def test_empty_batch(self):
+        node = StorageNode()
+        assert node.insert_batch([]) == 0
+        assert node.inserts == 0
+
+    def test_batch_triggers_threshold_flush(self):
+        node = StorageNode(flush_threshold=50)
+        node.insert_batch([(SID_A, t, t, 0) for t in range(60)])
+        assert node.flushes == 1
+        assert node.query(SID_A, 0, 100)[0].size == 60
