@@ -2,18 +2,28 @@
 
 PYTHON ?= python
 
-.PHONY: install test metrics-smoke bench bench-baseline experiments examples loc all
+# Seeds driving the deterministic chaos suite; override to reproduce a
+# failing schedule: make chaos CHAOS_SEEDS=42
+CHAOS_SEEDS ?= 101,202,303,404,505
+
+.PHONY: install test metrics-smoke chaos bench bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke
+test: metrics-smoke chaos
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
 # exposition of both REST APIs; fails on malformed Prometheus output.
 metrics-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.metrics_smoke
+
+# Seeded fault-injection suite (kill/restart mid-ingest, flaky flushes,
+# broker disconnects).  See docs/resilience.md.
+chaos:
+	PYTHONPATH=src CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTHON) -m pytest \
+		tests/storage/test_faults.py tests/integration/test_chaos.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -29,6 +29,25 @@ class StorageError(DCDBError):
     """Raised by storage backends for ingest/query failures."""
 
 
+class NodeDownError(StorageError):
+    """Raised when an operation reaches a storage node that is down.
+
+    Emitted by the fault-injection layer's flaky node proxy
+    (:class:`repro.faults.FlakyNode`) while the node is killed.  The
+    cluster treats it like any other :class:`StorageError` — retry,
+    failover to another replica, or queue a hinted handoff — but tests
+    can match it to assert *why* an operation failed.
+    """
+
+
+class FaultInjectedError(StorageError):
+    """Raised by fault-injection wrappers for a deliberately failed op.
+
+    Distinct from organic :class:`StorageError` failures so chaos tests
+    can assert that every observed failure was one they scheduled.
+    """
+
+
 class BackpressureError(StorageError):
     """Raised when a bounded ingest queue rejects new readings.
 

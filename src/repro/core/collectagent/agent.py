@@ -22,7 +22,7 @@ import json
 import logging
 import threading
 
-from repro.common.errors import BackpressureError, TransportError
+from repro.common.errors import BackpressureError, StorageError, TransportError
 from repro.common.timeutil import NS_PER_SEC
 from repro.core import payload as payload_mod
 from repro.core.collectagent.writer import BatchingWriter, WriterConfig
@@ -134,6 +134,10 @@ class CollectAgent:
             "dcdb_agent_backpressure_drops_total",
             "Readings rejected because the staging queue was full (error policy)",
         )
+        self._store_errors = self.metrics.counter(
+            "dcdb_agent_store_errors_total",
+            "Readings the storage backend refused on the synchronous path",
+        )
         self.broker.add_publish_hook(self._on_publish)
 
     # Backward-compatible counter views over the registry.
@@ -149,6 +153,10 @@ class CollectAgent:
     @property
     def metadata_announcements(self) -> int:
         return int(self._metadata_announcements.value)
+
+    @property
+    def store_errors(self) -> int:
+        return int(self._store_errors.value)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -226,7 +234,23 @@ class CollectAgent:
                 logger.warning("backpressure on %s: %s", packet.topic, exc)
                 return
         else:
-            self.backend.insert_batch(items)
+            # A storage failure must not propagate into the broker's
+            # reader thread (it would tear down the MQTT connection of
+            # a Pusher whose publish was perfectly valid): count it,
+            # log it, and keep the pipeline flowing.  The replicated
+            # cluster only raises here when a reading landed on no
+            # replica at all.
+            try:
+                self.backend.insert_batch(items)
+            except StorageError as exc:
+                self._store_errors.inc(len(items))
+                logger.warning(
+                    "storage rejected %d readings on %s: %s",
+                    len(items),
+                    packet.topic,
+                    exc,
+                )
+                return
             if traced:
                 # The batch is durably in the backend's write path: this
                 # stamp is the end-to-end pipeline latency.
@@ -322,6 +346,7 @@ class CollectAgent:
         return {
             "readingsStored": self.readings_stored,
             "decodeErrors": self.decode_errors,
+            "storeErrors": self.store_errors,
             "knownSensors": len(self.sid_mapper),
             "connectedClients": int(
                 self.metrics.value("dcdb_broker_connected_clients")

@@ -32,8 +32,15 @@ accident of buffer growth:
     raise :class:`~repro.common.errors.BackpressureError` and leave
     the queue untouched (producer decides).
 
+A failed flush does **not** drop its batch: the entries are re-queued
+at the head of the staging queue (order preserved) and retried up to
+``flush_retries`` times with a capped-exponential pause, so transient
+storage faults — a replica restarting, a flaky disk — cost latency,
+not data.  Storage backends deduplicate re-applied timestamps
+(last-write-wins), making a retry that races a partial success safe.
+
 Observability: queue depth gauge, batch-size and flush-latency
-histograms, dropped/flushed counters, and — when a
+histograms, dropped/requeued/lost/flushed counters, and — when a
 :class:`~repro.observability.PipelineTracer` is attached — the
 ``commit`` trace hop stamped at *flush completion*, i.e. when the
 batch is really durable in the backend, not when it was enqueued.
@@ -86,6 +93,16 @@ class WriterConfig:
         the age trigger; lets an injected
         :class:`~repro.common.timeutil.SimClock` drive age-based
         flushes deterministically.
+    ``flush_retries``
+        how many times a batch whose flush failed is re-queued and
+        retried before its readings are abandoned (counted in
+        ``dcdb_writer_readings_lost_total``).  The cap keeps
+        :meth:`BatchingWriter.stop` from spinning forever against a
+        permanently dead backend.
+    ``retry_backoff_s``
+        base of the capped exponential pause a writer thread takes
+        after a failed flush, so a down backend is probed rather than
+        hammered.
     """
 
     max_batch: int = 4096
@@ -94,6 +111,8 @@ class WriterConfig:
     policy: str = "block"
     writers: int = 1
     poll_interval_s: float = 0.005
+    flush_retries: int = 4
+    retry_backoff_s: float = 0.002
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -114,6 +133,10 @@ class WriterConfig:
             raise ConfigError(f"writers must be >= 1, got {self.writers}")
         if self.poll_interval_s <= 0:
             raise ConfigError("poll_interval_s must be positive")
+        if self.flush_retries < 0:
+            raise ConfigError(f"flush_retries must be >= 0, got {self.flush_retries}")
+        if self.retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be >= 0")
 
 
 class BatchingWriter:
@@ -140,8 +163,11 @@ class BatchingWriter:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
         self._clock = clock if clock is not None else now_ns
-        # Entries are (items, traced_origin_ns | None, enqueued_ns).
-        self._entries: deque[tuple[list[InsertItem], int | None, int]] = deque()
+        # Entries are (items, traced_origin_ns | None, enqueued_ns,
+        # flush_attempts).  attempts > 0 marks a batch re-queued after
+        # a failed flush; it keeps its place at the queue head so the
+        # original arrival order is preserved across retries.
+        self._entries: deque[tuple[list[InsertItem], int | None, int, int]] = deque()
         self._depth = 0  # readings staged (not yet taken by a writer)
         self._inflight = 0  # readings taken but not yet durable
         self._stopping = False
@@ -174,6 +200,15 @@ class BatchingWriter:
         self._flush_errors = self.metrics.counter(
             "dcdb_writer_flush_errors_total", "Batches the backend failed to accept"
         )
+        self._requeued = self.metrics.counter(
+            "dcdb_writer_readings_requeued_total",
+            "Readings re-staged after a failed flush",
+        )
+        self._lost = self.metrics.counter(
+            "dcdb_writer_readings_lost_total",
+            "Readings abandoned after exhausting flush_retries",
+        )
+        self._consecutive_failures = 0  # guarded by _lock
         self._batch_size = self.metrics.histogram(
             "dcdb_writer_batch_size", "Readings per flushed batch", buckets=BATCH_SIZE_BUCKETS
         )
@@ -243,7 +278,7 @@ class BatchingWriter:
                         raise BackpressureError("batching writer stopped while blocked")
                 else:  # drop-oldest
                     while self._depth + count > capacity and self._entries:
-                        old_items, _, _ = self._entries.popleft()
+                        old_items, _, _, _ = self._entries.popleft()
                         self._depth -= len(old_items)
                         self._dropped.inc(len(old_items))
                     if count > capacity:
@@ -252,7 +287,7 @@ class BatchingWriter:
                         self._dropped.inc(count - capacity)
                         items = items[count - capacity :]
                         count = capacity
-            self._entries.append((items, origin_ns, self._clock()))
+            self._entries.append((items, origin_ns, self._clock(), 0))
             self._depth += count
             self._enqueued.inc(count)
             self._not_empty.notify()
@@ -289,8 +324,8 @@ class BatchingWriter:
         oldest_enqueued = self._entries[0][2]
         return self._clock() - oldest_enqueued >= self.config.max_delay_ns
 
-    def _take_locked(self) -> tuple[list[tuple[list[InsertItem], int | None, int]], int]:
-        taken: list[tuple[list[InsertItem], int | None, int]] = []
+    def _take_locked(self) -> tuple[list[tuple[list[InsertItem], int | None, int, int]], int]:
+        taken: list[tuple[list[InsertItem], int | None, int, int]] = []
         count = 0
         max_batch = self.config.max_batch
         while self._entries and count < max_batch:
@@ -307,7 +342,7 @@ class BatchingWriter:
             items = taken[0][0]  # single staged message: no copy
         else:
             items = []
-            for entry_items, _, _ in taken:
+            for entry_items, _, _, _ in taken:
                 items.extend(entry_items)
         started = time.perf_counter()
         try:
@@ -315,15 +350,54 @@ class BatchingWriter:
         except Exception:
             self._flush_errors.inc()
             logger.exception("batch flush of %d readings failed", count)
+            self._requeue(taken)
             return
+        with self._lock:
+            self._consecutive_failures = 0
         self._flush_duration.observe(time.perf_counter() - started)
         self._batch_size.observe(count)
         self._flushes.inc()
         self._flushed.inc(count)
         if self.tracer is not None:
-            for _, origin_ns, _ in taken:
+            for _, origin_ns, _, _ in taken:
                 if origin_ns is not None:
                     self.tracer.stamp("commit", origin_ns)
+
+    def _requeue(self, taken) -> None:
+        """Re-stage a failed batch at the queue head, oldest first.
+
+        Entries keep their enqueue timestamps and trace origins, so the
+        age trigger still sees the true staleness and a traced reading
+        still gets its ``commit`` stamp once the retry lands.  Entries
+        that have exhausted ``flush_retries`` are abandoned (the only
+        point in the writer where accepted readings can be lost, and
+        only after the backend refused them flush_retries + 1 times).
+        A capped-exponential pause after consecutive failures keeps a
+        writer thread from busy-looping on a dead backend.
+        """
+        retries = self.config.flush_retries
+        with self._lock:
+            requeued = 0
+            for items, origin_ns, enqueued_ns, attempts in reversed(taken):
+                if attempts >= retries:
+                    self._lost.inc(len(items))
+                    logger.error(
+                        "abandoning %d readings after %d failed flushes",
+                        len(items),
+                        attempts + 1,
+                    )
+                    continue
+                self._entries.appendleft((items, origin_ns, enqueued_ns, attempts + 1))
+                requeued += len(items)
+            self._depth += requeued
+            if requeued:
+                self._requeued.inc(requeued)
+                self._not_empty.notify()
+            self._consecutive_failures += 1
+            failures = self._consecutive_failures
+        backoff = self.config.retry_backoff_s
+        if backoff > 0:
+            time.sleep(min(0.1, backoff * (2.0 ** min(failures - 1, 6))))
 
     # -- synchronization helpers -------------------------------------------
 
@@ -361,6 +435,14 @@ class BatchingWriter:
     def flushed(self) -> int:
         return int(self._flushed.value)
 
+    @property
+    def requeued(self) -> int:
+        return int(self._requeued.value)
+
+    @property
+    def lost(self) -> int:
+        return int(self._lost.value)
+
     def status(self) -> dict:
         """JSON-friendly snapshot for the REST ``/status`` document."""
         with self._lock:
@@ -379,4 +461,7 @@ class BatchingWriter:
             "dropped": int(self._dropped.value),
             "flushes": int(self._flushes.value),
             "flushErrors": int(self._flush_errors.value),
+            "requeued": int(self._requeued.value),
+            "lost": int(self._lost.value),
+            "flushRetries": self.config.flush_retries,
         }

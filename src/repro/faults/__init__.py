@@ -1,0 +1,35 @@
+"""Deterministic fault injection for chaos testing.
+
+The paper's availability story leans on Cassandra semantics — "any
+node may be used to insert or query data" (section 4.3) — and DCDB's
+production deployments assume the pipeline keeps flowing through
+component churn.  This package is the *test substrate* for those
+claims: a seedable :class:`FaultPlan` (scheduled kill/restart events +
+named probabilistic substreams) and wrappers that inject its decisions
+at each layer of the stack:
+
+* :class:`FaultyBackend` — any :class:`~repro.storage.backend.StorageBackend`,
+  failing whole operations;
+* :class:`FlakyNode` — one :class:`~repro.storage.node.StorageNode`
+  with kill/restart state, driving the cluster's hinted handoff and
+  read failover;
+* :class:`BrokerFaultInjector` — socket-level drop/disconnect inside
+  the MQTT brokers.
+
+Everything is deterministic per seed: the chaos suite commits five
+seeds (``make chaos``, ``CHAOS_SEEDS`` to override) and the same seed
+always reproduces the same fault schedule.  See ``docs/resilience.md``.
+"""
+
+from repro.faults.backend import FaultyBackend
+from repro.faults.network import BrokerFaultInjector
+from repro.faults.node import FlakyNode
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "BrokerFaultInjector",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyBackend",
+    "FlakyNode",
+]

@@ -1,0 +1,167 @@
+"""A fault-injecting wrapper around any :class:`StorageBackend`.
+
+``FaultyBackend`` sits between a producer (the batching writer, the
+Collect Agent, a test) and a real backend and fails operations on
+purpose: probabilistically from a :class:`~repro.faults.plan.FaultPlan`
+substream, for an exact armed count (``fail_next``), or wholesale
+while ``set_down(True)``.  With ``fault_rate=0`` and nothing armed it
+is transparent — the backend contract suite runs against the wrapper
+to prove that (``tests/storage/test_backends_contract.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import FaultInjectedError
+from repro.core.sid import SensorId
+from repro.faults.plan import FaultPlan
+from repro.storage.backend import InsertItem, StorageBackend
+
+__all__ = ["FaultyBackend"]
+
+#: Operations subject to probabilistic faults by default.  Metadata and
+#: maintenance ops stay clean unless explicitly listed, so chaos tests
+#: target the data plane without breaking topic->SID bookkeeping.
+DEFAULT_FAIL_OPS = ("insert", "insert_batch", "query", "query_prefix")
+
+
+class FaultyBackend(StorageBackend):
+    """Delegate everything; sometimes raise :class:`FaultInjectedError`.
+
+    Parameters
+    ----------
+    backend:
+        The wrapped store.
+    plan:
+        Source of deterministic randomness; a fresh seed-0 plan when
+        omitted.
+    fault_rate:
+        Per-operation failure probability in [0, 1] for ops listed in
+        ``fail_ops``.
+    stream:
+        Substream name inside the plan, so several wrappers on one plan
+        draw independently.
+    fail_ops:
+        Which operations the probabilistic faults apply to.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        plan: FaultPlan | None = None,
+        fault_rate: float = 0.0,
+        stream: str = "faulty-backend",
+        fail_ops: Iterable[str] = DEFAULT_FAIL_OPS,
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        self.backend = backend
+        self.plan = plan if plan is not None else FaultPlan()
+        self.fault_rate = fault_rate
+        self.stream = stream
+        self.fail_ops = frozenset(fail_ops)
+        self._down = False
+        self._armed = 0  # fail exactly this many guarded ops, then recover
+        self._lock = threading.Lock()
+        self.faults_injected = 0
+
+    # -- fault control -------------------------------------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Hard-fail every guarded operation while down."""
+        self._down = down
+
+    def fail_next(self, count: int = 1) -> None:
+        """Arm exactly ``count`` deterministic failures (FIFO with ops)."""
+        with self._lock:
+            self._armed += count
+
+    def _guard(self, op: str) -> None:
+        with self._lock:
+            if self._down:
+                self.faults_injected += 1
+                raise FaultInjectedError(f"injected fault: backend down during {op}")
+            if self._armed > 0:
+                self._armed -= 1
+                self.faults_injected += 1
+                raise FaultInjectedError(f"injected fault: armed failure during {op}")
+        if (
+            self.fault_rate > 0.0
+            and op in self.fail_ops
+            and self.plan.chance(self.stream, self.fault_rate)
+        ):
+            with self._lock:
+                self.faults_injected += 1
+            raise FaultInjectedError(f"injected fault: {op} (rate {self.fault_rate})")
+
+    # -- data plane ----------------------------------------------------------
+
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        self._guard("insert")
+        self.backend.insert(sid, timestamp, value, ttl_s)
+
+    def insert_batch(self, items: Iterable[InsertItem]) -> int:
+        self._guard("insert_batch")
+        return self.backend.insert_batch(items)
+
+    def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        self._guard("query")
+        return self.backend.query(sid, start, end)
+
+    def query_prefix(
+        self, prefix: int, levels: int, start: int, end: int
+    ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:
+        self._guard("query_prefix")
+        return self.backend.query_prefix(prefix, levels, start, end)
+
+    def sids(self) -> list[SensorId]:
+        self._guard("sids")
+        return self.backend.sids()
+
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        self._guard("delete_before")
+        return self.backend.delete_before(sid, cutoff)
+
+    # -- metadata plane ------------------------------------------------------
+
+    def put_metadata(self, key: str, value: str) -> None:
+        self._guard("put_metadata")
+        self.backend.put_metadata(key, value)
+
+    def get_metadata(self, key: str) -> str | None:
+        self._guard("get_metadata")
+        return self.backend.get_metadata(key)
+
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        self._guard("metadata_keys")
+        return self.backend.metadata_keys(prefix)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> None:
+        self._guard("compact")
+        self.backend.compact()
+
+    def flush(self) -> None:
+        self._guard("flush")
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # -- observability passthrough ------------------------------------------
+
+    @property
+    def metrics(self):
+        return getattr(self.backend, "metrics", None)
+
+    def metrics_registries(self):
+        inner = getattr(self.backend, "metrics_registries", None)
+        if inner is not None:
+            return inner()
+        registry = getattr(self.backend, "metrics", None)
+        return [registry] if registry is not None else []

@@ -1,0 +1,85 @@
+"""Socket-level fault injection for the MQTT brokers.
+
+:class:`BrokerFaultInjector` plugs into
+:class:`~repro.mqtt.broker.MQTTBroker` (``fault_injector=`` or
+``set_fault_injector``) and is consulted once per ``recv`` chunk on
+each client reader thread.  It can
+
+* ``drop`` the chunk — the bytes vanish as if the network ate them
+  (the client's QoS-1 PUBLISH then times out waiting for its PUBACK,
+  which is exactly the signal a real Pusher uses to re-publish);
+* ``disconnect`` the client — the socket is closed mid-stream, firing
+  the session's last-will path, as a crashed Pusher or a network
+  partition would.
+
+Decisions come from plan substreams (deterministic per seed) plus
+explicit one-shot triggers for scripted scenarios ("cut pusher-3 after
+its 10th packet").
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["BrokerFaultInjector", "DROP", "DISCONNECT"]
+
+DROP = "drop"
+DISCONNECT = "disconnect"
+
+
+class BrokerFaultInjector:
+    """Per-recv fault decisions for broker reader threads."""
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        drop_rate: float = 0.0,
+        disconnect_rate: float = 0.0,
+        stream: str = "broker-network",
+    ) -> None:
+        for name, rate in (("drop_rate", drop_rate), ("disconnect_rate", disconnect_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.plan = plan if plan is not None else FaultPlan()
+        self.drop_rate = drop_rate
+        self.disconnect_rate = disconnect_rate
+        self.stream = stream
+        self._lock = threading.Lock()
+        # client_id -> remaining recv chunks before a forced disconnect;
+        # None key applies to every client.
+        self._disconnect_after: dict[str | None, int] = {}
+        self.drops = 0
+        self.disconnects = 0
+
+    def disconnect_client_after(self, client_id: str | None, chunks: int = 0) -> None:
+        """Arm a one-shot disconnect after ``chunks`` further recvs."""
+        with self._lock:
+            self._disconnect_after[client_id] = chunks
+
+    def on_data(self, client_id: str | None, data: bytes) -> str | None:
+        """Called by the broker per recv chunk; returns an action or None."""
+        with self._lock:
+            for key in (client_id, None):
+                remaining = self._disconnect_after.get(key)
+                if remaining is not None:
+                    if remaining <= 0:
+                        del self._disconnect_after[key]
+                        self.disconnects += 1
+                        return DISCONNECT
+                    self._disconnect_after[key] = remaining - 1
+        # Probabilistic faults: disconnect checked first (rarer, more
+        # violent), then drop.  Each consults its own decision so the
+        # draw sequence per stream is one-per-question, deterministic.
+        if self.disconnect_rate > 0.0 and self.plan.chance(
+            f"{self.stream}-disconnect", self.disconnect_rate
+        ):
+            with self._lock:
+                self.disconnects += 1
+            return DISCONNECT
+        if self.drop_rate > 0.0 and self.plan.chance(f"{self.stream}-drop", self.drop_rate):
+            with self._lock:
+                self.drops += 1
+            return DROP
+        return None

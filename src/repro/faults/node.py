@@ -1,0 +1,154 @@
+"""An up/down proxy in front of one :class:`StorageNode`.
+
+``FlakyNode`` models a crashed-then-restarted storage server: while
+killed, every data/metadata/maintenance operation raises
+:class:`~repro.common.errors.NodeDownError`; after ``restart()`` the
+node serves again with all the data it held before the kill (a process
+restart over durable storage, the paper's Cassandra deployment model).
+Writes that arrived while it was down are *not* here — they live in
+the cluster's hinted-handoff queue and land on replay
+(:meth:`repro.storage.cluster.StorageCluster.replay_hints`).
+
+An optional ``fault_rate`` adds probabilistic failures while up (a
+flaky disk/NIC), drawn deterministically from the plan's substream.
+
+The proxy duck-types the :class:`StorageNode` surface the cluster
+uses, so ``StorageCluster([FlakyNode(StorageNode(...))])`` just works;
+introspection (``row_count``, ``metrics``…) is never guarded so tests
+can inspect a "down" node.  A ``dcdb_storage_node_up`` gauge labelled
+by node is registered on the wrapped node's registry and therefore
+shows up on ``/metrics`` next to the node's other instruments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import FaultInjectedError, NodeDownError
+from repro.faults.plan import FaultPlan
+from repro.storage.node import StorageNode
+
+__all__ = ["FlakyNode"]
+
+
+class FlakyNode:
+    """Wrap a storage node with kill/restart state and optional flakiness."""
+
+    def __init__(
+        self,
+        node: StorageNode,
+        plan: FaultPlan | None = None,
+        fault_rate: float = 0.0,
+        stream: str | None = None,
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        self.node = node
+        self.plan = plan
+        self.fault_rate = fault_rate
+        self.stream = stream if stream is not None else f"flaky-node-{node.name}"
+        self._up = True
+        self._lock = threading.Lock()
+        self.kills = 0
+        node.metrics.gauge(
+            "dcdb_storage_node_up", "1 while the node serves requests", ("node",)
+        ).labels(node=node.name).set_function(lambda: 1 if self._up else 0)
+
+    # -- fault control -------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def kill(self) -> None:
+        """Take the node down; in-flight state on the node is kept."""
+        with self._lock:
+            if self._up:
+                self._up = False
+                self.kills += 1
+
+    def restart(self) -> None:
+        """Bring the node back with the data it held before the kill."""
+        self._up = True
+
+    def _guard(self, op: str) -> None:
+        if not self._up:
+            raise NodeDownError(f"node {self.name} is down during {op}")
+        if (
+            self.fault_rate > 0.0
+            and self.plan is not None
+            and self.plan.chance(self.stream, self.fault_rate)
+        ):
+            raise FaultInjectedError(f"injected fault on node {self.name}: {op}")
+
+    # -- guarded StorageNode surface ----------------------------------------
+
+    def insert(self, sid, timestamp, value, ttl_s=0) -> None:
+        self._guard("insert")
+        self.node.insert(sid, timestamp, value, ttl_s)
+
+    def insert_batch(self, items) -> int:
+        self._guard("insert_batch")
+        return self.node.insert_batch(items)
+
+    def query(self, sid, start, end):
+        self._guard("query")
+        return self.node.query(sid, start, end)
+
+    def sids(self):
+        self._guard("sids")
+        return self.node.sids()
+
+    def delete_before(self, sid, cutoff) -> int:
+        self._guard("delete_before")
+        return self.node.delete_before(sid, cutoff)
+
+    def put_metadata(self, key, value) -> None:
+        self._guard("put_metadata")
+        self.node.put_metadata(key, value)
+
+    def get_metadata(self, key):
+        self._guard("get_metadata")
+        return self.node.get_metadata(key)
+
+    def metadata_keys(self, prefix=""):
+        self._guard("metadata_keys")
+        return self.node.metadata_keys(prefix)
+
+    def compact(self) -> None:
+        self._guard("compact")
+        self.node.compact()
+
+    def flush(self) -> None:
+        self._guard("flush")
+        self.node.flush()
+
+    # -- unguarded introspection --------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def metrics(self):
+        return self.node.metrics
+
+    @property
+    def row_count(self) -> int:
+        return self.node.row_count
+
+    @property
+    def segment_count(self) -> int:
+        return self.node.segment_count
+
+    @property
+    def inserts(self) -> int:
+        return self.node.inserts
+
+    @property
+    def flushes(self) -> int:
+        return self.node.flushes
+
+    @property
+    def compactions(self) -> int:
+        return self.node.compactions

@@ -80,11 +80,17 @@ class MQTTBroker:
         authenticator: Callable[[str, str | None, bytes | None], bool] | None = None,
         metrics: MetricsRegistry | None = None,
         trace_sample_every: int = 1,
+        fault_injector=None,
     ) -> None:
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self._authenticator = authenticator
+        # Optional chaos hook (repro.faults.BrokerFaultInjector or any
+        # object with on_data(client_id, bytes) -> None | "drop" |
+        # "disconnect"), consulted once per recv chunk on each reader
+        # thread.  None in production: the check is one attribute load.
+        self._fault_injector = fault_injector
         self._server_sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._sessions: dict[int, _Session] = {}
@@ -165,6 +171,10 @@ class MQTTBroker:
         """
         self._hooks.append(hook)
 
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or with None, remove) a socket-level fault injector."""
+        self._fault_injector = injector
+
     @property
     def connected_clients(self) -> int:
         with self._sessions_lock:
@@ -223,6 +233,21 @@ class MQTTBroker:
                     break
                 if not data:
                     break
+                injector = self._fault_injector
+                if injector is not None:
+                    action = injector.on_data(session.client_id, data)
+                    if action == "drop":
+                        # The chunk vanishes before the decoder sees it
+                        # — as if the network ate the datagram.  QoS-1
+                        # publishers notice the missing PUBACK and
+                        # re-publish, which is the loss-recovery path
+                        # the chaos suite exercises.
+                        continue
+                    if action == "disconnect":
+                        # Mid-stream cut: close without DISCONNECT so
+                        # the session's last-will (if any) fires, like
+                        # a crashed client or a severed link.
+                        break
                 self._bytes_received.inc(len(data))
                 for packet in decoder.feed(data):
                     if not connected:

@@ -6,6 +6,14 @@ the :class:`~repro.mqtt.inproc.InProcHub` transport, with a shared
 :class:`~repro.common.timeutil.SimClock`.  Used by integration tests
 and by the throughput microbenchmarks that quantify this Python
 reproduction itself.
+
+Fault injection: give the config a
+:class:`~repro.faults.FaultPlan` (or a nonzero ``node_fault_rate``)
+and every storage node is wrapped in a
+:class:`~repro.faults.FlakyNode`; scheduled kill/restart events fire
+on the simulated clock as :meth:`SimulatedCluster.run` advances it,
+and the cluster's retry backoff becomes a no-op sleep so chaos runs
+are instant and fully deterministic per seed.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from dataclasses import dataclass, field
 from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core.collectagent import CollectAgent, WriterConfig
 from repro.core.pusher import Pusher, PusherConfig
+from repro.faults import FaultPlan, FlakyNode
+from repro.faults.plan import KILL, RESTART
 from repro.mqtt.inproc import InProcClient, InProcHub
 from repro.storage import MemoryBackend, StorageCluster, StorageNode
 from repro.storage.backend import StorageBackend
@@ -35,6 +45,12 @@ class SimClusterConfig:
     #: :class:`~repro.core.collectagent.writer.BatchingWriter` instead
     #: of writing synchronously per MQTT message.
     writer_config: WriterConfig | None = None
+    #: Seeded fault schedule; enables FlakyNode wrapping and lets
+    #: run() fire scheduled kill/restart events on the sim clock.
+    fault_plan: FaultPlan | None = None
+    #: Probabilistic per-operation node failure rate (needs fault_plan
+    #: for determinism; a fresh seed-0 plan is created if omitted).
+    node_fault_rate: float = 0.0
 
 
 class SimulatedCluster:
@@ -44,21 +60,37 @@ class SimulatedCluster:
         self.config = config if config is not None else SimClusterConfig()
         self.clock = SimClock(0)
         self.hub = InProcHub(allow_subscribe=False)
+        self.fault_plan = self.config.fault_plan
+        if self.fault_plan is None and self.config.node_fault_rate > 0.0:
+            self.fault_plan = FaultPlan()
+        faulty = self.fault_plan is not None
+        #: FlakyNode proxies by index when fault injection is on.
+        self.flaky_nodes: list[FlakyNode] = []
         self.backend: StorageBackend
-        if self.config.use_memory_backend or self.config.storage_nodes <= 1:
-            self.backend = (
-                MemoryBackend(clock=self.clock)
-                if self.config.use_memory_backend
-                else StorageCluster(
-                    [StorageNode("node0", clock=self.clock)], replication=1
-                )
-            )
+        if self.config.use_memory_backend:
+            self.backend = MemoryBackend(clock=self.clock)
         else:
             nodes = [
                 StorageNode(f"node{i}", clock=self.clock)
-                for i in range(self.config.storage_nodes)
+                for i in range(max(1, self.config.storage_nodes))
             ]
-            self.backend = StorageCluster(nodes, replication=self.config.replication)
+            if faulty:
+                self.flaky_nodes = [
+                    FlakyNode(
+                        node,
+                        plan=self.fault_plan,
+                        fault_rate=self.config.node_fault_rate,
+                    )
+                    for node in nodes
+                ]
+                nodes = self.flaky_nodes
+            self.backend = StorageCluster(
+                nodes,
+                replication=self.config.replication if len(nodes) > 1 else 1,
+                # Simulated chaos must not wall-clock-sleep between
+                # write retries; determinism comes from the plan.
+                sleep=(lambda _s: None) if faulty else None,
+            )
         self.agent = CollectAgent(
             self.backend, broker=self.hub, writer_config=self.config.writer_config
         )
@@ -84,18 +116,68 @@ class SimulatedCluster:
     def total_sensors(self) -> int:
         return self.config.hosts * self.config.sensors_per_host
 
+    # -- fault control -------------------------------------------------------
+
+    def _flaky(self, idx: int) -> FlakyNode:
+        if not self.flaky_nodes:
+            raise RuntimeError(
+                "fault injection is off; construct with SimClusterConfig("
+                "fault_plan=FaultPlan(seed)) to enable kill/restart"
+            )
+        return self.flaky_nodes[idx]
+
+    def kill_node(self, idx: int) -> None:
+        self._flaky(idx).kill()
+
+    def restart_node(self, idx: int) -> None:
+        self._flaky(idx).restart()
+        # Repair immediately: replay whatever the replica missed, as a
+        # recovered Cassandra node receives its hints on rejoin.
+        replay = getattr(self.backend, "replay_hints", None)
+        if replay is not None:
+            replay(idx)
+
+    def apply_due_faults(self) -> list:
+        """Fire scheduled fault events at or before the current sim time.
+
+        Targets are node names (``node0``…); unknown targets/actions
+        are ignored so plans can carry events for other components.
+        Returns the fired events, in order.
+        """
+        if self.fault_plan is None:
+            return []
+        fired = self.fault_plan.due(self.clock())
+        by_name = {proxy.name: i for i, proxy in enumerate(self.flaky_nodes)}
+        for event in fired:
+            idx = by_name.get(event.target)
+            if idx is None:
+                continue
+            if event.action == KILL:
+                self.kill_node(idx)
+            elif event.action == RESTART:
+                self.restart_node(idx)
+        return fired
+
+    # -- stepping ------------------------------------------------------------
+
     def run(self, seconds: float) -> int:
         """Advance simulated time; returns readings stored in the step.
 
         With batching enabled the staging queue is drained before
         returning, so backend queries after ``run()`` observe every
-        reading published during the step.
+        reading published during the step.  Scheduled faults fire both
+        at the start and at the end of the step; for mid-step precision
+        call ``run()`` with finer steps — the fault schedule itself is
+        on the clock, so the same stepping always reproduces the same
+        interleaving.
         """
         before = self.agent.readings_stored
+        self.apply_due_faults()
         target = self.clock() + int(seconds * NS_PER_SEC)
         for pusher in self.pushers:
             pusher.advance_to(target)
         self.clock.set(target)
+        self.apply_due_faults()
         self.drain()
         return self.agent.readings_stored - before
 

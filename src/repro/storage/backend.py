@@ -16,6 +16,16 @@ this reproduction:
 * :class:`~repro.storage.sqlite.SqliteBackend` — a file-backed store
   demonstrating that the swap really requires no upstream changes.
 
+:class:`~repro.faults.FaultyBackend` wraps any implementation with
+deterministic fault injection and honours the same contract when no
+faults fire — the contract suite runs against the wrapper to prove it.
+
+Error contract: data/metadata operations raise
+:class:`~repro.common.errors.StorageError` (or a subclass) on failure;
+callers like the batching writer treat any such failure as retryable,
+relying on the backend's last-write-wins timestamp dedup to make
+re-application safe.
+
 All timestamps are integer nanoseconds; values are integers (see
 :mod:`repro.core.sensor` for the scaling convention).  Query results
 are returned as two parallel ``numpy`` arrays — the natural shape for

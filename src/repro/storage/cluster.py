@@ -9,17 +9,39 @@ coordinator role, and it records how many operations had to leave the
 contact node — the locality metric that motivates hierarchical
 partitioning.
 
+Availability under node churn follows the Cassandra playbook the
+paper relies on:
+
+* **writes** retry each replica with capped exponential backoff; a
+  replica that stays unreachable gets a *hinted handoff* — the
+  coordinator queues the sub-batch and replays it when the replica
+  recovers — so one down node does not stall ingest.  Only when every
+  replica of some reading fails does the write raise (and the batching
+  writer re-queues the batch, see
+  :class:`~repro.core.collectagent.writer.BatchingWriter`).
+* **reads** fall back to the next live replica instead of erroring;
+  a read touching a recovered node first drains its pending hints so
+  the series it serves is complete.
+
+Replay is idempotent because the node read/compaction paths dedup on
+timestamp (last write wins), so a hint that races a writer retry never
+produces duplicate readings.
+
 Metadata (sensor properties, virtual sensor definitions) is replicated
 to every node, mirroring Cassandra system tables: it is tiny, read
-everywhere and must survive any single node.
+everywhere and must survive any single node.  Metadata writes to down
+nodes are hinted exactly like data writes.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -29,6 +51,8 @@ from repro.observability import MetricsRegistry
 from repro.storage.backend import InsertItem, StorageBackend
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
+
+logger = logging.getLogger(__name__)
 
 # One process-wide pool shared by every cluster: replica fan-out is
 # I/O-shaped work (per-node lock waits, numpy bulk ops), and a shared
@@ -54,6 +78,12 @@ def _shared_write_pool() -> ThreadPoolExecutor:
     return pool
 
 
+def _node_up(node) -> bool:
+    """Liveness of a member: plain nodes are always up; fault proxies
+    (``repro.faults.FlakyNode``) expose ``is_up``."""
+    return getattr(node, "is_up", True)
+
+
 class StorageCluster(StorageBackend):
     """A replicated, partitioned cluster of storage nodes.
 
@@ -69,6 +99,17 @@ class StorageCluster(StorageBackend):
     contact_node:
         Index of the node this coordinator is "nearest" to; used only
         for the locality statistics.
+    max_retries:
+        Write attempts per replica beyond the first before the
+        coordinator gives up on it and queues a hint.
+    backoff_base_s / backoff_cap_s:
+        Capped exponential backoff between write retries.
+    hint_capacity:
+        Per-node bound on hinted readings; beyond it the oldest hints
+        are dropped (counted in ``dcdb_storage_hints_dropped_total``).
+    sleep:
+        Injectable sleep for the retry backoff; tests and simulations
+        pass a no-op so chaos runs are instant and deterministic.
     """
 
     def __init__(
@@ -78,6 +119,11 @@ class StorageCluster(StorageBackend):
         replication: int = 1,
         contact_node: int = 0,
         metrics: MetricsRegistry | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.005,
+        backoff_cap_s: float = 0.1,
+        hint_capacity: int = 1_000_000,
+        sleep: Callable[[float], None] | None = None,
     ) -> None:
         if nodes is None:
             nodes = [StorageNode("node0")]
@@ -96,8 +142,23 @@ class StorageCluster(StorageBackend):
             )
         if replication < 1:
             raise StorageError("replication factor must be >= 1")
+        if max_retries < 0:
+            raise StorageError("max_retries must be >= 0")
         self.replication = min(replication, len(nodes))
         self.contact_node = contact_node
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.hint_capacity = hint_capacity
+        self._sleep = sleep if sleep is not None else time.sleep
+        # Hinted handoff state: per-node FIFO of writes the node missed
+        # while unreachable.  Entries are ("data", [InsertItem...]) or
+        # ("meta", key, value); _hints_pending counts queued readings
+        # (the gauge) and doubles as the cheap are-there-hints test on
+        # the hot paths.
+        self._hints: dict[int, deque] = {}
+        self._hints_lock = threading.Lock()
+        self._hints_pending_count = 0
         # Locality statistics for the partitioning ablation.  Registry
         # counters stay monotonic; reset_stats() moves the baseline the
         # local_ops/remote_ops views subtract.
@@ -108,6 +169,29 @@ class StorageCluster(StorageBackend):
         self._remote_ops = self.metrics.counter(
             "dcdb_cluster_remote_ops_total", "Operations that left the contact node"
         )
+        self._write_retries = self.metrics.counter(
+            "dcdb_storage_write_retries_total",
+            "Replica write attempts retried after a failure",
+        )
+        self._read_failovers = self.metrics.counter(
+            "dcdb_storage_read_failovers_total",
+            "Reads that skipped an unavailable replica",
+        )
+        self._hints_queued = self.metrics.counter(
+            "dcdb_storage_hints_queued_total",
+            "Readings queued as hinted handoffs for unreachable replicas",
+        )
+        self._hints_replayed = self.metrics.counter(
+            "dcdb_storage_hints_replayed_total",
+            "Hinted readings replayed to recovered replicas",
+        )
+        self._hints_dropped = self.metrics.counter(
+            "dcdb_storage_hints_dropped_total",
+            "Hinted readings evicted by the per-node hint capacity",
+        )
+        self.metrics.gauge(
+            "dcdb_storage_hints_pending", "Hinted readings awaiting replay"
+        ).set_function(lambda: self._hints_pending_count)
         self._local_base = 0.0
         self._remote_base = 0.0
 
@@ -119,18 +203,143 @@ class StorageCluster(StorageBackend):
     def remote_ops(self) -> int:
         return int(self._remote_ops.value - self._remote_base)
 
+    @property
+    def hints_pending(self) -> int:
+        """Hinted readings queued for currently-unreachable replicas."""
+        return self._hints_pending_count
+
     def metrics_registries(self) -> list[MetricsRegistry]:
         """This cluster's registry plus every member node's."""
         seen: set[int] = set()
         registries = [self.metrics] + [node.metrics for node in self.nodes]
         return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
 
+    # -- write availability --------------------------------------------------
+
+    def _try_write(self, node_idx: int, items: list[InsertItem]) -> StorageError | None:
+        """Write one replica's sub-batch, retrying with capped backoff.
+
+        Returns None on success; on persistent failure the sub-batch is
+        queued as a hinted handoff and the final error is returned (so
+        the coordinator can propagate the root cause when *every*
+        replica fails).  A node that reports itself down is hinted
+        immediately — retrying a known crash only burns the backoff
+        budget.
+        """
+        node = self.nodes[node_idx]
+        last_error: StorageError = StorageError(
+            f"node {getattr(node, 'name', node_idx)} is down"
+        )
+        for attempt in range(self.max_retries + 1):
+            if not _node_up(node):
+                break
+            try:
+                node.insert_batch(items)
+                self._account(node_idx)
+                return None
+            except StorageError as exc:
+                last_error = exc
+                if attempt >= self.max_retries or not _node_up(node):
+                    logger.warning(
+                        "replica %s failed %d attempts (%s); hinting %d readings",
+                        getattr(node, "name", node_idx),
+                        attempt + 1,
+                        exc,
+                        len(items),
+                    )
+                    break
+                self._write_retries.inc()
+                self._sleep(
+                    min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
+                )
+        self._queue_hint(node_idx, ("data", items), len(items))
+        return last_error
+
+    def _queue_hint(self, node_idx: int, entry: tuple, readings: int) -> None:
+        with self._hints_lock:
+            dq = self._hints.get(node_idx)
+            if dq is None:
+                dq = self._hints.setdefault(node_idx, deque())
+            dq.append(entry)
+            self._hints_pending_count += readings
+            self._hints_queued.inc(readings)
+            # Enforce the per-node bound by evicting oldest-first; a
+            # replica down for longer than the budget loses its oldest
+            # hints (bounded memory beats unbounded growth — the gap is
+            # visible in dcdb_storage_hints_dropped_total).
+            pending_here = sum(self._entry_size(e) for e in dq)
+            while pending_here > self.hint_capacity and len(dq) > 1:
+                evicted = dq.popleft()
+                size = self._entry_size(evicted)
+                pending_here -= size
+                self._hints_pending_count -= size
+                self._hints_dropped.inc(size)
+
+    @staticmethod
+    def _entry_size(entry: tuple) -> int:
+        return len(entry[1]) if entry[0] == "data" else 0
+
+    def replay_hints(self, node_idx: int | None = None) -> int:
+        """Replay queued hints to recovered nodes; returns readings landed.
+
+        Called explicitly by operators/tests and piggybacked on every
+        read so a recovered replica is repaired before it serves (the
+        acceptance path: kill, ingest, restart, query -> complete
+        series).  Hints for still-down nodes stay queued.
+        """
+        replayed = 0
+        indices = [node_idx] if node_idx is not None else list(self._hints)
+        for idx in indices:
+            node = self.nodes[idx]
+            if not _node_up(node):
+                continue
+            while True:
+                with self._hints_lock:
+                    dq = self._hints.get(idx)
+                    if not dq:
+                        break
+                    entry = dq[0]
+                try:
+                    if entry[0] == "data":
+                        node.insert_batch(entry[1])
+                    else:
+                        node.put_metadata(entry[1], entry[2])
+                except StorageError:
+                    break  # node flapped again; keep the hint for later
+                size = self._entry_size(entry)
+                with self._hints_lock:
+                    dq = self._hints.get(idx)
+                    # Only we pop from this deque's head under replay;
+                    # a concurrent replay of the same node may have
+                    # raced us, so re-check identity before popping.
+                    if dq and dq[0] is entry:
+                        dq.popleft()
+                        self._hints_pending_count -= size
+                        self._hints_replayed.inc(size)
+                        replayed += size
+        return replayed
+
+    def _repair_before_read(self) -> None:
+        if self._hints_pending_count:
+            self.replay_hints()
+
     # -- data plane ---------------------------------------------------------
 
     def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        items = [(sid, timestamp, value, ttl_s)]
+        ok = 0
+        last_error: StorageError | None = None
         for node_idx in self.partitioner.replicas_for(sid, self.replication):
-            self.nodes[node_idx].insert(sid, timestamp, value, ttl_s)
-            self._account(node_idx)
+            error = self._try_write(node_idx, items)
+            if error is None:
+                ok += 1
+            else:
+                last_error = error
+        if ok == 0:
+            raise StorageError(
+                f"insert failed on all {self.replication} replicas of {sid}: "
+                f"{last_error}"
+            ) from last_error
 
     def insert_batch(self, items: Iterable[InsertItem]) -> int:
         """Route a batch grouping by owner to amortize lock traffic.
@@ -138,14 +347,25 @@ class StorageCluster(StorageBackend):
         Per-node sub-batches are written concurrently on the shared
         module pool, so replicas and partitions overlap instead of
         serializing behind one another; a single-node cluster skips
-        the grouping pass entirely and hands the iterable straight to
-        the node (no-copy fast path).
+        the grouping pass entirely and hands the list straight to the
+        node (no-copy fast path).
+
+        Failed replicas are retried, then hinted; the call raises only
+        if some reading landed on *no* replica at all (the batching
+        writer then re-queues the whole batch — replay/retry overlap is
+        deduplicated by the nodes' last-write-wins semantics).
         """
+        if not isinstance(items, list):
+            items = list(items)  # materialized once: retries re-send it
         if len(self.nodes) == 1:
-            count = self.nodes[0].insert_batch(items)
-            if count:
-                self._account(0)
-            return count
+            if not items:
+                return 0
+            error = self._try_write(0, items)
+            if error is not None:
+                raise StorageError(
+                    f"insert_batch failed on the only node: {error}"
+                ) from error
+            return len(items)
         per_node: dict[int, list[InsertItem]] = {}
         count = 0
         replicas_for = self.partitioner.replicas_for
@@ -161,31 +381,51 @@ class StorageCluster(StorageBackend):
             return 0
         if len(per_node) == 1:
             ((node_idx, node_items),) = per_node.items()
-            self.nodes[node_idx].insert_batch(node_items)
-            self._account(node_idx)
-            return count
-        pool = _shared_write_pool()
-        futures = [
-            (node_idx, pool.submit(self.nodes[node_idx].insert_batch, node_items))
-            for node_idx, node_items in per_node.items()
-        ]
-        error: BaseException | None = None
-        for node_idx, future in futures:
-            try:
-                future.result()
-                self._account(node_idx)
-            except BaseException as exc:  # propagate after all writes settle
-                error = error if error is not None else exc
-        if error is not None:
-            raise error
+            results = {node_idx: self._try_write(node_idx, node_items)}
+        else:
+            pool = _shared_write_pool()
+            futures = [
+                (node_idx, pool.submit(self._try_write, node_idx, node_items))
+                for node_idx, node_items in per_node.items()
+            ]
+            results = {node_idx: future.result() for node_idx, future in futures}
+        failed = {node_idx for node_idx, err in results.items() if err is not None}
+        if failed:
+            # A reading is lost only if its entire replica set failed;
+            # hints cover partially-failed sets.
+            for item in items:
+                replicas = replicas_for(item[0], replication)
+                if all(node_idx in failed for node_idx in replicas):
+                    cause = results[replicas[0]]
+                    raise StorageError(
+                        f"write failed on all replicas {list(replicas)} of "
+                        f"{item[0]}: {cause}"
+                    ) from cause
         return count
 
     def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
-        # Read from the first live replica; with synchronous
-        # replication any replica holds the full series.
-        node_idx = self.partitioner.replicas_for(sid, self.replication)[0]
-        self._account(node_idx)
-        return self.nodes[node_idx].query(sid, start, end)
+        """Read from the first *live* replica, failing over down the
+        replica list; with synchronous replication (plus hint replay
+        for recovered nodes) any replica holds the full series."""
+        self._repair_before_read()
+        replicas = self.partitioner.replicas_for(sid, self.replication)
+        last_error: StorageError | None = None
+        for node_idx in replicas:
+            node = self.nodes[node_idx]
+            if not _node_up(node):
+                self._read_failovers.inc()
+                continue
+            try:
+                result = node.query(sid, start, end)
+            except StorageError as exc:
+                last_error = exc
+                self._read_failovers.inc()
+                continue
+            self._account(node_idx)
+            return result
+        raise StorageError(
+            f"no live replica of {sid} (tried nodes {list(replicas)})"
+        ) from last_error
 
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int
@@ -194,9 +434,12 @@ class StorageCluster(StorageBackend):
 
         With the hierarchical partitioner and a query at or below the
         partition depth, only the owning node is touched ("directing
-        them directly to the respective server", paper section 4.3);
-        otherwise the scan fans out to every node.
+        them directly to the respective server", paper section 4.3).
+        If that owner is unavailable — or for partitioners without
+        prefix locality — the scan fans out to every live node; the
+        replica dedup set keeps each sensor counted once.
         """
+        self._repair_before_read()
         keep_bits = SID_BITS_PER_LEVEL * levels
         mask = (
             ((1 << keep_bits) - 1) << (SID_LEVELS * SID_BITS_PER_LEVEL - keep_bits)
@@ -207,12 +450,24 @@ class StorageCluster(StorageBackend):
         node_for_prefix = getattr(self.partitioner, "node_for_prefix", None)
         if node_for_prefix is not None:
             single = node_for_prefix(prefix, levels)
+        if single is not None and not _node_up(self.nodes[single]):
+            # Owner down: replicas of its sensors live on other nodes,
+            # so fall back to the full fan-out rather than erroring.
+            self._read_failovers.inc()
+            single = None
         node_indices = [single] if single is not None else list(range(len(self.nodes)))
         seen: set[SensorId] = set()
         for node_idx in node_indices:
-            self._account(node_idx)
             node = self.nodes[node_idx]
-            for sid in node.sids():
+            if not _node_up(node):
+                continue
+            try:
+                node_sids = node.sids()
+            except StorageError:
+                self._read_failovers.inc()
+                continue
+            self._account(node_idx)
+            for sid in node_sids:
                 if (sid.value & mask) != prefix or sid in seen:
                     continue
                 seen.add(sid)
@@ -221,38 +476,80 @@ class StorageCluster(StorageBackend):
                     yield sid, ts, vals
 
     def sids(self) -> list[SensorId]:
+        self._repair_before_read()
         merged: set[SensorId] = set()
         for node in self.nodes:
-            merged.update(node.sids())
+            if not _node_up(node):
+                continue
+            try:
+                merged.update(node.sids())
+            except StorageError:
+                continue
         return sorted(merged)
 
     def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        """Best-effort on live replicas; a down replica catches up via
+        TTL/compaction rather than a replayed delete."""
         removed = 0
         for node_idx in self.partitioner.replicas_for(sid, self.replication):
-            removed = max(removed, self.nodes[node_idx].delete_before(sid, cutoff))
+            node = self.nodes[node_idx]
+            if not _node_up(node):
+                continue
+            try:
+                removed = max(removed, node.delete_before(sid, cutoff))
+            except StorageError:
+                continue
         return removed
 
     # -- metadata (replicated everywhere) -----------------------------------
 
     def put_metadata(self, key: str, value: str) -> None:
-        for node in self.nodes:
-            node.put_metadata(key, value)
+        ok = 0
+        for node_idx, node in enumerate(self.nodes):
+            try:
+                if not _node_up(node):
+                    raise StorageError(f"node {node_idx} down")
+                node.put_metadata(key, value)
+                ok += 1
+            except StorageError:
+                self._queue_hint(node_idx, ("meta", key, value), 0)
+        if ok == 0:
+            raise StorageError(f"metadata write {key!r} failed on every node")
 
     def get_metadata(self, key: str) -> str | None:
-        return self.nodes[self.contact_node].get_metadata(key)
+        return self._metadata_read(lambda node: node.get_metadata(key))
 
     def metadata_keys(self, prefix: str = "") -> list[str]:
-        return self.nodes[self.contact_node].metadata_keys(prefix)
+        return self._metadata_read(lambda node: node.metadata_keys(prefix))
+
+    def _metadata_read(self, fn):
+        """Read from the contact node, failing over round-robin."""
+        self._repair_before_read()
+        n = len(self.nodes)
+        last_error: StorageError | None = None
+        for offset in range(n):
+            node = self.nodes[(self.contact_node + offset) % n]
+            if not _node_up(node):
+                self._read_failovers.inc()
+                continue
+            try:
+                return fn(node)
+            except StorageError as exc:
+                last_error = exc
+                self._read_failovers.inc()
+        raise StorageError("metadata read failed on every node") from last_error
 
     # -- maintenance ----------------------------------------------------------
 
     def compact(self) -> None:
         for node in self.nodes:
-            node.compact()
+            if _node_up(node):
+                node.compact()
 
     def flush(self) -> None:
         for node in self.nodes:
-            node.flush()
+            if _node_up(node):
+                node.flush()
 
     # -- stats ------------------------------------------------------------------
 

@@ -12,6 +12,13 @@ columns.
 
 A node is thread-safe and single-process; distribution is layered on
 top by :mod:`repro.storage.cluster`.
+
+Write idempotency contract: duplicate timestamps are deduplicated
+last-write-wins on the read path and permanently during compaction, so
+*re-applying* a write (a retried replica batch, a hinted-handoff
+replay racing the batching writer's re-queue) never yields duplicate
+readings.  The cluster's failure handling depends on this property;
+keep it when changing the merge paths.
 """
 
 from __future__ import annotations

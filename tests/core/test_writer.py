@@ -5,11 +5,12 @@ import time
 
 import pytest
 
-from repro.common.errors import BackpressureError, ConfigError
+from repro.common.errors import BackpressureError, ConfigError, StorageError
 from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core import payload as payload_mod
 from repro.core.collectagent import BatchingWriter, CollectAgent, WriterConfig
 from repro.core.sid import SensorId
+from repro.faults import FaultyBackend
 from repro.mqtt.inproc import InProcClient, InProcHub
 from repro.storage import MemoryBackend
 
@@ -184,6 +185,102 @@ class TestBackpressure:
         writer.stop()
         ts, _ = backend.query(SID, 0, 10_000)
         assert ts.tolist() == [0, 106, 107, 108, 109]
+
+
+class FailOnceRecordingBackend(MemoryBackend):
+    """Fails the first insert_batch, then records every flushed batch."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_first = True
+        self.batches = []
+
+    def insert_batch(self, batch):
+        batch = list(batch)
+        if self.fail_first:
+            self.fail_first = False
+            raise StorageError("injected flush failure")
+        self.batches.append([item[1] for item in batch])
+        return super().insert_batch(batch)
+
+
+class TestFlushFailure:
+    """A failed flush re-queues its batch instead of dropping it."""
+
+    def make_writer(self, backend, policy="block", retries=4):
+        return BatchingWriter(
+            backend,
+            WriterConfig(
+                max_batch=5,
+                max_delay_ns=0,
+                queue_capacity=100,
+                policy=policy,
+                poll_interval_s=0.001,
+                flush_retries=retries,
+                retry_backoff_s=0.0,
+            ),
+        )
+
+    @pytest.mark.parametrize("policy", ["block", "drop-oldest", "error"])
+    def test_failed_flush_requeued_under_every_policy(self, policy):
+        inner = MemoryBackend()
+        backend = FaultyBackend(inner)
+        backend.fail_next(1)
+        writer = self.make_writer(backend, policy=policy)
+        writer.put(items(*range(10)))
+        assert wait_for(lambda: inner.count(SID, 0, 100) == 10)
+        writer.stop()
+        assert writer.requeued > 0
+        assert writer.lost == 0
+        assert writer.dropped == 0
+        assert writer.status()["flushErrors"] == 1
+
+    def test_requeue_preserves_reading_order(self):
+        backend = FailOnceRecordingBackend()
+        writer = self.make_writer(backend)
+        writer.put(items(*range(5)))  # this flush fails and re-queues
+        writer.put(items(*range(5), base_ts=100))
+        assert wait_for(lambda: backend.count(SID, 0, 1000) == 10)
+        writer.stop()
+        flat = [t for batch in backend.batches for t in batch]
+        # The re-queued batch goes back to the queue head: its readings
+        # reach the backend before anything staged after the failure.
+        assert flat[:5] == [0, 1, 2, 3, 4]
+
+    def test_retries_exhausted_counts_lost(self):
+        inner = MemoryBackend()
+        backend = FaultyBackend(inner)
+        backend.set_down(True)
+        writer = self.make_writer(backend, retries=2)
+        writer.put(items(*range(5)))
+        assert wait_for(lambda: writer.lost == 5)
+        backend.set_down(False)
+        writer.stop()
+        assert inner.count(SID, 0, 100) == 0  # abandoned after the cap
+        assert writer.requeued == 2 * 5  # each retry re-stages the batch
+        status = writer.status()
+        assert status["lost"] == 5
+        assert status["requeued"] == 10
+        assert status["flushRetries"] == 2
+
+    def test_drain_on_stop_survives_transient_failure(self):
+        inner = MemoryBackend()
+        backend = FaultyBackend(inner)
+        writer = BatchingWriter(
+            backend,
+            WriterConfig(
+                max_batch=1_000,
+                max_delay_ns=FOREVER_NS,
+                poll_interval_s=0.001,
+                retry_backoff_s=0.0,
+            ),
+        )
+        for i in range(50):
+            writer.put(items(i, base_ts=i * 10))
+        backend.fail_next(1)  # the shutdown flush itself fails once
+        writer.stop()
+        assert inner.count(SID, 0, 10_000) == 50
+        assert writer.lost == 0
 
 
 class TestWriterMetrics:

@@ -4,13 +4,16 @@ This is the executable form of the paper's section 5.1 claim — the
 storage API is backend-independent, so Cassandra (here: the
 wide-column cluster) can be swapped for another database "without any
 changes in the upstream components".  Each test runs against the
-cluster, the in-memory store and the SQLite store.
+cluster, the in-memory store, the SQLite store — and a quiescent
+:class:`~repro.faults.FaultyBackend`, proving the fault-injection
+wrapper is fully transparent when no faults fire.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.sid import SensorId
+from repro.faults import FaultyBackend
 from repro.storage.cluster import StorageCluster
 from repro.storage.memory import MemoryBackend
 from repro.storage.node import StorageNode
@@ -21,12 +24,14 @@ SID_SIBLING = SensorId.from_codes([1, 2, 4])
 SID_OTHER = SensorId.from_codes([2, 1, 1])
 
 
-@pytest.fixture(params=["cluster", "memory", "sqlite"])
+@pytest.fixture(params=["cluster", "memory", "sqlite", "faulty"])
 def backend(request):
     if request.param == "cluster":
         b = StorageCluster([StorageNode("a"), StorageNode("b")], replication=2)
     elif request.param == "memory":
         b = MemoryBackend()
+    elif request.param == "faulty":
+        b = FaultyBackend(MemoryBackend(), fault_rate=0.0)
     else:
         b = SqliteBackend(":memory:")
     yield b

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.common.errors import StorageError
+from repro.common.errors import NodeDownError, StorageError
 from repro.core.sid import SensorId
+from repro.faults import FlakyNode
 from repro.storage.cluster import StorageCluster
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HashPartitioner, HierarchicalPartitioner
@@ -17,6 +18,17 @@ def make_cluster(n=3, replication=1, partitioner=None):
     nodes = [StorageNode(f"node{i}") for i in range(n)]
     part = partitioner if partitioner is not None else HierarchicalPartitioner(n, levels=2)
     return StorageCluster(nodes, partitioner=part, replication=replication)
+
+
+def make_flaky_cluster(n=3, replication=2, **kwargs):
+    """A cluster whose members can be killed/restarted, no retry sleeps."""
+    nodes = [FlakyNode(StorageNode(f"node{i}")) for i in range(n)]
+    part = HierarchicalPartitioner(n, levels=2)
+    cluster = StorageCluster(
+        nodes, partitioner=part, replication=replication,
+        sleep=lambda _s: None, **kwargs,
+    )
+    return cluster, nodes
 
 
 class TestRouting:
@@ -129,6 +141,52 @@ class TestPrefixScan:
         cluster.insert(sid(1, 1, 1), 1, 1)
         results = list(cluster.query_prefix(sid(1, 1).value, 2, 0, 10))
         assert len(results) == 1
+
+
+class TestReadFailover:
+    """Regression for the "first live replica" comment: query() now
+    really checks liveness instead of reading replica[0] blindly."""
+
+    def test_query_falls_back_with_first_replica_down(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 5, 50)
+        first = cluster.partitioner.replicas_for(s, 2)[0]
+        nodes[first].kill()
+        ts, vals = cluster.query(s, 0, 10)  # served by the second replica
+        assert ts.tolist() == [5] and vals.tolist() == [50]
+        assert cluster.metrics.value("dcdb_storage_read_failovers_total") == 1
+
+    def test_query_all_replicas_down_raises(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 5, 50)
+        for idx in cluster.partitioner.replicas_for(s, 2):
+            nodes[idx].kill()
+        with pytest.raises(StorageError, match="no live replica"):
+            cluster.query(s, 0, 10)
+
+    def test_direct_read_on_down_node_raises_node_down(self):
+        cluster, nodes = make_flaky_cluster(2, replication=2)
+        nodes[0].kill()
+        with pytest.raises(NodeDownError):
+            nodes[0].query(sid(1, 1, 1), 0, 10)
+
+    def test_prefix_scan_survives_owner_down(self):
+        cluster, nodes = make_flaky_cluster(4, replication=2)
+        for leaf in range(1, 6):
+            cluster.insert(sid(1, 1, leaf), 1, leaf)
+        owner = cluster.partitioner.node_for_prefix(sid(1, 1).value, 2)
+        nodes[owner].kill()
+        results = list(cluster.query_prefix(sid(1, 1).value, 2, 0, 10))
+        assert len(results) == 5  # replicas on other nodes cover the subtree
+
+    def test_metadata_read_falls_back_from_contact(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        cluster.put_metadata("k", "v")
+        nodes[cluster.contact_node].kill()
+        assert cluster.get_metadata("k") == "v"
+        assert cluster.metadata_keys() == ["k"]
 
 
 class TestMetadata:
