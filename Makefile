@@ -6,12 +6,12 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke chaos bench bench-baseline experiments examples loc all
+.PHONY: install test metrics-smoke chaos bench bench-query bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke chaos
+test: metrics-smoke chaos bench-query
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
@@ -28,10 +28,20 @@ chaos:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Single-round smoke over the read-path benchmarks: correctness of the
+# pruned/batched/parallel query paths without timing anything (the
+# speedup gates only arm when benchmarking is enabled), so it is cheap
+# enough to ride along with every `make test`.
+bench-query:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_query_path.py \
+		--benchmark-disable
+
 # Record the ingest/storage microbenchmark baseline as pytest-benchmark
 # JSON.  BENCH_ingest.json is committed so regressions in the batched
 # ingest path show up as a diff against the recorded numbers; raw
 # per-round samples are stripped to keep the committed file small.
+# BENCH_query.json does the same for the query path (segment pruning,
+# cluster query_many, parallel subtree scan, batched virtual sensors).
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_microbench_components.py \
@@ -40,6 +50,12 @@ bench-baseline:
 	$(PYTHON) -c "import json; d = json.load(open('BENCH_ingest.json')); \
 		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
 		json.dump(d, open('BENCH_ingest.json', 'w'), indent=1, sort_keys=True)"
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_query_path.py \
+		--benchmark-only --benchmark-json=BENCH_query.json
+	$(PYTHON) -c "import json; d = json.load(open('BENCH_query.json')); \
+		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
+		json.dump(d, open('BENCH_query.json', 'w'), indent=1, sort_keys=True)"
 
 # Regenerate every paper table/figure with the result tables printed.
 experiments:

@@ -114,6 +114,26 @@ class TestStorage:
             return ts.size
 
         assert benchmark(run) == 50_001
+        if benchmark.enabled:
+            # The zero-copy searchsorted path must beat the pre-change
+            # merge (always concatenate + argsort + dedup), kept
+            # in-test as the reference so the gate is machine-independent.
+            import time as time_mod
+
+            from test_query_path import legacy_node_query
+
+            legacy_seconds = float("inf")
+            for _ in range(5):
+                t0 = time_mod.perf_counter()
+                legacy_node_query(node, sid, 25_000, 75_000)
+                legacy_seconds = min(legacy_seconds, time_mod.perf_counter() - t0)
+            new_seconds = benchmark.stats.stats.min
+            print(
+                f"\nquery 100k rows: legacy {legacy_seconds * 1e6:.0f} us, "
+                f"pruned {new_seconds * 1e6:.0f} us "
+                f"({legacy_seconds / new_seconds:.1f}x)"
+            )
+            assert new_seconds < legacy_seconds
 
     def test_compaction_of_8_segments(self, benchmark):
         sid = SensorId.from_codes([1, 1])

@@ -1,0 +1,266 @@
+"""Read-path benchmarks: pruned queries, batched reads, parallel scans.
+
+Each benchmark measures the optimized query path with pytest-benchmark
+and compares it against the pre-change implementation kept in-test
+(the serial per-sensor scan and the argsort-always node merge copied
+from the prior revision), so the speedup gates are machine-independent
+— both sides run on the same box in the same process.
+
+``make bench-query`` smoke-runs this module with
+``--benchmark-disable``; the speedup assertions only fire when
+benchmarking is enabled (``make bench`` / ``make bench-baseline``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sid import SID_BITS_PER_LEVEL, SID_LEVELS, SensorId
+from repro.libdcdb.api import DCDBClient
+from repro.libdcdb.virtualsensors import (
+    Evaluator,
+    VirtualSensorDef,
+    parse_expression,
+)
+from repro.storage.cluster import StorageCluster
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import HashPartitioner
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _best_of(rounds, fn, *args):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- pre-change reference implementations ----------------------------------
+
+
+def legacy_node_query(node, sid, start, end):
+    """The prior revision's ``StorageNode.query``: slice every segment
+    (no min/max pruning), then always concatenate + argsort + dedup —
+    even when a single segment answered the query."""
+    now = node._clock()
+    with node._lock:
+        data = node._data.get(sid)
+        if data is None:
+            return _EMPTY, _EMPTY
+        parts_ts, parts_val = [], []
+        for seg in data.segments:
+            ts, vals = seg.slice(start, end, now)
+            if ts.size:
+                parts_ts.append(ts)
+                parts_val.append(vals)
+        if data.mem_ts:
+            mts = np.asarray(data.mem_ts, dtype=np.int64)
+            mvals = np.asarray(data.mem_val, dtype=np.int64)
+            mexp = np.asarray(data.mem_exp, dtype=np.int64)
+            mask = (mts >= start) & (mts <= end) & (mexp > now)
+            if mask.any():
+                parts_ts.append(mts[mask])
+                parts_val.append(mvals[mask])
+    if not parts_ts:
+        return _EMPTY, _EMPTY
+    ts = np.concatenate(parts_ts)
+    vals = np.concatenate(parts_val)
+    order = np.argsort(ts, kind="stable")
+    ts, vals = ts[order], vals[order]
+    if ts.size > 1:
+        keep = np.empty(ts.size, dtype=bool)
+        keep[:-1] = ts[1:] != ts[:-1]
+        keep[-1] = True
+        ts, vals = ts[keep], vals[keep]
+    return ts, vals
+
+
+def legacy_query_prefix(cluster, prefix, levels, start, end):
+    """The prior revision's serial subtree scan: walk every node's SID
+    list and issue one query round-trip per matching sensor."""
+    keep_bits = SID_BITS_PER_LEVEL * levels
+    mask = (
+        ((1 << keep_bits) - 1) << (SID_LEVELS * SID_BITS_PER_LEVEL - keep_bits)
+        if keep_bits
+        else 0
+    )
+    seen = set()
+    results = []
+    for node in cluster.nodes:
+        for sid in node.sids():
+            if (sid.value & mask) != prefix or sid in seen:
+                continue
+            seen.add(sid)
+            ts, vals = legacy_node_query(node, sid, start, end)
+            if ts.size:
+                results.append((sid, ts, vals))
+    return results
+
+
+def _series_map(results):
+    return {s: (ts.tolist(), vals.tolist()) for s, ts, vals in results}
+
+
+class TestQueryPrefixSubtree:
+    def test_query_prefix_subtree(self, benchmark):
+        """Parallel pruned subtree scan vs the serial per-SID loop.
+
+        64 sensors spread over 4 nodes by hash partitioning (the
+        worst-case layout: every node holds part of the subtree), 16
+        time-ordered segments per sensor — a long-running deployment's
+        flush history — queried over a narrow recent window that lives
+        inside a single segment, the dashboard access pattern the
+        time-index pruning targets: 15 of 16 segments are skipped on
+        their cached bounds and the one overlapping segment is answered
+        zero-copy.  The pre-change reference binary-searches every
+        segment and argsorts the merge regardless.  Gate: >= 3x over
+        the pre-change serial implementation.
+        """
+        nodes = [StorageNode(f"n{i}", flush_threshold=10**9) for i in range(4)]
+        cluster = StorageCluster(nodes, partitioner=HashPartitioner(4))
+        sids = [SensorId.from_codes([1, 1, leaf]) for leaf in range(1, 65)]
+        rows_per_sensor = 2000
+        segments = 16
+        seg_rows = rows_per_sensor // segments
+        for segment in range(segments):
+            lo = segment * seg_rows
+            cluster.insert_batch(
+                [(s, t, t, 0) for s in sids for t in range(lo, lo + seg_rows)]
+            )
+            cluster.flush()
+        prefix = SensorId.from_codes([1, 1]).value
+        window = (6 * seg_rows + 10, 6 * seg_rows + 110)  # inside segment 6
+
+        def scan():
+            return list(cluster.query_prefix(prefix, 2, *window))
+
+        results = benchmark(scan)
+        assert len(results) == 64
+        assert all(ts.size == 101 for _, ts, _ in results)
+        legacy = legacy_query_prefix(cluster, prefix, 2, *window)
+        assert _series_map(results) == _series_map(legacy)
+        if benchmark.enabled:
+            serial_seconds = _best_of(
+                3, legacy_query_prefix, cluster, prefix, 2, *window
+            )
+            parallel_seconds = benchmark.stats.stats.min
+            speedup = serial_seconds / parallel_seconds
+            print(
+                f"\nprefix scan (64 sensors / 4 nodes): serial "
+                f"{serial_seconds * 1e3:.2f} ms, parallel "
+                f"{parallel_seconds * 1e3:.2f} ms ({speedup:.2f}x)"
+            )
+            assert speedup >= 3.0, (
+                f"parallel subtree scan only {speedup:.2f}x over the "
+                f"pre-change serial loop"
+            )
+
+
+class TestClusterQueryMany:
+    def test_query_many_vs_looped(self, benchmark):
+        """Batched cluster read vs one query() round-trip per sensor.
+
+        Gate from the issue: >= 2x for 64 sensors.  Both sides use the
+        *current* node read path — the speedup isolates the per-call
+        cluster overhead and lock round-trips that query_many
+        amortizes.
+        """
+        nodes = [StorageNode(f"n{i}", flush_threshold=10**9) for i in range(4)]
+        cluster = StorageCluster(nodes, partitioner=HashPartitioner(4), replication=2)
+        sids = [SensorId.from_codes([2, 1, leaf]) for leaf in range(1, 65)]
+        cluster.insert_batch([(s, t, t, 0) for s in sids for t in range(512)])
+        cluster.flush()
+
+        def looped():
+            return {s: cluster.query(s, 0, 511) for s in sids}
+
+        def batched():
+            return cluster.query_many(sids, 0, 511)
+
+        result = benchmark(batched)
+        reference = looped()
+        assert set(result) == set(reference)
+        for s in sids:
+            assert np.array_equal(result[s][0], reference[s][0])
+            assert np.array_equal(result[s][1], reference[s][1])
+        if benchmark.enabled:
+            looped_seconds = _best_of(3, looped)
+            batched_seconds = benchmark.stats.stats.min
+            speedup = looped_seconds / batched_seconds
+            print(
+                f"\nquery_many (64 sensors): looped {looped_seconds * 1e3:.2f} ms, "
+                f"batched {batched_seconds * 1e3:.2f} ms ({speedup:.2f}x)"
+            )
+            assert speedup >= 2.0, (
+                f"cluster query_many only {speedup:.2f}x over looped query"
+            )
+
+
+class _SerialResolver:
+    """Hides ``series_many`` so the evaluator takes its pre-change
+    per-topic fetch loop — the serial reference for the benchmark."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def series(self, topic, start, end):
+        return self._inner.series(topic, start, end)
+
+    def subtree_topics(self, prefix):
+        return self._inner.subtree_topics(prefix)
+
+
+class TestVirtualSensorEval:
+    def test_virtual_sensor_eval_batched(self, benchmark):
+        """Virtual-sensor aggregation with batched operand fetches.
+
+        sum() over 32 sensors stored on a 4-node cluster: the batched
+        evaluator fetches the whole subtree through one query_many
+        (parallel underneath) where the pre-change path issued 32
+        sequential cluster queries.  The raw cache is disabled so both
+        sides hit storage every round; results must be bit-identical.
+        """
+        nodes = [StorageNode(f"n{i}", flush_threshold=10**9) for i in range(4)]
+        cluster = StorageCluster(nodes, partitioner=HashPartitioner(4))
+        client = DCDBClient(cluster, cache_size=0)
+        for i in range(32):
+            topic = f"/vb/node{i}/power"
+            sid = SensorId.from_codes([3, 1, i + 1])
+            client.register_topic(topic, sid)
+            cluster.insert_batch(
+                [(sid, t * NS_PER_SEC, 200 + i, 0) for t in range(1, 601)]
+            )
+        cluster.flush()
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="total", expression="sum(</vb>)", unit="W")
+        )
+        ast = parse_expression("sum(</vb>)")
+        span = (NS_PER_SEC, 600 * NS_PER_SEC)
+        batched_eval = client._evaluator
+        serial_eval = Evaluator(_SerialResolver(batched_eval.resolver))
+
+        def batched():
+            return batched_eval.evaluate(ast, *span)
+
+        ts, vals, unit = benchmark(batched)
+        assert vals[0] == sum(200 + i for i in range(32))
+        serial_ts, serial_vals, serial_unit = serial_eval.evaluate(ast, *span)
+        assert np.array_equal(ts, serial_ts)
+        assert np.array_equal(vals, serial_vals)  # bit-identical
+        assert unit == serial_unit
+        if benchmark.enabled:
+            serial_seconds = _best_of(3, serial_eval.evaluate, ast, *span)
+            batched_seconds = benchmark.stats.stats.min
+            speedup = serial_seconds / batched_seconds
+            print(
+                f"\nvirtual sum over 32 sensors: serial {serial_seconds * 1e3:.2f} ms, "
+                f"batched {batched_seconds * 1e3:.2f} ms ({speedup:.2f}x)"
+            )
+            assert speedup >= 1.2, (
+                f"batched virtual-sensor evaluation only {speedup:.2f}x over "
+                f"the per-operand loop"
+            )

@@ -26,7 +26,7 @@ __all__ = ["FaultyBackend"]
 #: Operations subject to probabilistic faults by default.  Metadata and
 #: maintenance ops stay clean unless explicitly listed, so chaos tests
 #: target the data plane without breaking topic->SID bookkeeping.
-DEFAULT_FAIL_OPS = ("insert", "insert_batch", "query", "query_prefix")
+DEFAULT_FAIL_OPS = ("insert", "insert_batch", "query", "query_many", "query_prefix")
 
 
 class FaultyBackend(StorageBackend):
@@ -111,6 +111,12 @@ class FaultyBackend(StorageBackend):
     def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
         self._guard("query")
         return self.backend.query(sid, start, end)
+
+    def query_many(
+        self, sids, start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        self._guard("query_many")
+        return self.backend.query_many(sids, start, end)
 
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int

@@ -95,6 +95,10 @@ class FlakyNode:
         self._guard("query")
         return self.node.query(sid, start, end)
 
+    def query_many(self, sids, start, end):
+        self._guard("query_many")
+        return self.node.query_many(sids, start, end)
+
     def sids(self):
         self._guard("sids")
         return self.node.sids()

@@ -49,7 +49,10 @@ class GrafanaDataSource:
     ) -> None:
         self.client = client
         self.analytics = analytics
-        self.server = JsonHttpServer(host, port)
+        # Share the client's registry so cache hit/miss counters and
+        # libDCDB latency histograms ride along on this server's HTTP
+        # instruments.
+        self.server = JsonHttpServer(host, port, metrics=getattr(client, "metrics", None))
         s = self.server
         s.route("GET", "/", self._health)
         s.route("POST", "/search", self._search)
@@ -92,11 +95,19 @@ class GrafanaDataSource:
         start = int(time_range.get("from_ns", 0))
         end = int(time_range.get("to_ns", (1 << 62)))
         max_points = int(payload.get("maxDataPoints", 1000) or 1000)
+        topics = [t.get("target", "") for t in payload.get("targets", [])]
+        topics = [t for t in topics if t]
+        if len(topics) > 1:
+            # Multi-panel refreshes: one batched storage read primes
+            # the raw cache for every concrete target.  Failures fall
+            # through to the per-target reads below, which report them
+            # per series instead of failing the whole request.
+            try:
+                self.client.prefetch_raw(topics, start, end)
+            except DCDBError:
+                pass
         series = []
-        for target in payload.get("targets", []):
-            topic = target.get("target", "")
-            if not topic:
-                continue
+        for topic in topics:
             try:
                 timestamps, values = self.client.query(topic, start, end)
             except DCDBError as exc:

@@ -18,7 +18,10 @@ tools, the Grafana data source, analysis scripts.  Responsibilities:
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import monotonic, perf_counter
 
 import numpy as np
 
@@ -27,11 +30,15 @@ from repro.common.units import get_converter
 from repro.core.sid import SensorId
 from repro.libdcdb.interpolation import regular_grid, resample_linear
 from repro.libdcdb.virtualsensors import (
+    BinOp,
     Evaluator,
+    Neg,
+    SensorRef,
     VirtualSensorDef,
     parse_expression,
     referenced_sensors,
 )
+from repro.observability import MetricsRegistry
 from repro.storage.backend import StorageBackend
 
 _SIDMAP_PREFIX = "sidmap"
@@ -81,12 +88,104 @@ class SensorConfig:
 
 
 class DCDBClient:
-    """High-level query interface over a :class:`StorageBackend`."""
+    """High-level query interface over a :class:`StorageBackend`.
 
-    def __init__(self, backend: StorageBackend) -> None:
+    Raw series reads go through a small TTL'd LRU cache so dashboards
+    repeating the same (topic, range) query — Grafana refreshes,
+    virtual sensors sharing operands — skip the storage round-trip.
+    Entries expire after ``cache_ttl_s`` seconds (recent data keeps
+    arriving, so staleness must be bounded), are evicted LRU beyond
+    ``cache_size`` entries, and are invalidated explicitly whenever
+    this client writes through (virtual-sensor write-back, topic
+    re-registration).  ``cache_size=0`` or ``cache_ttl_s=0`` disables
+    caching entirely.  ``cache_clock`` injects a monotonic-seconds
+    clock for deterministic expiry tests.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        metrics: MetricsRegistry | None = None,
+        cache_ttl_s: float = 5.0,
+        cache_size: int = 1024,
+        cache_clock=None,
+    ) -> None:
         self.backend = backend
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._sid_cache: dict[str, SensorId] = {}
         self._evaluator = Evaluator(_Resolver(self))
+        self._cache_ttl_s = float(cache_ttl_s)
+        self._cache_size = int(cache_size)
+        self._cache_clock = cache_clock if cache_clock is not None else monotonic
+        self._cache: OrderedDict[
+            tuple[str, int, int], tuple[float, np.ndarray, np.ndarray]
+        ] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = self.metrics.counter(
+            "dcdb_query_cache_hits_total", "libDCDB raw-series cache hits"
+        )
+        self._cache_misses = self.metrics.counter(
+            "dcdb_query_cache_misses_total", "libDCDB raw-series cache misses"
+        )
+        self._query_latency = self.metrics.histogram(
+            "dcdb_libdcdb_query_seconds", "libDCDB-layer query latency", ("op",)
+        )
+
+    # -- raw-series cache ----------------------------------------------------
+
+    @property
+    def _cache_enabled(self) -> bool:
+        return self._cache_size > 0 and self._cache_ttl_s > 0
+
+    def _cache_get(
+        self, key: tuple[str, int, int]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is None or entry[0] <= self._cache_clock():
+                if entry is not None:
+                    del self._cache[key]
+                self._cache_misses.inc()
+                return None
+            self._cache.move_to_end(key)
+            self._cache_hits.inc()
+            return entry[1], entry[2]
+
+    def _cache_put(
+        self, key: tuple[str, int, int], timestamps: np.ndarray, values: np.ndarray
+    ) -> None:
+        # Cache read-only views: one entry may be handed to many
+        # callers, and the arrays can alias storage-internal segments.
+        timestamps = timestamps.view()
+        timestamps.setflags(write=False)
+        values = values.view()
+        values.setflags(write=False)
+        with self._cache_lock:
+            self._cache[key] = (
+                self._cache_clock() + self._cache_ttl_s,
+                timestamps,
+                values,
+            )
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def invalidate_cache(self, topic: str | None = None) -> int:
+        """Drop cached raw series for ``topic`` (or everything).
+
+        Returns the number of entries dropped.  Called automatically
+        after every write this client performs; external writers land
+        within ``cache_ttl_s`` via expiry.
+        """
+        with self._cache_lock:
+            if topic is None:
+                dropped = len(self._cache)
+                self._cache.clear()
+                return dropped
+            stale = [key for key in self._cache if key[0] == topic]
+            for key in stale:
+                del self._cache[key]
+            return len(stale)
 
     # -- topic resolution ---------------------------------------------------
 
@@ -105,6 +204,7 @@ class DCDBClient:
         """Persist a topic->SID mapping (importers, virtual sensors)."""
         self.backend.put_metadata(f"{_SIDMAP_PREFIX}{topic}", sid.hex())
         self._sid_cache[topic] = sid
+        self.invalidate_cache(topic)
 
     def topics(self, prefix: str = "") -> list[str]:
         """All known sensor topics, optionally below a prefix."""
@@ -141,8 +241,79 @@ class DCDBClient:
     # -- queries ---------------------------------------------------------------
 
     def query_raw(self, topic: str, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
-        """Stored integer readings of a concrete sensor."""
-        return self.backend.query(self.sid_of(topic), start, end)
+        """Stored integer readings of a concrete sensor (cached)."""
+        started = perf_counter()
+        key = (topic, start, end)
+        result = self._cache_get(key) if self._cache_enabled else None
+        if result is None:
+            result = self.backend.query(self.sid_of(topic), start, end)
+            if self._cache_enabled:
+                self._cache_put(key, *result)
+        self._query_latency.labels(op="query_raw").observe(perf_counter() - started)
+        return result
+
+    def query_raw_many(
+        self, topics, start: int, end: int
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Bulk :meth:`query_raw`: one batched backend read for all misses.
+
+        Semantically identical to calling ``query_raw`` per topic (the
+        cache is consulted and primed the same way), but all topics
+        absent from the cache travel in a single
+        :meth:`~repro.storage.backend.StorageBackend.query_many` call,
+        which the cluster backend fans out in parallel.  Raises
+        :class:`QueryError` on the first unknown topic, like
+        ``query_raw`` would.
+        """
+        started = perf_counter()
+        unique = list(dict.fromkeys(topics))
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        missing: list[str] = []
+        for topic in unique:
+            cached = (
+                self._cache_get((topic, start, end)) if self._cache_enabled else None
+            )
+            if cached is not None:
+                out[topic] = cached
+            else:
+                missing.append(topic)
+        if missing:
+            sid_by_topic = {topic: self.sid_of(topic) for topic in missing}
+            fetched = self.backend.query_many(
+                list(sid_by_topic.values()), start, end
+            )
+            for topic, sid in sid_by_topic.items():
+                result = fetched[sid]
+                if self._cache_enabled:
+                    self._cache_put((topic, start, end), *result)
+                out[topic] = result
+        self._query_latency.labels(op="query_raw_many").observe(
+            perf_counter() - started
+        )
+        return {topic: out[topic] for topic in unique}
+
+    def prefetch_raw(self, topics, start: int, end: int) -> int:
+        """Warm the raw-series cache for many topics with one bulk read.
+
+        Unknown and virtual topics are skipped silently (virtual
+        sensors are evaluated, not fetched).  Returns the number of
+        topics primed.  A no-op when the cache is disabled — without a
+        cache there is nowhere to keep the prefetched series.
+        """
+        if not self._cache_enabled:
+            return 0
+        concrete: list[str] = []
+        for topic in dict.fromkeys(topics):
+            if self._virtual_def_for(topic) is not None:
+                continue
+            try:
+                self.sid_of(topic)
+            except QueryError:
+                continue
+            concrete.append(topic)
+        if concrete:
+            self.query_raw_many(concrete, start, end)
+        return len(concrete)
 
     def query(
         self, topic: str, start: int, end: int, unit: str | None = None
@@ -154,9 +325,12 @@ class DCDBClient:
         under ``/virtual/`` or names with a stored definition) are
         evaluated lazily with result write-back.
         """
+        started = perf_counter()
         vdef = self._virtual_def_for(topic)
         if vdef is not None:
-            return self._query_virtual(vdef, start, end, unit)
+            result = self._query_virtual(vdef, start, end, unit)
+            self._query_latency.labels(op="query").observe(perf_counter() - started)
+            return result
         config = self.sensor_config(topic)
         timestamps, raw = self.query_raw(topic, start, end)
         values = raw.astype(np.float64)
@@ -165,6 +339,7 @@ class DCDBClient:
         if unit is not None and unit != config.unit:
             converter = get_converter(config.unit, unit)
             values = converter._scale * values + converter._offset
+        self._query_latency.labels(op="query").observe(perf_counter() - started)
         return timestamps, values
 
     # -- virtual sensors -----------------------------------------------------------
@@ -211,6 +386,7 @@ class DCDBClient:
     def delete_virtual_sensor(self, name: str) -> None:
         self.backend.delete_metadata(f"{_VSENSOR_PREFIX}{name}")
         self.backend.delete_metadata(f"{_VCACHE_PREFIX}{name}")
+        self.invalidate_cache(f"/virtual/{name}")
 
     def _virtual_def_for(self, topic: str) -> VirtualSensorDef | None:
         if topic.startswith("/virtual/"):
@@ -246,6 +422,12 @@ class DCDBClient:
         self, vdef: VirtualSensorDef, start: int, end: int
     ) -> tuple[np.ndarray, np.ndarray]:
         node = parse_expression(vdef.expression)
+        # Fetch every concrete operand series in one batched read up
+        # front; the evaluator's per-operand series() calls then hit
+        # the cache.  Aggregation prefixes batch inside series_many.
+        refs = _sensor_refs(node)
+        if refs:
+            self.prefetch_raw(refs, start, end)
         timestamps, values, _unit = self._evaluator.evaluate(node, start, end)
         # Resample onto the definition's regular grid, clipped to the
         # span where real data exists (no extrapolated tails).
@@ -263,6 +445,7 @@ class DCDBClient:
             self.backend.insert_batch(
                 (sid, int(t), int(v), 0) for t, v in zip(grid, scaled)
             )
+            self.invalidate_cache(vdef.topic)  # write-through coherence
         intervals = self._cached_intervals(vdef.name)
         intervals = _merge_intervals(intervals + [(start, end)])
         self.backend.put_metadata(
@@ -337,9 +520,54 @@ class _Resolver:
         timestamps, values = self.client.query(topic, start, end)
         return timestamps, values, config.unit
 
+    def series_many(self, topics, start: int, end: int):
+        """Batched :meth:`series`: concrete topics in one bulk read.
+
+        Returns ``{topic: (timestamps, values, unit)}``.  Virtual
+        topics fall back to per-topic :meth:`series` (each evaluation
+        batches its own operands); concrete topics travel in a single
+        ``query_raw_many`` and are decoded exactly like
+        :meth:`DCDBClient.query` would, so results are bit-identical
+        to the per-topic path.
+        """
+        out: dict[str, tuple] = {}
+        concrete: list[str] = []
+        for topic in topics:
+            if topic in out or topic in concrete:
+                continue
+            if self.client._virtual_def_for(topic) is not None:
+                out[topic] = self.series(topic, start, end)
+            else:
+                concrete.append(topic)
+        if concrete:
+            raw = self.client.query_raw_many(concrete, start, end)
+            for topic in concrete:
+                config = self.client.sensor_config(topic)
+                timestamps, stored = raw[topic]
+                values = stored.astype(np.float64)
+                if config.scale != 1.0:
+                    values = values / config.scale
+                out[topic] = (timestamps, values, config.unit)
+        return out
+
     def subtree_topics(self, prefix: str) -> list[str]:
         normalized = prefix if prefix.startswith("/") else "/" + prefix
         return self.client.topics(normalized)
+
+
+def _sensor_refs(node) -> list[str]:
+    """Concrete ``<topic>`` operands of an expression, in eval order.
+
+    Aggregation prefixes are excluded — their expansion happens inside
+    the evaluator, which batches them through ``series_many``.
+    """
+    if isinstance(node, SensorRef):
+        return [node.topic]
+    if isinstance(node, Neg):
+        return _sensor_refs(node.operand)
+    if isinstance(node, BinOp):
+        return _sensor_refs(node.left) + _sensor_refs(node.right)
+    return []
 
 
 def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:

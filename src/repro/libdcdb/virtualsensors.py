@@ -327,10 +327,18 @@ class Evaluator:
         topics = self.resolver.subtree_topics(node.prefix)
         if not topics:
             raise QueryError(f"no sensors under prefix {node.prefix!r}")
+        # Fetch the whole subtree in one batched read when the
+        # resolver supports it — one storage round-trip instead of one
+        # per sensor under the prefix.
+        series_many = getattr(self.resolver, "series_many", None)
+        if series_many is not None:
+            fetched = series_many(topics, start, end)
+            triples = [fetched[topic] for topic in topics]
+        else:
+            triples = [self.resolver.series(topic, start, end) for topic in topics]
         series = []
         unit: str | None = None
-        for topic in topics:
-            ts, values, sensor_unit = self.resolver.series(topic, start, end)
+        for ts, values, sensor_unit in triples:
             if ts.size == 0:
                 continue
             if unit is None:

@@ -77,6 +77,21 @@ class StorageBackend(abc.ABC):
         empty).  Expired (TTL) entries are excluded.
         """
 
+    def query_many(
+        self, sids: Iterable[SensorId], start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        """Bulk read: the series of every SID in ``sids`` over one range.
+
+        Semantically identical to calling :meth:`query` once per SID —
+        same ordering, TTL filtering and last-write-wins dedup — but
+        backends override it with a batched path (one lock/transaction,
+        parallel replica fan-out).  Returns an entry for *every*
+        requested SID; sensors without data in range map to empty
+        arrays.  This default loops over :meth:`query` so third-party
+        backends keep working unchanged.
+        """
+        return {sid: self.query(sid, start, end) for sid in sids}
+
     @abc.abstractmethod
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int

@@ -54,27 +54,27 @@ from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
 
 logger = logging.getLogger(__name__)
 
-# One process-wide pool shared by every cluster: replica fan-out is
-# I/O-shaped work (per-node lock waits, numpy bulk ops), and a shared
-# pool keeps the thread count bounded no matter how many clusters a
-# test process builds.  Created lazily so importing this module never
-# spawns threads.
-_write_pool_lock = threading.Lock()
-_write_pool: ThreadPoolExecutor | None = None
+# One process-wide pool shared by every cluster: replica write fan-out
+# and subtree read fan-out are both I/O-shaped work (per-node lock
+# waits, numpy bulk ops), and a shared pool keeps the thread count
+# bounded no matter how many clusters a test process builds.  Created
+# lazily so importing this module never spawns threads.
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
 
 
-def _shared_write_pool() -> ThreadPoolExecutor:
-    global _write_pool
-    pool = _write_pool
+def _shared_pool() -> ThreadPoolExecutor:
+    global _pool
+    pool = _pool
     if pool is None:
-        with _write_pool_lock:
-            pool = _write_pool
+        with _pool_lock:
+            pool = _pool
             if pool is None:
                 pool = ThreadPoolExecutor(
                     max_workers=min(16, (os.cpu_count() or 2) * 2),
-                    thread_name_prefix="dcdb-cluster-write",
+                    thread_name_prefix="dcdb-cluster-io",
                 )
-                _write_pool = pool
+                _pool = pool
     return pool
 
 
@@ -82,6 +82,14 @@ def _node_up(node) -> bool:
     """Liveness of a member: plain nodes are always up; fault proxies
     (``repro.faults.FlakyNode``) expose ``is_up``."""
     return getattr(node, "is_up", True)
+
+
+# Below this many SIDs a bulk read runs its per-node groups serially:
+# submitting a future costs ~tens of microseconds and small in-memory
+# groups hold the GIL anyway, so the fan-out only pays for itself on
+# large scans (or backends that release the GIL, which get big batches
+# from the callers that matter).
+_PARALLEL_READ_MIN_SIDS = 256
 
 
 class StorageCluster(StorageBackend):
@@ -145,6 +153,12 @@ class StorageCluster(StorageBackend):
         if max_retries < 0:
             raise StorageError("max_retries must be >= 0")
         self.replication = min(replication, len(nodes))
+        # The partitioner and replication factor are fixed for the
+        # cluster's lifetime, so the replica list of each sensor is
+        # memoized — the lookup sits on every read and write hot path
+        # and hash partitioners recompute a digest per call.  Benign
+        # races just recompute the same tuple.
+        self._replica_cache: dict[SensorId, tuple[int, ...]] = {}
         self.contact_node = contact_node
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
@@ -192,6 +206,11 @@ class StorageCluster(StorageBackend):
         self.metrics.gauge(
             "dcdb_storage_hints_pending", "Hinted readings awaiting replay"
         ).set_function(lambda: self._hints_pending_count)
+        self._query_latency = self.metrics.histogram(
+            "dcdb_cluster_query_seconds",
+            "Cluster-layer read latency",
+            ("op",),
+        )
         self._local_base = 0.0
         self._remote_base = 0.0
 
@@ -323,13 +342,20 @@ class StorageCluster(StorageBackend):
         if self._hints_pending_count:
             self.replay_hints()
 
+    def _replicas(self, sid: SensorId) -> tuple[int, ...]:
+        cached = self._replica_cache.get(sid)
+        if cached is None:
+            cached = tuple(self.partitioner.replicas_for(sid, self.replication))
+            self._replica_cache[sid] = cached
+        return cached
+
     # -- data plane ---------------------------------------------------------
 
     def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
         items = [(sid, timestamp, value, ttl_s)]
         ok = 0
         last_error: StorageError | None = None
-        for node_idx in self.partitioner.replicas_for(sid, self.replication):
+        for node_idx in self._replicas(sid):
             error = self._try_write(node_idx, items)
             if error is None:
                 ok += 1
@@ -368,10 +394,9 @@ class StorageCluster(StorageBackend):
             return len(items)
         per_node: dict[int, list[InsertItem]] = {}
         count = 0
-        replicas_for = self.partitioner.replicas_for
-        replication = self.replication
+        replicas_for = self._replicas
         for item in items:
-            for node_idx in replicas_for(item[0], replication):
+            for node_idx in replicas_for(item[0]):
                 target = per_node.get(node_idx)
                 if target is None:
                     target = per_node.setdefault(node_idx, [])
@@ -383,7 +408,7 @@ class StorageCluster(StorageBackend):
             ((node_idx, node_items),) = per_node.items()
             results = {node_idx: self._try_write(node_idx, node_items)}
         else:
-            pool = _shared_write_pool()
+            pool = _shared_pool()
             futures = [
                 (node_idx, pool.submit(self._try_write, node_idx, node_items))
                 for node_idx, node_items in per_node.items()
@@ -394,7 +419,7 @@ class StorageCluster(StorageBackend):
             # A reading is lost only if its entire replica set failed;
             # hints cover partially-failed sets.
             for item in items:
-                replicas = replicas_for(item[0], replication)
+                replicas = replicas_for(item[0])
                 if all(node_idx in failed for node_idx in replicas):
                     cause = results[replicas[0]]
                     raise StorageError(
@@ -407,8 +432,9 @@ class StorageCluster(StorageBackend):
         """Read from the first *live* replica, failing over down the
         replica list; with synchronous replication (plus hint replay
         for recovered nodes) any replica holds the full series."""
+        t0 = time.perf_counter()
         self._repair_before_read()
-        replicas = self.partitioner.replicas_for(sid, self.replication)
+        replicas = self._replicas(sid)
         last_error: StorageError | None = None
         for node_idx in replicas:
             node = self.nodes[node_idx]
@@ -422,10 +448,106 @@ class StorageCluster(StorageBackend):
                 self._read_failovers.inc()
                 continue
             self._account(node_idx)
+            self._query_latency.labels(op="query").observe(time.perf_counter() - t0)
             return result
         raise StorageError(
             f"no live replica of {sid} (tried nodes {list(replicas)})"
         ) from last_error
+
+    def query_many(
+        self, sids, start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        """Bulk read across many sensors with one coordinated fan-out.
+
+        SIDs are grouped by their first *live* replica, each group is
+        read with a single :meth:`StorageNode.query_many` call (one
+        lock round-trip per node instead of one per SID), and on large
+        batches groups on different nodes run concurrently on the
+        shared cluster pool — the read-side mirror of
+        :meth:`insert_batch`'s write fan-out.  Below
+        ``_PARALLEL_READ_MIN_SIDS`` the groups run serially on the
+        calling thread: dispatching a future costs more than a small
+        GIL-bound group saves.
+
+        Failure semantics match looped :meth:`query`: a node that fails
+        mid-read triggers per-SID failover to the remaining replicas,
+        and only a SID with *no* live replica raises.
+        """
+        t0 = time.perf_counter()
+        self._repair_before_read()
+        unique = list(dict.fromkeys(sids))
+        # Liveness is sampled once for the whole batch (per-SID getattr
+        # probes dominated the grouping pass); a node that dies between
+        # the sample and the read is caught by the per-group failover.
+        up = [_node_up(node) for node in self.nodes]
+        per_node: dict[int, list[SensorId]] = {}
+        for sid in unique:
+            replicas = self._replicas(sid)
+            target = None
+            for node_idx in replicas:
+                if up[node_idx]:
+                    target = node_idx
+                    break
+                self._read_failovers.inc()
+            if target is None:
+                raise StorageError(
+                    f"no live replica of {sid} (tried nodes {list(replicas)})"
+                )
+            group = per_node.get(target)
+            if group is None:
+                group = per_node.setdefault(target, [])
+            group.append(sid)
+        if not per_node:
+            return {}
+
+        def read_group(node_idx: int, group: list[SensorId]):
+            node = self.nodes[node_idx]
+            bulk = getattr(node, "query_many", None)
+            if bulk is not None:
+                return bulk(group, start, end)
+            return {sid: node.query(sid, start, end) for sid in group}
+
+        outcomes: dict[int, dict | StorageError] = {}
+        if len(per_node) == 1 or len(unique) < _PARALLEL_READ_MIN_SIDS:
+            for node_idx, group in per_node.items():
+                try:
+                    outcomes[node_idx] = read_group(node_idx, group)
+                except StorageError as exc:
+                    outcomes[node_idx] = exc
+        else:
+            # The largest group runs on the calling thread while the
+            # rest are in flight — one fewer pool round-trip and the
+            # coordinator does work instead of blocking on futures.
+            pool = _shared_pool()
+            ordered = sorted(per_node.items(), key=lambda kv: len(kv[1]))
+            inline_idx, inline_group = ordered[-1]
+            futures = [
+                (node_idx, pool.submit(read_group, node_idx, group))
+                for node_idx, group in ordered[:-1]
+            ]
+            try:
+                outcomes[inline_idx] = read_group(inline_idx, inline_group)
+            except StorageError as exc:
+                outcomes[inline_idx] = exc
+            for node_idx, future in futures:
+                try:
+                    outcomes[node_idx] = future.result()
+                except StorageError as exc:
+                    outcomes[node_idx] = exc
+        results: dict[SensorId, tuple[np.ndarray, np.ndarray]] = {}
+        for node_idx, group in per_node.items():
+            outcome = outcomes[node_idx]
+            if isinstance(outcome, StorageError):
+                # The grouped replica failed under us: fail over SID by
+                # SID so sensors with other live replicas still return.
+                self._read_failovers.inc()
+                for sid in group:
+                    results[sid] = self.query(sid, start, end)
+            else:
+                results.update(outcome)
+                self._account_many(node_idx, len(group))
+        self._query_latency.labels(op="query_many").observe(time.perf_counter() - t0)
+        return {sid: results[sid] for sid in unique}
 
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int
@@ -436,9 +558,14 @@ class StorageCluster(StorageBackend):
         partition depth, only the owning node is touched ("directing
         them directly to the respective server", paper section 4.3).
         If that owner is unavailable — or for partitioners without
-        prefix locality — the scan fans out to every live node; the
-        replica dedup set keeps each sensor counted once.
+        prefix locality — the scan fans out to every live node
+        *concurrently* on the shared cluster pool, each node serving
+        its whole subtree through one bulk :meth:`StorageNode.query_many`
+        call; the replica dedup pass keeps each sensor counted once and
+        runs in node order, so the result is deterministic regardless
+        of scan completion order.
         """
+        t0 = time.perf_counter()
         self._repair_before_read()
         keep_bits = SID_BITS_PER_LEVEL * levels
         mask = (
@@ -456,24 +583,54 @@ class StorageCluster(StorageBackend):
             self._read_failovers.inc()
             single = None
         node_indices = [single] if single is not None else list(range(len(self.nodes)))
-        seen: set[SensorId] = set()
-        for node_idx in node_indices:
+
+        def scan(node_idx: int):
+            """One node's subtree: (matching sids, per-sid series)."""
             node = self.nodes[node_idx]
             if not _node_up(node):
-                continue
+                return None  # down: skip, replicas cover its sensors
             try:
-                node_sids = node.sids()
+                matching = [
+                    sid for sid in node.sids() if (sid.value & mask) == prefix
+                ]
+                bulk = getattr(node, "query_many", None)
+                if bulk is not None:
+                    series = bulk(matching, start, end)
+                else:
+                    series = {sid: node.query(sid, start, end) for sid in matching}
             except StorageError:
+                return "failed"
+            return matching, series
+
+        if len(node_indices) == 1:
+            outcomes = [scan(node_indices[0])]
+        else:
+            # First node scans on the calling thread, the rest on the
+            # pool: the coordinator contributes a scan instead of
+            # idling on futures.
+            pool = _shared_pool()
+            futures = [pool.submit(scan, idx) for idx in node_indices[1:]]
+            outcomes = [scan(node_indices[0])]
+            outcomes.extend(future.result() for future in futures)
+        results: list[tuple[SensorId, np.ndarray, np.ndarray]] = []
+        seen: set[SensorId] = set()
+        for node_idx, outcome in zip(node_indices, outcomes):
+            if outcome is None:
+                continue
+            if outcome == "failed":
                 self._read_failovers.inc()
                 continue
+            matching, series = outcome
             self._account(node_idx)
-            for sid in node_sids:
-                if (sid.value & mask) != prefix or sid in seen:
+            for sid in matching:
+                if sid in seen:
                     continue
                 seen.add(sid)
-                ts, vals = node.query(sid, start, end)
+                ts, vals = series[sid]
                 if ts.size:
-                    yield sid, ts, vals
+                    results.append((sid, ts, vals))
+        self._query_latency.labels(op="query_prefix").observe(time.perf_counter() - t0)
+        return iter(results)
 
     def sids(self) -> list[SensorId]:
         self._repair_before_read()
@@ -491,7 +648,7 @@ class StorageCluster(StorageBackend):
         """Best-effort on live replicas; a down replica catches up via
         TTL/compaction rather than a replayed delete."""
         removed = 0
-        for node_idx in self.partitioner.replicas_for(sid, self.replication):
+        for node_idx in self._replicas(sid):
             node = self.nodes[node_idx]
             if not _node_up(node):
                 continue
@@ -558,6 +715,16 @@ class StorageCluster(StorageBackend):
             self._local_ops.inc()
         else:
             self._remote_ops.inc()
+
+    def _account_many(self, node_idx: int, count: int) -> None:
+        """Bulk accounting: one op per SID served, matching what the
+        same SIDs would have recorded through looped query()."""
+        if count <= 0:
+            return
+        if node_idx == self.contact_node:
+            self._local_ops.inc(count)
+        else:
+            self._remote_ops.inc(count)
 
     def reset_stats(self) -> None:
         self._local_base = self._local_ops.value

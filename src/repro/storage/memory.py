@@ -56,6 +56,33 @@ class MemoryBackend(StorageBackend):
         order = np.argsort(ts)
         return ts[order], vals[order]
 
+    def query_many(
+        self, sids, start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        """Batched read: one lock acquisition for the whole SID list."""
+        now = self._clock()
+        if not isinstance(sids, (list, tuple)):
+            sids = list(sids)
+        deduped_per_sid: list[dict[int, int]] = []
+        with self._lock:
+            for sid in sids:
+                rows = self._data.get(sid)
+                deduped_per_sid.append(
+                    {t: v for t, v, e in rows if start <= t <= end and e > now}
+                    if rows
+                    else {}
+                )
+        out: dict[SensorId, tuple[np.ndarray, np.ndarray]] = {}
+        for sid, deduped in zip(sids, deduped_per_sid):
+            if not deduped:
+                out[sid] = (_EMPTY, _EMPTY)
+                continue
+            ts = np.fromiter(deduped.keys(), dtype=np.int64, count=len(deduped))
+            vals = np.fromiter(deduped.values(), dtype=np.int64, count=len(deduped))
+            order = np.argsort(ts)
+            out[sid] = (ts[order], vals[order])
+        return out
+
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int
     ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:

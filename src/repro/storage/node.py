@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -37,18 +38,60 @@ _INT64_MAX = (1 << 63) - 1
 
 @dataclass(slots=True)
 class _Segment:
-    """An immutable, time-sorted run of readings for one sensor."""
+    """An immutable, time-sorted, timestamp-deduplicated run of readings.
 
-    timestamps: np.ndarray  # int64, ascending
+    Invariants (established at flush/compaction time): ``timestamps``
+    is strictly ascending — sorted AND deduplicated last-write-wins —
+    and ``min_ts``/``max_ts`` cache the bounds so a query can prune a
+    non-overlapping segment without touching its arrays.  The read
+    path's zero-copy fast path returns views into these arrays, which
+    is only sound because both invariants hold.
+    """
+
+    timestamps: np.ndarray  # int64, strictly ascending
     values: np.ndarray  # int64
     expiries: np.ndarray  # int64 expiry ns; _INT64_MAX = never
+    min_ts: int = field(init=False, default=0)
+    max_ts: int = field(init=False, default=-1)
+    min_expiry: int = field(init=False, default=_INT64_MAX)
+
+    def __post_init__(self) -> None:
+        if self.timestamps.size:
+            self.min_ts = int(self.timestamps[0])
+            self.max_ts = int(self.timestamps[-1])
+            self.min_expiry = int(self.expiries.min())
 
     @property
     def size(self) -> int:
         return int(self.timestamps.size)
 
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.max_ts >= start and self.min_ts <= end
+
     def slice(self, start: int, end: int, now: int) -> tuple[np.ndarray, np.ndarray]:
-        """Rows with start <= t <= end that have not expired at ``now``."""
+        """Rows with start <= t <= end that have not expired at ``now``.
+
+        Binary-searches the sorted timestamps (no boolean mask over the
+        whole segment) and returns *views* when every row is live.
+        ``min_expiry`` (cached at freeze time) lets the common all-live
+        segment skip the expiry mask entirely, and a window covering
+        the whole segment skips the binary search too — the full arrays
+        come back untouched.
+        """
+        if self.min_expiry > now:
+            if start <= self.min_ts and end >= self.max_ts:
+                return self.timestamps, self.values
+            lo = (
+                0
+                if start <= self.min_ts
+                else int(np.searchsorted(self.timestamps, start, side="left"))
+            )
+            hi = (
+                self.timestamps.size
+                if end >= self.max_ts
+                else int(np.searchsorted(self.timestamps, end, side="right"))
+            )
+            return self.timestamps[lo:hi], self.values[lo:hi]
         lo = int(np.searchsorted(self.timestamps, start, side="left"))
         hi = int(np.searchsorted(self.timestamps, end, side="right"))
         ts = self.timestamps[lo:hi]
@@ -97,6 +140,9 @@ class StorageNode:
         self._metadata: dict[str, str] = {}
         self._lock = threading.RLock()
         self._memtable_rows = 0
+        # Sorted SID list served by sids(); rebuilt lazily after the
+        # first insert of a previously-unseen sensor invalidates it.
+        self._sids_cache: list[SensorId] | None = None
         # Operational counters surfaced by the admin tooling and
         # /metrics, labelled by node so cluster-wide merges keep the
         # per-server breakdown.
@@ -109,6 +155,16 @@ class StorageNode:
         ).labels(node=name)
         self._compactions = self.metrics.counter(
             "dcdb_storage_compactions_total", "Per-sensor segment merges", ("node",)
+        ).labels(node=name)
+        self._segments_pruned = self.metrics.counter(
+            "dcdb_storage_segments_pruned_total",
+            "Segments skipped by time-index pruning on the read path",
+            ("node",),
+        ).labels(node=name)
+        self._query_latency = self.metrics.histogram(
+            "dcdb_node_query_seconds",
+            "Node-layer query latency (query and query_many calls)",
+            ("node",),
         ).labels(node=name)
         self.metrics.gauge(
             "dcdb_storage_memtable_rows", "Rows currently in the memtable", ("node",)
@@ -141,6 +197,7 @@ class StorageNode:
             if data is None:
                 data = _SensorData()
                 self._data[sid] = data
+                self._sids_cache = None
             data.mem_ts.append(timestamp)
             data.mem_val.append(value)
             data.mem_exp.append(expiry)
@@ -195,6 +252,7 @@ class StorageNode:
                 if data is None:
                     data = _SensorData()
                     self._data[sid] = data
+                    self._sids_cache = None
                 data.mem_ts.extend(col_ts)
                 data.mem_val.extend(col_val)
                 data.mem_exp.extend(col_exp)
@@ -218,7 +276,20 @@ class StorageNode:
             vals = np.asarray(data.mem_val, dtype=np.int64)
             exp = np.asarray(data.mem_exp, dtype=np.int64)
             order = np.argsort(ts, kind="stable")
-            segment = _Segment(ts[order], vals[order], exp[order])
+            ts, vals, exp = ts[order], vals[order], exp[order]
+            # Deduplicate duplicate timestamps last-write-wins at freeze
+            # time (the stable sort kept insertion order within equal
+            # keys).  Cassandra semantics: the later upsert replaces the
+            # earlier value *and* its TTL.  This establishes the
+            # strictly-ascending segment invariant the zero-copy query
+            # fast path relies on.
+            if ts.size > 1:
+                keep = np.empty(ts.size, dtype=bool)
+                keep[:-1] = ts[1:] != ts[:-1]
+                keep[-1] = True
+                if not keep.all():
+                    ts, vals, exp = ts[keep], vals[keep], exp[keep]
+            segment = _Segment(ts, vals, exp)
             data.mem_ts.clear()
             data.mem_val.clear()
             data.mem_exp.clear()
@@ -266,30 +337,60 @@ class StorageNode:
 
     # -- read path ----------------------------------------------------------
 
-    def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
-        """Time-ordered readings of ``sid`` in [start, end]."""
-        now = self._clock()
-        with self._lock:
-            data = self._data.get(sid)
-            if data is None:
-                return _EMPTY, _EMPTY
-            parts_ts: list[np.ndarray] = []
-            parts_val: list[np.ndarray] = []
-            for seg in data.segments:
-                ts, vals = seg.slice(start, end, now)
-                if ts.size:
-                    parts_ts.append(ts)
-                    parts_val.append(vals)
-            if data.mem_ts:
-                mts = np.asarray(data.mem_ts, dtype=np.int64)
-                mvals = np.asarray(data.mem_val, dtype=np.int64)
-                mexp = np.asarray(data.mem_exp, dtype=np.int64)
-                mask = (mts >= start) & (mts <= end) & (mexp > now)
-                if mask.any():
-                    parts_ts.append(mts[mask])
-                    parts_val.append(mvals[mask])
+    def _stage_locked(
+        self, data: _SensorData, start: int, end: int
+    ) -> tuple[list[_Segment], tuple[np.ndarray, np.ndarray, np.ndarray] | None, int]:
+        """Snapshot one sensor's query inputs while holding the lock.
+
+        Segments are immutable, so overlapping ones are captured by
+        reference after min/max pruning; memtable columns (mutable
+        lists) are frozen into arrays.  Returns ``(segments, memtable
+        snapshot or None, segments pruned)`` — the expensive slicing
+        and merging then happens outside the lock.
+        """
+        segments = [seg for seg in data.segments if seg.overlaps(start, end)]
+        pruned = len(data.segments) - len(segments)
+        mem = None
+        if data.mem_ts:
+            mem = (
+                np.asarray(data.mem_ts, dtype=np.int64),
+                np.asarray(data.mem_val, dtype=np.int64),
+                np.asarray(data.mem_exp, dtype=np.int64),
+            )
+        return segments, mem, pruned
+
+    @staticmethod
+    def _merge_staged(
+        segments: list[_Segment],
+        mem: tuple[np.ndarray, np.ndarray, np.ndarray] | None,
+        start: int,
+        end: int,
+        now: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge staged segments + memtable snapshot into one series."""
+        parts_ts: list[np.ndarray] = []
+        parts_val: list[np.ndarray] = []
+        for seg in segments:
+            ts, vals = seg.slice(start, end, now)
+            if ts.size:
+                parts_ts.append(ts)
+                parts_val.append(vals)
+        mem_contributed = False
+        if mem is not None:
+            mts, mvals, mexp = mem
+            mask = (mts >= start) & (mts <= end) & (mexp > now)
+            if mask.any():
+                parts_ts.append(mts[mask])
+                parts_val.append(mvals[mask])
+                mem_contributed = True
         if not parts_ts:
             return _EMPTY, _EMPTY
+        if len(parts_ts) == 1 and not mem_contributed:
+            # Zero-copy fast path: a single segment slice is already
+            # sorted and timestamp-deduplicated (the segment invariant),
+            # so the views from slice() are the final answer — no
+            # concatenate, no argsort, no fancy-index copy.
+            return parts_ts[0], parts_val[0]
         ts = np.concatenate(parts_ts)
         vals = np.concatenate(parts_val)
         order = np.argsort(ts, kind="stable")
@@ -301,9 +402,69 @@ class StorageNode:
             ts, vals = ts[keep], vals[keep]
         return ts, vals
 
-    def sids(self) -> list[SensorId]:
+    def query(self, sid: SensorId, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Time-ordered readings of ``sid`` in [start, end]."""
+        t0 = perf_counter()
+        now = self._clock()
         with self._lock:
-            return sorted(self._data)
+            data = self._data.get(sid)
+            if data is None:
+                return _EMPTY, _EMPTY
+            segments, mem, pruned = self._stage_locked(data, start, end)
+        if pruned:
+            self._segments_pruned.inc(pruned)
+        result = self._merge_staged(segments, mem, start, end, now)
+        self._query_latency.observe(perf_counter() - t0)
+        return result
+
+    def query_many(
+        self, sids, start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        """Bulk read: the series of every SID in ``sids`` over one range.
+
+        Semantically identical to calling :meth:`query` per SID, but
+        amortizes a single lock acquisition across the whole batch:
+        inputs for all sensors are staged under the lock (cheap — the
+        segments are captured by reference after pruning), then sliced
+        and merged outside it.  Returns an entry for *every* requested
+        SID, with empty arrays for sensors without data in range.
+        """
+        t0 = perf_counter()
+        now = self._clock()
+        if not isinstance(sids, (list, tuple)):
+            sids = list(sids)
+        staged: list[tuple[list[_Segment], tuple, int] | None] = []
+        with self._lock:
+            for sid in sids:
+                data = self._data.get(sid)
+                staged.append(
+                    None if data is None else self._stage_locked(data, start, end)
+                )
+        pruned_total = 0
+        out: dict[SensorId, tuple[np.ndarray, np.ndarray]] = {}
+        for sid, stage in zip(sids, staged):
+            if stage is None:
+                out[sid] = (_EMPTY, _EMPTY)
+                continue
+            segments, mem, pruned = stage
+            pruned_total += pruned
+            out[sid] = self._merge_staged(segments, mem, start, end, now)
+        if pruned_total:
+            self._segments_pruned.inc(pruned_total)
+        self._query_latency.observe(perf_counter() - t0)
+        return out
+
+    def sids(self) -> list[SensorId]:
+        """Sorted SIDs with stored data.
+
+        The list is cached (rebuilt only after a new sensor appears) and
+        shared between callers — treat it as immutable.
+        """
+        with self._lock:
+            cache = self._sids_cache
+            if cache is None:
+                cache = self._sids_cache = sorted(self._data)
+            return cache
 
     def delete_before(self, sid: SensorId, cutoff: int) -> int:
         """Remove readings strictly older than ``cutoff``."""
@@ -312,15 +473,17 @@ class StorageNode:
             data = self._data.get(sid)
             if data is None:
                 return 0
-            kept_ts, kept_val, kept_exp = [], [], []
-            for t, v, e in zip(data.mem_ts, data.mem_val, data.mem_exp):
-                if t >= cutoff:
-                    kept_ts.append(t)
-                    kept_val.append(v)
-                    kept_exp.append(e)
-                else:
-                    removed += 1
-            data.mem_ts, data.mem_val, data.mem_exp = kept_ts, kept_val, kept_exp
+            if data.mem_ts:
+                mts = np.asarray(data.mem_ts, dtype=np.int64)
+                keep = mts >= cutoff
+                dropped = int(keep.size) - int(keep.sum())
+                if dropped:
+                    removed += dropped
+                    mvals = np.asarray(data.mem_val, dtype=np.int64)
+                    mexp = np.asarray(data.mem_exp, dtype=np.int64)
+                    data.mem_ts = mts[keep].tolist()
+                    data.mem_val = mvals[keep].tolist()
+                    data.mem_exp = mexp[keep].tolist()
             new_segments = []
             for seg in data.segments:
                 mask = seg.timestamps >= cutoff

@@ -96,6 +96,47 @@ class SqliteBackend(StorageBackend):
         arr = np.asarray(rows, dtype=np.int64)
         return arr[:, 0], arr[:, 1]
 
+    def query_many(
+        self, sids, start: int, end: int
+    ) -> dict[SensorId, tuple[np.ndarray, np.ndarray]]:
+        """Batched read: one ``IN``-list statement per chunk of SIDs.
+
+        Chunked at 500 SIDs per statement to stay well under SQLite's
+        bound-variable limit.
+        """
+        if not isinstance(sids, (list, tuple)):
+            sids = list(sids)
+        now = self._clock()
+        out: dict[SensorId, tuple[np.ndarray, np.ndarray]] = {
+            sid: (_EMPTY, _EMPTY) for sid in sids
+        }
+        by_hex = {sid.hex(): sid for sid in sids}
+        hexes = list(by_hex)
+        for chunk_start in range(0, len(hexes), 500):
+            chunk = hexes[chunk_start : chunk_start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            with self._lock:
+                cursor = self._conn.execute(
+                    f"SELECT sid, ts, value FROM readings "
+                    f"WHERE sid IN ({placeholders}) "
+                    "AND ts BETWEEN ? AND ? AND expiry > ? ORDER BY sid, ts",
+                    (*chunk, start, end, now),
+                )
+                rows = cursor.fetchall()
+            if not rows:
+                continue
+            # Rows arrive grouped by sid (ORDER BY sid, ts): split the
+            # result into per-sensor runs without a Python-level sort.
+            run_start = 0
+            for i in range(1, len(rows) + 1):
+                if i == len(rows) or rows[i][0] != rows[run_start][0]:
+                    arr = np.asarray(
+                        [r[1:] for r in rows[run_start:i]], dtype=np.int64
+                    )
+                    out[by_hex[rows[run_start][0]]] = (arr[:, 0], arr[:, 1])
+                    run_start = i
+        return out
+
     def query_prefix(
         self, prefix: int, levels: int, start: int, end: int
     ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:

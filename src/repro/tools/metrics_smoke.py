@@ -18,6 +18,7 @@ import sys
 from repro.common.httpjson import http_json, http_text
 from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core.collectagent import CollectAgent, WriterConfig
+from repro.libdcdb.api import DCDBClient
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.pusher import Pusher, PusherConfig
 from repro.core.pusher.restapi import PusherRestApi
@@ -39,6 +40,13 @@ WRITER_METRICS = (
     "dcdb_writer_batch_size",
     "dcdb_writer_flush_duration_seconds",
     "dcdb_writer_readings_dropped_total",
+)
+
+#: libDCDB query-path instruments that must be visible on every scrape.
+QUERY_METRICS = (
+    "dcdb_query_cache_hits_total",
+    "dcdb_query_cache_misses_total",
+    "dcdb_libdcdb_query_seconds",
 )
 
 
@@ -82,6 +90,11 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
         f"{name}: batching-writer instruments present",
         failures,
     )
+    _check(
+        all(metric in families for metric in QUERY_METRICS),
+        f"{name}: libDCDB query-cache instruments present",
+        failures,
+    )
     json_status, doc = http_json("GET", f"{url}?format=json")
     _check(
         json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
@@ -122,6 +135,18 @@ def main() -> int:
         f"({stored}/{agent.readings_stored})",
         failures,
     )
+    # Exercise the libDCDB read path on the shared registry: a repeat
+    # query must be served from the raw-series cache, so both /metrics
+    # endpoints expose non-trivial hit/miss counters.
+    client = DCDBClient(backend, metrics=registry)
+    topics = client.topics()
+    _check(bool(topics), "libDCDB resolves collected topics", failures)
+    if topics:
+        span = (0, SIM_SECONDS * NS_PER_SEC)
+        client.query(topics[0], *span)
+        client.query(topics[0], *span)
+        hits = registry.counter("dcdb_query_cache_hits_total").value
+        _check(hits >= 1, f"raw-series cache served a repeat query ({hits} hits)", failures)
     with PusherRestApi(pusher) as pusher_api, CollectAgentRestApi(agent) as agent_api:
         _scrape("pusher", pusher_api.port, failures)
         _scrape("agent", agent_api.port, failures)

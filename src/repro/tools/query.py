@@ -65,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
             writer.writerow(("sensor", "count", "min", "max", "mean", "std"))
         else:
             writer.writerow(("sensor", "time", "value"))
+        if len(args.topics) > 1:
+            # One batched storage read covers every concrete topic;
+            # the per-topic queries below then hit the raw cache.
+            client.prefetch_raw(args.topics, start, end)
         for topic in args.topics:
             timestamps, values = client.query(topic, start, end, unit=args.unit)
             if args.integral:

@@ -1,0 +1,228 @@
+"""Tests for the libDCDB raw-series cache and batched reads.
+
+Covers the TTL'd LRU cache on :meth:`DCDBClient.query_raw` (hit/miss
+accounting, expiry, eviction, explicit and write-through
+invalidation), the batched ``query_raw_many``/``prefetch_raw`` paths,
+and the cache-coherence requirement that virtual-sensor evaluation is
+bit-identical with the cache enabled and disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sid import SidMapper
+from repro.libdcdb.api import DCDBClient
+from repro.libdcdb.virtualsensors import VirtualSensorDef
+from repro.storage.memory import MemoryBackend
+
+TOPICS = [
+    "/hpc/rack0/node0/power",
+    "/hpc/rack0/node1/power",
+    "/hpc/rack1/node0/power",
+]
+
+
+def make_env(**client_kwargs):
+    backend = MemoryBackend()
+    mapper = SidMapper()
+    for topic in TOPICS:
+        sid = mapper.sid_for_topic(topic)
+        backend.put_metadata(f"sidmap{topic}", sid.hex())
+        for t in range(1, 11):
+            backend.insert(sid, t * NS_PER_SEC, t * 100)
+    client = DCDBClient(backend, **client_kwargs)
+    return client, backend, mapper
+
+
+def counters(client):
+    hits = client.metrics.counter("dcdb_query_cache_hits_total").value
+    misses = client.metrics.counter("dcdb_query_cache_misses_total").value
+    return hits, misses
+
+
+SPAN = (0, 20 * NS_PER_SEC)
+
+
+class TestCacheBasics:
+    def test_repeat_query_hits_cache(self):
+        client, backend, _ = make_env()
+        first = client.query_raw(TOPICS[0], *SPAN)
+        backend.insert(client.sid_of(TOPICS[0]), 99 * NS_PER_SEC, 1)
+        second = client.query_raw(TOPICS[0], *SPAN)  # served from cache
+        assert second[0].tolist() == first[0].tolist()
+        hits, misses = counters(client)
+        assert hits == 1 and misses == 1
+
+    def test_different_range_misses(self):
+        client, _, _ = make_env()
+        client.query_raw(TOPICS[0], *SPAN)
+        client.query_raw(TOPICS[0], 0, 5 * NS_PER_SEC)
+        assert counters(client) == (0, 2)
+
+    def test_cached_arrays_are_read_only(self):
+        client, _, _ = make_env()
+        client.query_raw(TOPICS[0], *SPAN)
+        ts, vals = client.query_raw(TOPICS[0], *SPAN)
+        with pytest.raises(ValueError):
+            ts[0] = 0
+        with pytest.raises(ValueError):
+            vals[0] = 0
+
+    def test_disabled_cache_always_reads_backend(self):
+        client, backend, _ = make_env(cache_size=0)
+        client.query_raw(TOPICS[0], *SPAN)
+        backend.insert(client.sid_of(TOPICS[0]), 15 * NS_PER_SEC, 7)
+        ts, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert 15 * NS_PER_SEC in ts.tolist()
+        assert counters(client) == (0, 0)  # no cache, no accounting
+
+
+class TestTtlAndEviction:
+    def test_entry_expires_after_ttl(self):
+        now = [0.0]
+        client, backend, _ = make_env(cache_ttl_s=5.0, cache_clock=lambda: now[0])
+        client.query_raw(TOPICS[0], *SPAN)
+        backend.insert(client.sid_of(TOPICS[0]), 15 * NS_PER_SEC, 7)
+        now[0] = 4.9
+        ts, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert 15 * NS_PER_SEC not in ts.tolist()  # still cached
+        now[0] = 5.1
+        ts, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert 15 * NS_PER_SEC in ts.tolist()  # expired: fresh read
+        assert counters(client) == (1, 2)
+
+    def test_lru_eviction_beyond_capacity(self):
+        client, _, _ = make_env(cache_size=2)
+        client.query_raw(TOPICS[0], *SPAN)
+        client.query_raw(TOPICS[1], *SPAN)
+        client.query_raw(TOPICS[0], *SPAN)  # refresh LRU order
+        client.query_raw(TOPICS[2], *SPAN)  # evicts TOPICS[1]
+        client.query_raw(TOPICS[0], *SPAN)  # hit
+        client.query_raw(TOPICS[1], *SPAN)  # miss: was evicted
+        hits, misses = counters(client)
+        assert hits == 2 and misses == 4
+
+
+class TestInvalidation:
+    def test_explicit_invalidate_topic(self):
+        client, backend, _ = make_env()
+        client.query_raw(TOPICS[0], *SPAN)
+        client.query_raw(TOPICS[1], *SPAN)
+        assert client.invalidate_cache(TOPICS[0]) == 1
+        backend.insert(client.sid_of(TOPICS[0]), 15 * NS_PER_SEC, 7)
+        ts, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert 15 * NS_PER_SEC in ts.tolist()
+        client.query_raw(TOPICS[1], *SPAN)  # untouched entry still hits
+        assert counters(client)[0] == 1
+
+    def test_invalidate_all(self):
+        client, _, _ = make_env()
+        client.query_raw(TOPICS[0], *SPAN)
+        client.query_raw(TOPICS[1], *SPAN)
+        assert client.invalidate_cache() == 2
+
+    def test_register_topic_invalidates(self):
+        client, _, mapper = make_env()
+        client.query_raw(TOPICS[0], *SPAN)
+        client.register_topic(TOPICS[0], mapper.sid_for_topic(TOPICS[0]))
+        client.query_raw(TOPICS[0], *SPAN)
+        assert counters(client)[0] == 0  # re-registration dropped the entry
+
+
+class TestBatchedReads:
+    def test_query_raw_many_matches_per_topic(self):
+        client, _, _ = make_env(cache_size=0)
+        bulk = client.query_raw_many(TOPICS, *SPAN)
+        assert list(bulk) == TOPICS
+        for topic in TOPICS:
+            ts, vals = client.query_raw(topic, *SPAN)
+            assert bulk[topic][0].tolist() == ts.tolist()
+            assert bulk[topic][1].tolist() == vals.tolist()
+
+    def test_query_raw_many_primes_cache(self):
+        client, _, _ = make_env()
+        client.query_raw_many(TOPICS, *SPAN)
+        for topic in TOPICS:
+            client.query_raw(topic, *SPAN)
+        hits, misses = counters(client)
+        assert hits == 3 and misses == 3
+
+    def test_query_raw_many_unknown_topic_raises(self):
+        client, _, _ = make_env()
+        with pytest.raises(QueryError, match="unknown sensor topic"):
+            client.query_raw_many([TOPICS[0], "/nope"], *SPAN)
+
+    def test_prefetch_skips_unknown_and_virtual(self):
+        client, _, _ = make_env()
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="v", expression=f"<{TOPICS[0]}> * 2")
+        )
+        primed = client.prefetch_raw(
+            [TOPICS[0], "/nope", "/virtual/v", TOPICS[1]], *SPAN
+        )
+        assert primed == 2
+        client.query_raw(TOPICS[0], *SPAN)
+        client.query_raw(TOPICS[1], *SPAN)
+        assert counters(client)[0] == 2  # both served from the prefetch
+
+    def test_prefetch_noop_when_cache_disabled(self):
+        client, _, _ = make_env(cache_size=0)
+        assert client.prefetch_raw(TOPICS, *SPAN) == 0
+
+
+class TestVirtualSensorCoherence:
+    EXPR = (
+        f"(sum(<{'/'.join(TOPICS[0].split('/')[:2])}>) + <{TOPICS[2]}>) / 1000"
+    )
+
+    def _eval(self, **client_kwargs):
+        client, _, _ = make_env(**client_kwargs)
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="total", expression=self.EXPR)
+        )
+        return client.evaluate_virtual("total", 0, 20 * NS_PER_SEC)
+
+    def test_bit_identical_with_cache_on_and_off(self):
+        ts_on, vals_on = self._eval()
+        ts_off, vals_off = self._eval(cache_size=0)
+        assert np.array_equal(ts_on, ts_off)
+        assert np.array_equal(vals_on, vals_off)  # exact, not approximate
+
+    def test_evaluation_uses_batched_reads(self):
+        client, backend, _ = make_env()
+        calls = {"query": 0, "query_many": 0}
+        original_query, original_many = backend.query, backend.query_many
+
+        def counting_query(*args):
+            calls["query"] += 1
+            return original_query(*args)
+
+        def counting_many(*args):
+            calls["query_many"] += 1
+            return original_many(*args)
+
+        backend.query = counting_query
+        backend.query_many = counting_many
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="total", expression="sum(</hpc>)")
+        )
+        client.evaluate_virtual("total", 0, 20 * NS_PER_SEC)
+        assert calls["query_many"] == 1  # whole subtree in one bulk read
+        assert calls["query"] == 0
+
+    def test_write_back_invalidates_result_topic(self):
+        client, backend, _ = make_env()
+        client.define_virtual_sensor(
+            VirtualSensorDef(name="total", expression="sum(</hpc>)")
+        )
+        client.query("/virtual/total", 0, 20 * NS_PER_SEC)  # evaluate + write back
+        first = client.query_raw("/virtual/total", 0, 40 * NS_PER_SEC)  # cached
+        for topic in TOPICS:
+            backend.insert(client.sid_of(topic), 30 * NS_PER_SEC, 1000)
+        # A wider query re-evaluates and writes back more rows; the
+        # write-through invalidation must drop the stale cached series.
+        client.query("/virtual/total", 0, 40 * NS_PER_SEC)
+        second = client.query_raw("/virtual/total", 0, 40 * NS_PER_SEC)
+        assert second[0].size > first[0].size

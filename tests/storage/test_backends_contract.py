@@ -100,6 +100,34 @@ class TestDataContract:
         found = {s for s, _, _ in results}
         assert found == {SID, SID_SIBLING}
 
+    def test_query_many_matches_looped_query(self, backend):
+        for i, sid in enumerate((SID, SID_SIBLING, SID_OTHER)):
+            for t in range(10):
+                backend.insert(sid, t * 10, t + i * 100)
+        result = backend.query_many([SID, SID_SIBLING, SID_OTHER], 15, 75)
+        assert set(result) == {SID, SID_SIBLING, SID_OTHER}
+        for sid in (SID, SID_SIBLING, SID_OTHER):
+            ts, vals = backend.query(sid, 15, 75)
+            assert result[sid][0].tolist() == ts.tolist()
+            assert result[sid][1].tolist() == vals.tolist()
+
+    def test_query_many_last_write_wins(self, backend):
+        backend.insert(SID, 5, 1)
+        backend.insert(SID, 5, 2)
+        backend.insert(SID_OTHER, 5, 7)
+        result = backend.query_many([SID, SID_OTHER], 0, 10)
+        assert result[SID][0].tolist() == [5] and result[SID][1].tolist() == [2]
+        assert result[SID_OTHER][1].tolist() == [7]
+
+    def test_query_many_empty_range_and_unknown_sid(self, backend):
+        backend.insert(SID, 100, 1)
+        # SID has no rows in [0, 10]; SID_OTHER was never written.
+        result = backend.query_many([SID, SID_OTHER], 0, 10)
+        for sid in (SID, SID_OTHER):
+            ts, vals = result[sid]
+            assert ts.size == 0 and vals.size == 0
+            assert ts.dtype == np.int64
+
     def test_negative_values(self, backend):
         backend.insert(SID, 1, -(2**40))
         _, vals = backend.query(SID, 0, 10)

@@ -226,6 +226,64 @@ class TestStats:
             )
 
 
+class TestQueryMany:
+    def test_matches_looped_query(self):
+        cluster = make_cluster(3, replication=2)
+        sids = [sid(1, i, j) for i in range(1, 4) for j in range(1, 5)]
+        for k, s in enumerate(sids):
+            for t in range(10):
+                cluster.insert(s, t, t + k * 100)
+        result = cluster.query_many(sids, 2, 7)
+        assert list(result) == sids  # input order preserved
+        for s in sids:
+            ts, vals = cluster.query(s, 2, 7)
+            assert result[s][0].tolist() == ts.tolist()
+            assert result[s][1].tolist() == vals.tolist()
+
+    def test_duplicate_and_unknown_sids(self):
+        cluster = make_cluster(2)
+        s = sid(1, 1, 1)
+        unknown = sid(1, 2, 1)
+        cluster.insert(s, 1, 10)
+        result = cluster.query_many([s, s, unknown], 0, 10)
+        assert list(result) == [s, unknown]  # duplicates collapse
+        assert result[s][1].tolist() == [10]
+        assert result[unknown][0].size == 0
+
+    def test_failover_to_live_replica(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 5, 50)
+        first = cluster.partitioner.replicas_for(s, 2)[0]
+        nodes[first].kill()
+        result = cluster.query_many([s], 0, 10)
+        assert result[s][0].tolist() == [5] and result[s][1].tolist() == [50]
+        assert cluster.metrics.value("dcdb_storage_read_failovers_total") >= 1
+
+    def test_all_replicas_down_raises(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 5, 50)
+        for idx in cluster.partitioner.replicas_for(s, 2):
+            nodes[idx].kill()
+        with pytest.raises(StorageError, match="no live replica"):
+            cluster.query_many([s], 0, 10)
+
+    def test_group_read_failure_falls_back_per_sid(self):
+        cluster, nodes = make_flaky_cluster(3, replication=2)
+        s = sid(1, 1, 1)
+        cluster.insert(s, 5, 50)
+        first = cluster.partitioner.replicas_for(s, 2)[0]
+
+        def boom(sids, start, end):
+            raise StorageError("flaky bulk read")
+
+        nodes[first].query_many = boom  # bulk path fails, query() still works
+        result = cluster.query_many([s], 0, 10)
+        assert result[s][1].tolist() == [50]
+        assert cluster.metrics.value("dcdb_storage_read_failovers_total") >= 1
+
+
 class TestParallelFanOut:
     def test_replicated_batch_lands_on_all_replicas(self):
         cluster = make_cluster(4, replication=2)

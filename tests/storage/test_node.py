@@ -184,6 +184,92 @@ class TestDeleteBefore:
         assert node.delete_before(SID_A, 100) == 0
 
 
+class TestQueryPath:
+    def _pruned(self, node):
+        family = node.metrics.counter(
+            "dcdb_storage_segments_pruned_total", labelnames=("node",)
+        )
+        return family.value
+
+    def test_non_overlapping_segments_pruned(self):
+        node = StorageNode()
+        for base in (0, 1000, 2000):
+            for t in range(base, base + 10):
+                node.insert(SID_A, t, t)
+            node.flush()
+        assert node.segment_count == 3
+        before = self._pruned(node)
+        ts, _ = node.query(SID_A, 1000, 1009)
+        assert ts.tolist() == list(range(1000, 1010))
+        assert self._pruned(node) - before == 2  # first and last segment skipped
+
+    def test_single_segment_query_returns_views(self):
+        node = StorageNode()
+        for t in range(100):
+            node.insert(SID_A, t, t)
+        node.flush()
+        ts, vals = node.query(SID_A, 10, 20)
+        assert ts.tolist() == list(range(10, 21))
+        # The fast path must not copy: both arrays are views into the
+        # frozen segment.
+        assert ts.base is not None and vals.base is not None
+
+    def test_fast_path_skipped_when_memtable_has_rows(self):
+        node = StorageNode()
+        for t in range(10):
+            node.insert(SID_A, t, t)
+        node.flush()
+        node.insert(SID_A, 5, 99)  # memtable overwrite of a segment row
+        ts, vals = node.query(SID_A, 0, 100)
+        assert ts.tolist() == list(range(10))
+        assert vals.tolist()[5] == 99  # LWW across segment + memtable
+
+    def test_query_many_matches_per_sid_query(self):
+        node = StorageNode()
+        for t in (5, 1, 3, 1, 9):
+            node.insert(SID_A, t, t * 10)
+            node.insert(SID_B, t, -t)
+        node.flush()
+        node.insert(SID_A, 2, 22)  # memtable rows on top of a segment
+        result = node.query_many([SID_A, SID_B], 0, 100)
+        assert set(result) == {SID_A, SID_B}
+        for sid in (SID_A, SID_B):
+            ts, vals = node.query(sid, 0, 100)
+            assert result[sid][0].tolist() == ts.tolist()
+            assert result[sid][1].tolist() == vals.tolist()
+
+    def test_query_many_unknown_sid_gets_empty_entry(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 1)
+        result = node.query_many([SID_A, SID_B], 0, 10)
+        assert result[SID_B][0].size == 0 and result[SID_B][1].size == 0
+
+    def test_sids_cache_invalidated_by_new_sensor(self):
+        node = StorageNode()
+        node.insert(SID_B, 1, 1)
+        assert node.sids() == [SID_B]
+        node.insert(SID_B, 2, 2)  # same sensor: cached list still valid
+        assert node.sids() == [SID_B]
+        node.insert(SID_A, 1, 1)  # new sensor: cache must be rebuilt
+        assert node.sids() == [SID_A, SID_B]
+
+    def test_sids_cache_invalidated_by_batch(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 1)
+        assert node.sids() == [SID_A]
+        node.insert_batch([(SID_B, t, t, 0) for t in range(5)])
+        assert node.sids() == [SID_A, SID_B]
+
+    def test_flush_deduplicates_segment_timestamps(self):
+        node = StorageNode()
+        node.insert(SID_A, 1, 10)
+        node.insert(SID_A, 1, 99)
+        node.flush()
+        assert node.row_count == 1  # LWW applied at freeze time
+        _, vals = node.query(SID_A, 0, 10)
+        assert vals.tolist() == [99]
+
+
 class TestPropertyBased:
     @given(
         st.lists(
