@@ -28,8 +28,8 @@ from repro.core import payload as payload_mod
 from repro.core.collectagent.writer import BatchingWriter, WriterConfig
 from repro.core.sensor import SensorCache
 from repro.core.sid import PersistentSidMapper, SensorId
-from repro.mqtt.broker import PublishOnlyBroker
 from repro.mqtt.packets import Publish
+from repro.mqtt.transport import get_transport
 from repro.observability import MetricsRegistry, PipelineTracer
 from repro.storage.backend import StorageBackend
 
@@ -45,7 +45,12 @@ class CollectAgent:
         Destination storage.
     broker:
         Transport endpoint exposing ``add_publish_hook``; when None a
-        TCP :class:`PublishOnlyBroker` is created on ``host:port``.
+        publish-only broker is built from ``transport`` on
+        ``host:port``.
+    transport:
+        Transport selector used when ``broker`` is None: ``"tcp"``
+        (default), ``"inproc"``, or a
+        :class:`~repro.mqtt.transport.Transport` instance.
     cache_maxage_ns:
         Window of the agent-side sensor cache.
     default_ttl_s:
@@ -71,6 +76,7 @@ class CollectAgent:
         clock=None,
         trace_sample_every: int = 1,
         writer_config: WriterConfig | None = None,
+        transport=None,
     ) -> None:
         self.backend = backend
         # The agent and its broker share ONE registry so status() and
@@ -79,11 +85,14 @@ class CollectAgent:
         if metrics is None:
             metrics = getattr(broker, "metrics", None) if broker is not None else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.broker = (
-            broker
-            if broker is not None
-            else PublishOnlyBroker(host, port, metrics=self.metrics)
-        )
+        if broker is None:
+            self.transport = get_transport(transport)
+            broker = self.transport.make_broker(
+                publish_only=True, host=host, port=port, metrics=self.metrics
+            )
+        else:
+            self.transport = transport
+        self.broker = broker
         # Component codes are coordinated through backend metadata so
         # several Collect Agents sharing one Storage Backend (and
         # restarts of this agent) agree on the topic->SID mapping.

@@ -51,6 +51,10 @@ class PusherConfig:
     mqtt_prefix: str = "/test/host0"
     broker_host: str = "127.0.0.1"
     broker_port: int = 1883
+    #: Transport used when no client object is injected: "tcp" builds
+    #: a reconnecting MQTTClient, "inproc" an InProcClient (the hub is
+    #: then reachable via the transport instance).
+    transport: str = "tcp"
     qos: int = 0
     #: Number of sampling threads (paper evaluation uses 2).
     threads: int = 2
@@ -99,15 +103,21 @@ class Pusher:
         self.config = config if config is not None else PusherConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if client is None:
-            from repro.mqtt.client import MQTTClient
+            from repro.mqtt.transport import get_transport
 
-            client = MQTTClient(
-                client_id=f"pusher{self.config.mqtt_prefix.replace('/', '-')}",
+            transport = get_transport(self.config.transport)
+            client = transport.make_client(
+                f"pusher{self.config.mqtt_prefix.replace('/', '-')}",
                 host=self.config.broker_host,
                 port=self.config.broker_port,
                 metrics=self.metrics,
             )
         self.client = client
+        # The event-loop client reconnects on its own; hook its
+        # re-establishment signal so the Pusher re-announces metadata
+        # and its reconnect counter stays truthful.
+        if getattr(client, "on_reconnect", "absent") is None:
+            client.on_reconnect = self._on_client_reconnect
         self._clock = clock if clock is not None else now_ns
         self.plugins: dict[str, Plugin] = {}
         self._lock = threading.RLock()
@@ -380,14 +390,29 @@ class Pusher:
             self._publish_failures.inc()
             self._try_reconnect()
 
+    def _on_client_reconnect(self) -> None:
+        """The client re-established its session on its own (event-loop
+        transport): count it and re-announce sensor metadata so a
+        restarted Collect Agent relearns units and scaling factors."""
+        self._reconnects.inc()
+        logger.info("client auto-reconnected; re-announcing metadata")
+        self.announce_metadata()
+
     def _try_reconnect(self) -> None:
         """Re-establish the MQTT connection after a publish failure.
 
         A Collect Agent restart must not require restarting every
         Pusher in the facility.  Attempts are rate-limited to one per
         ``RECONNECT_BACKOFF_NS`` so a down agent costs one connect
-        attempt per window, not one per reading.
+        attempt per window, not one per reading.  Clients with their
+        own reconnect machinery (the event-loop MQTTClient) are left
+        alone once they have connected — closing them here would race
+        the in-flight replay.
         """
+        if getattr(self.client, "auto_reconnect", False) and getattr(
+            self.client, "ever_connected", False
+        ):
+            return
         now = self._clock()
         if now - self._last_reconnect_ns < self.RECONNECT_BACKOFF_NS:
             return

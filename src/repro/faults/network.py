@@ -2,15 +2,22 @@
 
 :class:`BrokerFaultInjector` plugs into
 :class:`~repro.mqtt.broker.MQTTBroker` (``fault_injector=`` or
-``set_fault_injector``) and is consulted once per ``recv`` chunk on
-each client reader thread.  It can
+``set_fault_injector``) through the event loop's stable injection
+seam: the broker wires it as each connection's ``data_filter``
+(:class:`~repro.mqtt.eventloop.Connection`), so it is consulted once
+per recv chunk on the loop thread — no reader-thread internals
+involved.  It can
 
 * ``drop`` the chunk — the bytes vanish as if the network ate them
   (the client's QoS-1 PUBLISH then times out waiting for its PUBACK,
   which is exactly the signal a real Pusher uses to re-publish);
 * ``disconnect`` the client — the socket is closed mid-stream, firing
   the session's last-will path, as a crashed Pusher or a network
-  partition would.
+  partition would;
+* ``stall`` the connection — reading from it pauses for a configured
+  interval while the socket stays open, modelling a congested path or
+  a wedged peer (the broker's keepalive enforcement still sees the
+  session as silent).
 
 Decisions come from plan substreams (deterministic per seed) plus
 explicit one-shot triggers for scripted scenarios ("cut pusher-3 after
@@ -23,43 +30,61 @@ import threading
 
 from repro.faults.plan import FaultPlan
 
-__all__ = ["BrokerFaultInjector", "DROP", "DISCONNECT"]
+__all__ = ["BrokerFaultInjector", "DROP", "DISCONNECT", "STALL"]
 
 DROP = "drop"
 DISCONNECT = "disconnect"
+STALL = "stall"
 
 
 class BrokerFaultInjector:
-    """Per-recv fault decisions for broker reader threads."""
+    """Per-recv-chunk fault decisions for the broker's event loop."""
 
     def __init__(
         self,
         plan: FaultPlan | None = None,
         drop_rate: float = 0.0,
         disconnect_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 0.05,
         stream: str = "broker-network",
     ) -> None:
-        for name, rate in (("drop_rate", drop_rate), ("disconnect_rate", disconnect_rate)):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("disconnect_rate", disconnect_rate),
+            ("stall_rate", stall_rate),
+        ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         self.plan = plan if plan is not None else FaultPlan()
         self.drop_rate = drop_rate
         self.disconnect_rate = disconnect_rate
+        self.stall_rate = stall_rate
+        self.stall_seconds = stall_seconds
         self.stream = stream
         self._lock = threading.Lock()
-        # client_id -> remaining recv chunks before a forced disconnect;
+        # client_id -> remaining recv chunks before a forced action;
         # None key applies to every client.
         self._disconnect_after: dict[str | None, int] = {}
+        self._stall_after: dict[str | None, int] = {}
         self.drops = 0
         self.disconnects = 0
+        self.stalls = 0
 
     def disconnect_client_after(self, client_id: str | None, chunks: int = 0) -> None:
         """Arm a one-shot disconnect after ``chunks`` further recvs."""
         with self._lock:
             self._disconnect_after[client_id] = chunks
 
-    def on_data(self, client_id: str | None, data: bytes) -> str | None:
-        """Called by the broker per recv chunk; returns an action or None."""
+    def stall_client_after(self, client_id: str | None, chunks: int = 0) -> None:
+        """Arm a one-shot read stall after ``chunks`` further recvs."""
+        with self._lock:
+            self._stall_after[client_id] = chunks
+
+    def on_data(self, client_id: str | None, data: bytes):
+        """Per-recv-chunk decision: None, "drop", "disconnect", or
+        ("stall", seconds).  Called on the broker's event-loop thread
+        (the ``data_filter`` seam of each connection)."""
         with self._lock:
             for key in (client_id, None):
                 remaining = self._disconnect_after.get(key)
@@ -69,9 +94,18 @@ class BrokerFaultInjector:
                         self.disconnects += 1
                         return DISCONNECT
                     self._disconnect_after[key] = remaining - 1
+            for key in (client_id, None):
+                remaining = self._stall_after.get(key)
+                if remaining is not None:
+                    if remaining <= 0:
+                        del self._stall_after[key]
+                        self.stalls += 1
+                        return (STALL, self.stall_seconds)
+                    self._stall_after[key] = remaining - 1
         # Probabilistic faults: disconnect checked first (rarer, more
-        # violent), then drop.  Each consults its own decision so the
-        # draw sequence per stream is one-per-question, deterministic.
+        # violent), then drop, then stall.  Each consults its own
+        # decision so the draw sequence per stream is one-per-question,
+        # deterministic.
         if self.disconnect_rate > 0.0 and self.plan.chance(
             f"{self.stream}-disconnect", self.disconnect_rate
         ):
@@ -82,4 +116,10 @@ class BrokerFaultInjector:
             with self._lock:
                 self.drops += 1
             return DROP
+        if self.stall_rate > 0.0 and self.plan.chance(
+            f"{self.stream}-stall", self.stall_rate
+        ):
+            with self._lock:
+                self.stalls += 1
+            return (STALL, self.stall_seconds)
         return None

@@ -10,13 +10,23 @@ publish path.  This package reproduces that stack in pure Python:
   decoder used on socket reads.
 * :mod:`repro.mqtt.topics` -- topic-name validation and the
   subscription trie with ``+``/``#`` wildcard matching.
-* :mod:`repro.mqtt.broker` -- a threaded TCP broker.  The general
-  broker supports subscriptions; :class:`~repro.mqtt.broker.PublishOnlyBroker`
+* :mod:`repro.mqtt.eventloop` -- the single-threaded selector event
+  loop and non-blocking connection state machine shared by broker and
+  client (O(1) transport threads, bounded write buffers).
+* :mod:`repro.mqtt.broker` -- the event-loop TCP broker with
+  server-side keepalive enforcement.  The general broker supports
+  subscriptions; :class:`~repro.mqtt.broker.PublishOnlyBroker`
   mirrors the Collect Agent's stripped-down variant (paper section 4.2).
-* :mod:`repro.mqtt.client` -- a blocking client with a background
-  receive loop, QoS 0/1 publishing, subscriptions and keepalive.
+* :mod:`repro.mqtt.client` -- a blocking-API client on the event
+  loop: QoS 0/1 publishing, subscriptions, keepalive timers, and
+  automatic reconnection with session re-establishment.
 * :mod:`repro.mqtt.inproc` -- an in-process hub with the same client
   API for simulations that must not pay socket overhead.
+* :mod:`repro.mqtt.transport` -- the :class:`Transport` seam letting
+  components pick TCP or in-proc endpoints by configuration.
+
+See docs/transport.md for the event-loop architecture, keepalive and
+backpressure semantics, and tuning knobs.
 """
 
 from repro.mqtt.packets import (
@@ -41,9 +51,16 @@ from repro.mqtt.topics import (
     topic_matches,
     SubscriptionTree,
 )
+from repro.mqtt.eventloop import Connection, EventLoop
 from repro.mqtt.broker import MQTTBroker, PublishOnlyBroker
 from repro.mqtt.client import MQTTClient
 from repro.mqtt.inproc import InProcHub, InProcClient
+from repro.mqtt.transport import (
+    Transport,
+    TCPTransport,
+    InProcTransport,
+    get_transport,
+)
 
 __all__ = [
     "Connect",
@@ -64,9 +81,15 @@ __all__ = [
     "validate_filter",
     "topic_matches",
     "SubscriptionTree",
+    "EventLoop",
+    "Connection",
     "MQTTBroker",
     "PublishOnlyBroker",
     "MQTTClient",
     "InProcHub",
     "InProcClient",
+    "Transport",
+    "TCPTransport",
+    "InProcTransport",
+    "get_transport",
 ]

@@ -1,4 +1,4 @@
-"""Blocking MQTT client with a background receive loop.
+"""Event-loop MQTT client with automatic reconnection.
 
 This is the Pusher side of the transport (paper section 4.1: the MQTT
 Client component "periodically extracts the data from the sensors in
@@ -10,10 +10,33 @@ supports:
   tracking, for configurations that need at-least-once delivery;
 * subscriptions with per-message callbacks (used by tests and by
   third-party consumers against the full broker);
-* automatic PINGREQ keepalives.
+* keepalive PINGREQs as an event-loop timer (the dedicated ping
+  thread of the previous revision is gone);
+* automatic reconnection with capped exponential backoff and session
+  re-establishment — subscriptions are replayed and unacked QoS-1
+  publishes are re-sent with the DUP flag, so a Collect Agent restart
+  costs a Pusher nothing but the outage window.
 
-The client is thread-safe: multiple plugin threads may publish
-concurrently; socket writes are serialized with a lock.
+All socket I/O runs on one :class:`~repro.mqtt.eventloop.EventLoop`
+thread per client.  The public API stays blocking and thread-safe:
+multiple plugin threads may publish concurrently; writes go through
+the connection's buffered non-blocking writer.
+
+Reconnect semantics for publishers:
+
+* QoS 1 publishes issued while the connection is down (but the client
+  has connected before and auto-reconnect is on) are QUEUED into the
+  bounded in-flight window and replayed on session re-establishment,
+  instead of raising as the previous revision did.
+* QoS 0 publishes in the same window still raise
+  :class:`TransportError` (callers like the Pusher count failures on
+  it) but are additionally counted in
+  ``dcdb_client_qos0_drops_total`` — fire-and-forget readings lost to
+  the outage are visible on /metrics.
+
+``on_reconnect`` (if set) is invoked from the event-loop thread after
+every successful automatic re-establishment; the Pusher uses it to
+re-announce sensor metadata.
 """
 
 from __future__ import annotations
@@ -25,20 +48,43 @@ from typing import Callable
 
 from repro.common.errors import TransportError
 from repro.mqtt import packets as pkt
-from repro.mqtt.topics import validate_filter, validate_topic
+from repro.mqtt.eventloop import Connection, EventLoop, Timer
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
 from repro.observability import MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
 MessageCallback = Callable[[str, bytes], None]
 
+#: How long a reconnect attempt waits for the TCP connect + CONNACK
+#: before giving up and backing off again.
+RECONNECT_ATTEMPT_TIMEOUT_S = 2.0
+CONNACK_GUARD_S = 5.0
+
+
+class _Inflight:
+    """One QoS-1 publish awaiting its PUBACK (or a connection)."""
+
+    __slots__ = ("packet_id", "topic", "payload", "retain", "event", "sent")
+
+    def __init__(self, packet_id: int, topic: str, payload: bytes, retain: bool) -> None:
+        self.packet_id = packet_id
+        self.topic = topic
+        self.payload = payload
+        self.retain = retain
+        self.event = threading.Event()
+        self.sent = False  # written to some connection at least once
+
 
 class MQTTClient:
-    """A synchronous MQTT 3.1.1 client.
+    """A synchronous MQTT 3.1.1 client on an event loop.
 
     Parameters mirror the subset of Mosquitto options DCDB uses.  The
     object may be used as a context manager; ``connect`` must be called
-    before any publish/subscribe operation.
+    before any publish/subscribe operation.  With ``reconnect=True``
+    (the default) a lost connection is re-established automatically
+    with exponential backoff between ``reconnect_min_delay_s`` and
+    ``reconnect_max_delay_s``.
     """
 
     def __init__(
@@ -51,6 +97,9 @@ class MQTTClient:
         password: bytes | None = None,
         max_inflight: int = 64,
         metrics: MetricsRegistry | None = None,
+        reconnect: bool = True,
+        reconnect_min_delay_s: float = 0.1,
+        reconnect_max_delay_s: float = 5.0,
     ) -> None:
         self.client_id = client_id
         self.host = host
@@ -58,19 +107,34 @@ class MQTTClient:
         self.keepalive = keepalive
         self.username = username
         self.password = password
-        self._sock: socket.socket | None = None
-        self._send_lock = threading.Lock()
-        self._reader: threading.Thread | None = None
-        self._pinger: threading.Thread | None = None
-        self._stop = threading.Event()
+        self.max_inflight = max_inflight
+        self.auto_reconnect = reconnect
+        self.reconnect_min_delay_s = reconnect_min_delay_s
+        self.reconnect_max_delay_s = reconnect_max_delay_s
+        #: Set once the first session is established; gates both the
+        #: reconnect machinery and the QoS-1 queueing window.
+        self.ever_connected = False
+        #: Invoked (loop thread) after each automatic re-establishment.
+        self.on_reconnect: Callable[[], None] | None = None
+        self._loop: EventLoop | None = None
+        self._conn: Connection | None = None
         self._connack = threading.Event()
         self._connack_code: int | None = None
+        self._connected = False  # CONNACK accepted on the current conn
+        self._closing = False
+        self._reconnect_pending = False
+        self._reconnect_delay_s = reconnect_min_delay_s
+        self._ping_timer: Timer | None = None
+        self._reconnect_timer: Timer | None = None
+        self._connack_guard: Timer | None = None
         self._next_packet_id = 1
         self._id_lock = threading.Lock()
-        self._inflight: dict[int, threading.Event] = {}
+        self._inflight: dict[int, _Inflight] = {}  # insertion-ordered
+        self._inflight_lock = threading.Lock()
         self._inflight_sem = threading.Semaphore(max_inflight)
         self._suback_events: dict[int, threading.Event] = {}
         self._suback_codes: dict[int, tuple[int, ...]] = {}
+        self._subs: dict[str, int] = {}  # pattern -> qos, for resubscribe
         self._callbacks: list[tuple[str, MessageCallback]] = []
         self.on_message: MessageCallback | None = None
         # Registry counters: several plugin threads publish through
@@ -82,6 +146,14 @@ class MQTTClient:
         self._bytes_sent = self.metrics.counter(
             "dcdb_client_bytes_sent_total", "Encoded bytes written to the broker socket"
         )
+        self._reconnects_counter = self.metrics.counter(
+            "dcdb_client_reconnects_total",
+            "Automatic broker reconnections completed by this client",
+        )
+        self._qos0_drops = self.metrics.counter(
+            "dcdb_client_qos0_drops_total",
+            "QoS 0 publishes dropped while disconnected",
+        )
 
     @property
     def messages_sent(self) -> int:
@@ -91,28 +163,33 @@ class MQTTClient:
     def bytes_sent(self) -> int:
         return int(self._bytes_sent.value)
 
+    @property
+    def reconnects(self) -> int:
+        return int(self._reconnects_counter.value)
+
+    @property
+    def qos0_drops(self) -> int:
+        return int(self._qos0_drops.value)
+
     # -- lifecycle ------------------------------------------------------
 
     def connect(self, timeout: float = 5.0) -> None:
         """Open the TCP connection and perform the MQTT handshake."""
         sock = socket.create_connection((self.host, self.port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.settimeout(None)
-        self._sock = sock
-        self._stop.clear()
+        self._closing = False
         self._connack.clear()
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"mqtt-client-{self.client_id}", daemon=True
-        )
-        self._reader.start()
-        self._send(
-            pkt.Connect(
-                client_id=self.client_id,
-                keepalive=self.keepalive,
-                username=self.username,
-                password=self.password,
-            ).encode()
-        )
+        self._connack_code = None
+        self._reconnect_delay_s = self.reconnect_min_delay_s
+        loop = self._loop
+        if loop is None or not loop.running:
+            loop = EventLoop(name=f"mqtt-client-{self.client_id}")
+            self._loop = loop
+            loop.start()
+        conn = self._make_connection(loop, sock)
+        self._conn = conn
+        conn.attach()
+        self._send_connect(conn)
         if not self._connack.wait(timeout):
             self.close()
             raise TransportError("timed out waiting for CONNACK")
@@ -120,37 +197,51 @@ class MQTTClient:
             code = self._connack_code
             self.close()
             raise TransportError(f"connection refused (return code {code})")
-        if self.keepalive > 0:
-            self._pinger = threading.Thread(
-                target=self._ping_loop, name=f"mqtt-ping-{self.client_id}", daemon=True
-            )
-            self._pinger.start()
 
     def disconnect(self) -> None:
-        """Send DISCONNECT and close the socket."""
-        if self._sock is not None:
-            try:
-                self._send(pkt.Disconnect().encode())
-            except OSError:
-                pass
+        """Send DISCONNECT and close the connection."""
+        # Flag intent before the handshake: the broker closes the socket
+        # on DISCONNECT, and that close racing ahead of ours must not be
+        # mistaken for a lost connection (which would schedule a
+        # reconnect attempt).
+        self._closing = True
+        conn = self._conn
+        if conn is not None and self._connected:
+            conn.write(pkt.Disconnect().encode())
         self.close()
 
     def close(self) -> None:
-        """Tear down the connection without the DISCONNECT handshake."""
-        self._stop.set()
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
-        # Unblock any publishers waiting on PUBACKs.
-        for event in list(self._inflight.values()):
-            event.set()
+        """Tear down the connection without the DISCONNECT handshake.
+
+        The client stays reusable: a later ``connect()`` builds a fresh
+        event loop.  Pending QoS-1 publishes are abandoned and their
+        waiters unblocked.
+        """
+        self._closing = True
+        self._connected = False
+        for timer in (self._ping_timer, self._reconnect_timer, self._connack_guard):
+            if timer is not None:
+                timer.cancel()
+        self._ping_timer = self._reconnect_timer = self._connack_guard = None
+        loop = self._loop
+        self._loop = None
+        if loop is not None:
+            loop.stop(join=True)
+        conn = self._conn
+        self._conn = None
+        if conn is not None:
+            conn.close()  # loop stopped: teardown runs inline
+        with self._inflight_lock:
+            abandoned = list(self._inflight.values())
+            self._inflight.clear()
+        for record in abandoned:
+            record.event.set()
+            self._inflight_sem.release()
+        self._connack.set()  # unblock any connect() waiter
 
     @property
     def connected(self) -> bool:
-        return self._sock is not None and self._connack.is_set() and not self._stop.is_set()
+        return self._conn is not None and self._connected and not self._closing
 
     def __enter__(self) -> "MQTTClient":
         self.connect()
@@ -174,31 +265,62 @@ class MQTTClient:
 
         With ``qos=1`` the message enters the bounded in-flight window;
         ``wait_ack=True`` additionally blocks until the broker's PUBACK
-        arrives (or raises on timeout).
+        arrives (or raises on timeout).  During a reconnect window,
+        QoS-1 messages queue (replayed on re-establishment) while QoS-0
+        messages raise and are counted as drops.
         """
         validate_topic(topic)
         if qos == 0:
-            self._send(pkt.Publish(topic=topic, payload=payload, retain=retain).encode())
+            conn = self._conn
+            if conn is None or not self._connected:
+                if self.ever_connected:
+                    self._qos0_drops.inc()
+                raise TransportError("client is not connected")
+            data = pkt.Publish(topic=topic, payload=payload, retain=retain).encode()
+            if not conn.write(data):
+                self._qos0_drops.inc()
+                raise TransportError("client is not connected")
+            self._bytes_sent.inc(len(data))
             self._messages_sent.inc()
             return
+        in_reconnect_window = (
+            self.auto_reconnect and self.ever_connected and not self._closing
+        )
+        if not self._connected and not in_reconnect_window:
+            raise TransportError("client is not connected")
         self._inflight_sem.acquire()
         packet_id = self._allocate_packet_id()
-        acked = threading.Event()
-        self._inflight[packet_id] = acked
-        try:
-            self._send(
-                pkt.Publish(
-                    topic=topic, payload=payload, qos=1, retain=retain, packet_id=packet_id
-                ).encode()
-            )
-            self._messages_sent.inc()
-            if wait_ack and not acked.wait(timeout):
+        record = _Inflight(packet_id, topic, payload, retain)
+        with self._inflight_lock:
+            self._inflight[packet_id] = record
+        conn = self._conn
+        if self._connected and conn is not None:
+            self._send_inflight(conn, record, dup=False)
+        # else: queued; session re-establishment replays it.
+        if wait_ack:
+            if not record.event.wait(timeout):
+                with self._inflight_lock:
+                    still_mine = self._inflight.pop(packet_id, None)
+                if still_mine is not None:
+                    self._inflight_sem.release()
                 raise TransportError(f"PUBACK timeout for packet {packet_id}")
-        finally:
-            if wait_ack or acked.is_set():
-                self._inflight.pop(packet_id, None)
-                self._inflight_sem.release()
-            # Otherwise the ack handler releases when PUBACK arrives.
+            if self._closing:
+                raise TransportError("client closed while awaiting PUBACK")
+
+    def _send_inflight(self, conn: Connection, record: _Inflight, dup: bool) -> None:
+        data = pkt.Publish(
+            topic=record.topic,
+            payload=record.payload,
+            qos=1,
+            retain=record.retain,
+            dup=dup,
+            packet_id=record.packet_id,
+        ).encode()
+        if conn.write(data):
+            self._bytes_sent.inc(len(data))
+            if not record.sent:
+                record.sent = True
+                self._messages_sent.inc()
 
     # -- subscriptions ----------------------------------------------------
 
@@ -213,6 +335,8 @@ class MQTTClient:
 
         Raises :class:`TransportError` if the broker rejects the filter
         (as the Collect Agent's publish-only broker always does).
+        Accepted subscriptions are replayed automatically after a
+        reconnect.
         """
         validate_filter(pattern)
         packet_id = self._allocate_packet_id()
@@ -236,11 +360,13 @@ class MQTTClient:
             raise
         finally:
             self._suback_events.pop(packet_id, None)
+        self._subs[pattern] = qos
         return codes[0]
 
     def unsubscribe(self, pattern: str) -> None:
         packet_id = self._allocate_packet_id()
         self._send(pkt.Unsubscribe(packet_id=packet_id, topics=(pattern,)).encode())
+        self._subs.pop(pattern, None)
         self._callbacks = [(p, cb) for p, cb in self._callbacks if p != pattern]
 
     # -- internals --------------------------------------------------------
@@ -251,44 +377,47 @@ class MQTTClient:
             self._next_packet_id = pid % 0xFFFF + 1
             return pid
 
+    def _make_connection(self, loop: EventLoop, sock: socket.socket) -> Connection:
+        return Connection(
+            loop,
+            sock,
+            on_packet=self._on_packet,
+            on_close=self._on_conn_close,
+            on_error=self._on_protocol_error,
+            label=f"client-{self.client_id}",
+        )
+
+    def _send_connect(self, conn: Connection) -> None:
+        data = pkt.Connect(
+            client_id=self.client_id,
+            keepalive=self.keepalive,
+            username=self.username,
+            password=self.password,
+        ).encode()
+        if conn.write(data):
+            self._bytes_sent.inc(len(data))
+
     def _send(self, data: bytes) -> None:
-        sock = self._sock
-        if sock is None:
+        conn = self._conn
+        if conn is None or not self._connected:
             raise TransportError("client is not connected")
-        with self._send_lock:
-            sock.sendall(data)
+        if not conn.write(data):
+            raise TransportError("client is not connected")
         self._bytes_sent.inc(len(data))
 
-    def _read_loop(self) -> None:
-        decoder = pkt.StreamDecoder()
-        while not self._stop.is_set():
-            sock = self._sock
-            if sock is None:
-                break
-            try:
-                data = sock.recv(65536)
-            except OSError:
-                break
-            if not data:
-                break
-            try:
-                received = decoder.feed(data)
-            except TransportError as exc:
-                logger.warning("client %s: protocol error: %s", self.client_id, exc)
-                break
-            for packet in received:
-                self._dispatch(packet)
-        self._stop.set()
-        self._connack.set()  # unblock a connect() waiting on a dead socket
+    # -- event-loop handlers ----------------------------------------------
 
-    def _dispatch(self, packet: pkt.Packet) -> None:
+    def _on_protocol_error(self, conn: Connection, exc: Exception) -> None:
+        logger.warning("client %s: protocol error: %s", self.client_id, exc)
+
+    def _on_packet(self, conn: Connection, packet: pkt.Packet) -> None:
         if isinstance(packet, pkt.ConnAck):
-            self._connack_code = packet.return_code
-            self._connack.set()
+            self._handle_connack(conn, packet)
         elif isinstance(packet, pkt.PubAck):
-            event = self._inflight.pop(packet.packet_id, None)
-            if event is not None:
-                event.set()
+            with self._inflight_lock:
+                record = self._inflight.pop(packet.packet_id, None)
+            if record is not None:
+                record.event.set()
                 self._inflight_sem.release()
         elif isinstance(packet, pkt.SubAck):
             self._suback_codes[packet.packet_id] = packet.return_codes
@@ -297,19 +426,143 @@ class MQTTClient:
                 event.set()
         elif isinstance(packet, pkt.Publish):
             if packet.qos == 1 and packet.packet_id is not None:
-                try:
-                    self._send(pkt.PubAck(packet_id=packet.packet_id).encode())
-                except (TransportError, OSError):
-                    pass
+                conn.write(pkt.PubAck(packet_id=packet.packet_id).encode())
             self._deliver(packet.topic, packet.payload)
         elif isinstance(packet, pkt.PingResp):
             pass
         else:
             logger.debug("client %s: ignoring %s", self.client_id, type(packet).__name__)
 
-    def _deliver(self, topic: str, payload: bytes) -> None:
-        from repro.mqtt.topics import topic_matches
+    def _handle_connack(self, conn: Connection, packet: pkt.ConnAck) -> None:
+        self._connack_code = packet.return_code
+        if self._connack_guard is not None:
+            self._connack_guard.cancel()
+            self._connack_guard = None
+        if packet.return_code != pkt.CONNACK_ACCEPTED:
+            was_reconnect = self._reconnect_pending
+            self._reconnect_pending = False
+            self._connack.set()
+            if was_reconnect:
+                logger.warning(
+                    "client %s: reconnect refused (return code %d)",
+                    self.client_id,
+                    packet.return_code,
+                )
+                conn.close()  # on_close schedules the next backoff step
+            return
+        self._session_established(conn)
 
+    def _session_established(self, conn: Connection) -> None:
+        was_reconnect = self._reconnect_pending
+        self._reconnect_pending = False
+        self._connected = True
+        self.ever_connected = True
+        self._reconnect_delay_s = self.reconnect_min_delay_s
+        self._start_ping_timer()
+        self._connack.set()
+        if was_reconnect:
+            # Session re-establishment: subscriptions first, then the
+            # unacked QoS-1 window in publish order (DUP set on
+            # anything that already hit the wire once).
+            for pattern, qos in list(self._subs.items()):
+                pid = self._allocate_packet_id()
+                conn.write(pkt.Subscribe(packet_id=pid, topics=((pattern, qos),)).encode())
+            with self._inflight_lock:
+                pending = list(self._inflight.values())
+            for record in pending:
+                self._send_inflight(conn, record, dup=record.sent)
+            self._reconnects_counter.inc()
+            logger.info(
+                "client %s: reconnected to %s:%d (replayed %d in-flight)",
+                self.client_id,
+                self.host,
+                self.port,
+                len(pending),
+            )
+            callback = self.on_reconnect
+            if callback is not None:
+                try:
+                    callback()
+                except Exception:  # noqa: BLE001 - user hook
+                    logger.exception("on_reconnect hook failed for %s", self.client_id)
+
+    def _start_ping_timer(self) -> None:
+        if self.keepalive <= 0:
+            return
+        loop = self._loop
+        if loop is None or not loop.running:
+            return
+        interval = max(self.keepalive * 0.5, 1.0)
+
+        def tick() -> None:
+            if self._closing or not self._connected:
+                return
+            conn = self._conn
+            if conn is not None:
+                conn.write(pkt.PingReq().encode())
+            self._ping_timer = loop.call_later(interval, tick)
+
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+        self._ping_timer = loop.call_later(interval, tick)
+
+    def _on_conn_close(self, conn: Connection) -> None:
+        if conn is not self._conn:
+            return
+        was_connected = self._connected
+        self._connected = False
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+            self._ping_timer = None
+        self._connack.set()  # unblock a connect() waiting on a dead socket
+        if self._closing or not self.auto_reconnect or not self.ever_connected:
+            return
+        if was_connected:
+            logger.warning(
+                "client %s: connection to %s:%d lost, reconnecting",
+                self.client_id,
+                self.host,
+                self.port,
+            )
+        self._schedule_reconnect()
+
+    def _schedule_reconnect(self) -> None:
+        loop = self._loop
+        if loop is None or not loop.running or self._closing:
+            return
+        delay = self._reconnect_delay_s
+        self._reconnect_delay_s = min(delay * 2, self.reconnect_max_delay_s)
+        self._reconnect_timer = loop.call_later(delay, self._reconnect_attempt)
+
+    def _reconnect_attempt(self) -> None:
+        self._reconnect_timer = None
+        if self._closing or self._connected:
+            return
+        loop = self._loop
+        if loop is None or not loop.running:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=RECONNECT_ATTEMPT_TIMEOUT_S
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            self._schedule_reconnect()
+            return
+        self._reconnect_pending = True
+        conn = self._make_connection(loop, sock)
+        self._conn = conn
+        conn.attach()
+        self._send_connect(conn)
+
+        def guard() -> None:
+            self._connack_guard = None
+            if not self._connected and conn is self._conn:
+                conn.close()  # no CONNACK: back off and retry
+
+        self._connack_guard = loop.call_later(CONNACK_GUARD_S, guard)
+
+    def _deliver(self, topic: str, payload: bytes) -> None:
         delivered = False
         for pattern, callback in self._callbacks:
             if topic_matches(pattern, topic):
@@ -317,11 +570,3 @@ class MQTTClient:
                 delivered = True
         if not delivered and self.on_message is not None:
             self.on_message(topic, payload)
-
-    def _ping_loop(self) -> None:
-        interval = max(self.keepalive * 0.5, 1.0)
-        while not self._stop.wait(interval):
-            try:
-                self._send(pkt.PingReq().encode())
-            except (TransportError, OSError):
-                break

@@ -61,7 +61,38 @@ class InProcHub:
         self.metrics.gauge(
             "dcdb_broker_connected_clients", "Currently attached in-proc clients"
         ).set_function(lambda: self.connected_clients)
+        # Event-loop transport parity: the same metric families exist on
+        # both transports so dashboards work unchanged.  Keepalive and
+        # write buffering have no in-proc equivalent, so these stay 0.
+        self.metrics.gauge(
+            "dcdb_broker_connections", "Open transport connections"
+        ).set_function(lambda: self.connected_clients)
+        self._keepalive_disconnects = self.metrics.counter(
+            "dcdb_broker_keepalive_disconnects_total",
+            "Sessions disconnected for exceeding 1.5x their keepalive",
+        )
+        self.metrics.gauge(
+            "dcdb_broker_write_buffer_bytes",
+            "Bytes queued in per-session outgoing write buffers",
+        )
         self.tracer = PipelineTracer(self.metrics, sample_every=trace_sample_every)
+
+    #: TCP-broker parity: a hub has no listener, so its "port" is None
+    #: and lifecycle calls are no-ops.  Lets transport-agnostic callers
+    #: (CollectAgent, SimulatedCluster) treat both brokers uniformly.
+    port: int | None = None
+
+    def start(self) -> None:
+        return
+
+    def stop(self) -> None:
+        return
+
+    def __enter__(self) -> "InProcHub":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return
 
     def add_publish_hook(self, hook: PublishHook) -> None:
         self._hooks.append(hook)
@@ -144,12 +175,25 @@ class InProcClient:
         self._key: int | None = None
         self._callbacks: list[tuple[str, MessageCallback]] = []
         self.on_message: MessageCallback | None = None
+        # Surface parity with MQTTClient's reconnect machinery: an
+        # in-proc link cannot drop, so these are inert but present.
+        self.auto_reconnect = False
+        self.ever_connected = False
+        self.on_reconnect: Callable[[], None] | None = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._messages_sent = self.metrics.counter(
             "dcdb_client_messages_sent_total", "Messages published by this client"
         )
         self._bytes_sent = self.metrics.counter(
             "dcdb_client_bytes_sent_total", "Payload+topic bytes published"
+        )
+        self._reconnects_counter = self.metrics.counter(
+            "dcdb_client_reconnects_total",
+            "Automatic broker reconnections completed by this client",
+        )
+        self._qos0_drops = self.metrics.counter(
+            "dcdb_client_qos0_drops_total",
+            "QoS 0 publishes dropped while disconnected",
         )
 
     @property
@@ -165,6 +209,7 @@ class InProcClient:
     def connect(self, timeout: float = 5.0) -> None:
         if self._key is None:
             self._key = self.hub._attach(self)
+            self.ever_connected = True
 
     def disconnect(self) -> None:
         if self._key is not None:
@@ -196,6 +241,8 @@ class InProcClient:
         timeout: float = 5.0,
     ) -> None:
         if self._key is None:
+            if qos == 0 and self.ever_connected:
+                self._qos0_drops.inc()
             raise TransportError("client is not connected")
         validate_topic(topic)
         packet = pkt.Publish(

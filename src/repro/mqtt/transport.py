@@ -1,0 +1,190 @@
+"""Transport selection seam: TCP event loop or in-process hub.
+
+The components above the transport — :class:`CollectAgent`,
+:class:`Pusher`, the daemons, the simulation — do not care whether
+readings travel over real sockets or function calls; they need a
+broker-shaped endpoint and a client-shaped endpoint.  A
+:class:`Transport` builds both, so callers select the wire by
+configuration (``transport = tcp`` / ``transport = inproc`` in the
+daemon config files) instead of instantiating concrete classes.
+
+* :class:`TCPTransport` — the production layout: the selector
+  event-loop broker (:mod:`repro.mqtt.broker`) plus the reconnecting
+  :class:`~repro.mqtt.client.MQTTClient`.
+* :class:`InProcTransport` — one shared :class:`~repro.mqtt.inproc.InProcHub`
+  per transport instance and :class:`~repro.mqtt.inproc.InProcClient`
+  endpoints, for simulations that must not pay socket overhead.
+
+``get_transport`` resolves a config string (or passes an existing
+Transport through), raising :class:`ConfigError` on unknown names.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.common.errors import ConfigError
+from repro.observability import MetricsRegistry
+
+__all__ = ["Transport", "TCPTransport", "InProcTransport", "get_transport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Factory pair for one side of the MQTT wire.
+
+    ``make_broker`` returns an object with the broker surface
+    (``start``/``stop``/``add_publish_hook``/``port``/``metrics``);
+    ``make_client`` returns one with the client surface
+    (``connect``/``publish``/``subscribe``/``disconnect``).  Brokers
+    are returned un-started; callers own the lifecycle.
+    """
+
+    name: str
+
+    def make_broker(
+        self,
+        *,
+        publish_only: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ): ...
+
+    def make_client(
+        self,
+        client_id: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ): ...
+
+
+class TCPTransport:
+    """Real sockets: event-loop broker + reconnecting client."""
+
+    name = "tcp"
+
+    def __init__(self) -> None:
+        self._last_broker = None
+
+    def make_broker(
+        self,
+        *,
+        publish_only: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ):
+        from repro.mqtt.broker import MQTTBroker, PublishOnlyBroker
+
+        cls = PublishOnlyBroker if publish_only else MQTTBroker
+        broker = cls(host, port, metrics=metrics, **kwargs)
+        self._last_broker = broker
+        return broker
+
+    def make_client(
+        self,
+        client_id: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ):
+        from repro.mqtt.client import MQTTClient
+
+        if port is None and self._last_broker is not None:
+            # Convenience for co-located setups (tests, simulations):
+            # default to the broker this transport built, once started.
+            port = self._last_broker.port
+        if host is None:
+            host = (
+                self._last_broker.host if self._last_broker is not None else "127.0.0.1"
+            )
+        if port is None:
+            raise ConfigError(
+                "TCP transport needs a port (none given and no broker built yet)"
+            )
+        return MQTTClient(client_id, host=host, port=port, metrics=metrics, **kwargs)
+
+
+class InProcTransport:
+    """Function calls: one shared hub, zero sockets."""
+
+    name = "inproc"
+
+    def __init__(self) -> None:
+        self._hub = None
+
+    def make_broker(
+        self,
+        *,
+        publish_only: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ):
+        from repro.mqtt.inproc import InProcHub
+
+        # host/port are accepted (and ignored) so configs can switch
+        # transports without deleting keys.
+        kwargs.pop("max_write_buffer", None)
+        kwargs.pop("overflow_policy", None)
+        kwargs.pop("fault_injector", None)
+        kwargs.pop("authenticator", None)
+        self._hub = InProcHub(
+            allow_subscribe=not publish_only, metrics=metrics, **kwargs
+        )
+        return self._hub
+
+    def make_client(
+        self,
+        client_id: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ):
+        from repro.mqtt.inproc import InProcClient, InProcHub
+
+        if self._hub is None:
+            self._hub = InProcHub()
+        return InProcClient(client_id, self._hub, metrics=metrics)
+
+    @property
+    def hub(self):
+        return self._hub
+
+
+_FACTORIES = {
+    "tcp": TCPTransport,
+    "inproc": InProcTransport,
+}
+
+
+def get_transport(spec) -> Transport:
+    """Resolve ``spec`` into a Transport.
+
+    ``None`` means "tcp".  Strings are looked up by name; anything
+    already transport-shaped passes through, so callers can inject a
+    pre-built (or custom) transport.
+    """
+    if spec is None:
+        return TCPTransport()
+    if isinstance(spec, str):
+        factory = _FACTORIES.get(spec.lower())
+        if factory is None:
+            raise ConfigError(
+                f"unknown transport {spec!r} (expected one of {sorted(_FACTORIES)})"
+            )
+        return factory()
+    if hasattr(spec, "make_broker") and hasattr(spec, "make_client"):
+        return spec
+    raise ConfigError(f"not a transport: {spec!r}")

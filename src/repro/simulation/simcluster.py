@@ -25,7 +25,7 @@ from repro.core.collectagent import CollectAgent, WriterConfig
 from repro.core.pusher import Pusher, PusherConfig
 from repro.faults import FaultPlan, FlakyNode
 from repro.faults.plan import KILL, RESTART
-from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.mqtt.transport import get_transport
 from repro.storage import MemoryBackend, StorageCluster, StorageNode
 from repro.storage.backend import StorageBackend
 
@@ -51,6 +51,10 @@ class SimClusterConfig:
     #: Probabilistic per-operation node failure rate (needs fault_plan
     #: for determinism; a fresh seed-0 plan is created if omitted).
     node_fault_rate: float = 0.0
+    #: Transport between Pushers and the agent: "inproc" (default —
+    #: function calls, zero sockets) or "tcp" (real event-loop broker
+    #: and clients on loopback, for end-to-end transport studies).
+    transport: str = "inproc"
 
 
 class SimulatedCluster:
@@ -59,7 +63,12 @@ class SimulatedCluster:
     def __init__(self, config: SimClusterConfig | None = None) -> None:
         self.config = config if config is not None else SimClusterConfig()
         self.clock = SimClock(0)
-        self.hub = InProcHub(allow_subscribe=False)
+        self.transport = get_transport(self.config.transport)
+        broker = self.transport.make_broker(publish_only=True, port=0)
+        broker.start()
+        #: The agent-side endpoint; named ``hub`` for backward
+        #: compatibility (it is an InProcHub on the default transport).
+        self.hub = broker
         self.fault_plan = self.config.fault_plan
         if self.fault_plan is None and self.config.node_fault_rate > 0.0:
             self.fault_plan = FaultPlan()
@@ -100,7 +109,7 @@ class SimulatedCluster:
                 PusherConfig(
                     mqtt_prefix=f"{self.config.topic_prefix}/host{host}",
                 ),
-                client=InProcClient(f"pusher-host{host}", self.hub),
+                client=self.transport.make_client(f"pusher-host{host}"),
                 clock=self.clock,
             )
             pusher.load_plugin(
@@ -115,6 +124,19 @@ class SimulatedCluster:
     @property
     def total_sensors(self) -> int:
         return self.config.hosts * self.config.sensors_per_host
+
+    def stop(self) -> None:
+        """Disconnect the pushers and stop the agent (and its broker).
+
+        Required for the TCP transport (it owns sockets and an event
+        loop); a no-op beyond the agent flush on the in-proc default.
+        """
+        for pusher in self.pushers:
+            try:
+                pusher.client.disconnect()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        self.agent.stop()
 
     # -- fault control -------------------------------------------------------
 

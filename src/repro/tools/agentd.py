@@ -6,6 +6,7 @@ Runs a Collect Agent from a configuration file, mirroring DCDB's
     global {
         mqttHost   127.0.0.1
         mqttPort   1883
+        transport  tcp           ; tcp | inproc (see docs/transport.md)
         restPort   8080          ; 0 disables the REST API
         db         sqlite:/var/lib/dcdb/monitor.db
         ttl        0             ; seconds, 0 = keep forever
@@ -65,6 +66,7 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
         cache_maxage_ns=global_cfg.get_int("cacheInterval", 120_000) * NS_PER_MS,
         default_ttl_s=global_cfg.get_int("ttl", 0),
         writer_config=writer_config,
+        transport=global_cfg.get("transport", "tcp"),
     )
     analytics_tree = tree.child("analytics")
     analytics_file = global_cfg.get("analyticsConfig")

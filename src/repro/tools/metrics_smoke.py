@@ -49,6 +49,17 @@ QUERY_METRICS = (
     "dcdb_libdcdb_query_seconds",
 )
 
+#: Event-loop transport instruments (broker session/backpressure state
+#: and client reconnect counters — see docs/transport.md) that must be
+#: visible on every scrape.
+TRANSPORT_METRICS = (
+    "dcdb_broker_connections",
+    "dcdb_broker_keepalive_disconnects_total",
+    "dcdb_broker_write_buffer_bytes",
+    "dcdb_client_reconnects_total",
+    "dcdb_client_qos0_drops_total",
+)
+
 
 def _check(condition: bool, message: str, failures: list[str]) -> None:
     status = "ok " if condition else "FAIL"
@@ -95,6 +106,11 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
         f"{name}: libDCDB query-cache instruments present",
         failures,
     )
+    _check(
+        all(metric in families for metric in TRANSPORT_METRICS),
+        f"{name}: transport instruments present",
+        failures,
+    )
     json_status, doc = http_json("GET", f"{url}?format=json")
     _check(
         json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
@@ -113,7 +129,7 @@ def main() -> int:
     agent = CollectAgent(backend, broker=hub, writer_config=WriterConfig(max_batch=256))
     pusher = Pusher(
         PusherConfig(mqtt_prefix="/smoke/host0"),
-        client=InProcClient("smoke-pusher", hub),
+        client=InProcClient("smoke-pusher", hub, metrics=registry),
         clock=clock,
         metrics=registry,
     )

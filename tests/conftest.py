@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.common.timeutil import SimClock
@@ -35,6 +38,40 @@ class SimPipeline:
         target = self.clock() + int(seconds * 1_000_000_000)
         self.pusher.advance_to(target)
         self.clock.set(target)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_nondaemon_threads():
+    """Every test must release its non-daemon threads.
+
+    Broker/client shutdown paths historically leaked reader threads
+    blocked in ``recv``; the event-loop transport joins its loop
+    thread on stop.  Daemon threads (the loops themselves, sampling
+    pools) are exempt — they cannot keep the interpreter alive — but
+    anything non-daemon still running after teardown is a shutdown
+    bug.
+    """
+    # Process-lifetime by design, exempt: the storage layer's shared
+    # I/O pool (repro.storage.cluster._shared_pool) is created lazily
+    # by whichever test first fans out and intentionally never shut
+    # down.
+    exempt_prefixes = ("dcdb-cluster-io",)
+    before = {t.ident for t in threading.enumerate()}
+    yield
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t.ident not in before
+            and t.is_alive()
+            and not t.daemon
+            and not t.name.startswith(exempt_prefixes)
+        ]
+        if not leaked:
+            return
+        time.sleep(0.02)
+    assert not leaked, f"test leaked non-daemon threads: {leaked}"
 
 
 @pytest.fixture

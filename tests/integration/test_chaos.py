@@ -237,3 +237,53 @@ class TestBrokerDisconnectMidPublish:
             return [injector.on_data("c", b"chunk") for _ in range(200)]
 
         assert decisions() == decisions()
+
+
+class TestBrokerBounceMidRun:
+    """The broker process itself bounces (stop, restart on the same
+    port) while an auto-reconnecting publisher is mid-run, with the
+    injection seam additionally severing the publisher's socket before
+    the bounce.  QoS-1 queue-and-replay must deliver every payload at
+    least once across both broker incarnations — zero loss."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_zero_loss_across_bounce(self, seed):
+        received = set()
+
+        def hook(client_id, publish):
+            received.add(bytes(publish.payload))
+
+        injector = BrokerFaultInjector(plan=FaultPlan(seed))
+        broker = MQTTBroker("127.0.0.1", 0, fault_injector=injector)
+        broker.add_publish_hook(hook)
+        broker.start()
+        port = broker.port
+        publisher = MQTTClient(
+            "bounce-pub", port=port, keepalive=0, reconnect_min_delay_s=0.05
+        )
+        publisher.connect()
+        payloads = [f"bounce-{seed}-{i}".encode() for i in range(60)]
+        try:
+            # Injected cut a few chunks in (CONNECT is the first), then
+            # a full broker bounce mid-run: two distinct outages.
+            injector.disconnect_client_after("bounce-pub", chunks=4)
+            for i, payload in enumerate(payloads):
+                publisher.publish("/bounce/t", payload, qos=1)
+                if i == 30:
+                    broker.stop()
+                    broker = MQTTBroker("127.0.0.1", port, fault_injector=injector)
+                    broker.add_publish_hook(hook)
+                    broker.start()
+                time.sleep(0.005)
+            deadline = time.monotonic() + 20
+            while received != set(payloads) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert received == set(payloads), (
+                f"lost {sorted(set(payloads) - received)}"
+            )
+            assert injector.disconnects == 1
+            assert publisher.reconnects >= 2  # seam cut + bounce
+        finally:
+            publisher.disconnect()
+            broker.stop()
