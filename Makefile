@@ -6,18 +6,24 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke chaos bench bench-query bench-transport bench-baseline experiments examples loc all
+.PHONY: install test metrics-smoke trace-smoke chaos bench bench-query bench-transport bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke chaos bench-query bench-transport
+test: metrics-smoke trace-smoke chaos bench-query bench-transport
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
-# exposition of both REST APIs; fails on malformed Prometheus output.
+# exposition of both REST APIs; fails on malformed Prometheus output
+# or on drift between the docs catalogue and the runtime families.
 metrics-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.metrics_smoke
+
+# Step a simulated cluster with tracing on and assert a complete
+# (>= 5 span) distributed trace is retrievable via GET /traces.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.trace_smoke
 
 # Seeded fault-injection suite (kill/restart mid-ingest, flaky flushes,
 # broker disconnects).  See docs/resilience.md.

@@ -21,16 +21,18 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 
 from repro.common.errors import BackpressureError, StorageError, TransportError
-from repro.common.timeutil import NS_PER_SEC
+from repro.common.timeutil import NS_PER_SEC, now_ns
 from repro.core import payload as payload_mod
 from repro.core.collectagent.writer import BatchingWriter, WriterConfig
 from repro.core.sensor import SensorCache
 from repro.core.sid import PersistentSidMapper, SensorId
 from repro.mqtt.packets import Publish
 from repro.mqtt.transport import get_transport
-from repro.observability import MetricsRegistry, PipelineTracer
+from repro.observability import MetricsRegistry, PipelineTracer, SpanRecorder
+from repro.observability.spans import default_recorder, trace_context
 from repro.storage.backend import StorageBackend
 
 logger = logging.getLogger(__name__)
@@ -77,8 +79,12 @@ class CollectAgent:
         trace_sample_every: int = 1,
         writer_config: WriterConfig | None = None,
         transport=None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.backend = backend
+        self.spans = spans if spans is not None else default_recorder()
+        self._clock = clock if clock is not None else now_ns
+        self._started_monotonic = time.monotonic()
         # The agent and its broker share ONE registry so status() and
         # /metrics read broker stats from the snapshot rather than
         # duck-typing broker attributes.
@@ -135,6 +141,7 @@ class CollectAgent:
                 metrics=self.metrics,
                 clock=clock,
                 tracer=self.tracer,
+                spans=self.spans,
             )
             if writer_config is not None
             else None
@@ -208,7 +215,7 @@ class CollectAgent:
             self._on_metadata(client_id, packet)
             return
         try:
-            readings = payload_mod.decode_readings(packet.payload)
+            readings, trace_id = payload_mod.decode_message(packet.payload)
         except TransportError as exc:
             self._decode_errors.inc()
             logger.warning("bad payload on %s from %s: %s", packet.topic, client_id, exc)
@@ -226,10 +233,13 @@ class CollectAgent:
             # Persist the topic->SID mapping so query tools in other
             # processes can resolve topics (libDCDB reads these keys).
             self.backend.put_metadata(f"sidmap{packet.topic}", sid.hex())
-        traced = self.tracer.should_sample()
+        # Wire-traced messages were sampled at the pusher; only
+        # trace-headerless traffic consults the local sampling knob.
+        traced = trace_id is not None or self.tracer.should_sample()
         origin = readings[0].timestamp
+        start_ns = self._clock() if trace_id is not None else 0
         if traced:
-            self.tracer.stamp("insert", origin)
+            self.tracer.stamp("insert", origin, trace_id=trace_id)
         ttl = self.default_ttl_s
         items = [(sid, r.timestamp, r.value, ttl) for r in readings]
         if self.writer is not None:
@@ -237,11 +247,22 @@ class CollectAgent:
             # "commit" when the coalesced batch is durable, so the hop
             # measures real durability latency rather than enqueue time.
             try:
-                self.writer.put(items, origin if traced else None)
+                self.writer.put(items, origin if traced else None, trace_id=trace_id)
             except BackpressureError as exc:
                 self._backpressure_drops.inc(len(items))
                 logger.warning("backpressure on %s: %s", packet.topic, exc)
                 return
+            if trace_id is not None:
+                self.spans.record(
+                    trace_id,
+                    "insert",
+                    "agent",
+                    start_ns,
+                    self._clock(),
+                    topic=packet.topic,
+                    readings=len(readings),
+                    staged=True,
+                )
         else:
             # A storage failure must not propagate into the broker's
             # reader thread (it would tear down the MQTT connection of
@@ -250,7 +271,15 @@ class CollectAgent:
             # cluster only raises here when a reading landed on no
             # replica at all.
             try:
-                self.backend.insert_batch(items)
+                # The ambient trace context lets the storage layer
+                # record replica/retry spans without a signature
+                # change; untraced messages skip the context manager
+                # entirely (it is per-message hot-path cost).
+                if trace_id is not None:
+                    with trace_context(trace_id):
+                        self.backend.insert_batch(items)
+                else:
+                    self.backend.insert_batch(items)
             except StorageError as exc:
                 self._store_errors.inc(len(items))
                 logger.warning(
@@ -260,10 +289,30 @@ class CollectAgent:
                     exc,
                 )
                 return
+            commit_ns = self._clock()
             if traced:
                 # The batch is durably in the backend's write path: this
                 # stamp is the end-to-end pipeline latency.
-                self.tracer.stamp("commit", origin)
+                self.tracer.stamp("commit", origin, trace_id=trace_id)
+            if trace_id is not None:
+                self.spans.record(
+                    trace_id,
+                    "insert",
+                    "agent",
+                    start_ns,
+                    commit_ns,
+                    topic=packet.topic,
+                    readings=len(readings),
+                    staged=False,
+                )
+                self.spans.record(
+                    trace_id,
+                    "commit",
+                    "agent",
+                    start_ns,
+                    commit_ns,
+                    backend=type(self.backend).__name__,
+                )
         cache = self._cache_for(packet.topic)
         for reading in readings:
             cache.store(reading)
@@ -344,6 +393,44 @@ class CollectAgent:
         seen: set[int] = set()
         return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
 
+    def health(self) -> dict[str, tuple[bool, dict]]:
+        """Per-component readiness checks for the ``/health`` route.
+
+        Components: the transport endpoint (loop thread alive for the
+        TCP broker; trivially ready in-proc), the batching writer
+        (queue below its high watermark, threads running) and storage
+        (live replica count when the backend is a cluster).
+        """
+        checks: dict[str, tuple[bool, dict]] = {}
+        threads = getattr(self.broker, "transport_threads", None)
+        if threads is not None:
+            checks["broker"] = (
+                threads >= 1,
+                {"transportThreads": threads, "port": self.port},
+            )
+        else:
+            checks["broker"] = (True, {"inproc": True})
+        if self.writer is not None:
+            wstatus = self.writer.status()
+            depth = wstatus.get("queueDepth", 0)
+            capacity = wstatus.get("queueCapacity", 0) or 1
+            below_watermark = depth < 0.9 * capacity
+            checks["writer"] = (
+                bool(wstatus.get("running")) and below_watermark,
+                {
+                    "queueDepth": depth,
+                    "queueCapacity": capacity,
+                    "belowWatermark": below_watermark,
+                },
+            )
+        liveness = getattr(self.backend, "node_liveness", None)
+        if liveness is not None:
+            live, total = liveness()
+            checks["storage"] = (live > 0, {"liveReplicas": live, "totalReplicas": total})
+        else:
+            checks["storage"] = (True, {"backend": type(self.backend).__name__})
+        return checks
+
     def status(self) -> dict:
         """JSON-friendly snapshot for the REST API.
 
@@ -353,6 +440,10 @@ class CollectAgent:
         per-hop pipeline percentiles.
         """
         return {
+            "uptimeSeconds": round(time.monotonic() - self._started_monotonic, 3),
+            "traceSampleEvery": self.tracer.sample_every,
+            "cacheMaxAgeNs": self.cache_maxage_ns,
+            "defaultTtlSeconds": self.default_ttl_s,
             "readingsStored": self.readings_stored,
             "decodeErrors": self.decode_errors,
             "storeErrors": self.store_errors,

@@ -15,6 +15,8 @@ Endpoints
 ``GET /latest?topic=...``          Most recent cached reading.
 ``GET /query?topic=...&start=...&end=...``  Readings from storage.
 ``GET /metrics``                   Prometheus exposition (``?format=json`` for JSON).
+``GET /health``                    Liveness checks (200 ok / 503 degraded).
+``GET /traces``                    Recent pipeline traces (``limit``, ``sid``, ``minLatencyMs``).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.core.collectagent.agent import CollectAgent
 from repro.observability import (
     PROMETHEUS_CONTENT_TYPE,
     merge_snapshots,
+    render_health,
     render_json,
     render_prometheus,
 )
@@ -40,6 +43,8 @@ class CollectAgentRestApi:
         s = self.server
         s.route("GET", "/status", self._status)
         s.route("GET", "/metrics", self._metrics)
+        s.route("GET", "/health", self._health)
+        s.route("GET", "/traces", self._traces)
         s.route("GET", "/topics", self._topics)
         s.route("GET", "/cache", self._cache)
         s.route("GET", "/latest", self._latest)
@@ -75,6 +80,18 @@ class CollectAgentRestApi:
         if query.get("format") == "json":
             return 200, render_json(families)
         return 200, RawResponse(render_prometheus(families), PROMETHEUS_CONTENT_TYPE)
+
+    def _health(self, params: dict, query: dict, body: bytes):
+        return render_health(self.agent.health())
+
+    def _traces(self, params: dict, query: dict, body: bytes):
+        limit = int(query.get("limit", "50"))
+        min_latency_ms = float(query.get("minLatencyMs", "0"))
+        return 200, self.agent.spans.traces(
+            limit=limit,
+            sid=query.get("sid"),
+            min_latency_ns=int(min_latency_ms * 1e6),
+        )
 
     def _topics(self, params: dict, query: dict, body: bytes):
         return 200, self.agent.cached_topics()

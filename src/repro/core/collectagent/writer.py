@@ -55,7 +55,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import BackpressureError, ConfigError
-from repro.observability import MetricsRegistry
+from repro.observability import MetricsRegistry, SpanRecorder
+from repro.observability.spans import default_recorder, trace_context
 from repro.storage.backend import InsertItem, StorageBackend
 
 logger = logging.getLogger(__name__)
@@ -103,6 +104,9 @@ class WriterConfig:
         base of the capped exponential pause a writer thread takes
         after a failed flush, so a down backend is probed rather than
         hammered.
+    ``slow_flush_s``
+        flushes slower than this (wall seconds) are logged at WARNING
+        with their trace ID and batch size; 0 disables the slow-op log.
     """
 
     max_batch: int = 4096
@@ -113,6 +117,7 @@ class WriterConfig:
     poll_interval_s: float = 0.005
     flush_retries: int = 4
     retry_backoff_s: float = 0.002
+    slow_flush_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -137,6 +142,8 @@ class WriterConfig:
             raise ConfigError(f"flush_retries must be >= 0, got {self.flush_retries}")
         if self.retry_backoff_s < 0:
             raise ConfigError("retry_backoff_s must be >= 0")
+        if self.slow_flush_s < 0:
+            raise ConfigError("slow_flush_s must be >= 0 (0 disables the slow-op log)")
 
 
 class BatchingWriter:
@@ -155,6 +162,7 @@ class BatchingWriter:
         metrics: MetricsRegistry | None = None,
         clock=None,
         tracer=None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         from repro.common.timeutil import now_ns
 
@@ -162,12 +170,16 @@ class BatchingWriter:
         self.config = config if config is not None else WriterConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.spans = spans if spans is not None else default_recorder()
         self._clock = clock if clock is not None else now_ns
         # Entries are (items, traced_origin_ns | None, enqueued_ns,
-        # flush_attempts).  attempts > 0 marks a batch re-queued after
-        # a failed flush; it keeps its place at the queue head so the
-        # original arrival order is preserved across retries.
-        self._entries: deque[tuple[list[InsertItem], int | None, int, int]] = deque()
+        # flush_attempts, trace_id | None).  attempts > 0 marks a batch
+        # re-queued after a failed flush; it keeps its place at the
+        # queue head so the original arrival order is preserved across
+        # retries.
+        self._entries: deque[
+            tuple[list[InsertItem], int | None, int, int, int | None]
+        ] = deque()
         self._depth = 0  # readings staged (not yet taken by a writer)
         self._inflight = 0  # readings taken but not yet durable
         self._stopping = False
@@ -184,6 +196,11 @@ class BatchingWriter:
         self.metrics.gauge(
             "dcdb_writer_queue_capacity", "Staging queue bound (readings)"
         ).set(self.config.queue_capacity)
+        self._queue_hwm = 0  # guarded by _lock
+        self.metrics.gauge(
+            "dcdb_writer_queue_high_watermark",
+            "Deepest the staging queue has been (readings)",
+        ).set_function(lambda: self._queue_hwm)
         self._enqueued = self.metrics.counter(
             "dcdb_writer_readings_enqueued_total", "Readings accepted into the staging queue"
         )
@@ -251,12 +268,19 @@ class BatchingWriter:
 
     # -- producer side ------------------------------------------------------
 
-    def put(self, items: list[InsertItem], origin_ns: int | None = None) -> int:
+    def put(
+        self,
+        items: list[InsertItem],
+        origin_ns: int | None = None,
+        trace_id: int | None = None,
+    ) -> int:
         """Stage one message's readings; returns the number accepted.
 
         ``origin_ns`` marks the batch for a ``commit`` trace stamp at
         flush completion (pass the traced reading's origin timestamp,
-        or None for unsampled messages).
+        or None for unsampled messages).  ``trace_id`` additionally
+        attaches the wire trace: the flush records a ``commit`` span
+        and the stamp carries the exemplar.
         """
         count = len(items)
         if count == 0:
@@ -278,7 +302,7 @@ class BatchingWriter:
                         raise BackpressureError("batching writer stopped while blocked")
                 else:  # drop-oldest
                     while self._depth + count > capacity and self._entries:
-                        old_items, _, _, _ = self._entries.popleft()
+                        old_items = self._entries.popleft()[0]
                         self._depth -= len(old_items)
                         self._dropped.inc(len(old_items))
                     if count > capacity:
@@ -287,8 +311,10 @@ class BatchingWriter:
                         self._dropped.inc(count - capacity)
                         items = items[count - capacity :]
                         count = capacity
-            self._entries.append((items, origin_ns, self._clock(), 0))
+            self._entries.append((items, origin_ns, self._clock(), 0, trace_id))
             self._depth += count
+            if self._depth > self._queue_hwm:
+                self._queue_hwm = self._depth
             self._enqueued.inc(count)
             self._not_empty.notify()
         return count
@@ -324,8 +350,10 @@ class BatchingWriter:
         oldest_enqueued = self._entries[0][2]
         return self._clock() - oldest_enqueued >= self.config.max_delay_ns
 
-    def _take_locked(self) -> tuple[list[tuple[list[InsertItem], int | None, int, int]], int]:
-        taken: list[tuple[list[InsertItem], int | None, int, int]] = []
+    def _take_locked(
+        self,
+    ) -> tuple[list[tuple[list[InsertItem], int | None, int, int, int | None]], int]:
+        taken: list[tuple[list[InsertItem], int | None, int, int, int | None]] = []
         count = 0
         max_batch = self.config.max_batch
         while self._entries and count < max_batch:
@@ -342,11 +370,16 @@ class BatchingWriter:
             items = taken[0][0]  # single staged message: no copy
         else:
             items = []
-            for entry_items, _, _, _ in taken:
-                items.extend(entry_items)
+            for entry in taken:
+                items.extend(entry[0])
+        trace_ids = [entry[4] for entry in taken if entry[4] is not None]
         started = time.perf_counter()
+        start_ns = self._clock()
         try:
-            self.backend.insert_batch(items)
+            # One ambient trace covers the whole coalesced flush; the
+            # storage layer picks it up for replica/retry spans.
+            with trace_context(trace_ids[0] if trace_ids else None):
+                self.backend.insert_batch(items)
         except Exception:
             self._flush_errors.inc()
             logger.exception("batch flush of %d readings failed", count)
@@ -354,14 +387,38 @@ class BatchingWriter:
             return
         with self._lock:
             self._consecutive_failures = 0
-        self._flush_duration.observe(time.perf_counter() - started)
+        duration = time.perf_counter() - started
+        end_ns = self._clock()
+        self._flush_duration.observe(duration)
         self._batch_size.observe(count)
         self._flushes.inc()
         self._flushed.inc(count)
-        if self.tracer is not None:
-            for _, origin_ns, _, _ in taken:
-                if origin_ns is not None:
-                    self.tracer.stamp("commit", origin_ns)
+        for _, origin_ns, _, attempts, trace_id in taken:
+            if origin_ns is not None and self.tracer is not None:
+                self.tracer.stamp("commit", origin_ns, trace_id=trace_id)
+            if trace_id is not None:
+                self.spans.record(
+                    trace_id,
+                    "commit",
+                    "writer",
+                    start_ns,
+                    end_ns,
+                    batch=count,
+                    attempts=attempts,
+                    flushSeconds=round(duration, 6),
+                )
+        slow = self.config.slow_flush_s
+        if slow > 0 and duration >= slow:
+            logger.warning(
+                "slow flush: %d readings took %.3fs",
+                count,
+                duration,
+                extra={
+                    "trace_id": trace_ids[0] if trace_ids else None,
+                    "duration_s": round(duration, 6),
+                    "batch": count,
+                },
+            )
 
     def _requeue(self, taken) -> None:
         """Re-stage a failed batch at the queue head, oldest first.
@@ -378,16 +435,19 @@ class BatchingWriter:
         retries = self.config.flush_retries
         with self._lock:
             requeued = 0
-            for items, origin_ns, enqueued_ns, attempts in reversed(taken):
+            for items, origin_ns, enqueued_ns, attempts, trace_id in reversed(taken):
                 if attempts >= retries:
                     self._lost.inc(len(items))
                     logger.error(
                         "abandoning %d readings after %d failed flushes",
                         len(items),
                         attempts + 1,
+                        extra={"trace_id": trace_id},
                     )
                     continue
-                self._entries.appendleft((items, origin_ns, enqueued_ns, attempts + 1))
+                self._entries.appendleft(
+                    (items, origin_ns, enqueued_ns, attempts + 1, trace_id)
+                )
                 requeued += len(items)
             self._depth += requeued
             if requeued:
@@ -449,9 +509,12 @@ class BatchingWriter:
             depth = self._depth
             inflight = self._inflight
         return {
+            "running": any(t.is_alive() for t in self._threads),
             "policy": self.config.policy,
             "queueDepth": depth,
             "inFlight": inflight,
+            "queueHighWatermark": self._queue_hwm,
+            "slowFlushSeconds": self.config.slow_flush_s,
             "queueCapacity": self.config.queue_capacity,
             "maxBatch": self.config.max_batch,
             "maxDelayMs": self.config.max_delay_ns / 1e6,

@@ -8,6 +8,14 @@ of big-endian ``(int64 timestamp_ns, int64 value)`` records — 16 bytes
 per reading, no header, count implied by length.  This matches DCDB's
 compact fixed-width framing and keeps the Collect Agent's parse cost
 to a ``struct.iter_unpack``.
+
+Sampled readings may additionally carry a **trace header**: a 12-byte
+big-endian ``(uint8 magic, uint8 version, uint16 flags, uint64
+trace_id)`` prefix that propagates a trace ID end-to-end (pusher →
+broker → collect agent → storage).  Because records are 16 bytes, a
+headered payload has ``len % 16 == 12`` — a length class no legacy
+frame can produce — so headerless payloads decode unchanged and old
+decoders never misparse new ones as readings.
 """
 
 from __future__ import annotations
@@ -21,10 +29,24 @@ from repro.core.sensor import SensorReading
 _RECORD = struct.Struct("!qq")
 RECORD_SIZE = _RECORD.size  # 16 bytes
 
+_TRACE_HEADER = struct.Struct("!BBHQ")
+TRACE_HEADER_SIZE = _TRACE_HEADER.size  # 12 bytes
+TRACE_MAGIC = 0xD7
+TRACE_VERSION = 1
 
-def encode_readings(readings: Iterable[SensorReading]) -> bytes:
-    """Pack readings into the 16-byte-per-record wire frame."""
-    return b"".join(_RECORD.pack(r.timestamp, r.value) for r in readings)
+
+def encode_readings(
+    readings: Iterable[SensorReading], trace_id: int | None = None
+) -> bytes:
+    """Pack readings into the 16-byte-per-record wire frame.
+
+    When ``trace_id`` is given the frame is prefixed with the 12-byte
+    trace header, marking the whole message as a sampled trace.
+    """
+    body = b"".join(_RECORD.pack(r.timestamp, r.value) for r in readings)
+    if trace_id is None:
+        return body
+    return _TRACE_HEADER.pack(TRACE_MAGIC, TRACE_VERSION, 0, trace_id) + body
 
 
 def encode_reading(timestamp: int, value: int) -> bytes:
@@ -32,13 +54,47 @@ def encode_reading(timestamp: int, value: int) -> bytes:
     return _RECORD.pack(timestamp, value)
 
 
+def has_trace_header(payload: bytes) -> bool:
+    """True if the payload starts with a valid trace header."""
+    return (
+        len(payload) >= TRACE_HEADER_SIZE
+        and len(payload) % RECORD_SIZE == TRACE_HEADER_SIZE
+        and payload[0] == TRACE_MAGIC
+        and payload[1] == TRACE_VERSION
+    )
+
+
+def trace_id_of(payload: bytes) -> int | None:
+    """Trace ID carried by the payload, or None if untraced.
+
+    O(1): peeks the header without touching the records, so brokers
+    can recover trace context per message regardless of burst size.
+    """
+    if not has_trace_header(payload):
+        return None
+    return _TRACE_HEADER.unpack_from(payload)[3]
+
+
+def decode_message(payload: bytes) -> tuple[list[SensorReading], int | None]:
+    """Unpack a wire frame into (readings, trace_id-or-None)."""
+    if has_trace_header(payload):
+        return decode_readings(payload[TRACE_HEADER_SIZE:]), _TRACE_HEADER.unpack_from(
+            payload
+        )[3]
+    return decode_readings(payload), None
+
+
 def decode_readings(payload: bytes) -> list[SensorReading]:
     """Unpack a wire frame back into readings.
 
-    Raises :class:`TransportError` if the payload length is not a
-    multiple of the record size — a framing error worth surfacing
-    rather than silently truncating.
+    Accepts both headerless frames and trace-headered ones (the header
+    is stripped), so decoders that do not care about tracing keep
+    working against traced payloads.  Raises :class:`TransportError`
+    if the payload length is not a multiple of the record size — a
+    framing error worth surfacing rather than silently truncating.
     """
+    if has_trace_header(payload):
+        payload = payload[TRACE_HEADER_SIZE:]
     if len(payload) % RECORD_SIZE != 0:
         raise TransportError(
             f"payload length {len(payload)} is not a multiple of {RECORD_SIZE}"

@@ -29,6 +29,7 @@ import heapq
 import itertools
 import logging
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
@@ -37,7 +38,8 @@ from repro.core import payload as payload_mod
 from repro.core.pusher.plugin import Plugin, PluginSensor, SensorGroup
 from repro.core.pusher.registry import create_configurator
 from repro.core.sensor import SensorReading
-from repro.observability import MetricsRegistry, PipelineTracer
+from repro.observability import MetricsRegistry, PipelineTracer, SpanRecorder
+from repro.observability.spans import default_recorder, new_trace_id
 
 logger = logging.getLogger(__name__)
 
@@ -99,9 +101,11 @@ class Pusher:
         client=None,
         clock=None,
         metrics: MetricsRegistry | None = None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.config = config if config is not None else PusherConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else default_recorder()
         if client is None:
             from repro.mqtt.transport import get_transport
 
@@ -124,6 +128,10 @@ class Pusher:
         # Pending readings per sensor awaiting publication.
         self._pending: dict[PluginSensor, list[SensorReading]] = {}
         self._pending_lock = threading.Lock()
+        # Trace IDs started at collection, awaiting the publish that
+        # carries them on the wire (keyed by sensor; a later sampled
+        # collect for the same unflushed sensor supersedes the trace).
+        self._pending_traces: dict[PluginSensor, int] = {}
         self._topics: dict[PluginSensor, str] = {}
         # Threaded-mode machinery.
         self._heap: list[tuple[int, int, SensorGroup]] = []
@@ -159,6 +167,7 @@ class Pusher:
             sample_every=self.config.trace_sample_every,
         )
         self._last_reconnect_ns = -(10**18)
+        self._started_monotonic = time.monotonic()
 
     def _pending_count(self) -> int:
         with self._pending_lock:
@@ -220,6 +229,7 @@ class Pusher:
             for sensor in plugin.all_sensors():
                 self._topics.pop(sensor, None)
                 self._pending.pop(sensor, None)
+                self._pending_traces.pop(sensor, None)
 
     def start_plugin(self, alias: str) -> None:
         """Begin sampling the plugin's groups."""
@@ -340,7 +350,21 @@ class Pusher:
             if sensor not in self._topics:
                 self._topics[sensor] = self.config.mqtt_prefix + sensor.mqtt_suffix
             if self.tracer.should_sample():
-                self.tracer.stamp("collect", reading.timestamp)
+                trace_id = new_trace_id()
+                self.tracer.stamp("collect", reading.timestamp, trace_id=trace_id)
+                self.spans.record(
+                    trace_id,
+                    "collect",
+                    "pusher",
+                    reading.timestamp,
+                    # In stepped (simulated) mode the clock lags the
+                    # group's due time until the step completes; clamp
+                    # so the span never ends before it starts.
+                    max(reading.timestamp, self._clock()),
+                    sid=self._topics[sensor],
+                )
+                with self._pending_lock:
+                    self._pending_traces[sensor] = trace_id
         burst = self.config.send_mode == "burst"
         with self._pending_lock:
             for sensor, reading in results:
@@ -378,12 +402,33 @@ class Pusher:
         topic = self._topics.get(sensor)
         if topic is None:
             return
+        with self._pending_lock:
+            trace_id = self._pending_traces.pop(sensor, None)
         try:
+            start_ns = self._clock()
             self.client.publish(
-                topic, payload_mod.encode_readings(readings), qos=self.config.qos
+                topic,
+                payload_mod.encode_readings(readings, trace_id=trace_id),
+                qos=self.config.qos,
             )
             self._messages_published.inc()
-            if self.tracer.should_sample():
+            if trace_id is not None:
+                # The message carries a trace: stamp the hop with the
+                # exemplar and record the publish span.
+                self.tracer.stamp(
+                    "publish", readings[0].timestamp, trace_id=trace_id
+                )
+                self.spans.record(
+                    trace_id,
+                    "publish",
+                    "pusher",
+                    start_ns,
+                    self._clock(),
+                    topic=topic,
+                    qos=self.config.qos,
+                    readings=len(readings),
+                )
+            elif self.tracer.should_sample():
                 self.tracer.stamp("publish", readings[0].timestamp)
         except Exception as exc:  # noqa: BLE001 - transport errors must not kill sampling
             logger.warning("publish of %s failed: %s", topic, exc)
@@ -562,6 +607,32 @@ class Pusher:
                     return sensor
         return None
 
+    def health(self) -> dict[str, tuple[bool, dict]]:
+        """Component liveness checks for the ``/health`` endpoint.
+
+        Shaped for :func:`repro.observability.render_health`: the
+        pusher is healthy when its sampling loops run and the broker
+        link is up.
+        """
+        connected = bool(getattr(self.client, "connected", False))
+        with self._lock:
+            plugins_total = len(self.plugins)
+            plugins_running = sum(1 for p in self.plugins.values() if p.running)
+        return {
+            "pusher": (
+                self.running,
+                {"running": self.running, "pendingReadings": self._pending_count()},
+            ),
+            "transport": (
+                connected,
+                {"connected": connected, "reconnects": self.reconnects},
+            ),
+            "plugins": (
+                not self.running or plugins_running == plugins_total,
+                {"running": plugins_running, "loaded": plugins_total},
+            ),
+        }
+
     def status(self) -> dict:
         """JSON-friendly snapshot for the REST API.
 
@@ -573,6 +644,9 @@ class Pusher:
                 "mqttPrefix": self.config.mqtt_prefix,
                 "running": self.running,
                 "sendMode": self.config.send_mode,
+                "uptimeSeconds": round(time.monotonic() - self._started_monotonic, 3),
+                "qos": self.config.qos,
+                "traceSampleEvery": self.config.trace_sample_every,
                 "readingsCollected": self.readings_collected,
                 "messagesPublished": self.messages_published,
                 "publishFailures": self.publish_failures,

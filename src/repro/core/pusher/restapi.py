@@ -18,6 +18,8 @@ Endpoints
 ``GET  /cache?topic=...``            Cached readings of a sensor.
 ``GET  /average?topic=...&window_ms=...``  Smoothed recent value.
 ``GET  /metrics``                    Prometheus exposition (``?format=json`` for JSON).
+``GET  /health``                     Liveness checks (200 ok / 503 degraded).
+``GET  /traces``                     Recent pipeline traces (``limit``, ``sid``, ``minLatencyMs``).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.common.httpjson import JsonHttpServer, RawResponse
 from repro.core.pusher.pusher import Pusher
 from repro.observability import (
     PROMETHEUS_CONTENT_TYPE,
+    render_health,
     render_json,
     render_prometheus,
 )
@@ -42,6 +45,8 @@ class PusherRestApi:
         s = self.server
         s.route("GET", "/status", self._status)
         s.route("GET", "/metrics", self._metrics)
+        s.route("GET", "/health", self._health)
+        s.route("GET", "/traces", self._traces)
         s.route("GET", "/plugins", self._plugins)
         s.route("GET", "/plugins/:alias/sensors", self._sensors)
         s.route("POST", "/plugins/:alias/start", self._start)
@@ -79,6 +84,18 @@ class PusherRestApi:
         if query.get("format") == "json":
             return 200, render_json(families)
         return 200, RawResponse(render_prometheus(families), PROMETHEUS_CONTENT_TYPE)
+
+    def _health(self, params: dict, query: dict, body: bytes):
+        return render_health(self.pusher.health())
+
+    def _traces(self, params: dict, query: dict, body: bytes):
+        limit = int(query.get("limit", "50"))
+        min_latency_ms = float(query.get("minLatencyMs", "0"))
+        return 200, self.pusher.spans.traces(
+            limit=limit,
+            sid=query.get("sid"),
+            min_latency_ns=int(min_latency_ms * 1e6),
+        )
 
     def _plugins(self, params: dict, query: dict, body: bytes):
         return 200, {

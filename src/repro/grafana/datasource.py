@@ -80,7 +80,25 @@ class GrafanaDataSource:
     # -- handlers ---------------------------------------------------------
 
     def _health(self, params: dict, query: dict, body: bytes):
-        return 200, {"status": "ok", "datasource": "dcdb"}
+        """Datasource "Save & Test": probe the backend instead of
+        answering 200 unconditionally — a dead cluster must fail the
+        test, not pass it and then error on every panel."""
+        backend = self.client.backend
+        details: dict[str, object] = {"datasource": "dcdb"}
+        liveness = getattr(backend, "node_liveness", None)
+        if liveness is not None:
+            live, total = liveness()
+            details["replicasLive"] = live
+            details["replicasTotal"] = total
+            if live == 0:
+                return 503, {"status": "unavailable", **details}
+        try:
+            # Cheap metadata round-trip exercises the same path every
+            # query depends on (sid mapping lives in metadata).
+            backend.metadata_keys("")
+        except DCDBError as exc:
+            return 503, {"status": "unavailable", "error": str(exc), **details}
+        return 200, {"status": "ok", **details}
 
     def _search(self, params: dict, query: dict, body: bytes):
         payload = json.loads(body or b"{}")

@@ -39,10 +39,18 @@ import time
 from typing import Callable
 
 from repro.common.errors import TransportError
+from repro.common.timeutil import now_ns
+from repro.core import payload as payload_mod
 from repro.mqtt import packets as pkt
 from repro.mqtt.eventloop import Connection, EventLoop
 from repro.mqtt.topics import SubscriptionTree, topic_matches, validate_topic
-from repro.observability import MetricsRegistry, PipelineTracer
+from repro.observability import (
+    EventLoopLagProbe,
+    MetricsRegistry,
+    PipelineTracer,
+    SpanRecorder,
+)
+from repro.observability.spans import default_recorder
 
 logger = logging.getLogger(__name__)
 
@@ -104,6 +112,7 @@ class MQTTBroker:
         fault_injector=None,
         max_write_buffer: int = 1 << 20,
         overflow_policy: str = "disconnect",
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -159,6 +168,8 @@ class MQTTBroker:
             "Bytes queued in per-session outgoing write buffers",
         ).set_function(self._write_buffer_bytes)
         self.tracer = PipelineTracer(self.metrics, sample_every=trace_sample_every)
+        self.spans = spans if spans is not None else default_recorder()
+        self._lag_probe: EventLoopLagProbe | None = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -178,6 +189,10 @@ class MQTTBroker:
         loop = EventLoop(name=f"mqtt-broker-{self.port}")
         self._loop = loop
         loop.start()
+        self._lag_probe = EventLoopLagProbe(
+            loop, self.metrics, name=f"broker-{self.port}"
+        )
+        self._lag_probe.start()
         loop.call_soon(self._install_listener)
 
     def _install_listener(self) -> None:
@@ -202,6 +217,9 @@ class MQTTBroker:
             return
         self._running = False
         self._stopping = True
+        if self._lag_probe is not None:
+            self._lag_probe.stop()
+            self._lag_probe = None
         loop = self._loop
         if loop is not None and loop.running:
             done = threading.Event()
@@ -442,8 +460,16 @@ class MQTTBroker:
     def _handle_publish(self, session: _Session, packet: pkt.Publish) -> None:
         validate_topic(packet.topic)
         self._messages_received.inc()
-        if not packet.topic.startswith("$") and self.tracer.should_sample():
-            self.tracer.stamp_payload("dispatch", packet.payload)
+        trace_id = None
+        if not packet.topic.startswith("$"):
+            trace_id = payload_mod.trace_id_of(packet.payload)
+            if trace_id is not None:
+                # Wire-traced message: the sampling decision was made at
+                # the pusher; stamp with the exemplar unconditionally.
+                self.tracer.stamp_payload("dispatch", packet.payload, trace_id=trace_id)
+            elif self.tracer.should_sample():
+                self.tracer.stamp_payload("dispatch", packet.payload)
+        start_ns = now_ns() if trace_id is not None else 0
         if packet.retain:
             if packet.payload:
                 self._retained[packet.topic] = packet
@@ -456,6 +482,17 @@ class MQTTBroker:
         if packet.qos == 1:
             session.send(pkt.PubAck(packet_id=packet.packet_id).encode())
         self._route(packet)
+        if trace_id is not None:
+            self.spans.record(
+                trace_id,
+                "dispatch",
+                "broker",
+                start_ns,
+                now_ns(),
+                topic=packet.topic,
+                qos=packet.qos,
+                client=session.client_id or "",
+            )
 
     def _route(self, packet: pkt.Publish) -> None:
         with self._subs_lock:

@@ -21,10 +21,13 @@ import threading
 from typing import Callable
 
 from repro.common.errors import TransportError
+from repro.common.timeutil import now_ns
+from repro.core import payload as payload_mod
 from repro.mqtt import packets as pkt
 from repro.mqtt.broker import PublishHook
 from repro.mqtt.topics import SubscriptionTree, validate_filter, validate_topic
-from repro.observability import MetricsRegistry, PipelineTracer
+from repro.observability import MetricsRegistry, PipelineTracer, SpanRecorder
+from repro.observability.spans import default_recorder
 
 MessageCallback = Callable[[str, bytes], None]
 
@@ -41,6 +44,7 @@ class InProcHub:
         allow_subscribe: bool = True,
         metrics: MetricsRegistry | None = None,
         trace_sample_every: int = 1,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.allow_subscribe = allow_subscribe
         self._subs = SubscriptionTree()
@@ -76,6 +80,7 @@ class InProcHub:
             "Bytes queued in per-session outgoing write buffers",
         )
         self.tracer = PipelineTracer(self.metrics, sample_every=trace_sample_every)
+        self.spans = spans if spans is not None else default_recorder()
 
     #: TCP-broker parity: a hub has no listener, so its "port" is None
     #: and lifecycle calls are no-ops.  Lets transport-agnostic callers
@@ -132,8 +137,16 @@ class InProcHub:
     def _publish(self, client_id: str, packet: pkt.Publish) -> None:
         self._messages_received.inc()
         self._bytes_received.inc(len(packet.payload) + len(packet.topic))
-        if not packet.topic.startswith("$") and self.tracer.should_sample():
-            self.tracer.stamp_payload("dispatch", packet.payload)
+        trace_id = None
+        if not packet.topic.startswith("$"):
+            trace_id = payload_mod.trace_id_of(packet.payload)
+            if trace_id is not None:
+                # Wire-traced message: sampling was decided at the
+                # pusher; stamp with the exemplar unconditionally.
+                self.tracer.stamp_payload("dispatch", packet.payload, trace_id=trace_id)
+            elif self.tracer.should_sample():
+                self.tracer.stamp_payload("dispatch", packet.payload)
+        start_ns = now_ns() if trace_id is not None else 0
         with self._lock:
             targets = list(self._subs.match(packet.topic).items())
             clients = {k: self._clients.get(k) for k, _ in targets}
@@ -147,6 +160,17 @@ class InProcHub:
                 delivered += 1
         if delivered:
             self._messages_delivered.inc(delivered)
+        if trace_id is not None:
+            self.spans.record(
+                trace_id,
+                "dispatch",
+                "broker",
+                start_ns,
+                now_ns(),
+                topic=packet.topic,
+                qos=packet.qos,
+                client=client_id,
+            )
 
     def _subscribe(self, key: int, pattern: str, qos: int) -> int:
         if not self.allow_subscribe:

@@ -26,6 +26,7 @@ from repro.observability.metrics import FamilySnapshot, HistogramSample, Sample
 __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "parse_prometheus_text",
+    "render_health",
     "render_json",
     "render_prometheus",
 ]
@@ -98,20 +99,30 @@ def render_json(families: Iterable[FamilySnapshot]) -> dict:
         samples: list[dict] = []
         for sample in family.samples:
             if isinstance(sample, HistogramSample):
-                samples.append(
-                    {
-                        "labels": dict(sample.labels),
-                        "buckets": [
-                            {"le": ("+Inf" if math.isinf(b) else b), "count": c}
-                            for b, c in sample.buckets
-                        ],
-                        "sum": sample.sum,
-                        "count": sample.count,
-                        "p50": sample.percentile(0.50),
-                        "p95": sample.percentile(0.95),
-                        "p99": sample.percentile(0.99),
-                    }
-                )
+                doc = {
+                    "labels": dict(sample.labels),
+                    "buckets": [
+                        {"le": ("+Inf" if math.isinf(b) else b), "count": c}
+                        for b, c in sample.buckets
+                    ],
+                    "sum": sample.sum,
+                    "count": sample.count,
+                    "p50": sample.percentile(0.50),
+                    "p95": sample.percentile(0.95),
+                    "p99": sample.percentile(0.99),
+                }
+                if sample.exemplars:
+                    # Exemplars live in JSON only: text format 0.0.4
+                    # (and our strict parser) has no exemplar syntax.
+                    doc["exemplars"] = [
+                        {
+                            "le": ("+Inf" if math.isinf(b) else b),
+                            "traceId": label,
+                            "value": value,
+                        }
+                        for b, label, value in sample.exemplars
+                    ]
+                samples.append(doc)
             else:
                 samples.append({"labels": dict(sample.labels), "value": sample.value})
         out[family.name] = {
@@ -120,6 +131,25 @@ def render_json(families: Iterable[FamilySnapshot]) -> dict:
             "samples": samples,
         }
     return out
+
+
+def render_health(checks: dict[str, tuple[bool, dict]]) -> tuple[int, dict]:
+    """Combine named readiness checks into a ``/health`` document.
+
+    ``checks`` maps component name to ``(healthy, detail_dict)``.
+    Returns ``(http_status, body)``: 200 with ``status: ok`` when every
+    check passes, 503 with ``status: degraded`` otherwise — the
+    convention load balancers and Grafana "Save & Test" expect.
+    """
+    components: dict[str, dict] = {}
+    healthy = True
+    for name, (ok, detail) in checks.items():
+        components[name] = {"healthy": bool(ok), **detail}
+        healthy = healthy and bool(ok)
+    return (
+        200 if healthy else 503,
+        {"status": "ok" if healthy else "degraded", "components": components},
+    )
 
 
 _SAMPLE_LINE_RE = re.compile(

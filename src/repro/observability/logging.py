@@ -1,0 +1,104 @@
+"""Structured JSON logging with component and trace-ID correlation.
+
+Diagnostics that mention a trace ID are only useful if logs carry the
+same ID: a slow-flush warning with ``traceId`` can be joined against
+``/traces`` output and the exemplars on the latency histograms.  This
+module provides a :class:`JsonFormatter` that renders every record as
+one JSON object per line with a stable key set, and
+:func:`configure_json_logging` to install it process-wide from the
+daemons (``pusherd``/``agentd``/``simcluster``).
+
+Trace correlation is automatic two ways:
+
+* records logged inside a :func:`repro.observability.spans.trace_context`
+  block pick up the ambient trace ID;
+* ``logger.warning(..., extra={"trace_id": tid})`` overrides it
+  explicitly (the slow-op logs do this — they know their trace ID even
+  off the ambient thread).
+
+Extra fields passed via ``extra=`` that are JSON-representable are
+emitted verbatim, so call sites can attach structured attributes
+(batch size, duration, replica) without string formatting.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from repro.observability.spans import current_trace
+
+__all__ = ["JsonFormatter", "component_logger", "configure_json_logging"]
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, component, message, traceId."""
+
+    def __init__(self, component: str = "") -> None:
+        super().__init__()
+        self.component = component
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "component": getattr(record, "component", None) or self.component,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id is None:
+            trace_id = current_trace()
+        if trace_id is not None:
+            doc["traceId"] = f"{trace_id:016x}" if isinstance(trace_id, int) else str(trace_id)
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exception"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in ("component", "trace_id") or key in doc:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            doc[key] = value
+        return json.dumps(doc, separators=(",", ":"))
+
+
+def configure_json_logging(
+    component: str,
+    level: int | str = logging.INFO,
+    stream=None,
+) -> logging.Handler:
+    """Install a JSON handler on the root ``repro`` logger.
+
+    Idempotent per component: reconfiguring replaces the previously
+    installed JSON handler rather than stacking duplicates.  Returns
+    the handler (tests capture its stream).
+    """
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter(component))
+    handler._repro_json_handler = True  # type: ignore[attr-defined]
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_json_handler", False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler
+
+
+def component_logger(component: str) -> logging.Logger:
+    """The namespaced logger for one pipeline component.
+
+    Slow-op convention: components that enforce a slow-op threshold
+    log at WARNING with ``extra={"trace_id": ..., "duration_s": ...}``
+    so the JSON formatter emits machine-joinable fields.
+    """
+    return logging.getLogger(f"repro.{component}")

@@ -82,13 +82,18 @@ class HistogramSample:
     """One histogram child at snapshot time.
 
     ``buckets`` are (upper_bound, cumulative_count) pairs ending with
-    the ``+Inf`` bucket, Prometheus-style.
+    the ``+Inf`` bucket, Prometheus-style.  ``exemplars`` are
+    (upper_bound, exemplar_label, observed_value) triples — at most
+    one per bucket, the most recent exemplar-bearing observation that
+    landed there (e.g. a trace ID linking the bucket to a concrete
+    sampled reading).
     """
 
     labels: LabelPairs
     buckets: tuple[tuple[float, int], ...]
     sum: float
     count: int
+    exemplars: tuple[tuple[float, str, float], ...] = ()
 
     def percentile(self, q: float) -> float | None:
         """Estimate the q-quantile (0 < q <= 1) from the buckets."""
@@ -193,7 +198,7 @@ class _GaugeChild:
 
 
 class _HistogramChild:
-    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
         self._lock = lock
@@ -201,13 +206,29 @@ class _HistogramChild:
         self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplars: dict[int, tuple[str, float]] | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         index = bisect.bisect_left(self._bounds, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                self._exemplars[index] = (exemplar, value)
+
+    def _exemplar_triples(self) -> tuple[tuple[float, str, float], ...]:
+        with self._lock:
+            if not self._exemplars:
+                return ()
+            items = sorted(self._exemplars.items())
+        bounds = self._bounds
+        return tuple(
+            (bounds[i] if i < len(bounds) else math.inf, label, value)
+            for i, (label, value) in items
+        )
 
     def percentile(self, q: float) -> float | None:
         return _bucket_percentile(self._cumulative(), self.count, q)
@@ -362,8 +383,8 @@ class Histogram(_Family):
     def _new_child(self, lock: threading.Lock):
         return _HistogramChild(lock, self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._only().observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._only().observe(value, exemplar)
 
     def percentile(self, q: float, labels: dict[str, str] | None = None) -> float | None:
         """Aggregate quantile estimate over children matching ``labels``."""
@@ -396,7 +417,13 @@ class Histogram(_Family):
         for labels, child in self._sample_children():
             cumulative = child._cumulative()
             samples.append(
-                HistogramSample(labels, cumulative, child.sum, child.count)
+                HistogramSample(
+                    labels,
+                    cumulative,
+                    child.sum,
+                    child.count,
+                    child._exemplar_triples(),
+                )
             )
         return FamilySnapshot(self.name, self.kind, self.help, tuple(samples))
 
@@ -532,6 +559,10 @@ def merge_snapshots(
                         raise ValueError(
                             f"{family.name!r}: histogram bucket bounds differ across registries"
                         )
+                    merged_exemplars = {b: (lbl, v) for b, lbl, v in existing.exemplars}
+                    merged_exemplars.update(
+                        {b: (lbl, v) for b, lbl, v in sample.exemplars}
+                    )
                     entry["samples"][sample.labels] = HistogramSample(
                         sample.labels,
                         tuple(
@@ -540,6 +571,10 @@ def merge_snapshots(
                         ),
                         existing.sum + sample.sum,
                         existing.count + sample.count,
+                        tuple(
+                            (b, lbl, v)
+                            for b, (lbl, v) in sorted(merged_exemplars.items())
+                        ),
                     )
                 else:
                     entry["samples"][sample.labels] = Sample(

@@ -1,0 +1,111 @@
+"""Runtime diagnostics probes.
+
+:class:`EventLoopLagProbe` measures scheduling lag on an event loop: a
+self-rescheduling timer notes when it *expected* to fire and observes
+``actual - expected`` into ``dcdb_eventloop_lag_seconds``.  Sustained
+lag means the loop thread is saturated (too many connections, a
+blocking callback) long before throughput collapses — the paper's
+Collect Agent load analysis (Fig. 8) in probe form.
+
+Probes register themselves in a class-level active set while running;
+the test suite asserts the set is empty after every test, which turns
+"a timer was left on the loop after stop()" from a silent leak into a
+failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["EVENTLOOP_LAG_METRIC", "EventLoopLagProbe"]
+
+EVENTLOOP_LAG_METRIC = "dcdb_eventloop_lag_seconds"
+
+#: 0.1 ms .. 5 s — healthy loops sit in the lowest buckets.
+LAG_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class EventLoopLagProbe:
+    """Periodic timer lag sampler for one event loop.
+
+    ``loop`` needs only ``call_later(delay_s, callback) -> timer`` with
+    ``timer.cancel()`` — the surface :class:`repro.mqtt.eventloop.EventLoop`
+    provides.  ``start()``/``stop()`` are idempotent; ``stop()`` is safe
+    from any thread, including the loop thread itself.
+    """
+
+    _active: set["EventLoopLagProbe"] = set()
+    _active_lock = threading.Lock()
+
+    def __init__(
+        self,
+        loop,
+        registry: MetricsRegistry,
+        name: str = "loop",
+        interval_s: float = 0.25,
+        clock=time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self._loop = loop
+        self._name = name
+        self._interval = interval_s
+        self._clock = clock
+        self._child = registry.histogram(
+            EVENTLOOP_LAG_METRIC,
+            "Event-loop timer scheduling lag (actual - expected fire time)",
+            labelnames=("loop",),
+            buckets=LAG_BUCKETS,
+        ).labels(loop=name)
+        self._lock = threading.Lock()
+        self._timer = None
+        self._expected = 0.0
+        self._running = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @classmethod
+    def active_probes(cls) -> list["EventLoopLagProbe"]:
+        """Probes started but not yet stopped (test-suite leak check)."""
+        with cls._active_lock:
+            return list(cls._active)
+
+    def start(self) -> None:
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+            self._expected = self._clock() + self._interval
+            self._timer = self._loop.call_later(self._interval, self._tick)
+        with self._active_lock:
+            self._active.add(self)
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            timer, self._timer = self._timer, None
+        if timer is not None:
+            timer.cancel()
+        with self._active_lock:
+            self._active.discard(self)
+
+    def _tick(self) -> None:
+        now = self._clock()
+        with self._lock:
+            if not self._running:
+                return
+            lag = max(0.0, now - self._expected)
+            self._expected = now + self._interval
+            self._timer = self._loop.call_later(self._interval, self._tick)
+        self._child.observe(lag)

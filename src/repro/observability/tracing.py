@@ -2,11 +2,15 @@
 
 Every reading already carries its origin — the nanosecond collection
 timestamp that is the first 8 bytes of each wire record
-(:mod:`repro.core.payload`).  Tracing therefore needs no trace IDs and
-no payload rewriting: each pipeline stage *stamps* the reading by
+(:mod:`repro.core.payload`).  Aggregate tracing therefore needs no
+payload rewriting: each pipeline stage *stamps* the reading by
 observing ``now - origin`` into a shared latency histogram labelled
 with the hop name.  The cumulative-latency histograms that result give
 p50/p95/p99 per hop directly, and hop-to-hop deltas by subtraction.
+Sampled messages additionally carry a wire trace ID
+(:func:`repro.core.payload.trace_id_of`); pass it to :meth:`stamp` to
+attach it as a histogram *exemplar*, linking the bucket back to the
+concrete span tree in the :class:`~repro.observability.spans.SpanRecorder`.
 
 Hops, in pipeline order:
 
@@ -61,6 +65,15 @@ LATENCY_BUCKETS = (
 
 _TS = struct.Struct("!q")
 _RECORD_SIZE = 16  # must match repro.core.payload.RECORD_SIZE
+_HEADER_SIZE = 12  # must match repro.core.payload.TRACE_HEADER_SIZE
+_TRACE_MAGIC = 0xD7  # must match repro.core.payload.TRACE_MAGIC
+
+#: Timestamps beyond ~2106 CE (2^62 ns) cannot be real reading origins;
+#: ASCII/JSON bytes reinterpreted as big-endian int64 land far above
+#: this (``{`` = 0x7B in the top byte ≈ 8.9e18), so the bound rejects
+#: textual metadata/announce payloads that happen to be 16-byte
+#: multiples instead of stamping garbage into the dispatch histogram.
+_MAX_PLAUSIBLE_ORIGIN_NS = 1 << 62
 
 
 def payload_origin_ns(payload: bytes) -> int | None:
@@ -68,11 +81,25 @@ def payload_origin_ns(payload: bytes) -> int | None:
 
     Peeks the first record's timestamp without copying or decoding the
     rest — the property that keeps broker-side stamping O(1) per
-    message regardless of burst size.
+    message regardless of burst size.  Trace-headered payloads
+    (``len % 16 == 12``) peek past the header; payloads whose leading
+    8 bytes do not look like a nanosecond timestamp (negative, or
+    beyond 2^62) are rejected as non-reading frames.
     """
-    if len(payload) < _RECORD_SIZE or len(payload) % _RECORD_SIZE != 0:
+    offset = 0
+    remainder = len(payload) % _RECORD_SIZE
+    if remainder == _HEADER_SIZE and len(payload) > _HEADER_SIZE:
+        if payload[0] != _TRACE_MAGIC:
+            return None
+        offset = _HEADER_SIZE
+    elif remainder != 0:
         return None
-    return _TS.unpack_from(payload)[0]
+    if len(payload) - offset < _RECORD_SIZE:
+        return None
+    origin = _TS.unpack_from(payload, offset)[0]
+    if not 0 <= origin < _MAX_PLAUSIBLE_ORIGIN_NS:
+        return None
+    return origin
 
 
 class PipelineTracer:
@@ -117,25 +144,35 @@ class PipelineTracer:
             return True
         return next(self._cycle) % self.sample_every == 0
 
-    def stamp(self, hop: str, origin_ns: int, at_ns: int | None = None) -> None:
+    def stamp(
+        self,
+        hop: str,
+        origin_ns: int,
+        at_ns: int | None = None,
+        trace_id: int | None = None,
+    ) -> None:
         """Observe the latency from ``origin_ns`` to now at ``hop``.
 
         Negative deltas (simulated clocks running behind aligned
         sampling timestamps) clamp to zero rather than corrupting the
-        distribution.
+        distribution.  A ``trace_id`` is attached as the bucket's
+        exemplar, linking the observation to its span tree.
         """
         now = at_ns if at_ns is not None else self._clock()
         child = self._children.get(hop)
         if child is None:
             child = self._hist.labels(hop=hop)
             self._children[hop] = child
-        child.observe(max(0, now - origin_ns) / 1e9)
+        child.observe(
+            max(0, now - origin_ns) / 1e9,
+            f"{trace_id:016x}" if trace_id is not None else None,
+        )
 
-    def stamp_payload(self, hop: str, payload: bytes) -> None:
+    def stamp_payload(self, hop: str, payload: bytes, trace_id: int | None = None) -> None:
         """Stamp from a wire payload's embedded origin, if it has one."""
         origin = payload_origin_ns(payload)
         if origin is not None:
-            self.stamp(hop, origin)
+            self.stamp(hop, origin, trace_id=trace_id)
 
     def percentiles(self, hop: str) -> dict | None:
         """p50/p95/p99 summary of one hop, or None before any stamp."""

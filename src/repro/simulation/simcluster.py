@@ -26,6 +26,7 @@ from repro.core.pusher import Pusher, PusherConfig
 from repro.faults import FaultPlan, FlakyNode
 from repro.faults.plan import KILL, RESTART
 from repro.mqtt.transport import get_transport
+from repro.observability import SpanRecorder
 from repro.storage import MemoryBackend, StorageCluster, StorageNode
 from repro.storage.backend import StorageBackend
 
@@ -55,6 +56,10 @@ class SimClusterConfig:
     #: function calls, zero sockets) or "tcp" (real event-loop broker
     #: and clients on loopback, for end-to-end transport studies).
     transport: str = "inproc"
+    #: Pipeline-trace sampling stride (1 = trace every reading,
+    #: N = one in N, 0 = tracing off).  Applied to every component so
+    #: a traced reading carries its id end to end.
+    trace_sample_every: int = 1
 
 
 class SimulatedCluster:
@@ -63,8 +68,17 @@ class SimulatedCluster:
     def __init__(self, config: SimClusterConfig | None = None) -> None:
         self.config = config if config is not None else SimClusterConfig()
         self.clock = SimClock(0)
+        #: One recorder shared by every component of this simulation,
+        #: so a trace's spans land in a single place and concurrent
+        #: simulations in one test process stay isolated.
+        self.spans = SpanRecorder()
         self.transport = get_transport(self.config.transport)
-        broker = self.transport.make_broker(publish_only=True, port=0)
+        broker = self.transport.make_broker(
+            publish_only=True,
+            port=0,
+            trace_sample_every=self.config.trace_sample_every,
+            spans=self.spans,
+        )
         broker.start()
         #: The agent-side endpoint; named ``hub`` for backward
         #: compatibility (it is an InProcHub on the default transport).
@@ -99,18 +113,25 @@ class SimulatedCluster:
                 # Simulated chaos must not wall-clock-sleep between
                 # write retries; determinism comes from the plan.
                 sleep=(lambda _s: None) if faulty else None,
+                spans=self.spans,
             )
         self.agent = CollectAgent(
-            self.backend, broker=self.hub, writer_config=self.config.writer_config
+            self.backend,
+            broker=self.hub,
+            writer_config=self.config.writer_config,
+            trace_sample_every=self.config.trace_sample_every,
+            spans=self.spans,
         )
         self.pushers: list[Pusher] = []
         for host in range(self.config.hosts):
             pusher = Pusher(
                 PusherConfig(
                     mqtt_prefix=f"{self.config.topic_prefix}/host{host}",
+                    trace_sample_every=self.config.trace_sample_every,
                 ),
                 client=self.transport.make_client(f"pusher-host{host}"),
                 clock=self.clock,
+                spans=self.spans,
             )
             pusher.load_plugin(
                 "tester",

@@ -46,8 +46,10 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.common.errors import StorageError
+from repro.common.timeutil import now_ns
 from repro.core.sid import SID_LEVELS, SID_BITS_PER_LEVEL, SensorId
 from repro.observability import MetricsRegistry
+from repro.observability.spans import SpanRecorder, current_trace, default_recorder
 from repro.storage.backend import InsertItem, StorageBackend
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
@@ -118,6 +120,12 @@ class StorageCluster(StorageBackend):
     sleep:
         Injectable sleep for the retry backoff; tests and simulations
         pass a no-op so chaos runs are instant and deterministic.
+    slow_query_s:
+        Reads slower than this are logged at WARNING with the ambient
+        trace id (0 disables the slow-op log).
+    spans:
+        Span recorder for replica-write / hint / retry spans; defaults
+        to the process-wide recorder.
     """
 
     def __init__(
@@ -132,6 +140,8 @@ class StorageCluster(StorageBackend):
         backoff_cap_s: float = 0.1,
         hint_capacity: int = 1_000_000,
         sleep: Callable[[float], None] | None = None,
+        slow_query_s: float = 1.0,
+        spans: SpanRecorder | None = None,
     ) -> None:
         if nodes is None:
             nodes = [StorageNode("node0")]
@@ -165,6 +175,10 @@ class StorageCluster(StorageBackend):
         self.backoff_cap_s = backoff_cap_s
         self.hint_capacity = hint_capacity
         self._sleep = sleep if sleep is not None else time.sleep
+        if slow_query_s < 0:
+            raise StorageError("slow_query_s must be >= 0")
+        self.slow_query_s = slow_query_s
+        self.spans = spans if spans is not None else default_recorder()
         # Hinted handoff state: per-node FIFO of writes the node missed
         # while unreachable.  Entries are ("data", [InsertItem...]) or
         # ("meta", key, value); _hints_pending counts queued readings
@@ -173,6 +187,7 @@ class StorageCluster(StorageBackend):
         self._hints: dict[int, deque] = {}
         self._hints_lock = threading.Lock()
         self._hints_pending_count = 0
+        self._hints_hwm = 0
         # Locality statistics for the partitioning ablation.  Registry
         # counters stay monotonic; reset_stats() moves the baseline the
         # local_ops/remote_ops views subtract.
@@ -206,6 +221,10 @@ class StorageCluster(StorageBackend):
         self.metrics.gauge(
             "dcdb_storage_hints_pending", "Hinted readings awaiting replay"
         ).set_function(lambda: self._hints_pending_count)
+        self.metrics.gauge(
+            "dcdb_storage_hints_high_watermark",
+            "Most hinted readings ever pending at once on this coordinator",
+        ).set_function(lambda: self._hints_hwm)
         self._query_latency = self.metrics.histogram(
             "dcdb_cluster_query_seconds",
             "Cluster-layer read latency",
@@ -233,9 +252,37 @@ class StorageCluster(StorageBackend):
         registries = [self.metrics] + [node.metrics for node in self.nodes]
         return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
 
+    def node_liveness(self) -> tuple[int, int]:
+        """(live, total) member count — the health-endpoint probe."""
+        return sum(1 for node in self.nodes if _node_up(node)), len(self.nodes)
+
+    def _observe_query(self, op: str, t0: float, detail: str = "") -> None:
+        """Record read latency; slow reads go to the log with the
+        ambient trace id so a ``/traces`` lookup can follow up."""
+        duration = time.perf_counter() - t0
+        self._query_latency.labels(op=op).observe(duration)
+        if 0 < self.slow_query_s <= duration:
+            trace_id = current_trace()
+            logger.warning(
+                "slow %s took %.3fs%s",
+                op,
+                duration,
+                f" ({detail})" if detail else "",
+                extra={
+                    "trace_id": trace_id,
+                    "duration_s": round(duration, 6),
+                    "op": op,
+                },
+            )
+
     # -- write availability --------------------------------------------------
 
-    def _try_write(self, node_idx: int, items: list[InsertItem]) -> StorageError | None:
+    def _try_write(
+        self,
+        node_idx: int,
+        items: list[InsertItem],
+        trace_id: int | None = None,
+    ) -> StorageError | None:
         """Write one replica's sub-batch, retrying with capped backoff.
 
         Returns None on success; on persistent failure the sub-batch is
@@ -244,24 +291,45 @@ class StorageCluster(StorageBackend):
         replica fails).  A node that reports itself down is hinted
         immediately — retrying a known crash only burns the backoff
         budget.
+
+        ``trace_id`` is passed explicitly (not read from the ambient
+        context) because this runs on shared-pool threads that never
+        see the coordinator thread's locals.
         """
         node = self.nodes[node_idx]
-        last_error: StorageError = StorageError(
-            f"node {getattr(node, 'name', node_idx)} is down"
-        )
+        replica = str(getattr(node, "name", node_idx))
+        start_ns = now_ns() if trace_id is not None else 0
+        last_error: StorageError = StorageError(f"node {replica} is down")
+        fault = not _node_up(node)
+        attempts_made = 0
         for attempt in range(self.max_retries + 1):
             if not _node_up(node):
+                fault = True
                 break
+            attempts_made = attempt + 1
             try:
                 node.insert_batch(items)
                 self._account(node_idx)
+                if trace_id is not None:
+                    self.spans.record(
+                        trace_id,
+                        "replica-write",
+                        "storage",
+                        start_ns,
+                        now_ns(),
+                        replica=replica,
+                        batch=len(items),
+                        attempts=attempts_made,
+                        retries=attempts_made - 1,
+                    )
                 return None
             except StorageError as exc:
                 last_error = exc
+                fault = True
                 if attempt >= self.max_retries or not _node_up(node):
                     logger.warning(
                         "replica %s failed %d attempts (%s); hinting %d readings",
-                        getattr(node, "name", node_idx),
+                        replica,
                         attempt + 1,
                         exc,
                         len(items),
@@ -272,6 +340,19 @@ class StorageCluster(StorageBackend):
                     min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
                 )
         self._queue_hint(node_idx, ("data", items), len(items))
+        if trace_id is not None:
+            self.spans.record(
+                trace_id,
+                "hinted-handoff",
+                "storage",
+                start_ns,
+                now_ns(),
+                replica=replica,
+                batch=len(items),
+                attempts=attempts_made,
+                faultInjected=fault,
+                error=str(last_error),
+            )
         return last_error
 
     def _queue_hint(self, node_idx: int, entry: tuple, readings: int) -> None:
@@ -281,6 +362,8 @@ class StorageCluster(StorageBackend):
                 dq = self._hints.setdefault(node_idx, deque())
             dq.append(entry)
             self._hints_pending_count += readings
+            if self._hints_pending_count > self._hints_hwm:
+                self._hints_hwm = self._hints_pending_count
             self._hints_queued.inc(readings)
             # Enforce the per-node bound by evicting oldest-first; a
             # replica down for longer than the budget loses its oldest
@@ -353,10 +436,11 @@ class StorageCluster(StorageBackend):
 
     def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
         items = [(sid, timestamp, value, ttl_s)]
+        trace_id = current_trace()
         ok = 0
         last_error: StorageError | None = None
         for node_idx in self._replicas(sid):
-            error = self._try_write(node_idx, items)
+            error = self._try_write(node_idx, items, trace_id)
             if error is None:
                 ok += 1
             else:
@@ -383,10 +467,13 @@ class StorageCluster(StorageBackend):
         """
         if not isinstance(items, list):
             items = list(items)  # materialized once: retries re-send it
+        # Captured once on the coordinator thread: the pool threads the
+        # fan-out runs on have their own (empty) ambient context.
+        trace_id = current_trace()
         if len(self.nodes) == 1:
             if not items:
                 return 0
-            error = self._try_write(0, items)
+            error = self._try_write(0, items, trace_id)
             if error is not None:
                 raise StorageError(
                     f"insert_batch failed on the only node: {error}"
@@ -406,11 +493,11 @@ class StorageCluster(StorageBackend):
             return 0
         if len(per_node) == 1:
             ((node_idx, node_items),) = per_node.items()
-            results = {node_idx: self._try_write(node_idx, node_items)}
+            results = {node_idx: self._try_write(node_idx, node_items, trace_id)}
         else:
             pool = _shared_pool()
             futures = [
-                (node_idx, pool.submit(self._try_write, node_idx, node_items))
+                (node_idx, pool.submit(self._try_write, node_idx, node_items, trace_id))
                 for node_idx, node_items in per_node.items()
             ]
             results = {node_idx: future.result() for node_idx, future in futures}
@@ -448,7 +535,7 @@ class StorageCluster(StorageBackend):
                 self._read_failovers.inc()
                 continue
             self._account(node_idx)
-            self._query_latency.labels(op="query").observe(time.perf_counter() - t0)
+            self._observe_query("query", t0, detail=str(sid))
             return result
         raise StorageError(
             f"no live replica of {sid} (tried nodes {list(replicas)})"
@@ -546,7 +633,7 @@ class StorageCluster(StorageBackend):
             else:
                 results.update(outcome)
                 self._account_many(node_idx, len(group))
-        self._query_latency.labels(op="query_many").observe(time.perf_counter() - t0)
+        self._observe_query("query_many", t0, detail=f"{len(unique)} sids")
         return {sid: results[sid] for sid in unique}
 
     def query_prefix(
@@ -629,7 +716,7 @@ class StorageCluster(StorageBackend):
                 ts, vals = series[sid]
                 if ts.size:
                     results.append((sid, ts, vals))
-        self._query_latency.labels(op="query_prefix").observe(time.perf_counter() - t0)
+        self._observe_query("query_prefix", t0, detail=f"prefix={prefix:#x}")
         return iter(results)
 
     def sids(self) -> list[SensorId]:

@@ -17,6 +17,8 @@ Runs a Collect Agent from a configuration file, mirroring DCDB's
         queueCapacity 65536      ; staging queue bound (readings)
         backpressure  block      ; block | drop-oldest | error
         writerThreads 1          ; dedicated flush threads
+        traceSampleEvery 1       ; trace 1-in-N headerless messages (0 = off)
+        logFormat     plain      ; plain | json (structured one-line JSON)
     }
 
 Runs until interrupted; drains the staging queue (when batching) and
@@ -37,6 +39,7 @@ from repro.core.collectagent.agent import CollectAgent
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.collectagent.writer import WriterConfig
 from repro.tools.common import open_backend
+from repro.tools.pusherd import configure_logging
 
 
 def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRestApi | None]:
@@ -49,6 +52,7 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
     global_cfg = tree.child("global")
     if global_cfg is None:
         global_cfg = PropertyTree()
+    configure_logging(global_cfg, "collectagent")
     backend = open_backend(global_cfg.get("db", "memory:"))
     writer_config = None
     if global_cfg.get_bool("batching", False):
@@ -67,6 +71,7 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
         default_ttl_s=global_cfg.get_int("ttl", 0),
         writer_config=writer_config,
         transport=global_cfg.get("transport", "tcp"),
+        trace_sample_every=global_cfg.get_int("traceSampleEvery", 1),
     )
     analytics_tree = tree.child("analytics")
     analytics_file = global_cfg.get("analyticsConfig")

@@ -9,26 +9,37 @@ validates the Prometheus text with the strict parser.  Exits non-zero
 on any malformed exposition, missing instrument kind, missing pipeline
 latency histogram, or missing batching-writer instrument, so CI
 catches renderer and wiring regressions before a real Prometheus does.
+
+It is also the **docs drift gate**: every ``dcdb_*`` family a component
+registers at construction must be named in ``docs/observability.md``'s
+instrument catalogue, and every family the docs name must exist at
+runtime — so the catalogue cannot silently rot as instruments are
+added or renamed.
 """
 
 from __future__ import annotations
 
+import re
 import sys
+from pathlib import Path
 
-from repro.common.httpjson import http_json, http_text
+from repro.common.httpjson import JsonHttpServer, http_json, http_text
 from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core.collectagent import CollectAgent, WriterConfig
 from repro.libdcdb.api import DCDBClient
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.pusher import Pusher, PusherConfig
 from repro.core.pusher.restapi import PusherRestApi
+from repro.mqtt.broker import MQTTBroker
+from repro.mqtt.client import MQTTClient
 from repro.mqtt.inproc import InProcClient, InProcHub
 from repro.observability import (
+    EventLoopLagProbe,
     MetricsRegistry,
     PIPELINE_METRIC,
     parse_prometheus_text,
 )
-from repro.storage import MemoryBackend
+from repro.storage import MemoryBackend, StorageCluster, StorageNode
 
 TESTER_CONFIG = "group g0 { interval 1000\n numSensors 16 }"
 DCDBMON_CONFIG = "group self { interval 1000 }"
@@ -59,6 +70,74 @@ TRANSPORT_METRICS = (
     "dcdb_client_reconnects_total",
     "dcdb_client_qos0_drops_total",
 )
+
+
+#: The instrument catalogue the gate diffs against.
+DOCS_PATH = Path(__file__).resolve().parents[3] / "docs" / "observability.md"
+
+#: Doc-only names that are not metric families (label examples, config
+#: keys, or exposition snippets that merely look like families).
+_DOC_ALLOWLIST: set[str] = set()
+
+
+def _runtime_families() -> set[str]:
+    """Every ``dcdb_*`` family the components register at construction.
+
+    Instantiates one of each instrumented component into a fresh
+    registry (nothing is started — no sockets, no threads) and unions
+    the family names, including the per-backend registries a cluster
+    scrape would merge in.
+    """
+    registry = MetricsRegistry()
+    hub = InProcHub(metrics=registry)
+    InProcClient("drift-inproc", hub, metrics=registry)
+    MQTTBroker(port=0, metrics=registry)
+    MQTTClient("drift-tcp", host="127.0.0.1", port=1, metrics=registry)
+    EventLoopLagProbe(None, registry)
+    cluster = StorageCluster(
+        [StorageNode("drift-node", metrics=registry)], metrics=registry
+    )
+    backend = MemoryBackend()
+    agent = CollectAgent(
+        backend, broker=hub, writer_config=WriterConfig(), metrics=registry
+    )
+    Pusher(
+        PusherConfig(mqtt_prefix="/drift/host0"),
+        client=InProcClient("drift-pusher", hub, metrics=registry),
+        metrics=registry,
+    )
+    DCDBClient(backend, metrics=registry)
+    JsonHttpServer(metrics=registry)
+    names: set[str] = set()
+    for source in [registry, *cluster.metrics_registries(), *agent.metrics_registries()]:
+        for family in source.collect():
+            names.add(family.name)
+    return names
+
+
+def _drift_gate(failures: list[str]) -> None:
+    """Diff the runtime family set against the documented catalogue."""
+    print(f"docs drift gate: {DOCS_PATH}")
+    if not DOCS_PATH.is_file():
+        failures.append(f"docs file missing: {DOCS_PATH}")
+        print("  [FAIL] docs/observability.md not found")
+        return
+    documented = set(
+        re.findall(r"dcdb_[a-z0-9_]+", DOCS_PATH.read_text(encoding="utf-8"))
+    )
+    runtime = _runtime_families()
+    undocumented = sorted(runtime - documented)
+    stale = sorted(documented - runtime - _DOC_ALLOWLIST)
+    _check(
+        not undocumented,
+        f"every runtime family is documented (missing: {undocumented})",
+        failures,
+    )
+    _check(
+        not stale,
+        f"every documented family exists at runtime (stale: {stale})",
+        failures,
+    )
 
 
 def _check(condition: bool, message: str, failures: list[str]) -> None:
@@ -167,6 +246,7 @@ def main() -> int:
         _scrape("pusher", pusher_api.port, failures)
         _scrape("agent", agent_api.port, failures)
     agent.stop()
+    _drift_gate(failures)
 
     if failures:
         print(f"metrics smoke: {len(failures)} check(s) FAILED", file=sys.stderr)

@@ -13,6 +13,8 @@ Runs a Pusher from a global configuration file, mirroring DCDB's
         qos          0
         restPort     8000           ; 0 disables the REST API
         cacheInterval 120000        ; ms
+        traceSampleEvery 1          ; trace 1-in-N readings (0 = off)
+        logFormat    plain          ; plain | json (structured one-line JSON)
     }
     plugin tester {
         config {
@@ -40,6 +42,13 @@ from repro.common.errors import DCDBError
 from repro.common.proptree import PropertyTree, dump_info, parse_info
 from repro.core.pusher.pusher import Pusher, PusherConfig
 from repro.core.pusher.restapi import PusherRestApi
+from repro.observability import configure_json_logging
+
+
+def configure_logging(global_cfg: PropertyTree, component: str) -> None:
+    """Honor the ``logFormat`` config key (shared by both daemons)."""
+    if global_cfg.get("logFormat", "plain").lower() == "json":
+        configure_json_logging(component)
 
 
 def pusher_from_config(tree: PropertyTree) -> tuple[Pusher, PusherRestApi | None]:
@@ -47,6 +56,7 @@ def pusher_from_config(tree: PropertyTree) -> tuple[Pusher, PusherRestApi | None
     global_cfg = tree.child("global")
     if global_cfg is None:
         global_cfg = PropertyTree()
+    configure_logging(global_cfg, "pusher")
     config = PusherConfig(
         mqtt_prefix=global_cfg.get("mqttPrefix", "/test/host0"),
         broker_host=global_cfg.get("brokerHost", "127.0.0.1"),
@@ -56,6 +66,7 @@ def pusher_from_config(tree: PropertyTree) -> tuple[Pusher, PusherRestApi | None
         threads=global_cfg.get_int("threads", 2),
         send_mode=global_cfg.get("sendMode", "continuous"),
         cache_interval_ms=global_cfg.get_int("cacheInterval", 120_000),
+        trace_sample_every=global_cfg.get_int("traceSampleEvery", 1),
     )
     pusher = Pusher(config)
     for _key, node in tree.children("plugin"):

@@ -1,0 +1,90 @@
+"""``make trace-smoke``: gate on end-to-end trace propagation.
+
+Boots a small :class:`~repro.simulation.simcluster.SimulatedCluster`
+with tracing on, steps it a few simulated seconds, then asserts that a
+complete distributed trace — collect, publish, dispatch, insert and
+commit spans, at least five in one trace — is retrievable through the
+Collect Agent's ``GET /traces`` endpoint over real HTTP, and that
+``GET /health`` answers 200 for the healthy pipeline.  Exits non-zero
+if any hop dropped its span, so CI catches broken context propagation
+(a component that stops honoring the wire trace header) immediately.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.httpjson import http_json
+from repro.core.collectagent.restapi import CollectAgentRestApi
+from repro.simulation.simcluster import SimClusterConfig, SimulatedCluster
+
+#: Every hop of the pipeline must contribute a span to a traced reading.
+REQUIRED_SPANS = {"collect", "publish", "dispatch", "insert", "commit"}
+
+
+def _check(condition: bool, message: str, failures: list[str]) -> None:
+    status = "ok " if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main() -> int:
+    sim = SimulatedCluster(
+        SimClusterConfig(
+            hosts=2,
+            sensors_per_host=4,
+            interval_ms=1000,
+            trace_sample_every=1,
+        )
+    )
+    failures: list[str] = []
+    try:
+        stored = sim.run(3)
+        _check(stored > 0, f"pipeline stored readings ({stored})", failures)
+        with CollectAgentRestApi(sim.agent) as api:
+            base = f"http://127.0.0.1:{api.port}"
+            status, traces = http_json("GET", f"{base}/traces?limit=50")
+            _check(status == 200, f"/traces answers 200 (got {status})", failures)
+            _check(
+                isinstance(traces, list) and len(traces) > 0,
+                f"/traces returned traces ({len(traces) if isinstance(traces, list) else traces})",
+                failures,
+            )
+            complete = None
+            if isinstance(traces, list):
+                for trace in traces:
+                    names = {span["name"] for span in trace.get("spans", ())}
+                    if REQUIRED_SPANS <= names and trace["spanCount"] >= 5:
+                        complete = trace
+                        break
+            _check(
+                complete is not None,
+                f"some trace has >= 5 spans covering {sorted(REQUIRED_SPANS)}",
+                failures,
+            )
+            if complete is not None:
+                print(
+                    f"       trace {complete['traceId']}: "
+                    + " -> ".join(span["name"] for span in complete["spans"])
+                )
+            status, health = http_json("GET", f"{base}/health")
+            _check(
+                status == 200 and health.get("status") == "ok",
+                f"/health reports ok (got {status} {health!r})",
+                failures,
+            )
+    finally:
+        sim.stop()
+
+    if failures:
+        print(f"trace smoke: {len(failures)} check(s) FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("trace smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from repro.common.timeutil import SimClock
 from repro.core.collectagent import CollectAgent
 from repro.core.pusher import Pusher, PusherConfig
 from repro.mqtt.inproc import InProcClient, InProcHub
+from repro.observability import EventLoopLagProbe, current_trace
 from repro.storage import MemoryBackend
 
 
@@ -59,6 +60,7 @@ def no_leaked_nondaemon_threads():
     before = {t.ident for t in threading.enumerate()}
     yield
     deadline = time.monotonic() + 2.0
+    leaked: list[threading.Thread] = []
     while time.monotonic() < deadline:
         leaked = [
             t
@@ -69,9 +71,16 @@ def no_leaked_nondaemon_threads():
             and not t.name.startswith(exempt_prefixes)
         ]
         if not leaked:
-            return
+            break
         time.sleep(0.02)
-    assert not leaked, f"test leaked non-daemon threads: {leaked}"
+    else:
+        assert not leaked, f"test leaked non-daemon threads: {leaked}"
+    # Observability shutdown hygiene: a stopped broker must have
+    # cancelled its event-loop lag probe, and nothing may leave the
+    # ambient trace context set on the test runner's thread.
+    probes = EventLoopLagProbe.active_probes()
+    assert not probes, f"test leaked running lag probes: {[p.name for p in probes]}"
+    assert current_trace() is None, "test leaked an ambient trace context"
 
 
 @pytest.fixture

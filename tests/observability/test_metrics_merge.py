@@ -1,0 +1,151 @@
+"""Histogram snapshot-merge edge cases and exemplar attachment.
+
+Companion to ``test_metrics.py``: the cases that bit during the
+tracing work — the implicit ``+Inf`` bucket across merges, label
+children created concurrently, and exemplars surviving (only) the
+JSON exposition.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    merge_snapshots,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+)
+
+
+class TestInfBucketMerge:
+    def test_overflow_observations_survive_merge(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(1.0,)).observe(50.0)   # +Inf only
+        r2.histogram("lat", "", buckets=(1.0,)).observe(0.5)
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        (sample,) = merged["lat"].samples
+        assert sample.count == 2
+        assert dict(sample.buckets) == {1.0: 1, math.inf: 2}
+        assert sample.sum == pytest.approx(50.5)
+
+    def test_merge_of_empty_with_populated(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(1.0,))
+        r2.histogram("lat", "", buckets=(1.0,)).observe(2.0)
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        (sample,) = merged["lat"].samples
+        assert sample.count == 1
+        assert dict(sample.buckets)[math.inf] == 1
+
+    def test_mismatched_bounds_rejected(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(1.0,)).observe(0.5)
+        r2.histogram("lat", "", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots([r1.collect(), r2.collect()])
+
+    def test_merged_exposition_still_validates(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(1.0,)).observe(10.0)
+        r2.histogram("lat", "", buckets=(1.0,)).observe(0.1)
+        text = render_prometheus(merge_snapshots([r1.collect(), r2.collect()]))
+        assert parse_prometheus_text(text)["lat"]["type"] == "histogram"
+
+
+class TestConcurrentLabelCreation:
+    def test_children_created_under_contention_lose_nothing(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("conc", "", ("worker",), buckets=(0.5,))
+        threads_n, per_thread = 8, 500
+
+        def hammer(idx: int) -> None:
+            # Every thread races to create several distinct children.
+            for i in range(per_thread):
+                hist.labels(worker=str((idx + i) % 16)).observe(0.1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        samples = registry.get("conc").snapshot().samples
+        assert len(samples) == 16  # one child per distinct label value
+        assert sum(s.count for s in samples) == threads_n * per_thread
+
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "", ("x",))
+        children = set()
+
+        def grab() -> None:
+            children.add(id(hist.labels(x="a")))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(children) == 1
+
+
+class TestExemplars:
+    def test_observe_attaches_exemplar_to_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "", buckets=(1.0, 10.0))
+        hist.observe(0.5, exemplar="aaaa")
+        hist.observe(5.0, exemplar="bbbb")
+        hist.observe(500.0, exemplar="cccc")  # lands in +Inf
+        (sample,) = registry.get("lat").snapshot().samples
+        exemplars = {label: (bound, value) for bound, label, value in sample.exemplars}
+        assert exemplars["aaaa"] == (1.0, 0.5)
+        assert exemplars["bbbb"] == (10.0, 5.0)
+        assert exemplars["cccc"] == (math.inf, 500.0)
+
+    def test_newest_exemplar_per_bucket_wins(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "", buckets=(1.0,))
+        hist.observe(0.3, exemplar="old")
+        hist.observe(0.7, exemplar="new")
+        (sample,) = registry.get("lat").snapshot().samples
+        assert [label for _, label, _ in sample.exemplars] == ["new"]
+
+    def test_observation_without_exemplar_keeps_previous(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "", buckets=(1.0,))
+        hist.observe(0.3, exemplar="keep")
+        hist.observe(0.7)
+        (sample,) = registry.get("lat").snapshot().samples
+        assert [label for _, label, _ in sample.exemplars] == ["keep"]
+
+    def test_merge_carries_exemplars_with_later_snapshot_winning(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("lat", "", buckets=(1.0, 10.0)).observe(0.5, exemplar="first")
+        h2 = r2.histogram("lat", "", buckets=(1.0, 10.0))
+        h2.observe(0.6, exemplar="second")
+        h2.observe(5.0, exemplar="mid")
+        merged = {f.name: f for f in merge_snapshots([r1.collect(), r2.collect()])}
+        (sample,) = merged["lat"].samples
+        by_bound = {bound: label for bound, label, _ in sample.exemplars}
+        assert by_bound[1.0] == "second"  # later snapshot replaced "first"
+        assert by_bound[10.0] == "mid"
+
+    def test_json_rendering_exposes_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", "", buckets=(1.0,)).observe(0.5, exemplar="cafe")
+        doc = render_json(registry.collect())
+        (sample,) = doc["lat"]["samples"]
+        assert sample["exemplars"] == [{"le": 1.0, "traceId": "cafe", "value": 0.5}]
+
+    def test_text_rendering_omits_exemplars_but_stays_valid(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", "", buckets=(1.0,)).observe(0.5, exemplar="cafe")
+        text = render_prometheus(registry.collect())
+        assert "cafe" not in text
+        parse_prometheus_text(text)  # still strict-parseable

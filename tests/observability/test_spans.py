@@ -1,0 +1,272 @@
+"""Unit tests for span recording, trace context, and runtime probes."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.observability import (
+    EVENTLOOP_LAG_METRIC,
+    EventLoopLagProbe,
+    JsonFormatter,
+    MetricsRegistry,
+    SpanRecorder,
+    current_trace,
+    new_trace_id,
+    trace_context,
+)
+
+
+class TestTraceIds:
+    def test_unique_and_nonzero(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert 0 not in ids
+
+    def test_fits_in_63_bits(self):
+        for _ in range(100):
+            assert 0 < new_trace_id() < (1 << 63)
+
+
+class TestSpanRecorder:
+    def test_record_and_fetch(self):
+        rec = SpanRecorder()
+        tid = new_trace_id()
+        rec.record(tid, "collect", "pusher", 10, 20, sid="/a/b")
+        rec.record(tid, "publish", "pusher", 20, 30)
+        spans = rec.trace(tid)
+        assert [s.name for s in spans] == ["collect", "publish"]
+        assert spans[0].attributes == {"sid": "/a/b"}
+        assert spans[0].as_dict()["durationNs"] == 10
+
+    def test_none_trace_id_is_noop(self):
+        rec = SpanRecorder()
+        rec.record(None, "collect", "pusher", 0, 1)
+        assert len(rec) == 0
+
+    def test_unknown_trace_returns_empty(self):
+        assert SpanRecorder().trace(12345) == []
+
+    def test_capacity_evicts_oldest_per_stripe(self):
+        rec = SpanRecorder(capacity=4, stripes=2)
+        # Same stripe (even ids): only the newest 2 survive.
+        for tid in (2, 4, 6, 8):
+            rec.record(tid, "s", "c", tid, tid + 1)
+        assert rec.trace(2) == []
+        assert rec.trace(4) == []
+        assert len(rec.trace(6)) == 1
+        assert len(rec.trace(8)) == 1
+
+    def test_span_cap_per_trace(self):
+        rec = SpanRecorder(max_spans_per_trace=3)
+        for i in range(10):
+            rec.record(7, f"s{i}", "c", i, i + 1)
+        assert len(rec.trace(7)) == 3
+
+    def test_traces_newest_first_and_limit(self):
+        rec = SpanRecorder()
+        for tid, start in ((1, 100), (2, 300), (3, 200)):
+            rec.record(tid, "s", "c", start, start + 10)
+        docs = rec.traces(limit=2)
+        assert [d["startNs"] for d in docs] == [300, 200]
+
+    def test_traces_sid_filter_matches_topic_substring(self):
+        rec = SpanRecorder()
+        rec.record(1, "dispatch", "broker", 0, 1, topic="/rack0/node3/power")
+        rec.record(2, "dispatch", "broker", 0, 1, topic="/rack1/node9/temp")
+        docs = rec.traces(sid="node3")
+        assert [d["traceId"] for d in docs] == [f"{1:016x}"]
+
+    def test_traces_min_latency_filter(self):
+        rec = SpanRecorder()
+        rec.record(1, "s", "c", 0, 100)
+        rec.record(2, "s", "c", 0, 10_000)
+        docs = rec.traces(min_latency_ns=1000)
+        assert [d["traceId"] for d in docs] == [f"{2:016x}"]
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        rec.record(1, "s", "c", 0, 1)
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_concurrent_recording_is_safe(self):
+        rec = SpanRecorder(capacity=64)
+        def hammer(base: int) -> None:
+            for i in range(500):
+                rec.record(base + (i % 8), "s", "c", i, i + 1)
+        threads = [threading.Thread(target=hammer, args=(b,)) for b in (1, 100, 200)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) <= 64
+
+
+class TestTraceContext:
+    def test_defaults_to_none(self):
+        assert current_trace() is None
+
+    def test_sets_and_restores(self):
+        with trace_context(42):
+            assert current_trace() == 42
+            with trace_context(43):
+                assert current_trace() == 43
+            assert current_trace() == 42
+        assert current_trace() is None
+
+    def test_none_is_passthrough(self):
+        with trace_context(7):
+            with trace_context(None):
+                assert current_trace() == 7
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_context(42):
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+    def test_does_not_cross_threads(self):
+        seen = []
+        with trace_context(42):
+            t = threading.Thread(target=lambda: seen.append(current_trace()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class _FakeTimer:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _FakeLoop:
+    def __init__(self):
+        self.scheduled: list[tuple[float, object]] = []
+
+    def call_later(self, delay, callback):
+        timer = _FakeTimer()
+        self.scheduled.append((delay, callback, timer))
+        return timer
+
+
+class TestEventLoopLagProbe:
+    def test_tick_observes_lag_and_reschedules(self):
+        loop = _FakeLoop()
+        registry = MetricsRegistry()
+        now = {"t": 100.0}
+        probe = EventLoopLagProbe(
+            loop, registry, name="test", interval_s=1.0, clock=lambda: now["t"]
+        )
+        probe.start()
+        assert len(loop.scheduled) == 1
+        # Fire 0.5 s late: expected 101.0, actual 101.5.
+        now["t"] = 101.5
+        loop.scheduled[0][1]()
+        assert len(loop.scheduled) == 2  # rescheduled
+        (sample,) = registry.get(EVENTLOOP_LAG_METRIC).snapshot().samples
+        assert sample.count == 1
+        assert sample.sum == pytest.approx(0.5)
+        probe.stop()
+
+    def test_start_stop_idempotent_and_tracked(self):
+        probe = EventLoopLagProbe(_FakeLoop(), MetricsRegistry(), name="x")
+        probe.start()
+        probe.start()
+        assert probe in EventLoopLagProbe.active_probes()
+        probe.stop()
+        probe.stop()
+        assert probe not in EventLoopLagProbe.active_probes()
+
+    def test_stop_cancels_pending_timer(self):
+        loop = _FakeLoop()
+        probe = EventLoopLagProbe(loop, MetricsRegistry())
+        probe.start()
+        probe.stop()
+        assert loop.scheduled[0][2].cancelled
+
+    def test_tick_after_stop_is_inert(self):
+        loop = _FakeLoop()
+        registry = MetricsRegistry()
+        probe = EventLoopLagProbe(loop, registry)
+        probe.start()
+        callback = loop.scheduled[0][1]
+        probe.stop()
+        callback()
+        (sample,) = registry.get(EVENTLOOP_LAG_METRIC).snapshot().samples
+        assert sample.count == 0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            EventLoopLagProbe(_FakeLoop(), MetricsRegistry(), interval_s=0)
+
+
+def _json_log_line(formatter: JsonFormatter, log_fn) -> dict:
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(formatter)
+    logger = logging.getLogger(f"repro.test.{id(handler)}")
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    try:
+        log_fn(logger)
+    finally:
+        logger.removeHandler(handler)
+    return json.loads(stream.getvalue().strip())
+
+
+class TestJsonLogging:
+    def test_basic_fields(self):
+        doc = _json_log_line(
+            JsonFormatter(component="agent"),
+            lambda log: log.warning("queue %d%% full", 93),
+        )
+        assert doc["level"] == "warning"
+        assert doc["component"] == "agent"
+        assert doc["message"] == "queue 93% full"
+        assert "ts" in doc
+
+    def test_trace_id_from_extra(self):
+        doc = _json_log_line(
+            JsonFormatter(),
+            lambda log: log.warning("slow", extra={"trace_id": 0xAB}),
+        )
+        assert doc["traceId"] == f"{0xAB:016x}"
+
+    def test_trace_id_from_ambient_context(self):
+        def emit(log):
+            with trace_context(0xCD):
+                log.info("inside")
+
+        doc = _json_log_line(JsonFormatter(), emit)
+        assert doc["traceId"] == f"{0xCD:016x}"
+
+    def test_extra_fields_pass_through(self):
+        doc = _json_log_line(
+            JsonFormatter(),
+            lambda log: log.info("flush", extra={"duration_s": 1.25, "batch": 10}),
+        )
+        assert doc["duration_s"] == 1.25
+        assert doc["batch"] == 10
+
+    def test_exception_rendered(self):
+        def emit(log):
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                log.exception("failed")
+
+        doc = _json_log_line(JsonFormatter(), emit)
+        assert "ValueError: boom" in doc["exception"]
+
+    def test_output_is_one_json_object_per_line(self):
+        doc = _json_log_line(JsonFormatter(), lambda log: log.info("multi\nline"))
+        assert doc["message"] == "multi\nline"
