@@ -6,12 +6,12 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke trace-smoke chaos bench bench-query bench-transport bench-baseline experiments examples loc all
+.PHONY: install test metrics-smoke trace-smoke chaos bench bench-query bench-rollup bench-transport bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke trace-smoke chaos bench-query bench-transport
+test: metrics-smoke trace-smoke chaos bench-query bench-rollup bench-transport
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
@@ -49,13 +49,21 @@ bench-transport:
 	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_transport.py \
 		--benchmark-disable
 
+# Single-round smoke over the rollup-tier dashboard-burst benchmark
+# (tier-served aggregates are asserted bit-identical to raw-computed
+# ones in every mode; the >= 5x p99 gate arms under `make bench`).
+bench-rollup:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_rollup_path.py \
+		--benchmark-disable
+
 # Record the ingest/storage microbenchmark baseline as pytest-benchmark
 # JSON.  BENCH_ingest.json is committed so regressions in the batched
 # ingest path show up as a diff against the recorded numbers; raw
 # per-round samples are stripped to keep the committed file small.
 # BENCH_query.json does the same for the query path (segment pruning,
 # cluster query_many, parallel subtree scan, batched virtual sensors),
-# and BENCH_transport.json for the event-loop fan-in throughput.
+# BENCH_transport.json for the event-loop fan-in throughput, and
+# BENCH_rollup.json for the tier-served dashboard-burst p99.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_microbench_components.py \
@@ -76,6 +84,12 @@ bench-baseline:
 	$(PYTHON) -c "import json; d = json.load(open('BENCH_transport.json')); \
 		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
 		json.dump(d, open('BENCH_transport.json', 'w'), indent=1, sort_keys=True)"
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_rollup_path.py \
+		--benchmark-only --benchmark-json=BENCH_rollup.json
+	$(PYTHON) -c "import json; d = json.load(open('BENCH_rollup.json')); \
+		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
+		json.dump(d, open('BENCH_rollup.json', 'w'), indent=1, sort_keys=True)"
 
 # Regenerate every paper table/figure with the result tables printed.
 experiments:

@@ -27,12 +27,18 @@ class OutputReading:
     ``suffix`` is the output topic relative to the operator's
     namespace (``/analytics/<operator-name>``); ``alarm`` marks
     readings that should additionally be recorded as alarm events.
+    ``sealed`` is False for values computed from an incomplete input
+    window — e.g. an :class:`~repro.analytics.operators.Aggregator`
+    bucket force-emitted by ``flush()`` before a later reading closed
+    it — so downstream consumers can distinguish final aggregates from
+    best-effort partials.
     """
 
     suffix: str
     reading: SensorReading
     alarm: bool = False
     message: str = ""
+    sealed: bool = True
 
 
 class StreamOperator:

@@ -138,6 +138,7 @@ class Aggregator(StreamOperator):
         output: str = "aggregate",
         func: str = "sum",
         bucket_ns: int = NS_PER_SEC,
+        emit_partial: bool = True,
     ) -> None:
         super().__init__(name, inputs)
         if func not in self.FUNCS:
@@ -147,10 +148,11 @@ class Aggregator(StreamOperator):
         self.output = output
         self.func = func
         self.bucket_ns = bucket_ns
+        self.emit_partial = emit_partial
         self._bucket: int | None = None
         self._values: dict[str, int] = {}
 
-    def _emit(self) -> list[OutputReading]:
+    def _emit(self, sealed: bool = True) -> list[OutputReading]:
         if self._bucket is None or not self._values:
             return []
         values = list(self._values.values())
@@ -165,7 +167,13 @@ class Aggregator(StreamOperator):
         timestamp = (self._bucket + 1) * self.bucket_ns
         self.events_out += 1
         self._values.clear()
-        return [OutputReading(self.output, SensorReading(timestamp, int(round(out))))]
+        return [
+            OutputReading(
+                self.output,
+                SensorReading(timestamp, int(round(out))),
+                sealed=sealed,
+            )
+        ]
 
     def process(self, topic: str, reading: SensorReading) -> list[OutputReading]:
         self.events_in += 1
@@ -180,8 +188,18 @@ class Aggregator(StreamOperator):
         return emitted
 
     def flush(self) -> list[OutputReading]:
-        """Emit the current (possibly partial) bucket."""
-        out = self._emit()
+        """Emit the current bucket even though no later reading sealed it.
+
+        The result is marked ``sealed=False`` — the bucket may still be
+        missing sensors.  With ``emit_partial=False`` the open bucket is
+        discarded instead, for consumers that must only ever see final
+        aggregates.
+        """
+        if not self.emit_partial:
+            self._bucket = None
+            self._values.clear()
+            return []
+        out = self._emit(sealed=False)
         self._bucket = None
         return out
 

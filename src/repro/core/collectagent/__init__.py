@@ -11,5 +11,6 @@ the latest readings of all connected Pushers, queryable over REST
 
 from repro.core.collectagent.agent import CollectAgent
 from repro.core.collectagent.writer import BatchingWriter, WriterConfig
+from repro.storage.rollup import RollupConfig
 
-__all__ = ["BatchingWriter", "CollectAgent", "WriterConfig"]
+__all__ = ["BatchingWriter", "CollectAgent", "RollupConfig", "WriterConfig"]

@@ -34,6 +34,7 @@ from repro.mqtt.transport import get_transport
 from repro.observability import MetricsRegistry, PipelineTracer, SpanRecorder
 from repro.observability.spans import default_recorder, trace_context
 from repro.storage.backend import StorageBackend
+from repro.storage.rollup import RollupConfig, RollupEngine
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +65,11 @@ class CollectAgent:
         backend synchronously on the dispatch thread (paper section
         5.3: Cassandra inserts happen in large asynchronous batches).
         ``None`` (the default) keeps the synchronous per-message path.
+    rollup_config:
+        When given, a :class:`~repro.storage.rollup.RollupEngine`
+        continuously maintains 10s/1m/1h min/max/sum/count rollup
+        series per sensor, observed after each successful storage
+        flush (batched or synchronous).  ``None`` disables rollups.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class CollectAgent:
         writer_config: WriterConfig | None = None,
         transport=None,
         spans: SpanRecorder | None = None,
+        rollup_config: RollupConfig | None = None,
     ) -> None:
         self.backend = backend
         self.spans = spans if spans is not None else default_recorder()
@@ -134,6 +141,11 @@ class CollectAgent:
         self.tracer = PipelineTracer(
             self.metrics, clock=clock, sample_every=trace_sample_every
         )
+        self.rollup = (
+            RollupEngine(backend, rollup_config, metrics=self.metrics, clock=clock)
+            if rollup_config is not None
+            else None
+        )
         self.writer = (
             BatchingWriter(
                 backend,
@@ -142,6 +154,7 @@ class CollectAgent:
                 clock=clock,
                 tracer=self.tracer,
                 spans=self.spans,
+                rollup=self.rollup,
             )
             if writer_config is not None
             else None
@@ -189,6 +202,10 @@ class CollectAgent:
         # or flush() would freeze a memtable that is still missing them.
         if self.writer is not None:
             self.writer.stop()
+        if self.rollup is not None:
+            # One last pass so every sealable bucket (and any batch a
+            # transient fault left pending) lands before shutdown.
+            self.rollup.flush()
         self.backend.flush()
         stop = getattr(self.broker, "stop", None)
         if stop is not None:
@@ -289,6 +306,8 @@ class CollectAgent:
                     exc,
                 )
                 return
+            if self.rollup is not None:
+                self.rollup.observe(items)
             commit_ns = self._clock()
             if traced:
                 # The batch is durably in the backend's write path: this
@@ -461,4 +480,6 @@ class CollectAgent:
             # None on the synchronous path; queue/batch statistics of
             # the asynchronous ingest path when batching is enabled.
             "writer": self.writer.status() if self.writer is not None else None,
+            # None when continuous aggregation is disabled.
+            "rollup": self.rollup.status() if self.rollup is not None else None,
         }

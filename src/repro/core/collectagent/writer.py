@@ -163,10 +163,15 @@ class BatchingWriter:
         clock=None,
         tracer=None,
         spans: SpanRecorder | None = None,
+        rollup=None,
     ) -> None:
         from repro.common.timeutil import now_ns
 
         self.backend = backend
+        # Continuous-aggregation hook (a RollupEngine): observes every
+        # batch AFTER insert_batch succeeded, so rollups are derived
+        # only from readings that are durably in the backend.
+        self.rollup = rollup
         self.config = config if config is not None else WriterConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
@@ -393,6 +398,11 @@ class BatchingWriter:
         self._batch_size.observe(count)
         self._flushes.inc()
         self._flushed.inc(count)
+        if self.rollup is not None:
+            # After the durability accounting: rollups are derived only
+            # from readings the backend accepted, and the engine never
+            # raises (a rollup failure costs freshness, not raw data).
+            self.rollup.observe(items)
         for _, origin_ns, _, attempts, trace_id in taken:
             if origin_ns is not None and self.tracer is not None:
                 self.tracer.stamp("commit", origin_ns, trace_id=trace_id)

@@ -16,8 +16,15 @@ Serves the de-facto Grafana JSON datasource protocol:
                       paper lists alert notifications among Grafana's
                       benefits, section 5.4).
 
-Long ranges are downsampled server-side to ``maxDataPoints`` buckets
-(mean), which is what keeps million-sensor deployments plottable.
+Long ranges are downsampled server-side to ``maxDataPoints`` buckets,
+which is what keeps million-sensor deployments plottable.  Whenever a
+rollup tier covers the requested window the buckets are served from
+pre-aggregated rows through the tier-aware planner
+(:meth:`~repro.libdcdb.api.DCDBClient.query_aggregate_many`) instead
+of re-scanning raw readings; targets may carry an ``"aggregation"``
+key (``avg``/``min``/``max``/``sum``/``count``, default ``avg``) to
+pick the statistic.  Raw scans with mean downsampling remain the
+fallback for virtual sensors, short windows and uncovered spans.
 Virtual sensors work transparently: the client resolves and evaluates
 them like any topic.
 """
@@ -113,27 +120,76 @@ class GrafanaDataSource:
         start = int(time_range.get("from_ns", 0))
         end = int(time_range.get("to_ns", (1 << 62)))
         max_points = int(payload.get("maxDataPoints", 1000) or 1000)
-        topics = [t.get("target", "") for t in payload.get("targets", [])]
-        topics = [t for t in topics if t]
-        if len(topics) > 1:
+        targets = [t for t in payload.get("targets", []) if t.get("target")]
+        results: dict[str, tuple] = {}
+        errors: dict[str, str] = {}
+        legacy: list[str] = []  # raw read + mean downsample path
+        planned: dict[str, str] = {}  # topic -> aggregation, tier planner path
+        for target in targets:
+            topic = target["target"]
+            if topic in results or topic in errors or topic in planned or topic in legacy:
+                continue
+            aggregation = target.get("aggregation")
+            try:
+                if aggregation is None:
+                    # Dashboard default: route through the planner only
+                    # when a rollup tier can actually serve the window —
+                    # otherwise keep the raw-scan + mean-downsample path
+                    # (virtual sensors, short windows, uncovered spans).
+                    plan = self.client.plan_aggregate(topic, start, end, max_points)
+                    if plan.tier_index is None:
+                        legacy.append(topic)
+                        continue
+                    aggregation = "avg"
+                planned[topic] = aggregation
+            except DCDBError as exc:
+                errors[topic] = str(exc)
+        by_aggregation: dict[str, list[str]] = {}
+        for topic, aggregation in planned.items():
+            by_aggregation.setdefault(aggregation, []).append(topic)
+        for aggregation, group in by_aggregation.items():
+            try:
+                results.update(
+                    self.client.query_aggregate_many(
+                        group, start, end, aggregation, max_points
+                    )
+                )
+            except DCDBError:
+                # One bad target must not fail the group: retry each on
+                # its own so errors are reported per series.
+                for topic in group:
+                    try:
+                        results[topic] = self.client.query_aggregate(
+                            topic, start, end, aggregation, max_points
+                        )
+                    except DCDBError as exc:
+                        errors[topic] = str(exc)
+        if len(legacy) > 1:
             # Multi-panel refreshes: one batched storage read primes
             # the raw cache for every concrete target.  Failures fall
             # through to the per-target reads below, which report them
             # per series instead of failing the whole request.
             try:
-                self.client.prefetch_raw(topics, start, end)
+                self.client.prefetch_raw(legacy, start, end)
             except DCDBError:
                 pass
-        series = []
-        for topic in topics:
+        for topic in legacy:
             try:
                 timestamps, values = self.client.query(topic, start, end)
             except DCDBError as exc:
-                series.append({"target": topic, "error": str(exc), "datapoints": []})
+                errors[topic] = str(exc)
                 continue
             if timestamps.size > max_points:
                 bucket_ns = max(1, (end - start) // max_points)
                 timestamps, values = downsample_mean(timestamps, values, bucket_ns)
+            results[topic] = (timestamps, values)
+        series = []
+        for target in targets:
+            topic = target["target"]
+            if topic in errors:
+                series.append({"target": topic, "error": errors[topic], "datapoints": []})
+                continue
+            timestamps, values = results[topic]
             datapoints = [
                 [float(v), int(t // 1_000_000)]  # Grafana wants ms epochs
                 for t, v in zip(timestamps.tolist(), values.tolist())

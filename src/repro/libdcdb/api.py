@@ -40,11 +40,43 @@ from repro.libdcdb.virtualsensors import (
 )
 from repro.observability import MetricsRegistry
 from repro.storage.backend import StorageBackend
+from repro.storage.rollup import (
+    FIELDS,
+    ROLLUP_TIERS,
+    aggregate_buckets,
+    coverage_key,
+    reduce_rows,
+    rollup_sid,
+)
 
 _SIDMAP_PREFIX = "sidmap"
 _SENSORCFG_PREFIX = "sensorconfig"
 _VSENSOR_PREFIX = "virtualsensor/"
 _VCACHE_PREFIX = "vcache/"
+
+#: Aggregations the tier-aware planner serves.  All are derived from
+#: the four decomposable rollup statistics (avg = sum / count).
+AGGREGATIONS = ("avg", "min", "max", "sum", "count")
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatePlan:
+    """How one aggregate query will be served.
+
+    ``tier_index`` is None for a raw scan; otherwise the tier serves
+    the complete output buckets in ``[head_end, tail_start)`` and raw
+    readings fill the window-clipped head (``[start, head_end)``) and
+    the unsealed/partial tail (``[tail_start, end]``).  ``bucket_ns``
+    is the output bucket width — a multiple of the tier's bucket, so
+    tier rows regroup exactly onto the output grid.
+    """
+
+    topic: str
+    tier_index: int | None
+    tier_label: str
+    bucket_ns: int
+    head_end: int = 0
+    tail_start: int = 0
 
 
 @dataclass(slots=True)
@@ -129,6 +161,11 @@ class DCDBClient:
         )
         self._query_latency = self.metrics.histogram(
             "dcdb_libdcdb_query_seconds", "libDCDB-layer query latency", ("op",)
+        )
+        self._tier_selected = self.metrics.counter(
+            "dcdb_rollup_tier_selected_total",
+            "Aggregate queries by the rollup tier that served them (raw = fallback)",
+            ("tier",),
         )
 
     # -- raw-series cache ----------------------------------------------------
@@ -316,7 +353,13 @@ class DCDBClient:
         return len(concrete)
 
     def query(
-        self, topic: str, start: int, end: int, unit: str | None = None
+        self,
+        topic: str,
+        start: int,
+        end: int,
+        unit: str | None = None,
+        aggregation: str | None = None,
+        max_points: int = 1000,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Physical-valued series of a sensor or virtual sensor.
 
@@ -324,7 +367,18 @@ class DCDBClient:
         optionally converts into ``unit``.  Virtual sensors (topics
         under ``/virtual/`` or names with a stored definition) are
         evaluated lazily with result write-back.
+
+        With ``aggregation`` set (one of :data:`AGGREGATIONS`), the
+        query is routed through the tier-aware planner instead: it
+        returns at most ~``max_points`` bucketed aggregates, served
+        from the coarsest rollup tier that satisfies the resolution
+        and falling back to raw for uncovered spans (see
+        :meth:`query_aggregate`).
         """
+        if aggregation is not None:
+            return self.query_aggregate(
+                topic, start, end, aggregation, max_points, unit
+            )
         started = perf_counter()
         vdef = self._virtual_def_for(topic)
         if vdef is not None:
@@ -341,6 +395,323 @@ class DCDBClient:
             values = converter._scale * values + converter._offset
         self._query_latency.labels(op="query").observe(perf_counter() - started)
         return timestamps, values
+
+    # -- tier-aware aggregate planner -----------------------------------------
+
+    def plan_aggregate(
+        self, topic: str, start: int, end: int, max_points: int = 1000
+    ) -> AggregatePlan:
+        """Decide how an aggregate query over ``[start, end]`` is served.
+
+        Picks the *coarsest* rollup tier whose bucket still satisfies
+        the requested resolution (``desired = window // max_points``)
+        and whose persisted coverage reaches the window; the sealed
+        middle is then read from 4 rollup series instead of the raw
+        scan.  Falls back to a raw plan when the window needs finer
+        buckets than the finest tier, the topic is virtual, or no tier
+        has usable coverage (sensor predates the engine, all 8 SID
+        levels in use, unsealed span only).
+        """
+        if max_points < 1:
+            raise QueryError("max_points must be >= 1")
+        window = end - start
+        raw_plan = AggregatePlan(
+            topic=topic,
+            tier_index=None,
+            tier_label="raw",
+            bucket_ns=max(1, window // max_points),
+        )
+        if window <= 0 or self._virtual_def_for(topic) is not None:
+            return raw_plan
+        sid = self.sid_of(topic)
+        desired = max(1, window // max_points)
+        qend = end + 1
+        for tier_index in range(len(ROLLUP_TIERS) - 1, -1, -1):
+            tier = ROLLUP_TIERS[tier_index]
+            if tier.bucket_ns > desired:
+                continue
+            text = self.backend.get_metadata(coverage_key(sid, tier.label))
+            if not text:
+                continue
+            try:
+                doc = json.loads(text)
+                cov_lo, cov_hi = int(doc["lo"]), int(doc["hi"])
+            except (ValueError, KeyError, TypeError):
+                continue
+            # Output buckets are a multiple of the tier bucket, so tier
+            # rows regroup onto the output grid without splitting.
+            bucket_ns = (
+                (desired + tier.bucket_ns - 1) // tier.bucket_ns
+            ) * tier.bucket_ns
+            head_end = -(-start // bucket_ns) * bucket_ns
+            tail_start = min(
+                (qend // bucket_ns) * bucket_ns,
+                (cov_hi // bucket_ns) * bucket_ns,
+            )
+            # Usable iff the tier covers every complete output bucket
+            # from head_end on: the window-clipped head and the
+            # unsealed (or uncovered) tail stay raw.
+            if cov_lo <= head_end and tail_start > head_end:
+                return AggregatePlan(
+                    topic=topic,
+                    tier_index=tier_index,
+                    tier_label=tier.label,
+                    bucket_ns=bucket_ns,
+                    head_end=head_end,
+                    tail_start=tail_start,
+                )
+        return raw_plan
+
+    def query_aggregate(
+        self,
+        topic: str,
+        start: int,
+        end: int,
+        aggregation: str = "avg",
+        max_points: int = 1000,
+        unit: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucketed aggregate series of ``topic`` over ``[start, end]``.
+
+        Returns ``(bucket_start_timestamps, values)`` with at most
+        ~``max_points`` buckets on the absolute ``ts // bucket_ns``
+        grid (empty buckets omitted).  Served from a rollup tier when
+        :meth:`plan_aggregate` finds one — dashboard-scale windows read
+        hundreds of pre-aggregated rows instead of millions of raw
+        ones — and otherwise from a raw scan.  Either path runs the
+        identical aggregation arithmetic on the identical stored
+        integers, so results are bit-identical regardless of the tier
+        chosen.
+        """
+        if aggregation not in AGGREGATIONS:
+            raise QueryError(
+                f"unknown aggregation {aggregation!r}; expected one of {AGGREGATIONS}"
+            )
+        started = perf_counter()
+        plan = self.plan_aggregate(topic, start, end, max_points)
+        if plan.tier_index is None:
+            result = self._aggregate_raw(plan, start, end, aggregation, unit)
+        else:
+            result = self._aggregate_tiered(plan, start, end, aggregation, unit)
+        self._tier_selected.labels(tier=plan.tier_label).inc()
+        self._query_latency.labels(op="query_aggregate").observe(
+            perf_counter() - started
+        )
+        return result
+
+    def query_aggregate_many(
+        self,
+        topics,
+        start: int,
+        end: int,
+        aggregation: str = "avg",
+        max_points: int = 1000,
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Bulk :meth:`query_aggregate` with batched storage reads.
+
+        Topics sharing plan geometry (same tier, bucket and head/tail
+        split — the common case for a dashboard of co-sampled sensors)
+        have their rollup middles fetched in one ``query_many`` call;
+        raw-planned topics share one bulk raw read.  Virtual topics
+        fall back to per-topic evaluation.
+        """
+        if aggregation not in AGGREGATIONS:
+            raise QueryError(
+                f"unknown aggregation {aggregation!r}; expected one of {AGGREGATIONS}"
+            )
+        started = perf_counter()
+        unique = list(dict.fromkeys(topics))
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        plans: dict[str, AggregatePlan] = {}
+        raw_topics: list[str] = []
+        for topic in unique:
+            if self._virtual_def_for(topic) is not None:
+                out[topic] = self.query_aggregate(
+                    topic, start, end, aggregation, max_points
+                )
+                continue
+            plan = self.plan_aggregate(topic, start, end, max_points)
+            plans[topic] = plan
+            if plan.tier_index is None:
+                raw_topics.append(topic)
+        if raw_topics:
+            raw = self.query_raw_many(raw_topics, start, end)
+            for topic in raw_topics:
+                stats = aggregate_buckets(*raw[topic], plans[topic].bucket_ns)
+                out[topic] = self._decode_stats(
+                    self.sensor_config(topic), aggregation, stats, None
+                )
+                self._tier_selected.labels(tier="raw").inc()
+        groups: dict[tuple[int, int, int, int], list[str]] = {}
+        for topic, plan in plans.items():
+            if plan.tier_index is not None:
+                key = (plan.tier_index, plan.bucket_ns, plan.head_end, plan.tail_start)
+                groups.setdefault(key, []).append(topic)
+        for (tier_index, _bucket_ns, head_end, tail_start), group in groups.items():
+            fsids_by_topic = {
+                topic: self._field_sids(topic, tier_index) for topic in group
+            }
+            flat = [fsid for fsids in fsids_by_topic.values() for fsid in fsids]
+            fetched = self.backend.query_many(flat, head_end, tail_start - 1)
+            heads = (
+                self.query_raw_many(group, start, head_end - 1)
+                if start < head_end
+                else {}
+            )
+            tails = (
+                self.query_raw_many(group, tail_start, end)
+                if tail_start <= end
+                else {}
+            )
+            for topic in group:
+                plan = plans[topic]
+                field_rows = [fetched[fsid] for fsid in fsids_by_topic[topic]]
+                stats = self._assemble_tier_stats(
+                    plan, field_rows, heads.get(topic), tails.get(topic)
+                )
+                out[topic] = self._decode_stats(
+                    self.sensor_config(topic), aggregation, stats, None
+                )
+                self._tier_selected.labels(tier=plan.tier_label).inc()
+        self._query_latency.labels(op="query_aggregate_many").observe(
+            perf_counter() - started
+        )
+        return {topic: out[topic] for topic in unique}
+
+    def delete_before(self, topic: str, cutoff: int) -> int:
+        """Delete readings of ``topic`` strictly older than ``cutoff``.
+
+        Routes through the backend's vectorized ``delete_before`` and
+        drops the topic's cached raw series — a TTL'd cache entry would
+        otherwise keep serving the deleted readings until expiry.
+        Returns the number of readings removed.
+        """
+        removed = int(self.backend.delete_before(self.sid_of(topic), cutoff))
+        self.invalidate_cache(topic)
+        return removed
+
+    def _field_sids(self, topic: str, tier_index: int) -> list[SensorId]:
+        sid = self.sid_of(topic)
+        fsids = [
+            rollup_sid(sid, tier_index, field_index)
+            for field_index in range(len(FIELDS))
+        ]
+        if any(fsid is None for fsid in fsids):
+            # Unreachable in practice: a coverage doc only exists when
+            # the engine had a spare level to derive rollup SIDs from.
+            raise QueryError(f"sensor {topic!r} cannot carry rollup series")
+        return fsids  # type: ignore[return-value]
+
+    def _aggregate_raw(
+        self,
+        plan: AggregatePlan,
+        start: int,
+        end: int,
+        aggregation: str,
+        unit: str | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw fallback: scan + bucket with the shared kernel."""
+        vdef = self._virtual_def_for(plan.topic)
+        if vdef is not None:
+            # Virtual series are already physical-valued (and unit
+            # converted by query); bucket the floats directly.
+            timestamps, values = self.query(plan.topic, start, end, unit)
+            stats = aggregate_buckets(timestamps, values, plan.bucket_ns)
+            return self._decode_stats(None, aggregation, stats, None)
+        timestamps, raw = self.query_raw(plan.topic, start, end)
+        stats = aggregate_buckets(timestamps, raw, plan.bucket_ns)
+        return self._decode_stats(self.sensor_config(plan.topic), aggregation, stats, unit)
+
+    def _aggregate_tiered(
+        self,
+        plan: AggregatePlan,
+        start: int,
+        end: int,
+        aggregation: str,
+        unit: str | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve the sealed middle from rollup rows, head/tail from raw."""
+        field_sids = self._field_sids(plan.topic, plan.tier_index)
+        fetched = self.backend.query_many(field_sids, plan.head_end, plan.tail_start - 1)
+        field_rows = [fetched[fsid] for fsid in field_sids]
+        head = (
+            self.query_raw(plan.topic, start, plan.head_end - 1)
+            if start < plan.head_end
+            else None
+        )
+        tail = (
+            self.query_raw(plan.topic, plan.tail_start, end)
+            if plan.tail_start <= end
+            else None
+        )
+        stats = self._assemble_tier_stats(plan, field_rows, head, tail)
+        return self._decode_stats(self.sensor_config(plan.topic), aggregation, stats, unit)
+
+    @staticmethod
+    def _assemble_tier_stats(plan: AggregatePlan, field_rows, head, tail):
+        """Concatenate head (raw), middle (tier rows) and tail (raw) stats.
+
+        The three regions are disjoint and increasing on the output
+        bucket grid — the head ends where the first complete bucket
+        begins and the tail starts on a bucket boundary — so per-bucket
+        statistics concatenate without merging.  ``field_rows`` holds
+        the four (timestamps, values) tier series in ``FIELDS`` order;
+        all four are written in one batch, so their grids match.
+        """
+        parts = []
+        if head is not None and head[0].size:
+            parts.append(aggregate_buckets(head[0], head[1], plan.bucket_ns))
+        ufuncs = (np.minimum, np.maximum, np.add, np.add)
+        reduced = [
+            reduce_rows(timestamps, values, plan.bucket_ns, ufunc)
+            for (timestamps, values), ufunc in zip(field_rows, ufuncs)
+        ]
+        starts = reduced[0][0]
+        if starts.size:
+            parts.append(
+                (starts, reduced[0][1], reduced[1][1], reduced[2][1], reduced[3][1])
+            )
+        if tail is not None and tail[0].size:
+            parts.append(aggregate_buckets(tail[0], tail[1], plan.bucket_ns))
+        if not parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, empty, empty
+        if len(parts) == 1:
+            return parts[0]
+        return tuple(np.concatenate(columns) for columns in zip(*parts))
+
+    @staticmethod
+    def _decode_stats(
+        config: SensorConfig | None,
+        aggregation: str,
+        stats,
+        unit: str | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Derive the requested aggregation and decode to physical values.
+
+        ``count`` is returned unscaled (it counts readings, not a
+        physical quantity).  ``config=None`` skips decoding (virtual
+        series are already physical).
+        """
+        starts, mins, maxs, sums, counts = stats
+        if aggregation == "count":
+            return starts, counts.astype(np.float64)
+        if aggregation == "avg":
+            values = sums.astype(np.float64) / counts.astype(np.float64)
+        elif aggregation == "min":
+            values = mins.astype(np.float64)
+        elif aggregation == "max":
+            values = maxs.astype(np.float64)
+        else:  # sum
+            values = sums.astype(np.float64)
+        if config is None:
+            return starts, values
+        if config.scale != 1.0:
+            values = values / config.scale
+        if unit is not None and unit != config.unit:
+            converter = get_converter(config.unit, unit)
+            values = converter._scale * values + converter._offset
+        return starts, values
 
     # -- virtual sensors -----------------------------------------------------------
 
@@ -520,7 +891,7 @@ class _Resolver:
         timestamps, values = self.client.query(topic, start, end)
         return timestamps, values, config.unit
 
-    def series_many(self, topics, start: int, end: int):
+    def series_many(self, topics, start: int, end: int, max_points: int | None = None):
         """Batched :meth:`series`: concrete topics in one bulk read.
 
         Returns ``{topic: (timestamps, values, unit)}``.  Virtual
@@ -528,7 +899,9 @@ class _Resolver:
         batches its own operands); concrete topics travel in a single
         ``query_raw_many`` and are decoded exactly like
         :meth:`DCDBClient.query` would, so results are bit-identical
-        to the per-topic path.
+        to the per-topic path.  With ``max_points`` set, concrete
+        topics are served as ~``max_points`` per-bucket averages
+        through the tier-aware planner instead of at raw resolution.
         """
         out: dict[str, tuple] = {}
         concrete: list[str] = []
@@ -539,7 +912,15 @@ class _Resolver:
                 out[topic] = self.series(topic, start, end)
             else:
                 concrete.append(topic)
-        if concrete:
+        if concrete and max_points is not None:
+            bucketed = self.client.query_aggregate_many(
+                concrete, start, end, "avg", max_points
+            )
+            for topic in concrete:
+                config = self.client.sensor_config(topic)
+                timestamps, values = bucketed[topic]
+                out[topic] = (timestamps, values, config.unit)
+        elif concrete:
             raw = self.client.query_raw_many(concrete, start, end)
             for topic in concrete:
                 config = self.client.sensor_config(topic)

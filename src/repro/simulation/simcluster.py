@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.timeutil import NS_PER_SEC, SimClock
-from repro.core.collectagent import CollectAgent, WriterConfig
+from repro.core.collectagent import CollectAgent, RollupConfig, WriterConfig
 from repro.core.pusher import Pusher, PusherConfig
 from repro.faults import FaultPlan, FlakyNode
 from repro.faults.plan import KILL, RESTART
@@ -46,6 +46,10 @@ class SimClusterConfig:
     #: :class:`~repro.core.collectagent.writer.BatchingWriter` instead
     #: of writing synchronously per MQTT message.
     writer_config: WriterConfig | None = None
+    #: When set, the agent maintains continuous-aggregation rollup
+    #: tiers (stored as ordinary series, so replication and hinted
+    #: handoff cover them like any reading).
+    rollup_config: RollupConfig | None = None
     #: Seeded fault schedule; enables FlakyNode wrapping and lets
     #: run() fire scheduled kill/restart events on the sim clock.
     fault_plan: FaultPlan | None = None
@@ -119,6 +123,7 @@ class SimulatedCluster:
             self.backend,
             broker=self.hub,
             writer_config=self.config.writer_config,
+            rollup_config=self.config.rollup_config,
             trace_sample_every=self.config.trace_sample_every,
             spans=self.spans,
         )

@@ -37,10 +37,28 @@ from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite import SqliteBackend
 from repro.storage.csv_io import export_csv, import_csv
 from repro.storage.persistence import save_node, load_node
+from repro.storage.rollup import (
+    ROLLUP_TIERS,
+    RetentionPolicy,
+    RollupConfig,
+    RollupEngine,
+    RollupTier,
+    aggregate_buckets,
+    is_rollup_sid,
+    rollup_sid,
+)
 
 __all__ = [
     "save_node",
     "load_node",
+    "ROLLUP_TIERS",
+    "RetentionPolicy",
+    "RollupConfig",
+    "RollupEngine",
+    "RollupTier",
+    "aggregate_buckets",
+    "is_rollup_sid",
+    "rollup_sid",
     "StorageBackend",
     "StorageNode",
     "Partitioner",

@@ -1,0 +1,612 @@
+"""Rollup tiers: continuous aggregation of raw series at ingest.
+
+The paper's storage design (section 4.3) assumes query cost bounded by
+the *requested* resolution, not the ingest rate — a dashboard plotting
+a month of data must not re-scan a month of raw readings on every
+refresh.  This module maintains pre-aggregated **rollup tiers** per
+sensor (10 s / 1 m / 1 h buckets by default), each carrying the four
+decomposable statistics min / max / sum / count, from which every
+aggregation libDCDB serves (including avg = sum/count) is exactly
+reconstructible.
+
+Rollup series are *ordinary* series: each (tier, field) pair is stored
+under a SID derived from the raw sensor's SID by setting the deepest
+(8th) hierarchy level to a reserved code.  Because the rollup SID
+shares the raw SID's prefix, the hierarchical partitioner co-locates a
+sensor's rollups with its raw data, and replication, hinted handoff,
+segment pruning and ``delete_before`` all apply unchanged — the engine
+needs no storage-layer support beyond ``insert_batch``.
+
+Sealing follows the same rule as the streaming
+:class:`~repro.analytics.operators.Aggregator`: a bucket is complete
+once a reading with a *later* timestamp arrives (sensors are
+synchronized in DCDB).  Sealed buckets are recomputed **from the raw
+series just written** — the engine observes batches only after the
+backend accepted them — so rollup values inherit storage's
+last-write-wins timestamp dedup and are bit-identical to aggregating
+the raw rows at query time.  Late readings that land below a sealed
+watermark trigger a recompute of the affected buckets (LWW overwrite
+on re-insert).  Per-sensor/per-tier coverage windows are persisted as
+backend metadata, so the query planner knows exactly which span a tier
+can serve and falls back to raw outside it, and the engine resumes
+after a restart without double-counting.
+
+Retention (:class:`RetentionPolicy`) demotes raw data to its rollups
+via the vectorized ``delete_before`` path: the effective cutoff is
+clamped to the sealed watermark of the coarsest surviving tier, so
+demotion can never drop readings that have not yet been folded into
+every series that outlives them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC, now_ns
+from repro.core.sid import SID_BITS_PER_LEVEL, SID_LEVELS, SensorId
+from repro.observability import MetricsRegistry
+from repro.storage.backend import InsertItem, StorageBackend
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "FIELDS",
+    "ROLLUP_TIERS",
+    "RetentionPolicy",
+    "RollupConfig",
+    "RollupEngine",
+    "RollupTier",
+    "aggregate_buckets",
+    "coverage_key",
+    "is_rollup_sid",
+    "reduce_rows",
+    "rollup_sid",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RollupTier:
+    """One rollup resolution: a label and its bucket width."""
+
+    label: str
+    bucket_ns: int
+
+
+#: The built-in tier ladder.  Coarser buckets are exact multiples of
+#: finer ones, so every tier boundary is aligned with every finer tier
+#: and with the absolute ``timestamp // bucket_ns`` grid.
+ROLLUP_TIERS: tuple[RollupTier, ...] = (
+    RollupTier("10s", 10 * NS_PER_SEC),
+    RollupTier("1m", 60 * NS_PER_SEC),
+    RollupTier("1h", 3600 * NS_PER_SEC),
+)
+
+#: Statistics maintained per bucket.  All four are decomposable
+#: (min of mins, sum of sums, ...), which is what lets the planner
+#: merge tier rows into arbitrary coarser output buckets exactly.
+FIELDS: tuple[str, ...] = ("min", "max", "sum", "count")
+
+#: Rollup series occupy the deepest SID level with codes from this
+#: base upward: code = _ROLLUP_BASE + tier_index * 16 + field_index.
+#: Sensors already using all 8 hierarchy levels have no room for a
+#: rollup suffix and simply stay raw-only (the planner falls back).
+_ROLLUP_BASE = 0xFD00
+_ROLLUP_LEVEL = SID_LEVELS - 1
+_ROLLUP_SHIFT = SID_BITS_PER_LEVEL * (SID_LEVELS - 1 - _ROLLUP_LEVEL)
+
+#: Metadata key prefix of the per-(sid, tier) coverage documents.
+_COVERAGE_PREFIX = "rollupcov/"
+
+
+def rollup_sid(sid: SensorId, tier_index: int, field_index: int) -> SensorId | None:
+    """SID storing one (tier, field) rollup series of ``sid``.
+
+    Returns None when the raw SID populates all 8 levels — there is no
+    spare level to carve the reserved suffix from.
+    """
+    if sid.level_code(_ROLLUP_LEVEL) != 0:
+        return None
+    code = _ROLLUP_BASE + tier_index * 16 + field_index
+    return SensorId(sid.value | (code << _ROLLUP_SHIFT))
+
+
+def is_rollup_sid(sid: SensorId) -> bool:
+    """True when ``sid`` is a derived rollup series, not a raw sensor."""
+    return sid.level_code(_ROLLUP_LEVEL) >= _ROLLUP_BASE
+
+
+def coverage_key(sid: SensorId, tier_label: str) -> str:
+    """Metadata key of the (sid, tier) coverage document."""
+    return f"{_COVERAGE_PREFIX}{tier_label}/{sid.hex()}"
+
+
+def aggregate_buckets(
+    timestamps: np.ndarray, values: np.ndarray, bucket_ns: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bucket (start, min, max, sum, count) of a sorted series.
+
+    Buckets follow the absolute ``timestamp // bucket_ns`` grid; empty
+    buckets are omitted.  This is the single aggregation kernel shared
+    by the ingest-side engine and the query planner's raw fallback, so
+    tier-served and raw-computed aggregates are bit-identical by
+    construction.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if timestamps.size == 0:
+        return empty, empty, empty, empty, empty
+    buckets = timestamps // bucket_ns
+    starts_idx = np.flatnonzero(np.diff(buckets)) + 1
+    idx = np.concatenate((np.zeros(1, dtype=np.intp), starts_idx))
+    mins = np.minimum.reduceat(values, idx)
+    maxs = np.maximum.reduceat(values, idx)
+    sums = np.add.reduceat(values, idx)
+    counts = np.diff(np.concatenate((idx, [timestamps.size]))).astype(np.int64)
+    starts = buckets[idx] * bucket_ns
+    return starts, mins, maxs, sums, counts
+
+
+def reduce_rows(
+    timestamps: np.ndarray, values: np.ndarray, bucket_ns: int, ufunc
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine tier rows into coarser buckets with one decomposable ufunc.
+
+    The planner's middle section: tier rows (bucket starts + one
+    statistic) are regrouped onto the output-bucket grid — min of mins
+    via ``np.minimum``, sum of sums / count of counts via ``np.add``.
+    ``bucket_ns`` must be a multiple of the rows' native bucket width
+    so no row straddles an output boundary.
+    """
+    if timestamps.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    buckets = timestamps // bucket_ns
+    starts_idx = np.flatnonzero(np.diff(buckets)) + 1
+    idx = np.concatenate((np.zeros(1, dtype=np.intp), starts_idx))
+    return buckets[idx] * bucket_ns, ufunc.reduceat(values, idx)
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionPolicy:
+    """Age horizons of the demotion lifecycle (0 = keep forever).
+
+    ``raw_horizon_s``
+        raw readings older than this are deleted once the coarsest
+        surviving tier has sealed past them.
+    ``tier_horizons_s``
+        per-tier horizons for the rollup series themselves (finest
+        first); a tier's rows are only deleted up to the sealed
+        watermark of the coarsest tier above it, so the demotion chain
+        never drops data no surviving series still covers.
+    """
+
+    raw_horizon_s: int = 0
+    tier_horizons_s: tuple[int, ...] = (0, 0, 0)
+
+    def __post_init__(self) -> None:
+        if self.raw_horizon_s < 0:
+            raise ValueError("raw_horizon_s must be >= 0")
+        if any(h < 0 for h in self.tier_horizons_s):
+            raise ValueError("tier horizons must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class RollupConfig:
+    """Tuning knobs of the continuous-aggregation engine.
+
+    ``tiers``
+        the rollup ladder (finest first; each coarser ``bucket_ns``
+        must be an exact multiple of the finer one).
+    ``ttl_s``
+        TTL applied to rollup rows (0 = keep forever — rollups are the
+        long-lived representation, raw data is what expires).
+    ``retention``
+        when set, :meth:`RollupEngine.observe` opportunistically runs
+        the demotion lifecycle every ``retention_check_every_s``.
+    """
+
+    tiers: tuple[RollupTier, ...] = ROLLUP_TIERS
+    ttl_s: int = 0
+    retention: RetentionPolicy | None = None
+    retention_check_every_s: int = 600
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("at least one rollup tier is required")
+        previous = 0
+        for tier in self.tiers:
+            if tier.bucket_ns <= 0:
+                raise ValueError(f"tier {tier.label}: bucket_ns must be positive")
+            if previous and tier.bucket_ns % previous != 0:
+                raise ValueError(
+                    f"tier {tier.label}: bucket must be a multiple of the finer tier"
+                )
+            previous = tier.bucket_ns
+        if self.retention_check_every_s <= 0:
+            raise ValueError("retention_check_every_s must be positive")
+
+
+@dataclass(slots=True)
+class _SidState:
+    """Per-sensor rollup bookkeeping (guarded by the engine lock)."""
+
+    coverage: list[list[int]]  # per tier: [lo, hi) sealed span, ns
+    high: int  # newest raw timestamp observed
+    dirty_min: int | None = None  # oldest unprocessed observation
+    dirty: bool = False  # has unprocessed observations
+    pending: bool = False  # last advance failed; retry on next chance
+    field_sids: list[SensorId] = field(default_factory=list)
+
+
+class RollupEngine:
+    """Maintains the rollup tiers of every sensor flowing through ingest.
+
+    ``observe()`` is called by the batching writer (and the agent's
+    synchronous path) with the exact item list a successful
+    ``insert_batch`` just persisted; it advances sealed watermarks and
+    writes rollup rows through the same backend.  It never raises —
+    rollups are derived data, and a rollup failure must cost freshness,
+    not raw durability.  Failed rollup writes are retried on the next
+    observation (watermarks only advance after a successful write).
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        config: RollupConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=None,
+    ) -> None:
+        self.backend = backend
+        self.config = config if config is not None else RollupConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else now_ns
+        self._lock = threading.Lock()
+        self._states: dict[SensorId, _SidState] = {}
+        self._skip: set[SensorId] = set()  # rollup sids / no spare level
+        self._last_retention_ns: int | None = None
+        self._observed = self.metrics.counter(
+            "dcdb_rollup_readings_observed_total",
+            "Raw readings observed by the rollup engine after durable insert",
+        )
+        self._buckets_written = self.metrics.counter(
+            "dcdb_rollup_buckets_written_total",
+            "Sealed rollup buckets written, per tier",
+            ("tier",),
+        )
+        self._flushes = self.metrics.counter(
+            "dcdb_rollup_flushes_total",
+            "Engine passes that sealed and wrote at least one bucket",
+        )
+        self._errors = self.metrics.counter(
+            "dcdb_rollup_write_errors_total",
+            "Rollup batches the backend failed to accept (retried later)",
+        )
+        self._late = self.metrics.counter(
+            "dcdb_rollup_late_readings_total",
+            "Readings that arrived below a sealed watermark (bucket recomputed)",
+        )
+        self._retention_deleted = self.metrics.counter(
+            "dcdb_rollup_retention_deleted_total",
+            "Readings removed by the demotion lifecycle, per series kind",
+            ("tier",),
+        )
+
+    # -- ingest side --------------------------------------------------------
+
+    def observe(self, items: list[InsertItem]) -> None:
+        """Fold one durably-inserted batch into the rollup state.
+
+        Must be called only after ``insert_batch`` succeeded for
+        ``items`` — sealing reads the raw series back, so observing
+        unpersisted readings would roll up data that may not exist.
+        Never raises; failures are counted and retried.
+        """
+        try:
+            self._observe(items)
+        except Exception:  # noqa: BLE001 - derived data must not break ingest
+            self._errors.inc()
+            logger.exception("rollup observe failed for %d readings", len(items))
+        self._maybe_retention()
+
+    def _observe(self, items: list[InsertItem]) -> None:
+        touched: list[tuple[SensorId, _SidState]] = []
+        observed = 0
+        late = 0
+        with self._lock:
+            for sid, timestamp, _value, _ttl in items:
+                state = self._states.get(sid)
+                if state is None:
+                    if sid in self._skip:
+                        continue
+                    state = self._new_state(sid, timestamp)
+                    if state is None:
+                        # No room for a rollup suffix, or itself a
+                        # rollup series: stays raw-only.
+                        self._skip.add(sid)
+                        continue
+                observed += 1
+                if timestamp > state.high:
+                    state.high = timestamp
+                if state.dirty_min is None or timestamp < state.dirty_min:
+                    state.dirty_min = timestamp
+                if timestamp < state.coverage[0][1]:
+                    late += 1
+                if not state.dirty:
+                    state.dirty = True
+                    touched.append((sid, state))
+            # Give previously failed sids another chance on any traffic.
+            for sid, state in self._states.items():
+                if state.pending and not state.dirty:
+                    state.dirty = True
+                    touched.append((sid, state))
+        if observed:
+            self._observed.inc(observed)
+        if late:
+            self._late.inc(late)
+        for sid, state in touched:
+            self._advance(sid, state)
+
+    def _new_state(self, sid: SensorId, first_ts: int) -> _SidState | None:
+        """Create (or restore from metadata) the state of a new sid."""
+        if is_rollup_sid(sid) or sid.level_code(_ROLLUP_LEVEL) != 0:
+            return None
+        coverage: list[list[int]] = []
+        field_sids: list[SensorId] = []
+        for tier_index, tier in enumerate(self.config.tiers):
+            span = None
+            text = self.backend.get_metadata(coverage_key(sid, tier.label))
+            if text:
+                try:
+                    doc = json.loads(text)
+                    span = [int(doc["lo"]), int(doc["hi"])]
+                except (ValueError, KeyError, TypeError):
+                    span = None
+            if span is None:
+                # Fresh sensor: coverage starts at the bucket holding
+                # the first observed reading — earlier data (ingested
+                # before the engine existed) stays raw-only and the
+                # planner serves it from raw.
+                aligned = (first_ts // tier.bucket_ns) * tier.bucket_ns
+                span = [aligned, aligned]
+            coverage.append(span)
+            for field_index in range(len(FIELDS)):
+                fsid = rollup_sid(sid, tier_index, field_index)
+                assert fsid is not None
+                field_sids.append(fsid)
+        state = _SidState(
+            coverage=coverage, high=max(first_ts, coverage[0][1]), field_sids=field_sids
+        )
+        self._states[sid] = state
+        return state
+
+    def _advance(self, sid: SensorId, state: _SidState) -> None:
+        """Seal every bucket the newest observation completed.
+
+        Recomputes each pending tier region from the raw series (one
+        backend read covering the union of regions), inserts the
+        rollup rows, then persists the advanced coverage documents.
+        Watermarks move only after the rollup write succeeded.
+        """
+        with self._lock:
+            if not state.dirty:
+                return
+            high = state.high
+            dirty_min = state.dirty_min
+            regions: list[tuple[int, int, int]] = []  # (tier_index, lo, hi)
+            for tier_index, tier in enumerate(self.config.tiers):
+                cov_lo, cov_hi = state.coverage[tier_index]
+                seal_end = (high // tier.bucket_ns) * tier.bucket_ns
+                lo = cov_hi
+                if dirty_min is not None and dirty_min < cov_hi:
+                    # Late arrival below a sealed watermark: recompute
+                    # from the bucket holding it (LWW overwrite).
+                    aligned = (dirty_min // tier.bucket_ns) * tier.bucket_ns
+                    lo = max(cov_lo, aligned)
+                if seal_end > lo:
+                    regions.append((tier_index, lo, seal_end))
+            state.dirty = False
+            state.dirty_min = None
+            if not regions:
+                state.pending = False
+                return
+        raw_lo = min(lo for _, lo, _ in regions)
+        raw_hi = max(hi for _, _, hi in regions)
+        try:
+            timestamps, values = self.backend.query(sid, raw_lo, raw_hi - 1)
+            rollup_items: list[InsertItem] = []
+            written_per_tier: list[tuple[str, int]] = []
+            ttl = self.config.ttl_s
+            for tier_index, lo, hi in regions:
+                tier = self.config.tiers[tier_index]
+                left = int(np.searchsorted(timestamps, lo, side="left"))
+                right = int(np.searchsorted(timestamps, hi, side="left"))
+                starts, mins, maxs, sums, counts = aggregate_buckets(
+                    timestamps[left:right], values[left:right], tier.bucket_ns
+                )
+                base = tier_index * len(FIELDS)
+                for field_index, column in enumerate((mins, maxs, sums, counts)):
+                    fsid = state.field_sids[base + field_index]
+                    rollup_items.extend(
+                        (fsid, int(t), int(v), ttl)
+                        for t, v in zip(starts.tolist(), column.tolist())
+                    )
+                written_per_tier.append((tier.label, int(starts.size)))
+            if rollup_items:
+                self.backend.insert_batch(rollup_items)
+            # Advance + persist coverage only now: a failed write above
+            # leaves the watermark behind, so the region is retried.
+            with self._lock:
+                for tier_index, lo, hi in regions:
+                    cov = state.coverage[tier_index]
+                    if lo < cov[0]:
+                        cov[0] = lo
+                    if hi > cov[1]:
+                        cov[1] = hi
+                payloads = [
+                    (
+                        coverage_key(sid, self.config.tiers[tier_index].label),
+                        json.dumps(
+                            {
+                                "lo": state.coverage[tier_index][0],
+                                "hi": state.coverage[tier_index][1],
+                            }
+                        ),
+                    )
+                    for tier_index, _, _ in regions
+                ]
+                state.pending = False
+            for key, payload in payloads:
+                self.backend.put_metadata(key, payload)
+            for label, buckets in written_per_tier:
+                if buckets:
+                    self._buckets_written.labels(tier=label).inc(buckets)
+            if any(buckets for _, buckets in written_per_tier):
+                self._flushes.inc()
+        except Exception:  # noqa: BLE001 - retried on the next observation
+            with self._lock:
+                state.pending = True
+                # Coverage was not advanced, so the sealed region is
+                # retried wholesale; restore the late-arrival floor too.
+                if dirty_min is not None and (
+                    state.dirty_min is None or dirty_min < state.dirty_min
+                ):
+                    state.dirty_min = dirty_min
+            self._errors.inc()
+            logger.exception("rollup advance failed for sid %s", sid.hex())
+
+    def flush(self) -> None:
+        """Process every sid with unsealed or previously failed work.
+
+        Called on agent shutdown and by tests; sealing still requires a
+        later reading, so the open bucket stays open (the planner's raw
+        tail covers it).
+        """
+        with self._lock:
+            todo = [
+                (sid, state)
+                for sid, state in self._states.items()
+                if state.dirty or state.pending
+            ]
+            for _, state in todo:
+                state.dirty = True
+        for sid, state in todo:
+            self._advance(sid, state)
+
+    # -- retention lifecycle -------------------------------------------------
+
+    def _maybe_retention(self) -> None:
+        policy = self.config.retention
+        if policy is None:
+            return
+        now = self._clock()
+        interval = self.config.retention_check_every_s * NS_PER_SEC
+        if self._last_retention_ns is not None and (
+            now - self._last_retention_ns < interval
+        ):
+            return
+        self._last_retention_ns = now
+        try:
+            self.apply_retention(policy, now)
+        except Exception:  # noqa: BLE001 - lifecycle must not break ingest
+            self._errors.inc()
+            logger.exception("rollup retention pass failed")
+
+    def apply_retention(
+        self, policy: RetentionPolicy, now: int | None = None
+    ) -> dict[str, int]:
+        """Demote aged data via ``delete_before``; returns removals per kind.
+
+        The raw cutoff is clamped to the sealed watermark of the
+        coarsest surviving tier, and each tier's cutoff to the
+        watermark of the coarsest tier above it — data is only dropped
+        from a series once every series outliving it has sealed past
+        that point.
+        """
+        if now is None:
+            now = self._clock()
+        tiers = self.config.tiers
+        removed = {"raw": 0, **{tier.label: 0 for tier in tiers}}
+        with self._lock:
+            snapshot = [
+                (sid, [list(span) for span in state.coverage], list(state.field_sids))
+                for sid, state in self._states.items()
+            ]
+        horizons = list(policy.tier_horizons_s)
+        horizons += [0] * (len(tiers) - len(horizons))
+        for sid, coverage, field_sids in snapshot:
+            # Sealed watermark of the coarsest tier kept forever (the
+            # last tier always survives: its horizon guards only finer
+            # series, never itself without a coarser successor).
+            surviving = [
+                index
+                for index in range(len(tiers))
+                if horizons[index] == 0 or index == len(tiers) - 1
+            ]
+            guard_all = min(coverage[index][1] for index in surviving)
+            if policy.raw_horizon_s > 0:
+                cutoff = min(now - policy.raw_horizon_s * NS_PER_SEC, guard_all)
+                if cutoff > 0:
+                    removed["raw"] += int(self.backend.delete_before(sid, cutoff))
+            for tier_index, tier in enumerate(tiers[:-1]):
+                horizon = horizons[tier_index]
+                if horizon <= 0:
+                    continue
+                coarser_guard = min(
+                    coverage[index][1]
+                    for index in surviving
+                    if index > tier_index
+                )
+                cutoff = min(now - horizon * NS_PER_SEC, coarser_guard)
+                if cutoff <= 0:
+                    continue
+                base = tier_index * len(FIELDS)
+                count = 0
+                for fsid in field_sids[base : base + len(FIELDS)]:
+                    count += int(self.backend.delete_before(fsid, cutoff))
+                removed[tier.label] += count
+        for label, count in removed.items():
+            if count:
+                self._retention_deleted.labels(tier=label).inc(count)
+        return removed
+
+    # -- introspection -------------------------------------------------------
+
+    def coverage(self, sid: SensorId, tier_index: int) -> tuple[int, int] | None:
+        """Sealed [lo, hi) span of one tier of ``sid`` (None if untracked)."""
+        with self._lock:
+            state = self._states.get(sid)
+            if state is None:
+                return None
+            lo, hi = state.coverage[tier_index]
+            return lo, hi
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot for the REST ``/status`` document."""
+        with self._lock:
+            tracked = len(self._states)
+            pending = sum(1 for s in self._states.values() if s.pending)
+        return {
+            "tiers": [
+                {"label": tier.label, "bucketNs": tier.bucket_ns}
+                for tier in self.config.tiers
+            ],
+            "trackedSensors": tracked,
+            "pendingSensors": pending,
+            "observed": int(self._observed.value),
+            "flushes": int(self._flushes.value),
+            "writeErrors": int(self._errors.value),
+            "lateReadings": int(self._late.value),
+            "retention": (
+                {
+                    "rawHorizonSeconds": self.config.retention.raw_horizon_s,
+                    "tierHorizonsSeconds": list(self.config.retention.tier_horizons_s),
+                }
+                if self.config.retention is not None
+                else None
+            ),
+        }

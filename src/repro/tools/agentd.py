@@ -19,6 +19,10 @@ Runs a Collect Agent from a configuration file, mirroring DCDB's
         writerThreads 1          ; dedicated flush threads
         traceSampleEvery 1       ; trace 1-in-N headerless messages (0 = off)
         logFormat     plain      ; plain | json (structured one-line JSON)
+        rollups       false      ; continuous aggregation tiers
+        rollupTtl     0          ; seconds, TTL on rollup rows
+        rawHorizon    0          ; seconds before raw rows demote to rollups
+        tierHorizons  0,0,0      ; per-tier horizons, finest first
     }
 
 Runs until interrupted; drains the staging queue (when batching) and
@@ -38,6 +42,7 @@ from repro.common.timeutil import NS_PER_MS
 from repro.core.collectagent.agent import CollectAgent
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.collectagent.writer import WriterConfig
+from repro.storage.rollup import RetentionPolicy, RollupConfig
 from repro.tools.common import open_backend
 from repro.tools.pusherd import configure_logging
 
@@ -63,6 +68,20 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
             policy=global_cfg.get("backpressure", "block"),
             writers=global_cfg.get_int("writerThreads", 1),
         )
+    rollup_config = None
+    if global_cfg.get_bool("rollups", False):
+        horizons = tuple(
+            int(h) for h in global_cfg.get("tierHorizons", "0,0,0").split(",")
+        )
+        retention = RetentionPolicy(
+            raw_horizon_s=global_cfg.get_int("rawHorizon", 0),
+            tier_horizons_s=horizons,
+        )
+        if retention.raw_horizon_s == 0 and not any(horizons):
+            retention = None
+        rollup_config = RollupConfig(
+            ttl_s=global_cfg.get_int("rollupTtl", 0), retention=retention
+        )
     agent = CollectAgent(
         backend,
         host=global_cfg.get("mqttHost", "127.0.0.1"),
@@ -70,6 +89,7 @@ def agent_from_config(tree: PropertyTree) -> tuple[CollectAgent, CollectAgentRes
         cache_maxage_ns=global_cfg.get_int("cacheInterval", 120_000) * NS_PER_MS,
         default_ttl_s=global_cfg.get_int("ttl", 0),
         writer_config=writer_config,
+        rollup_config=rollup_config,
         transport=global_cfg.get("transport", "tcp"),
         trace_sample_every=global_cfg.get_int("traceSampleEvery", 1),
     )

@@ -15,6 +15,8 @@ Subcommands::
     dcdb-config --db URI vsensor delete NAME
     dcdb-config --db URI db compact
     dcdb-config --db URI db deleteolder TOPIC CUTOFF
+    dcdb-config --db URI db retention --raw-horizon 2592000 \
+        [--tier-horizons 604800,2592000,0]
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.common.errors import DCDBError
 from repro.common.timeutil import NS_PER_MS
 from repro.libdcdb.api import DCDBClient
 from repro.libdcdb.virtualsensors import VirtualSensorDef
+from repro.storage.rollup import RetentionPolicy, RollupEngine
 from repro.tools.common import open_backend, parse_time
 
 
@@ -67,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     db_delete = db_sub.add_parser("deleteolder")
     db_delete.add_argument("topic")
     db_delete.add_argument("cutoff", help="delete readings older than this time")
+    db_retention = db_sub.add_parser(
+        "retention", help="catch up rollups and demote aged raw data"
+    )
+    db_retention.add_argument(
+        "--raw-horizon",
+        type=int,
+        default=0,
+        help="delete raw readings older than this many seconds (0 = keep)",
+    )
+    db_retention.add_argument(
+        "--tier-horizons",
+        default=None,
+        help="comma-separated per-tier horizons in seconds, finest first",
+    )
     return parser
 
 
@@ -121,10 +138,33 @@ def main(argv: list[str] | None = None) -> int:
                 backend.compact()
                 print("compaction complete")
             elif args.action == "deleteolder":
-                removed = backend.delete_before(
-                    client.sid_of(args.topic), parse_time(args.cutoff)
-                )
+                removed = client.delete_before(args.topic, parse_time(args.cutoff))
                 print(f"removed {removed} readings")
+            elif args.action == "retention":
+                horizons = (
+                    tuple(int(h) for h in args.tier_horizons.split(","))
+                    if args.tier_horizons
+                    else (0, 0, 0)
+                )
+                policy = RetentionPolicy(
+                    raw_horizon_s=args.raw_horizon, tier_horizons_s=horizons
+                )
+                engine = RollupEngine(backend)
+                # Seed the engine from each sensor's newest reading:
+                # coverage documents are restored from metadata and the
+                # rollup tiers sealed up to that reading before the
+                # demotion pass runs, so a cold CLI process never
+                # deletes raw data its rollups have not absorbed yet.
+                for topic in client.topics(""):
+                    if topic.startswith("/virtual/"):
+                        continue
+                    sid = client.sid_of(topic)
+                    newest = backend.latest(sid)
+                    if newest is not None:
+                        engine.observe([(sid, newest[0], newest[1], 0)])
+                removed = engine.apply_retention(policy)
+                for kind, count in removed.items():
+                    print(f"{kind}: removed {count} readings")
         backend.flush()
         backend.close()
         return 0

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.common.httpjson import JsonHttpServer, http_json, http_text
 from repro.common.timeutil import NS_PER_SEC, SimClock
-from repro.core.collectagent import CollectAgent, WriterConfig
+from repro.core.collectagent import CollectAgent, RollupConfig, WriterConfig
 from repro.libdcdb.api import DCDBClient
 from repro.core.collectagent.restapi import CollectAgentRestApi
 from repro.core.pusher import Pusher, PusherConfig
@@ -40,6 +40,7 @@ from repro.observability import (
     parse_prometheus_text,
 )
 from repro.storage import MemoryBackend, StorageCluster, StorageNode
+from repro.storage.rollup import is_rollup_sid
 
 TESTER_CONFIG = "group g0 { interval 1000\n numSensors 16 }"
 DCDBMON_CONFIG = "group self { interval 1000 }"
@@ -58,6 +59,19 @@ QUERY_METRICS = (
     "dcdb_query_cache_hits_total",
     "dcdb_query_cache_misses_total",
     "dcdb_libdcdb_query_seconds",
+)
+
+#: Continuous-aggregation instruments (rollup engine write path plus
+#: the query planner's tier-selection counter — see
+#: docs/query_performance.md) that must be visible on every scrape.
+ROLLUP_METRICS = (
+    "dcdb_rollup_readings_observed_total",
+    "dcdb_rollup_buckets_written_total",
+    "dcdb_rollup_flushes_total",
+    "dcdb_rollup_write_errors_total",
+    "dcdb_rollup_late_readings_total",
+    "dcdb_rollup_retention_deleted_total",
+    "dcdb_rollup_tier_selected_total",
 )
 
 #: Event-loop transport instruments (broker session/backpressure state
@@ -99,7 +113,11 @@ def _runtime_families() -> set[str]:
     )
     backend = MemoryBackend()
     agent = CollectAgent(
-        backend, broker=hub, writer_config=WriterConfig(), metrics=registry
+        backend,
+        broker=hub,
+        writer_config=WriterConfig(),
+        rollup_config=RollupConfig(),
+        metrics=registry,
     )
     Pusher(
         PusherConfig(mqtt_prefix="/drift/host0"),
@@ -190,6 +208,11 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
         f"{name}: transport instruments present",
         failures,
     )
+    _check(
+        all(metric in families for metric in ROLLUP_METRICS),
+        f"{name}: rollup/tier-planner instruments present",
+        failures,
+    )
     json_status, doc = http_json("GET", f"{url}?format=json")
     _check(
         json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
@@ -205,7 +228,12 @@ def main() -> int:
     registry = MetricsRegistry()
     hub = InProcHub(allow_subscribe=False, metrics=registry)
     backend = MemoryBackend()
-    agent = CollectAgent(backend, broker=hub, writer_config=WriterConfig(max_batch=256))
+    agent = CollectAgent(
+        backend,
+        broker=hub,
+        writer_config=WriterConfig(max_batch=256),
+        rollup_config=RollupConfig(),
+    )
     pusher = Pusher(
         PusherConfig(mqtt_prefix="/smoke/host0"),
         client=InProcClient("smoke-pusher", hub, metrics=registry),
@@ -223,7 +251,13 @@ def main() -> int:
     _check(pusher.readings_collected > 0, "pusher collected readings", failures)
     _check(agent.readings_stored > 0, "agent accepted readings", failures)
     _check(agent.writer.drain(), "staging queue drained", failures)
-    stored = sum(backend.count(sid, 0, (1 << 63) - 1) for sid in backend.sids())
+    # Rollup series ride along in the same store; the durability check
+    # is about the raw readings the agent accepted.
+    stored = sum(
+        backend.count(sid, 0, (1 << 63) - 1)
+        for sid in backend.sids()
+        if not is_rollup_sid(sid)
+    )
     _check(
         stored == agent.readings_stored,
         "every accepted reading is durable after drain "
@@ -242,6 +276,29 @@ def main() -> int:
         client.query(topics[0], *span)
         hits = registry.counter("dcdb_query_cache_hits_total").value
         _check(hits >= 1, f"raw-series cache served a repeat query ({hits} hits)", failures)
+        # Exercise the tier-aware planner: the rollup engine sealed the
+        # 10s buckets at ingest, so a coarse aggregate over the run must
+        # be tier-served (not a raw fallback).
+        client.query_aggregate(topics[0], *span, "avg", max_points=1)
+        tiers = {}
+        for family in registry.collect():
+            if family.name == "dcdb_rollup_tier_selected_total":
+                for sample in family.samples:
+                    tiers[dict(sample.labels)["tier"]] = sample.value
+        _check(
+            sum(v for t, v in tiers.items() if t != "raw") >= 1,
+            f"aggregate query was tier-served (selections: {tiers})",
+            failures,
+        )
+        written = sum(
+            sample.value
+            for family in registry.collect()
+            if family.name == "dcdb_rollup_buckets_written_total"
+            for sample in family.samples
+        )
+        _check(
+            written > 0, f"rollup engine wrote sealed buckets ({written:g})", failures
+        )
     with PusherRestApi(pusher) as pusher_api, CollectAgentRestApi(agent) as agent_api:
         _scrape("pusher", pusher_api.port, failures)
         _scrape("agent", agent_api.port, failures)

@@ -37,10 +37,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--end", default=str((1 << 62)), help="range end")
     parser.add_argument("--unit", default=None, help="convert output to this unit")
     parser.add_argument("--list", metavar="PREFIX", default=None, help="list topics below a prefix and exit")
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=1000,
+        help="bucket budget for --aggregate (default 1000)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--integral", action="store_true", help="print the time integral (value*seconds)")
     mode.add_argument("--derivative", action="store_true", help="print the finite-difference rate series")
     mode.add_argument("--summary", action="store_true", help="print min/max/mean/std instead of rows")
+    mode.add_argument(
+        "--aggregate",
+        choices=("avg", "min", "max", "sum", "count"),
+        default=None,
+        help="per-bucket aggregate via the tier-aware planner (rollups when covered)",
+    )
     return parser
 
 
@@ -65,6 +77,15 @@ def main(argv: list[str] | None = None) -> int:
             writer.writerow(("sensor", "count", "min", "max", "mean", "std"))
         else:
             writer.writerow(("sensor", "time", "value"))
+        if args.aggregate is not None:
+            for topic in args.topics:
+                timestamps, values = client.query_aggregate(
+                    topic, start, end, args.aggregate, args.max_points, args.unit
+                )
+                for t, v in zip(timestamps.tolist(), values.tolist()):
+                    writer.writerow((topic, t, v))
+            backend.close()
+            return 0
         if len(args.topics) > 1:
             # One batched storage read covers every concrete topic;
             # the per-topic queries below then hit the raw cache.

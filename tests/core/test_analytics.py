@@ -133,6 +133,22 @@ class TestAggregator:
         with pytest.raises(ConfigError):
             Aggregator("a", ["/s"], func="median")
 
+    def test_sealed_flag_marks_partial_buckets(self):
+        op = Aggregator("a", ["/s/#"], func="sum")
+        t = NS_PER_SEC
+        op.process("/s/a", SensorReading(t, 1))
+        sealed = op.process("/s/a", SensorReading(2 * t, 2))
+        assert sealed[0].sealed  # closed by a later reading
+        partial = op.flush()
+        assert partial and not partial[0].sealed  # force-emitted open bucket
+
+    def test_emit_partial_false_suppresses_open_bucket(self):
+        op = Aggregator("a", ["/s/#"], func="sum", emit_partial=False)
+        op.process("/s/a", SensorReading(NS_PER_SEC, 1))
+        assert op.flush() == []
+        # State was discarded, not carried into the next bucket.
+        assert op.process("/s/a", SensorReading(2 * NS_PER_SEC, 2)) == []
+
 
 class TestZScoreDetector:
     def test_flags_outlier(self):

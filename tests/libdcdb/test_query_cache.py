@@ -130,6 +130,21 @@ class TestInvalidation:
         client.query_raw(TOPICS[0], *SPAN)
         assert counters(client)[0] == 0  # re-registration dropped the entry
 
+    def test_delete_before_invalidates(self):
+        # Regression: deleting through the client must drop the topic's
+        # cached raw series — a TTL'd entry would otherwise keep
+        # serving the deleted readings until expiry.
+        client, _, _ = make_env()
+        before, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert before.size == 10
+        removed = client.delete_before(TOPICS[0], 6 * NS_PER_SEC)
+        assert removed == 5
+        ts, _ = client.query_raw(TOPICS[0], *SPAN)
+        assert ts.tolist() == [t * NS_PER_SEC for t in range(6, 11)]
+        client.query_raw(TOPICS[1], *SPAN)  # other topics keep their entries
+        client.query_raw(TOPICS[1], *SPAN)
+        assert counters(client)[0] == 1
+
 
 class TestBatchedReads:
     def test_query_raw_many_matches_per_topic(self):

@@ -1,0 +1,425 @@
+"""Tests for rollup tiers and the tier-aware query planner.
+
+Covers the rollup SID encoding, the shared aggregation kernel, the
+continuous-aggregation engine (sealing, coverage persistence, restart
+resume, late-arrival recompute, write-failure retry), the retention
+lifecycle's never-drop-unabsorbed-data clamp, and — across every
+storage backend — the contract that tier-served aggregates are
+bit-identical to aggregating the raw rows at query time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.sid import SensorId
+from repro.libdcdb.api import AGGREGATIONS, DCDBClient
+from repro.storage.cluster import StorageCluster
+from repro.storage.memory import MemoryBackend
+from repro.storage.node import StorageNode
+from repro.storage.rollup import (
+    FIELDS,
+    ROLLUP_TIERS,
+    RetentionPolicy,
+    RollupConfig,
+    RollupEngine,
+    RollupTier,
+    aggregate_buckets,
+    coverage_key,
+    is_rollup_sid,
+    rollup_sid,
+)
+from repro.storage.sqlite import SqliteBackend
+
+SID = SensorId.from_codes([1, 2, 3])
+TOPIC = "/hpc/rack0/node0/power"
+
+
+def make_backend(kind):
+    if kind == "cluster":
+        return StorageCluster(
+            [StorageNode("a"), StorageNode("b")], replication=2
+        )
+    if kind == "sqlite":
+        return SqliteBackend(":memory:")
+    return MemoryBackend()
+
+
+def make_env(backend, topic=TOPIC, sid=SID, **engine_kwargs):
+    backend.put_metadata(f"sidmap{topic}", sid.hex())
+    engine = RollupEngine(backend, **engine_kwargs)
+    client = DCDBClient(backend, cache_size=0)
+    return engine, client
+
+
+def ingest(backend, engine, sid, timestamps, values, batch=500):
+    for i in range(0, len(timestamps), batch):
+        items = [
+            (sid, int(t), int(v), 0)
+            for t, v in zip(timestamps[i : i + batch], values[i : i + batch])
+        ]
+        backend.insert_batch(items)
+        engine.observe(items)
+
+
+def raw_reference(backend, sid, start, end, bucket_ns, aggregation):
+    ts, vals = backend.query(sid, start, end)
+    starts, mins, maxs, sums, counts = aggregate_buckets(ts, vals, bucket_ns)
+    if aggregation == "count":
+        return starts, counts.astype(np.float64)
+    values = {
+        "avg": sums.astype(np.float64) / counts.astype(np.float64),
+        "min": mins.astype(np.float64),
+        "max": maxs.astype(np.float64),
+        "sum": sums.astype(np.float64),
+    }[aggregation]
+    return starts, values
+
+
+class TestSidEncoding:
+    def test_rollup_sid_preserves_prefix(self):
+        fsid = rollup_sid(SID, 1, 2)
+        assert fsid is not None
+        assert fsid.prefix(3) == SID.prefix(3)
+        assert is_rollup_sid(fsid)
+        assert not is_rollup_sid(SID)
+
+    def test_all_tier_field_sids_distinct(self):
+        sids = {
+            rollup_sid(SID, t, f)
+            for t in range(len(ROLLUP_TIERS))
+            for f in range(len(FIELDS))
+        }
+        assert len(sids) == len(ROLLUP_TIERS) * len(FIELDS)
+
+    def test_full_depth_sensor_has_no_rollup(self):
+        full = SensorId.from_codes([1, 2, 3, 4, 5, 6, 7, 8])
+        assert rollup_sid(full, 0, 0) is None
+
+
+class TestAggregateBuckets:
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        for col in aggregate_buckets(empty, empty, 10):
+            assert col.size == 0
+
+    def test_single_bucket(self):
+        ts = np.array([0, 3, 7], dtype=np.int64)
+        vals = np.array([5, -1, 9], dtype=np.int64)
+        starts, mins, maxs, sums, counts = aggregate_buckets(ts, vals, 10)
+        assert starts.tolist() == [0]
+        assert mins.tolist() == [-1] and maxs.tolist() == [9]
+        assert sums.tolist() == [13] and counts.tolist() == [3]
+
+    def test_empty_buckets_omitted(self):
+        ts = np.array([0, 35], dtype=np.int64)
+        vals = np.array([1, 2], dtype=np.int64)
+        starts, *_ = aggregate_buckets(ts, vals, 10)
+        assert starts.tolist() == [0, 30]
+
+
+class TestEngineSealing:
+    def test_open_bucket_not_sealed(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 3 * NS_PER_SEC], [1, 2])
+        # Newest reading at 3s: the 10s bucket [0,10s) is still open.
+        fsid = rollup_sid(SID, 0, 0)
+        assert backend.query(fsid, 0, 1 << 62)[0].size == 0
+        assert engine.coverage(SID, 0) == (0, 0)
+
+    def test_later_reading_seals_bucket(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 3 * NS_PER_SEC, 11 * NS_PER_SEC], [5, 2, 9])
+        lo, hi = engine.coverage(SID, 0)
+        assert (lo, hi) == (0, 10 * NS_PER_SEC)
+        for field_index, expect in enumerate((2, 5, 7, 2)):
+            fsid = rollup_sid(SID, 0, field_index)
+            ts, vals = backend.query(fsid, 0, 1 << 62)
+            assert ts.tolist() == [0] and vals.tolist() == [expect]
+
+    def test_coarser_tiers_cascade(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ts = [i * NS_PER_SEC for i in range(0, 3700, 5)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        assert engine.coverage(SID, 1) == (0, 3660 * NS_PER_SEC)
+        assert engine.coverage(SID, 2) == (0, 3600 * NS_PER_SEC)
+        fsid = rollup_sid(SID, 2, 3)  # 1h count series
+        ts1h, counts = backend.query(fsid, 0, 1 << 62)
+        assert ts1h.tolist() == [0] and counts.tolist() == [720]
+
+    def test_coverage_persisted_and_restart_resumes(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 12 * NS_PER_SEC], [1, 2])
+        doc = backend.get_metadata(coverage_key(SID, "10s"))
+        assert doc is not None
+        # A fresh engine (restarted agent) resumes from the persisted
+        # watermark without rewriting the already-sealed bucket.
+        engine2 = RollupEngine(backend)
+        items = [(SID, 25 * NS_PER_SEC, 3, 0)]
+        backend.insert_batch(items)
+        engine2.observe(items)
+        assert engine2.coverage(SID, 0) == (0, 20 * NS_PER_SEC)
+        fsid = rollup_sid(SID, 0, 3)
+        ts, counts = backend.query(fsid, 0, 1 << 62)
+        assert ts.tolist() == [0, 10 * NS_PER_SEC]
+        assert counts.tolist() == [1, 1]
+
+    def test_late_reading_recomputes_sealed_bucket(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 12 * NS_PER_SEC], [10, 1])
+        # Late arrival inside the sealed [0,10s) bucket.
+        ingest(backend, engine, SID, [4 * NS_PER_SEC], [100])
+        fsid_max = rollup_sid(SID, 0, 1)
+        _, maxs = backend.query(fsid_max, 0, 9 * NS_PER_SEC)
+        assert maxs.tolist() == [100]
+        fsid_count = rollup_sid(SID, 0, 3)
+        _, counts = backend.query(fsid_count, 0, 9 * NS_PER_SEC)
+        assert counts.tolist() == [2]
+        assert engine.metrics.counter("dcdb_rollup_late_readings_total").value == 1
+
+    def test_duplicate_timestamp_last_write_wins(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 0, 12 * NS_PER_SEC], [5, 7, 1])
+        fsid_sum = rollup_sid(SID, 0, 2)
+        _, sums = backend.query(fsid_sum, 0, 9 * NS_PER_SEC)
+        # The engine recomputes from the stored rows, so the rollup
+        # sees the deduplicated value (7), not both writes.
+        assert sums.tolist() == [7]
+        fsid_count = rollup_sid(SID, 0, 3)
+        _, counts = backend.query(fsid_count, 0, 9 * NS_PER_SEC)
+        assert counts.tolist() == [1]
+
+    def test_full_depth_sensor_stays_raw_only(self):
+        backend = MemoryBackend()
+        full = SensorId.from_codes([1, 2, 3, 4, 5, 6, 7, 8])
+        engine, _ = make_env(backend, topic="/deep", sid=full)
+        ingest(backend, engine, full, [0, 12 * NS_PER_SEC], [1, 2])
+        assert backend.get_metadata(coverage_key(full, "10s")) is None
+
+    def test_rollup_rows_are_not_rolled_up_again(self):
+        backend = MemoryBackend()
+        engine, _ = make_env(backend)
+        ingest(backend, engine, SID, [0, 12 * NS_PER_SEC], [1, 2])
+        fsid = rollup_sid(SID, 0, 0)
+        # Feed the engine its own output: it must ignore it.
+        items = [(fsid, 0, 1, 0)]
+        engine.observe(items)
+        assert backend.get_metadata(coverage_key(fsid, "10s")) is None
+
+
+class _FailingInserts:
+    """Backend wrapper failing insert_batch for rollup rows on demand."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.fail = False
+
+    def insert_batch(self, items):
+        items = list(items)
+        if self.fail and any(is_rollup_sid(sid) for sid, *_ in items):
+            raise OSError("injected rollup write failure")
+        return self.inner.insert_batch(items)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestEngineFailureRetry:
+    def test_failed_rollup_write_retried_without_gap(self):
+        inner = MemoryBackend()
+        backend = _FailingInserts(inner)
+        inner.put_metadata(f"sidmap{TOPIC}", SID.hex())
+        engine = RollupEngine(backend)
+        items = [(SID, 0, 5, 0), (SID, 12 * NS_PER_SEC, 1, 0)]
+        inner.insert_batch(items)
+        backend.fail = True
+        engine.observe(items)  # rollup write fails; must not raise
+        assert engine.coverage(SID, 0) == (0, 0)
+        assert engine.metrics.counter("dcdb_rollup_write_errors_total").value >= 1
+        backend.fail = False
+        more = [(SID, 25 * NS_PER_SEC, 3, 0)]
+        inner.insert_batch(more)
+        engine.observe(more)
+        # Retry covered the whole failed region: both sealed buckets exist.
+        fsid = rollup_sid(SID, 0, 3)
+        ts, counts = inner.query(fsid, 0, 1 << 62)
+        assert ts.tolist() == [0, 10 * NS_PER_SEC]
+        assert counts.tolist() == [1, 1]
+        assert engine.coverage(SID, 0) == (0, 20 * NS_PER_SEC)
+
+
+class TestRetention:
+    def test_raw_cutoff_clamped_to_coarsest_watermark(self):
+        backend = MemoryBackend()
+        clock = [0]
+        engine, _ = make_env(backend, clock=lambda: clock[0])
+        # 30 minutes of data: the 1h tier has sealed nothing.
+        ts = [i * NS_PER_SEC for i in range(0, 1800, 10)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        clock[0] = 10**18
+        policy = RetentionPolicy(raw_horizon_s=60)
+        removed = engine.apply_retention(policy)
+        # 1h watermark is 0 -> nothing may be dropped despite the age.
+        assert removed["raw"] == 0
+        assert backend.count(SID, 0, 1 << 62) == len(ts)
+
+    def test_raw_demoted_up_to_coarsest_watermark(self):
+        backend = MemoryBackend()
+        clock = [0]
+        engine, _ = make_env(backend, clock=lambda: clock[0])
+        ts = [i * NS_PER_SEC for i in range(0, 7300, 10)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        assert engine.coverage(SID, 2) == (0, 7200 * NS_PER_SEC)
+        clock[0] = 7300 * NS_PER_SEC
+        policy = RetentionPolicy(raw_horizon_s=1800)
+        removed = engine.apply_retention(policy)
+        cutoff = min(clock[0] - 1800 * NS_PER_SEC, 7200 * NS_PER_SEC)
+        assert removed["raw"] == sum(1 for t in ts if t < cutoff)
+        remaining, _ = backend.query(SID, 0, 1 << 62)
+        assert remaining.min() >= cutoff
+        # Rollups still answer for the demoted span.
+        fsid = rollup_sid(SID, 2, 3)
+        ts1h, counts = backend.query(fsid, 0, 1 << 62)
+        assert ts1h.size == 2 and counts.sum() == 360 * 2  # 10s cadence
+
+    def test_finer_tier_clamped_to_coarser_watermark(self):
+        backend = MemoryBackend()
+        clock = [0]
+        engine, _ = make_env(backend, clock=lambda: clock[0])
+        ts = [i * NS_PER_SEC for i in range(0, 7300, 10)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        clock[0] = 7300 * NS_PER_SEC
+        policy = RetentionPolicy(raw_horizon_s=0, tier_horizons_s=(1800, 0, 0))
+        removed = engine.apply_retention(policy)
+        assert removed["10s"] > 0
+        fsid = rollup_sid(SID, 0, 0)
+        remaining, _ = backend.query(fsid, 0, 1 << 62)
+        cutoff = min(clock[0] - 1800 * NS_PER_SEC, 7200 * NS_PER_SEC)
+        assert remaining.min() >= cutoff
+        # The coarsest tier itself is never trimmed by finer horizons.
+        fsid1h = rollup_sid(SID, 2, 0)
+        assert backend.query(fsid1h, 0, 1 << 62)[0].size == 2
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "cluster"])
+class TestTierRawIdentity:
+    """Tier-served aggregates must be bit-identical to raw-computed."""
+
+    def _populate(self, kind, seconds=7300, step=5, seed=11):
+        backend = make_backend(kind)
+        engine, client = make_env(backend)
+        rng = np.random.default_rng(seed)
+        ts = np.arange(0, seconds, step, dtype=np.int64) * NS_PER_SEC
+        vals = rng.integers(-(10**6), 10**6, size=ts.size)
+        # Interleave some duplicate timestamps: LWW must hold in both
+        # the raw and the tier-served path.
+        dup_idx = rng.choice(ts.size, size=25, replace=False)
+        ingest(backend, engine, SID, ts.tolist(), vals.tolist())
+        dup_items = [
+            (SID, int(ts[i]), int(vals[i]) + 7, 0) for i in sorted(dup_idx)
+        ]
+        backend.insert_batch(dup_items)
+        engine.observe(dup_items)
+        return backend, engine, client
+
+    def test_all_aggregations_bit_identical(self, kind):
+        backend, _, client = self._populate(kind)
+        start, end = 0, 7295 * NS_PER_SEC
+        plan = client.plan_aggregate(TOPIC, start, end, 200)
+        assert plan.tier_index is not None  # must actually use a tier
+        for aggregation in AGGREGATIONS:
+            got_ts, got_vals = client.query_aggregate(
+                TOPIC, start, end, aggregation, 200
+            )
+            ref_ts, ref_vals = raw_reference(
+                backend, SID, start, end, plan.bucket_ns, aggregation
+            )
+            assert np.array_equal(got_ts, ref_ts)
+            assert np.array_equal(got_vals, ref_vals), aggregation
+        backend.close()
+
+    def test_window_edges_split_buckets(self, kind):
+        backend, _, client = self._populate(kind)
+        # Start/end deliberately misaligned with every tier boundary.
+        start = 137 * NS_PER_SEC + 1
+        end = 7211 * NS_PER_SEC - 3
+        plan = client.plan_aggregate(TOPIC, start, end, 300)
+        assert plan.tier_index is not None
+        assert start < plan.head_end  # partial head bucket exists
+        got_ts, got_vals = client.query_aggregate(TOPIC, start, end, "avg", 300)
+        ref_ts, ref_vals = raw_reference(
+            backend, SID, start, end, plan.bucket_ns, "avg"
+        )
+        assert np.array_equal(got_ts, ref_ts)
+        assert np.array_equal(got_vals, ref_vals)
+        backend.close()
+
+    def test_unsealed_tail_served_from_raw(self, kind):
+        backend, engine, client = self._populate(kind)
+        lo, hi = engine.coverage(SID, 0)
+        start, end = 0, hi + 3600 * NS_PER_SEC  # far past the watermark
+        got_ts, got_vals = client.query_aggregate(TOPIC, start, end, "sum", 200)
+        plan = client.plan_aggregate(TOPIC, start, end, 200)
+        ref_ts, ref_vals = raw_reference(
+            backend, SID, start, end, plan.bucket_ns, "sum"
+        )
+        assert np.array_equal(got_ts, ref_ts)
+        assert np.array_equal(got_vals, ref_vals)
+        backend.close()
+
+    def test_query_aggregate_many_matches_single(self, kind):
+        backend, _, client = self._populate(kind)
+        start, end = 100 * NS_PER_SEC, 7000 * NS_PER_SEC
+        many = client.query_aggregate_many([TOPIC], start, end, "max", 250)
+        single = client.query_aggregate(TOPIC, start, end, "max", 250)
+        assert np.array_equal(many[TOPIC][0], single[0])
+        assert np.array_equal(many[TOPIC][1], single[1])
+        backend.close()
+
+
+class TestPlannerFallbacks:
+    def test_no_rollups_means_raw_plan(self):
+        backend = MemoryBackend()
+        backend.put_metadata(f"sidmap{TOPIC}", SID.hex())
+        client = DCDBClient(backend, cache_size=0)
+        backend.insert(SID, 0, 1)
+        plan = client.plan_aggregate(TOPIC, 0, 3600 * NS_PER_SEC, 10)
+        assert plan.tier_index is None and plan.tier_label == "raw"
+
+    def test_fine_resolution_needs_raw(self):
+        backend = MemoryBackend()
+        engine, client = make_env(backend)
+        ts = [i * NS_PER_SEC for i in range(0, 100)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        # 99s window / 1000 points -> sub-second buckets: no tier fits.
+        plan = client.plan_aggregate(TOPIC, 0, 99 * NS_PER_SEC, 1000)
+        assert plan.tier_index is None
+        got_ts, got_vals = client.query_aggregate(TOPIC, 0, 99 * NS_PER_SEC, "avg", 1000)
+        assert got_ts.size == len(ts) and np.all(got_vals == 1.0)
+
+    def test_tier_metric_counts_selection(self):
+        backend = MemoryBackend()
+        engine, client = make_env(backend)
+        ts = [i * NS_PER_SEC for i in range(0, 7300, 5)]
+        ingest(backend, engine, SID, ts, [1] * len(ts))
+        client.query_aggregate(TOPIC, 0, 7200 * NS_PER_SEC, "avg", 100)
+        client.query_aggregate(TOPIC, 0, 50 * NS_PER_SEC, "avg", 1000)
+        samples = {}
+        for family in client.metrics.collect():
+            if family.name == "dcdb_rollup_tier_selected_total":
+                for sample in family.samples:
+                    samples[dict(sample.labels)["tier"]] = sample.value
+        assert samples.get("raw") == 1
+        assert sum(samples.values()) == 2
+
+    def test_custom_tier_config_validation(self):
+        with pytest.raises(ValueError):
+            RollupConfig(tiers=(RollupTier("7s", 7), RollupTier("10s", 10)))
+        with pytest.raises(ValueError):
+            RetentionPolicy(raw_horizon_s=-1)
