@@ -37,6 +37,20 @@ SID_LEVEL_MASK = (1 << SID_BITS_PER_LEVEL) - 1
 SID_TOTAL_BITS = SID_LEVELS * SID_BITS_PER_LEVEL
 assert SID_TOTAL_BITS == 128
 
+#: Deepest-level codes from this value upward are reserved for derived
+#: series (the storage layer's rollup tiers carve their SIDs out of
+#: this range).  The mappers never allocate them for topic components,
+#: so a real sensor SID can never collide with — or be misclassified
+#: as — a rollup series.
+SID_RESERVED_DEEPEST_BASE = 0xFD00
+
+
+def _level_code_limit(level_idx: int) -> int:
+    """Highest component code the mappers may assign at ``level_idx``."""
+    if level_idx == SID_LEVELS - 1:
+        return SID_RESERVED_DEEPEST_BASE - 1
+    return SID_LEVEL_MASK
+
 
 @dataclass(frozen=True, slots=True, order=True)
 class SensorId:
@@ -111,8 +125,10 @@ class SidMapper:
     Thread-safe: Collect Agents translate topics on multiple reader
     threads concurrently.  Component codes start at 1 per level (0 is
     the "unused" sentinel).  A level can hold at most 65 535 distinct
-    component names, which comfortably covers DCDB deployments (the
-    widest level in practice is per-node sensors, a few thousand).
+    component names — 64 767 at the deepest level, whose top codes are
+    reserved for rollup series — which comfortably covers DCDB
+    deployments (the widest level in practice is per-node sensors, a
+    few thousand).
     """
 
     def __init__(self) -> None:
@@ -147,10 +163,11 @@ class SidMapper:
                 code = forward.get(component)
                 if code is None:
                     code = len(forward) + 1
-                    if code > SID_LEVEL_MASK:
+                    limit = _level_code_limit(level_idx)
+                    if code > limit:
                         raise StorageError(
                             f"SID level {level_idx} exhausted "
-                            f"({SID_LEVEL_MASK} distinct components)"
+                            f"({limit} distinct components)"
                         )
                     forward[component] = code
                     self._reverse[level_idx][code] = component
@@ -286,9 +303,10 @@ class PersistentSidMapper(SidMapper):
         next_key = f"{self._NEXT_PREFIX}/{level_idx}"
         text = self._backend.get_metadata(next_key)
         code = int(text) if text else 1
-        if code > SID_LEVEL_MASK:
+        limit = _level_code_limit(level_idx)
+        if code > limit:
             raise StorageError(
-                f"SID level {level_idx} exhausted ({SID_LEVEL_MASK} components)"
+                f"SID level {level_idx} exhausted ({limit} components)"
             )
         self._backend.put_metadata(next_key, str(code + 1))
         self._backend.put_metadata(

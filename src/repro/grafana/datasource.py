@@ -180,7 +180,8 @@ class GrafanaDataSource:
                 errors[topic] = str(exc)
                 continue
             if timestamps.size > max_points:
-                bucket_ns = max(1, (end - start) // max_points)
+                # Inclusive range + ceil division: at most max_points buckets.
+                bucket_ns = max(1, -(-(end - start + 1) // max_points))
                 timestamps, values = downsample_mean(timestamps, values, bucket_ns)
             results[topic] = (timestamps, values)
         series = []

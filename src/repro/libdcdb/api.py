@@ -404,7 +404,8 @@ class DCDBClient:
         """Decide how an aggregate query over ``[start, end]`` is served.
 
         Picks the *coarsest* rollup tier whose bucket still satisfies
-        the requested resolution (``desired = window // max_points``)
+        the requested resolution (``desired = ceil(window / max_points)``
+        with the inclusive window ``end - start + 1``)
         and whose persisted coverage reaches the window; the sealed
         middle is then read from 4 rollup series instead of the raw
         scan.  Falls back to a raw plan when the window needs finer
@@ -414,17 +415,19 @@ class DCDBClient:
         """
         if max_points < 1:
             raise QueryError("max_points must be >= 1")
-        window = end - start
+        # Query ranges are inclusive of both ends, and the bucket width
+        # rounds UP so the output bucket count never exceeds max_points.
+        window = end - start + 1
         raw_plan = AggregatePlan(
             topic=topic,
             tier_index=None,
             tier_label="raw",
-            bucket_ns=max(1, window // max_points),
+            bucket_ns=max(1, -(-window // max_points)),
         )
         if window <= 0 or self._virtual_def_for(topic) is not None:
             return raw_plan
         sid = self.sid_of(topic)
-        desired = max(1, window // max_points)
+        desired = -(-window // max_points)
         qend = end + 1
         for tier_index in range(len(ROLLUP_TIERS) - 1, -1, -1):
             tier = ROLLUP_TIERS[tier_index]
@@ -692,25 +695,42 @@ class DCDBClient:
         ``count`` is returned unscaled (it counts readings, not a
         physical quantity).  ``config=None`` skips decoding (virtual
         series are already physical).
+
+        Unit conversion is affine (``out = scale * in + offset``) and
+        must commute with the aggregation, not be applied to its
+        result: a per-bucket ``sum`` picks up the offset once per
+        reading (``scale * sum + offset * count``), and an
+        order-reversing (negative-scale) conversion swaps which stored
+        statistic is the converted minimum/maximum.  ``avg`` is a
+        plain per-reading mean, so the bare affine transform is exact
+        for it.
         """
         starts, mins, maxs, sums, counts = stats
         if aggregation == "count":
             return starts, counts.astype(np.float64)
+        converter = None
+        if config is not None and unit is not None and unit != config.unit:
+            converter = get_converter(config.unit, unit)
+        reversing = converter is not None and converter._scale < 0
         if aggregation == "avg":
             values = sums.astype(np.float64) / counts.astype(np.float64)
         elif aggregation == "min":
-            values = mins.astype(np.float64)
+            values = (maxs if reversing else mins).astype(np.float64)
         elif aggregation == "max":
-            values = maxs.astype(np.float64)
+            values = (mins if reversing else maxs).astype(np.float64)
         else:  # sum
             values = sums.astype(np.float64)
         if config is None:
             return starts, values
         if config.scale != 1.0:
             values = values / config.scale
-        if unit is not None and unit != config.unit:
-            converter = get_converter(config.unit, unit)
-            values = converter._scale * values + converter._offset
+        if converter is not None:
+            if aggregation == "sum":
+                values = converter._scale * values + converter._offset * counts.astype(
+                    np.float64
+                )
+            else:
+                values = converter._scale * values + converter._offset
         return starts, values
 
     # -- virtual sensors -----------------------------------------------------------

@@ -157,3 +157,10 @@ class StorageBackend(abc.ABC):
         if timestamps.size == 0:
             return None
         return int(timestamps[-1]), int(values[-1])
+
+    def oldest(self, sid: SensorId) -> tuple[int, int] | None:
+        """Oldest stored (timestamp, value) of ``sid``, or None."""
+        timestamps, values = self.query(sid, 0, (1 << 63) - 1)
+        if timestamps.size == 0:
+            return None
+        return int(timestamps[0]), int(values[0])

@@ -33,9 +33,11 @@ after a restart without double-counting.
 
 Retention (:class:`RetentionPolicy`) demotes raw data to its rollups
 via the vectorized ``delete_before`` path: the effective cutoff is
-clamped to the sealed watermark of the coarsest surviving tier, so
-demotion can never drop readings that have not yet been folded into
-every series that outlives them.
+clamped to the sealed watermark of the coarsest surviving tier, and
+raw history *below* the coverage windows — data ingested before the
+engine first saw the sensor, which is normally served from raw — is
+backfilled into every tier first, so demotion can never drop readings
+that have not yet been folded into every series that outlives them.
 """
 
 from __future__ import annotations
@@ -48,7 +50,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.timeutil import NS_PER_SEC, now_ns
-from repro.core.sid import SID_BITS_PER_LEVEL, SID_LEVELS, SensorId
+from repro.core.sid import (
+    SID_BITS_PER_LEVEL,
+    SID_LEVELS,
+    SID_RESERVED_DEEPEST_BASE,
+    SensorId,
+)
 from repro.observability import MetricsRegistry
 from repro.storage.backend import InsertItem, StorageBackend
 
@@ -93,9 +100,12 @@ FIELDS: tuple[str, ...] = ("min", "max", "sum", "count")
 
 #: Rollup series occupy the deepest SID level with codes from this
 #: base upward: code = _ROLLUP_BASE + tier_index * 16 + field_index.
-#: Sensors already using all 8 hierarchy levels have no room for a
-#: rollup suffix and simply stay raw-only (the planner falls back).
-_ROLLUP_BASE = 0xFD00
+#: The SID mappers never allocate deepest-level component codes in
+#: this range, so a real sensor can never collide with (or be
+#: misclassified as) a rollup series.  Sensors already using all 8
+#: hierarchy levels have no room for a rollup suffix and simply stay
+#: raw-only (the planner falls back).
+_ROLLUP_BASE = SID_RESERVED_DEEPEST_BASE
 _ROLLUP_LEVEL = SID_LEVELS - 1
 _ROLLUP_SHIFT = SID_BITS_PER_LEVEL * (SID_LEVELS - 1 - _ROLLUP_LEVEL)
 
@@ -370,7 +380,8 @@ class RollupEngine:
                 # Fresh sensor: coverage starts at the bucket holding
                 # the first observed reading — earlier data (ingested
                 # before the engine existed) stays raw-only and the
-                # planner serves it from raw.
+                # planner serves it from raw, until the retention
+                # lifecycle backfills it ahead of demotion.
                 aligned = (first_ts // tier.bucket_ns) * tier.bucket_ns
                 span = [aligned, aligned]
             coverage.append(span)
@@ -525,7 +536,11 @@ class RollupEngine:
         coarsest surviving tier, and each tier's cutoff to the
         watermark of the coarsest tier above it — data is only dropped
         from a series once every series outliving it has sealed past
-        that point.
+        that point.  Raw history below the coverage windows (ingested
+        before the engine tracked the sensor, hence never rolled up)
+        is backfilled into every tier first; when that backfill fails,
+        raw demotion for the sensor is skipped rather than risk
+        deleting readings no rollup has absorbed.
         """
         if now is None:
             now = self._clock()
@@ -533,12 +548,14 @@ class RollupEngine:
         removed = {"raw": 0, **{tier.label: 0 for tier in tiers}}
         with self._lock:
             snapshot = [
-                (sid, [list(span) for span in state.coverage], list(state.field_sids))
+                (sid, state, [list(span) for span in state.coverage])
                 for sid, state in self._states.items()
             ]
         horizons = list(policy.tier_horizons_s)
         horizons += [0] * (len(tiers) - len(horizons))
-        for sid, coverage, field_sids in snapshot:
+        for sid, state, coverage in snapshot:
+            with self._lock:
+                field_sids = list(state.field_sids)
             # Sealed watermark of the coarsest tier kept forever (the
             # last tier always survives: its horizon guards only finer
             # series, never itself without a coarser successor).
@@ -550,7 +567,7 @@ class RollupEngine:
             guard_all = min(coverage[index][1] for index in surviving)
             if policy.raw_horizon_s > 0:
                 cutoff = min(now - policy.raw_horizon_s * NS_PER_SEC, guard_all)
-                if cutoff > 0:
+                if cutoff > 0 and self._backfill(sid, state):
                     removed["raw"] += int(self.backend.delete_before(sid, cutoff))
             for tier_index, tier in enumerate(tiers[:-1]):
                 horizon = horizons[tier_index]
@@ -573,6 +590,85 @@ class RollupEngine:
             if count:
                 self._retention_deleted.labels(tier=label).inc(count)
         return removed
+
+    def _backfill(self, sid: SensorId, state: _SidState) -> bool:
+        """Fold pre-coverage raw history of ``sid`` into every tier.
+
+        Raw readings ingested before the engine first tracked a sensor
+        sit below the tiers' coverage lo watermarks and were never
+        rolled up; they are served from raw and must not be demoted
+        as-is.  Called by the retention lifecycle before raw deletion,
+        this aggregates everything below each tier's lo into that tier
+        and extends the persisted coverage downward, so the subsequent
+        ``delete_before`` only removes readings every tier has
+        absorbed.  Returns False when the fold failed — the caller
+        must then skip raw demotion for this sensor.  Cheap when there
+        is nothing to do: one bounded backend read per pass.
+        """
+        with self._lock:
+            spans = [list(span) for span in state.coverage]
+        ceiling = max(span[0] for span in spans)
+        if ceiling <= 0:
+            return True
+        try:
+            timestamps, values = self.backend.query(sid, 0, ceiling - 1)
+            if timestamps.size == 0:
+                return True
+            rollup_items: list[InsertItem] = []
+            written_per_tier: list[tuple[str, int]] = []
+            new_lo: list[int] = []
+            ttl = self.config.ttl_s
+            for tier_index, tier in enumerate(self.config.tiers):
+                cov_lo = spans[tier_index][0]
+                # Buckets below cov_lo end exactly at the (aligned)
+                # watermark, and a reading at or above it exists — the
+                # one the coverage was anchored on — so every
+                # backfilled bucket is complete by the sealing rule.
+                right = int(np.searchsorted(timestamps, cov_lo, side="left"))
+                if right == 0:
+                    new_lo.append(cov_lo)
+                    written_per_tier.append((tier.label, 0))
+                    continue
+                starts, mins, maxs, sums, counts = aggregate_buckets(
+                    timestamps[:right], values[:right], tier.bucket_ns
+                )
+                base = tier_index * len(FIELDS)
+                for field_index, column in enumerate((mins, maxs, sums, counts)):
+                    fsid = state.field_sids[base + field_index]
+                    rollup_items.extend(
+                        (fsid, int(t), int(v), ttl)
+                        for t, v in zip(starts.tolist(), column.tolist())
+                    )
+                new_lo.append(min(cov_lo, int(starts[0])))
+                written_per_tier.append((tier.label, int(starts.size)))
+            if rollup_items:
+                self.backend.insert_batch(rollup_items)
+            with self._lock:
+                for tier_index, lo in enumerate(new_lo):
+                    if lo < state.coverage[tier_index][0]:
+                        state.coverage[tier_index][0] = lo
+                payloads = [
+                    (
+                        coverage_key(sid, self.config.tiers[tier_index].label),
+                        json.dumps(
+                            {
+                                "lo": state.coverage[tier_index][0],
+                                "hi": state.coverage[tier_index][1],
+                            }
+                        ),
+                    )
+                    for tier_index in range(len(self.config.tiers))
+                ]
+            for key, payload in payloads:
+                self.backend.put_metadata(key, payload)
+            for label, buckets in written_per_tier:
+                if buckets:
+                    self._buckets_written.labels(tier=label).inc(buckets)
+            return True
+        except Exception:  # noqa: BLE001 - caller skips demotion instead
+            self._errors.inc()
+            logger.exception("rollup backfill failed for sid %s", sid.hex())
+            return False
 
     # -- introspection -------------------------------------------------------
 

@@ -28,7 +28,7 @@ from repro.common.errors import DCDBError
 from repro.common.timeutil import NS_PER_MS
 from repro.libdcdb.api import DCDBClient
 from repro.libdcdb.virtualsensors import VirtualSensorDef
-from repro.storage.rollup import RetentionPolicy, RollupEngine
+from repro.storage.rollup import RetentionPolicy, RollupEngine, coverage_key
 from repro.tools.common import open_backend, parse_time
 
 
@@ -150,18 +150,30 @@ def main(argv: list[str] | None = None) -> int:
                     raw_horizon_s=args.raw_horizon, tier_horizons_s=horizons
                 )
                 engine = RollupEngine(backend)
-                # Seed the engine from each sensor's newest reading:
-                # coverage documents are restored from metadata and the
-                # rollup tiers sealed up to that reading before the
-                # demotion pass runs, so a cold CLI process never
-                # deletes raw data its rollups have not absorbed yet.
+                # Seed the engine so a cold CLI process catches up
+                # before demoting.  Sensors with a persisted coverage
+                # document resume from it and only need the newest
+                # reading to seal the remainder.  Sensors without one
+                # (rollups never ran) are seeded from their OLDEST
+                # reading too, anchoring every tier at the start of
+                # the series so the whole history is rolled up —
+                # anchoring at the newest reading would seal nothing
+                # while the demotion guard still reads as caught-up,
+                # silently deleting raw data no rollup has absorbed.
+                finest = engine.config.tiers[0].label
                 for topic in client.topics(""):
                     if topic.startswith("/virtual/"):
                         continue
                     sid = client.sid_of(topic)
                     newest = backend.latest(sid)
-                    if newest is not None:
-                        engine.observe([(sid, newest[0], newest[1], 0)])
+                    if newest is None:
+                        continue
+                    seed = [(sid, newest[0], newest[1], 0)]
+                    if not backend.get_metadata(coverage_key(sid, finest)):
+                        oldest = backend.oldest(sid)
+                        if oldest is not None and oldest[0] != newest[0]:
+                            seed.insert(0, (sid, oldest[0], oldest[1], 0))
+                    engine.observe(seed)
                 removed = engine.apply_retention(policy)
                 for kind, count in removed.items():
                     print(f"{kind}: removed {count} readings")

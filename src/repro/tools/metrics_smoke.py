@@ -277,9 +277,14 @@ def main() -> int:
         hits = registry.counter("dcdb_query_cache_hits_total").value
         _check(hits >= 1, f"raw-series cache served a repeat query ({hits} hits)", failures)
         # Exercise the tier-aware planner: the rollup engine sealed the
-        # 10s buckets at ingest, so a coarse aggregate over the run must
-        # be tier-served (not a raw fallback).
-        client.query_aggregate(topics[0], *span, "avg", max_points=1)
+        # 10s buckets at ingest, so a coarse aggregate over the sealed
+        # span must be tier-served (not a raw fallback).  The window is
+        # inclusive, so it ends one tick before the bucket boundary —
+        # overhanging the grid would need max_points + 1 buckets and
+        # correctly falls back to raw.
+        client.query_aggregate(
+            topics[0], 0, SIM_SECONDS * NS_PER_SEC - 1, "avg", max_points=1
+        )
         tiers = {}
         for family in registry.collect():
             if family.name == "dcdb_rollup_tier_selected_total":

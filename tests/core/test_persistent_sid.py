@@ -7,7 +7,13 @@ from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core.collectagent import CollectAgent
 from repro.core.payload import encode_reading
 from repro.core.pusher import Pusher, PusherConfig
-from repro.core.sid import PersistentSidMapper, SensorId, SidMapper
+from repro.core.sid import (
+    SID_LEVELS,
+    SID_RESERVED_DEEPEST_BASE,
+    PersistentSidMapper,
+    SensorId,
+    SidMapper,
+)
 from repro.mqtt.inproc import InProcClient, InProcHub
 from repro.storage.memory import MemoryBackend
 
@@ -37,6 +43,17 @@ class TestPersistentSidMapper:
         sid = PersistentSidMapper(backend).sid_for_topic("/x/y/z")
         fresh = PersistentSidMapper(backend)
         assert fresh.sid_for_topic("/x/y/z") == sid
+
+    def test_deepest_level_allocation_capped_below_rollup_range(self):
+        backend = MemoryBackend()
+        mapper = PersistentSidMapper(backend)
+        deep = SID_LEVELS - 1
+        # Next free code at the deepest level sits on the reserved
+        # rollup base: allocation must refuse, not mint a SID that
+        # collides with another sensor's rollup series.
+        backend.put_metadata(f"sidnext/{deep}", str(SID_RESERVED_DEEPEST_BASE))
+        with pytest.raises(StorageError, match="exhausted"):
+            mapper.sid_for_topic("/a/b/c/d/e/f/g/h")
 
     def test_component_codes_shared_across_levels_independently(self):
         backend = MemoryBackend()

@@ -7,6 +7,7 @@ from repro.common.errors import StorageError, TransportError
 from repro.core.sid import (
     SID_LEVEL_MASK,
     SID_LEVELS,
+    SID_RESERVED_DEEPEST_BASE,
     SensorId,
     SidMapper,
 )
@@ -128,6 +129,27 @@ class TestSidMapper:
         mapper = SidMapper()
         with pytest.raises(TransportError):
             mapper.sid_for_topic("/a/+/b")
+
+    def test_deepest_level_never_allocates_rollup_codes(self):
+        from repro.storage.rollup import is_rollup_sid
+
+        mapper = SidMapper()
+        deep = SID_LEVELS - 1
+        # Exhaust the deepest level up to the reserved rollup range.
+        mapper._forward[deep] = {
+            f"c{i}": i + 1 for i in range(SID_RESERVED_DEEPEST_BASE - 2)
+        }
+        mapper._reverse[deep] = {
+            code: name for name, code in mapper._forward[deep].items()
+        }
+        prefix = "/" + "/".join("abcdefg")
+        sid = mapper.sid_for_topic(prefix + "/last")
+        # The final allocatable code stays below the rollup base, so a
+        # real sensor can never be misclassified as a rollup series.
+        assert sid.level_code(deep) == SID_RESERVED_DEEPEST_BASE - 1
+        assert not is_rollup_sid(sid)
+        with pytest.raises(StorageError, match="exhausted"):
+            mapper.sid_for_topic(prefix + "/overflow")
 
     def test_prefix_for_topic_prefix(self):
         mapper = SidMapper()

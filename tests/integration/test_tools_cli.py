@@ -156,6 +156,40 @@ class TestConfigTool:
         values = [float(line.split(",")[2]) for line in lines]
         assert values[-1] == pytest.approx(0.9)  # raw 9 / scale 10
 
+    def test_db_retention_cold_backfills_before_demoting(self, tmp_path, capsys):
+        from repro.common.timeutil import now_ns
+        from repro.core.sid import SensorId
+        from repro.libdcdb.api import DCDBClient
+
+        path = str(tmp_path / "retain.db")
+        backend = SqliteBackend(path)
+        sid = SensorId.from_codes([1, 2, 3])
+        topic = "/cli/r0/power"
+        backend.put_metadata(f"sidmap{topic}", sid.hex())
+        # Two hours of pre-existing history (newest reading recent,
+        # oldest hour-aligned) with NO rollups: the cold CLI process
+        # must roll the history up before demoting any of it.
+        hour = 3600 * NS_PER_SEC
+        base = (now_ns() // hour - 3) * hour
+        ts = [base + i * 10 * NS_PER_SEC for i in range(730)]
+        backend.insert_batch([(sid, int(t), 1, 0) for t in ts])
+        backend.flush()
+        backend.close()
+        rc = config_tool.main(
+            ["--db", f"sqlite:{path}", "db", "retention", "--raw-horizon", "1800"]
+        )
+        assert rc == 0
+        assert "raw: removed" in capsys.readouterr().out
+        backend = SqliteBackend(path)
+        client = DCDBClient(backend, cache_size=0)
+        # Raw readings really were demoted...
+        assert backend.count(sid, 0, 1 << 62) < len(ts)
+        # ...and none were lost: the planner still accounts for every
+        # reading via the backfilled rollup tiers plus the raw tail.
+        _, counts = client.query_aggregate(topic, base, ts[-1], "count", 200)
+        assert counts.sum() == len(ts)
+        backend.close()
+
     def test_vsensor_lifecycle(self, db_uri, capsys):
         rc = config_tool.main(
             [

@@ -1,9 +1,11 @@
 """Tests for the DCDBClient data-access API."""
 
+import numpy as np
 import pytest
 
 from repro.common.errors import QueryError
 from repro.common.timeutil import NS_PER_SEC
+from repro.common.units import Unit, get_converter, register_unit
 from repro.core.sid import SidMapper
 from repro.libdcdb.api import DCDBClient, SensorConfig, _covers, _merge_intervals
 from repro.storage.memory import MemoryBackend
@@ -108,6 +110,55 @@ class TestQueries:
         sid = mapper.sid_for_topic("/empty/sensor")
         backend.put_metadata("sidmap/empty/sensor", sid.hex())
         assert client.latest("/empty/sensor") is None
+
+
+class TestAggregateUnitConversion:
+    """Affine unit conversions must commute with the aggregation."""
+
+    TOPIC = "/hpc/rack0/node0/power"
+
+    def _celsius(self, client):
+        client.set_sensor_config(
+            SensorConfig(topic=self.TOPIC, unit="C", scale=100.0)
+        )
+        _, celsius = client.query(self.TOPIC, 0, 20 * NS_PER_SEC)
+        return celsius
+
+    def test_sum_offset_applied_per_reading(self, env):
+        client, _, _ = env
+        celsius = self._celsius(client)
+        starts, got = client.query_aggregate(
+            self.TOPIC, 0, 20 * NS_PER_SEC, "sum", 1, unit="F"
+        )
+        assert starts.size == 1
+        # sum of the converted readings, NOT conversion of the sum:
+        # the +32 offset lands once per reading.
+        expected = float(np.sum(celsius * 9.0 / 5.0 + 32.0))
+        assert got[0] == pytest.approx(expected)
+
+    def test_avg_offset_applied_once(self, env):
+        client, _, _ = env
+        celsius = self._celsius(client)
+        _, got = client.query_aggregate(
+            self.TOPIC, 0, 20 * NS_PER_SEC, "avg", 1, unit="F"
+        )
+        assert got[0] == pytest.approx(float(np.mean(celsius)) * 9.0 / 5.0 + 32.0)
+
+    def test_min_max_swap_under_negative_scale(self, env):
+        client, _, _ = env
+        register_unit(Unit("negC", "temperature", -1.0, 273.15))
+        celsius = self._celsius(client)
+        conv = get_converter("C", "negC")
+        assert conv._scale < 0
+        _, got_min = client.query_aggregate(
+            self.TOPIC, 0, 20 * NS_PER_SEC, "min", 1, unit="negC"
+        )
+        _, got_max = client.query_aggregate(
+            self.TOPIC, 0, 20 * NS_PER_SEC, "max", 1, unit="negC"
+        )
+        converted = [conv.convert(float(c)) for c in celsius]
+        assert got_min[0] == pytest.approx(min(converted))
+        assert got_max[0] == pytest.approx(max(converted))
 
 
 class TestSensorConfig:

@@ -288,6 +288,49 @@ class TestRetention:
         ts1h, counts = backend.query(fsid, 0, 1 << 62)
         assert ts1h.size == 2 and counts.sum() == 360 * 2  # 10s cadence
 
+    def test_pre_engine_history_backfilled_before_demotion(self):
+        # Two hours of raw data ingested before any engine existed: a
+        # cold engine that only ever observes the newest reading must
+        # fold the whole raw history into the tiers before deleting it
+        # (the historical bug dropped it silently — coverage anchored
+        # at the newest bucket reads as caught-up to the guard).
+        backend = MemoryBackend()
+        clock = [0]
+        backend.put_metadata(f"sidmap{TOPIC}", SID.hex())
+        ts = [i * NS_PER_SEC for i in range(0, 7300, 10)]
+        backend.insert_batch([(SID, int(t), i, 0) for i, t in enumerate(ts)])
+        engine = RollupEngine(backend, clock=lambda: clock[0])
+        client = DCDBClient(backend, cache_size=0)
+        newest = backend.latest(SID)
+        engine.observe([(SID, newest[0], newest[1], 0)])
+        clock[0] = 10**18
+        removed = engine.apply_retention(RetentionPolicy(raw_horizon_s=60))
+        assert removed["raw"] > 0  # demotion really ran
+        assert backend.count(SID, 0, 7199 * NS_PER_SEC) == 0
+        # No reading was lost: totals served through the planner are
+        # exactly those of the original raw series.
+        _, counts = client.query_aggregate(TOPIC, 0, ts[-1], "count", 200)
+        assert counts.sum() == len(ts)
+        _, sums = client.query_aggregate(TOPIC, 0, ts[-1], "sum", 200)
+        assert sums.sum() == sum(range(len(ts)))
+
+    def test_raw_demotion_skipped_when_backfill_fails(self):
+        inner = MemoryBackend()
+        backend = _FailingInserts(inner)
+        clock = [0]
+        inner.put_metadata(f"sidmap{TOPIC}", SID.hex())
+        ts = [i * NS_PER_SEC for i in range(0, 7300, 10)]
+        inner.insert_batch([(SID, int(t), 1, 0) for t in ts])
+        engine = RollupEngine(backend, clock=lambda: clock[0])
+        newest = inner.latest(SID)
+        engine.observe([(SID, newest[0], newest[1], 0)])
+        backend.fail = True  # backfill's rollup writes fail
+        clock[0] = 10**18
+        removed = engine.apply_retention(RetentionPolicy(raw_horizon_s=60))
+        # Unabsorbed history must survive a failed backfill untouched.
+        assert removed["raw"] == 0
+        assert inner.count(SID, 0, 1 << 62) == len(ts)
+
     def test_finer_tier_clamped_to_coarser_watermark(self):
         backend = MemoryBackend()
         clock = [0]
@@ -402,6 +445,19 @@ class TestPlannerFallbacks:
         assert plan.tier_index is None
         got_ts, got_vals = client.query_aggregate(TOPIC, 0, 99 * NS_PER_SEC, "avg", 1000)
         assert got_ts.size == len(ts) and np.all(got_vals == 1.0)
+
+    def test_output_buckets_bounded_by_max_points(self):
+        backend = MemoryBackend()
+        backend.put_metadata(f"sidmap{TOPIC}", SID.hex())
+        client = DCDBClient(backend, cache_size=0)
+        for t in range(10):
+            backend.insert(SID, t, 1)
+        # Inclusive 10-tick window over 5 points: the exclusive-window
+        # arithmetic used to pick bucket_ns=1 and emit 10 buckets.
+        plan = client.plan_aggregate(TOPIC, 0, 9, 5)
+        assert plan.bucket_ns == 2
+        got_ts, _ = client.query_aggregate(TOPIC, 0, 9, "count", 5)
+        assert got_ts.size <= 5
 
     def test_tier_metric_counts_selection(self):
         backend = MemoryBackend()
