@@ -6,12 +6,12 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke trace-smoke chaos bench bench-query bench-rollup bench-transport bench-baseline experiments examples loc all
+.PHONY: install test metrics-smoke trace-smoke chaos chaos-durability bench bench-query bench-rollup bench-transport bench-durability bench-baseline experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke trace-smoke chaos bench-query bench-rollup bench-transport
+test: metrics-smoke trace-smoke chaos chaos-durability bench-query bench-rollup bench-transport bench-durability
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
@@ -30,6 +30,15 @@ trace-smoke:
 chaos:
 	PYTHONPATH=src CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTHON) -m pytest \
 		tests/storage/test_faults.py tests/integration/test_chaos.py
+
+# Durability chaos battery: kill -9 mid-ingest under fsync=always
+# (zero acked-write loss, bit-identical recovery fingerprints per
+# seed), torn WAL tails, flipped CRC bytes, disk-fault injection.
+# See docs/durability.md.
+chaos-durability:
+	PYTHONPATH=src CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTHON) -m pytest \
+		tests/storage/test_durable.py tests/storage/test_durable_codecs.py \
+		tests/integration/test_chaos_durability.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -62,8 +71,10 @@ bench-rollup:
 # per-round samples are stripped to keep the committed file small.
 # BENCH_query.json does the same for the query path (segment pruning,
 # cluster query_many, parallel subtree scan, batched virtual sensors),
-# BENCH_transport.json for the event-loop fan-in throughput, and
-# BENCH_rollup.json for the tier-served dashboard-burst p99.
+# BENCH_transport.json for the event-loop fan-in throughput,
+# BENCH_rollup.json for the tier-served dashboard-burst p99, and
+# BENCH_durability.json for the durable-ingest overhead and the
+# facility-data compression ratio.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_microbench_components.py \
@@ -90,6 +101,19 @@ bench-baseline:
 	$(PYTHON) -c "import json; d = json.load(open('BENCH_rollup.json')); \
 		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
 		json.dump(d, open('BENCH_rollup.json', 'w'), indent=1, sort_keys=True)"
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_durability.py \
+		--benchmark-only --benchmark-json=BENCH_durability.json
+	$(PYTHON) -c "import json; d = json.load(open('BENCH_durability.json')); \
+		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
+		json.dump(d, open('BENCH_durability.json', 'w'), indent=1, sort_keys=True)"
+
+# Single-round smoke over the durability benchmarks: the compression-
+# ratio floor is asserted in every mode; the <= 3x durable-vs-memory
+# ingest gate arms under `make bench`.
+bench-durability:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_durability.py \
+		--benchmark-disable
 
 # Regenerate every paper table/figure with the result tables printed.
 experiments:

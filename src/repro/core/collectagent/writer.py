@@ -385,6 +385,14 @@ class BatchingWriter:
             # storage layer picks it up for replica/retry spans.
             with trace_context(trace_ids[0] if trace_ids else None):
                 self.backend.insert_batch(items)
+                # Group-commit barrier: a durable backend must make the
+                # WAL records of this batch safe (per its fsync policy)
+                # before the batch is acknowledged as flushed.  One
+                # fsync covers the whole coalesced batch; a failed sync
+                # re-queues the batch like any storage error.
+                commit = getattr(self.backend, "commit_durable", None)
+                if commit is not None:
+                    commit()
         except Exception:
             self._flush_errors.inc()
             logger.exception("batch flush of %d readings failed", count)

@@ -14,7 +14,9 @@ at each layer of the stack:
   with kill/restart state, driving the cluster's hinted handoff and
   read failover;
 * :class:`BrokerFaultInjector` — socket-level drop/disconnect inside
-  the MQTT brokers.
+  the MQTT brokers;
+* :class:`DiskFaultInjector` — the durable engine's disk seam (torn
+  writes, fsync failures, short reads at exact operation counts).
 
 Everything is deterministic per seed: the chaos suite commits five
 seeds (``make chaos``, ``CHAOS_SEEDS`` to override) and the same seed
@@ -22,12 +24,14 @@ always reproduces the same fault schedule.  See ``docs/resilience.md``.
 """
 
 from repro.faults.backend import FaultyBackend
+from repro.faults.disk import DiskFaultInjector
 from repro.faults.network import BrokerFaultInjector
 from repro.faults.node import FlakyNode
 from repro.faults.plan import FaultEvent, FaultPlan
 
 __all__ = [
     "BrokerFaultInjector",
+    "DiskFaultInjector",
     "FaultEvent",
     "FaultPlan",
     "FaultyBackend",

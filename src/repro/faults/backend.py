@@ -156,6 +156,12 @@ class FaultyBackend(StorageBackend):
         self._guard("flush")
         self.backend.flush()
 
+    def commit_durable(self) -> bool:
+        """Durable group-commit barrier; transparent over memory backends."""
+        self._guard("commit_durable")
+        commit = getattr(self.backend, "commit_durable", None)
+        return commit() if commit is not None else False
+
     def close(self) -> None:
         self.backend.close()
 

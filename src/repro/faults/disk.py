@@ -1,0 +1,80 @@
+"""Deterministic disk-fault seam for the durable storage engine.
+
+The WAL and segment writers accept an optional ``disk`` object and
+route every physical write, fsync and bulk read through it.  The
+default (``disk=None``) costs nothing; tests pass a
+:class:`DiskFaultInjector` to stage the three classic storage
+failures at exact operation counts:
+
+* **torn write** — only a prefix of the frame reaches the file before
+  the "power fails" (an ``OSError``): the canonical WAL torn tail.
+* **fsync failure** — the commit path's fsync raises, modelling a
+  dying device or a thin-provisioned volume running out of space.
+* **short read** — a recovery-time read returns fewer bytes than the
+  file holds, modelling a truncated copy or a mid-recovery crash.
+
+Counters are cumulative per injector, so one injector can arm a fault
+"on the Nth write since construction" and the chaos seeds reproduce
+the same byte-exact crash state on every run.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.errors import FaultInjectedError
+
+__all__ = ["DiskFaultInjector"]
+
+
+class DiskFaultInjector:
+    """Pass-through disk I/O with exact-count scheduled failures.
+
+    Parameters
+    ----------
+    torn_write_at:
+        1-based index of the write call that tears: half the buffer is
+        written, then :class:`FaultInjectedError` is raised.
+    fsync_fail_at:
+        1-based index of the fsync call that raises ``OSError``.
+    short_read_at:
+        1-based index of the bulk read that loses its tail half.
+    """
+
+    def __init__(
+        self,
+        torn_write_at: int | None = None,
+        fsync_fail_at: int | None = None,
+        short_read_at: int | None = None,
+    ) -> None:
+        self.torn_write_at = torn_write_at
+        self.fsync_fail_at = fsync_fail_at
+        self.short_read_at = short_read_at
+        self.writes = 0
+        self.fsyncs = 0
+        self.reads = 0
+        self.faults_injected = 0
+
+    def write(self, handle, data: bytes) -> None:
+        self.writes += 1
+        if self.torn_write_at is not None and self.writes == self.torn_write_at:
+            handle.write(data[: max(1, len(data) // 2)])
+            self.faults_injected += 1
+            raise FaultInjectedError(
+                f"injected fault: torn write on write #{self.writes}"
+            )
+        handle.write(data)
+
+    def fsync(self, handle) -> None:
+        self.fsyncs += 1
+        if self.fsync_fail_at is not None and self.fsyncs == self.fsync_fail_at:
+            self.faults_injected += 1
+            raise OSError(f"injected fault: fsync failure on fsync #{self.fsyncs}")
+        os.fsync(handle.fileno())
+
+    def read(self, data: bytes, name: str = "") -> bytes:
+        self.reads += 1
+        if self.short_read_at is not None and self.reads == self.short_read_at:
+            self.faults_injected += 1
+            return data[: len(data) // 2]
+        return data

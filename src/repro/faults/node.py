@@ -127,6 +127,18 @@ class FlakyNode:
         self._guard("flush")
         self.node.flush()
 
+    def commit_durable(self) -> bool:
+        """WAL group-commit barrier; no-op over an in-memory node."""
+        self._guard("commit_durable")
+        commit = getattr(self.node, "commit_durable", None)
+        return commit() if commit is not None else False
+
+    def close(self) -> None:
+        # Unguarded: shutdown must release files even on a "down" node.
+        close = getattr(self.node, "close", None)
+        if close is not None:
+            close()
+
     # -- unguarded introspection --------------------------------------------
 
     @property

@@ -64,6 +64,14 @@ class SimClusterConfig:
     #: N = one in N, 0 = tracing off).  Applied to every component so
     #: a traced reading carries its id end to end.
     trace_sample_every: int = 1
+    #: When set, storage nodes are durable
+    #: (:class:`~repro.storage.durable.DurableNode`): each gets
+    #: ``<data_dir>/node<i>`` for its WAL and segment files, and a
+    #: fresh simulation over the same directory recovers prior state.
+    #: Ignored with ``use_memory_backend``.
+    data_dir: str | None = None
+    #: WAL fsync policy for durable nodes (always | interval | off).
+    fsync: str = "interval"
 
 
 class SimulatedCluster:
@@ -97,10 +105,26 @@ class SimulatedCluster:
         if self.config.use_memory_backend:
             self.backend = MemoryBackend(clock=self.clock)
         else:
-            nodes = [
-                StorageNode(f"node{i}", clock=self.clock)
-                for i in range(max(1, self.config.storage_nodes))
-            ]
+            if self.config.data_dir is not None:
+                from pathlib import Path
+
+                from repro.storage.durable import DurableNode
+
+                root = Path(self.config.data_dir)
+                nodes = [
+                    DurableNode(
+                        f"node{i}",
+                        data_dir=root / f"node{i}",
+                        fsync=self.config.fsync,
+                        clock=self.clock,
+                    )
+                    for i in range(max(1, self.config.storage_nodes))
+                ]
+            else:
+                nodes = [
+                    StorageNode(f"node{i}", clock=self.clock)
+                    for i in range(max(1, self.config.storage_nodes))
+                ]
             if faulty:
                 self.flaky_nodes = [
                     FlakyNode(

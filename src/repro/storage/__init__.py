@@ -36,7 +36,13 @@ from repro.storage.cluster import StorageCluster
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite import SqliteBackend
 from repro.storage.csv_io import export_csv, import_csv
-from repro.storage.persistence import save_node, load_node
+from repro.storage.durable import DurableBackend, DurableNode
+from repro.storage.persistence import (
+    load_cluster,
+    load_node,
+    save_cluster,
+    save_node,
+)
 from repro.storage.rollup import (
     ROLLUP_TIERS,
     RetentionPolicy,
@@ -51,6 +57,10 @@ from repro.storage.rollup import (
 __all__ = [
     "save_node",
     "load_node",
+    "save_cluster",
+    "load_cluster",
+    "DurableBackend",
+    "DurableNode",
     "ROLLUP_TIERS",
     "RetentionPolicy",
     "RollupConfig",

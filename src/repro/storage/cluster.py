@@ -795,6 +795,64 @@ class StorageCluster(StorageBackend):
             if _node_up(node):
                 node.flush()
 
+    def commit_durable(self) -> bool:
+        """Group-commit barrier across durable members.
+
+        Forwards to every live node that implements ``commit_durable``
+        (the :class:`~repro.storage.durable.DurableNode` WAL sync);
+        in-memory members ignore it.  Returns True if any node synced.
+        """
+        synced = False
+        for node in self.nodes:
+            commit = getattr(node, "commit_durable", None)
+            if commit is not None and _node_up(node):
+                synced = commit() or synced
+        return synced
+
+    def close(self) -> None:
+        for node in self.nodes:
+            close = getattr(node, "close", None)
+            if close is not None:
+                close()
+
+    @classmethod
+    def open_durable(
+        cls,
+        data_dir,
+        num_nodes: int = 1,
+        *,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        flush_threshold: int = 100_000,
+        clock=None,
+        metrics: MetricsRegistry | None = None,
+        **cluster_kwargs,
+    ) -> "StorageCluster":
+        """Build a cluster of durable nodes under one data directory.
+
+        Each replica gets its own subdirectory (``<data_dir>/node<i>``)
+        so per-node WALs and segment files never interleave — reopening
+        the same directory recovers every member independently.
+        """
+        from pathlib import Path
+
+        from repro.storage.durable import DurableNode
+
+        root = Path(data_dir)
+        nodes = [
+            DurableNode(
+                f"node{i}",
+                data_dir=root / f"node{i}",
+                fsync=fsync,
+                fsync_interval_s=fsync_interval_s,
+                flush_threshold=flush_threshold,
+                clock=clock,
+                metrics=metrics,
+            )
+            for i in range(num_nodes)
+        ]
+        return cls(nodes, metrics=metrics, **cluster_kwargs)
+
     # -- stats ------------------------------------------------------------------
 
     def _account(self, node_idx: int) -> None:

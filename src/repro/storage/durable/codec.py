@@ -1,0 +1,251 @@
+"""Columnar compression codecs for on-disk segments.
+
+Two bit-level codecs, straight out of Facebook's Gorilla paper (the
+scheme the COMPASS CDB work adopts for its compressed columnar event
+store, and the natural fit for DCDB's monitoring data):
+
+* **Delta-of-delta** for timestamps (and TTL expiries): monitoring
+  readings arrive on a fixed sampling interval, so the second
+  difference of consecutive timestamps is almost always zero — one
+  bit per reading.  Jitter falls into small variable-width buckets.
+* **XOR** for values: consecutive sensor values are equal or close, so
+  ``v[i] XOR v[i-1]`` is zero (one bit) or has a short run of
+  meaningful bits which is stored with a leading/trailing-zero window
+  that is reused while it keeps fitting.
+
+Both codecs operate on int64 columns — the storage layer's native
+reading representation (see :mod:`repro.core.sensor` for the scaling
+convention).  Float-valued sensors that store raw IEEE-754 bit
+patterns (NaN, ±inf included) round-trip bit-identically, because the
+codecs never interpret the payload arithmetically beyond differencing.
+
+Encoded blocks carry no row count; callers (the segment writer, the
+WAL) store the count in their own framing and pass it to decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import StorageError
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "decode_timestamps",
+    "decode_values",
+    "encode_timestamps",
+    "encode_values",
+]
+
+_M64 = (1 << 64) - 1
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream over a ``bytearray``."""
+
+    __slots__ = ("_out", "_acc", "_n")
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._n = 0
+
+    def write(self, value: int, bits: int) -> None:
+        acc = (self._acc << bits) | (value & ((1 << bits) - 1))
+        n = self._n + bits
+        out = self._out
+        while n >= 8:
+            n -= 8
+            out.append((acc >> n) & 0xFF)
+        self._acc = acc & ((1 << n) - 1)
+        self._n = n
+
+    def finish(self) -> bytes:
+        """Zero-pad to a byte boundary and return the stream."""
+        if self._n:
+            self._out.append((self._acc << (8 - self._n)) & 0xFF)
+            self._acc = 0
+            self._n = 0
+        return bytes(self._out)
+
+
+class BitReader:
+    """MSB-first bit reader over ``bytes``/``memoryview`` (mmap-safe)."""
+
+    __slots__ = ("_data", "_i", "_acc", "_n")
+
+    def __init__(self, data) -> None:
+        self._data = data
+        self._i = 0
+        self._acc = 0
+        self._n = 0
+
+    def read(self, bits: int) -> int:
+        acc = self._acc
+        n = self._n
+        data = self._data
+        i = self._i
+        try:
+            while n < bits:
+                acc = (acc << 8) | data[i]
+                i += 1
+                n += 8
+        except IndexError:
+            raise StorageError("truncated compressed block") from None
+        self._i = i
+        n -= bits
+        self._n = n
+        self._acc = acc & ((1 << n) - 1)
+        return acc >> n
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 127)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _to_int64(unsigned: list[int]) -> np.ndarray:
+    """Two's-complement reinterpretation of uint64 words as int64."""
+    if not unsigned:
+        return np.empty(0, dtype=np.int64)
+    return np.array(unsigned, dtype=np.uint64).view(np.int64)
+
+
+def encode_timestamps(values) -> bytes:
+    """Delta-of-delta encode an int64 column (timestamps, expiries).
+
+    Bucket codes: ``0`` dod=0; ``10``+7 bits; ``110``+16; ``1110``+32;
+    ``1111``+68 (zigzag; 68 bits covers the worst-case second
+    difference of two int64 extremes).
+    """
+    vals = values.tolist() if isinstance(values, np.ndarray) else [int(v) for v in values]
+    if not vals:
+        return b""
+    w = BitWriter()
+    write = w.write
+    write(vals[0] & _M64, 64)
+    prev = vals[0]
+    prev_delta = 0
+    for v in vals[1:]:
+        delta = v - prev
+        dod = delta - prev_delta
+        prev = v
+        prev_delta = delta
+        if dod == 0:
+            write(0, 1)
+            continue
+        zz = _zigzag(dod)
+        if zz < (1 << 7):
+            write(0b10, 2)
+            write(zz, 7)
+        elif zz < (1 << 16):
+            write(0b110, 3)
+            write(zz, 16)
+        elif zz < (1 << 32):
+            write(0b1110, 4)
+            write(zz, 32)
+        else:
+            write(0b1111, 4)
+            write(zz, 68)
+    return w.finish()
+
+
+def decode_timestamps(data, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_timestamps`; ``count`` rows expected."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    r = BitReader(data)
+    read = r.read
+    first = read(64)
+    prev = first - (1 << 64) if first >= (1 << 63) else first
+    out = [prev]
+    delta = 0
+    for _ in range(count - 1):
+        if read(1) == 0:
+            dod = 0
+        elif read(1) == 0:
+            dod = _unzigzag(read(7))
+        elif read(1) == 0:
+            dod = _unzigzag(read(16))
+        elif read(1) == 0:
+            dod = _unzigzag(read(32))
+        else:
+            dod = _unzigzag(read(68))
+        delta += dod
+        prev += delta
+        out.append(prev)
+    return np.array(out, dtype=np.int64)
+
+
+def encode_values(values) -> bytes:
+    """Gorilla-style XOR encode an int64 value column.
+
+    Per value: ``0`` if the XOR with the previous value is zero;
+    ``10`` + meaningful bits reusing the previous leading/trailing-zero
+    window; ``11`` + 6-bit leading count + 6-bit (length-1) + bits for
+    a fresh window.
+    """
+    vals = values.tolist() if isinstance(values, np.ndarray) else [int(v) for v in values]
+    if not vals:
+        return b""
+    w = BitWriter()
+    write = w.write
+    prev = vals[0] & _M64
+    write(prev, 64)
+    lead = -1
+    trail = 0
+    window = 0
+    for v in vals[1:]:
+        u = v & _M64
+        x = u ^ prev
+        prev = u
+        if x == 0:
+            write(0, 1)
+            continue
+        bits = x.bit_length()
+        l = 64 - bits
+        t = ((x & -x).bit_length()) - 1
+        if lead >= 0 and l >= lead and t >= trail:
+            write(0b10, 2)
+            write(x >> trail, window)
+        else:
+            lead = l
+            trail = t
+            window = 64 - l - t
+            write(0b11, 2)
+            write(l, 6)
+            write(window - 1, 6)
+            write(x >> t, window)
+    return w.finish()
+
+
+def decode_values(data, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_values`; ``count`` rows expected."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    r = BitReader(data)
+    read = r.read
+    prev = read(64)
+    out = [prev]
+    trail = 0
+    window = 64
+    for _ in range(count - 1):
+        if read(1) == 0:
+            out.append(prev)
+            continue
+        if read(1) == 0:
+            x = read(window) << trail
+        else:
+            lead = read(6)
+            window = read(6) + 1
+            trail = 64 - lead - window
+            if trail < 0:
+                raise StorageError("corrupt XOR window in compressed block")
+            x = read(window) << trail
+        prev ^= x
+        out.append(prev)
+    return _to_int64(out)

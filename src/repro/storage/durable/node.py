@@ -1,0 +1,796 @@
+"""The durable storage node: WAL + compressed segments + recovery.
+
+:class:`DurableNode` extends the in-memory
+:class:`~repro.storage.node.StorageNode` with the persistence shape
+the paper gets from Cassandra (section 4.3) and the COMPASS CDB paper
+describes explicitly: every accepted mutation is framed into a
+write-ahead log *before* it touches the memtable, memtable seals write
+immutable compressed segment files (see :mod:`.segment`), and the WAL
+only truncates once a seal's checkpoint makes the manifest point past
+it — ack-driven trimming, the lsst-dm buffer-manager discipline.
+
+On-disk layout of one node directory::
+
+    manifest.json    ordered segment list (= LWW order), WAL floor,
+                     next file number, per-sensor retention cutoffs
+    metadata.json    the metadata table image as of the last checkpoint
+    wal-XXXXXXXX.log active + not-yet-checkpointed WAL files
+    seg-XXXXXXXX.seg immutable columnar segments
+
+Crash recovery (constructor): sweep orphan ``*.tmp`` files, open the
+manifest's segments (read lazily per sensor on first access), load the
+metadata image, then replay every WAL file at or above the manifest
+floor into the memtable.  Replay is idempotent under the flush-time
+last-write-wins invariant, so a WAL that overlaps sealed segments —
+the normal state after a crash between seal and checkpoint — double
+applies harmlessly.  A torn tail or corrupt CRC stops that file's scan
+at the last valid record and recovery continues; it never refuses to
+start.  Recovery ends with a seal + checkpoint, leaving a clean log.
+
+Ordering invariant the reads rely on: disk segments always hold data
+*older* than anything sealed after recovery, so lazily loaded blocks
+are **prepended** to the in-memory segment list and tiered compaction
+merges only runs that are contiguous in manifest order — both keep the
+last-write-wins merge of the base class correct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import StorageError
+from repro.core.sid import SID_BITS_PER_LEVEL, SID_LEVELS, SensorId
+from repro.observability import MetricsRegistry
+from repro.storage.backend import InsertItem, StorageBackend
+from repro.storage.node import StorageNode, _Segment, _SensorData
+
+from . import wal as walmod
+from .segment import SegmentFile, segment_path, write_segment
+from .wal import CUTOFF, DATA, META, WriteAheadLog, scan_wal_file, wal_path
+
+__all__ = ["DurableBackend", "DurableNode"]
+
+_MANIFEST_FORMAT = 1
+_M64 = (1 << 64) - 1
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _encode_data(items: list[InsertItem]) -> bytes:
+    """Frame an insert batch as a DATA payload (columnar, fixed-width)."""
+    n = len(items)
+    cols = np.empty((5, n), dtype=np.uint64)
+    for i, (sid, ts, value, ttl) in enumerate(items):
+        cols[0, i] = sid.value >> 64
+        cols[1, i] = sid.value & _M64
+        cols[2, i] = ts & _M64
+        cols[3, i] = value & _M64
+        cols[4, i] = ttl & _M64
+    return struct.pack("<I", n) + cols.tobytes()
+
+
+def _decode_data(payload: bytes) -> list[InsertItem]:
+    (n,) = struct.unpack_from("<I", payload)
+    cols = np.frombuffer(payload, dtype=np.uint64, offset=4).reshape(5, n)
+    signed = cols[2:].view(np.int64)
+    return [
+        (
+            SensorId((int(cols[0, i]) << 64) | int(cols[1, i])),
+            int(signed[0, i]),
+            int(signed[1, i]),
+            int(signed[2, i]),
+        )
+        for i in range(n)
+    ]
+
+
+def _encode_meta(key: str, value: str) -> bytes:
+    kb = key.encode("utf-8")
+    return struct.pack("<I", len(kb)) + kb + value.encode("utf-8")
+
+
+def _decode_meta(payload: bytes) -> tuple[str, str]:
+    (klen,) = struct.unpack_from("<I", payload)
+    return (
+        payload[4 : 4 + klen].decode("utf-8"),
+        payload[4 + klen :].decode("utf-8"),
+    )
+
+
+def _encode_cutoff(sid: SensorId, cutoff: int) -> bytes:
+    return struct.pack("<QQq", sid.value >> 64, sid.value & _M64, cutoff)
+
+
+def _decode_cutoff(payload: bytes) -> tuple[SensorId, int]:
+    hi, lo, cutoff = struct.unpack("<QQq", payload)
+    return SensorId((hi << 64) | lo), cutoff
+
+
+def _merge_lww(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]], now: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate (older parts first), stable-sort, keep last per ts.
+
+    The flush-time dedup invariant: a stable sort preserves part order
+    within equal timestamps, so keeping the final occurrence keeps the
+    *newest* write.  ``now`` additionally drops expired rows.
+    """
+    ts = np.concatenate([p[0] for p in parts])
+    vals = np.concatenate([p[1] for p in parts])
+    exp = np.concatenate([p[2] for p in parts])
+    if now is not None:
+        live = exp > now
+        if not live.all():
+            ts, vals, exp = ts[live], vals[live], exp[live]
+    order = np.argsort(ts, kind="stable")
+    ts, vals, exp = ts[order], vals[order], exp[order]
+    if ts.size > 1:
+        keep = np.empty(ts.size, dtype=bool)
+        keep[:-1] = ts[1:] != ts[:-1]
+        keep[-1] = True
+        if not keep.all():
+            ts, vals, exp = ts[keep], vals[keep], exp[keep]
+    return ts, vals, exp
+
+
+def _atomic_json(path: Path, doc: dict) -> None:
+    tmp = path.with_suffix(".tmp")
+    data = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class DurableNode(StorageNode):
+    """A :class:`StorageNode` whose state survives ``kill -9``.
+
+    Parameters beyond the base class:
+
+    data_dir:
+        Directory owning this node's WAL and segment files (created if
+        missing; recovery runs immediately if it holds prior state).
+    fsync / fsync_interval_s:
+        WAL sync policy — see :class:`~repro.storage.durable.wal.WriteAheadLog`.
+    max_segment_files:
+        Tiered compaction triggers when the manifest lists more files.
+    compact_min_run:
+        Smallest contiguous run of files one merge consumes.
+    disk:
+        Optional :class:`~repro.faults.disk.DiskFaultInjector` seam.
+    """
+
+    def __init__(
+        self,
+        name: str = "node0",
+        data_dir: str | Path = "dcdb-data",
+        *,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        max_segment_files: int = 8,
+        compact_min_run: int = 4,
+        disk=None,
+        flush_threshold: int = 100_000,
+        max_segments_per_sensor: int = 8,
+        clock=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(
+            name=name,
+            flush_threshold=flush_threshold,
+            max_segments_per_sensor=max_segments_per_sensor,
+            clock=clock,
+            metrics=metrics,
+        )
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.max_segment_files = max_segment_files
+        self.compact_min_run = max(2, compact_min_run)
+        self._disk = disk
+        #: Ordered (fileno, SegmentFile) — manifest order == LWW order.
+        self._seg_files: list[tuple[int, SegmentFile]] = []
+        #: Per-sensor disk blocks not yet decoded into memory, in LWW order.
+        self._lazy: dict[SensorId, list[SegmentFile]] = {}
+        #: Frozen segments a failed seal left unpersisted (still WAL-covered).
+        self._unsealed: dict[SensorId, list[_Segment]] = {}
+        self._cutoffs: dict[SensorId, int] = {}
+        self._next_fileno = 1
+        self._replaying = False
+        self._closed = False
+        self._raw_bytes = 0
+        self._encoded_bytes = 0
+
+        label = {"node": name}
+        self._m_wal_appends = self.metrics.counter(
+            "dcdb_wal_appends_total", "Records framed into the write-ahead log", ("node",)
+        ).labels(**label)
+        self._m_wal_bytes = self.metrics.counter(
+            "dcdb_wal_bytes_total", "Bytes appended to the write-ahead log", ("node",)
+        ).labels(**label)
+        self._m_wal_syncs = self.metrics.counter(
+            "dcdb_wal_syncs_total", "fsync calls the WAL commit policy issued", ("node",)
+        ).labels(**label)
+        self._m_wal_rotations = self.metrics.counter(
+            "dcdb_wal_rotations_total", "WAL file rotations at memtable seal", ("node",)
+        ).labels(**label)
+        self._m_wal_replayed = self.metrics.counter(
+            "dcdb_wal_replayed_records_total",
+            "WAL records re-applied during crash recovery",
+            ("node",),
+        ).labels(**label)
+        self._m_seg_written = self.metrics.counter(
+            "dcdb_segment_files_written_total", "Segment files written (seals + merges)", ("node",)
+        ).labels(**label)
+        self._m_seg_compactions = self.metrics.counter(
+            "dcdb_segment_compactions_total", "Tiered merges of on-disk segment runs", ("node",)
+        ).labels(**label)
+        self._m_seg_errors = self.metrics.counter(
+            "dcdb_segment_write_errors_total",
+            "Failed segment writes (data stays WAL-covered)",
+            ("node",),
+        ).labels(**label)
+        self.metrics.gauge(
+            "dcdb_wal_size_bytes", "Bytes in the active WAL file", ("node",)
+        ).labels(**label).set_function(lambda: self._wal.size_bytes)
+        self.metrics.gauge(
+            "dcdb_segment_files", "Segment files in the manifest", ("node",)
+        ).labels(**label).set_function(lambda: len(self._seg_files))
+        self.metrics.gauge(
+            "dcdb_segment_disk_bytes", "Total size of segment files", ("node",)
+        ).labels(**label).set_function(
+            lambda: sum(sf.size_bytes for _, sf in self._seg_files)
+        )
+        self.metrics.gauge(
+            "dcdb_segment_compression_ratio",
+            "Cumulative raw-to-encoded byte ratio of segment writes",
+            ("node",),
+        ).labels(**label).set_function(
+            lambda: (self._raw_bytes / self._encoded_bytes) if self._encoded_bytes else 0.0
+        )
+
+        self.recovery_info: dict = {}
+        self._recover(fsync, fsync_interval_s)
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self, fsync: str, fsync_interval_s: float) -> None:
+        info: dict = {
+            "segments_loaded": 0,
+            "segments_dropped": [],
+            "orphans_removed": 0,
+            "wal_files_scanned": 0,
+            "wal_records_replayed": 0,
+            "wal_truncations": [],
+        }
+        for orphan in self.data_dir.glob("*.tmp"):
+            orphan.unlink(missing_ok=True)
+            info["orphans_removed"] += 1
+
+        manifest = {"wal_floor": 1, "next_fileno": 1, "segments": [], "cutoffs": {}}
+        manifest_path = self.data_dir / "manifest.json"
+        if manifest_path.is_file():
+            loaded = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if loaded.get("format") != _MANIFEST_FORMAT:
+                raise StorageError(
+                    f"{self.name}: unsupported manifest format {loaded.get('format')}"
+                )
+            manifest.update(loaded)
+        self._next_fileno = int(manifest["next_fileno"])
+        self._cutoffs = {
+            SensorId.from_hex(hexsid): int(cutoff)
+            for hexsid, cutoff in manifest["cutoffs"].items()
+        }
+
+        listed = [int(fn) for fn in manifest["segments"]]
+        for fileno in listed:
+            path = segment_path(self.data_dir, fileno)
+            try:
+                seg_file = SegmentFile(path, disk=self._disk)
+            except (OSError, StorageError) as exc:
+                # The data is either in a newer merge output or still in
+                # the WAL — never silently half-present in a bad file.
+                info["segments_dropped"].append(f"{path.name}: {exc}")
+                continue
+            self._seg_files.append((fileno, seg_file))
+            info["segments_loaded"] += 1
+            for sid in seg_file.sids():
+                self._lazy.setdefault(sid, []).append(seg_file)
+                if sid not in self._data:
+                    self._data[sid] = _SensorData()
+                    self._sids_cache = None
+        # A segment file the manifest does not list is an orphan from a
+        # crash between seal and checkpoint: its rows are still in the WAL.
+        for path in self.data_dir.glob("seg-*.seg"):
+            fileno = int(path.stem.split("-", 1)[1])
+            if fileno not in listed:
+                path.unlink(missing_ok=True)
+                info["orphans_removed"] += 1
+
+        meta_path = self.data_dir / "metadata.json"
+        if meta_path.is_file():
+            doc = json.loads(meta_path.read_text(encoding="utf-8"))
+            self._metadata.update(doc.get("metadata", {}))
+
+        floor = int(manifest["wal_floor"])
+        wal_seqs = sorted(
+            seq
+            for path in self.data_dir.glob("wal-*.log")
+            if (seq := int(path.stem.split("-", 1)[1])) >= floor
+        )
+        records: list = []
+        for seq in wal_seqs:
+            scan = scan_wal_file(wal_path(self.data_dir, seq), seq, disk=self._disk)
+            info["wal_files_scanned"] += 1
+            records.extend(scan.records)
+            if scan.truncated_reason is not None:
+                info["wal_truncations"].append(
+                    f"wal-{seq:08d}.log: {scan.truncated_reason}"
+                )
+        # Append always goes to a fresh file: a torn tail in the latest
+        # file must never get live records written after it.
+        active_seq = max(wal_seqs[-1] + 1 if wal_seqs else 0, floor, 1)
+        for seq in wal_seqs:
+            path = wal_path(self.data_dir, seq)
+            if path.stat().st_size == 0:
+                path.unlink(missing_ok=True)
+        self._wal = WriteAheadLog(
+            self.data_dir,
+            active_seq,
+            fsync=fsync,
+            fsync_interval_s=fsync_interval_s,
+            disk=self._disk,
+        )
+
+        self._replaying = True
+        try:
+            for record in records:
+                if record.rtype == DATA:
+                    self.insert_batch(_decode_data(record.payload))
+                elif record.rtype == META:
+                    key, value = _decode_meta(record.payload)
+                    self.put_metadata(key, value)
+                elif record.rtype == CUTOFF:
+                    sid, cutoff = _decode_cutoff(record.payload)
+                    self.delete_before(sid, cutoff)
+                info["wal_records_replayed"] += 1
+        finally:
+            self._replaying = False
+        self._m_wal_replayed.inc(info["wal_records_replayed"])
+
+        if records:
+            # Seal + checkpoint: the replayed rows land in a segment,
+            # the manifest floor moves past the scanned files and they
+            # are deleted — recovery converges to a clean log.
+            self.flush()
+        self.recovery_info = info
+
+    # -- write path -------------------------------------------------------
+
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        self.insert_batch([(sid, timestamp, value, ttl_s)])
+
+    def insert_batch(self, items) -> int:
+        if not isinstance(items, list):
+            items = list(items)
+        if not items:
+            return 0
+        with self._lock:
+            if not self._replaying:
+                nbytes = self._wal.append(DATA, _encode_data(items))
+                self._m_wal_appends.inc()
+                self._m_wal_bytes.inc(nbytes)
+            count = super().insert_batch(items)
+            if not self._replaying:
+                self._commit_locked()
+        return count
+
+    def commit_durable(self) -> bool:
+        """Group-commit barrier: apply the fsync policy to pending bytes.
+
+        The batching writer calls this once per flushed batch before
+        acknowledging, so under ``fsync=always`` one fsync covers the
+        whole batch and an acknowledged reading can never be lost.
+        """
+        with self._lock:
+            return self._commit_locked()
+
+    def _commit_locked(self) -> bool:
+        try:
+            synced = self._wal.commit()
+        except OSError as exc:
+            raise StorageError(f"{self.name}: WAL fsync failed: {exc}") from exc
+        if synced:
+            self._m_wal_syncs.inc()
+        return synced
+
+    def put_metadata(self, key: str, value: str) -> None:
+        with self._lock:
+            if not self._replaying:
+                nbytes = self._wal.append(META, _encode_meta(key, value))
+                self._m_wal_appends.inc()
+                self._m_wal_bytes.inc(nbytes)
+            super().put_metadata(key, value)
+            if not self._replaying:
+                self._commit_locked()
+
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        with self._lock:
+            if not self._replaying:
+                self._ensure_loaded(sid)
+                nbytes = self._wal.append(CUTOFF, _encode_cutoff(sid, cutoff))
+                self._m_wal_appends.inc()
+                self._m_wal_bytes.inc(nbytes)
+            removed = super().delete_before(sid, cutoff)
+            if cutoff > self._cutoffs.get(sid, -(1 << 63)):
+                self._cutoffs[sid] = cutoff
+            if not self._replaying:
+                self._commit_locked()
+        return removed
+
+    # -- seal / checkpoint -------------------------------------------------
+
+    def _sealed(self, frozen: dict[SensorId, _Segment]) -> None:
+        if self._replaying:
+            return
+        for sid, segment in frozen.items():
+            self._unsealed.setdefault(sid, []).append(segment)
+        try:
+            self._persist_unsealed_locked()
+        except (OSError, StorageError):
+            # The rows stay in memory AND in the un-rotated WAL, so
+            # nothing acknowledged is lost; the next seal retries.
+            self._m_seg_errors.inc()
+
+    def _persist_unsealed_locked(self) -> None:
+        def sensors() -> Iterator[tuple[SensorId, np.ndarray, np.ndarray, np.ndarray]]:
+            for sid in sorted(self._unsealed):
+                segments = self._unsealed[sid]
+                if len(segments) == 1:
+                    seg = segments[0]
+                    yield sid, seg.timestamps, seg.values, seg.expiries
+                else:
+                    yield sid, *_merge_lww(
+                        [(s.timestamps, s.values, s.expiries) for s in segments]
+                    )
+
+        fileno = self._next_fileno
+        stats = write_segment(
+            segment_path(self.data_dir, fileno), sensors(), disk=self._disk
+        )
+        if stats is None:
+            self._unsealed.clear()
+            return
+        self._next_fileno = fileno + 1
+        self._seg_files.append((fileno, SegmentFile(stats.path, disk=self._disk)))
+        self._unsealed.clear()
+        self._raw_bytes += stats.raw_bytes
+        self._encoded_bytes += stats.file_bytes
+        self._m_seg_written.inc()
+        self._checkpoint_locked()
+        self._maybe_compact_files_locked()
+
+    def _checkpoint_locked(self) -> None:
+        """Rotate the WAL, persist the manifest, trim sealed WAL files."""
+        floor = self._wal.rotate()
+        self._m_wal_rotations.inc()
+        _atomic_json(
+            self.data_dir / "metadata.json",
+            {"format": _MANIFEST_FORMAT, "metadata": dict(self._metadata)},
+        )
+        _atomic_json(
+            self.data_dir / "manifest.json",
+            {
+                "format": _MANIFEST_FORMAT,
+                "wal_floor": floor,
+                "next_fileno": self._next_fileno,
+                "segments": [fileno for fileno, _ in self._seg_files],
+                "cutoffs": {sid.hex(): c for sid, c in self._cutoffs.items()},
+            },
+        )
+        self._wal.delete_below(floor)
+
+    # -- tiered compaction -------------------------------------------------
+
+    def _maybe_compact_files_locked(self) -> None:
+        while len(self._seg_files) > self.max_segment_files:
+            run = min(self.compact_min_run, len(self._seg_files))
+            # Pick the cheapest contiguous run (manifest order == LWW
+            # order, so only contiguous runs may merge).
+            best_at = min(
+                range(len(self._seg_files) - run + 1),
+                key=lambda i: sum(
+                    sf.size_bytes for _, sf in self._seg_files[i : i + run]
+                ),
+            )
+            self._merge_run_locked(best_at, run)
+
+    def _merge_run_locked(self, at: int, run: int) -> None:
+        victims = self._seg_files[at : at + run]
+        run_sids = sorted({sid for _, sf in victims for sid in sf.sids()})
+        # Force-load affected sensors first so lazy references never
+        # point at a merged (deleted) file.
+        for sid in run_sids:
+            self._ensure_loaded(sid)
+        now = self._clock()
+
+        def sensors() -> Iterator[tuple[SensorId, np.ndarray, np.ndarray, np.ndarray]]:
+            for sid in run_sids:
+                parts = [sf.read(sid) for _, sf in victims if sid in sf]
+                ts, vals, exp = (
+                    parts[0] if len(parts) == 1 else _merge_lww(parts, now=None)
+                )
+                cutoff = self._cutoffs.get(sid)
+                live = exp > now
+                if cutoff is not None:
+                    live &= ts >= cutoff
+                if not live.all():
+                    ts, vals, exp = ts[live], vals[live], exp[live]
+                yield sid, ts, vals, exp
+
+        fileno = self._next_fileno
+        stats = write_segment(
+            segment_path(self.data_dir, fileno), sensors(), disk=self._disk
+        )
+        self._next_fileno = fileno + 1
+        merged: list[tuple[int, SegmentFile]] = []
+        if stats is not None:
+            merged.append((fileno, SegmentFile(stats.path, disk=self._disk)))
+            self._raw_bytes += stats.raw_bytes
+            self._encoded_bytes += stats.file_bytes
+            self._m_seg_written.inc()
+        self._seg_files[at : at + run] = merged
+        self._m_seg_compactions.inc()
+        self._checkpoint_locked()
+        for fileno_old, sf in victims:
+            sf.close()
+            segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
+
+    def compact(self) -> None:
+        """Full merge: memory and disk both collapse to one image."""
+        with self._lock:
+            self._ensure_all_loaded()
+            super().compact()
+            victims = self._seg_files
+
+            def sensors() -> Iterator[tuple[SensorId, np.ndarray, np.ndarray, np.ndarray]]:
+                for sid in sorted(self._data):
+                    segments = self._data[sid].segments
+                    if not segments:
+                        continue
+                    seg = segments[0]
+                    yield sid, seg.timestamps, seg.values, seg.expiries
+
+            fileno = self._next_fileno
+            stats = write_segment(
+                segment_path(self.data_dir, fileno), sensors(), disk=self._disk
+            )
+            self._next_fileno = fileno + 1
+            self._seg_files = []
+            if stats is not None:
+                self._seg_files = [(fileno, SegmentFile(stats.path, disk=self._disk))]
+                self._raw_bytes += stats.raw_bytes
+                self._encoded_bytes += stats.file_bytes
+                self._m_seg_written.inc()
+            self._checkpoint_locked()
+            for fileno_old, sf in victims:
+                sf.close()
+                segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
+
+    # -- lazy disk loads ---------------------------------------------------
+
+    def _ensure_loaded(self, sid: SensorId) -> None:
+        refs = self._lazy.pop(sid, None)
+        if not refs:
+            return
+        cutoff = self._cutoffs.get(sid)
+        decoded: list[_Segment] = []
+        for seg_file in refs:
+            ts, vals, exp = seg_file.read(sid)
+            if cutoff is not None:
+                keep = ts >= cutoff
+                if not keep.all():
+                    ts, vals, exp = ts[keep], vals[keep], exp[keep]
+            if ts.size:
+                decoded.append(_Segment(ts, vals, exp))
+        data = self._data.get(sid)
+        if data is None:
+            data = self._data[sid] = _SensorData()
+            self._sids_cache = None
+        # Disk blocks predate everything sealed this process lifetime:
+        # prepend so the LWW merge keeps newer writes winning.
+        data.segments[:0] = decoded
+
+    def _ensure_all_loaded(self) -> None:
+        for sid in list(self._lazy):
+            self._ensure_loaded(sid)
+
+    # -- read path ---------------------------------------------------------
+
+    def query(self, sid: SensorId, start: int, end: int):
+        with self._lock:
+            self._ensure_loaded(sid)
+        return super().query(sid, start, end)
+
+    def query_many(self, sids, start: int, end: int):
+        if not isinstance(sids, (list, tuple)):
+            sids = list(sids)
+        with self._lock:
+            for sid in sids:
+                self._ensure_loaded(sid)
+        return super().query_many(sids, start, end)
+
+    @property
+    def row_count(self) -> int:
+        with self._lock:
+            self._ensure_all_loaded()
+            return super().row_count
+
+    @property
+    def segment_count(self) -> int:
+        with self._lock:
+            self._ensure_all_loaded()
+            return super().segment_count
+
+    # -- fingerprint / lifecycle -------------------------------------------
+
+    def state_fingerprint(self) -> str:
+        """Deterministic digest of all queryable state.
+
+        Two nodes answering every query identically produce the same
+        fingerprint — the chaos battery's bit-identical recovery check.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for sid in self.sids():
+            ts, vals = self.query(sid, 0, (1 << 63) - 1)
+            digest.update(sid.hex().encode())
+            digest.update(ts.tobytes())
+            digest.update(vals.tobytes())
+        for key in self.metadata_keys():
+            digest.update(key.encode("utf-8"))
+            digest.update((self.get_metadata(key) or "").encode("utf-8"))
+        return digest.hexdigest()
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def segment_file_count(self) -> int:
+        with self._lock:
+            return len(self._seg_files)
+
+    def close(self) -> None:
+        """Sync and release files. The memtable is NOT sealed: reopening
+        replays the WAL, which is exactly the path worth exercising."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wal.close()
+            for _, sf in self._seg_files:
+                sf.close()
+
+
+class DurableBackend(StorageBackend):
+    """Single-node durable :class:`StorageBackend` over a data directory.
+
+    The file-backed sibling of :class:`~repro.storage.memory.MemoryBackend`:
+    same contract (the suite in ``tests/storage/test_backends_contract.py``
+    runs against it, including a reopen-between-write-and-read variant),
+    plus ``commit_durable()`` — the group-commit barrier the batching
+    writer invokes before acknowledging a batch.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        name: str = "durable0",
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        flush_threshold: int = 100_000,
+        max_segment_files: int = 8,
+        clock=None,
+        metrics: MetricsRegistry | None = None,
+        disk=None,
+    ) -> None:
+        self.node = DurableNode(
+            name=name,
+            data_dir=data_dir,
+            fsync=fsync,
+            fsync_interval_s=fsync_interval_s,
+            flush_threshold=flush_threshold,
+            max_segment_files=max_segment_files,
+            clock=clock,
+            metrics=metrics,
+            disk=disk,
+        )
+
+    # -- data plane --------------------------------------------------------
+
+    def insert(self, sid: SensorId, timestamp: int, value: int, ttl_s: int = 0) -> None:
+        self.node.insert(sid, timestamp, value, ttl_s)
+
+    def insert_batch(self, items: Iterable[InsertItem]) -> int:
+        return self.node.insert_batch(items)
+
+    def commit_durable(self) -> bool:
+        return self.node.commit_durable()
+
+    def query(self, sid: SensorId, start: int, end: int):
+        return self.node.query(sid, start, end)
+
+    def query_many(self, sids, start: int, end: int):
+        return self.node.query_many(sids, start, end)
+
+    def query_prefix(
+        self, prefix: int, levels: int, start: int, end: int
+    ) -> Iterator[tuple[SensorId, np.ndarray, np.ndarray]]:
+        keep_bits = SID_BITS_PER_LEVEL * levels
+        mask = (
+            ((1 << keep_bits) - 1) << (SID_LEVELS * SID_BITS_PER_LEVEL - keep_bits)
+            if keep_bits
+            else 0
+        )
+        candidates = [sid for sid in self.node.sids() if (sid.value & mask) == prefix]
+        results = self.node.query_many(candidates, start, end)
+        for sid in candidates:
+            ts, vals = results[sid]
+            if ts.size:
+                yield sid, ts, vals
+
+    def sids(self) -> list[SensorId]:
+        return self.node.sids()
+
+    def delete_before(self, sid: SensorId, cutoff: int) -> int:
+        return self.node.delete_before(sid, cutoff)
+
+    # -- metadata plane ----------------------------------------------------
+
+    def put_metadata(self, key: str, value: str) -> None:
+        self.node.put_metadata(key, value)
+
+    def get_metadata(self, key: str) -> str | None:
+        return self.node.get_metadata(key)
+
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        return self.node.metadata_keys(prefix)
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> None:
+        self.node.compact()
+
+    def flush(self) -> None:
+        self.node.flush()
+
+    def close(self) -> None:
+        self.node.close()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.node.metrics
+
+    def metrics_registries(self) -> list[MetricsRegistry]:
+        return [self.node.metrics]
+
+    @property
+    def recovery_info(self) -> dict:
+        return self.node.recovery_info
+
+    def state_fingerprint(self) -> str:
+        return self.node.state_fingerprint()
+
+
+# Re-exported for introspection/tooling convenience.
+FSYNC_POLICIES = walmod.FSYNC_POLICIES

@@ -1,0 +1,256 @@
+"""Per-node write-ahead log: append-only, CRC-framed, group commit.
+
+Every mutation a :class:`~repro.storage.durable.DurableNode` accepts is
+first framed into the active WAL file; the batching writer's flush
+completion then calls ``commit()`` once per batch, so a single fsync
+covers the whole batch (*group commit* — the discipline the COMPASS
+CDB event store and Cassandra's commitlog share).  Three fsync
+policies trade durability for throughput:
+
+* ``always``   — fsync on every commit; zero acknowledged-write loss
+  across ``kill -9``.
+* ``interval`` — fsync when ``fsync_interval_s`` has elapsed since the
+  last sync; bounded loss window, near-memory throughput.
+* ``off``      — never fsync; the OS page cache decides (crash-unsafe,
+  benchmark baseline only).
+
+Record framing (little-endian)::
+
+    magic  u16  = 0xDA7A
+    type   u8   (DATA=1, META=2, CUTOFF=3)
+    flags  u8   (reserved, 0)
+    length u32  payload byte count
+    seq    u64  file sequence number (sanity check against renames)
+    crc    u32  CRC-32 over type byte + seq + payload
+    payload     ``length`` bytes
+
+A reader stops at the first frame that fails any check — short header,
+short payload, wrong magic/seq, CRC mismatch — and reports *why*, so a
+torn tail (the expected artefact of power loss mid-append) recovers to
+the last valid record instead of refusing to start.
+
+Truncation is *ack-driven* (the lsst-dm buffer-manager discipline):
+the log only shrinks when the owning node seals its memtable into a
+segment file and checkpoints the manifest; ``rotate()`` starts a fresh
+file and the node deletes files below the manifest's ``wal_floor``
+afterwards.  Deleting before the manifest points past a file would
+lose un-sealed records; deleting after is safe because replay is
+idempotent under last-write-wins.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic
+
+from repro.common.errors import StorageError
+
+__all__ = [
+    "DATA",
+    "META",
+    "CUTOFF",
+    "FSYNC_POLICIES",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal_file",
+    "wal_path",
+]
+
+#: Record types.
+DATA = 1
+META = 2
+CUTOFF = 3
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+_MAGIC = 0xDA7A
+_HEADER = struct.Struct("<HBBIQI")  # magic, type, flags, length, seq, crc
+HEADER_SIZE = _HEADER.size
+
+
+def _crc(rtype: int, seq: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(bytes((rtype,)) + seq.to_bytes(8, "little")))
+
+
+def wal_path(directory: Path, seq: int) -> Path:
+    return directory / f"wal-{seq:08d}.log"
+
+
+@dataclass(slots=True)
+class WalRecord:
+    """One decoded WAL frame."""
+
+    rtype: int
+    seq: int
+    payload: bytes
+
+
+@dataclass(slots=True)
+class WalScan:
+    """Result of scanning one WAL file to its last valid record."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    #: Why the scan stopped early, or None for a clean end-of-file.
+    truncated_reason: str | None = None
+
+
+def scan_wal_file(path: Path, expect_seq: int, *, disk=None) -> WalScan:
+    """Read frames from ``path`` up to the last valid record.
+
+    Never raises on corruption: a torn tail, a flipped bit, a header
+    from a different file — all stop the scan with a diagnostic in
+    ``truncated_reason`` and everything before the bad frame intact.
+    """
+    raw = path.read_bytes()
+    if disk is not None:
+        raw = disk.read(raw, str(path))
+    scan = WalScan()
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        if offset + HEADER_SIZE > total:
+            scan.truncated_reason = "torn header at end of file"
+            return scan
+        magic, rtype, _flags, length, seq, crc = _HEADER.unpack_from(raw, offset)
+        if magic != _MAGIC:
+            scan.truncated_reason = f"bad magic 0x{magic:04x} at offset {offset}"
+            return scan
+        if seq != expect_seq:
+            scan.truncated_reason = f"wrong file seq {seq} (expected {expect_seq})"
+            return scan
+        body_start = offset + HEADER_SIZE
+        if body_start + length > total:
+            scan.truncated_reason = "torn payload at end of file"
+            return scan
+        payload = raw[body_start : body_start + length]
+        if _crc(rtype, seq, payload) != crc:
+            scan.truncated_reason = f"CRC mismatch at offset {offset}"
+            return scan
+        scan.records.append(WalRecord(rtype, seq, payload))
+        offset = body_start + length
+        scan.valid_bytes = offset
+    return scan
+
+
+class WriteAheadLog:
+    """The active, append-only end of a node's log.
+
+    Not thread-safe on its own — the owning node serializes appends
+    under its lock; ``commit()`` may race a rotation only through the
+    same lock.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        seq: int,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        disk=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        self.directory = directory
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self._disk = disk
+        self.seq = seq
+        self._file = open(wal_path(directory, seq), "ab", buffering=0)
+        self.size_bytes = self._file.tell()
+        self._dirty = False
+        self._last_sync = monotonic()
+        # Cumulative stats the node surfaces as dcdb_wal_* metrics.
+        self.appends = 0
+        self.bytes_written = 0
+        self.syncs = 0
+        self.rotations = 0
+
+    # -- write side -----------------------------------------------------
+
+    def append(self, rtype: int, payload: bytes) -> int:
+        """Frame and buffer one record; durable only after a sync."""
+        frame = (
+            _HEADER.pack(_MAGIC, rtype, 0, len(payload), self.seq, _crc(rtype, self.seq, payload))
+            + payload
+        )
+        if self._disk is not None:
+            self._disk.write(self._file, frame)
+        else:
+            self._file.write(frame)
+        self._dirty = True
+        self.appends += 1
+        self.bytes_written += len(frame)
+        self.size_bytes += len(frame)
+        return len(frame)
+
+    def commit(self) -> bool:
+        """Apply the fsync policy; returns True if a sync happened."""
+        if not self._dirty or self.fsync == "off":
+            return False
+        if self.fsync == "interval" and monotonic() - self._last_sync < self.fsync_interval_s:
+            return False
+        self._sync()
+        return True
+
+    def sync_now(self) -> bool:
+        """Unconditional sync of pending bytes (close/shutdown path)."""
+        if not self._dirty:
+            return False
+        self._sync()
+        return True
+
+    def _sync(self) -> None:
+        self._file.flush()
+        if self._disk is not None:
+            self._disk.fsync(self._file)
+        else:
+            os.fsync(self._file.fileno())
+        self._dirty = False
+        self._last_sync = monotonic()
+        self.syncs += 1
+
+    # -- truncation (ack-driven) ----------------------------------------
+
+    def rotate(self) -> int:
+        """Start a fresh file; returns the new sequence number.
+
+        The caller (the node's seal/checkpoint path) persists the new
+        floor in its manifest and only then deletes the older files —
+        see :meth:`delete_below`.
+        """
+        self.sync_now()
+        self._file.close()
+        self.seq += 1
+        self._file = open(wal_path(self.directory, self.seq), "ab", buffering=0)
+        self.size_bytes = 0
+        self._dirty = False
+        self.rotations += 1
+        return self.seq
+
+    def delete_below(self, floor: int) -> int:
+        """Unlink sealed-and-checkpointed files with seq < ``floor``."""
+        deleted = 0
+        for path in sorted(self.directory.glob("wal-*.log")):
+            try:
+                seq = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if seq < floor:
+                path.unlink(missing_ok=True)
+                deleted += 1
+        return deleted
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        try:
+            self.sync_now()
+        except (OSError, StorageError):
+            pass
+        self._file.close()

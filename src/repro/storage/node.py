@@ -268,7 +268,7 @@ class StorageNode:
             self._flush_locked()
 
     def _flush_locked(self) -> None:
-        froze = False
+        frozen: dict[SensorId, _Segment] = {}
         for sid, data in self._data.items():
             if not data.mem_ts:
                 continue
@@ -294,14 +294,28 @@ class StorageNode:
             data.mem_val.clear()
             data.mem_exp.clear()
             data.segments.append(segment)
-            froze = True
-            if len(data.segments) > self.max_segments_per_sensor:
-                self._compact_sensor(data)
+            frozen[sid] = segment
         self._memtable_rows = 0
         # Only count flushes that actually froze a segment: an empty
         # memtable is a no-op and must not skew the Fig. 8 accounting.
-        if froze:
+        if frozen:
             self._flushes.inc()
+            # Durability seam: a subclass persists the freshly frozen
+            # segments (and may truncate its WAL) before any in-memory
+            # compaction reshuffles them.  Still under the node lock.
+            self._sealed(frozen)
+            for data in self._data.values():
+                if len(data.segments) > self.max_segments_per_sensor:
+                    self._compact_sensor(data)
+
+    def _sealed(self, frozen: dict[SensorId, _Segment]) -> None:
+        """Hook called under the lock after a memtable seal.
+
+        ``frozen`` maps each sensor to the segment its memtable rows
+        froze into (sorted, LWW-deduplicated).  The in-memory node does
+        nothing; :class:`~repro.storage.durable.DurableNode` overrides
+        this to write a segment file and rotate its write-ahead log.
+        """
 
     # -- compaction ---------------------------------------------------------
 

@@ -1,12 +1,19 @@
-"""Snapshot persistence for storage nodes.
+"""Snapshot persistence for storage nodes — superseded, kept loadable.
 
-Cassandra's durability comes from flushing memtables to on-disk
-SSTables; our :class:`~repro.storage.node.StorageNode` keeps segments
-in memory for speed.  This module provides the bridge: a node's entire
-state (segments, memtable contents, metadata) serializes to one
-``.npz``-based snapshot directory and reloads into a fresh node —
-enough for restart durability and for shipping experiment datasets,
-without complicating the hot path.
+.. deprecated::
+    Whole-state snapshots are superseded by the durable storage engine
+    (:mod:`repro.storage.durable`): a :class:`~repro.storage.durable.DurableNode`
+    is continuously crash-safe through its write-ahead log and
+    compressed segment files, so there is no snapshot moment to lose
+    data behind.  This module stays importable so existing ``.npz``
+    snapshot directories (written before the durable engine landed)
+    keep loading, and for shipping experiment datasets as one
+    self-describing directory.
+
+A node's entire state (segments, memtable contents, metadata)
+serializes to one ``.npz``-based snapshot directory and reloads into a
+fresh node; :func:`save_cluster`/:func:`load_cluster` apply the same
+format per member under one root.
 
 Layout of a snapshot directory::
 
@@ -14,6 +21,9 @@ Layout of a snapshot directory::
       manifest.json         # sid list, row counts, format version
       metadata.json         # the metadata key/value table
       <sid-hex>.npz         # timestamps/values/expiries arrays per sensor
+
+Cluster snapshots add one level: ``snapshot/node<i>/`` per member plus
+a ``cluster.json`` recording the member count and replication factor.
 """
 
 from __future__ import annotations
@@ -28,6 +38,10 @@ from repro.core.sid import SensorId
 from repro.storage.node import StorageNode
 
 FORMAT_VERSION = 1
+
+#: Where new code should go instead of snapshots (tests assert this
+#: pointer exists so the migration path stays discoverable).
+SUPERSEDED_BY = "repro.storage.durable"
 
 
 def save_node(node: StorageNode, directory: str) -> int:
@@ -113,3 +127,52 @@ def load_node(directory: str, **node_kwargs) -> StorageNode:
             for key, value in json.load(handle).items():
                 node.put_metadata(key, value)
     return node
+
+
+def save_cluster(cluster, directory: str) -> int:
+    """Snapshot every member of a cluster under one root directory.
+
+    Per-member state goes to ``<directory>/node<i>/`` in the node
+    snapshot format; ``cluster.json`` records the shape needed to
+    rebuild the cluster.  Returns the total sensors written.  Prefer
+    :meth:`repro.storage.cluster.StorageCluster.open_durable` for new
+    deployments — see :data:`SUPERSEDED_BY`.
+    """
+    os.makedirs(directory, exist_ok=True)
+    total = 0
+    for i, member in enumerate(cluster.nodes):
+        # Fault proxies (FlakyNode) wrap the real node; snapshot the
+        # underlying state regardless of up/down status.
+        node = getattr(member, "node", member)
+        total += save_node(node, os.path.join(directory, f"node{i}"))
+    doc = {
+        "version": FORMAT_VERSION,
+        "nodes": len(cluster.nodes),
+        "replication": cluster.replication,
+    }
+    with open(os.path.join(directory, "cluster.json"), "w", encoding="utf-8") as out:
+        json.dump(doc, out)
+    return total
+
+
+def load_cluster(directory: str, **cluster_kwargs):
+    """Rebuild a :class:`StorageCluster` from a :func:`save_cluster` root."""
+    from repro.storage.cluster import StorageCluster
+
+    cluster_path = os.path.join(directory, "cluster.json")
+    try:
+        with open(cluster_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read cluster snapshot {cluster_path}: {exc}") from exc
+    if doc.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"cluster snapshot format {doc.get('version')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    nodes = [
+        load_node(os.path.join(directory, f"node{i}"))
+        for i in range(int(doc["nodes"]))
+    ]
+    cluster_kwargs.setdefault("replication", int(doc.get("replication", 1)))
+    return StorageCluster(nodes, **cluster_kwargs)

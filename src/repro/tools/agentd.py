@@ -9,6 +9,8 @@ Runs a Collect Agent from a configuration file, mirroring DCDB's
         transport  tcp           ; tcp | inproc (see docs/transport.md)
         restPort   8080          ; 0 disables the REST API
         db         sqlite:/var/lib/dcdb/monitor.db
+                                 ; or durable:/var/lib/dcdb?fsync=interval
+                                 ; (WAL + segments, docs/durability.md)
         ttl        0             ; seconds, 0 = keep forever
         cacheInterval 120000     ; ms
         batching      false      ; asynchronous batched ingest path

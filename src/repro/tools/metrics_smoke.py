@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.common.httpjson import JsonHttpServer, http_json, http_text
@@ -39,7 +40,7 @@ from repro.observability import (
     PIPELINE_METRIC,
     parse_prometheus_text,
 )
-from repro.storage import MemoryBackend, StorageCluster, StorageNode
+from repro.storage import DurableBackend, MemoryBackend, StorageCluster, StorageNode
 from repro.storage.rollup import is_rollup_sid
 
 TESTER_CONFIG = "group g0 { interval 1000\n numSensors 16 }"
@@ -85,6 +86,24 @@ TRANSPORT_METRICS = (
     "dcdb_client_qos0_drops_total",
 )
 
+#: Durable-engine instruments (write-ahead log and segment files — see
+#: docs/durability.md) that must be visible on every scrape when the
+#: pipeline ingests into a durable backend.
+DURABILITY_METRICS = (
+    "dcdb_wal_appends_total",
+    "dcdb_wal_bytes_total",
+    "dcdb_wal_syncs_total",
+    "dcdb_wal_rotations_total",
+    "dcdb_wal_replayed_records_total",
+    "dcdb_wal_size_bytes",
+    "dcdb_segment_files_written_total",
+    "dcdb_segment_compactions_total",
+    "dcdb_segment_write_errors_total",
+    "dcdb_segment_files",
+    "dcdb_segment_disk_bytes",
+    "dcdb_segment_compression_ratio",
+)
+
 
 #: The instrument catalogue the gate diffs against.
 DOCS_PATH = Path(__file__).resolve().parents[3] / "docs" / "observability.md"
@@ -111,6 +130,8 @@ def _runtime_families() -> set[str]:
     cluster = StorageCluster(
         [StorageNode("drift-node", metrics=registry)], metrics=registry
     )
+    with tempfile.TemporaryDirectory(prefix="dcdb-drift-") as tmp:
+        DurableBackend(tmp, name="drift-durable", metrics=registry).close()
     backend = MemoryBackend()
     agent = CollectAgent(
         backend,
@@ -213,6 +234,11 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
         f"{name}: rollup/tier-planner instruments present",
         failures,
     )
+    _check(
+        all(metric in families for metric in DURABILITY_METRICS),
+        f"{name}: WAL/segment durability instruments present",
+        failures,
+    )
     json_status, doc = http_json("GET", f"{url}?format=json")
     _check(
         json_status == 200 and isinstance(doc, dict) and PIPELINE_METRIC in doc,
@@ -222,12 +248,19 @@ def _scrape(name: str, port: int, failures: list[str]) -> None:
 
 
 def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="dcdb-smoke-") as data_dir:
+        return _run(data_dir)
+
+
+def _run(data_dir: str) -> int:
     clock = SimClock(0)
     # One registry for hub, agent, writer and pusher: both REST APIs
     # then expose the complete pipeline, including writer metrics.
     registry = MetricsRegistry()
     hub = InProcHub(allow_subscribe=False, metrics=registry)
-    backend = MemoryBackend()
+    # The smoke pipeline ingests into the durable engine so the
+    # WAL/segment instruments carry real traffic on both endpoints.
+    backend = DurableBackend(data_dir, name="smoke-durable", metrics=registry)
     agent = CollectAgent(
         backend,
         broker=hub,
@@ -308,6 +341,7 @@ def main() -> int:
         _scrape("pusher", pusher_api.port, failures)
         _scrape("agent", agent_api.port, failures)
     agent.stop()
+    backend.close()
     _drift_gate(failures)
 
     if failures:

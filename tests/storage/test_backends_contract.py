@@ -4,9 +4,11 @@ This is the executable form of the paper's section 5.1 claim — the
 storage API is backend-independent, so Cassandra (here: the
 wide-column cluster) can be swapped for another database "without any
 changes in the upstream components".  Each test runs against the
-cluster, the in-memory store, the SQLite store — and a quiescent
-:class:`~repro.faults.FaultyBackend`, proving the fault-injection
-wrapper is fully transparent when no faults fire.
+cluster, the in-memory store, the SQLite store, a quiescent
+:class:`~repro.faults.FaultyBackend` (proving the fault-injection
+wrapper is fully transparent when no faults fire) — and the durable
+WAL+segment store, both live and through a reopen-between-write-and-
+read proxy that forces every read to come off the on-disk files.
 """
 
 import numpy as np
@@ -15,6 +17,7 @@ import pytest
 from repro.core.sid import SensorId
 from repro.faults import FaultyBackend
 from repro.storage.cluster import StorageCluster
+from repro.storage.durable import DurableBackend
 from repro.storage.memory import MemoryBackend
 from repro.storage.node import StorageNode
 from repro.storage.sqlite import SqliteBackend
@@ -24,7 +27,49 @@ SID_SIBLING = SensorId.from_codes([1, 2, 4])
 SID_OTHER = SensorId.from_codes([2, 1, 1])
 
 
-@pytest.fixture(params=["cluster", "memory", "sqlite", "faulty"])
+class ReopeningDurable:
+    """Durable backend that cold-starts before every read.
+
+    Each read-side call seals the memtable (``flush``), closes the
+    backend and reopens the data directory, so the answer can only
+    come from the manifest + segment files + WAL on disk — never from
+    process state the write left behind.
+    """
+
+    _READS = frozenset(
+        {
+            "query",
+            "query_many",
+            "query_prefix",
+            "sids",
+            "latest",
+            "count",
+            "get_metadata",
+            "metadata_keys",
+        }
+    )
+
+    def __init__(self, path):
+        self._path = path
+        self._backend = DurableBackend(path, name="contract-reopen")
+
+    def _reopen(self):
+        self._backend.flush()
+        self._backend.close()
+        self._backend = DurableBackend(self._path, name="contract-reopen")
+
+    def __getattr__(self, name):
+        if name in self._READS:
+            self._reopen()
+        return getattr(self._backend, name)
+
+    def close(self):
+        self._backend.close()
+
+
+@pytest.fixture(
+    params=["cluster", "memory", "sqlite", "faulty", "durable", "durable_reopen"]
+)
 def backend(request):
     if request.param == "cluster":
         b = StorageCluster([StorageNode("a"), StorageNode("b")], replication=2)
@@ -32,6 +77,12 @@ def backend(request):
         b = MemoryBackend()
     elif request.param == "faulty":
         b = FaultyBackend(MemoryBackend(), fault_rate=0.0)
+    elif request.param == "durable":
+        tmp_path = request.getfixturevalue("tmp_path")
+        b = DurableBackend(tmp_path / "durable", name="contract-durable")
+    elif request.param == "durable_reopen":
+        tmp_path = request.getfixturevalue("tmp_path")
+        b = ReopeningDurable(tmp_path / "durable")
     else:
         b = SqliteBackend(":memory:")
     yield b

@@ -1,5 +1,13 @@
-"""Tests for storage-node snapshot persistence."""
+"""Tests for storage snapshot persistence (superseded, kept loadable).
 
+The snapshot module predates the durable storage engine; these tests
+pin down that (a) node *and cluster* state still round-trips through
+``tmp_path`` directories, (b) snapshot directories written before the
+durable engine landed keep loading byte-identically, and (c) the
+module points readers at its successor.
+"""
+
+import importlib
 import json
 import os
 
@@ -8,8 +16,15 @@ import pytest
 from repro.common.errors import StorageError
 from repro.common.timeutil import NS_PER_SEC, SimClock
 from repro.core.sid import SensorId
+from repro.storage import persistence
+from repro.storage.cluster import StorageCluster
 from repro.storage.node import StorageNode
-from repro.storage.persistence import load_node, save_node
+from repro.storage.persistence import (
+    load_cluster,
+    load_node,
+    save_cluster,
+    save_node,
+)
 
 SIDS = [SensorId.from_codes([1, i]) for i in range(1, 4)]
 
@@ -79,6 +94,90 @@ class TestSaveLoad:
         assert save_node(node, str(tmp_path / "snap")) == 0
         restored = load_node(str(tmp_path / "snap"))
         assert restored.sids() == []
+
+
+class TestClusterSnapshot:
+    def _populated_cluster(self):
+        cluster = StorageCluster(
+            [StorageNode("a"), StorageNode("b"), StorageNode("c")], replication=2
+        )
+        for idx, sid in enumerate(SIDS):
+            cluster.insert_batch([(sid, t, t * (idx + 1), 0) for t in range(100)])
+        cluster.put_metadata("sidmap/a/b", SIDS[0].hex())
+        return cluster
+
+    def test_cluster_round_trip(self, tmp_path):
+        cluster = self._populated_cluster()
+        written = save_cluster(cluster, str(tmp_path / "snap"))
+        assert written > 0
+        restored = load_cluster(str(tmp_path / "snap"))
+        assert len(restored.nodes) == 3
+        assert restored.replication == 2
+        for sid in SIDS:
+            orig_ts, orig_vals = cluster.query(sid, 0, 1000)
+            ts, vals = restored.query(sid, 0, 1000)
+            assert ts.tolist() == orig_ts.tolist()
+            assert vals.tolist() == orig_vals.tolist()
+        assert restored.get_metadata("sidmap/a/b") == SIDS[0].hex()
+
+    def test_per_member_layout(self, tmp_path):
+        save_cluster(self._populated_cluster(), str(tmp_path / "snap"))
+        root = tmp_path / "snap"
+        assert (root / "cluster.json").is_file()
+        for i in range(3):
+            assert (root / f"node{i}" / "manifest.json").is_file()
+
+    def test_replication_override(self, tmp_path):
+        save_cluster(self._populated_cluster(), str(tmp_path / "snap"))
+        restored = load_cluster(str(tmp_path / "snap"), replication=1)
+        assert restored.replication == 1
+
+    def test_missing_cluster_doc(self, tmp_path):
+        with pytest.raises(StorageError, match="cluster snapshot"):
+            load_cluster(str(tmp_path / "nothing"))
+
+
+class TestDeprecationPointer:
+    """The snapshot API is superseded by the durable engine; the
+    pointer must resolve and the old on-disk format must keep loading."""
+
+    def test_superseded_by_resolves(self):
+        assert persistence.SUPERSEDED_BY == "repro.storage.durable"
+        module = importlib.import_module(persistence.SUPERSEDED_BY)
+        assert hasattr(module, "DurableNode")
+
+    def test_deprecation_documented(self):
+        assert "deprecated" in (persistence.__doc__ or "").lower()
+
+    def test_pre_durable_npz_snapshot_still_loads(self, tmp_path):
+        """A snapshot directory in the original layout — hand-written
+        ``.npz`` + v1 manifest, exactly what pre-durable deployments
+        have on disk — loads without the new engine touching it."""
+        import numpy as np
+
+        snap = tmp_path / "snap"
+        snap.mkdir()
+        sid = SIDS[0]
+        np.savez_compressed(
+            snap / f"{sid.hex()}.npz",
+            timestamps=np.array([1, 2, 3], dtype=np.int64),
+            values=np.array([10, 20, 30], dtype=np.int64),
+            expiries=np.full(3, (1 << 63) - 1, dtype=np.int64),
+        )
+        (snap / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "name": "legacy",
+                    "sensors": [{"sid": sid.hex(), "rows": 3}],
+                }
+            )
+        )
+        (snap / "metadata.json").write_text(json.dumps({"k": "v"}))
+        node = load_node(str(snap))
+        assert node.name == "legacy"
+        assert node.query(sid, 0, 10)[1].tolist() == [10, 20, 30]
+        assert node.get_metadata("k") == "v"
 
 
 class TestCorruptionHandling:
