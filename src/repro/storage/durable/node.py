@@ -235,9 +235,14 @@ class DurableNode(StorageNode):
             "Failed segment writes (data stays WAL-covered)",
             ("node",),
         ).labels(**label)
+        # The WAL object only exists once _recover() creates it; with a
+        # shared registry a scrape can race a long recovery, so the
+        # gauge must tolerate the not-yet-open state.
         self.metrics.gauge(
             "dcdb_wal_size_bytes", "Bytes in the active WAL file", ("node",)
-        ).labels(**label).set_function(lambda: self._wal.size_bytes)
+        ).labels(**label).set_function(
+            lambda: wal.size_bytes if (wal := getattr(self, "_wal", None)) else 0
+        )
         self.metrics.gauge(
             "dcdb_segment_files", "Segment files in the manifest", ("node",)
         ).labels(**label).set_function(lambda: len(self._seg_files))
@@ -267,6 +272,7 @@ class DurableNode(StorageNode):
             "wal_files_scanned": 0,
             "wal_records_replayed": 0,
             "wal_truncations": [],
+            "unrecognized_files": [],
         }
         for orphan in self.data_dir.glob("*.tmp"):
             orphan.unlink(missing_ok=True)
@@ -307,7 +313,13 @@ class DurableNode(StorageNode):
         # A segment file the manifest does not list is an orphan from a
         # crash between seal and checkpoint: its rows are still in the WAL.
         for path in self.data_dir.glob("seg-*.seg"):
-            fileno = int(path.stem.split("-", 1)[1])
+            try:
+                fileno = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                # A stray file (editor backup, hand-named copy) must not
+                # abort recovery — leave it alone and report it.
+                info["unrecognized_files"].append(path.name)
+                continue
             if fileno not in listed:
                 path.unlink(missing_ok=True)
                 info["orphans_removed"] += 1
@@ -318,11 +330,16 @@ class DurableNode(StorageNode):
             self._metadata.update(doc.get("metadata", {}))
 
         floor = int(manifest["wal_floor"])
-        wal_seqs = sorted(
-            seq
-            for path in self.data_dir.glob("wal-*.log")
-            if (seq := int(path.stem.split("-", 1)[1])) >= floor
-        )
+        wal_seqs = []
+        for path in self.data_dir.glob("wal-*.log"):
+            try:
+                seq = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                info["unrecognized_files"].append(path.name)
+                continue
+            if seq >= floor:
+                wal_seqs.append(seq)
+        wal_seqs.sort()
         records: list = []
         for seq in wal_seqs:
             scan = scan_wal_file(wal_path(self.data_dir, seq), seq, disk=self._disk)
@@ -364,10 +381,22 @@ class DurableNode(StorageNode):
         self._m_wal_replayed.inc(info["wal_records_replayed"])
 
         if records:
-            # Seal + checkpoint: the replayed rows land in a segment,
-            # the manifest floor moves past the scanned files and they
-            # are deleted — recovery converges to a clean log.
-            self.flush()
+            # Seal + checkpoint: every replayed row — including any a
+            # mid-replay memtable flush froze into self._unsealed —
+            # lands in a segment, the manifest floor moves past the
+            # scanned files and they are deleted; recovery converges
+            # to a clean log.
+            with self._lock:
+                self._flush_locked()
+                if self._unsealed:
+                    # The memtable emptied exactly on a mid-replay
+                    # seal, so _flush_locked froze nothing and never
+                    # reached _sealed: persist explicitly.  On failure
+                    # the WAL stays un-truncated, so nothing is lost.
+                    try:
+                        self._persist_unsealed_locked()
+                    except (OSError, StorageError):
+                        self._m_seg_errors.inc()
         self.recovery_info = info
 
     # -- write path -------------------------------------------------------
@@ -436,10 +465,14 @@ class DurableNode(StorageNode):
     # -- seal / checkpoint -------------------------------------------------
 
     def _sealed(self, frozen: dict[SensorId, _Segment]) -> None:
-        if self._replaying:
-            return
         for sid, segment in frozen.items():
             self._unsealed.setdefault(sid, []).append(segment)
+        if self._replaying:
+            # A mid-replay seal only accumulates: its rows' sole durable
+            # copy is the WAL being replayed, which the recovery-ending
+            # checkpoint truncates — so the recovery-ending persist must
+            # merge every frozen segment into the disk image first.
+            return
         try:
             self._persist_unsealed_locked()
         except (OSError, StorageError):
@@ -627,15 +660,28 @@ class DurableNode(StorageNode):
 
     @property
     def row_count(self) -> int:
+        """Total stored rows, pre-TTL/pre-retention.
+
+        Lazily-referenced disk blocks are counted from the segment
+        footer index instead of being decoded: the base class exports
+        these counts as gauges, and a /metrics scrape must not
+        materialize the whole store.  (``getattr``: the base gauge can
+        be scraped via a shared registry before ``_lazy`` exists.)
+        """
         with self._lock:
-            self._ensure_all_loaded()
-            return super().row_count
+            lazy = getattr(self, "_lazy", None) or {}
+            lazy_rows = sum(
+                seg_file.rows_for(sid)
+                for sid, refs in lazy.items()
+                for seg_file in refs
+            )
+            return super().row_count + lazy_rows
 
     @property
     def segment_count(self) -> int:
         with self._lock:
-            self._ensure_all_loaded()
-            return super().segment_count
+            lazy = getattr(self, "_lazy", None) or {}
+            return super().segment_count + sum(len(refs) for refs in lazy.values())
 
     # -- fingerprint / lifecycle -------------------------------------------
 

@@ -221,6 +221,10 @@ class SegmentFile:
     def sids(self) -> list[SensorId]:
         return sorted(self._entries)
 
+    def rows_for(self, sid: SensorId) -> int:
+        """One sensor's row count, straight from the footer index."""
+        return self._entries[sid].rows
+
     def __contains__(self, sid: SensorId) -> bool:
         return sid in self._entries
 

@@ -103,6 +103,34 @@ class TestCrashRecoveryInProcess:
         assert fp == reference_fingerprint(tmp_path, seed, 30)
 
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_replay_spilling_memtable_survives_reopen_chain(self, tmp_path, seed):
+        """Recovery whose WAL replay overflows the memtable (flush
+        threshold smaller than the replayed row count, e.g. after a
+        config change across restart) seals mid-replay; those frozen
+        rows must survive a second and third reopen bit-identically —
+        the WAL the checkpoint truncates was their only durable copy."""
+        node = DurableNode("c0", data_dir=tmp_path / "c0", fsync="always")
+        batches = workload_batches(seed, 30)
+        for batch in batches:
+            node.insert_batch(batch)
+        del node  # crash: 600 rows live only in the WAL
+
+        # 600 replayed rows against a 128-row memtable: several seals
+        # fire mid-replay before the recovery-ending checkpoint.
+        fp = None
+        for reopen in range(3):
+            recovered = DurableNode(
+                "c0", data_dir=tmp_path / "c0", fsync="always", flush_threshold=128
+            )
+            assert recovered_batch_count(recovered) == 30, f"loss at reopen {reopen}"
+            if fp is None:
+                fp = recovered.state_fingerprint()
+            else:
+                assert recovered.state_fingerprint() == fp, f"drift at reopen {reopen}"
+            recovered.close()
+        assert fp == reference_fingerprint(tmp_path, seed, 30)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
     def test_torn_tail_recovers_to_last_valid_record(self, tmp_path, seed):
         node = DurableNode("c0", data_dir=tmp_path / "c0", fsync="always")
         for batch in workload_batches(seed, 30):

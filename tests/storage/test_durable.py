@@ -262,6 +262,94 @@ class TestDurableNodeRecovery:
         assert recovered.query(SID, 0, 10)[1].tolist() == [2]
         recovered.close()
 
+    def test_replay_exceeding_flush_threshold_survives_second_reopen(self, tmp_path):
+        """Mid-replay memtable flushes must not lose the frozen rows.
+
+        When the replayed WAL holds more rows than ``flush_threshold``
+        (threshold change across restart, WAL accumulation after a
+        swallowed seal failure), replay seals the memtable mid-stream;
+        those frozen segments must still reach a segment file before
+        the recovery-ending checkpoint truncates the WAL — their only
+        durable copy.  Regression: they were dropped, so the *second*
+        reopen silently lost acknowledged writes."""
+        node = make_node(tmp_path)  # default threshold: nothing seals
+        node.insert_batch([(SID, t, t * 2, 0) for t in range(207)])
+        before = node.state_fingerprint()
+        node.close()
+
+        first = make_node(tmp_path, flush_threshold=50)
+        assert first.recovery_info["wal_records_replayed"] == 1
+        assert first.row_count == 207
+        assert first.state_fingerprint() == before
+        first.close()
+
+        second = make_node(tmp_path, flush_threshold=50)
+        assert second.row_count == 207, "acknowledged writes lost on second reopen"
+        assert second.state_fingerprint() == before
+        # Recovery converged to a clean log: nothing left to replay.
+        assert second.recovery_info["wal_records_replayed"] == 0
+        second.close()
+
+    def test_replay_exact_threshold_multiple_still_checkpoints(self, tmp_path):
+        """Replay count == k * flush_threshold: the memtable empties on
+        the final mid-replay seal, so the recovery-ending flush freezes
+        nothing — the frozen segments must be persisted regardless."""
+        node = make_node(tmp_path)
+        for t in range(100):
+            node.insert(SID, t, t)
+        before = node.state_fingerprint()
+        node.close()
+
+        first = make_node(tmp_path, flush_threshold=50)
+        assert first.state_fingerprint() == before
+        first.close()
+        second = make_node(tmp_path, flush_threshold=50)
+        assert second.row_count == 100
+        assert second.state_fingerprint() == before
+        second.close()
+
+    def test_stray_nonconforming_files_do_not_abort_recovery(self, tmp_path):
+        """A hand-named copy or editor backup matching seg-*.seg /
+        wal-*.log must be skipped and reported, never refuse startup."""
+        node = make_node(tmp_path)
+        node.insert(SID, 1, 1)
+        node.flush()
+        node.close()
+        data_dir = tmp_path / "n0"
+        (data_dir / "seg-backup.seg").write_bytes(b"not a segment")
+        (data_dir / "wal-copy.log").write_bytes(b"not a wal")
+
+        recovered = make_node(tmp_path)
+        assert sorted(recovered.recovery_info["unrecognized_files"]) == [
+            "seg-backup.seg",
+            "wal-copy.log",
+        ]
+        assert recovered.query(SID, 0, 10)[1].tolist() == [1]
+        # Skipped, not swept: recovery never deletes what it cannot parse.
+        assert (data_dir / "seg-backup.seg").exists()
+        assert (data_dir / "wal-copy.log").exists()
+        recovered.close()
+
+    def test_introspection_counts_do_not_materialize_lazy_blocks(self, tmp_path):
+        """row_count / segment_count (exported as gauges on every
+        /metrics scrape) must come from the segment footer index, not
+        from decoding every lazily-referenced disk block."""
+        node = make_node(tmp_path)
+        node.insert_batch([(SID, t, t, 0) for t in range(300)])
+        node.insert_batch([(SID_B, t, t, 0) for t in range(200)])
+        node.flush()
+        node.close()
+
+        recovered = make_node(tmp_path)
+        assert recovered.row_count == 500
+        assert recovered.segment_count == 2
+        assert set(recovered._lazy) == {SID, SID_B}, "scrape decoded lazy blocks"
+        # Reads still load on demand and agree with the footer counts.
+        assert recovered.query(SID, 0, 1 << 62)[0].size == 300
+        assert set(recovered._lazy) == {SID_B}
+        assert recovered.row_count == 500
+        recovered.close()
+
     def test_orphan_tmp_and_unlisted_segment_swept(self, tmp_path):
         node = make_node(tmp_path)
         node.insert(SID, 1, 1)
