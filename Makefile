@@ -6,12 +6,12 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke trace-smoke chaos chaos-durability bench bench-query bench-rollup bench-transport bench-durability bench-baseline experiments examples loc all
+.PHONY: install test metrics-smoke trace-smoke chaos chaos-durability bench bench-query bench-rollup bench-transport bench-durability bench-baseline bench-compare bench-check experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke trace-smoke chaos chaos-durability bench-query bench-rollup bench-transport bench-durability
+test: metrics-smoke trace-smoke chaos chaos-durability bench-query bench-rollup bench-transport bench-durability bench-check
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
@@ -73,8 +73,8 @@ bench-rollup:
 # cluster query_many, parallel subtree scan, batched virtual sensors),
 # BENCH_transport.json for the event-loop fan-in throughput,
 # BENCH_rollup.json for the tier-served dashboard-burst p99, and
-# BENCH_durability.json for the durable-ingest overhead and the
-# facility-data compression ratio.
+# BENCH_durability.json for the durable-ingest overhead, the
+# facility-data compression ratio and the cold-window pruning speedup.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_microbench_components.py \
@@ -109,11 +109,28 @@ bench-baseline:
 		json.dump(d, open('BENCH_durability.json', 'w'), indent=1, sort_keys=True)"
 
 # Single-round smoke over the durability benchmarks: the compression-
-# ratio floor is asserted in every mode; the <= 3x durable-vs-memory
-# ingest gate arms under `make bench`.
+# ratio floor and the bounded-memory block-cache scan are asserted in
+# every mode; the <= 1.6x durable-vs-memory ingest gate and the >= 3x
+# cold-window pruning gate arm under `make bench`.
 bench-durability:
 	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_durability.py \
 		--benchmark-disable
+
+# Run the full benchmark suite and diff the gated stats (best-of wall
+# time plus the machine-independent *_x / *_ratio extra_info values)
+# against the committed BENCH_*.json baselines; fails on any >25%
+# regression.  Refresh the baselines with `make bench-baseline`.
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=.bench_fresh.json
+	PYTHONPATH=src $(PYTHON) -m repro.tools.bench_compare .bench_fresh.json
+	rm -f .bench_fresh.json
+
+# Structural smoke over the committed baselines (they parse, carry
+# stats, and name only benchmarks that still collect) — rides along
+# with `make test` so a renamed benchmark cannot strand its baseline.
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.bench_compare --check
 
 # Regenerate every paper table/figure with the result tables printed.
 experiments:

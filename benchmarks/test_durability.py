@@ -1,25 +1,34 @@
 """Microbenchmarks: cost and payoff of the durable storage engine.
 
-Two committed gates:
+Committed gates:
 
 * **Ingest overhead** — the WAL write path under ``fsync=interval``
-  must stay within 3x of the in-memory backend on the standard 5k
-  interleaved-batch ingest shape (the price of durability, bounded).
+  must stay within 1.6x of the in-memory backend on the standard 5k
+  interleaved-batch ingest shape (the price of durability, bounded;
+  batched WAL appends and the vectorized payload framing brought the
+  original 3x budget down).
 * **Compression ratio** — delta-of-delta + XOR on synthetic facility
   data (slowly drifting temperatures, step-holding power caps on a
   fixed 1 Hz interval) must reach at least :data:`MIN_RATIO` raw to
   encoded bytes; the measured ratio is recorded in the committed
   ``BENCH_durability.json`` via ``make bench-baseline``.
+* **Cold-window query** — a narrow windowed read over a many-file
+  store must beat a decode-everything baseline by at least 3x: the
+  payoff of footer ``[min_ts, max_ts]`` block pruning.
+* **Bounded-memory scan** — sweeping a store larger than the block
+  cache budget must hold decoded residency at or under the budget
+  (assertion, not timing; runs in every mode).
 """
 
 import itertools
 import random
 import time
 
+import numpy as np
 import pytest
 
 from repro.core.sid import SensorId
-from repro.storage.durable import DurableBackend
+from repro.storage.durable import DurableBackend, DurableNode
 from repro.storage.memory import MemoryBackend
 
 SIDS = [SensorId.from_codes([1, i]) for i in range(1, 51)]
@@ -71,7 +80,7 @@ def facility_batch(seed=4242, sensors_temp=64, sensors_power=16, rows=1000):
 class TestDurableIngest:
     def test_insert_batch_5k_durable(self, benchmark, tmp_path):
         """Durable ingest (WAL framing + group commit, fsync=interval)
-        vs the in-memory baseline.  Gate: <= 3x when timing is armed."""
+        vs the in-memory baseline.  Gate: <= 1.6x when timing is armed."""
         fresh = itertools.count()
 
         def run_durable():
@@ -98,9 +107,10 @@ class TestDurableIngest:
                 f"\ndurable ingest 5k: {durable_seconds * 1e3:.2f} ms vs "
                 f"memory {memory_seconds * 1e3:.2f} ms ({overhead:.2f}x)"
             )
-            assert overhead <= 3.0, (
-                f"durable ingest {overhead:.2f}x over memory (gate: 3x)"
+            assert overhead <= 1.6, (
+                f"durable ingest {overhead:.2f}x over memory (gate: 1.6x)"
             )
+            benchmark.extra_info["ingest_overhead_x"] = round(overhead, 2)
 
 
 class TestCompressionRatio:
@@ -134,3 +144,112 @@ class TestCompressionRatio:
         benchmark.extra_info["compression_ratio"] = round(ratio, 2)
         benchmark.extra_info["min_ratio_gate"] = MIN_RATIO
         benchmark.extra_info["rows"] = len(items)
+
+
+COLD_SID = SensorId.from_codes([5, 1])
+COLD_ROWS = 5_000  # rows per segment file
+COLD_FILES = 16
+
+
+def _build_cold_store(data_dir):
+    """A reopened store whose rows live only in segment files — every
+    read goes through the disk block path."""
+    backend = DurableBackend(data_dir, fsync="off", max_segment_files=1_000)
+    for b in range(COLD_FILES):
+        backend.insert_batch(
+            [
+                (COLD_SID, (b * COLD_ROWS + i) * NS_PER_SEC, b * COLD_ROWS + i, 0)
+                for i in range(COLD_ROWS)
+            ]
+        )
+        backend.flush()
+    backend.close()
+
+
+class TestColdWindowQuery:
+    def test_windowed_read_beats_full_materialize(self, benchmark, tmp_path):
+        """Narrow window over a 16-file store: footer pruning decodes 1
+        block where the old read path decoded all 16.  Gate: >= 3x over
+        a decode-everything baseline when timing is armed.  The cache
+        is disabled so every round is a true cold read."""
+        data_dir = tmp_path / "cold"
+        _build_cold_store(data_dir)
+        node = DurableNode(
+            "cold",
+            data_dir=data_dir,
+            fsync="off",
+            max_segment_files=1_000,
+            block_cache_bytes=0,
+        )
+        start = (3 * COLD_ROWS + 100) * NS_PER_SEC
+        end = (3 * COLD_ROWS + 600) * NS_PER_SEC
+
+        def windowed():
+            ts, _ = node.query(COLD_SID, start, end)
+            return int(ts.size)
+
+        assert benchmark(windowed) == 501
+        if benchmark.enabled:
+            refs = list(node._disk_refs[COLD_SID])
+
+            def materialize_all():
+                parts = [sf.read(COLD_SID) for sf in refs]
+                ts = np.concatenate([p[0] for p in parts])
+                vals = np.concatenate([p[1] for p in parts])
+                lo = int(np.searchsorted(ts, start, side="left"))
+                hi = int(np.searchsorted(ts, end, side="right"))
+                return int(ts[lo:hi].size), vals
+
+            assert materialize_all()[0] == 501
+            baseline_seconds = _best_of(5, materialize_all)
+            cold_seconds = benchmark.stats.stats.min
+            speedup = baseline_seconds / cold_seconds
+            print(
+                f"\ncold window: pruned {cold_seconds * 1e3:.2f} ms vs "
+                f"materialize-all {baseline_seconds * 1e3:.2f} ms "
+                f"({speedup:.1f}x)"
+            )
+            assert speedup >= 3.0, (
+                f"pruned cold read only {speedup:.1f}x over full "
+                "materialization (gate: 3x)"
+            )
+            benchmark.extra_info["cold_window_speedup_x"] = round(speedup, 2)
+        node.close()
+
+
+class TestBoundedMemoryScan:
+    def test_scan_larger_than_budget_stays_bounded(self, tmp_path):
+        """Sweep every window of a store whose decoded size (~1.9 MB)
+        dwarfs the cache budget (256 KB): residency must never exceed
+        the budget and old blocks must actually get evicted."""
+        data_dir = tmp_path / "scan"
+        _build_cold_store(data_dir)
+        budget = 256 * 1024
+        node = DurableNode(
+            "scan",
+            data_dir=data_dir,
+            fsync="off",
+            max_segment_files=1_000,
+            block_cache_bytes=budget,
+        )
+        total = 0
+        for b in range(COLD_FILES):
+            w0 = b * COLD_ROWS * NS_PER_SEC
+            w1 = ((b + 1) * COLD_ROWS - 1) * NS_PER_SEC
+            ts, vals = node.query(COLD_SID, w0, w1)
+            total += int(ts.size)
+            assert vals[0] == b * COLD_ROWS
+            resident = node.metrics.value(
+                "dcdb_segment_block_cache_bytes", {"node": "scan"}
+            )
+            assert resident <= budget, (
+                f"cache grew to {resident} bytes over the {budget} budget"
+            )
+        assert total == COLD_FILES * COLD_ROWS
+        assert (
+            node.metrics.value(
+                "dcdb_segment_block_cache_evictions_total", {"node": "scan"}
+            )
+            > 0
+        ), "scan never evicted — store fit in the budget, test is vacuous"
+        node.close()

@@ -26,7 +26,7 @@ subtree's data on one server.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import StorageError, TransportError
 from repro.mqtt.topics import split_topic, validate_topic
@@ -62,10 +62,17 @@ class SensorId:
     """
 
     value: int
+    #: Big-endian 16-byte image, precomputed once: hot serialization
+    #: paths (WAL payload framing) split a SID into two u64 halves per
+    #: reading, and slicing these cached bytes beats redoing 128-bit
+    #: shift/mask arithmetic every time.  Excluded from eq/order/hash —
+    #: it is derived from ``value``.
+    packed: bytes = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.value < (1 << SID_TOTAL_BITS):
             raise ValueError("SID out of 128-bit range")
+        object.__setattr__(self, "packed", self.value.to_bytes(16, "big"))
 
     def level_code(self, level: int) -> int:
         """Numeric code stored for hierarchy ``level`` (0 = topmost)."""

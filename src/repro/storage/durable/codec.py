@@ -21,6 +21,15 @@ codecs never interpret the payload arithmetically beyond differencing.
 
 Encoded blocks carry no row count; callers (the segment writer, the
 WAL) store the count in their own framing and pass it to decode.
+
+The kernels are NumPy-vectorized: deltas, delta-of-deltas, zigzag,
+bucket classification, XOR leading/trailing-zero windows and the final
+bit-packing all run column-at-a-time (MSB-first bit matrix +
+``np.packbits``/``np.unpackbits``), with Python-level work confined to
+the rows that need it (irregular delta-of-delta buckets, XOR window
+renegotiations).  The wire format is **bit-identical** to the original
+per-reading loop implementation — locked by the golden vectors in
+``tests/storage/test_durable_codecs.py``.
 """
 
 from __future__ import annotations
@@ -39,6 +48,16 @@ __all__ = [
 ]
 
 _M64 = (1 << 64) - 1
+_U0 = np.uint64(0)
+_U1 = np.uint64(1)
+
+#: Bits one delta-of-delta token occupies, per bucket (control+payload).
+_DOD_TOKEN_BITS = np.array([1, 9, 19, 36, 72], dtype=np.int64)
+
+#: Cap on the rows × width temporary matrices the bit scatter/gather
+#: helpers materialize at once (keeps peak memory bounded for huge
+#: adversarial blocks without touching the common-case fast path).
+_CHUNK_ROWS = 1 << 16
 
 
 class BitWriter:
@@ -100,19 +119,65 @@ class BitReader:
         return acc >> n
 
 
-def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 127)
+# -- vector helpers -------------------------------------------------------
 
 
-def _unzigzag(value: int) -> int:
-    return (value >> 1) ^ -(value & 1)
+def _as_i64_column(values) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        return np.ascontiguousarray(values, dtype=np.int64)
+    return np.array([int(v) for v in values], dtype=np.int64)
 
 
-def _to_int64(unsigned: list[int]) -> np.ndarray:
-    """Two's-complement reinterpretation of uint64 words as int64."""
-    if not unsigned:
-        return np.empty(0, dtype=np.int64)
-    return np.array(unsigned, dtype=np.uint64).view(np.int64)
+def _scatter_bits(bits: np.ndarray, offsets: np.ndarray, values: np.ndarray, width: int) -> None:
+    """Write ``width``-bit MSB-first fields of uint64 ``values`` into the
+    0/1 array ``bits`` starting at bit positions ``offsets``."""
+    if offsets.size == 0:
+        return
+    span = np.arange(width, dtype=np.int64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    for at in range(0, offsets.size, _CHUNK_ROWS):
+        off = offsets[at : at + _CHUNK_ROWS]
+        val = values[at : at + _CHUNK_ROWS]
+        bits[off[:, None] + span[None, :]] = (
+            (val[:, None] >> shifts[None, :]) & _U1
+        ).astype(np.uint8)
+
+
+def _gather_bits(bits: np.ndarray, offsets: np.ndarray, width: int) -> np.ndarray:
+    """Read ``width``-bit MSB-first uint64 fields at bit ``offsets``."""
+    span = np.arange(width, dtype=np.int64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    out = np.empty(offsets.size, dtype=np.uint64)
+    for at in range(0, offsets.size, _CHUNK_ROWS):
+        off = offsets[at : at + _CHUNK_ROWS]
+        chunk = bits[off[:, None] + span[None, :]].astype(np.uint64)
+        out[at : at + off.size] = (chunk << shifts[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+    return out
+
+
+def _bit_length_u64(v: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` over a uint64 column."""
+    v = v.copy()
+    out = np.zeros(v.shape, dtype=np.int64)
+    for s in (32, 16, 8, 4, 2, 1):
+        t = v >> np.uint64(s)
+        big = t != 0
+        out[big] += s
+        v[big] = t[big]
+    out += v != 0
+    return out
+
+
+def _small_int(bb: bytes, off: int, width: int) -> int:
+    value = 0
+    for b in bb[off : off + width]:
+        value = (value << 1) | b
+    return value
+
+
+# -- delta-of-delta timestamp codec ---------------------------------------
 
 
 def encode_timestamps(values) -> bytes:
@@ -122,63 +187,145 @@ def encode_timestamps(values) -> bytes:
     ``1111``+68 (zigzag; 68 bits covers the worst-case second
     difference of two int64 extremes).
     """
-    vals = values.tolist() if isinstance(values, np.ndarray) else [int(v) for v in values]
-    if not vals:
+    ts = _as_i64_column(values)
+    n = int(ts.size)
+    if n == 0:
         return b""
-    w = BitWriter()
-    write = w.write
-    write(vals[0] & _M64, 64)
-    prev = vals[0]
-    prev_delta = 0
-    for v in vals[1:]:
-        delta = v - prev
-        dod = delta - prev_delta
-        prev = v
-        prev_delta = delta
-        if dod == 0:
-            write(0, 1)
-            continue
-        zz = _zigzag(dod)
-        if zz < (1 << 7):
-            write(0b10, 2)
-            write(zz, 7)
-        elif zz < (1 << 16):
-            write(0b110, 3)
-            write(zz, 16)
-        elif zz < (1 << 32):
-            write(0b1110, 4)
-            write(zz, 32)
-        else:
-            write(0b1111, 4)
-            write(zz, 68)
-    return w.finish()
+    head = int(ts[0]) & _M64
+    if n == 1:
+        return head.to_bytes(8, "big")
+    u = ts.view(np.uint64)
+    m = n - 1
+    # True deltas are 65-bit quantities: carry the wrapped int64 value
+    # plus a ±2^64 correction term so classification stays exact.
+    a, b = ts[1:], ts[:-1]
+    d = (u[1:] - u[:-1]).view(np.int64)
+    ovf = ((a < 0) != (b < 0)) & ((d < 0) != (a < 0))
+    c = np.where(a >= 0, 1, -1) * ovf
+    sd = np.empty(m, dtype=np.int64)
+    sd[0] = d[0]
+    du = d.view(np.uint64)
+    sd[1:] = (du[1:] - du[:-1]).view(np.int64)
+    k = np.empty(m, dtype=np.int64)
+    k[0] = c[0]
+    ovf2 = ((d[1:] < 0) != (d[:-1] < 0)) & ((sd[1:] < 0) != (d[1:] < 0))
+    k[1:] = np.where(d[1:] >= 0, 1, -1) * ovf2 + c[1:] - c[:-1]
+    # dod_i = sd_i + (k_i << 64); k != 0 always lands in the 68-bit
+    # bucket because |dod| >= 2^63 then.
+    zz = (sd.view(np.uint64) << _U1) ^ np.right_shift(sd, 63).view(np.uint64)
+    bucket = np.full(m, 4, dtype=np.uint8)
+    small = k == 0
+    cls_small = np.where(
+        sd == 0,
+        0,
+        np.where(zz < 128, 1, np.where(zz < (1 << 16), 2, np.where(zz < (1 << 32), 3, 4))),
+    ).astype(np.uint8)
+    bucket[small] = cls_small[small]
+
+    widths = _DOD_TOKEN_BITS[bucket]
+    ends = np.cumsum(widths)
+    offsets = np.empty(m, dtype=np.int64)
+    offsets[0] = 64
+    offsets[1:] = 64 + ends[:-1]
+    total = 64 + int(ends[-1])
+    bits = np.zeros(total, dtype=np.uint8)
+    _scatter_bits(
+        bits, np.zeros(1, dtype=np.int64), np.array([head], dtype=np.uint64), 64
+    )
+    # Bucket 0 is the single '0' bit — already zeroed.
+    for cls, ctl, pay in ((1, 0b10, 7), (2, 0b110, 16), (3, 0b1110, 32)):
+        idx = np.flatnonzero(bucket == cls)
+        if idx.size:
+            vals = np.uint64(ctl << pay) | zz[idx]
+            _scatter_bits(bits, offsets[idx], vals, 2 + pay if cls == 1 else (3 + pay if cls == 2 else 4 + pay))
+    idx4 = np.flatnonzero(bucket == 4)
+    if idx4.size:
+        hi = np.empty(idx4.size, dtype=np.uint64)
+        lo = np.empty(idx4.size, dtype=np.uint64)
+        for i, (s, kk) in enumerate(zip(sd[idx4].tolist(), k[idx4].tolist())):
+            dod = s + (kk << 64)
+            z = (dod << 1) ^ (dod >> 127)
+            hi[i] = (0b1111 << 4) | (z >> 64)
+            lo[i] = z & _M64
+        _scatter_bits(bits, offsets[idx4], hi, 8)
+        _scatter_bits(bits, offsets[idx4] + 8, lo, 64)
+    return np.packbits(bits).tobytes()
 
 
 def decode_timestamps(data, count: int) -> np.ndarray:
     """Inverse of :func:`encode_timestamps`; ``count`` rows expected."""
     if count == 0:
         return np.empty(0, dtype=np.int64)
-    r = BitReader(data)
-    read = r.read
-    first = read(64)
-    prev = first - (1 << 64) if first >= (1 << 63) else first
-    out = [prev]
-    delta = 0
-    for _ in range(count - 1):
-        if read(1) == 0:
-            dod = 0
-        elif read(1) == 0:
-            dod = _unzigzag(read(7))
-        elif read(1) == 0:
-            dod = _unzigzag(read(16))
-        elif read(1) == 0:
-            dod = _unzigzag(read(32))
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size < 8:
+        raise StorageError("truncated compressed block")
+    first = int.from_bytes(raw[:8].tobytes(), "big")
+    out = np.empty(count, dtype=np.uint64)
+    out[0] = first
+    if count == 1:
+        return out.view(np.int64)
+    m = count - 1
+    bits = np.unpackbits(raw)
+    total = int(bits.size)
+    bb = bits.tobytes()  # byte-per-bit copy: C-speed scalar indexing
+    # Token scan: runs of '0' bits are dod=0 tokens, skipped in bulk by
+    # memchr; only irregular tokens cost a Python iteration.
+    pos: tuple[list, list, list, list] = ([], [], [], [])
+    find = bb.find
+    p = 64
+    tok = 0
+    while tok < m:
+        if p < total and bb[p]:
+            q = p
         else:
-            dod = _unzigzag(read(68))
-        delta += dod
-        prev += delta
-        out.append(prev)
-    return np.array(out, dtype=np.int64)
+            q = find(1, p)
+            if q < 0:
+                q = total
+        run = q - p
+        if run:
+            if run >= m - tok:
+                tok = m
+                break
+            tok += run
+        if q + 1 < total and not bb[q + 1]:
+            off, w, cls = q + 2, 7, 0
+        elif q + 2 < total and not bb[q + 2]:
+            off, w, cls = q + 3, 16, 1
+        elif q + 3 < total and not bb[q + 3]:
+            off, w, cls = q + 4, 32, 2
+        else:
+            off, w, cls = q + 4, 68, 3
+        end = off + w
+        if end > total:
+            raise StorageError("truncated compressed block")
+        pos[cls].append((tok, off))
+        tok += 1
+        p = end
+
+    dod = np.zeros(m, dtype=np.uint64)
+    for cls, w in ((0, 7), (1, 16), (2, 32)):
+        rows = pos[cls]
+        if not rows:
+            continue
+        arr = np.array(rows, dtype=np.int64)
+        zz = _gather_bits(bits, arr[:, 1], w)
+        dod[arr[:, 0]] = (zz >> _U1) ^ (_U0 - (zz & _U1))
+    rows = pos[3]
+    if rows:
+        arr = np.array(rows, dtype=np.int64)
+        hi = _gather_bits(bits, arr[:, 1], 4)
+        lo = _gather_bits(bits, arr[:, 1] + 4, 64)
+        # 68-bit zigzag, reduced mod 2^64: exact because the final
+        # timestamps are int64 and every step is bitwise/additive.
+        dod[arr[:, 0]] = (((hi & _U1) << np.uint64(63)) | (lo >> _U1)) ^ (
+            _U0 - (lo & _U1)
+        )
+    deltas = np.cumsum(dod)
+    out[1:] = np.uint64(first) + np.cumsum(deltas)
+    return out.view(np.int64)
+
+
+# -- Gorilla XOR value codec ----------------------------------------------
 
 
 def encode_values(values) -> bytes:
@@ -189,63 +336,159 @@ def encode_values(values) -> bytes:
     window; ``11`` + 6-bit leading count + 6-bit (length-1) + bits for
     a fresh window.
     """
-    vals = values.tolist() if isinstance(values, np.ndarray) else [int(v) for v in values]
-    if not vals:
+    vals = _as_i64_column(values)
+    n = int(vals.size)
+    if n == 0:
         return b""
-    w = BitWriter()
-    write = w.write
-    prev = vals[0] & _M64
-    write(prev, 64)
-    lead = -1
-    trail = 0
-    window = 0
-    for v in vals[1:]:
-        u = v & _M64
-        x = u ^ prev
-        prev = u
-        if x == 0:
-            write(0, 1)
-            continue
-        bits = x.bit_length()
-        l = 64 - bits
-        t = ((x & -x).bit_length()) - 1
-        if lead >= 0 and l >= lead and t >= trail:
-            write(0b10, 2)
-            write(x >> trail, window)
-        else:
-            lead = l
-            trail = t
-            window = 64 - l - t
-            write(0b11, 2)
-            write(l, 6)
-            write(window - 1, 6)
-            write(x >> t, window)
-    return w.finish()
+    u = vals.view(np.uint64)
+    head = int(u[0])
+    if n == 1:
+        return head.to_bytes(8, "big")
+    x = u[1:] ^ u[:-1]
+    m = n - 1
+    nz_idx = np.flatnonzero(x)
+    widths = np.ones(m, dtype=np.int64)
+    kind = win = sh = lead_v = None
+    if nz_idx.size:
+        xs = x[nz_idx]
+        bl = _bit_length_u64(xs)
+        lead_v = 64 - bl
+        tz = _bit_length_u64(xs & (_U0 - xs)) - 1
+        # The window state machine is inherently sequential, but only
+        # over rows whose XOR is non-zero — everything around it
+        # (leading/trailing-zero counts, payload shifts, bit packing)
+        # is vectorized.
+        kind_l: list[bool] = []
+        win_l: list[int] = []
+        sh_l: list[int] = []
+        lead_s = -1
+        trail_s = 0
+        win_s = 0
+        for l, t in zip(lead_v.tolist(), tz.tolist()):
+            if lead_s >= 0 and l >= lead_s and t >= trail_s:
+                kind_l.append(False)
+                win_l.append(win_s)
+                sh_l.append(trail_s)
+            else:
+                lead_s = l
+                trail_s = t
+                win_s = 64 - l - t
+                kind_l.append(True)
+                win_l.append(win_s)
+                sh_l.append(t)
+        kind = np.array(kind_l, dtype=bool)
+        win = np.array(win_l, dtype=np.int64)
+        sh = np.array(sh_l, dtype=np.uint64)
+        widths[nz_idx] = np.where(kind, 14 + win, 2 + win)
+    ends = np.cumsum(widths)
+    offsets = np.empty(m, dtype=np.int64)
+    offsets[0] = 64
+    offsets[1:] = 64 + ends[:-1]
+    total = 64 + int(ends[-1])
+    bits = np.zeros(total, dtype=np.uint8)
+    _scatter_bits(
+        bits, np.zeros(1, dtype=np.int64), np.array([head], dtype=np.uint64), 64
+    )
+    if nz_idx.size:
+        payload = x[nz_idx] >> sh
+        off_nz = offsets[nz_idx]
+        reuse = ~kind
+        if reuse.any():
+            _scatter_bits(
+                bits,
+                off_nz[reuse],
+                np.full(int(reuse.sum()), 0b10, dtype=np.uint64),
+                2,
+            )
+        if kind.any():
+            meta = (
+                (np.uint64(0b11) << np.uint64(12))
+                | (lead_v[kind].astype(np.uint64) << np.uint64(6))
+                | (win[kind].astype(np.uint64) - _U1)
+            )
+            _scatter_bits(bits, off_nz[kind], meta, 14)
+        pay_off = off_nz + np.where(kind, 14, 2)
+        for w in np.unique(win):
+            sel = win == w
+            _scatter_bits(bits, pay_off[sel], payload[sel], int(w))
+    return np.packbits(bits).tobytes()
 
 
 def decode_values(data, count: int) -> np.ndarray:
     """Inverse of :func:`encode_values`; ``count`` rows expected."""
     if count == 0:
         return np.empty(0, dtype=np.int64)
-    r = BitReader(data)
-    read = r.read
-    prev = read(64)
-    out = [prev]
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size < 8:
+        raise StorageError("truncated compressed block")
+    first = int.from_bytes(raw[:8].tobytes(), "big")
+    out = np.empty(count, dtype=np.uint64)
+    out[0] = first
+    if count == 1:
+        return out.view(np.int64)
+    m = count - 1
+    bits = np.unpackbits(raw)
+    total = int(bits.size)
+    bb = bits.tobytes()  # byte-per-bit copy: C-speed scalar indexing
+    rows: list[int] = []
+    offs: list[int] = []
+    ws: list[int] = []
+    shs: list[int] = []
+    find = bb.find
+    rows_append = rows.append
+    offs_append = offs.append
+    ws_append = ws.append
+    shs_append = shs.append
+    p = 64
+    tok = 0
+    win = 64
     trail = 0
-    window = 64
-    for _ in range(count - 1):
-        if read(1) == 0:
-            out.append(prev)
-            continue
-        if read(1) == 0:
-            x = read(window) << trail
+    while tok < m:
+        if p < total and bb[p]:
+            q = p
         else:
-            lead = read(6)
-            window = read(6) + 1
-            trail = 64 - lead - window
+            q = find(1, p)
+            if q < 0:
+                q = total
+        run = q - p
+        if run:
+            if run >= m - tok:
+                tok = m
+                break
+            tok += run
+        p = q
+        if p + 1 >= total:
+            raise StorageError("truncated compressed block")
+        if not bb[p + 1]:
+            off = p + 2
+        else:
+            if p + 14 > total:
+                raise StorageError("truncated compressed block")
+            lead = _small_int(bb, p + 2, 6)
+            win = _small_int(bb, p + 8, 6) + 1
+            trail = 64 - lead - win
             if trail < 0:
                 raise StorageError("corrupt XOR window in compressed block")
-            x = read(window) << trail
-        prev ^= x
-        out.append(prev)
-    return _to_int64(out)
+            off = p + 14
+        end = off + win
+        if end > total:
+            raise StorageError("truncated compressed block")
+        rows_append(tok)
+        offs_append(off)
+        ws_append(win)
+        shs_append(trail)
+        tok += 1
+        p = end
+
+    xors = np.zeros(m, dtype=np.uint64)
+    if rows:
+        rows_a = np.array(rows, dtype=np.int64)
+        offs_a = np.array(offs, dtype=np.int64)
+        ws_a = np.array(ws, dtype=np.int64)
+        shs_a = np.array(shs, dtype=np.uint64)
+        for w in sorted(set(ws)):
+            sel = ws_a == w
+            xors[rows_a[sel]] = _gather_bits(bits, offs_a[sel], int(w)) << shs_a[sel]
+    acc = np.bitwise_xor.accumulate(xors)
+    out[1:] = np.uint64(first) ^ acc
+    return out.view(np.int64)

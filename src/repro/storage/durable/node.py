@@ -18,20 +18,24 @@ On-disk layout of one node directory::
     seg-XXXXXXXX.seg immutable columnar segments
 
 Crash recovery (constructor): sweep orphan ``*.tmp`` files, open the
-manifest's segments (read lazily per sensor on first access), load the
-metadata image, then replay every WAL file at or above the manifest
-floor into the memtable.  Replay is idempotent under the flush-time
-last-write-wins invariant, so a WAL that overlaps sealed segments —
-the normal state after a crash between seal and checkpoint — double
-applies harmlessly.  A torn tail or corrupt CRC stops that file's scan
-at the last valid record and recovery continues; it never refuses to
-start.  Recovery ends with a seal + checkpoint, leaving a clean log.
+manifest's segments (per-sensor blocks decode on demand, through the
+read path's bounded block cache), load the metadata image, then replay
+every WAL file at or above the manifest floor into the memtable.
+Replay is idempotent under the flush-time last-write-wins invariant,
+so a WAL that overlaps sealed segments — the normal state after a
+crash between seal and checkpoint — double applies harmlessly.  A torn
+tail or corrupt CRC stops that file's scan at the last valid record
+and recovery continues; it never refuses to start.  Recovery ends with
+a seal + checkpoint, leaving a clean log.
 
-Ordering invariant the reads rely on: disk segments always hold data
-*older* than anything sealed after recovery, so lazily loaded blocks
-are **prepended** to the in-memory segment list and tiered compaction
-merges only runs that are contiguous in manifest order — both keep the
-last-write-wins merge of the base class correct.
+Read path: a query stages footer-pruned disk blocks (decoded through
+the byte-budgeted LRU in :mod:`.blockcache`) *ahead of* the in-memory
+segments — disk blocks always hold data older than anything sealed
+this process lifetime, and tiered compaction merges only runs that are
+contiguous in manifest order — both keep the last-write-wins merge of
+the base class correct.  Nothing a query touches is permanently
+materialized: cold blocks age out of the cache, so scanning a store
+larger than RAM holds resident memory at memtable + cache budget.
 """
 
 from __future__ import annotations
@@ -39,7 +43,9 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 from pathlib import Path
+from time import monotonic, perf_counter, sleep
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -51,6 +57,7 @@ from repro.storage.backend import InsertItem, StorageBackend
 from repro.storage.node import StorageNode, _Segment, _SensorData
 
 from . import wal as walmod
+from .blockcache import BlockCache
 from .segment import SegmentFile, segment_path, write_segment
 from .wal import CUTOFF, DATA, META, WriteAheadLog, scan_wal_file, wal_path
 
@@ -62,15 +69,30 @@ _EMPTY = np.empty(0, dtype=np.int64)
 
 
 def _encode_data(items: list[InsertItem]) -> bytes:
-    """Frame an insert batch as a DATA payload (columnar, fixed-width)."""
+    """Frame an insert batch as a DATA payload (columnar, fixed-width).
+
+    Column-at-a-time via ``np.fromiter`` — per-element numpy scalar
+    assignment was the single largest CPU cost on the durable insert
+    path.  The ``OverflowError`` fallback keeps the old masking
+    semantics for out-of-int64 values (never produced by the normal
+    ingest path, but cheap to preserve).
+    """
     n = len(items)
+    sids, ts, vals, ttls = zip(*items)
     cols = np.empty((5, n), dtype=np.uint64)
-    for i, (sid, ts, value, ttl) in enumerate(items):
-        cols[0, i] = sid.value >> 64
-        cols[1, i] = sid.value & _M64
-        cols[2, i] = ts & _M64
-        cols[3, i] = value & _M64
-        cols[4, i] = ttl & _M64
+    # One join of the SIDs' precomputed big-endian images, viewed as
+    # (hi, lo) u64 pairs — no per-row 128-bit arithmetic.
+    pair = np.frombuffer(b"".join(s.packed for s in sids), dtype=">u8").reshape(n, 2)
+    cols[0] = pair[:, 0]
+    cols[1] = pair[:, 1]
+    try:
+        cols[2] = np.fromiter(ts, dtype=np.int64, count=n).view(np.uint64)
+        cols[3] = np.fromiter(vals, dtype=np.int64, count=n).view(np.uint64)
+        cols[4] = np.fromiter(ttls, dtype=np.int64, count=n).view(np.uint64)
+    except OverflowError:
+        cols[2] = np.fromiter((t & _M64 for t in ts), dtype=np.uint64, count=n)
+        cols[3] = np.fromiter((v & _M64 for v in vals), dtype=np.uint64, count=n)
+        cols[4] = np.fromiter((t & _M64 for t in ttls), dtype=np.uint64, count=n)
     return struct.pack("<I", n) + cols.tobytes()
 
 
@@ -162,6 +184,19 @@ class DurableNode(StorageNode):
         Tiered compaction triggers when the manifest lists more files.
     compact_min_run:
         Smallest contiguous run of files one merge consumes.
+    compaction:
+        ``"background"`` (default) runs tiered merges on a dedicated
+        thread — the insert/seal path only flags the backlog and moves
+        on; ``"inline"`` merges synchronously inside the seal, which
+        deterministic tests rely on.
+    compact_min_interval_s:
+        Rate limit for background merges: successive merge builds are
+        spaced at least this far apart, so a burst of seals cannot
+        monopolize the disk.
+    block_cache_bytes:
+        Byte budget for the decoded-block LRU on the read path (0
+        disables caching; every windowed read decodes its blocks
+        fresh).  See :mod:`.blockcache`.
     disk:
         Optional :class:`~repro.faults.disk.DiskFaultInjector` seam.
     """
@@ -175,12 +210,19 @@ class DurableNode(StorageNode):
         fsync_interval_s: float = 0.05,
         max_segment_files: int = 8,
         compact_min_run: int = 4,
+        compaction: str = "background",
+        compact_min_interval_s: float = 0.0,
+        block_cache_bytes: int = 64 * 1024 * 1024,
         disk=None,
         flush_threshold: int = 100_000,
         max_segments_per_sensor: int = 8,
         clock=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
+        if compaction not in ("background", "inline"):
+            raise ValueError(
+                f"compaction must be 'background' or 'inline', got {compaction!r}"
+            )
         super().__init__(
             name=name,
             flush_threshold=flush_threshold,
@@ -192,19 +234,34 @@ class DurableNode(StorageNode):
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.max_segment_files = max_segment_files
         self.compact_min_run = max(2, compact_min_run)
+        self.compaction = compaction
+        self.compact_min_interval_s = compact_min_interval_s
         self._disk = disk
         #: Ordered (fileno, SegmentFile) — manifest order == LWW order.
         self._seg_files: list[tuple[int, SegmentFile]] = []
-        #: Per-sensor disk blocks not yet decoded into memory, in LWW order.
-        self._lazy: dict[SensorId, list[SegmentFile]] = {}
+        #: Per-sensor disk blocks served through the block cache, in
+        #: LWW (manifest) order.  Permanent: reads never pop these —
+        #: decoded blocks live in the bounded cache instead of the
+        #: memtable.
+        self._disk_refs: dict[SensorId, list[SegmentFile]] = {}
         #: Frozen segments a failed seal left unpersisted (still WAL-covered).
         self._unsealed: dict[SensorId, list[_Segment]] = {}
         self._cutoffs: dict[SensorId, int] = {}
         self._next_fileno = 1
+        self._wal_floor = 1
         self._replaying = False
         self._closed = False
         self._raw_bytes = 0
         self._encoded_bytes = 0
+        # Background compaction machinery: the seal path flags a
+        # backlog and wakes the worker; merges build outside the node
+        # lock and swap under it.  _compact_mutex serializes merge
+        # builds against full compact() calls.
+        self._compact_mutex = threading.Lock()
+        self._compact_wake = threading.Event()
+        self._compact_stop = False
+        self._compact_thread: threading.Thread | None = None
+        self._last_merge_at = 0.0
 
         label = {"node": name}
         self._m_wal_appends = self.metrics.counter(
@@ -258,9 +315,61 @@ class DurableNode(StorageNode):
         ).labels(**label).set_function(
             lambda: (self._raw_bytes / self._encoded_bytes) if self._encoded_bytes else 0.0
         )
+        self._m_blocks_pruned = self.metrics.counter(
+            "dcdb_segment_blocks_pruned_total",
+            "On-disk blocks skipped via footer time-bounds on windowed reads",
+            ("node",),
+        ).labels(**label)
+        self._block_cache = BlockCache(
+            block_cache_bytes,
+            hits=self.metrics.counter(
+                "dcdb_segment_block_cache_hits_total",
+                "Decoded-block cache hits on the durable read path",
+                ("node",),
+            ).labels(**label),
+            misses=self.metrics.counter(
+                "dcdb_segment_block_cache_misses_total",
+                "Decoded-block cache misses (block decoded from disk)",
+                ("node",),
+            ).labels(**label),
+            evictions=self.metrics.counter(
+                "dcdb_segment_block_cache_evictions_total",
+                "Decoded blocks evicted to honour the cache byte budget",
+                ("node",),
+            ).labels(**label),
+        )
+        self.metrics.gauge(
+            "dcdb_segment_block_cache_bytes",
+            "Decoded bytes currently resident in the block cache",
+            ("node",),
+        ).labels(**label).set_function(lambda: self._block_cache.bytes)
+        self._m_compaction_runs = self.metrics.counter(
+            "dcdb_compaction_runs_total",
+            "Tiered segment-file merges completed (background or inline)",
+            ("node",),
+        ).labels(**label)
+        self._m_compaction_seconds = self.metrics.histogram(
+            "dcdb_compaction_seconds",
+            "Wall time of one tiered merge (build + swap)",
+            ("node",),
+        ).labels(**label)
+        self.metrics.gauge(
+            "dcdb_compaction_backlog",
+            "Segment files above the compaction trigger threshold",
+            ("node",),
+        ).labels(**label).set_function(
+            lambda: max(0, len(self._seg_files) - self.max_segment_files)
+        )
 
         self.recovery_info: dict = {}
         self._recover(fsync, fsync_interval_s)
+        if (
+            self.compaction == "background"
+            and len(self._seg_files) > self.max_segment_files
+        ):
+            with self._lock:
+                self._ensure_compactor_locked()
+                self._compact_wake.set()
 
     # -- recovery ---------------------------------------------------------
 
@@ -306,7 +415,7 @@ class DurableNode(StorageNode):
             self._seg_files.append((fileno, seg_file))
             info["segments_loaded"] += 1
             for sid in seg_file.sids():
-                self._lazy.setdefault(sid, []).append(seg_file)
+                self._disk_refs.setdefault(sid, []).append(seg_file)
                 if sid not in self._data:
                     self._data[sid] = _SensorData()
                     self._sids_cache = None
@@ -330,6 +439,7 @@ class DurableNode(StorageNode):
             self._metadata.update(doc.get("metadata", {}))
 
         floor = int(manifest["wal_floor"])
+        self._wal_floor = floor
         wal_seqs = []
         for path in self.data_dir.glob("wal-*.log"):
             try:
@@ -450,17 +560,31 @@ class DurableNode(StorageNode):
 
     def delete_before(self, sid: SensorId, cutoff: int) -> int:
         with self._lock:
+            removed_disk = 0
             if not self._replaying:
-                self._ensure_loaded(sid)
                 nbytes = self._wal.append(CUTOFF, _encode_cutoff(sid, cutoff))
                 self._m_wal_appends.inc()
                 self._m_wal_bytes.inc(nbytes)
+                # Count the disk rows the raised cutoff hides without
+                # materializing anything into the memtable: blocks
+                # decode through the bounded cache (under the *old*
+                # cutoff) and a binary search does the counting.
+                for seg_file in self._disk_refs.get(sid, ()):
+                    min_ts, _ = seg_file.bounds_for(sid)
+                    if cutoff <= min_ts:
+                        continue
+                    block = self._disk_block_locked(sid, seg_file)
+                    removed_disk += int(
+                        np.searchsorted(block.timestamps, cutoff, side="left")
+                    )
             removed = super().delete_before(sid, cutoff)
             if cutoff > self._cutoffs.get(sid, -(1 << 63)):
                 self._cutoffs[sid] = cutoff
+                # Cached blocks were filtered under the old cutoff.
+                self._block_cache.invalidate_sid(sid)
             if not self._replaying:
                 self._commit_locked()
-        return removed
+        return removed + removed_disk
 
     # -- seal / checkpoint -------------------------------------------------
 
@@ -506,51 +630,98 @@ class DurableNode(StorageNode):
         self._encoded_bytes += stats.file_bytes
         self._m_seg_written.inc()
         self._checkpoint_locked()
-        self._maybe_compact_files_locked()
+        self._schedule_compaction_locked()
 
     def _checkpoint_locked(self) -> None:
         """Rotate the WAL, persist the manifest, trim sealed WAL files."""
-        floor = self._wal.rotate()
+        self._wal_floor = self._wal.rotate()
         self._m_wal_rotations.inc()
         _atomic_json(
             self.data_dir / "metadata.json",
             {"format": _MANIFEST_FORMAT, "metadata": dict(self._metadata)},
         )
+        self._write_manifest_locked()
+        self._wal.delete_below(self._wal_floor)
+
+    def _write_manifest_locked(self) -> None:
+        """Persist the manifest at the current WAL floor.
+
+        A background merge swap calls this *without* rotating the WAL:
+        a merge introduces no new unsealed data, so the floor — and the
+        replay set — must not move.
+        """
         _atomic_json(
             self.data_dir / "manifest.json",
             {
                 "format": _MANIFEST_FORMAT,
-                "wal_floor": floor,
+                "wal_floor": self._wal_floor,
                 "next_fileno": self._next_fileno,
                 "segments": [fileno for fileno, _ in self._seg_files],
                 "cutoffs": {sid.hex(): c for sid, c in self._cutoffs.items()},
             },
         )
-        self._wal.delete_below(floor)
 
     # -- tiered compaction -------------------------------------------------
 
-    def _maybe_compact_files_locked(self) -> None:
-        while len(self._seg_files) > self.max_segment_files:
-            run = min(self.compact_min_run, len(self._seg_files))
-            # Pick the cheapest contiguous run (manifest order == LWW
-            # order, so only contiguous runs may merge).
-            best_at = min(
-                range(len(self._seg_files) - run + 1),
-                key=lambda i: sum(
-                    sf.size_bytes for _, sf in self._seg_files[i : i + run]
-                ),
-            )
-            self._merge_run_locked(best_at, run)
+    def _ensure_compactor_locked(self) -> None:
+        """Start the background worker on first demand — a node that
+        never accumulates a backlog never pays for a parked thread."""
+        thread = self._compact_thread
+        if self._compact_stop or (thread is not None and thread.is_alive()):
+            return
+        thread = threading.Thread(
+            target=self._compaction_loop,
+            name=f"dcdb-compact-{self.name}",
+            daemon=True,
+        )
+        self._compact_thread = thread
+        thread.start()
 
-    def _merge_run_locked(self, at: int, run: int) -> None:
-        victims = self._seg_files[at : at + run]
+    def _schedule_compaction_locked(self) -> None:
+        """Seal-path hook: flag the backlog; never merge on this path
+        in background mode (the insert p99 must not absorb a merge)."""
+        if len(self._seg_files) <= self.max_segment_files:
+            return
+        if self.compaction == "inline":
+            while len(self._seg_files) > self.max_segment_files:
+                plan = self._plan_merge_locked()
+                if plan is None:
+                    return
+                t0 = perf_counter()
+                victims, fileno, now, cutoffs = plan
+                stats = self._build_merge(victims, fileno, now, cutoffs)
+                self._swap_merged_locked(victims, fileno, stats)
+                self._m_compaction_seconds.observe(perf_counter() - t0)
+                for fileno_old, sf in victims:
+                    sf.close()
+                    segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
+        else:
+            self._ensure_compactor_locked()
+            self._compact_wake.set()
+
+    def _plan_merge_locked(self):
+        """Pick the cheapest contiguous run and reserve its output
+        fileno — the only merge work that needs the node lock."""
+        if len(self._seg_files) <= self.max_segment_files:
+            return None
+        run = min(self.compact_min_run, len(self._seg_files))
+        # Manifest order == LWW order, so only contiguous runs may merge.
+        best_at = min(
+            range(len(self._seg_files) - run + 1),
+            key=lambda i: sum(
+                sf.size_bytes for _, sf in self._seg_files[i : i + run]
+            ),
+        )
+        victims = list(self._seg_files[best_at : best_at + run])
+        fileno = self._next_fileno
+        self._next_fileno = fileno + 1
+        return victims, fileno, self._clock(), dict(self._cutoffs)
+
+    def _build_merge(self, victims, fileno, now, cutoffs):
+        """Write the merged segment file.  Runs WITHOUT the node lock
+        in background mode: victims are immutable and mmap reads are
+        thread-safe, so queries and inserts proceed concurrently."""
         run_sids = sorted({sid for _, sf in victims for sid in sf.sids()})
-        # Force-load affected sensors first so lazy references never
-        # point at a merged (deleted) file.
-        for sid in run_sids:
-            self._ensure_loaded(sid)
-        now = self._clock()
 
         def sensors() -> Iterator[tuple[SensorId, np.ndarray, np.ndarray, np.ndarray]]:
             for sid in run_sids:
@@ -558,7 +729,7 @@ class DurableNode(StorageNode):
                 ts, vals, exp = (
                     parts[0] if len(parts) == 1 else _merge_lww(parts, now=None)
                 )
-                cutoff = self._cutoffs.get(sid)
+                cutoff = cutoffs.get(sid)
                 live = exp > now
                 if cutoff is not None:
                     live &= ts >= cutoff
@@ -566,122 +737,250 @@ class DurableNode(StorageNode):
                     ts, vals, exp = ts[live], vals[live], exp[live]
                 yield sid, ts, vals, exp
 
-        fileno = self._next_fileno
-        stats = write_segment(
+        return write_segment(
             segment_path(self.data_dir, fileno), sensors(), disk=self._disk
         )
-        self._next_fileno = fileno + 1
-        merged: list[tuple[int, SegmentFile]] = []
+
+    def _swap_merged_locked(self, victims, fileno, stats) -> None:
+        """Short critical section: splice the merged file into the
+        manifest order, rebuild affected disk refs, drop stale cache
+        entries, persist the manifest (WAL floor unchanged)."""
+        new_sf = SegmentFile(stats.path, disk=self._disk) if stats is not None else None
+        victim_ids = {id(sf) for _, sf in victims}
+        positions = [
+            i for i, (_, sf) in enumerate(self._seg_files) if id(sf) in victim_ids
+        ]
+        at = positions[0]
+        merged = [(fileno, new_sf)] if new_sf is not None else []
+        self._seg_files[at : at + len(victims)] = merged
+        affected = {sid for _, sf in victims for sid in sf.sids()}
+        for sid in affected:
+            refs = self._disk_refs.get(sid)
+            if not refs:
+                continue
+            # The merged file serves a sensor's reads iff any of its
+            # victims did; it takes the first victim's LWW position.
+            placed = new_sf is None or sid not in new_sf
+            out: list[SegmentFile] = []
+            for sf in refs:
+                if id(sf) in victim_ids:
+                    if not placed:
+                        out.append(new_sf)
+                        placed = True
+                else:
+                    out.append(sf)
+            if out:
+                self._disk_refs[sid] = out
+            else:
+                self._disk_refs.pop(sid, None)
+        for _, sf in victims:
+            self._block_cache.invalidate_file(sf.path.name)
         if stats is not None:
-            merged.append((fileno, SegmentFile(stats.path, disk=self._disk)))
             self._raw_bytes += stats.raw_bytes
             self._encoded_bytes += stats.file_bytes
             self._m_seg_written.inc()
-        self._seg_files[at : at + run] = merged
         self._m_seg_compactions.inc()
-        self._checkpoint_locked()
-        for fileno_old, sf in victims:
-            sf.close()
-            segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
+        self._m_compaction_runs.inc()
+        self._write_manifest_locked()
 
-    def compact(self) -> None:
-        """Full merge: memory and disk both collapse to one image."""
-        with self._lock:
-            self._ensure_all_loaded()
-            super().compact()
-            victims = self._seg_files
-
-            def sensors() -> Iterator[tuple[SensorId, np.ndarray, np.ndarray, np.ndarray]]:
-                for sid in sorted(self._data):
-                    segments = self._data[sid].segments
-                    if not segments:
-                        continue
-                    seg = segments[0]
-                    yield sid, seg.timestamps, seg.values, seg.expiries
-
-            fileno = self._next_fileno
-            stats = write_segment(
-                segment_path(self.data_dir, fileno), sensors(), disk=self._disk
-            )
-            self._next_fileno = fileno + 1
-            self._seg_files = []
-            if stats is not None:
-                self._seg_files = [(fileno, SegmentFile(stats.path, disk=self._disk))]
-                self._raw_bytes += stats.raw_bytes
-                self._encoded_bytes += stats.file_bytes
-                self._m_seg_written.inc()
-            self._checkpoint_locked()
+    def _compact_once(self) -> bool:
+        """One background merge: plan under the lock, build outside it,
+        swap under it, unlink victims outside it."""
+        with self._compact_mutex:
+            t0 = perf_counter()
+            with self._lock:
+                if self._closed:
+                    return False
+                plan = self._plan_merge_locked()
+            if plan is None:
+                return False
+            victims, fileno, now, cutoffs = plan
+            stats = self._build_merge(victims, fileno, now, cutoffs)
+            with self._lock:
+                if self._closed:
+                    if stats is not None:
+                        segment_path(self.data_dir, fileno).unlink(missing_ok=True)
+                    return False
+                self._swap_merged_locked(victims, fileno, stats)
+            self._m_compaction_seconds.observe(perf_counter() - t0)
+            # Unlink outside the node lock but still inside the merge
+            # mutex: "mutex free + backlog clear" then means fully
+            # done, victims gone — what wait_for_compaction promises.
             for fileno_old, sf in victims:
                 sf.close()
                 segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
+        return True
 
-    # -- lazy disk loads ---------------------------------------------------
+    def _compaction_loop(self) -> None:
+        while True:
+            self._compact_wake.wait()
+            self._compact_wake.clear()
+            if self._compact_stop:
+                return
+            while not self._compact_stop:
+                wait_s = self.compact_min_interval_s - (monotonic() - self._last_merge_at)
+                if wait_s > 0:
+                    sleep(min(wait_s, 0.05))
+                    continue
+                try:
+                    if not self._compact_once():
+                        break
+                except (OSError, StorageError):
+                    # Victims are untouched; a torn merge output is an
+                    # unlisted orphan the next recovery sweeps away.
+                    self._m_seg_errors.inc()
+                    break
+                self._last_merge_at = monotonic()
 
-    def _ensure_loaded(self, sid: SensorId) -> None:
-        refs = self._lazy.pop(sid, None)
-        if not refs:
-            return
-        cutoff = self._cutoffs.get(sid)
-        decoded: list[_Segment] = []
-        for seg_file in refs:
-            ts, vals, exp = seg_file.read(sid)
-            if cutoff is not None:
-                keep = ts >= cutoff
-                if not keep.all():
-                    ts, vals, exp = ts[keep], vals[keep], exp[keep]
-            if ts.size:
-                decoded.append(_Segment(ts, vals, exp))
-        data = self._data.get(sid)
-        if data is None:
-            data = self._data[sid] = _SensorData()
-            self._sids_cache = None
-        # Disk blocks predate everything sealed this process lifetime:
-        # prepend so the LWW merge keeps newer writes winning.
-        data.segments[:0] = decoded
+    def wait_for_compaction(self, timeout_s: float = 30.0) -> bool:
+        """Block until the tiered backlog drains; True when it has.
 
-    def _ensure_all_loaded(self) -> None:
-        for sid in list(self._lazy):
-            self._ensure_loaded(sid)
+        Deterministic tests and admin tooling use this to observe the
+        post-merge file count; the ingest path never waits.
+        """
+        deadline = monotonic() + timeout_s
+        while True:
+            with self._lock:
+                backlog = len(self._seg_files) > self.max_segment_files
+                if backlog and self.compaction == "background":
+                    self._ensure_compactor_locked()
+            if not backlog:
+                # An in-flight merge may still be closing/unlinking its
+                # victims; passing through the mutex waits that out.
+                with self._compact_mutex:
+                    return True
+            thread = self._compact_thread
+            if (
+                self.compaction != "background"
+                or thread is None
+                or not thread.is_alive()
+            ):
+                return False
+            if monotonic() >= deadline:
+                return False
+            self._compact_wake.set()
+            sleep(0.002)
+
+    def compact(self) -> None:
+        """Full merge: every disk file and in-memory segment collapses
+        into (at most) one segment file, TTL/retention applied; reads
+        then serve it through the block cache — the whole store is
+        never materialized in memory at once."""
+        with self._compact_mutex:
+            with self._lock:
+                self._flush_locked()
+                if self._unsealed:
+                    # The seal failed (disk fault): those rows exist
+                    # only in memory + WAL, so a disk-image rewrite
+                    # here could lose them.  Leave the store as-is;
+                    # the next successful seal retries.
+                    return
+                victims = list(self._seg_files)
+                if not victims:
+                    super().compact()
+                    return
+                now = self._clock()
+                fileno = self._next_fileno
+                self._next_fileno = fileno + 1
+                stats = self._build_merge(victims, fileno, now, dict(self._cutoffs))
+                self._seg_files = []
+                self._disk_refs = {}
+                if stats is not None:
+                    new_sf = SegmentFile(stats.path, disk=self._disk)
+                    self._seg_files = [(fileno, new_sf)]
+                    self._disk_refs = {sid: [new_sf] for sid in new_sf.sids()}
+                    self._raw_bytes += stats.raw_bytes
+                    self._encoded_bytes += stats.file_bytes
+                    self._m_seg_written.inc()
+                # Everything sealed this lifetime now lives in the
+                # merged file: drop the duplicate in-memory segments so
+                # a long-running node's resident set shrinks to the
+                # memtable plus the cache budget.
+                for data in self._data.values():
+                    data.segments = []
+                self._block_cache.clear()
+                self._compactions.inc()
+                self._checkpoint_locked()
+                for fileno_old, sf in victims:
+                    sf.close()
+                    segment_path(self.data_dir, fileno_old).unlink(missing_ok=True)
 
     # -- read path ---------------------------------------------------------
 
-    def query(self, sid: SensorId, start: int, end: int):
-        with self._lock:
-            self._ensure_loaded(sid)
-        return super().query(sid, start, end)
+    def _disk_block_locked(self, sid: SensorId, seg_file: SegmentFile) -> _Segment:
+        """One sensor's block of one segment file, decoded through the
+        bounded LRU cache with the current retention cutoff applied.
+        Cached arrays are read-only; queries hand out views of them."""
+        key = seg_file.path.name
+        block = self._block_cache.get(key, sid)
+        if block is not None:
+            return block
+        ts, vals, exp = seg_file.read(sid)
+        cutoff = self._cutoffs.get(sid)
+        if cutoff is not None:
+            keep = ts >= cutoff
+            if not keep.all():
+                ts, vals, exp = ts[keep], vals[keep], exp[keep]
+        for arr in (ts, vals, exp):
+            arr.setflags(write=False)
+        block = _Segment(ts, vals, exp)
+        self._block_cache.put(key, sid, block)
+        return block
 
-    def query_many(self, sids, start: int, end: int):
-        if not isinstance(sids, (list, tuple)):
-            sids = list(sids)
-        with self._lock:
-            for sid in sids:
-                self._ensure_loaded(sid)
-        return super().query_many(sids, start, end)
+    def _stage_locked(self, sid: SensorId, data: _SensorData, start: int, end: int):
+        """Stage footer-pruned disk blocks ahead of the in-memory
+        sources.  Only blocks whose ``[min_ts, max_ts]`` overlaps the
+        window are decoded (through the cache); the rest count toward
+        ``dcdb_segment_blocks_pruned_total`` without being touched."""
+        segments, mem, pruned = super()._stage_locked(sid, data, start, end)
+        refs = self._disk_refs.get(sid)
+        if refs:
+            disk_segments: list[_Segment] = []
+            blocks_pruned = 0
+            for seg_file in refs:
+                min_ts, max_ts = seg_file.bounds_for(sid)
+                if max_ts < start or min_ts > end:
+                    blocks_pruned += 1
+                    continue
+                block = self._disk_block_locked(sid, seg_file)
+                if block.size:
+                    disk_segments.append(block)
+            if blocks_pruned:
+                self._m_blocks_pruned.inc(blocks_pruned)
+            if disk_segments:
+                # Disk blocks predate everything sealed this process
+                # lifetime: stage them first so the LWW merge keeps
+                # newer writes winning.
+                segments = disk_segments + segments
+        return segments, mem, pruned
 
     @property
     def row_count(self) -> int:
         """Total stored rows, pre-TTL/pre-retention.
 
-        Lazily-referenced disk blocks are counted from the segment
-        footer index instead of being decoded: the base class exports
-        these counts as gauges, and a /metrics scrape must not
-        materialize the whole store.  (``getattr``: the base gauge can
-        be scraped via a shared registry before ``_lazy`` exists.)
+        Disk blocks are counted from the segment footer index instead
+        of being decoded: the base class exports these counts as
+        gauges, and a /metrics scrape must not decode the whole store.
+        Rows present both on disk and in a this-lifetime memtable seal
+        (possible right after recovery or a tiered merge) may be
+        counted twice — this is an operational gauge, not an exact
+        cardinality.  (``getattr``: the base gauge can be scraped via a
+        shared registry before ``_disk_refs`` exists.)
         """
         with self._lock:
-            lazy = getattr(self, "_lazy", None) or {}
-            lazy_rows = sum(
+            refs_map = getattr(self, "_disk_refs", None) or {}
+            disk_rows = sum(
                 seg_file.rows_for(sid)
-                for sid, refs in lazy.items()
+                for sid, refs in refs_map.items()
                 for seg_file in refs
             )
-            return super().row_count + lazy_rows
+            return super().row_count + disk_rows
 
     @property
     def segment_count(self) -> int:
         with self._lock:
-            lazy = getattr(self, "_lazy", None) or {}
-            return super().segment_count + sum(len(refs) for refs in lazy.values())
+            refs_map = getattr(self, "_disk_refs", None) or {}
+            return super().segment_count + sum(len(refs) for refs in refs_map.values())
 
     # -- fingerprint / lifecycle -------------------------------------------
 
@@ -716,6 +1015,18 @@ class DurableNode(StorageNode):
     def close(self) -> None:
         """Sync and release files. The memtable is NOT sealed: reopening
         replays the WAL, which is exactly the path worth exercising."""
+        # Stop the compaction worker before taking the node lock: a
+        # merge in flight finishes (or aborts at its closed-check) and
+        # the thread parks, so no merge can race the file teardown.
+        self._compact_stop = True
+        self._compact_wake.set()
+        thread = self._compact_thread
+        if (
+            thread is not None
+            and thread.is_alive()
+            and thread is not threading.current_thread()
+        ):
+            thread.join(timeout=30.0)
         with self._lock:
             if self._closed:
                 return
@@ -723,6 +1034,7 @@ class DurableNode(StorageNode):
             self._wal.close()
             for _, sf in self._seg_files:
                 sf.close()
+            self._block_cache.clear()
 
 
 class DurableBackend(StorageBackend):
@@ -744,6 +1056,10 @@ class DurableBackend(StorageBackend):
         fsync_interval_s: float = 0.05,
         flush_threshold: int = 100_000,
         max_segment_files: int = 8,
+        compact_min_run: int = 4,
+        compaction: str = "background",
+        compact_min_interval_s: float = 0.0,
+        block_cache_bytes: int = 64 * 1024 * 1024,
         clock=None,
         metrics: MetricsRegistry | None = None,
         disk=None,
@@ -755,6 +1071,10 @@ class DurableBackend(StorageBackend):
             fsync_interval_s=fsync_interval_s,
             flush_threshold=flush_threshold,
             max_segment_files=max_segment_files,
+            compact_min_run=compact_min_run,
+            compaction=compaction,
+            compact_min_interval_s=compact_min_interval_s,
+            block_cache_bytes=block_cache_bytes,
             clock=clock,
             metrics=metrics,
             disk=disk,

@@ -225,6 +225,13 @@ class SegmentFile:
         """One sensor's row count, straight from the footer index."""
         return self._entries[sid].rows
 
+    def bounds_for(self, sid: SensorId) -> tuple[int, int]:
+        """One sensor's ``(min_ts, max_ts)`` from the footer index —
+        the read path prunes non-overlapping blocks on this alone,
+        without touching (or decoding) the block bytes."""
+        entry = self._entries[sid]
+        return entry.min_ts, entry.max_ts
+
     def __contains__(self, sid: SensorId) -> bool:
         return sid in self._entries
 

@@ -352,7 +352,7 @@ class StorageNode:
     # -- read path ----------------------------------------------------------
 
     def _stage_locked(
-        self, data: _SensorData, start: int, end: int
+        self, sid: SensorId, data: _SensorData, start: int, end: int
     ) -> tuple[list[_Segment], tuple[np.ndarray, np.ndarray, np.ndarray] | None, int]:
         """Snapshot one sensor's query inputs while holding the lock.
 
@@ -361,6 +361,10 @@ class StorageNode:
         lists) are frozen into arrays.  Returns ``(segments, memtable
         snapshot or None, segments pruned)`` — the expensive slicing
         and merging then happens outside the lock.
+
+        ``sid`` identifies the sensor for subclasses that stage extra
+        sources (the durable node prepends footer-pruned disk blocks);
+        the base implementation does not need it.
         """
         segments = [seg for seg in data.segments if seg.overlaps(start, end)]
         pruned = len(data.segments) - len(segments)
@@ -424,7 +428,7 @@ class StorageNode:
             data = self._data.get(sid)
             if data is None:
                 return _EMPTY, _EMPTY
-            segments, mem, pruned = self._stage_locked(data, start, end)
+            segments, mem, pruned = self._stage_locked(sid, data, start, end)
         if pruned:
             self._segments_pruned.inc(pruned)
         result = self._merge_staged(segments, mem, start, end, now)
@@ -452,7 +456,7 @@ class StorageNode:
             for sid in sids:
                 data = self._data.get(sid)
                 staged.append(
-                    None if data is None else self._stage_locked(data, start, end)
+                    None if data is None else self._stage_locked(sid, data, start, end)
                 )
         pruned_total = 0
         out: dict[SensorId, tuple[np.ndarray, np.ndarray]] = {}

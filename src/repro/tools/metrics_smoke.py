@@ -102,6 +102,14 @@ DURABILITY_METRICS = (
     "dcdb_segment_files",
     "dcdb_segment_disk_bytes",
     "dcdb_segment_compression_ratio",
+    "dcdb_segment_blocks_pruned_total",
+    "dcdb_segment_block_cache_hits_total",
+    "dcdb_segment_block_cache_misses_total",
+    "dcdb_segment_block_cache_evictions_total",
+    "dcdb_segment_block_cache_bytes",
+    "dcdb_compaction_runs_total",
+    "dcdb_compaction_seconds",
+    "dcdb_compaction_backlog",
 )
 
 
@@ -152,6 +160,49 @@ def _runtime_families() -> set[str]:
         for family in source.collect():
             names.add(family.name)
     return names
+
+
+def _pruning_exercise(failures: list[str]) -> None:
+    """Windowed read over a reopened multi-file durable store: footer
+    pruning must skip the non-overlapping blocks and the block cache
+    must serve the repeat read without decoding again."""
+    from repro.core.sid import SensorId
+
+    print("durable read path: block pruning + cache")
+    sid = SensorId.from_codes([9, 9])
+    with tempfile.TemporaryDirectory(prefix="dcdb-prune-") as tmp:
+        seed = DurableBackend(
+            tmp, name="prune", fsync="off", max_segment_files=100
+        )
+        for block in range(4):
+            seed.insert_batch(
+                [(sid, (block * 100 + i) * NS_PER_SEC, i, 0) for i in range(100)]
+            )
+            seed.flush()
+        seed.close()
+        store = DurableBackend(
+            tmp, name="prune", fsync="off", max_segment_files=100
+        )
+        label = {"node": "prune"}
+        ts, _ = store.query(sid, 0, 99 * NS_PER_SEC)  # first file only
+        pruned = store.metrics.value("dcdb_segment_blocks_pruned_total", label)
+        misses = store.metrics.value("dcdb_segment_block_cache_misses_total", label)
+        _check(ts.size == 100, f"windowed read returned its block ({ts.size} rows)", failures)
+        _check(
+            pruned == 3,
+            f"footer bounds pruned the non-overlapping blocks ({pruned:g}/3)",
+            failures,
+        )
+        _check(misses >= 1, f"cold block decoded through the cache ({misses:g} misses)", failures)
+        store.query(sid, 0, 99 * NS_PER_SEC)
+        hits = store.metrics.value("dcdb_segment_block_cache_hits_total", label)
+        _check(
+            store.metrics.value("dcdb_segment_block_cache_misses_total", label) == misses,
+            "repeat read decoded nothing new",
+            failures,
+        )
+        _check(hits >= 1, f"repeat read served from the block cache ({hits:g} hits)", failures)
+        store.close()
 
 
 def _drift_gate(failures: list[str]) -> None:
@@ -342,6 +393,7 @@ def _run(data_dir: str) -> int:
         _scrape("agent", agent_api.port, failures)
     agent.stop()
     backend.close()
+    _pruning_exercise(failures)
     _drift_gate(failures)
 
     if failures:

@@ -330,10 +330,10 @@ class TestDurableNodeRecovery:
         assert (data_dir / "wal-copy.log").exists()
         recovered.close()
 
-    def test_introspection_counts_do_not_materialize_lazy_blocks(self, tmp_path):
+    def test_introspection_counts_do_not_decode_disk_blocks(self, tmp_path):
         """row_count / segment_count (exported as gauges on every
         /metrics scrape) must come from the segment footer index, not
-        from decoding every lazily-referenced disk block."""
+        from decoding every on-disk block."""
         node = make_node(tmp_path)
         node.insert_batch([(SID, t, t, 0) for t in range(300)])
         node.insert_batch([(SID_B, t, t, 0) for t in range(200)])
@@ -343,10 +343,14 @@ class TestDurableNodeRecovery:
         recovered = make_node(tmp_path)
         assert recovered.row_count == 500
         assert recovered.segment_count == 2
-        assert set(recovered._lazy) == {SID, SID_B}, "scrape decoded lazy blocks"
-        # Reads still load on demand and agree with the footer counts.
+        assert set(recovered._disk_refs) == {SID, SID_B}
+        assert len(recovered._block_cache) == 0, "scrape decoded disk blocks"
+        # Reads decode on demand through the block cache and agree with
+        # the footer counts; the refs stay put — a read never converts
+        # a disk block into permanent memtable residency.
         assert recovered.query(SID, 0, 1 << 62)[0].size == 300
-        assert set(recovered._lazy) == {SID_B}
+        assert len(recovered._block_cache) == 1
+        assert set(recovered._disk_refs) == {SID, SID_B}
         assert recovered.row_count == 500
         recovered.close()
 
@@ -534,6 +538,7 @@ class TestTieredCompaction:
         for b in range(12):
             node.insert_batch([(SID, b * 100 + i, b * 1000 + i, 0) for i in range(100)])
             node.flush()
+        assert node.wait_for_compaction(timeout_s=30.0)
         assert node.segment_file_count <= 4
         assert node.metrics.value("dcdb_segment_compactions_total", {"node": "n0"}) > 0
         ts, vals = node.query(SID, 0, 10**9)

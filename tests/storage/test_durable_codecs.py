@@ -251,3 +251,133 @@ class TestLwwDedupThenEncode:
         for t, v in zip(ts, vals):
             last[t] = v
         assert {int(t): int(v) for t, v in zip(mts, mvals)} == last
+
+# -- golden vectors --------------------------------------------------------
+#
+# Encoded bytes captured from the PR 8 per-reading loop codec.  The
+# vectorized kernels must reproduce them bit-for-bit: round-trip
+# consistency alone would let encoder and decoder drift together and
+# silently orphan every segment already on disk.
+
+GOLDEN_VECTORS = {
+    "fixed_interval_ts": (
+        "17979cfe362a0000e773594000000000000000",
+        "17979cfe362a0000e1563f765e05b726d7c8b4b977d7e637bb88975b67df2a78"
+        "995e775dfffe232eb800bb36960062577f8009fca9600e25deb80078da760022"
+        "d3a78019935b6002df6bb807894f9600263eaf8018b5596003e739b8038f3ab6"
+        "002655e780188caf6002edf6b80f89d6960025d29f800793f96006232ab8009b"
+        "55f600e27fa7800bf4bb60062359b800993a9601e2d36f800f9d6960065defb8"
+        "0088ceb600ee55678008b3a76006673ab8008f5b96001e3dbf81f894d960026f"
+        "6ab801893676002dd2e780398deb40",
+    ),
+    "jittered_ts": (
+        "16345785d8a00000e77359400600c9c019449f006b600ad48b00ace030e9de01"
+        "99300dbe01b860137c027003019160321600fac0543806a00c043b80722acc03"
+        "d7807b00",
+        "16345785d8a00000de63cc9acb0b7debf81fc4a5c99b931ede8037d7e2d76b87"
+        "9ca9785c8f367c3f03f995b94b32233ab006e35fbb75f785e89da9c63c0ee5d3"
+        "ed5fc2f7c9d356ddf8388d69e6b1369b6802627ebb0045fabca00de7fc4655f2"
+        "61327b2808c5ab36020f39566f84bbfca0271195f8085caaca023167d58084ce"
+        "53a03759f8f579e0f8fab61894def85e9bd6996fbebf12776c5ba737c0fe636a"
+        "542c8975bed91ef3a5006f31e256fb84f9b5b188cd9e172b4ece2fdab84ca5cb"
+        "c0fe237bcb9cf7359c5bb6dff32956c045ef37c0f6e52e587911ed7800",
+    ),
+    "temp_drift_vals": (
+        "000000000000cb20207068288542e090681c0a0480c1e110181c120901416148"
+        "3c220b0680c1d048241e150381c0e15018140a16",
+        "000000000000cb203e84fff81fe03fa0f3f817fc0f6d86e4314d1cb3a64d0c71"
+        "47f42fb070a838e8e82414146c0c0c6c147c143c38",
+    ),
+    "ieee754_vals": (
+        "7ff8000000000000f0000ffffffffffffff0ffeffffffffffffff10020000000"
+        "000000f1001ffffffffffffff20000000000000002f08010000000000003f17f"
+        "dbfffffffffffdf27fd8000000000000f17ffbfffffffffffff0ffefffffffff"
+        "fffff10020000000000000f1001ffffffffffffff20000000000000002f08010"
+        "000000000003f17fdbfffffffffffdf27fd8000000000000f17ffbffffffffff"
+        "fff0ffeffffffffffffff10020000000000000f1001ffffffffffffff2000000"
+        "0000000002f08010000000000003f17fdbfffffffffffdf27fd8000000000000"
+        "f17ffbfffffffffffff0ffeffffffffffffff10020000000000000f1001fffff"
+        "fffffffff20000000000000002f08010000000000003f17fdbfffffffffffd",
+        "7ff8000000000000cc03800700bfffa00303f80000000000000018ffe0000000"
+        "000006fffa000000000000affe80000000000020008000000000000a00000000"
+        "00000002fff0000000000000a000000000000000280000000000000018ffe000"
+        "0000000006fffa000000000000affe80000000000020008000000000000a0000"
+        "000000000002fff0000000000000a000000000000000280000000000000018ff"
+        "e0000000000006fffa000000000000affe80000000000020008000000000000a"
+        "0000000000000002fff0000000000000a0000000000000002800000000000000"
+        "18ffe0000000000006fffa000000000000",
+    ),
+    "power_step_vals": (
+        "00000000000249f01c00030d41c00030d3e70000c34fb800061a838000c35038"
+        "001869ff8000c3501c00061a81c00061a7ee00030d3fe00030d400e00030d40e"
+        "00030d3f38000c34ff8000c350001c00030d41c00030d3e000",
+        "00000000000249f01de6512c544bee37cf5545f545f1517c545f02a2f8545f00"
+        "179ea000",
+    ),
+    "extremes": (
+        "8000000000000000f1fffffffffffffffef3fffffffffffffffbf2ffffffffff"
+        "fffffe80f8fffffffffffffffef8800000000000000278800000000000000280",
+        "8000000000000000c0fffffffffffffffffeffffffffffffffffa00000000000"
+        "000027fffffffffffffffa0000000000000002fffffffffffffffea000000000"
+        "00000040",
+    ),
+}
+
+
+def _float_bits(f):
+    return struct.unpack("<q", struct.pack("<d", f))[0]
+
+
+def golden_columns():
+    """The exact columns behind :data:`GOLDEN_VECTORS` (regenerable)."""
+    cols = {}
+    cols["fixed_interval_ts"] = [
+        1_700_000_000_000_000_000 + i * 1_000_000_000 for i in range(48)
+    ]
+    rng = random.Random(4242)
+    t = 1_600_000_000_000_000_000
+    col = []
+    for _ in range(48):
+        col.append(t)
+        t += 1_000_000_000 + (rng.randint(-500, 500) if rng.random() < 0.25 else 0)
+    cols["jittered_ts"] = col
+    rng = random.Random(99)
+    v = 52_000
+    col = []
+    for _ in range(48):
+        col.append(v)
+        v += rng.randint(-3, 3)
+    cols["temp_drift_vals"] = col
+    specials = [
+        float("nan"), float("inf"), float("-inf"), 0.0, -0.0, 5e-324, 1.5, -2.25,
+    ]
+    cols["ieee754_vals"] = [_float_bits(specials[i % 8]) for i in range(32)]
+    rng = random.Random(7)
+    v = 150_000
+    col = []
+    for _ in range(48):
+        col.append(v)
+        if rng.random() < 0.15:
+            v = rng.choice([100_000, 150_000, 200_000])
+    cols["power_step_vals"] = col
+    cols["extremes"] = [I64_MIN, I64_MAX, I64_MIN, 0, I64_MAX, -1, 1, I64_MIN]
+    return cols
+
+
+class TestGoldenVectors:
+    """Wire-format lock: encoder output must match the committed PR 8
+    bytes exactly, and the committed bytes must decode to the columns."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_VECTORS))
+    def test_encode_matches_golden(self, name):
+        col = np.array(golden_columns()[name], dtype=np.int64)
+        ts_hex, val_hex = GOLDEN_VECTORS[name]
+        assert encode_timestamps(col).hex() == ts_hex, name
+        assert encode_values(col).hex() == val_hex, name
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_VECTORS))
+    def test_golden_bytes_decode(self, name):
+        col = golden_columns()[name]
+        ts_hex, val_hex = GOLDEN_VECTORS[name]
+        assert decode_timestamps(bytes.fromhex(ts_hex), len(col)).tolist() == col
+        assert decode_values(bytes.fromhex(val_hex), len(col)).tolist() == col
