@@ -6,12 +6,12 @@ PYTHON ?= python
 # failing schedule: make chaos CHAOS_SEEDS=42
 CHAOS_SEEDS ?= 101,202,303,404,505
 
-.PHONY: install test metrics-smoke trace-smoke chaos chaos-durability bench bench-query bench-rollup bench-transport bench-durability bench-baseline bench-compare bench-check experiments examples loc all
+.PHONY: install test metrics-smoke trace-smoke chaos chaos-durability chaos-rebalance bench bench-query bench-rollup bench-transport bench-durability bench-rebalance bench-baseline bench-compare bench-check experiments examples loc all
 
 install:
 	pip install -e .
 
-test: metrics-smoke trace-smoke chaos chaos-durability bench-query bench-rollup bench-transport bench-durability bench-check
+test: metrics-smoke trace-smoke chaos chaos-durability chaos-rebalance bench-query bench-rollup bench-transport bench-durability bench-rebalance bench-check
 	$(PYTHON) -m pytest tests/
 
 # Boot an in-process pusher->agent pipeline and validate the /metrics
@@ -39,6 +39,16 @@ chaos-durability:
 	PYTHONPATH=src CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTHON) -m pytest \
 		tests/storage/test_durable.py tests/storage/test_durable_codecs.py \
 		tests/integration/test_chaos_durability.py
+
+# Elastic-membership chaos battery: double/drain a cluster mid-ingest
+# with a source killed at an exact chunk boundary of the rebalance
+# stream (zero acked-reading loss, bit-identical reads before/during/
+# after, moved bytes <= 1.25x the theoretical minimum).  See the
+# "Cluster operations" runbook in docs/deployment.md.
+chaos-rebalance:
+	PYTHONPATH=src CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTHON) -m pytest \
+		tests/storage/test_membership.py \
+		tests/integration/test_chaos_rebalance.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -72,9 +82,11 @@ bench-rollup:
 # BENCH_query.json does the same for the query path (segment pruning,
 # cluster query_many, parallel subtree scan, batched virtual sensors),
 # BENCH_transport.json for the event-loop fan-in throughput,
-# BENCH_rollup.json for the tier-served dashboard-burst p99, and
+# BENCH_rollup.json for the tier-served dashboard-burst p99,
 # BENCH_durability.json for the durable-ingest overhead, the
-# facility-data compression ratio and the cold-window pruning speedup.
+# facility-data compression ratio and the cold-window pruning speedup,
+# and BENCH_rebalance.json for the live-rebalance moved-volume and
+# mid-rebalance ingest overheads.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_microbench_components.py \
@@ -107,6 +119,12 @@ bench-baseline:
 	$(PYTHON) -c "import json; d = json.load(open('BENCH_durability.json')); \
 		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
 		json.dump(d, open('BENCH_durability.json', 'w'), indent=1, sort_keys=True)"
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_rebalance.py \
+		--benchmark-only --benchmark-json=BENCH_rebalance.json
+	$(PYTHON) -c "import json; d = json.load(open('BENCH_rebalance.json')); \
+		[b['stats'].pop('data', None) for b in d['benchmarks']]; \
+		json.dump(d, open('BENCH_rebalance.json', 'w'), indent=1, sort_keys=True)"
 
 # Single-round smoke over the durability benchmarks: the compression-
 # ratio floor and the bounded-memory block-cache scan are asserted in
@@ -114,6 +132,13 @@ bench-baseline:
 # cold-window pruning gate arm under `make bench`.
 bench-durability:
 	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_durability.py \
+		--benchmark-disable
+
+# Single-round smoke over the live-rebalance benchmarks: the moved-
+# volume minimum and the zero-loss mid-rebalance ingest are asserted
+# in every mode; the ingest-slowdown gate arms under `make bench`.
+bench-rebalance:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks/test_rebalance.py \
 		--benchmark-disable
 
 # Run the full benchmark suite and diff the gated stats (best-of wall

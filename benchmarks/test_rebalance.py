@@ -1,0 +1,147 @@
+"""Microbenchmarks: cost of a live rebalance (elastic membership).
+
+Committed gates (recorded in ``BENCH_rebalance.json`` via
+``make bench-baseline``, diffed by ``tools/bench_compare.py``):
+
+* **Moved-volume overhead** — a clean join must stream each moved
+  reading exactly once: ``moved_overhead_x`` (moved bytes over the
+  theoretical minimum) is asserted == 1.0 in every mode and committed
+  as a lower-is-better ratio, so re-stream regressions show up as a
+  baseline diff even before the 1.25x chaos gate trips.
+* **Ingest-during-rebalance throughput** — a fixed ingest batch issued
+  while history streams in the background must stay within
+  ``INGEST_OVERHEAD_GATE`` of the same batch on a quiet cluster
+  (union writes + epoch-checked replica cache are the only extra work
+  on the write path); committed as ``rebalance_ingest_overhead_x``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.sid import SensorId
+from repro.storage.cluster import StorageCluster
+from repro.storage.node import StorageNode
+from repro.storage.partitioner import HierarchicalPartitioner
+
+NS_PER_SEC = 1_000_000_000
+
+#: Preloaded history: 12 partitions x 8 sensors x 250 rows = 24k rows.
+PARTITIONS = 12
+SENSORS_PER_PARTITION = 8
+ROWS = 250
+
+#: Gate on mid-rebalance ingest slowdown (timing only; generous — the
+#: background streamer legitimately competes for the GIL).
+INGEST_OVERHEAD_GATE = 5.0
+
+INGEST_BATCH = [
+    (SensorId.from_codes([7, p, s]), t * NS_PER_SEC, t, 0)
+    for p in range(1, PARTITIONS + 1)
+    for s in range(1, SENSORS_PER_PARTITION + 1)
+    for t in range(40)
+]
+
+
+def preloaded_cluster(n=3, replication=2):
+    nodes = [StorageNode(f"node{i}") for i in range(n)]
+    cluster = StorageCluster(
+        nodes,
+        partitioner=HierarchicalPartitioner(n, levels=2),
+        replication=replication,
+    )
+    items = [
+        (SensorId.from_codes([1, p, s]), t * NS_PER_SEC, t * p, 0)
+        for p in range(1, PARTITIONS + 1)
+        for s in range(1, SENSORS_PER_PARTITION + 1)
+        for t in range(ROWS)
+    ]
+    cluster.insert_batch(items)
+    return cluster, len(items)
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestMovedVolume:
+    def test_join_streams_minimal_bytes(self, benchmark):
+        """Time a blocking join of a preloaded cluster; assert the
+        moved volume is exactly the theoretical minimum (no node died,
+        so nothing may be streamed twice)."""
+        clusters = []
+
+        def setup():
+            cluster, _ = preloaded_cluster()
+            clusters.append(cluster)
+            return (cluster,), {}
+
+        def join(cluster):
+            cluster.add_node(StorageNode(f"node{len(cluster.nodes)}"), wait=True)
+            return cluster
+
+        benchmark.pedantic(join, setup=setup, rounds=3, iterations=1)
+        for cluster in clusters:
+            stats = cluster.rebalance_stats()
+            assert stats["partitions_failed"] == 0
+            assert stats["partitions_moved"] > 0
+            assert stats["moved_bytes"] == stats["minimal_bytes"]
+            overhead = stats["moved_bytes"] / stats["minimal_bytes"]
+            cluster.close()
+        benchmark.extra_info["moved_overhead_x"] = round(overhead, 3)
+        benchmark.extra_info["moved_mb"] = round(stats["moved_bytes"] / 1e6, 3)
+        benchmark.extra_info["partitions_moved"] = int(stats["partitions_moved"])
+
+
+class TestIngestDuringRebalance:
+    def test_ingest_while_streaming(self, benchmark):
+        """Ingest a fixed batch while a join streams history in the
+        background; every acked reading must be readable afterwards and
+        (timing armed) the slowdown vs a quiet cluster is gated."""
+        clusters = []
+
+        def setup():
+            cluster, _ = preloaded_cluster()
+            clusters.append(cluster)
+            cluster.add_node(StorageNode(f"node{len(cluster.nodes)}"), wait=False)
+            return (cluster,), {}
+
+        def ingest(cluster):
+            return cluster.insert_batch(INGEST_BATCH)
+
+        count = benchmark.pedantic(ingest, setup=setup, rounds=3, iterations=1)
+        assert count == len(INGEST_BATCH)
+        for cluster in clusters:
+            assert cluster.rebalance_wait(timeout=60.0)
+            stats = cluster.rebalance_stats()
+            assert stats["partitions_failed"] == 0
+            # Zero acked loss through the concurrent transfer: the
+            # mid-rebalance batch reads back in full.
+            got = sum(
+                cluster.query(s, 0, 1 << 62)[0].size
+                for s in {item[0] for item in INGEST_BATCH}
+            )
+            assert got == len(INGEST_BATCH)
+            assert cluster.hints_pending == 0
+        if benchmark.enabled:
+            quiet, _ = preloaded_cluster()
+            quiet_seconds = _best_of(3, lambda: quiet.insert_batch(INGEST_BATCH))
+            quiet.close()
+            busy_seconds = benchmark.stats.stats.min
+            overhead = busy_seconds / quiet_seconds
+            print(
+                f"\ningest during rebalance: {busy_seconds * 1e3:.2f} ms vs "
+                f"quiet {quiet_seconds * 1e3:.2f} ms ({overhead:.2f}x)"
+            )
+            assert overhead <= INGEST_OVERHEAD_GATE, (
+                f"mid-rebalance ingest {overhead:.2f}x over quiet "
+                f"(gate: {INGEST_OVERHEAD_GATE}x)"
+            )
+            benchmark.extra_info["rebalance_ingest_overhead_x"] = round(overhead, 2)
+        for cluster in clusters:
+            cluster.close()

@@ -445,7 +445,11 @@ class CollectAgent:
         liveness = getattr(self.backend, "node_liveness", None)
         if liveness is not None:
             live, total = liveness()
-            checks["storage"] = (live > 0, {"liveReplicas": live, "totalReplicas": total})
+            detail: dict = {"liveReplicas": live, "totalReplicas": total}
+            states = getattr(self.backend, "node_states", None)
+            if states is not None:
+                detail["nodes"] = states()
+            checks["storage"] = (live > 0, detail)
         else:
             checks["storage"] = (True, {"backend": type(self.backend).__name__})
         return checks

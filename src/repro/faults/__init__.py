@@ -16,7 +16,9 @@ at each layer of the stack:
 * :class:`BrokerFaultInjector` — socket-level drop/disconnect inside
   the MQTT brokers;
 * :class:`DiskFaultInjector` — the durable engine's disk seam (torn
-  writes, fsync failures, short reads at exact operation counts).
+  writes, fsync failures, short reads at exact operation counts);
+* :class:`RebalanceFaultInjector` — scripted kills/errors at exact
+  chunk boundaries of a live rebalance stream.
 
 Everything is deterministic per seed: the chaos suite commits five
 seeds (``make chaos``, ``CHAOS_SEEDS`` to override) and the same seed
@@ -28,6 +30,7 @@ from repro.faults.disk import DiskFaultInjector
 from repro.faults.network import BrokerFaultInjector
 from repro.faults.node import FlakyNode
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.rebalance import RebalanceFaultInjector
 
 __all__ = [
     "BrokerFaultInjector",
@@ -36,4 +39,5 @@ __all__ = [
     "FaultPlan",
     "FaultyBackend",
     "FlakyNode",
+    "RebalanceFaultInjector",
 ]

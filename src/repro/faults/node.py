@@ -50,6 +50,11 @@ class FlakyNode:
         self._up = True
         self._lock = threading.Lock()
         self.kills = 0
+        # Membership-epoch awareness: the cluster binds its epoch
+        # source here so chaos tests can assert *when* (in membership
+        # time) a node died — e.g. "killed during the transfer epoch".
+        self._epoch_source = None
+        self.killed_at_epoch: int | None = None
         node.metrics.gauge(
             "dcdb_storage_node_up", "1 while the node serves requests", ("node",)
         ).labels(node=node.name).set_function(lambda: 1 if self._up else 0)
@@ -60,12 +65,18 @@ class FlakyNode:
     def is_up(self) -> bool:
         return self._up
 
+    def bind_epoch(self, epoch_source) -> None:
+        """Record the cluster's epoch callable for kill stamping."""
+        self._epoch_source = epoch_source
+
     def kill(self) -> None:
         """Take the node down; in-flight state on the node is kept."""
         with self._lock:
             if self._up:
                 self._up = False
                 self.kills += 1
+                if self._epoch_source is not None:
+                    self.killed_at_epoch = self._epoch_source()
 
     def restart(self) -> None:
         """Bring the node back with the data it held before the kill."""
@@ -102,6 +113,15 @@ class FlakyNode:
     def sids(self):
         self._guard("sids")
         return self.node.sids()
+
+    def stream_rows(self, sid, chunk_rows=4096):
+        """Guarded rebalance stream: a kill mid-iteration aborts the
+        stream with :class:`NodeDownError`, exactly like a streaming
+        source crashing between chunks."""
+        self._guard("stream_rows")
+        for chunk in self.node.stream_rows(sid, chunk_rows):
+            self._guard("stream_rows")
+            yield chunk
 
     def delete_before(self, sid, cutoff) -> int:
         self._guard("delete_before")

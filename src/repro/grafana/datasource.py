@@ -97,6 +97,12 @@ class GrafanaDataSource:
             live, total = liveness()
             details["replicasLive"] = live
             details["replicasTotal"] = total
+            states = getattr(backend, "node_states", None)
+            if states is not None:
+                # Per-node failure-detector detail: which replica is
+                # suspect/down, and how suspicious (phi), so an operator
+                # sees *which* node to look at, not just a count.
+                details["nodes"] = states()
             if live == 0:
                 return 503, {"status": "unavailable", **details}
         try:

@@ -27,7 +27,7 @@ from repro.faults import FaultPlan, FlakyNode
 from repro.faults.plan import KILL, RESTART
 from repro.mqtt.transport import get_transport
 from repro.observability import SpanRecorder
-from repro.storage import MemoryBackend, StorageCluster, StorageNode
+from repro.storage import FailureDetector, MemoryBackend, StorageCluster, StorageNode
 from repro.storage.backend import StorageBackend
 
 
@@ -136,12 +136,19 @@ class SimulatedCluster:
                 ]
                 nodes = self.flaky_nodes
             self.backend = StorageCluster(
-                nodes,
+                # A copy: add_storage_node appends to flaky_nodes AND
+                # to the cluster (via add_node) — sharing one list
+                # object would register the new member twice.
+                list(nodes),
                 replication=self.config.replication if len(nodes) > 1 else 1,
                 # Simulated chaos must not wall-clock-sleep between
                 # write retries; determinism comes from the plan.
                 sleep=(lambda _s: None) if faulty else None,
                 spans=self.spans,
+                # Heartbeats run on the sim clock, driven from the
+                # stepping loop (no background thread) so failure
+                # detection is deterministic per seed.
+                failure_detector=FailureDetector(clock=self.clock),
             )
         self.agent = CollectAgent(
             self.backend,
@@ -198,11 +205,22 @@ class SimulatedCluster:
             )
         return self.flaky_nodes[idx]
 
+    def probe_liveness(self) -> None:
+        """One deterministic heartbeat round on the sim clock."""
+        detector = getattr(self.backend, "detector", None)
+        if detector is not None:
+            detector.probe(self.clock())
+
     def kill_node(self, idx: int) -> None:
         self._flaky(idx).kill()
+        # Gossip notices the crash on the next heartbeat; probing here
+        # keeps detection latency at zero sim-time steps, determinism
+        # intact (the probe consumes no plan randomness).
+        self.probe_liveness()
 
     def restart_node(self, idx: int) -> None:
         self._flaky(idx).restart()
+        self.probe_liveness()
         # Repair immediately: replay whatever the replica missed, as a
         # recovered Cassandra node receives its hints on rejoin.
         replay = getattr(self.backend, "replay_hints", None)
@@ -230,6 +248,52 @@ class SimulatedCluster:
                 self.restart_node(idx)
         return fired
 
+    # -- elastic membership --------------------------------------------------
+
+    def add_storage_node(self, *, wait: bool = True) -> int:
+        """Join a new storage node to the running cluster, live.
+
+        The node matches the cluster's flavor (durable when the sim has
+        a ``data_dir``, FlakyNode-wrapped when fault injection is on)
+        and partition history streams to it per
+        :meth:`StorageCluster.add_node`; with ``wait=False`` ingest can
+        continue while streaming runs in the background.  Returns the
+        new node's index.
+        """
+        if not isinstance(self.backend, StorageCluster):
+            raise RuntimeError("elastic membership needs a StorageCluster backend")
+        idx = len(self.backend.nodes)
+        if self.config.data_dir is not None:
+            from pathlib import Path
+
+            from repro.storage.durable import DurableNode
+
+            node = DurableNode(
+                f"node{idx}",
+                data_dir=Path(self.config.data_dir) / f"node{idx}",
+                fsync=self.config.fsync,
+                clock=self.clock,
+            )
+        else:
+            node = StorageNode(f"node{idx}", clock=self.clock)
+        if self.fault_plan is not None:
+            node = FlakyNode(
+                node,
+                plan=self.fault_plan,
+                fault_rate=self.config.node_fault_rate,
+            )
+            self.flaky_nodes.append(node)
+        result = self.backend.add_node(node, wait=wait)
+        self.probe_liveness()
+        return result
+
+    def remove_storage_node(self, idx: int, *, wait: bool = True) -> None:
+        """Drain a storage node out of the running cluster, live."""
+        if not isinstance(self.backend, StorageCluster):
+            raise RuntimeError("elastic membership needs a StorageCluster backend")
+        self.backend.remove_node(idx, wait=wait)
+        self.probe_liveness()
+
     # -- stepping ------------------------------------------------------------
 
     def run(self, seconds: float) -> int:
@@ -245,11 +309,13 @@ class SimulatedCluster:
         """
         before = self.agent.readings_stored
         self.apply_due_faults()
+        self.probe_liveness()
         target = self.clock() + int(seconds * NS_PER_SEC)
         for pusher in self.pushers:
             pusher.advance_to(target)
         self.clock.set(target)
         self.apply_due_faults()
+        self.probe_liveness()
         self.drain()
         return self.agent.readings_stored - before
 

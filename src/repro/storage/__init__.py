@@ -17,6 +17,9 @@ DCDB relies on:
 * :mod:`repro.storage.cluster` — a multi-node cluster with replication
   and routing; tracks cross-node traffic so experiments can quantify
   the locality benefit of hierarchical partitioning.
+* :mod:`repro.storage.membership` — elastic membership: the
+  epoch-versioned partition ownership table and the phi-accrual
+  failure detector behind live ``add_node``/``remove_node``.
 * :mod:`repro.storage.backend` — the backend-independent API
   (libDCDB's storage abstraction, paper section 5.1) plus simple
   alternative implementations (:class:`~repro.storage.memory.MemoryBackend`,
@@ -33,6 +36,11 @@ from repro.storage.partitioner import (
     HashPartitioner,
 )
 from repro.storage.cluster import StorageCluster
+from repro.storage.membership import (
+    ClusterMembership,
+    FailureDetector,
+    PartitionMove,
+)
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite import SqliteBackend
 from repro.storage.csv_io import export_csv, import_csv
@@ -71,6 +79,9 @@ __all__ = [
     "rollup_sid",
     "StorageBackend",
     "StorageNode",
+    "ClusterMembership",
+    "FailureDetector",
+    "PartitionMove",
     "Partitioner",
     "HierarchicalPartitioner",
     "HashPartitioner",

@@ -45,12 +45,21 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.common.errors import StorageError
+from repro.common.errors import NodeDownError, StorageError
 from repro.common.timeutil import now_ns
 from repro.core.sid import SID_LEVELS, SID_BITS_PER_LEVEL, SensorId
 from repro.observability import MetricsRegistry
 from repro.observability.spans import SpanRecorder, current_trace, default_recorder
 from repro.storage.backend import InsertItem, StorageBackend
+from repro.storage.membership import (
+    EXPORTED_STATES,
+    NODE_LEAVING,
+    NODE_REMOVED,
+    NODE_UP,
+    ClusterMembership,
+    FailureDetector,
+    PartitionMove,
+)
 from repro.storage.node import StorageNode
 from repro.storage.partitioner import HierarchicalPartitioner, Partitioner
 
@@ -92,6 +101,15 @@ def _node_up(node) -> bool:
 # large scans (or backends that release the GIL, which get big batches
 # from the callers that matter).
 _PARALLEL_READ_MIN_SIDS = 256
+
+# Cutoff passed to delete_before when a losing replica sheds a moved
+# partition's rows — far enough in the future to drop everything while
+# staying inside int64 timestamp arithmetic.
+_FAR_FUTURE = 1 << 62
+
+#: Accounting size of one streamed reading (int64 ts + int64 value);
+#: `dcdb_rebalance_moved_bytes_total` counts rows at this width.
+_ROW_BYTES = 16
 
 
 class StorageCluster(StorageBackend):
@@ -142,6 +160,11 @@ class StorageCluster(StorageBackend):
         sleep: Callable[[float], None] | None = None,
         slow_query_s: float = 1.0,
         spans: SpanRecorder | None = None,
+        replica_cache_max: int = 65_536,
+        failure_detector: FailureDetector | None = None,
+        liveness_interval_s: float = 0.0,
+        rebalance_chunk_rows: int = 4096,
+        rebalance_timeout_s: float = 30.0,
     ) -> None:
         if nodes is None:
             nodes = [StorageNode("node0")]
@@ -163,12 +186,47 @@ class StorageCluster(StorageBackend):
         if max_retries < 0:
             raise StorageError("max_retries must be >= 0")
         self.replication = min(replication, len(nodes))
-        # The partitioner and replication factor are fixed for the
-        # cluster's lifetime, so the replica list of each sensor is
-        # memoized — the lookup sits on every read and write hot path
-        # and hash partitioners recompute a digest per call.  Benign
-        # races just recompute the same tuple.
+        if replica_cache_max < 1:
+            raise StorageError("replica_cache_max must be >= 1")
+        # Replica-set lookups sit on every read and write hot path (and
+        # hash partitioners recompute a digest per call), so resolved
+        # sets are memoized.  The cache is bounded (FIFO eviction — the
+        # oldest-resolved sensor is the cheapest to recompute) and is
+        # cleared wholesale on every membership epoch change, since a
+        # join/leave can move any partition.  Benign races just
+        # recompute the same tuple.
         self._replica_cache: dict[SensorId, tuple[int, ...]] = {}
+        self.replica_cache_max = replica_cache_max
+        # Epoch-versioned ownership table + phi-accrual failure
+        # detector (see repro.storage.membership).  Until the first
+        # add_node/remove_node the table delegates to the partitioner,
+        # so static clusters place exactly as before.
+        self.membership = ClusterMembership(self.partitioner, self.replication)
+        self.membership.on_epoch_change(lambda _epoch: self._replica_cache.clear())
+        self.detector = (
+            failure_detector if failure_detector is not None else FailureDetector()
+        )
+        self.rebalance_chunk_rows = rebalance_chunk_rows
+        self.rebalance_timeout_s = rebalance_timeout_s
+        #: Hook called as fn(partition, source_idx, target_idx, chunk_no)
+        #: before each streamed chunk lands; the chaos harness's
+        #: RebalanceFaultInjector plugs in here.
+        self.rebalance_fault_hook: Callable[[int, int, int, int], None] | None = None
+        self._membership_lock = threading.Lock()
+        self._rebalance_threads: list[threading.Thread] = []
+        self._rebalance_stats_lock = threading.Lock()
+        self._rebalance_stats: dict[str, float] = {
+            "partitions_moved": 0,
+            "partitions_failed": 0,
+            "moved_rows": 0,
+            "moved_bytes": 0,
+            "minimal_rows": 0,
+            "minimal_bytes": 0,
+            "source_failovers": 0,
+        }
+        self._pending_cleanup: deque[tuple[int, SensorId]] = deque()
+        self._inflight_lock = threading.Lock()
+        self._inflight_writes = 0
         self.contact_node = contact_node
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
@@ -232,6 +290,57 @@ class StorageCluster(StorageBackend):
         )
         self._local_base = 0.0
         self._remote_base = 0.0
+        # Membership / elasticity instrumentation.
+        self.metrics.gauge(
+            "dcdb_cluster_epoch",
+            "Membership epoch; bumps on every join, leave and transfer commit",
+        ).set_function(lambda: float(self.membership.epoch))
+        self.metrics.gauge(
+            "dcdb_cluster_replica_cache_entries",
+            "Memoized replica sets held by the bounded per-SID cache",
+        ).set_function(lambda: float(len(self._replica_cache)))
+        self.metrics.gauge(
+            "dcdb_rebalance_active",
+            "Partitions currently mid-transfer (union writes, dual reads)",
+        ).set_function(lambda: float(self.membership.transfers_active))
+        self._m_moved_rows = self.metrics.counter(
+            "dcdb_rebalance_moved_rows_total",
+            "Readings streamed to new owners by rebalances",
+        )
+        self._m_moved_bytes = self.metrics.counter(
+            "dcdb_rebalance_moved_bytes_total",
+            "Bytes streamed to new owners by rebalances (16 B per reading)",
+        )
+        self._m_partitions_moved = self.metrics.counter(
+            "dcdb_rebalance_partitions_moved_total",
+            "Partition transfers committed by rebalances",
+        )
+        self._m_source_failovers = self.metrics.counter(
+            "dcdb_rebalance_source_failovers_total",
+            "Partition streams restarted from another replica after a source died",
+        )
+        self._node_state_gauge = self.metrics.gauge(
+            "dcdb_cluster_node_state",
+            "Failure-detector verdict per node (1 in exactly one state)",
+            labelnames=("node", "state"),
+        )
+        for idx, node in enumerate(self.nodes):
+            self._register_node_liveness(idx, node)
+        if liveness_interval_s > 0:
+            self.detector.interval_ns = max(1, int(liveness_interval_s * 1e9))
+            self.detector.start()
+
+    def _register_node_liveness(self, idx: int, node) -> None:
+        """Track a member in the failure detector + state gauges."""
+        name = str(getattr(node, "name", idx))
+        self.detector.register(name, lambda n=node: getattr(n, "is_up", True))
+        bind_epoch = getattr(node, "bind_epoch", None)
+        if bind_epoch is not None:
+            bind_epoch(lambda: self.membership.epoch)
+        for state in EXPORTED_STATES:
+            self._node_state_gauge.labels(node=name, state=state).set_function(
+                lambda i=idx, s=state: 1.0 if self.detector.state(i) == s else 0.0
+            )
 
     @property
     def local_ops(self) -> int:
@@ -253,8 +362,31 @@ class StorageCluster(StorageBackend):
         return [r for r in registries if not (id(r) in seen or seen.add(id(r)))]
 
     def node_liveness(self) -> tuple[int, int]:
-        """(live, total) member count — the health-endpoint probe."""
-        return sum(1 for node in self.nodes if _node_up(node)), len(self.nodes)
+        """(live, total) member count — the health-endpoint probe.
+
+        Reads the heartbeat channel directly (and feeds the arrival
+        into the failure detector) so health checks reflect a crash
+        immediately instead of waiting for the next probe tick.
+        Removed members do not count against availability.
+        """
+        self.detector.probe()
+        members = self.membership.member_indices()
+        live = sum(1 for i in members if _node_up(self.nodes[i]))
+        return live, len(members)
+
+    def node_states(self) -> list[dict[str, object]]:
+        """Per-node liveness detail from the failure detector.
+
+        Each entry carries ``{index, node, state, phi}``; membership
+        lifecycle states (leaving/removed) override the detector
+        verdict.  Health endpoints expose this list.
+        """
+        states = self.detector.states()
+        for entry in states:
+            slot = self.membership.slot_state(int(entry["index"]))
+            if slot in (NODE_LEAVING, NODE_REMOVED):
+                entry["state"] = slot
+        return states
 
     def _observe_query(self, op: str, t0: float, detail: str = "") -> None:
         """Record read latency; slow reads go to the log with the
@@ -297,18 +429,25 @@ class StorageCluster(StorageBackend):
         see the coordinator thread's locals.
         """
         node = self.nodes[node_idx]
+        detector = self.detector
         replica = str(getattr(node, "name", node_idx))
         start_ns = now_ns() if trace_id is not None else 0
         last_error: StorageError = StorageError(f"node {replica} is down")
-        fault = not _node_up(node)
+        # The heartbeat channel (is_up) is read alongside the accrued
+        # detector verdict: a self-reported crash hints immediately
+        # without burning the retry budget, and a node the detector has
+        # condemned (repeated failures without a heartbeat) is skipped
+        # even if it still answers the channel.
+        fault = not _node_up(node) or not detector.is_alive(node_idx)
         attempts_made = 0
         for attempt in range(self.max_retries + 1):
-            if not _node_up(node):
+            if not _node_up(node) or not detector.is_alive(node_idx):
                 fault = True
                 break
             attempts_made = attempt + 1
             try:
                 node.insert_batch(items)
+                detector.report_success(node_idx)
                 self._account(node_idx)
                 if trace_id is not None:
                     self.spans.record(
@@ -326,6 +465,7 @@ class StorageCluster(StorageBackend):
             except StorageError as exc:
                 last_error = exc
                 fault = True
+                detector.report_failure(node_idx, hard=isinstance(exc, NodeDownError))
                 if attempt >= self.max_retries or not _node_up(node):
                     logger.warning(
                         "replica %s failed %d attempts (%s); hinting %d readings",
@@ -393,8 +533,12 @@ class StorageCluster(StorageBackend):
         indices = [node_idx] if node_idx is not None else list(self._hints)
         for idx in indices:
             node = self.nodes[idx]
+            if self.membership.slot_state(idx) == NODE_REMOVED:
+                self._drop_hints(idx)
+                continue
             if not _node_up(node):
                 continue
+            landed = False
             while True:
                 with self._hints_lock:
                     dq = self._hints.get(idx)
@@ -408,6 +552,7 @@ class StorageCluster(StorageBackend):
                         node.put_metadata(entry[1], entry[2])
                 except StorageError:
                     break  # node flapped again; keep the hint for later
+                landed = True
                 size = self._entry_size(entry)
                 with self._hints_lock:
                     dq = self._hints.get(idx)
@@ -419,18 +564,79 @@ class StorageCluster(StorageBackend):
                         self._hints_pending_count -= size
                         self._hints_replayed.inc(size)
                         replayed += size
+            if landed:
+                # A successful replay is proof of life — resurrect the
+                # node in the detector without waiting for a probe.
+                self.detector.report_success(idx)
         return replayed
+
+    def _drop_hints(self, node_idx: int) -> None:
+        """Discard all hints queued for a node that left the cluster."""
+        with self._hints_lock:
+            dq = self._hints.pop(node_idx, None)
+            if not dq:
+                return
+            dropped = sum(self._entry_size(e) for e in dq)
+            self._hints_pending_count -= dropped
+            if dropped:
+                self._hints_dropped.inc(dropped)
 
     def _repair_before_read(self) -> None:
         if self._hints_pending_count:
             self.replay_hints()
+        if self._pending_cleanup:
+            self._retry_cleanup()
+
+    def _retry_cleanup(self) -> None:
+        """Shed moved-partition rows from losing replicas that were
+        down when their transfer committed (best-effort, like hints)."""
+        for _ in range(len(self._pending_cleanup)):
+            try:
+                node_idx, sid = self._pending_cleanup.popleft()
+            except IndexError:
+                return
+            if self.membership.slot_state(node_idx) == NODE_REMOVED:
+                continue
+            node = self.nodes[node_idx]
+            if not _node_up(node):
+                self._pending_cleanup.append((node_idx, sid))
+                continue
+            try:
+                node.delete_before(sid, _FAR_FUTURE)
+            except StorageError:
+                self._pending_cleanup.append((node_idx, sid))
 
     def _replicas(self, sid: SensorId) -> tuple[int, ...]:
+        """Replica set a write to ``sid`` must reach (ownership table).
+
+        Mid-transfer sets (old ∪ new owners) are never cached — they
+        shrink when the transfer commits; everything else is memoized
+        in the bounded cache, which epoch changes clear wholesale.
+        """
         cached = self._replica_cache.get(sid)
-        if cached is None:
-            cached = tuple(self.partitioner.replicas_for(sid, self.replication))
-            self._replica_cache[sid] = cached
-        return cached
+        if cached is not None:
+            return cached
+        replicas, cacheable = self.membership.write_replicas(sid)
+        if cacheable:
+            cache = self._replica_cache
+            if len(cache) >= self.replica_cache_max:
+                try:
+                    cache.pop(next(iter(cache)))
+                except (KeyError, StopIteration):  # racing eviction
+                    pass
+            cache[sid] = replicas
+        return replicas
+
+    def _read_replicas(self, sid: SensorId) -> tuple[int, ...]:
+        """Candidate read order for ``sid``.
+
+        Identical to the write set except while the sensor's partition
+        is mid-transfer, when old owners (complete by union writes) are
+        preferred over the still-streaming new owner.
+        """
+        if not self.membership.transfers_active:
+            return self._replicas(sid)
+        return self.membership.read_replicas(sid)
 
     # -- data plane ---------------------------------------------------------
 
@@ -439,12 +645,18 @@ class StorageCluster(StorageBackend):
         trace_id = current_trace()
         ok = 0
         last_error: StorageError | None = None
-        for node_idx in self._replicas(sid):
-            error = self._try_write(node_idx, items, trace_id)
-            if error is None:
-                ok += 1
-            else:
-                last_error = error
+        with self._inflight_lock:
+            self._inflight_writes += 1
+        try:
+            for node_idx in self._replicas(sid):
+                error = self._try_write(node_idx, items, trace_id)
+                if error is None:
+                    ok += 1
+                else:
+                    last_error = error
+        finally:
+            with self._inflight_lock:
+                self._inflight_writes -= 1
         if ok == 0:
             raise StorageError(
                 f"insert failed on all {self.replication} replicas of {sid}: "
@@ -470,6 +682,15 @@ class StorageCluster(StorageBackend):
         # Captured once on the coordinator thread: the pool threads the
         # fan-out runs on have their own (empty) ambient context.
         trace_id = current_trace()
+        with self._inflight_lock:
+            self._inflight_writes += 1
+        try:
+            return self._insert_batch_inner(items, trace_id)
+        finally:
+            with self._inflight_lock:
+                self._inflight_writes -= 1
+
+    def _insert_batch_inner(self, items: list[InsertItem], trace_id) -> int:
         if len(self.nodes) == 1:
             if not items:
                 return 0
@@ -521,19 +742,41 @@ class StorageCluster(StorageBackend):
         for recovered nodes) any replica holds the full series."""
         t0 = time.perf_counter()
         self._repair_before_read()
-        replicas = self._replicas(sid)
+        replicas = self._read_replicas(sid)
         last_error: StorageError | None = None
+        suspected: list[int] = []
         for node_idx in replicas:
             node = self.nodes[node_idx]
-            if not _node_up(node):
+            if not _node_up(node) or not self.detector.is_alive(node_idx):
                 self._read_failovers.inc()
+                suspected.append(node_idx)
                 continue
             try:
                 result = node.query(sid, start, end)
             except StorageError as exc:
                 last_error = exc
+                self.detector.report_failure(
+                    node_idx, hard=isinstance(exc, NodeDownError)
+                )
                 self._read_failovers.inc()
                 continue
+            self.detector.report_success(node_idx)
+            self._account(node_idx)
+            self._observe_query("query", t0, detail=str(sid))
+            return result
+        # False-positive rescue: a replica the detector condemned may
+        # still be reachable (its heartbeat channel says up).  Never
+        # fail a read on suspicion alone.
+        for node_idx in suspected:
+            node = self.nodes[node_idx]
+            if not _node_up(node):
+                continue
+            try:
+                result = node.query(sid, start, end)
+            except StorageError as exc:
+                last_error = exc
+                continue
+            self.detector.report_success(node_idx)
             self._account(node_idx)
             self._observe_query("query", t0, detail=str(sid))
             return result
@@ -563,23 +806,27 @@ class StorageCluster(StorageBackend):
         t0 = time.perf_counter()
         self._repair_before_read()
         unique = list(dict.fromkeys(sids))
-        # Liveness is sampled once for the whole batch (per-SID getattr
-        # probes dominated the grouping pass); a node that dies between
-        # the sample and the read is caught by the per-group failover.
-        up = [_node_up(node) for node in self.nodes]
+        # Liveness comes from the failure detector's cached verdicts —
+        # one snapshot for the whole batch instead of per-SID probes.
+        # A node that dies between the snapshot and the read (or a
+        # false positive leaving every replica suspected) is caught by
+        # the per-group failover, which retries SID by SID through
+        # query()'s rescue path.
+        up = self.detector.liveness_snapshot()
         per_node: dict[int, list[SensorId]] = {}
         for sid in unique:
-            replicas = self._replicas(sid)
+            replicas = self._read_replicas(sid)
             target = None
             for node_idx in replicas:
-                if up[node_idx]:
+                if node_idx < len(up) and up[node_idx]:
                     target = node_idx
                     break
                 self._read_failovers.inc()
             if target is None:
-                raise StorageError(
-                    f"no live replica of {sid} (tried nodes {list(replicas)})"
-                )
+                # Every replica is suspected: route to the preferred
+                # one anyway and let the per-SID failover decide — a
+                # batch read must not fail on suspicion alone.
+                target = replicas[0]
             group = per_node.get(target)
             if group is None:
                 group = per_node.setdefault(target, [])
@@ -661,20 +908,33 @@ class StorageCluster(StorageBackend):
             else 0
         )
         single = None
-        node_for_prefix = getattr(self.partitioner, "node_for_prefix", None)
-        if node_for_prefix is not None:
-            single = node_for_prefix(prefix, levels)
-        if single is not None and not _node_up(self.nodes[single]):
+        if self.membership.elastic:
+            # Post-elasticity the ownership table is authoritative; it
+            # returns an owner only for committed partitions (a prefix
+            # mid-transfer must fan out so old owners are consulted).
+            part_levels = getattr(self.partitioner, "levels", None)
+            if part_levels is not None and levels >= part_levels:
+                key = SensorId(prefix).prefix(part_levels)
+                single = self.membership.primary_for_partition(key)
+        else:
+            node_for_prefix = getattr(self.partitioner, "node_for_prefix", None)
+            if node_for_prefix is not None:
+                single = node_for_prefix(prefix, levels)
+        if single is not None and (
+            not _node_up(self.nodes[single]) or not self.detector.is_alive(single)
+        ):
             # Owner down: replicas of its sensors live on other nodes,
             # so fall back to the full fan-out rather than erroring.
             self._read_failovers.inc()
             single = None
-        node_indices = [single] if single is not None else list(range(len(self.nodes)))
+        node_indices = (
+            [single] if single is not None else self.membership.member_indices()
+        )
 
         def scan(node_idx: int):
             """One node's subtree: (matching sids, per-sid series)."""
             node = self.nodes[node_idx]
-            if not _node_up(node):
+            if not _node_up(node) or not self.detector.is_alive(node_idx):
                 return None  # down: skip, replicas cover its sensors
             try:
                 matching = [
@@ -700,29 +960,69 @@ class StorageCluster(StorageBackend):
             outcomes = [scan(node_indices[0])]
             outcomes.extend(future.result() for future in futures)
         results: list[tuple[SensorId, np.ndarray, np.ndarray]] = []
-        seen: set[SensorId] = set()
-        for node_idx, outcome in zip(node_indices, outcomes):
-            if outcome is None:
-                continue
-            if outcome == "failed":
-                self._read_failovers.inc()
-                continue
-            matching, series = outcome
-            self._account(node_idx)
-            for sid in matching:
-                if sid in seen:
+        if self.membership.elastic:
+            # An elastic cluster can hold stale copies (a losing
+            # replica not yet cleaned up after its partition moved), so
+            # first-seen-in-node-order dedup is no longer safe.  Pick
+            # each sensor's series from the node ranking highest in its
+            # current read-replica order; nodes outside the replica set
+            # (stale holders) rank last and only serve if nothing
+            # better answered.
+            candidates: dict[SensorId, dict[int, tuple]] = {}
+            order: list[SensorId] = []
+            for node_idx, outcome in zip(node_indices, outcomes):
+                if outcome is None:
                     continue
-                seen.add(sid)
-                ts, vals = series[sid]
+                if outcome == "failed":
+                    self._read_failovers.inc()
+                    continue
+                matching, series = outcome
+                self._account(node_idx)
+                for sid in matching:
+                    per_sid = candidates.get(sid)
+                    if per_sid is None:
+                        per_sid = candidates.setdefault(sid, {})
+                        order.append(sid)
+                    per_sid[node_idx] = series[sid]
+            for sid in order:
+                per_sid = candidates[sid]
+                preference = list(self._read_replicas(sid))
+                best = min(
+                    per_sid,
+                    key=lambda idx: (
+                        preference.index(idx)
+                        if idx in preference
+                        else len(preference) + idx
+                    ),
+                )
+                ts, vals = per_sid[best]
                 if ts.size:
                     results.append((sid, ts, vals))
+        else:
+            seen: set[SensorId] = set()
+            for node_idx, outcome in zip(node_indices, outcomes):
+                if outcome is None:
+                    continue
+                if outcome == "failed":
+                    self._read_failovers.inc()
+                    continue
+                matching, series = outcome
+                self._account(node_idx)
+                for sid in matching:
+                    if sid in seen:
+                        continue
+                    seen.add(sid)
+                    ts, vals = series[sid]
+                    if ts.size:
+                        results.append((sid, ts, vals))
         self._observe_query("query_prefix", t0, detail=f"prefix={prefix:#x}")
         return iter(results)
 
     def sids(self) -> list[SensorId]:
         self._repair_before_read()
         merged: set[SensorId] = set()
-        for node in self.nodes:
+        for node_idx in self.membership.member_indices():
+            node = self.nodes[node_idx]
             if not _node_up(node):
                 continue
             try:
@@ -749,7 +1049,8 @@ class StorageCluster(StorageBackend):
 
     def put_metadata(self, key: str, value: str) -> None:
         ok = 0
-        for node_idx, node in enumerate(self.nodes):
+        for node_idx in self.membership.member_indices():
+            node = self.nodes[node_idx]
             try:
                 if not _node_up(node):
                     raise StorageError(f"node {node_idx} down")
@@ -769,10 +1070,14 @@ class StorageCluster(StorageBackend):
     def _metadata_read(self, fn):
         """Read from the contact node, failing over round-robin."""
         self._repair_before_read()
+        members = self.membership.member_indices()
         n = len(self.nodes)
         last_error: StorageError | None = None
         for offset in range(n):
-            node = self.nodes[(self.contact_node + offset) % n]
+            node_idx = (self.contact_node + offset) % n
+            if node_idx not in members:
+                continue
+            node = self.nodes[node_idx]
             if not _node_up(node):
                 self._read_failovers.inc()
                 continue
@@ -786,12 +1091,14 @@ class StorageCluster(StorageBackend):
     # -- maintenance ----------------------------------------------------------
 
     def compact(self) -> None:
-        for node in self.nodes:
+        for node_idx in self.membership.member_indices():
+            node = self.nodes[node_idx]
             if _node_up(node):
                 node.compact()
 
     def flush(self) -> None:
-        for node in self.nodes:
+        for node_idx in self.membership.member_indices():
+            node = self.nodes[node_idx]
             if _node_up(node):
                 node.flush()
 
@@ -803,13 +1110,16 @@ class StorageCluster(StorageBackend):
         in-memory members ignore it.  Returns True if any node synced.
         """
         synced = False
-        for node in self.nodes:
+        for node_idx in self.membership.member_indices():
+            node = self.nodes[node_idx]
             commit = getattr(node, "commit_durable", None)
             if commit is not None and _node_up(node):
                 synced = commit() or synced
         return synced
 
     def close(self) -> None:
+        self.detector.stop()
+        self.rebalance_wait(timeout=self.rebalance_timeout_s)
         for node in self.nodes:
             close = getattr(node, "close", None)
             if close is not None:
@@ -853,6 +1163,302 @@ class StorageCluster(StorageBackend):
         ]
         return cls(nodes, metrics=metrics, **cluster_kwargs)
 
+    # -- elastic membership --------------------------------------------------
+
+    def add_node(self, node, *, wait: bool = True, timeout: float | None = None) -> int:
+        """Join a new member and rebalance partitions onto it, live.
+
+        The node is registered with the failure detector, seeded with
+        the replicated metadata, and the ownership table plans which
+        partitions move (one replica each, most-loaded owners cede
+        first).  History streams to the new owner on a background
+        thread while ingest continues: moved partitions take writes on
+        the union of old and new owners and serve reads old-owner-first
+        until their transfer commits, so no acked write is ever lost —
+        a new owner that is briefly down during the cutover is covered
+        by hinted handoff.  With ``wait=False`` the call returns as
+        soon as streaming starts; use :meth:`rebalance_wait`.
+
+        Returns the new node's index.
+        """
+        with self._membership_lock:
+            new_idx = len(self.nodes)
+            self.nodes.append(node)
+            self._register_node_liveness(new_idx, node)
+            slot_idx, moves = self.membership.add_slot()
+            if slot_idx != new_idx:  # pragma: no cover - defensive
+                raise StorageError(
+                    f"membership slot {slot_idx} does not match node {new_idx}"
+                )
+            self._seed_metadata(new_idx)
+        self._drain_inflight_writes()
+        self._start_rebalance(moves)
+        if wait:
+            self.rebalance_wait(timeout)
+        return new_idx
+
+    def remove_node(self, node_idx: int, *, wait: bool = True, timeout: float | None = None) -> None:
+        """Drain a member out of the cluster, live.
+
+        Every partition the member replicates is re-homed on the
+        remaining nodes with the same union-write/dual-read transfer
+        protocol as :meth:`add_node`; the member keeps serving reads
+        and taking union writes until each of its partitions commits,
+        then it is retired (its queued hints are dropped and the
+        failure detector stops probing it).
+        """
+        with self._membership_lock:
+            moves = self.membership.remove_slot(node_idx)
+        self._drain_inflight_writes()
+        self._start_rebalance(moves, finish_idx=node_idx)
+        if wait:
+            self.rebalance_wait(timeout)
+
+    def rebalance_wait(self, timeout: float | None = None) -> bool:
+        """Block until background rebalances finish; True when idle."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        threads = list(self._rebalance_threads)
+        for thread in threads:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            if thread.is_alive():
+                return False
+        with self._membership_lock:
+            self._rebalance_threads = [
+                t for t in self._rebalance_threads if t.is_alive()
+            ]
+        return True
+
+    def rebalance_stats(self) -> dict[str, float]:
+        """Moved-volume accounting of all rebalances on this cluster.
+
+        ``minimal_rows``/``minimal_bytes`` are the theoretical minimum
+        (one clean pass over each moved partition); ``moved_*`` include
+        re-streams after a source died mid-transfer, so the ratio
+        bounds rebalance overhead.
+        """
+        with self._rebalance_stats_lock:
+            stats = dict(self._rebalance_stats)
+        stats["active_transfers"] = self.membership.transfers_active
+        stats["epoch"] = self.membership.epoch
+        return stats
+
+    def _seed_metadata(self, new_idx: int) -> None:
+        """Copy replicated metadata onto a joining node (hint on failure)."""
+        node = self.nodes[new_idx]
+        try:
+            keys = self._metadata_read(lambda n: n.metadata_keys(""))
+        except StorageError:
+            return  # nothing readable anywhere; nothing to seed
+        for key in keys:
+            try:
+                value = self._metadata_read(lambda n, k=key: n.get_metadata(k))
+                if value is not None:
+                    node.put_metadata(key, value)
+            except StorageError:
+                self._queue_hint(new_idx, ("meta", key, value), 0)
+
+    def _drain_inflight_writes(self, timeout: float = 5.0) -> None:
+        """Wait out writes routed under the pre-bump epoch.
+
+        After an epoch bump the replica cache is already cleared, but a
+        write that resolved its replica set just before the bump may
+        still be in flight to the old owners only.  Streaming snapshots
+        the source after this barrier, so those writes are included.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight_writes == 0:
+                    return
+            time.sleep(0.001)
+
+    def _start_rebalance(
+        self, moves: list[PartitionMove], finish_idx: int | None = None
+    ) -> None:
+        thread = threading.Thread(
+            target=self._run_rebalance,
+            args=(moves, finish_idx),
+            name="dcdb-rebalance",
+            daemon=True,
+        )
+        self._rebalance_threads.append(thread)
+        thread.start()
+
+    def _bump_stat(self, key: str, amount: float = 1) -> None:
+        with self._rebalance_stats_lock:
+            self._rebalance_stats[key] += amount
+
+    def _run_rebalance(self, moves: list[PartitionMove], finish_idx: int | None) -> None:
+        failed = 0
+        for move in moves:
+            try:
+                if not self._transfer_partition(move):
+                    failed += 1
+            except Exception:  # noqa: BLE001 - worker must not die silently
+                logger.exception("transfer of partition %#x failed", move.partition)
+                failed += 1
+                self._bump_stat("partitions_failed")
+        if finish_idx is not None and failed == 0:
+            self._drop_hints(finish_idx)
+            self.membership.finish_remove(finish_idx)
+            self.detector.deregister(finish_idx)
+
+    def _partition_sids(self, move: PartitionMove) -> list[SensorId] | None:
+        """Sensors of the moving partition, listed from a live old owner."""
+        for src in move.old_replicas:
+            node = self.nodes[src]
+            if not _node_up(node):
+                continue
+            try:
+                return [
+                    s
+                    for s in node.sids()
+                    if self.membership.partition_of(s) == move.partition
+                ]
+            except StorageError:
+                continue
+        return None
+
+    def _transfer_partition(self, move: PartitionMove) -> bool:
+        """Stream one partition to its new owners, then commit.
+
+        Returns False (leaving the transfer open — union writes and
+        dual reads stay in force, so nothing is lost) when no source
+        replica becomes reachable within the rebalance timeout.
+        """
+        deadline = time.monotonic() + self.rebalance_timeout_s
+        sids = self._partition_sids(move)
+        while sids is None:
+            if time.monotonic() > deadline:
+                logger.warning(
+                    "no reachable source for partition %#x; transfer stays open",
+                    move.partition,
+                )
+                self._bump_stat("partitions_failed")
+                return False
+            time.sleep(0.01)
+            sids = self._partition_sids(move)
+        for target in move.gaining:
+            for sid in sids:
+                if not self._stream_sid(move, sid, target, deadline):
+                    self._bump_stat("partitions_failed")
+                    return False
+        self._reroute_hints(move)
+        self.membership.commit_transfer(move.partition)
+        self._m_partitions_moved.inc()
+        self._bump_stat("partitions_moved")
+        # Losing replicas shed the moved rows so stale copies cannot
+        # outlive the transfer (down nodes are cleaned via the same
+        # piggybacked repair pass that replays hints).
+        for loser in move.losing:
+            if self.membership.slot_state(loser) != NODE_UP:
+                continue  # a leaving node's copy dies with the node
+            node = self.nodes[loser]
+            for sid in sids:
+                if _node_up(node):
+                    try:
+                        node.delete_before(sid, _FAR_FUTURE)
+                        continue
+                    except StorageError:
+                        pass
+                self._pending_cleanup.append((loser, sid))
+        return True
+
+    def _stream_sid(
+        self, move: PartitionMove, sid: SensorId, target: int, deadline: float
+    ) -> bool:
+        """Stream one sensor's history to ``target``, retrying sources.
+
+        Chunks land through :meth:`_try_write`, so a target that is
+        briefly down during the cutover gets its chunks as hints — the
+        same machinery that protects live writes.  If the source dies
+        mid-stream the whole sensor is re-streamed from the next live
+        old replica (last-write-wins dedup on the target makes the
+        replay idempotent); only the final clean pass counts toward the
+        theoretical-minimum accounting.
+        """
+        attempt_sources = [s for s in move.old_replicas if s != target]
+        first_try = True
+        while True:
+            for src in attempt_sources:
+                node = self.nodes[src]
+                if not _node_up(node):
+                    continue
+                if not first_try:
+                    self._m_source_failovers.inc()
+                    self._bump_stat("source_failovers")
+                rows = 0
+                chunk_no = 0
+                try:
+                    for chunk in node.stream_rows(sid, self.rebalance_chunk_rows):
+                        hook = self.rebalance_fault_hook
+                        if hook is not None:
+                            hook(move.partition, src, target, chunk_no)
+                        chunk_no += 1
+                        self._try_write(target, chunk)
+                        rows += len(chunk)
+                        self._m_moved_rows.inc(len(chunk))
+                        self._m_moved_bytes.inc(len(chunk) * _ROW_BYTES)
+                        self._bump_stat("moved_rows", len(chunk))
+                        self._bump_stat("moved_bytes", len(chunk) * _ROW_BYTES)
+                except StorageError as exc:
+                    self.detector.report_failure(
+                        src, hard=isinstance(exc, NodeDownError)
+                    )
+                    first_try = False
+                    continue
+                self._bump_stat("minimal_rows", rows)
+                self._bump_stat("minimal_bytes", rows * _ROW_BYTES)
+                return True
+            if time.monotonic() > deadline:
+                logger.warning(
+                    "no reachable source left for %s; transfer stays open", sid
+                )
+                return False
+            first_try = False
+            time.sleep(0.01)
+
+    def _reroute_hints(self, move: PartitionMove) -> None:
+        """Re-home hints a losing replica holds for the moved partition.
+
+        A hint queued for the old owner while it was down is a write
+        the new owner must also see; delivering it there (before the
+        transfer commits) keeps the cutover lossless even when the old
+        owner never comes back.
+        """
+        for loser in move.losing:
+            moved_items: list[InsertItem] = []
+            with self._hints_lock:
+                dq = self._hints.get(loser)
+                if not dq:
+                    continue
+                kept: deque = deque()
+                for entry in dq:
+                    if entry[0] != "data":
+                        kept.append(entry)
+                        continue
+                    mine = [
+                        item
+                        for item in entry[1]
+                        if self.membership.partition_of(item[0]) == move.partition
+                    ]
+                    rest = [
+                        item
+                        for item in entry[1]
+                        if self.membership.partition_of(item[0]) != move.partition
+                    ]
+                    if rest:
+                        kept.append(("data", rest))
+                    moved_items.extend(mine)
+                if moved_items:
+                    self._hints[loser] = kept
+                    self._hints_pending_count -= len(moved_items)
+                    self._hints_replayed.inc(len(moved_items))
+            if moved_items:
+                for target in move.gaining:
+                    self._try_write(target, moved_items)
+
     # -- stats ------------------------------------------------------------------
 
     def _account(self, node_idx: int) -> None:
@@ -877,5 +1483,7 @@ class StorageCluster(StorageBackend):
 
     @property
     def row_count(self) -> int:
-        """Total rows across all nodes (replicas counted)."""
-        return sum(node.row_count for node in self.nodes)
+        """Total rows across current members (replicas counted)."""
+        return sum(
+            self.nodes[i].row_count for i in self.membership.member_indices()
+        )

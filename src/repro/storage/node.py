@@ -472,6 +472,47 @@ class StorageNode:
         self._query_latency.observe(perf_counter() - t0)
         return out
 
+    def stream_rows(self, sid: SensorId, chunk_rows: int = 4096):
+        """Yield one sensor's live rows as chunked ``InsertItem`` lists.
+
+        The rebalance path uses this to stream a partition's history to
+        its new owner: each chunk feeds straight into ``insert_batch``
+        on the target.  Sources are emitted in last-write-wins order
+        (oldest segment first, memtable last) without a global merge,
+        so replaying the chunks in order reproduces the same LWW
+        outcome on the target; duplicate timestamps across sources are
+        deduplicated there at read time exactly as they are here.  TTLs
+        are reconstructed from the stored expiries so retention keeps
+        working on the new owner.  For durable nodes the staged sources
+        are footer-pruned disk blocks, making the stream block-granular
+        without materializing whole segment files.
+        """
+        now = self._clock()
+        with self._lock:
+            data = self._data.get(sid)
+            if data is None:
+                return
+            segments, mem, _ = self._stage_locked(
+                sid, data, -(1 << 62), _INT64_MAX
+            )
+        sources = [(seg.timestamps, seg.values, seg.expiries) for seg in segments]
+        if mem is not None:
+            sources.append(mem)
+        for ts, vals, exp in sources:
+            live = exp > now
+            if not live.all():
+                ts, vals, exp = ts[live], vals[live], exp[live]
+            for off in range(0, ts.size, chunk_rows):
+                sl = slice(off, off + chunk_rows)
+                cts, cvals, cexp = ts[sl], vals[sl], exp[sl]
+                ttls = np.where(
+                    cexp == _INT64_MAX, 0, (cexp - cts) // 1_000_000_000
+                )
+                yield [
+                    (sid, int(t), int(v), int(l))
+                    for t, v, l in zip(cts.tolist(), cvals.tolist(), ttls.tolist())
+                ]
+
     def sids(self) -> list[SensorId]:
         """Sorted SIDs with stored data.
 

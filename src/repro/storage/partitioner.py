@@ -43,6 +43,26 @@ class Partitioner(abc.ABC):
         n = min(replication, self.num_nodes)
         return [(first + i) % self.num_nodes for i in range(n)]
 
+    def partition_key(self, sid: SensorId) -> int | None:
+        """Stable partition identity of ``sid``, or None.
+
+        Elastic membership (:mod:`repro.storage.membership`) moves
+        whole partitions between nodes, so it needs every SID to
+        resolve to an enumerable partition.  Policies that place each
+        sensor independently (hash placement) return None and opt out
+        of elasticity.
+        """
+        return None
+
+    def known_assignments(self) -> dict[int, int]:
+        """Snapshot of partition-key -> primary-owner assignments.
+
+        Empty for policies without enumerable partitions.  Used by the
+        ownership table to materialize the static placement before the
+        first membership change.
+        """
+        return {}
+
 
 class HierarchicalPartitioner(Partitioner):
     """Subtree-to-node placement on SID prefixes (the paper's policy).
@@ -82,6 +102,13 @@ class HierarchicalPartitioner(Partitioner):
         # Reduce the query prefix to the partition depth.
         sid = SensorId(prefix_value)
         return self._assignment.get(sid.prefix(self.levels))
+
+    def partition_key(self, sid: SensorId) -> int | None:
+        """The top ``levels`` SID fields — one subtree, one partition."""
+        return sid.prefix(self.levels)
+
+    def known_assignments(self) -> dict[int, int]:
+        return dict(self._assignment)
 
     @property
     def known_partitions(self) -> int:

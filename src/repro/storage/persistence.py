@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 
 import numpy as np
 
@@ -44,6 +45,16 @@ FORMAT_VERSION = 1
 SUPERSEDED_BY = "repro.storage.durable"
 
 
+def _warn_superseded(func: str) -> None:
+    warnings.warn(
+        f"repro.storage.persistence.{func} is superseded by the durable "
+        f"storage engine ({SUPERSEDED_BY}); use a `durable:` data dir "
+        "(DurableNode / StorageCluster.open_durable) for crash-safe state",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def save_node(node: StorageNode, directory: str) -> int:
     """Write ``node``'s full state into ``directory``.
 
@@ -51,6 +62,7 @@ def save_node(node: StorageNode, directory: str) -> int:
     Returns the number of sensors written.  The directory is created;
     existing snapshot files in it are overwritten.
     """
+    _warn_superseded("save_node")
     os.makedirs(directory, exist_ok=True)
     node.compact()
     sids = node.sids()
@@ -85,6 +97,7 @@ def save_node(node: StorageNode, directory: str) -> int:
 
 def load_node(directory: str, **node_kwargs) -> StorageNode:
     """Reconstruct a :class:`StorageNode` from a snapshot directory."""
+    _warn_superseded("load_node")
     manifest_path = os.path.join(directory, "manifest.json")
     try:
         with open(manifest_path, "r", encoding="utf-8") as handle:
@@ -138,6 +151,7 @@ def save_cluster(cluster, directory: str) -> int:
     :meth:`repro.storage.cluster.StorageCluster.open_durable` for new
     deployments — see :data:`SUPERSEDED_BY`.
     """
+    _warn_superseded("save_cluster")
     os.makedirs(directory, exist_ok=True)
     total = 0
     for i, member in enumerate(cluster.nodes):
@@ -157,6 +171,7 @@ def save_cluster(cluster, directory: str) -> int:
 
 def load_cluster(directory: str, **cluster_kwargs):
     """Rebuild a :class:`StorageCluster` from a :func:`save_cluster` root."""
+    _warn_superseded("load_cluster")
     from repro.storage.cluster import StorageCluster
 
     cluster_path = os.path.join(directory, "cluster.json")

@@ -73,6 +73,51 @@ class TestHierarchicalPartitioner:
         part.node_for(sid(1, 2, 1))
         assert part.known_partitions == 2
 
+    def test_overreplication_deduplicates_ring_walk(self):
+        """replication > num_nodes must yield each node exactly once,
+        primary first, never a duplicate index (a duplicate would make
+        the cluster double-write one member and skew quorum counts)."""
+        for n in (1, 2, 3):
+            part = HierarchicalPartitioner(n, levels=1)
+            for repl in (n, n + 1, n + 5, 64):
+                replicas = part.replicas_for(sid(1, 7), repl)
+                assert len(replicas) == n
+                assert sorted(replicas) == list(range(n))
+                assert replicas[0] == part.node_for(sid(1, 7))
+
+    def test_first_seen_round_robin_is_order_dependent_but_stable(self):
+        """Assignment is first-seen round-robin: the arrival order of
+        *new* subtrees decides placement, and replaying the same order
+        reproduces it exactly (the determinism the ownership table
+        freezes at materialization)."""
+        order = [sid(1, 1), sid(2, 1), sid(3, 1), sid(4, 1), sid(5, 1)]
+        a = HierarchicalPartitioner(3, levels=1)
+        b = HierarchicalPartitioner(3, levels=1)
+        for s in order:
+            a.node_for(s)
+        for s in reversed(order):
+            b.node_for(s)
+        assert [a.node_for(s) for s in order] == [0, 1, 2, 0, 1]
+        assert [b.node_for(s) for s in reversed(order)] == [0, 1, 2, 0, 1]
+        # Same SIDs, different arrival order -> different owners; each
+        # partitioner still answers consistently forever after.
+        assert [b.node_for(s) for s in order] == [1, 0, 2, 1, 0]
+        assert a.known_assignments() != b.known_assignments()
+        assert [a.node_for(s) for s in order] == [0, 1, 2, 0, 1]
+
+    def test_partition_key_is_prefix(self):
+        part = HierarchicalPartitioner(3, levels=2)
+        assert part.partition_key(sid(1, 2, 3)) == sid(1, 2, 3).prefix(2)
+        assert part.partition_key(sid(1, 2, 9)) == part.partition_key(sid(1, 2, 3))
+        assert part.partition_key(sid(1, 3, 3)) != part.partition_key(sid(1, 2, 3))
+
+    def test_known_assignments_snapshot_is_copy(self):
+        part = HierarchicalPartitioner(3, levels=1)
+        part.node_for(sid(1, 1))
+        snap = part.known_assignments()
+        snap[999] = 999
+        assert 999 not in part.known_assignments()
+
 
 class TestHashPartitioner:
     def test_deterministic(self):

@@ -149,6 +149,21 @@ class TestDeprecationPointer:
     def test_deprecation_documented(self):
         assert "deprecated" in (persistence.__doc__ or "").lower()
 
+    def test_public_functions_warn_deprecated(self, tmp_path):
+        """Every public entry point emits a DeprecationWarning that
+        names the successor, so callers migrating to ``durable:`` data
+        dirs find the path from the warning text alone."""
+        node = populated_node()
+        with pytest.warns(DeprecationWarning, match="durable"):
+            save_node(node, str(tmp_path / "snap"))
+        with pytest.warns(DeprecationWarning, match="durable"):
+            load_node(str(tmp_path / "snap"))
+        cluster = StorageCluster([populated_node(), populated_node()], replication=1)
+        with pytest.warns(DeprecationWarning, match="durable"):
+            save_cluster(cluster, str(tmp_path / "csnap"))
+        with pytest.warns(DeprecationWarning, match="durable"):
+            load_cluster(str(tmp_path / "csnap"))
+
     def test_pre_durable_npz_snapshot_still_loads(self, tmp_path):
         """A snapshot directory in the original layout — hand-written
         ``.npz`` + v1 manifest, exactly what pre-durable deployments
